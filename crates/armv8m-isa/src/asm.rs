@@ -1,0 +1,587 @@
+//! Module representation and the two-pass assembler.
+//!
+//! A [`Module`] is the unit the offline linker (`rap-link`) rewrites: an
+//! ordered list of labels, function markers and instructions, with branch
+//! targets still symbolic. [`Module::assemble`] assigns addresses, resolves
+//! labels and produces an executable [`Image`].
+
+use std::collections::HashMap;
+
+use crate::{AsmError, Cond, Image, Instr, Reg, RegList, Target, encode};
+
+/// One element of a [`Module`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A local label usable as a branch target.
+    Label(String),
+    /// A function-entry marker. Also defines a label of the same name.
+    ///
+    /// Function markers model the symbol/type information (`.type func,
+    /// %function`) that a binary-level static-analysis tool reads from the
+    /// ELF symbol table.
+    Func(String),
+    /// An instruction.
+    Instr(Instr),
+    /// Pseudo-instruction: load the absolute address of a label into a
+    /// register. Expands to a `MOVW`/`MOVT` pair (8 bytes).
+    LoadAddr {
+        /// Destination register.
+        rd: Reg,
+        /// The address to materialize.
+        target: Target,
+    },
+}
+
+impl Item {
+    /// The encoded size of the item in bytes (0 for labels/markers).
+    pub fn size(&self) -> u32 {
+        match self {
+            Item::Label(_) | Item::Func(_) => 0,
+            Item::Instr(i) => i.size(),
+            Item::LoadAddr { .. } => 8,
+        }
+    }
+}
+
+/// An assembly module: the input to [`Module::assemble`] and the object
+/// the RAP-Track offline phase transforms.
+///
+/// ```
+/// use armv8m_isa::{Asm, Reg};
+/// let mut a = Asm::new();
+/// a.func("main");
+/// a.movi(Reg::R0, 3);
+/// a.label("loop");
+/// a.subi(Reg::R0, Reg::R0, 1);
+/// a.cmpi(Reg::R0, 0);
+/// a.bne("loop");
+/// a.halt();
+/// let image = a.into_module().assemble(0x0)?;
+/// assert_eq!(image.symbol("main"), Some(0x0));
+/// # Ok::<(), armv8m_isa::AsmError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Module {
+    /// The ordered items of the module.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Total encoded size of the module in bytes.
+    pub fn size(&self) -> u32 {
+        self.items.iter().map(Item::size).sum()
+    }
+
+    /// Number of instructions (including pseudo-expansion of `LoadAddr`).
+    pub fn instr_count(&self) -> usize {
+        self.items
+            .iter()
+            .map(|i| match i {
+                Item::Instr(_) => 1,
+                Item::LoadAddr { .. } => 2,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Assigns addresses starting at `base`, resolves labels, encodes
+    /// every instruction and returns the executable image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] on duplicate/undefined labels or when an
+    /// instruction cannot be encoded (branch out of range, high register
+    /// in a narrow-only form, …).
+    pub fn assemble(&self, base: u32) -> Result<Image, AsmError> {
+        // Pass 1: assign addresses; sizes never depend on label values.
+        let mut symbols: HashMap<String, u32> = HashMap::new();
+        let mut funcs: Vec<(String, u32)> = Vec::new();
+        let mut addr = base;
+        for item in &self.items {
+            match item {
+                Item::Label(name) | Item::Func(name) => {
+                    if symbols.insert(name.clone(), addr).is_some() {
+                        return Err(AsmError::DuplicateLabel(name.clone()));
+                    }
+                    if let Item::Func(name) = item {
+                        funcs.push((name.clone(), addr));
+                    }
+                }
+                _ => addr += item.size(),
+            }
+        }
+
+        let resolve = |target: &Target| -> Result<u32, AsmError> {
+            match target {
+                Target::Abs(a) => Ok(*a),
+                Target::Label(name) => symbols
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| AsmError::UndefinedLabel(name.clone())),
+            }
+        };
+
+        // Pass 2: resolve and encode.
+        let mut bytes = Vec::with_capacity(self.size() as usize);
+        let mut instrs: Vec<(u32, Instr)> = Vec::with_capacity(self.instr_count());
+        let mut addr = base;
+        for item in &self.items {
+            match item {
+                Item::Label(_) | Item::Func(_) => {}
+                Item::Instr(i) => {
+                    let mut resolved = i.clone();
+                    if let Some(t) = resolved.target_mut() {
+                        *t = Target::Abs(resolve(t)?);
+                    }
+                    bytes.extend(encode(&resolved, addr).map_err(AsmError::Encode)?);
+                    let size = resolved.size();
+                    instrs.push((addr, resolved));
+                    addr += size;
+                }
+                Item::LoadAddr { rd, target } => {
+                    let value = resolve(target)?;
+                    let low = Instr::MovImm {
+                        rd: *rd,
+                        imm: value as u16,
+                    };
+                    let high = Instr::MovTop {
+                        rd: *rd,
+                        imm: (value >> 16) as u16,
+                    };
+                    let mut emitted = 0;
+                    for i in [low, high] {
+                        bytes.extend(encode(&i, addr).map_err(AsmError::Encode)?);
+                        let size = i.size();
+                        instrs.push((addr, i));
+                        addr += size;
+                        emitted += size;
+                    }
+                    // Keep the fixed 8-byte footprint promised by size():
+                    // pad with NOPs when MOVW chose its narrow form.
+                    while emitted < 8 {
+                        let nop = Instr::Nop;
+                        bytes.extend(encode(&nop, addr).map_err(AsmError::Encode)?);
+                        instrs.push((addr, nop));
+                        addr += 2;
+                        emitted += 2;
+                    }
+                }
+            }
+        }
+
+        Ok(Image::from_parts(base, bytes, instrs, symbols, funcs))
+    }
+}
+
+/// Ergonomic builder over [`Module`]: one method per instruction.
+///
+/// All branch-target arguments accept anything convertible to [`Target`]
+/// (label `&str` or absolute `u32`). See [`Module`] for a full example.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    module: Module,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Consumes the builder, yielding the accumulated module.
+    pub fn into_module(self) -> Module {
+        self.module
+    }
+
+    /// Appends a raw item.
+    pub fn push_item(&mut self, item: Item) -> &mut Asm {
+        self.module.items.push(item);
+        self
+    }
+
+    /// Appends a raw instruction.
+    pub fn instr(&mut self, i: Instr) -> &mut Asm {
+        self.push_item(Item::Instr(i))
+    }
+
+    /// Defines a local label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Asm {
+        self.push_item(Item::Label(name.into()))
+    }
+
+    /// Defines a function entry (symbol + label) at the current position.
+    pub fn func(&mut self, name: impl Into<String>) -> &mut Asm {
+        self.push_item(Item::Func(name.into()))
+    }
+
+    /// `MOVW rd, #imm16`.
+    pub fn movi(&mut self, rd: Reg, imm: u16) -> &mut Asm {
+        self.instr(Instr::MovImm { rd, imm })
+    }
+
+    /// `MOVT rd, #imm16`.
+    pub fn movt(&mut self, rd: Reg, imm: u16) -> &mut Asm {
+        self.instr(Instr::MovTop { rd, imm })
+    }
+
+    /// Loads a full 32-bit constant via a `MOVW`/`MOVT` pair.
+    pub fn mov32(&mut self, rd: Reg, value: u32) -> &mut Asm {
+        self.movi(rd, value as u16);
+        if value > 0xFFFF {
+            self.movt(rd, (value >> 16) as u16);
+        }
+        self
+    }
+
+    /// Loads the address of `target` (pseudo; 8 bytes).
+    pub fn load_addr(&mut self, rd: Reg, target: impl Into<Target>) -> &mut Asm {
+        self.push_item(Item::LoadAddr {
+            rd,
+            target: target.into(),
+        })
+    }
+
+    /// `MOV rd, rm`.
+    pub fn mov(&mut self, rd: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::MovReg { rd, rm })
+    }
+
+    /// `ADDS rd, rn, #imm`.
+    pub fn addi(&mut self, rd: Reg, rn: Reg, imm: u16) -> &mut Asm {
+        self.instr(Instr::AddImm { rd, rn, imm })
+    }
+
+    /// `ADDS rd, rn, rm`.
+    pub fn add(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::AddReg { rd, rn, rm })
+    }
+
+    /// `SUBS rd, rn, #imm`.
+    pub fn subi(&mut self, rd: Reg, rn: Reg, imm: u16) -> &mut Asm {
+        self.instr(Instr::SubImm { rd, rn, imm })
+    }
+
+    /// `SUBS rd, rn, rm`.
+    pub fn sub(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::SubReg { rd, rn, rm })
+    }
+
+    /// `MULS rd, rn, rm`.
+    pub fn mul(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::MulReg { rd, rn, rm })
+    }
+
+    /// `UDIV rd, rn, rm`.
+    pub fn udiv(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::UdivReg { rd, rn, rm })
+    }
+
+    /// `ANDS rd, rn, rm`.
+    pub fn and(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::AndReg { rd, rn, rm })
+    }
+
+    /// `ORRS rd, rn, rm`.
+    pub fn orr(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::OrrReg { rd, rn, rm })
+    }
+
+    /// `EORS rd, rn, rm`.
+    pub fn eor(&mut self, rd: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::EorReg { rd, rn, rm })
+    }
+
+    /// `LSLS rd, rm, #shift`.
+    pub fn lsl(&mut self, rd: Reg, rm: Reg, shift: u8) -> &mut Asm {
+        self.instr(Instr::LslImm { rd, rm, shift })
+    }
+
+    /// `LSRS rd, rm, #shift`.
+    pub fn lsr(&mut self, rd: Reg, rm: Reg, shift: u8) -> &mut Asm {
+        self.instr(Instr::LsrImm { rd, rm, shift })
+    }
+
+    /// `ASRS rd, rm, #shift`.
+    pub fn asr(&mut self, rd: Reg, rm: Reg, shift: u8) -> &mut Asm {
+        self.instr(Instr::AsrImm { rd, rm, shift })
+    }
+
+    /// `CMP rn, #imm`.
+    pub fn cmpi(&mut self, rn: Reg, imm: u16) -> &mut Asm {
+        self.instr(Instr::CmpImm { rn, imm })
+    }
+
+    /// `CMP rn, rm`.
+    pub fn cmp(&mut self, rn: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::CmpReg { rn, rm })
+    }
+
+    /// `LDR rt, [rn, #offset]`.
+    pub fn ldr(&mut self, rt: Reg, rn: Reg, offset: u16) -> &mut Asm {
+        self.instr(Instr::LdrImm { rt, rn, offset })
+    }
+
+    /// `LDR rt, [rn, rm, LSL #2]`.
+    pub fn ldr_idx(&mut self, rt: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::LdrReg { rt, rn, rm })
+    }
+
+    /// `STR rt, [rn, #offset]`.
+    pub fn str_(&mut self, rt: Reg, rn: Reg, offset: u16) -> &mut Asm {
+        self.instr(Instr::StrImm { rt, rn, offset })
+    }
+
+    /// `LDRB rt, [rn, #offset]`.
+    pub fn ldrb(&mut self, rt: Reg, rn: Reg, offset: u16) -> &mut Asm {
+        self.instr(Instr::LdrbImm { rt, rn, offset })
+    }
+
+    /// `LDRB rt, [rn, rm]`.
+    pub fn ldrb_idx(&mut self, rt: Reg, rn: Reg, rm: Reg) -> &mut Asm {
+        self.instr(Instr::LdrbReg { rt, rn, rm })
+    }
+
+    /// `STRB rt, [rn, #offset]`.
+    pub fn strb(&mut self, rt: Reg, rn: Reg, offset: u16) -> &mut Asm {
+        self.instr(Instr::StrbImm { rt, rn, offset })
+    }
+
+    /// `PUSH {regs}`.
+    pub fn push(&mut self, regs: &[Reg]) -> &mut Asm {
+        self.instr(Instr::Push {
+            list: regs.iter().copied().collect::<RegList>(),
+        })
+    }
+
+    /// `POP {regs}`.
+    pub fn pop(&mut self, regs: &[Reg]) -> &mut Asm {
+        self.instr(Instr::Pop {
+            list: regs.iter().copied().collect::<RegList>(),
+        })
+    }
+
+    /// `B target`.
+    pub fn b(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.instr(Instr::B {
+            target: target.into(),
+        })
+    }
+
+    /// `B<cond> target`.
+    pub fn bcond(&mut self, cond: Cond, target: impl Into<Target>) -> &mut Asm {
+        self.instr(Instr::BCond {
+            cond,
+            target: target.into(),
+        })
+    }
+
+    /// `BEQ target`.
+    pub fn beq(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.bcond(Cond::Eq, target)
+    }
+
+    /// `BNE target`.
+    pub fn bne(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.bcond(Cond::Ne, target)
+    }
+
+    /// `BLT target` (signed less).
+    pub fn blt(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.bcond(Cond::Lt, target)
+    }
+
+    /// `BGE target` (signed greater-or-equal).
+    pub fn bge(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.bcond(Cond::Ge, target)
+    }
+
+    /// `BGT target` (signed greater).
+    pub fn bgt(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.bcond(Cond::Gt, target)
+    }
+
+    /// `BLE target` (signed less-or-equal).
+    pub fn ble(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.bcond(Cond::Le, target)
+    }
+
+    /// `BHI target` (unsigned higher).
+    pub fn bhi(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.bcond(Cond::Hi, target)
+    }
+
+    /// `BLS target` (unsigned lower-or-same).
+    pub fn bls(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.bcond(Cond::Ls, target)
+    }
+
+    /// `BCS target` (carry set / unsigned ≥).
+    pub fn bcs(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.bcond(Cond::Cs, target)
+    }
+
+    /// `BCC target` (carry clear / unsigned <).
+    pub fn bcc(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.bcond(Cond::Cc, target)
+    }
+
+    /// `BL target` — direct call.
+    pub fn bl(&mut self, target: impl Into<Target>) -> &mut Asm {
+        self.instr(Instr::Bl {
+            target: target.into(),
+        })
+    }
+
+    /// `BLX rm` — indirect call.
+    pub fn blx(&mut self, rm: Reg) -> &mut Asm {
+        self.instr(Instr::Blx { rm })
+    }
+
+    /// `BX rm`.
+    pub fn bx(&mut self, rm: Reg) -> &mut Asm {
+        self.instr(Instr::Bx { rm })
+    }
+
+    /// `BX LR` — plain return.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.bx(Reg::Lr)
+    }
+
+    /// `NOP`.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.instr(Instr::Nop)
+    }
+
+    /// Secure-gateway call (see [`crate::service`]).
+    pub fn sg(&mut self, service: u8, arg: Reg) -> &mut Asm {
+        self.instr(Instr::SecureGateway { service, arg })
+    }
+
+    /// Simulation terminator.
+    pub fn halt(&mut self) -> &mut Asm {
+        self.instr(Instr::Halt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_simple_loop() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R0, 3);
+        a.label("loop");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmpi(Reg::R0, 0);
+        a.bne("loop");
+        a.halt();
+        let image = a.into_module().assemble(0).expect("assembles");
+        assert_eq!(image.symbol("main"), Some(0));
+        assert_eq!(image.symbol("loop"), Some(2)); // movi r0,#3 is narrow
+        let (_, instr) = image.instrs()[3].clone();
+        match instr {
+            Instr::BCond { cond, target } => {
+                assert_eq!(cond, Cond::Ne);
+                assert_eq!(target.abs(), Some(2));
+            }
+            other => panic!("expected bne, got {other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut a = Asm::new();
+        a.label("x").nop().label("x");
+        assert_eq!(
+            a.into_module().assemble(0),
+            Err(AsmError::DuplicateLabel("x".into()))
+        );
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut a = Asm::new();
+        a.b("nowhere");
+        assert_eq!(
+            a.into_module().assemble(0),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn load_addr_is_always_eight_bytes() {
+        for base in [0u32, 0x1000] {
+            for target_offset in [0u32, 2, 0x2000_0000 - 0x1000] {
+                let mut a = Asm::new();
+                a.label("start");
+                a.load_addr(Reg::R3, Target::Abs(base + target_offset));
+                a.label("after");
+                a.halt();
+                let image = a.into_module().assemble(base).expect("assembles");
+                assert_eq!(
+                    image.symbol("after").unwrap() - image.symbol("start").unwrap(),
+                    8
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_addr_materializes_full_value() {
+        let mut a = Asm::new();
+        a.load_addr(Reg::R3, Target::Abs(0x2000_1234));
+        a.halt();
+        let image = a.into_module().assemble(0).expect("assembles");
+        // Expect MOVW 0x1234 then MOVT 0x2000 (order within pair).
+        let instrs: Vec<Instr> = image.instrs().iter().map(|(_, i)| i.clone()).collect();
+        assert!(instrs.contains(&Instr::MovImm {
+            rd: Reg::R3,
+            imm: 0x1234
+        }));
+        assert!(instrs.contains(&Instr::MovTop {
+            rd: Reg::R3,
+            imm: 0x2000
+        }));
+    }
+
+    #[test]
+    fn sizes_and_addresses_are_consistent() {
+        let mut a = Asm::new();
+        a.func("f");
+        a.push(&[Reg::R4, Reg::Lr]);
+        a.movi(Reg::R4, 1000); // wide (imm >= 256)
+        a.addi(Reg::R4, Reg::R4, 1); // narrow
+        a.pop(&[Reg::R4, Reg::Pc]);
+        let module = a.into_module();
+        let total = module.size();
+        let image = module.assemble(0x100).expect("assembles");
+        assert_eq!(image.bytes().len() as u32, total);
+        // Addresses are strictly increasing by instruction size.
+        let mut expect = 0x100;
+        for (addr, instr) in image.instrs() {
+            assert_eq!(*addr, expect);
+            expect += instr.size();
+        }
+    }
+
+    #[test]
+    fn branch_to_function_marker() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.bl("helper");
+        a.halt();
+        a.func("helper");
+        a.ret();
+        let image = a.into_module().assemble(0).expect("assembles");
+        assert_eq!(image.funcs().len(), 2);
+        let helper = image.symbol("helper").unwrap();
+        assert_eq!(image.funcs()[1], ("helper".to_string(), helper));
+    }
+}

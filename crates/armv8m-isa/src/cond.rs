@@ -1,0 +1,275 @@
+//! Condition codes and the application program status register (APSR).
+
+use std::fmt;
+
+/// APSR condition flags (`N`, `Z`, `C`, `V`).
+///
+/// Flag-setting data-processing instructions and `CMP` update these; the
+/// conditional branch instructions test them via [`Cond::passes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags {
+    /// Negative: the result's sign bit.
+    pub n: bool,
+    /// Zero: the result was zero.
+    pub z: bool,
+    /// Carry (or NOT borrow for subtraction).
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Flags after an addition-like operation `a + b (+ carry_in)`.
+    pub fn from_add(a: u32, b: u32, carry_in: bool) -> (u32, Flags) {
+        let (sum1, c1) = a.overflowing_add(b);
+        let (sum, c2) = sum1.overflowing_add(carry_in as u32);
+        let carry = c1 | c2;
+        let overflow = ((a ^ sum) & (b ^ sum)) >> 31 != 0;
+        (
+            sum,
+            Flags {
+                n: (sum as i32) < 0,
+                z: sum == 0,
+                c: carry,
+                v: overflow,
+            },
+        )
+    }
+
+    /// Flags after a subtraction `a - b`, ARM-style (C = NOT borrow).
+    pub fn from_sub(a: u32, b: u32) -> (u32, Flags) {
+        Flags::from_add(a, !b, true)
+    }
+
+    /// Flags after a pure logical operation (carry/overflow preserved).
+    pub fn from_logical(result: u32, prev: Flags) -> Flags {
+        Flags {
+            n: (result as i32) < 0,
+            z: result == 0,
+            c: prev.c,
+            v: prev.v,
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.n { 'N' } else { 'n' },
+            if self.z { 'Z' } else { 'z' },
+            if self.c { 'C' } else { 'c' },
+            if self.v { 'V' } else { 'v' },
+        )
+    }
+}
+
+/// A branch condition code.
+///
+/// ```
+/// use armv8m_isa::{Cond, Flags};
+/// let flags = Flags { z: true, ..Flags::default() };
+/// assert!(Cond::Eq.passes(flags));
+/// assert!(!Cond::Ne.passes(flags));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (`Z == 1`).
+    Eq = 0,
+    /// Not equal (`Z == 0`).
+    Ne = 1,
+    /// Carry set / unsigned higher-or-same (`C == 1`).
+    Cs = 2,
+    /// Carry clear / unsigned lower (`C == 0`).
+    Cc = 3,
+    /// Minus / negative (`N == 1`).
+    Mi = 4,
+    /// Plus / non-negative (`N == 0`).
+    Pl = 5,
+    /// Overflow (`V == 1`).
+    Vs = 6,
+    /// No overflow (`V == 0`).
+    Vc = 7,
+    /// Unsigned higher (`C == 1 && Z == 0`).
+    Hi = 8,
+    /// Unsigned lower-or-same (`C == 0 || Z == 1`).
+    Ls = 9,
+    /// Signed greater-or-equal (`N == V`).
+    Ge = 10,
+    /// Signed less (`N != V`).
+    Lt = 11,
+    /// Signed greater (`Z == 0 && N == V`).
+    Gt = 12,
+    /// Signed less-or-equal (`Z == 1 || N != V`).
+    Le = 13,
+}
+
+impl Cond {
+    /// All fourteen usable condition codes.
+    pub const ALL: [Cond; 14] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+    ];
+
+    /// Whether the condition holds for the given flags.
+    pub fn passes(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Cs => f.c,
+            Cond::Cc => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Vs => f.v,
+            Cond::Vc => !f.v,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Le => f.z || f.n != f.v,
+        }
+    }
+
+    /// The logically opposite condition (`EQ` ↔ `NE`, …).
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Cs => Cond::Cc,
+            Cond::Cc => Cond::Cs,
+            Cond::Mi => Cond::Pl,
+            Cond::Pl => Cond::Mi,
+            Cond::Vs => Cond::Vc,
+            Cond::Vc => Cond::Vs,
+            Cond::Hi => Cond::Ls,
+            Cond::Ls => Cond::Hi,
+            Cond::Ge => Cond::Lt,
+            Cond::Lt => Cond::Ge,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+        }
+    }
+
+    /// Builds a condition from its 4-bit encoding.
+    pub fn from_index(idx: u8) -> Option<Cond> {
+        Cond::ALL.get(idx as usize).copied()
+    }
+
+    /// The 4-bit encoding of the condition.
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_flags() {
+        let (sum, f) = Flags::from_add(1, 2, false);
+        assert_eq!(sum, 3);
+        assert!(!f.n && !f.z && !f.c && !f.v);
+
+        let (sum, f) = Flags::from_add(u32::MAX, 1, false);
+        assert_eq!(sum, 0);
+        assert!(f.z && f.c && !f.v);
+
+        let (_, f) = Flags::from_add(i32::MAX as u32, 1, false);
+        assert!(f.v && f.n);
+    }
+
+    #[test]
+    fn sub_flags_match_cmp_semantics() {
+        // 5 - 3: positive, no borrow.
+        let (diff, f) = Flags::from_sub(5, 3);
+        assert_eq!(diff, 2);
+        assert!(f.c && !f.z && !f.n);
+
+        // 3 - 5: borrow (C clear), negative.
+        let (_, f) = Flags::from_sub(3, 5);
+        assert!(!f.c && f.n);
+
+        // 4 - 4: zero, C set.
+        let (_, f) = Flags::from_sub(4, 4);
+        assert!(f.z && f.c);
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // -1 < 1 signed.
+        let (_, f) = Flags::from_sub(-1i32 as u32, 1);
+        assert!(Cond::Lt.passes(f));
+        assert!(!Cond::Ge.passes(f));
+        // but -1 > 1 unsigned.
+        assert!(Cond::Hi.passes(f));
+    }
+
+    #[test]
+    fn invert_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.invert().invert(), c);
+        }
+    }
+
+    #[test]
+    fn invert_is_exclusive() {
+        // A condition and its inverse never both pass.
+        for c in Cond::ALL {
+            for bits in 0..16u8 {
+                let f = Flags {
+                    n: bits & 1 != 0,
+                    z: bits & 2 != 0,
+                    c: bits & 4 != 0,
+                    v: bits & 8 != 0,
+                };
+                assert_ne!(c.passes(f), c.invert().passes(f), "{c} with {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn cond_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_index(c.index()), Some(c));
+        }
+        assert_eq!(Cond::from_index(14), None);
+    }
+}

@@ -1,0 +1,627 @@
+//! Binary encoding and decoding of T-lite instructions.
+//!
+//! # Format
+//!
+//! Instructions are one or two little-endian halfwords. The top nibble of
+//! the first halfword selects the format:
+//!
+//! | op4 | layout (bits 11:0) | instruction |
+//! |-----|--------------------|-------------|
+//! | 0x0–0x7 | `rd:4 rn:4 rm:4` | three-register ALU / indexed loads |
+//! | 0x8 | `sel:1 rd:4 rn:4 imm:3` | `ADDS`/`SUBS` small immediate |
+//! | 0x9 | `sel:1 rd:3 rm:3 shift:5` | `LSLS`/`LSRS` (low regs) |
+//! | 0xA | `-:1 rd:3 rm:3 shift:5` | `ASRS` (low regs) |
+//! | 0xB | `sel:1 -:2 x:1 mask:8` | `PUSH`/`POP` (low regs + LR/PC) |
+//! | 0xC | `-:1 rd:3 imm:8` | `MOVW` narrow (low rd) |
+//! | 0xD | `-:1 rn:3 imm:8` | `CMP` narrow (low rn) |
+//! | 0xE | `subop:4 fields:8` | `NOP HALT MOV CMP BX BLX` |
+//! | 0xF | wide prefix | second halfword follows |
+//!
+//! Wide instructions put an 8-bit opcode (`0xF0`–`0xFD`) in the low byte
+//! of the first halfword; the remaining 24 bits hold the operands.
+//! Branch offsets are PC-relative byte distances from the *instruction's
+//! own address* (not the ARM pipeline's `PC+4`), signed, halfword-aligned.
+
+use crate::{Cond, DecodeError, EncodeError, Instr, Reg, RegList, Target};
+
+// Wide opcodes: a 4-bit code in bits 11:8 of the first halfword (whose
+// top nibble is the 0xF wide marker).
+const W_MOVW: u8 = 0x0;
+const W_MOVT: u8 = 0x1;
+const W_ADD: u8 = 0x2;
+const W_SUB: u8 = 0x3;
+const W_CMP: u8 = 0x4;
+const W_UDIV: u8 = 0x5;
+const W_LDR: u8 = 0x6;
+const W_STR: u8 = 0x7;
+const W_LDRB: u8 = 0x8;
+const W_STRB: u8 = 0x9;
+const W_B: u8 = 0xA;
+const W_BCOND: u8 = 0xB;
+const W_BL: u8 = 0xC;
+const W_SG: u8 = 0xD;
+
+fn resolved(target: &Target) -> Result<u32, EncodeError> {
+    match target {
+        Target::Abs(a) => Ok(*a),
+        Target::Label(name) => Err(EncodeError::UnresolvedLabel(name.clone())),
+    }
+}
+
+fn branch_offset(addr: u32, target: &Target, bits: u32) -> Result<u32, EncodeError> {
+    let to = resolved(target)?;
+    if to % 2 != 0 {
+        return Err(EncodeError::MisalignedTarget { to });
+    }
+    let max: i32 = (1 << (bits - 1)) - 1;
+    let offset = to.wrapping_sub(addr) as i32;
+    if offset > max || offset < -(max + 1) {
+        return Err(EncodeError::BranchOutOfRange {
+            from: addr,
+            to,
+            max,
+        });
+    }
+    Ok((offset as u32) & ((1u32 << bits) - 1))
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn narrow(op4: u16, fields: u16) -> Vec<u8> {
+    let hw = (op4 << 12) | (fields & 0x0FFF);
+    hw.to_le_bytes().to_vec()
+}
+
+fn wide(op: u8, fields24: u32) -> Vec<u8> {
+    let hw1 = 0xF000u16 | ((op as u16) << 8) | (fields24 & 0xFF) as u16;
+    let hw2 = (fields24 >> 8) as u16;
+    let mut bytes = hw1.to_le_bytes().to_vec();
+    bytes.extend(hw2.to_le_bytes());
+    bytes
+}
+
+fn low3(reg: Reg, instr: &Instr) -> Result<u16, EncodeError> {
+    if reg.is_low() {
+        Ok(reg.index() as u16)
+    } else {
+        Err(EncodeError::HighRegister {
+            instr: instr.to_string(),
+        })
+    }
+}
+
+fn narrow_list_mask(list: RegList, extra: Reg, instr: &Instr) -> Result<u16, EncodeError> {
+    let mut mask = 0u16;
+    let mut extra_bit = 0u16;
+    for reg in list.iter() {
+        if reg.is_low() {
+            mask |= 1 << reg.index();
+        } else if reg == extra {
+            extra_bit = 1;
+        } else {
+            return Err(EncodeError::InvalidRegList {
+                list: instr.to_string(),
+            });
+        }
+    }
+    Ok(extra_bit << 8 | mask)
+}
+
+/// Encodes `instr`, assumed to sit at byte address `addr`, into its
+/// little-endian byte representation.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when a branch target is still symbolic or
+/// out of range, or when a narrow-only form uses a high register.
+pub fn encode(instr: &Instr, addr: u32) -> Result<Vec<u8>, EncodeError> {
+    let r = |reg: Reg| reg.index() as u16;
+    Ok(match instr {
+        // Three-register group.
+        Instr::AddReg { rd, rn, rm } => narrow(0x0, r(*rd) << 8 | r(*rn) << 4 | r(*rm)),
+        Instr::SubReg { rd, rn, rm } => narrow(0x1, r(*rd) << 8 | r(*rn) << 4 | r(*rm)),
+        Instr::MulReg { rd, rn, rm } => narrow(0x2, r(*rd) << 8 | r(*rn) << 4 | r(*rm)),
+        Instr::AndReg { rd, rn, rm } => narrow(0x3, r(*rd) << 8 | r(*rn) << 4 | r(*rm)),
+        Instr::OrrReg { rd, rn, rm } => narrow(0x4, r(*rd) << 8 | r(*rn) << 4 | r(*rm)),
+        Instr::EorReg { rd, rn, rm } => narrow(0x5, r(*rd) << 8 | r(*rn) << 4 | r(*rm)),
+        Instr::LdrReg { rt, rn, rm } => narrow(0x6, r(*rt) << 8 | r(*rn) << 4 | r(*rm)),
+        Instr::LdrbReg { rt, rn, rm } => narrow(0x7, r(*rt) << 8 | r(*rn) << 4 | r(*rm)),
+
+        // Small-immediate add/sub (narrow when imm < 8).
+        Instr::AddImm { rd, rn, imm } if *imm < 8 => {
+            narrow(0x8, r(*rd) << 7 | r(*rn) << 3 | *imm)
+        }
+        Instr::SubImm { rd, rn, imm } if *imm < 8 => {
+            narrow(0x8, 1 << 11 | r(*rd) << 7 | r(*rn) << 3 | *imm)
+        }
+
+        // Shifts (narrow only; low registers).
+        Instr::LslImm { rd, rm, shift } => narrow(
+            0x9,
+            low3(*rd, instr)? << 8 | low3(*rm, instr)? << 5 | (*shift & 0x1F) as u16,
+        ),
+        Instr::LsrImm { rd, rm, shift } => narrow(
+            0x9,
+            1 << 11 | low3(*rd, instr)? << 8 | low3(*rm, instr)? << 5 | (*shift & 0x1F) as u16,
+        ),
+        Instr::AsrImm { rd, rm, shift } => narrow(
+            0xA,
+            low3(*rd, instr)? << 8 | low3(*rm, instr)? << 5 | (*shift & 0x1F) as u16,
+        ),
+
+        // Push/pop.
+        Instr::Push { list } => narrow(0xB, narrow_list_mask(*list, Reg::Lr, instr)?),
+        Instr::Pop { list } => narrow(0xB, 1 << 11 | narrow_list_mask(*list, Reg::Pc, instr)?),
+
+        // Narrow immediates.
+        Instr::MovImm { rd, imm } if rd.is_low() && *imm < 256 => {
+            narrow(0xC, (r(*rd) << 8) | *imm)
+        }
+        Instr::CmpImm { rn, imm } if rn.is_low() && *imm < 256 => {
+            narrow(0xD, (r(*rn) << 8) | *imm)
+        }
+
+        // Misc narrow.
+        Instr::Nop => narrow(0xE, 0x000),
+        Instr::Halt => narrow(0xE, 0x100),
+        Instr::MovReg { rd, rm } => narrow(0xE, 0x200 | r(*rd) << 4 | r(*rm)),
+        Instr::CmpReg { rn, rm } => narrow(0xE, 0x300 | r(*rn) << 4 | r(*rm)),
+        Instr::Bx { rm } => narrow(0xE, 0x400 | r(*rm)),
+        Instr::Blx { rm } => narrow(0xE, 0x500 | r(*rm)),
+
+        // Wide forms.
+        Instr::MovImm { rd, imm } => wide(W_MOVW, (*imm as u32) << 4 | r(*rd) as u32),
+        Instr::MovTop { rd, imm } => wide(W_MOVT, (*imm as u32) << 4 | r(*rd) as u32),
+        Instr::AddImm { rd, rn, imm } => {
+            wide(W_ADD, (*imm as u32) << 8 | (r(*rn) as u32) << 4 | r(*rd) as u32)
+        }
+        Instr::SubImm { rd, rn, imm } => {
+            wide(W_SUB, (*imm as u32) << 8 | (r(*rn) as u32) << 4 | r(*rd) as u32)
+        }
+        Instr::CmpImm { rn, imm } => wide(W_CMP, (*imm as u32) << 4 | r(*rn) as u32),
+        Instr::UdivReg { rd, rn, rm } => wide(
+            W_UDIV,
+            (r(*rm) as u32) << 8 | (r(*rn) as u32) << 4 | r(*rd) as u32,
+        ),
+        Instr::LdrImm { rt, rn, offset } => wide(
+            W_LDR,
+            (*offset as u32) << 8 | (r(*rn) as u32) << 4 | r(*rt) as u32,
+        ),
+        Instr::StrImm { rt, rn, offset } => wide(
+            W_STR,
+            (*offset as u32) << 8 | (r(*rn) as u32) << 4 | r(*rt) as u32,
+        ),
+        Instr::LdrbImm { rt, rn, offset } => wide(
+            W_LDRB,
+            (*offset as u32) << 8 | (r(*rn) as u32) << 4 | r(*rt) as u32,
+        ),
+        Instr::StrbImm { rt, rn, offset } => wide(
+            W_STRB,
+            (*offset as u32) << 8 | (r(*rn) as u32) << 4 | r(*rt) as u32,
+        ),
+        Instr::B { target } => wide(W_B, branch_offset(addr, target, 24)?),
+        Instr::BCond { cond, target } => wide(
+            W_BCOND,
+            branch_offset(addr, target, 20)? << 4 | cond.index() as u32,
+        ),
+        Instr::Bl { target } => wide(W_BL, branch_offset(addr, target, 24)?),
+        Instr::SecureGateway { service, arg } => {
+            wide(W_SG, (r(*arg) as u32) << 8 | *service as u32)
+        }
+    })
+}
+
+fn reg(bits: u32) -> Reg {
+    Reg::from_index((bits & 0xF) as u8).expect("4-bit field is always a valid register")
+}
+
+/// Decodes the instruction starting at `bytes[0]`, assumed to be at byte
+/// address `addr`. Returns the instruction and its size in bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated input or an invalid opcode.
+pub fn decode(bytes: &[u8], addr: u32) -> Result<(Instr, u32), DecodeError> {
+    if bytes.len() < 2 {
+        return Err(DecodeError::Truncated { addr });
+    }
+    let hw = u16::from_le_bytes([bytes[0], bytes[1]]);
+    let op4 = hw >> 12;
+    let f = (hw & 0x0FFF) as u32;
+    let invalid = Err(DecodeError::InvalidOpcode { addr, halfword: hw });
+    let instr = match op4 {
+        0x0 => Instr::AddReg {
+            rd: reg(f >> 8),
+            rn: reg(f >> 4),
+            rm: reg(f),
+        },
+        0x1 => Instr::SubReg {
+            rd: reg(f >> 8),
+            rn: reg(f >> 4),
+            rm: reg(f),
+        },
+        0x2 => Instr::MulReg {
+            rd: reg(f >> 8),
+            rn: reg(f >> 4),
+            rm: reg(f),
+        },
+        0x3 => Instr::AndReg {
+            rd: reg(f >> 8),
+            rn: reg(f >> 4),
+            rm: reg(f),
+        },
+        0x4 => Instr::OrrReg {
+            rd: reg(f >> 8),
+            rn: reg(f >> 4),
+            rm: reg(f),
+        },
+        0x5 => Instr::EorReg {
+            rd: reg(f >> 8),
+            rn: reg(f >> 4),
+            rm: reg(f),
+        },
+        0x6 => Instr::LdrReg {
+            rt: reg(f >> 8),
+            rn: reg(f >> 4),
+            rm: reg(f),
+        },
+        0x7 => Instr::LdrbReg {
+            rt: reg(f >> 8),
+            rn: reg(f >> 4),
+            rm: reg(f),
+        },
+        0x8 => {
+            let rd = reg(f >> 7);
+            let rn = reg(f >> 3);
+            let imm = (f & 0x7) as u16;
+            if f & (1 << 11) == 0 {
+                Instr::AddImm { rd, rn, imm }
+            } else {
+                Instr::SubImm { rd, rn, imm }
+            }
+        }
+        0x9 => {
+            let rd = reg((f >> 8) & 0x7);
+            let rm = reg((f >> 5) & 0x7);
+            let shift = (f & 0x1F) as u8;
+            if f & (1 << 11) == 0 {
+                Instr::LslImm { rd, rm, shift }
+            } else {
+                Instr::LsrImm { rd, rm, shift }
+            }
+        }
+        0xA => Instr::AsrImm {
+            rd: reg((f >> 8) & 0x7),
+            rm: reg((f >> 5) & 0x7),
+            shift: (f & 0x1F) as u8,
+        },
+        0xB => {
+            let mask = (f & 0xFF) as u16;
+            if f & (1 << 11) == 0 {
+                let mut list = RegList::from_mask(mask);
+                if f & (1 << 8) != 0 {
+                    list = list.with(Reg::Lr);
+                }
+                Instr::Push { list }
+            } else {
+                let mut list = RegList::from_mask(mask);
+                if f & (1 << 8) != 0 {
+                    list = list.with(Reg::Pc);
+                }
+                Instr::Pop { list }
+            }
+        }
+        0xC => Instr::MovImm {
+            rd: reg((f >> 8) & 0x7),
+            imm: (f & 0xFF) as u16,
+        },
+        0xD => Instr::CmpImm {
+            rn: reg((f >> 8) & 0x7),
+            imm: (f & 0xFF) as u16,
+        },
+        0xE => match f >> 8 {
+            0x0 => Instr::Nop,
+            0x1 => Instr::Halt,
+            0x2 => Instr::MovReg {
+                rd: reg(f >> 4),
+                rm: reg(f),
+            },
+            0x3 => Instr::CmpReg {
+                rn: reg(f >> 4),
+                rm: reg(f),
+            },
+            0x4 => Instr::Bx { rm: reg(f) },
+            0x5 => Instr::Blx { rm: reg(f) },
+            _ => return invalid,
+        },
+        0xF => {
+            if bytes.len() < 4 {
+                return Err(DecodeError::Truncated { addr });
+            }
+            let hw2 = u16::from_le_bytes([bytes[2], bytes[3]]);
+            let op = ((hw >> 8) & 0xF) as u8;
+            let w = (hw as u32 & 0xFF) | (hw2 as u32) << 8;
+            let instr = match op {
+                W_MOVW => Instr::MovImm {
+                    rd: reg(w),
+                    imm: (w >> 4) as u16,
+                },
+                W_MOVT => Instr::MovTop {
+                    rd: reg(w),
+                    imm: (w >> 4) as u16,
+                },
+                W_ADD => Instr::AddImm {
+                    rd: reg(w),
+                    rn: reg(w >> 4),
+                    imm: (w >> 8) as u16,
+                },
+                W_SUB => Instr::SubImm {
+                    rd: reg(w),
+                    rn: reg(w >> 4),
+                    imm: (w >> 8) as u16,
+                },
+                W_CMP => Instr::CmpImm {
+                    rn: reg(w),
+                    imm: (w >> 4) as u16,
+                },
+                W_UDIV => Instr::UdivReg {
+                    rd: reg(w),
+                    rn: reg(w >> 4),
+                    rm: reg(w >> 8),
+                },
+                W_LDR => Instr::LdrImm {
+                    rt: reg(w),
+                    rn: reg(w >> 4),
+                    offset: (w >> 8) as u16,
+                },
+                W_STR => Instr::StrImm {
+                    rt: reg(w),
+                    rn: reg(w >> 4),
+                    offset: (w >> 8) as u16,
+                },
+                W_LDRB => Instr::LdrbImm {
+                    rt: reg(w),
+                    rn: reg(w >> 4),
+                    offset: (w >> 8) as u16,
+                },
+                W_STRB => Instr::StrbImm {
+                    rt: reg(w),
+                    rn: reg(w >> 4),
+                    offset: (w >> 8) as u16,
+                },
+                W_B => Instr::B {
+                    target: Target::Abs(addr.wrapping_add(sign_extend(w, 24) as u32)),
+                },
+                W_BCOND => {
+                    let cond = match Cond::from_index((w & 0xF) as u8) {
+                        Some(c) => c,
+                        None => return invalid,
+                    };
+                    Instr::BCond {
+                        cond,
+                        target: Target::Abs(addr.wrapping_add(sign_extend(w >> 4, 20) as u32)),
+                    }
+                }
+                W_BL => Instr::Bl {
+                    target: Target::Abs(addr.wrapping_add(sign_extend(w, 24) as u32)),
+                },
+                W_SG => Instr::SecureGateway {
+                    service: (w & 0xFF) as u8,
+                    arg: reg(w >> 8),
+                },
+                _ => return invalid,
+            };
+            return Ok((instr, 4));
+        }
+        _ => unreachable!("op4 is a 4-bit value"),
+    };
+    Ok((instr, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(instr: Instr, addr: u32) {
+        let bytes = encode(&instr, addr).expect("encodable");
+        assert_eq!(bytes.len() as u32, instr.size(), "size mismatch: {instr}");
+        let (decoded, size) = decode(&bytes, addr).expect("decodable");
+        assert_eq!(size, instr.size());
+        assert_eq!(decoded, instr, "roundtrip mismatch at {addr:#x}");
+    }
+
+    #[test]
+    fn roundtrip_all_basic() {
+        use Reg::*;
+        let cases = vec![
+            Instr::MovImm { rd: R0, imm: 42 },
+            Instr::MovImm { rd: R9, imm: 42 },
+            Instr::MovImm { rd: R3, imm: 0xBEEF },
+            Instr::MovTop { rd: R3, imm: 0x2000 },
+            Instr::MovReg { rd: R8, rm: Sp },
+            Instr::AddImm { rd: R1, rn: R1, imm: 4 },
+            Instr::AddImm { rd: R1, rn: R2, imm: 400 },
+            Instr::SubImm { rd: Sp, rn: Sp, imm: 16 },
+            Instr::AddReg { rd: R1, rn: R2, rm: R3 },
+            Instr::SubReg { rd: R11, rn: R2, rm: R3 },
+            Instr::MulReg { rd: R1, rn: R1, rm: R4 },
+            Instr::UdivReg { rd: R0, rn: R1, rm: R2 },
+            Instr::AndReg { rd: R0, rn: R0, rm: R1 },
+            Instr::OrrReg { rd: R0, rn: R0, rm: R1 },
+            Instr::EorReg { rd: R5, rn: R5, rm: R6 },
+            Instr::LslImm { rd: R0, rm: R1, shift: 2 },
+            Instr::LsrImm { rd: R0, rm: R1, shift: 31 },
+            Instr::AsrImm { rd: R7, rm: R7, shift: 8 },
+            Instr::CmpImm { rn: R0, imm: 0 },
+            Instr::CmpImm { rn: R0, imm: 1000 },
+            Instr::CmpImm { rn: R10, imm: 3 },
+            Instr::CmpReg { rn: R4, rm: R5 },
+            Instr::LdrImm { rt: R0, rn: R1, offset: 8 },
+            Instr::LdrImm { rt: Pc, rn: R2, offset: 0 },
+            Instr::LdrReg { rt: R0, rn: R1, rm: R2 },
+            Instr::StrImm { rt: R0, rn: Sp, offset: 4 },
+            Instr::LdrbImm { rt: R3, rn: R4, offset: 1 },
+            Instr::LdrbReg { rt: R3, rn: R4, rm: R5 },
+            Instr::StrbImm { rt: R3, rn: R4, offset: 255 },
+            Instr::Push {
+                list: RegList::new().with(R4).with(R5).with(Lr),
+            },
+            Instr::Pop {
+                list: RegList::new().with(R4).with(R5).with(Pc),
+            },
+            Instr::Blx { rm: R3 },
+            Instr::Bx { rm: Lr },
+            Instr::Bx { rm: R12 },
+            Instr::Nop,
+            Instr::Halt,
+            Instr::SecureGateway {
+                service: crate::service::LOG_LOOP_COND,
+                arg: R2,
+            },
+        ];
+        for instr in cases {
+            roundtrip(instr.clone(), 0x100);
+            roundtrip(instr, 0x2000_0000);
+        }
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        for addr in [0u32, 0x400, 0x10_000] {
+            for delta in [-1024i32, -2, 0, 2, 4096] {
+                let to = addr.wrapping_add(delta as u32);
+                roundtrip(Instr::B { target: Target::Abs(to) }, addr);
+                roundtrip(Instr::Bl { target: Target::Abs(to) }, addr);
+                for cond in Cond::ALL {
+                    roundtrip(
+                        Instr::BCond {
+                            cond,
+                            target: Target::Abs(to),
+                        },
+                        addr,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unresolved_label_rejected() {
+        let err = encode(
+            &Instr::B {
+                target: Target::label("somewhere"),
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EncodeError::UnresolvedLabel(_)));
+    }
+
+    #[test]
+    fn branch_range_enforced() {
+        // ±2^19-1 bytes for conditional branches.
+        let err = encode(
+            &Instr::BCond {
+                cond: Cond::Eq,
+                target: Target::Abs(0x0010_0000),
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EncodeError::BranchOutOfRange { .. }));
+        // Unconditional reaches ±2^23-1.
+        encode(
+            &Instr::B {
+                target: Target::Abs(0x0010_0000),
+            },
+            0,
+        )
+        .expect("in range for B");
+    }
+
+    #[test]
+    fn misaligned_target_rejected() {
+        let err = encode(
+            &Instr::B {
+                target: Target::Abs(0x101),
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EncodeError::MisalignedTarget { .. }));
+    }
+
+    #[test]
+    fn high_register_shift_rejected() {
+        let err = encode(
+            &Instr::LslImm {
+                rd: Reg::R8,
+                rm: Reg::R0,
+                shift: 1,
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EncodeError::HighRegister { .. }));
+    }
+
+    #[test]
+    fn invalid_push_list_rejected() {
+        let err = encode(
+            &Instr::Push {
+                list: RegList::new().with(Reg::R8),
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EncodeError::InvalidRegList { .. }));
+        // LR is fine in a push, PC is fine in a pop.
+        encode(
+            &Instr::Push {
+                list: RegList::new().with(Reg::Lr),
+            },
+            0,
+        )
+        .expect("push lr");
+        encode(
+            &Instr::Pop {
+                list: RegList::new().with(Reg::Pc),
+            },
+            0,
+        )
+        .expect("pop pc");
+    }
+
+    #[test]
+    fn truncated_input() {
+        assert!(matches!(
+            decode(&[0x00], 0),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // A wide prefix with only two bytes available.
+        let bytes = encode(
+            &Instr::B {
+                target: Target::Abs(4),
+            },
+            0,
+        )
+        .expect("encode");
+        assert!(matches!(
+            decode(&bytes[..2], 0),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_opcode() {
+        // op4 = 0xE with an unused subop.
+        let hw: u16 = 0xEF00;
+        assert!(matches!(
+            decode(&hw.to_le_bytes(), 0),
+            Err(DecodeError::InvalidOpcode { .. })
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types for encoding, decoding and assembly.
+
+use std::fmt;
+
+/// An error produced while encoding an instruction to bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A branch target was still a symbolic label; assemble first.
+    UnresolvedLabel(String),
+    /// A PC-relative branch offset does not fit its encoding.
+    BranchOutOfRange {
+        /// Address of the branch instruction.
+        from: u32,
+        /// Absolute target address.
+        to: u32,
+        /// Maximum representable byte distance.
+        max: i32,
+    },
+    /// A narrow encoding only admits low registers (`R0`–`R7`).
+    HighRegister {
+        /// The instruction's assembly form.
+        instr: String,
+    },
+    /// A `PUSH`/`POP` register list mixes registers the narrow encoding
+    /// cannot express (only `R0`–`R7` plus `LR` for push / `PC` for pop).
+    InvalidRegList {
+        /// The offending list's assembly form.
+        list: String,
+    },
+    /// A branch offset was odd; all instruction addresses are even.
+    MisalignedTarget {
+        /// Absolute target address.
+        to: u32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::UnresolvedLabel(name) => {
+                write!(f, "unresolved label `{name}` at encode time")
+            }
+            EncodeError::BranchOutOfRange { from, to, max } => write!(
+                f,
+                "branch from {from:#x} to {to:#x} exceeds ±{max:#x} byte range"
+            ),
+            EncodeError::HighRegister { instr } => {
+                write!(f, "narrow encoding of `{instr}` requires low registers")
+            }
+            EncodeError::InvalidRegList { list } => {
+                write!(f, "register list {list} not encodable in narrow push/pop")
+            }
+            EncodeError::MisalignedTarget { to } => {
+                write!(f, "branch target {to:#x} is not halfword aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// An error produced while decoding bytes back into an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes were available than the instruction's length requires.
+    Truncated {
+        /// Address at which decoding was attempted.
+        addr: u32,
+    },
+    /// The bit pattern does not correspond to any T-lite instruction.
+    InvalidOpcode {
+        /// Address of the undecodable halfword.
+        addr: u32,
+        /// The offending first halfword.
+        halfword: u16,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { addr } => {
+                write!(f, "instruction at {addr:#x} is truncated")
+            }
+            DecodeError::InvalidOpcode { addr, halfword } => {
+                write!(f, "invalid opcode {halfword:#06x} at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An error produced by the two-pass assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// An instruction could not be encoded after address assignment.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(name) => write!(f, "label `{name}` defined twice"),
+            AsmError::UndefinedLabel(name) => write!(f, "label `{name}` is undefined"),
+            AsmError::Encode(e) => write!(f, "encode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> AsmError {
+        AsmError::Encode(e)
+    }
+}

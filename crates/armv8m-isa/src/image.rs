@@ -1,0 +1,261 @@
+//! Executable images: the output of assembly and the input to the CPU,
+//! the hash engine (`H_MEM`) and the verifier's path reconstruction.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{DecodeError, Instr, decode};
+
+/// An assembled, address-resolved code image.
+///
+/// The image keeps both the raw bytes (what gets hashed into `H_MEM` and
+/// what the MPU protects) and the decoded instruction stream indexed by
+/// address (what the CPU executes and the verifier replays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    base: u32,
+    bytes: Vec<u8>,
+    instrs: Vec<(u32, Instr)>,
+    symbols: HashMap<String, u32>,
+    funcs: Vec<(String, u32)>,
+    index: HashMap<u32, usize>,
+}
+
+impl Image {
+    pub(crate) fn from_parts(
+        base: u32,
+        bytes: Vec<u8>,
+        instrs: Vec<(u32, Instr)>,
+        symbols: HashMap<String, u32>,
+        funcs: Vec<(String, u32)>,
+    ) -> Image {
+        let index = instrs
+            .iter()
+            .enumerate()
+            .map(|(i, (addr, _))| (*addr, i))
+            .collect();
+        Image {
+            base,
+            bytes,
+            instrs,
+            symbols,
+            funcs,
+            index,
+        }
+    }
+
+    /// Reconstructs an image by decoding a raw byte blob loaded at `base`.
+    ///
+    /// Symbol information is absent (empty tables); this models what a
+    /// binary-only tool sees without the ELF symbol table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the blob contains an invalid or
+    /// truncated instruction.
+    pub fn from_bytes(base: u32, bytes: Vec<u8>) -> Result<Image, DecodeError> {
+        let mut instrs = Vec::new();
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let addr = base + offset as u32;
+            let (instr, size) = decode(&bytes[offset..], addr)?;
+            instrs.push((addr, instr));
+            offset += size as usize;
+        }
+        Ok(Image::from_parts(
+            base,
+            bytes,
+            instrs,
+            HashMap::new(),
+            Vec::new(),
+        ))
+    }
+
+    /// Base (load) address of the image.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// One-past-the-end address of the image.
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    /// The raw encoded bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The decoded instruction stream as `(address, instruction)` pairs
+    /// in ascending address order.
+    pub fn instrs(&self) -> &[(u32, Instr)] {
+        &self.instrs
+    }
+
+    /// Looks up the instruction starting at `addr`.
+    pub fn instr_at(&self, addr: u32) -> Option<&Instr> {
+        self.index.get(&addr).map(|&i| &self.instrs[i].1)
+    }
+
+    /// The address of the instruction following the one at `addr`.
+    pub fn next_addr(&self, addr: u32) -> Option<u32> {
+        self.instr_at(addr).map(|i| addr + i.size())
+    }
+
+    /// Resolves a symbol (label or function name) to its address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols defined in the image.
+    pub fn symbols(&self) -> &HashMap<String, u32> {
+        &self.symbols
+    }
+
+    /// Function entry points in definition order.
+    pub fn funcs(&self) -> &[(String, u32)] {
+        &self.funcs
+    }
+
+    /// Whether `addr` is a function entry point.
+    pub fn is_func_entry(&self, addr: u32) -> bool {
+        self.funcs.iter().any(|(_, a)| *a == addr)
+    }
+
+    /// Renders the image as re-assemblable text assembly (`.tasm`):
+    /// symbols become labels/`.func` directives and branch targets are
+    /// emitted symbolically where a label exists. The output parses
+    /// back through [`crate::parse_module`] into an equivalent image.
+    pub fn to_tasm(&self) -> String {
+        use crate::Target;
+        let mut by_addr: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, addr) in &self.symbols {
+            by_addr.entry(*addr).or_default().push(name);
+        }
+        let func_addrs: std::collections::HashSet<u32> =
+            self.funcs.iter().map(|(_, a)| *a).collect();
+        let mut out = String::new();
+        for (addr, instr) in &self.instrs {
+            if let Some(names) = by_addr.get(addr) {
+                let mut names = names.clone();
+                names.sort_unstable();
+                for name in names {
+                    if func_addrs.contains(addr) && self.funcs.iter().any(|(n, a)| n == name && a == addr) {
+                        let _ = writeln!(out, ".func {name}");
+                    } else {
+                        let _ = writeln!(out, "{name}:");
+                    }
+                }
+            }
+            // Symbolic branch targets where possible.
+            let mut display = instr.clone();
+            if let Some(t) = display.target_mut() {
+                if let Target::Abs(a) = t {
+                    if let Some(names) = by_addr.get(a) {
+                        let mut names = names.clone();
+                        names.sort_unstable();
+                        *t = Target::label(names[0]);
+                    }
+                }
+            }
+            let _ = writeln!(out, "    {display}");
+        }
+        out
+    }
+
+    /// Renders a human-readable disassembly listing with addresses and
+    /// symbol annotations.
+    pub fn disassemble(&self) -> String {
+        let mut by_addr: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, addr) in &self.symbols {
+            by_addr.entry(*addr).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (addr, instr) in &self.instrs {
+            if let Some(names) = by_addr.get(addr) {
+                let mut names = names.clone();
+                names.sort_unstable();
+                for name in names {
+                    let _ = writeln!(out, "{name}:");
+                }
+            }
+            let _ = writeln!(out, "  {addr:#010x}: {instr}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asm, Reg};
+
+    fn sample() -> Image {
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R0, 7);
+        a.label("spin");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.bne("spin");
+        a.halt();
+        a.into_module().assemble(0x100).expect("assembles")
+    }
+
+    #[test]
+    fn lookup_by_address() {
+        let image = sample();
+        let spin = image.symbol("spin").unwrap();
+        assert!(image.instr_at(spin).is_some());
+        assert!(image.instr_at(spin + 1).is_none());
+        assert_eq!(image.next_addr(spin), Some(spin + 2));
+    }
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let image = sample();
+        let redecoded = Image::from_bytes(image.base(), image.bytes().to_vec()).expect("decodes");
+        let original: Vec<_> = image.instrs().to_vec();
+        assert_eq!(redecoded.instrs(), &original[..]);
+        assert_eq!(redecoded.end(), image.end());
+    }
+
+    #[test]
+    fn func_entries() {
+        let image = sample();
+        assert!(image.is_func_entry(0x100));
+        assert!(!image.is_func_entry(0x102));
+    }
+
+    #[test]
+    fn to_tasm_reassembles_byte_identically() {
+        let image = sample();
+        let tasm = image.to_tasm();
+        assert!(tasm.contains(".func main"), "{tasm}");
+        assert!(tasm.contains("spin:"), "{tasm}");
+        let module = crate::parse_module(&tasm).expect("parses");
+        let rebuilt = module.assemble(image.base()).expect("assembles");
+        assert_eq!(rebuilt.bytes(), image.bytes());
+        assert_eq!(rebuilt.symbol("spin"), image.symbol("spin"));
+    }
+
+    #[test]
+    fn to_tasm_without_symbols_uses_absolute_targets() {
+        let image = sample();
+        let bare = Image::from_bytes(image.base(), image.bytes().to_vec()).unwrap();
+        let tasm = bare.to_tasm();
+        let rebuilt = crate::parse_module(&tasm)
+            .expect("parses")
+            .assemble(image.base())
+            .expect("assembles");
+        assert_eq!(rebuilt.bytes(), image.bytes());
+    }
+
+    #[test]
+    fn disassembly_contains_symbols_and_addresses() {
+        let listing = sample().disassemble();
+        assert!(listing.contains("main:"));
+        assert!(listing.contains("spin:"));
+        assert!(listing.contains("0x00000100"));
+        assert!(listing.contains("halt"));
+    }
+}

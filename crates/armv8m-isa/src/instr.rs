@@ -1,0 +1,537 @@
+//! The T-lite instruction set: a compact, Thumb-like subset of ARMv8-M.
+//!
+//! Every instruction is 2 or 4 bytes long, mirroring the narrow/wide split
+//! of real Thumb-2 so that code-size experiments keep their shape. The
+//! semantic model (flag behaviour, `LR`/`PC` conventions, `PUSH`/`POP`
+//! ordering) follows the architecture closely enough that the paper's
+//! branch taxonomy — deterministic vs. non-deterministic transfers — maps
+//! one-to-one onto [`BranchKind`].
+
+use std::fmt;
+
+use crate::{Cond, Reg, RegList};
+
+/// A branch target: either a symbolic label (before assembly) or an
+/// absolute address (after assembly / when decoded from a binary).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// A symbolic label to be resolved by the assembler.
+    Label(String),
+    /// An absolute byte address in the code image.
+    Abs(u32),
+}
+
+impl Target {
+    /// Convenience constructor for a label target.
+    pub fn label(name: impl Into<String>) -> Target {
+        Target::Label(name.into())
+    }
+
+    /// Returns the absolute address, if resolved.
+    pub fn abs(&self) -> Option<u32> {
+        match self {
+            Target::Abs(a) => Some(*a),
+            Target::Label(_) => None,
+        }
+    }
+}
+
+impl From<u32> for Target {
+    fn from(addr: u32) -> Target {
+        Target::Abs(addr)
+    }
+}
+
+impl From<&str> for Target {
+    fn from(name: &str) -> Target {
+        Target::Label(name.to_owned())
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Label(name) => write!(f, "{name}"),
+            Target::Abs(addr) => write!(f, "{addr:#010x}"),
+        }
+    }
+}
+
+/// Secure-gateway service identifiers understood by the (modelled)
+/// Secure-World runtime. The attested application requests these via
+/// [`Instr::SecureGateway`]; each call costs a full Non-Secure → Secure
+/// context switch in the cycle model.
+pub mod service {
+    /// TRACES-style: append a control-flow destination to `CF_Log`.
+    pub const LOG_BRANCH: u8 = 1;
+    /// RAP-Track §IV-D: log a simple loop's condition register once,
+    /// before loop entry.
+    pub const LOG_LOOP_COND: u8 = 2;
+    /// TRACES-style: log a conditional-branch outcome.
+    pub const LOG_COND_OUTCOME: u8 = 3;
+    /// TRACES-style: log a function return target.
+    pub const LOG_RETURN: u8 = 4;
+    /// TRACES-style: log an indirect call/jump target.
+    pub const LOG_INDIRECT: u8 = 5;
+}
+
+/// A single T-lite instruction.
+///
+/// Arithmetic instructions update the APSR flags (like the flag-setting
+/// narrow Thumb encodings); `MOV`/`MOVT` and memory operations do not.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field names (rd/rn/rm/imm…) follow the ARM ARM
+pub enum Instr {
+    /// `MOVW rd, #imm16` — loads a zero-extended 16-bit immediate.
+    MovImm { rd: Reg, imm: u16 },
+    /// `MOVT rd, #imm16` — writes the top halfword, keeping the bottom.
+    MovTop { rd: Reg, imm: u16 },
+    /// `MOV rd, rm`.
+    MovReg { rd: Reg, rm: Reg },
+    /// `ADDS rd, rn, #imm` (flag-setting).
+    AddImm { rd: Reg, rn: Reg, imm: u16 },
+    /// `ADDS rd, rn, rm` (flag-setting).
+    AddReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `SUBS rd, rn, #imm` (flag-setting).
+    SubImm { rd: Reg, rn: Reg, imm: u16 },
+    /// `SUBS rd, rn, rm` (flag-setting).
+    SubReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `MULS rd, rn, rm` (flag-setting, low 32 bits).
+    MulReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `UDIV rd, rn, rm` — unsigned divide; division by zero yields 0
+    /// (ARMv8-M `DIV_0_TRP` clear behaviour). Does not set flags.
+    UdivReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `ANDS rd, rn, rm` (flag-setting, logical).
+    AndReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `ORRS rd, rn, rm` (flag-setting, logical).
+    OrrReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `EORS rd, rn, rm` (flag-setting, logical).
+    EorReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `LSLS rd, rm, #shift` (flag-setting, logical).
+    LslImm { rd: Reg, rm: Reg, shift: u8 },
+    /// `LSRS rd, rm, #shift` (flag-setting, logical).
+    LsrImm { rd: Reg, rm: Reg, shift: u8 },
+    /// `ASRS rd, rm, #shift` (flag-setting, logical).
+    AsrImm { rd: Reg, rm: Reg, shift: u8 },
+    /// `CMP rn, #imm` — compare against an immediate.
+    CmpImm { rn: Reg, imm: u16 },
+    /// `CMP rn, rm`.
+    CmpReg { rn: Reg, rm: Reg },
+    /// `LDR rt, [rn, #offset]` — word load. With `rt == PC` this is an
+    /// indirect jump ("LDR into PC"), one of the monitored return/jump
+    /// forms of the paper (§IV-C.2).
+    LdrImm { rt: Reg, rn: Reg, offset: u16 },
+    /// `LDR rt, [rn, rm, LSL #2]` — word load with register index
+    /// (jump tables, array access). `rt == PC` is an indirect jump.
+    LdrReg { rt: Reg, rn: Reg, rm: Reg },
+    /// `STR rt, [rn, #offset]` — word store.
+    StrImm { rt: Reg, rn: Reg, offset: u16 },
+    /// `LDRB rt, [rn, #offset]` — byte load (zero-extended).
+    LdrbImm { rt: Reg, rn: Reg, offset: u16 },
+    /// `LDRB rt, [rn, rm]` — byte load with register index.
+    LdrbReg { rt: Reg, rn: Reg, rm: Reg },
+    /// `STRB rt, [rn, #offset]` — byte store.
+    StrbImm { rt: Reg, rn: Reg, offset: u16 },
+    /// `PUSH {list}` — may include `LR`. Decrements `SP` by `4 × n`.
+    Push { list: RegList },
+    /// `POP {list}` — may include `PC`, in which case it is a
+    /// non-deterministic return (§IV-C.2).
+    Pop { list: RegList },
+    /// `B target` — unconditional direct branch (deterministic).
+    B { target: Target },
+    /// `B<cond> target` — conditional branch (non-deterministic).
+    BCond { cond: Cond, target: Target },
+    /// `BL target` — direct call; sets `LR` to the following instruction.
+    Bl { target: Target },
+    /// `BLX rm` — indirect call through a register (non-deterministic).
+    Blx { rm: Reg },
+    /// `BX rm` — indirect branch; `BX LR` is the plain return form.
+    Bx { rm: Reg },
+    /// `NOP`.
+    Nop,
+    /// Secure-gateway call: transfers to the Secure World service
+    /// `service` with the value of register `arg` as its argument.
+    ///
+    /// Models a `BL` through an NSC veneer; the cycle model charges the
+    /// full context-switch cost (see `mcu_sim::cycles`).
+    SecureGateway { service: u8, arg: Reg },
+    /// `BKPT`-like terminator: ends simulation of the attested program.
+    Halt,
+}
+
+/// Control-flow classification of an instruction, aligned with the
+/// paper's branch taxonomy (§IV-B/§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Not a control-flow transfer.
+    None,
+    /// `B` — direct, statically deterministic.
+    Direct,
+    /// `B<cond>` — two statically known outcomes, runtime-selected.
+    Conditional,
+    /// `BL` — direct call; target deterministic, pushes return address
+    /// semantics into `LR`.
+    DirectCall,
+    /// `BLX rm` — indirect call (monitored).
+    IndirectCall,
+    /// `BX rm`, `rm != LR` — indirect jump through a register.
+    IndirectJump,
+    /// `BX LR` — return through the link register.
+    ReturnBx,
+    /// `POP {..., PC}` — return through the stack (monitored).
+    ReturnPop,
+    /// `LDR PC, [...]` — indirect jump through memory (monitored).
+    LoadJump,
+    /// A secure-gateway call (control transfers to the Secure World and
+    /// back; modelled, not traced by the MTB).
+    Gateway,
+    /// Simulation terminator.
+    Halt,
+}
+
+impl BranchKind {
+    /// Whether the transfer may change `PC` non-sequentially.
+    pub fn is_branch(self) -> bool {
+        !matches!(self, BranchKind::None | BranchKind::Gateway)
+    }
+}
+
+impl Instr {
+    /// Encoded size in bytes (2 for narrow forms, 4 for wide), mirroring
+    /// the Thumb-2 narrow/wide split.
+    pub fn size(&self) -> u32 {
+        match self {
+            Instr::MovReg { .. }
+            | Instr::AddReg { .. }
+            | Instr::SubReg { .. }
+            | Instr::MulReg { .. }
+            | Instr::AndReg { .. }
+            | Instr::OrrReg { .. }
+            | Instr::EorReg { .. }
+            | Instr::LslImm { .. }
+            | Instr::LsrImm { .. }
+            | Instr::AsrImm { .. }
+            | Instr::CmpReg { .. }
+            | Instr::LdrReg { .. }
+            | Instr::LdrbReg { .. }
+            | Instr::Push { .. }
+            | Instr::Pop { .. }
+            | Instr::Blx { .. }
+            | Instr::Bx { .. }
+            | Instr::Nop
+            | Instr::Halt => 2,
+            Instr::CmpImm { rn, imm } => {
+                if rn.is_low() && *imm < 256 {
+                    2
+                } else {
+                    4
+                }
+            }
+            Instr::AddImm { imm, .. } | Instr::SubImm { imm, .. } => {
+                if *imm < 8 {
+                    2
+                } else {
+                    4
+                }
+            }
+            Instr::MovImm { rd, imm } => {
+                if rd.is_low() && *imm < 256 {
+                    2
+                } else {
+                    4
+                }
+            }
+            Instr::MovTop { .. }
+            | Instr::UdivReg { .. }
+            | Instr::LdrImm { .. }
+            | Instr::StrImm { .. }
+            | Instr::LdrbImm { .. }
+            | Instr::StrbImm { .. }
+            | Instr::B { .. }
+            | Instr::BCond { .. }
+            | Instr::Bl { .. }
+            | Instr::SecureGateway { .. } => 4,
+        }
+    }
+
+    /// The control-flow class of this instruction.
+    pub fn branch_kind(&self) -> BranchKind {
+        match self {
+            Instr::B { .. } => BranchKind::Direct,
+            Instr::BCond { .. } => BranchKind::Conditional,
+            Instr::Bl { .. } => BranchKind::DirectCall,
+            Instr::Blx { .. } => BranchKind::IndirectCall,
+            Instr::Bx { rm } => {
+                if *rm == Reg::Lr {
+                    BranchKind::ReturnBx
+                } else {
+                    BranchKind::IndirectJump
+                }
+            }
+            Instr::Pop { list } if list.contains(Reg::Pc) => BranchKind::ReturnPop,
+            Instr::LdrImm { rt, .. } | Instr::LdrReg { rt, .. } if *rt == Reg::Pc => {
+                BranchKind::LoadJump
+            }
+            Instr::SecureGateway { .. } => BranchKind::Gateway,
+            Instr::Halt => BranchKind::Halt,
+            _ => BranchKind::None,
+        }
+    }
+
+    /// The symbolic/absolute target of a direct transfer, if any.
+    pub fn target(&self) -> Option<&Target> {
+        match self {
+            Instr::B { target } | Instr::BCond { target, .. } | Instr::Bl { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the direct-transfer target, if any. Used by the
+    /// offline linker to retarget branches at trampolines.
+    pub fn target_mut(&mut self) -> Option<&mut Target> {
+        match self {
+            Instr::B { target } | Instr::BCond { target, .. } | Instr::Bl { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction can fall through to its successor.
+    ///
+    /// `B`, `BX`, `POP {…, PC}`, `LDR PC` and `HALT` never do; calls and
+    /// conditional branches do.
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self.branch_kind(),
+            BranchKind::Direct
+                | BranchKind::IndirectJump
+                | BranchKind::ReturnBx
+                | BranchKind::ReturnPop
+                | BranchKind::LoadJump
+                | BranchKind::Halt
+        )
+    }
+
+    /// Whether the instruction writes to APSR condition flags.
+    pub fn sets_flags(&self) -> bool {
+        matches!(
+            self,
+            Instr::AddImm { .. }
+                | Instr::AddReg { .. }
+                | Instr::SubImm { .. }
+                | Instr::SubReg { .. }
+                | Instr::MulReg { .. }
+                | Instr::AndReg { .. }
+                | Instr::OrrReg { .. }
+                | Instr::EorReg { .. }
+                | Instr::LslImm { .. }
+                | Instr::LsrImm { .. }
+                | Instr::AsrImm { .. }
+                | Instr::CmpImm { .. }
+                | Instr::CmpReg { .. }
+        )
+    }
+
+    /// Whether this instruction reads or writes data memory.
+    pub fn accesses_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::LdrImm { .. }
+                | Instr::LdrReg { .. }
+                | Instr::StrImm { .. }
+                | Instr::LdrbImm { .. }
+                | Instr::LdrbReg { .. }
+                | Instr::StrbImm { .. }
+                | Instr::Push { .. }
+                | Instr::Pop { .. }
+        )
+    }
+
+    /// The destination register written by the instruction, if it is a
+    /// plain data-processing or load operation (used by the linker's
+    /// simple-loop analysis).
+    pub fn dest_reg(&self) -> Option<Reg> {
+        match self {
+            Instr::MovImm { rd, .. }
+            | Instr::MovTop { rd, .. }
+            | Instr::MovReg { rd, .. }
+            | Instr::AddImm { rd, .. }
+            | Instr::AddReg { rd, .. }
+            | Instr::SubImm { rd, .. }
+            | Instr::SubReg { rd, .. }
+            | Instr::MulReg { rd, .. }
+            | Instr::UdivReg { rd, .. }
+            | Instr::AndReg { rd, .. }
+            | Instr::OrrReg { rd, .. }
+            | Instr::EorReg { rd, .. }
+            | Instr::LslImm { rd, .. }
+            | Instr::LsrImm { rd, .. }
+            | Instr::AsrImm { rd, .. } => Some(*rd),
+            Instr::LdrImm { rt, .. }
+            | Instr::LdrReg { rt, .. }
+            | Instr::LdrbImm { rt, .. }
+            | Instr::LdrbReg { rt, .. } => Some(*rt),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::MovImm { rd, imm } => write!(f, "movw {rd}, #{imm}"),
+            Instr::MovTop { rd, imm } => write!(f, "movt {rd}, #{imm}"),
+            Instr::MovReg { rd, rm } => write!(f, "mov {rd}, {rm}"),
+            Instr::AddImm { rd, rn, imm } => write!(f, "adds {rd}, {rn}, #{imm}"),
+            Instr::AddReg { rd, rn, rm } => write!(f, "adds {rd}, {rn}, {rm}"),
+            Instr::SubImm { rd, rn, imm } => write!(f, "subs {rd}, {rn}, #{imm}"),
+            Instr::SubReg { rd, rn, rm } => write!(f, "subs {rd}, {rn}, {rm}"),
+            Instr::MulReg { rd, rn, rm } => write!(f, "muls {rd}, {rn}, {rm}"),
+            Instr::UdivReg { rd, rn, rm } => write!(f, "udiv {rd}, {rn}, {rm}"),
+            Instr::AndReg { rd, rn, rm } => write!(f, "ands {rd}, {rn}, {rm}"),
+            Instr::OrrReg { rd, rn, rm } => write!(f, "orrs {rd}, {rn}, {rm}"),
+            Instr::EorReg { rd, rn, rm } => write!(f, "eors {rd}, {rn}, {rm}"),
+            Instr::LslImm { rd, rm, shift } => write!(f, "lsls {rd}, {rm}, #{shift}"),
+            Instr::LsrImm { rd, rm, shift } => write!(f, "lsrs {rd}, {rm}, #{shift}"),
+            Instr::AsrImm { rd, rm, shift } => write!(f, "asrs {rd}, {rm}, #{shift}"),
+            Instr::CmpImm { rn, imm } => write!(f, "cmp {rn}, #{imm}"),
+            Instr::CmpReg { rn, rm } => write!(f, "cmp {rn}, {rm}"),
+            Instr::LdrImm { rt, rn, offset } => write!(f, "ldr {rt}, [{rn}, #{offset}]"),
+            Instr::LdrReg { rt, rn, rm } => write!(f, "ldr {rt}, [{rn}, {rm}, lsl #2]"),
+            Instr::StrImm { rt, rn, offset } => write!(f, "str {rt}, [{rn}, #{offset}]"),
+            Instr::LdrbImm { rt, rn, offset } => write!(f, "ldrb {rt}, [{rn}, #{offset}]"),
+            Instr::LdrbReg { rt, rn, rm } => write!(f, "ldrb {rt}, [{rn}, {rm}]"),
+            Instr::StrbImm { rt, rn, offset } => write!(f, "strb {rt}, [{rn}, #{offset}]"),
+            Instr::Push { list } => write!(f, "push {list}"),
+            Instr::Pop { list } => write!(f, "pop {list}"),
+            Instr::B { target } => write!(f, "b {target}"),
+            Instr::BCond { cond, target } => write!(f, "b{cond} {target}"),
+            Instr::Bl { target } => write!(f, "bl {target}"),
+            Instr::Blx { rm } => write!(f, "blx {rm}"),
+            Instr::Bx { rm } => write!(f, "bx {rm}"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::SecureGateway { service, arg } => write!(f, "sg #{service}, {arg}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_kinds() {
+        assert_eq!(
+            Instr::B {
+                target: Target::Abs(0)
+            }
+            .branch_kind(),
+            BranchKind::Direct
+        );
+        assert_eq!(Instr::Bx { rm: Reg::Lr }.branch_kind(), BranchKind::ReturnBx);
+        assert_eq!(
+            Instr::Bx { rm: Reg::R3 }.branch_kind(),
+            BranchKind::IndirectJump
+        );
+        assert_eq!(
+            Instr::Pop {
+                list: RegList::new().with(Reg::Pc)
+            }
+            .branch_kind(),
+            BranchKind::ReturnPop
+        );
+        assert_eq!(
+            Instr::Pop {
+                list: RegList::new().with(Reg::R4)
+            }
+            .branch_kind(),
+            BranchKind::None
+        );
+        assert_eq!(
+            Instr::LdrImm {
+                rt: Reg::Pc,
+                rn: Reg::R0,
+                offset: 0
+            }
+            .branch_kind(),
+            BranchKind::LoadJump
+        );
+        assert_eq!(Instr::Nop.branch_kind(), BranchKind::None);
+    }
+
+    #[test]
+    fn narrow_wide_sizes() {
+        assert_eq!(Instr::Nop.size(), 2);
+        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 5 }.size(), 2);
+        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 500 }.size(), 4);
+        assert_eq!(
+            Instr::AddImm {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                imm: 1
+            }
+            .size(),
+            2
+        );
+        assert_eq!(
+            Instr::AddImm {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                imm: 100
+            }
+            .size(),
+            4
+        );
+        assert_eq!(
+            Instr::B {
+                target: Target::Abs(0)
+            }
+            .size(),
+            4
+        );
+        assert_eq!(Instr::Blx { rm: Reg::R2 }.size(), 2);
+    }
+
+    #[test]
+    fn fall_through() {
+        assert!(!Instr::B {
+            target: Target::Abs(0)
+        }
+        .falls_through());
+        assert!(Instr::BCond {
+            cond: Cond::Eq,
+            target: Target::Abs(0)
+        }
+        .falls_through());
+        assert!(Instr::Bl {
+            target: Target::Abs(0)
+        }
+        .falls_through());
+        assert!(!Instr::Bx { rm: Reg::Lr }.falls_through());
+        assert!(!Instr::Halt.falls_through());
+        assert!(Instr::Nop.falls_through());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Instr::BCond {
+                cond: Cond::Ne,
+                target: Target::label("loop")
+            }
+            .to_string(),
+            "bne loop"
+        );
+        assert_eq!(
+            Instr::Push {
+                list: RegList::new().with(Reg::R4).with(Reg::Lr)
+            }
+            .to_string(),
+            "push {r4, lr}"
+        );
+    }
+}

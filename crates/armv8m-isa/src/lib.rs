@@ -1,0 +1,48 @@
+//! # armv8m-isa — the T-lite instruction set
+//!
+//! A compact, Thumb-like subset of the ARMv8-M instruction set used by the
+//! RAP-Track reproduction: instruction types, binary encoding/decoding,
+//! a label-resolving two-pass assembler, and executable [`Image`]s.
+//!
+//! The design goal is *architectural fidelity where the paper needs it*:
+//! narrow/wide (2/4-byte) instruction sizing, `LR`/`PC` calling
+//! conventions, flag-setting arithmetic and the full branch taxonomy
+//! (direct, conditional, indirect call, `POP {…, PC}` returns, `LDR PC`
+//! jumps) that RAP-Track's offline phase classifies.
+//!
+//! ```
+//! use armv8m_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new();
+//! a.func("main");
+//! a.movi(Reg::R0, 10);
+//! a.label("loop");
+//! a.subi(Reg::R0, Reg::R0, 1);
+//! a.bne("loop");
+//! a.halt();
+//!
+//! let image = a.into_module().assemble(0x0)?;
+//! assert!(image.instr_at(0x0).is_some());
+//! println!("{}", image.disassemble());
+//! # Ok::<(), armv8m_isa::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod asm;
+mod cond;
+mod encode;
+mod error;
+mod image;
+mod instr;
+mod parse;
+mod reg;
+
+pub use asm::{Asm, Item, Module};
+pub use cond::{Cond, Flags};
+pub use encode::{decode, encode};
+pub use error::{AsmError, DecodeError, EncodeError};
+pub use image::Image;
+pub use instr::{BranchKind, Instr, Target, service};
+pub use parse::{ParseError, parse_instr, parse_module};
+pub use reg::{Reg, RegList};

@@ -1,0 +1,572 @@
+//! Text-assembly parser: the inverse of the `Display` implementations.
+//!
+//! Accepts the syntax the disassembler emits plus labels and
+//! directives, so `.tasm` files round-trip through the toolchain:
+//!
+//! ```text
+//! .func main
+//!     movw r0, #10
+//! loop:
+//!     subs r0, r0, #1
+//!     cmp r0, #0
+//!     bne loop
+//!     halt
+//! ```
+//!
+//! Comments start with `;`, `#` (at line start or after whitespace) or
+//! `//`. Directives: `.func NAME` (function entry) and
+//! `.loadaddr rX, TARGET` (the `LoadAddr` pseudo).
+
+use std::fmt;
+
+use crate::{Cond, Instr, Item, Module, Reg, RegList, Target};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a whole text-assembly module.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse_module(source: &str) -> Result<Module, ParseError> {
+    let mut items = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".func") {
+            let name = rest.trim();
+            if name.is_empty() || !is_ident(name) {
+                return Err(err(line_no, format!("bad function name `{name}`")));
+            }
+            items.push(Item::Func(name.to_owned()));
+        } else if let Some(rest) = line.strip_prefix(".loadaddr") {
+            let (rd, target) = parse_loadaddr(rest, line_no)?;
+            items.push(Item::LoadAddr { rd, target });
+        } else if let Some(name) = line.strip_suffix(':') {
+            let name = name.trim();
+            if !is_ident(name) {
+                return Err(err(line_no, format!("bad label `{name}`")));
+            }
+            items.push(Item::Label(name.to_owned()));
+        } else {
+            items.push(Item::Instr(parse_instr(line, line_no)?));
+        }
+    }
+    Ok(Module { items })
+}
+
+/// Parses a single instruction line (no label/directive).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the malformed token; the stored
+/// line number is the one supplied by the caller.
+pub fn parse_instr(line: &str, line_no: usize) -> Result<Instr, ParseError> {
+    let line = strip_comment(line).trim();
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+
+    let ops = || -> Result<Vec<String>, ParseError> { split_operands(rest, line_no) };
+
+    let instr = match mnemonic.as_str() {
+        "nop" => Instr::Nop,
+        "halt" => Instr::Halt,
+        "movw" => {
+            let o = ops()?;
+            expect_len(&o, 2, line_no)?;
+            Instr::MovImm {
+                rd: reg(&o[0], line_no)?,
+                imm: imm16(&o[1], line_no)?,
+            }
+        }
+        "movt" => {
+            let o = ops()?;
+            expect_len(&o, 2, line_no)?;
+            Instr::MovTop {
+                rd: reg(&o[0], line_no)?,
+                imm: imm16(&o[1], line_no)?,
+            }
+        }
+        "mov" => {
+            let o = ops()?;
+            expect_len(&o, 2, line_no)?;
+            Instr::MovReg {
+                rd: reg(&o[0], line_no)?,
+                rm: reg(&o[1], line_no)?,
+            }
+        }
+        "adds" | "subs" => {
+            let o = ops()?;
+            expect_len(&o, 3, line_no)?;
+            let rd = reg(&o[0], line_no)?;
+            let rn = reg(&o[1], line_no)?;
+            if o[2].starts_with('#') {
+                let imm = imm16(&o[2], line_no)?;
+                if mnemonic == "adds" {
+                    Instr::AddImm { rd, rn, imm }
+                } else {
+                    Instr::SubImm { rd, rn, imm }
+                }
+            } else {
+                let rm = reg(&o[2], line_no)?;
+                if mnemonic == "adds" {
+                    Instr::AddReg { rd, rn, rm }
+                } else {
+                    Instr::SubReg { rd, rn, rm }
+                }
+            }
+        }
+        "muls" | "udiv" | "ands" | "orrs" | "eors" => {
+            let o = ops()?;
+            expect_len(&o, 3, line_no)?;
+            let rd = reg(&o[0], line_no)?;
+            let rn = reg(&o[1], line_no)?;
+            let rm = reg(&o[2], line_no)?;
+            match mnemonic.as_str() {
+                "muls" => Instr::MulReg { rd, rn, rm },
+                "udiv" => Instr::UdivReg { rd, rn, rm },
+                "ands" => Instr::AndReg { rd, rn, rm },
+                "orrs" => Instr::OrrReg { rd, rn, rm },
+                _ => Instr::EorReg { rd, rn, rm },
+            }
+        }
+        "lsls" | "lsrs" | "asrs" => {
+            let o = ops()?;
+            expect_len(&o, 3, line_no)?;
+            let rd = reg(&o[0], line_no)?;
+            let rm = reg(&o[1], line_no)?;
+            let shift = imm16(&o[2], line_no)?;
+            if shift >= 32 {
+                return Err(err(line_no, "shift amount must be < 32"));
+            }
+            let shift = shift as u8;
+            match mnemonic.as_str() {
+                "lsls" => Instr::LslImm { rd, rm, shift },
+                "lsrs" => Instr::LsrImm { rd, rm, shift },
+                _ => Instr::AsrImm { rd, rm, shift },
+            }
+        }
+        "cmp" => {
+            let o = ops()?;
+            expect_len(&o, 2, line_no)?;
+            let rn = reg(&o[0], line_no)?;
+            if o[1].starts_with('#') {
+                Instr::CmpImm {
+                    rn,
+                    imm: imm16(&o[1], line_no)?,
+                }
+            } else {
+                Instr::CmpReg {
+                    rn,
+                    rm: reg(&o[1], line_no)?,
+                }
+            }
+        }
+        "ldr" | "str" | "ldrb" | "strb" => {
+            let (rt_str, mem) = rest
+                .split_once(',')
+                .ok_or_else(|| err(line_no, "expected `rt, [..]`"))?;
+            let rt = reg(rt_str.trim(), line_no)?;
+            let mem = parse_mem(mem.trim(), line_no)?;
+            match (mnemonic.as_str(), mem) {
+                ("ldr", Mem::Imm(rn, offset)) => Instr::LdrImm { rt, rn, offset },
+                ("ldr", Mem::Reg(rn, rm)) => Instr::LdrReg { rt, rn, rm },
+                ("str", Mem::Imm(rn, offset)) => Instr::StrImm { rt, rn, offset },
+                ("ldrb", Mem::Imm(rn, offset)) => Instr::LdrbImm { rt, rn, offset },
+                ("ldrb", Mem::Reg(rn, rm)) => Instr::LdrbReg { rt, rn, rm },
+                ("strb", Mem::Imm(rn, offset)) => Instr::StrbImm { rt, rn, offset },
+                (m, _) => {
+                    return Err(err(line_no, format!("`{m}` does not support this addressing form")));
+                }
+            }
+        }
+        "push" | "pop" => {
+            let list = parse_reglist(rest, line_no)?;
+            if mnemonic == "push" {
+                Instr::Push { list }
+            } else {
+                Instr::Pop { list }
+            }
+        }
+        "bl" => Instr::Bl {
+            target: parse_target(rest, line_no)?,
+        },
+        "blx" => Instr::Blx {
+            rm: reg(rest, line_no)?,
+        },
+        "bx" => Instr::Bx {
+            rm: reg(rest, line_no)?,
+        },
+        "b" => Instr::B {
+            target: parse_target(rest, line_no)?,
+        },
+        "sg" => {
+            let o = ops()?;
+            expect_len(&o, 2, line_no)?;
+            let service = imm16(&o[0], line_no)?;
+            if service > 255 {
+                return Err(err(line_no, "service id must fit in a byte"));
+            }
+            Instr::SecureGateway {
+                service: service as u8,
+                arg: reg(&o[1], line_no)?,
+            }
+        }
+        other => {
+            // Conditional branches: b<cond>.
+            if let Some(cond_str) = other.strip_prefix('b') {
+                if let Some(cond) = cond_from_str(cond_str) {
+                    return Ok(Instr::BCond {
+                        cond,
+                        target: parse_target(rest, line_no)?,
+                    });
+                }
+            }
+            return Err(err(line_no, format!("unknown mnemonic `{other}`")));
+        }
+    };
+    Ok(instr)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` only starts a comment at the line start (it is the immediate
+    // sigil elsewhere).
+    if line.trim_start().starts_with('#') {
+        return "";
+    }
+    let mut cut = line.len();
+    for pat in [";", "//"] {
+        if let Some(p) = line.find(pat) {
+            cut = cut.min(p);
+        }
+    }
+    &line[..cut]
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.chars().next().unwrap().is_ascii_digit()
+}
+
+fn split_operands(rest: &str, line_no: usize) -> Result<Vec<String>, ParseError> {
+    if rest.is_empty() {
+        return Err(err(line_no, "missing operands"));
+    }
+    Ok(rest.split(',').map(|s| s.trim().to_owned()).collect())
+}
+
+fn expect_len(ops: &[String], n: usize, line_no: usize) -> Result<(), ParseError> {
+    if ops.len() != n {
+        return Err(err(
+            line_no,
+            format!("expected {n} operands, found {}", ops.len()),
+        ));
+    }
+    Ok(())
+}
+
+fn reg(token: &str, line_no: usize) -> Result<Reg, ParseError> {
+    let t = token.trim().to_ascii_lowercase();
+    match t.as_str() {
+        "sp" => return Ok(Reg::Sp),
+        "lr" => return Ok(Reg::Lr),
+        "pc" => return Ok(Reg::Pc),
+        _ => {}
+    }
+    if let Some(num) = t.strip_prefix('r') {
+        if let Ok(i) = num.parse::<u8>() {
+            if let Some(r) = Reg::from_index(i) {
+                return Ok(r);
+            }
+        }
+    }
+    Err(err(line_no, format!("bad register `{token}`")))
+}
+
+fn number(token: &str, line_no: usize) -> Result<u32, ParseError> {
+    let t = token.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        t.parse::<u32>()
+    };
+    parsed.map_err(|_| err(line_no, format!("bad number `{token}`")))
+}
+
+fn imm16(token: &str, line_no: usize) -> Result<u16, ParseError> {
+    let t = token.trim();
+    let t = t.strip_prefix('#').unwrap_or(t);
+    let v = number(t, line_no)?;
+    u16::try_from(v).map_err(|_| err(line_no, format!("immediate `{token}` exceeds 16 bits")))
+}
+
+enum Mem {
+    Imm(Reg, u16),
+    Reg(Reg, Reg),
+}
+
+fn parse_mem(token: &str, line_no: usize) -> Result<Mem, ParseError> {
+    let inner = token
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line_no, format!("bad memory operand `{token}`")))?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    match parts.as_slice() {
+        [rn] => Ok(Mem::Imm(reg(rn, line_no)?, 0)),
+        [rn, off] if off.starts_with('#') => {
+            Ok(Mem::Imm(reg(rn, line_no)?, imm16(off, line_no)?))
+        }
+        [rn, rm] => Ok(Mem::Reg(reg(rn, line_no)?, reg(rm, line_no)?)),
+        [rn, rm, lsl] if lsl.to_ascii_lowercase().starts_with("lsl") => {
+            Ok(Mem::Reg(reg(rn, line_no)?, reg(rm, line_no)?))
+        }
+        _ => Err(err(line_no, format!("bad memory operand `{token}`"))),
+    }
+}
+
+fn parse_reglist(token: &str, line_no: usize) -> Result<RegList, ParseError> {
+    let inner = token
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| err(line_no, format!("bad register list `{token}`")))?;
+    let mut list = RegList::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        // Ranges like r4-r7.
+        if let Some((lo, hi)) = part.split_once('-') {
+            let lo = reg(lo, line_no)?;
+            let hi = reg(hi, line_no)?;
+            if lo.index() > hi.index() {
+                return Err(err(line_no, format!("bad register range `{part}`")));
+            }
+            for i in lo.index()..=hi.index() {
+                list = list.with(Reg::from_index(i).expect("bounded"));
+            }
+        } else {
+            list = list.with(reg(part, line_no)?);
+        }
+    }
+    Ok(list)
+}
+
+fn parse_target(token: &str, line_no: usize) -> Result<Target, ParseError> {
+    let t = token.trim();
+    if t.is_empty() {
+        return Err(err(line_no, "missing branch target"));
+    }
+    if t.starts_with("0x") || t.starts_with("0X") || t.chars().all(|c| c.is_ascii_digit()) {
+        Ok(Target::Abs(number(t, line_no)?))
+    } else if is_ident(t) {
+        Ok(Target::label(t))
+    } else {
+        Err(err(line_no, format!("bad branch target `{t}`")))
+    }
+}
+
+fn parse_loadaddr(rest: &str, line_no: usize) -> Result<(Reg, Target), ParseError> {
+    let (rd, target) = rest
+        .split_once(',')
+        .ok_or_else(|| err(line_no, "expected `.loadaddr rX, TARGET`"))?;
+    Ok((reg(rd, line_no)?, parse_target(target, line_no)?))
+}
+
+fn cond_from_str(s: &str) -> Option<Cond> {
+    Some(match s {
+        "eq" => Cond::Eq,
+        "ne" => Cond::Ne,
+        "cs" => Cond::Cs,
+        "cc" => Cond::Cc,
+        "mi" => Cond::Mi,
+        "pl" => Cond::Pl,
+        "vs" => Cond::Vs,
+        "vc" => Cond::Vc,
+        "hi" => Cond::Hi,
+        "ls" => Cond::Ls,
+        "ge" => Cond::Ge,
+        "lt" => Cond::Lt,
+        "gt" => Cond::Gt,
+        "le" => Cond::Le,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_whole_program() {
+        let src = r"
+; a comment
+.func main
+    movw r0, #10
+loop:
+    subs r0, r0, #1   ; decrement
+    cmp r0, #0
+    bne loop
+    bl helper
+    halt
+.func helper
+    push {r4, lr}
+    .loadaddr r3, main
+    pop {r4, pc}
+";
+        let module = parse_module(src).expect("parses");
+        let image = module.assemble(0).expect("assembles");
+        assert!(image.symbol("main").is_some());
+        assert!(image.symbol("loop").is_some());
+        assert!(image.symbol("helper").is_some());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        use crate::{Asm, Reg};
+        let mut a = Asm::new();
+        a.movi(Reg::R0, 300);
+        a.movt(Reg::R1, 0x2000);
+        a.mov(Reg::R8, Reg::Sp);
+        a.addi(Reg::R2, Reg::R3, 4);
+        a.add(Reg::R2, Reg::R3, Reg::R4);
+        a.subi(Reg::Sp, Reg::Sp, 16);
+        a.mul(Reg::R1, Reg::R1, Reg::R2);
+        a.udiv(Reg::R0, Reg::R1, Reg::R2);
+        a.and(Reg::R0, Reg::R0, Reg::R1);
+        a.orr(Reg::R0, Reg::R0, Reg::R1);
+        a.eor(Reg::R0, Reg::R0, Reg::R1);
+        a.lsl(Reg::R0, Reg::R1, 2);
+        a.lsr(Reg::R0, Reg::R1, 31);
+        a.asr(Reg::R7, Reg::R7, 8);
+        a.cmpi(Reg::R0, 1000);
+        a.cmp(Reg::R4, Reg::R5);
+        a.ldr(Reg::R0, Reg::R1, 8);
+        a.ldr_idx(Reg::R0, Reg::R1, Reg::R2);
+        a.str_(Reg::R0, Reg::Sp, 4);
+        a.ldrb(Reg::R3, Reg::R4, 1);
+        a.ldrb_idx(Reg::R3, Reg::R4, Reg::R5);
+        a.strb(Reg::R3, Reg::R4, 255);
+        a.push(&[Reg::R4, Reg::R5, Reg::Lr]);
+        a.pop(&[Reg::R4, Reg::R5, Reg::Pc]);
+        a.blx(Reg::R3);
+        a.bx(Reg::Lr);
+        a.nop();
+        a.sg(2, Reg::R2);
+        a.halt();
+        let module = a.into_module();
+        for item in &module.items {
+            let Item::Instr(instr) = item else { continue };
+            let text = instr.to_string();
+            let parsed = parse_instr(&text, 1)
+                .unwrap_or_else(|e| panic!("`{text}` fails to parse: {e}"));
+            assert_eq!(&parsed, instr, "`{text}`");
+        }
+    }
+
+    #[test]
+    fn branch_targets_parse_both_ways() {
+        assert_eq!(
+            parse_instr("b somewhere", 1).unwrap(),
+            Instr::B {
+                target: Target::label("somewhere")
+            }
+        );
+        assert_eq!(
+            parse_instr("beq 0x100", 1).unwrap(),
+            Instr::BCond {
+                cond: Cond::Eq,
+                target: Target::Abs(0x100)
+            }
+        );
+        assert_eq!(
+            parse_instr("bl 256", 1).unwrap(),
+            Instr::Bl {
+                target: Target::Abs(256)
+            }
+        );
+    }
+
+    #[test]
+    fn register_ranges_in_lists() {
+        let i = parse_instr("push {r4-r7, lr}", 1).unwrap();
+        let Instr::Push { list } = i else {
+            panic!("not a push")
+        };
+        for r in [Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::Lr] {
+            assert!(list.contains(r));
+        }
+        assert_eq!(list.len(), 5);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_module(".func main\n  bogus r0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse_module("movw r99, #1").unwrap_err();
+        assert!(e.message.contains("r99"));
+
+        let e = parse_module("cmp r0, #99999999").unwrap_err();
+        assert!(e.message.contains("16 bits"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let m = parse_module("; x\n\n// y\n# z\n nop ; trailing\n").unwrap();
+        assert_eq!(m.items.len(), 1);
+    }
+
+    #[test]
+    fn disassembly_of_real_image_reparses() {
+        use crate::{Asm, Reg};
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R0, 3);
+        a.label("l");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.bne("l");
+        a.halt();
+        let image = a.into_module().assemble(0).unwrap();
+        // Each disassembled instruction line reparses (with absolute
+        // targets).
+        for (_, instr) in image.instrs() {
+            let text = instr.to_string();
+            let reparsed = parse_instr(&text, 1)
+                .unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            assert_eq!(&reparsed, instr);
+        }
+    }
+}

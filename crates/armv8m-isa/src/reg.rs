@@ -1,0 +1,236 @@
+//! Core registers of the ARMv8-M programmer's model.
+
+use std::fmt;
+
+/// A core register (`R0`–`R12`, `SP`, `LR`, `PC`).
+///
+/// The numbering follows the architectural register file: `SP` is `R13`,
+/// `LR` is `R14` and `PC` is `R15`.
+///
+/// ```
+/// use armv8m_isa::Reg;
+/// assert_eq!(Reg::Lr.index(), 14);
+/// assert_eq!(Reg::from_index(3), Some(Reg::R3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // the numbered registers document themselves
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    /// Stack pointer (`R13`).
+    Sp = 13,
+    /// Link register (`R14`); holds the return address after a call.
+    Lr = 14,
+    /// Program counter (`R15`).
+    Pc = 15,
+}
+
+impl Reg {
+    /// All sixteen core registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::Sp,
+        Reg::Lr,
+        Reg::Pc,
+    ];
+
+    /// Returns the architectural register number (0–15).
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds a register from its architectural number.
+    ///
+    /// Returns `None` when `idx > 15`.
+    pub fn from_index(idx: u8) -> Option<Reg> {
+        Reg::ALL.get(idx as usize).copied()
+    }
+
+    /// Whether this is one of the "low" registers (`R0`–`R7`) addressable
+    /// by narrow 16-bit Thumb encodings.
+    pub fn is_low(self) -> bool {
+        self.index() < 8
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Sp => write!(f, "sp"),
+            Reg::Lr => write!(f, "lr"),
+            Reg::Pc => write!(f, "pc"),
+            r => write!(f, "r{}", r.index()),
+        }
+    }
+}
+
+/// A register list as used by `PUSH`/`POP`, stored as a 16-bit mask with
+/// bit *n* standing for `Rn`.
+///
+/// ```
+/// use armv8m_isa::{Reg, RegList};
+/// let list = RegList::new().with(Reg::R4).with(Reg::Lr);
+/// assert!(list.contains(Reg::R4));
+/// assert!(list.contains(Reg::Lr));
+/// assert_eq!(list.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegList(u16);
+
+impl RegList {
+    /// Creates an empty register list.
+    pub fn new() -> RegList {
+        RegList(0)
+    }
+
+    /// Creates a list from a raw 16-bit mask (bit *n* = `Rn`).
+    pub fn from_mask(mask: u16) -> RegList {
+        RegList(mask)
+    }
+
+    /// The raw 16-bit mask.
+    pub fn mask(self) -> u16 {
+        self.0
+    }
+
+    /// Returns a copy of the list with `reg` added.
+    #[must_use]
+    pub fn with(self, reg: Reg) -> RegList {
+        RegList(self.0 | 1 << reg.index())
+    }
+
+    /// Returns a copy of the list with `reg` removed.
+    #[must_use]
+    pub fn without(self, reg: Reg) -> RegList {
+        RegList(self.0 & !(1 << reg.index()))
+    }
+
+    /// Whether `reg` is in the list.
+    pub fn contains(self, reg: Reg) -> bool {
+        self.0 & (1 << reg.index()) != 0
+    }
+
+    /// Number of registers in the list.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the registers in ascending index order (the order in
+    /// which `POP` restores them and the reverse of `PUSH` store order).
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        Reg::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+impl FromIterator<Reg> for RegList {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegList {
+        iter.into_iter().fold(RegList::new(), RegList::with)
+    }
+}
+
+impl Extend<Reg> for RegList {
+    fn extend<I: IntoIterator<Item = Reg>>(&mut self, iter: I) {
+        for reg in iter {
+            *self = self.with(reg);
+        }
+    }
+}
+
+impl fmt::Display for RegList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for reg in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{reg}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for reg in Reg::ALL {
+            assert_eq!(Reg::from_index(reg.index()), Some(reg));
+        }
+        assert_eq!(Reg::from_index(16), None);
+    }
+
+    #[test]
+    fn low_registers() {
+        assert!(Reg::R0.is_low());
+        assert!(Reg::R7.is_low());
+        assert!(!Reg::R8.is_low());
+        assert!(!Reg::Pc.is_low());
+    }
+
+    #[test]
+    fn reglist_basic_ops() {
+        let list = RegList::new().with(Reg::R0).with(Reg::R4).with(Reg::Pc);
+        assert_eq!(list.len(), 3);
+        assert!(list.contains(Reg::Pc));
+        assert!(!list.contains(Reg::R1));
+        let list = list.without(Reg::Pc);
+        assert!(!list.contains(Reg::Pc));
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn reglist_iter_order() {
+        let list: RegList = [Reg::Lr, Reg::R2, Reg::R9].into_iter().collect();
+        let order: Vec<Reg> = list.iter().collect();
+        assert_eq!(order, vec![Reg::R2, Reg::R9, Reg::Lr]);
+    }
+
+    #[test]
+    fn reglist_display() {
+        let list = RegList::new().with(Reg::R4).with(Reg::R5).with(Reg::Lr);
+        assert_eq!(list.to_string(), "{r4, r5, lr}");
+        assert_eq!(RegList::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn reglist_mask_roundtrip() {
+        let list = RegList::from_mask(0b1000_0000_0001_0001);
+        assert!(list.contains(Reg::R0));
+        assert!(list.contains(Reg::R4));
+        assert!(list.contains(Reg::Pc));
+        assert_eq!(list.mask(), 0b1000_0000_0001_0001);
+    }
+}

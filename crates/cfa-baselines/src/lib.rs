@@ -1,0 +1,143 @@
+//! # cfa-baselines — the comparison systems from the paper's evaluation
+//!
+//! * [`run_plain`] — the unmodified application, no CFA (Fig. 8's
+//!   runtime baseline).
+//! * [`run_naive_mtb`] — MTB `TSTARTEN` tracing of the unmodified
+//!   binary: zero runtime overhead, enormous `CF_Log` (Fig. 1a/9's
+//!   size baseline).
+//! * [`instrument`] + [`run`] — a TRACES-style instrumentation-based
+//!   CFA: every tracked event is a Secure-World gateway call
+//!   (Fig. 1b/8/9/10's state-of-the-art comparison), with
+//!   [`TracesConfig::instrumentation_equivalent`] providing the §V-B
+//!   "same events, instrumented" variant.
+//!
+//! All baselines reuse `rap-link`'s branch classification so every
+//! system logs a comparable event set; the differences are in capture
+//! mechanism and encoding, exactly as in the paper.
+
+#![warn(missing_docs)]
+
+mod naive;
+mod traces;
+
+pub use naive::{NaiveMtbRun, PlainRun, run_naive_mtb, run_plain};
+pub use traces::{
+    InstrumentError, TracesConfig, TracesProgram, TracesRun, TracesWorld, instrument, run,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armv8m_isa::{Asm, Reg};
+    use rap_link::{LinkOptions, link};
+    use rap_track::{CfaEngine, Challenge, EngineConfig, device_key};
+
+    /// The headline comparison on one synthetic workload: RAP-Track
+    /// beats TRACES on runtime while staying close on log size, and
+    /// both beat naive MTB on log size.
+    #[test]
+    fn headline_comparison_shape() {
+        let build = |a: &mut Asm| {
+            a.func("main");
+            a.movi(Reg::R0, 100);
+            a.movi(Reg::R1, 0);
+            a.label("loop");
+            a.cmpi(Reg::R1, 50);
+            a.beq("skip");
+            a.addi(Reg::R1, Reg::R1, 1);
+            a.label("skip");
+            a.bl("tick");
+            a.subi(Reg::R0, Reg::R0, 1);
+            a.cmpi(Reg::R0, 0);
+            a.bne("loop");
+            a.halt();
+            a.func("tick");
+            a.addi(Reg::R2, Reg::R2, 1);
+            a.ret();
+        };
+        let mut a = Asm::new();
+        build(&mut a);
+        let module = a.into_module();
+        let plain_image = module.assemble(0).unwrap();
+
+        // Baselines.
+        let plain = run_plain(&plain_image, 1_000_000, |_| {}).unwrap();
+        let naive = run_naive_mtb(&plain_image, 1_000_000, |_| {}).unwrap();
+        let traces_prog = instrument(&module, 0, TracesConfig::default()).unwrap();
+        let traces = run(&traces_prog, 1_000_000, |_| {}).unwrap();
+
+        // RAP-Track.
+        let linked = link(&module, 0, LinkOptions::default()).unwrap();
+        let engine = CfaEngine::new(device_key("cmp"));
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        let att = engine
+            .attest(
+                &mut machine,
+                &linked.map,
+                Challenge::from_seed(0),
+                EngineConfig::default(),
+            )
+            .unwrap();
+        let rap_cycles = att.outcome.cycles;
+        let rap_log = att.cflog_bytes();
+
+        // Naive MTB: no overhead, biggest log.
+        assert_eq!(naive.cycles, plain.cycles);
+        assert!(naive.cflog_bytes > rap_log);
+        assert!(naive.cflog_bytes > traces.cflog_bytes);
+
+        // TRACES: much slower than both.
+        assert!(traces.cycles > naive.cycles);
+        assert!(traces.cycles > rap_cycles);
+
+        // RAP-Track: modest overhead over plain.
+        assert!(rap_cycles >= plain.cycles);
+        let rap_overhead = rap_cycles as f64 / plain.cycles as f64;
+        let traces_overhead = traces.cycles as f64 / plain.cycles as f64;
+        assert!(
+            traces_overhead / rap_overhead > 2.0,
+            "TRACES {traces_overhead:.2}× vs RAP {rap_overhead:.2}×"
+        );
+    }
+
+    /// §V-B: instrumentation logging the exact RAP-Track event set
+    /// produces a same-sized log at a much worse runtime.
+    #[test]
+    fn instrumentation_equivalent_matches_log_but_not_runtime() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R0, 60);
+        a.movi(Reg::R1, 0);
+        a.label("loop");
+        a.cmpi(Reg::R1, 30);
+        a.beq("skip");
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.label("skip");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmpi(Reg::R0, 0);
+        a.bne("loop");
+        a.halt();
+        let module = a.into_module();
+
+        let equiv_prog =
+            instrument(&module, 0, TracesConfig::instrumentation_equivalent()).unwrap();
+        let equiv = run(&equiv_prog, 1_000_000, |_| {}).unwrap();
+
+        let linked = link(&module, 0, LinkOptions::default()).unwrap();
+        let engine = CfaEngine::new(device_key("cmp"));
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        let att = engine
+            .attest(
+                &mut machine,
+                &linked.map,
+                Challenge::from_seed(0),
+                EngineConfig::default(),
+            )
+            .unwrap();
+
+        // Same events → same log size (both 8 bytes/event, no RLE).
+        assert_eq!(equiv.cflog_bytes, att.cflog_bytes());
+        // But instrumentation pays a context switch per event.
+        assert!(equiv.cycles > 2 * att.outcome.cycles);
+    }
+}

@@ -1,0 +1,147 @@
+//! The *naive MTB* baseline (paper §I, Fig. 1) and the plain
+//! no-CFA baseline.
+//!
+//! Naive MTB sets `TSTARTEN` in `MTB_MASTER` and records **every**
+//! non-sequential transfer of the unmodified application — no
+//! instrumentation, no runtime overhead, but a `CF_Log` that includes
+//! all deterministic branches (direct jumps, calls, static loop back
+//! edges), 1.9–217× larger than instrumentation-based CFA on the
+//! paper's applications.
+
+use armv8m_isa::Image;
+use mcu_sim::{ExecError, Machine, NullSecureWorld};
+use trace_units::TraceEntry;
+
+/// Result of a plain (no CFA) run — the Fig. 8 runtime baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlainRun {
+    /// CPU cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instrs: u64,
+}
+
+/// Runs the unmodified application with no CFA at all.
+///
+/// # Errors
+///
+/// Propagates execution faults.
+pub fn run_plain(
+    image: &Image,
+    max_instrs: u64,
+    prep: impl FnOnce(&mut Machine),
+) -> Result<PlainRun, ExecError> {
+    let mut machine = Machine::new(image.clone());
+    prep(&mut machine);
+    let outcome = machine.run(&mut NullSecureWorld, max_instrs)?;
+    Ok(PlainRun {
+        cycles: outcome.cycles,
+        instrs: outcome.instrs,
+    })
+}
+
+/// Result of a naive-MTB run.
+#[derive(Debug, Clone)]
+pub struct NaiveMtbRun {
+    /// CPU cycles (identical to the plain baseline: zero overhead).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instrs: u64,
+    /// Total transfers recorded (monotonic, unbounded by the buffer).
+    pub entries: u64,
+    /// `CF_Log` bytes (`entries × 8`).
+    pub cflog_bytes: usize,
+    /// Transmissions needed with the prototype's 4 KiB MTB SRAM
+    /// (§V-B: the buffer must be drained every 512 packets).
+    pub transmissions: usize,
+    /// The most recent packets still in the buffer at halt.
+    pub tail: Vec<TraceEntry>,
+}
+
+/// Runs the unmodified application with the MTB tracing everything.
+///
+/// # Errors
+///
+/// Propagates execution faults.
+pub fn run_naive_mtb(
+    image: &Image,
+    max_instrs: u64,
+    prep: impl FnOnce(&mut Machine),
+) -> Result<NaiveMtbRun, ExecError> {
+    let mut machine = Machine::new(image.clone());
+    prep(&mut machine);
+    machine.fabric.mtb_mut().set_master_trace(true);
+    let outcome = machine.run(&mut NullSecureWorld, max_instrs)?;
+    let entries = machine.fabric.mtb().total_recorded();
+    let cflog_bytes = entries as usize * TraceEntry::BYTES;
+    let capacity_bytes = machine.fabric.mtb().config().capacity * TraceEntry::BYTES;
+    let transmissions = cflog_bytes.div_ceil(capacity_bytes).max(1);
+    Ok(NaiveMtbRun {
+        cycles: outcome.cycles,
+        instrs: outcome.instrs,
+        entries,
+        cflog_bytes,
+        transmissions,
+        tail: machine.fabric.mtb().entries(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armv8m_isa::{Asm, Reg};
+
+    fn loopy_image() -> Image {
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R0, 100);
+        a.label("loop");
+        a.bl("tick");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmpi(Reg::R0, 0);
+        a.bne("loop");
+        a.halt();
+        a.func("tick");
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.ret();
+        a.into_module().assemble(0).unwrap()
+    }
+
+    #[test]
+    fn naive_mtb_adds_no_cycles() {
+        let image = loopy_image();
+        let plain = run_plain(&image, 100_000, |_| {}).unwrap();
+        let naive = run_naive_mtb(&image, 100_000, |_| {}).unwrap();
+        assert_eq!(plain.cycles, naive.cycles);
+        assert_eq!(plain.instrs, naive.instrs);
+    }
+
+    #[test]
+    fn naive_mtb_logs_all_transfer_kinds() {
+        let image = loopy_image();
+        let naive = run_naive_mtb(&image, 100_000, |_| {}).unwrap();
+        // Per iteration: BL (call) + BX LR (return) + BNE taken.
+        // 100 calls + 100 returns + 99 taken latches.
+        assert_eq!(naive.entries, 100 + 100 + 99);
+        assert_eq!(naive.cflog_bytes, 299 * 8);
+        // 299 * 8 = 2392 bytes < 4 KiB → one transmission.
+        assert_eq!(naive.transmissions, 1);
+    }
+
+    #[test]
+    fn transmissions_scale_with_log_size() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R0, 2000);
+        a.label("loop");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmpi(Reg::R0, 0);
+        a.bne("loop");
+        a.halt();
+        let image = a.into_module().assemble(0).unwrap();
+        let naive = run_naive_mtb(&image, 100_000, |_| {}).unwrap();
+        assert_eq!(naive.entries, 1999);
+        // 1999 × 8 = 15992 bytes over a 4096-byte buffer → 4 drains.
+        assert_eq!(naive.transmissions, 4);
+    }
+}

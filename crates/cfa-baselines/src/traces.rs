@@ -1,0 +1,633 @@
+//! A TRACES-style instrumentation-based CFA baseline.
+//!
+//! TRACES (Caulfield et al., 2024) is the state-of-the-art TEE-based CFA
+//! the paper compares against: every non-deterministic transfer calls a
+//! Secure-World logger through a secure gateway, paying a full context
+//! switch per logged event, with software-side `CF_Log` optimizations
+//! (loop-condition folding, run-length compression of repeated entries).
+//!
+//! The instrumentation pass reuses RAP-Track's branch classification so
+//! both systems log the *same* event set — this also serves as the
+//! "instrumentation that records the exact branches tracked by
+//! RAP-Track" comparison of §V-B. The differences are purely in *how*:
+//!
+//! | | RAP-Track | TRACES |
+//! |---|---|---|
+//! | event capture | MTB hardware, in parallel | `SG` call, context switch |
+//! | entry size | 8-byte MTB packet | 4-byte software record |
+//! | compression | none (hardware writes raw) | RLE on repeated records |
+
+use armv8m_isa::{AsmError, Image, Instr, Item, Module, Reg, Target, service};
+use mcu_sim::{ExecError, Machine, SecureEnv, SecureWorld, cycles};
+use rap_link::{Cfg, CfgError, ClassifyOptions, Disposition, LoopPlanKind, classify};
+
+/// Instrumentation/logging configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracesConfig {
+    /// Classification switches (kept aligned with RAP-Track's).
+    pub classify: ClassifyOptions,
+    /// Run-length-compress repeated identical records (a TRACES
+    /// optimization; disable for the §V-B instrumentation-equivalent
+    /// baseline).
+    pub rle: bool,
+    /// Bytes per uncompressed log record (4 for TRACES' software
+    /// encoding; 8 for the MTB-equivalent comparison).
+    pub entry_bytes: usize,
+    /// Secure-World log buffer capacity in bytes before a partial
+    /// report must be transmitted (4 KiB as in the prototype).
+    pub buffer_bytes: usize,
+}
+
+impl Default for TracesConfig {
+    fn default() -> TracesConfig {
+        TracesConfig {
+            classify: ClassifyOptions::default(),
+            rle: true,
+            entry_bytes: 4,
+            buffer_bytes: 4096,
+        }
+    }
+}
+
+impl TracesConfig {
+    /// The §V-B variant: logs the exact RAP-Track event set with the
+    /// same per-entry cost and no compression, isolating the runtime
+    /// difference between instrumentation and parallel tracking.
+    pub fn instrumentation_equivalent() -> TracesConfig {
+        TracesConfig {
+            rle: false,
+            entry_bytes: trace_units::TraceEntry::BYTES,
+            ..TracesConfig::default()
+        }
+    }
+}
+
+/// Errors from the instrumentation pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstrumentError {
+    /// CFG recovery failed.
+    Cfg(CfgError),
+    /// Re-assembly failed.
+    Asm(AsmError),
+}
+
+impl std::fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstrumentError::Cfg(e) => write!(f, "cfg recovery failed: {e}"),
+            InstrumentError::Asm(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
+
+impl From<CfgError> for InstrumentError {
+    fn from(e: CfgError) -> InstrumentError {
+        InstrumentError::Cfg(e)
+    }
+}
+
+impl From<AsmError> for InstrumentError {
+    fn from(e: AsmError) -> InstrumentError {
+        InstrumentError::Asm(e)
+    }
+}
+
+/// An instrumented application ready to run under the TRACES logger.
+#[derive(Debug, Clone)]
+pub struct TracesProgram {
+    /// The instrumented module.
+    pub module: Module,
+    /// The assembled image.
+    pub image: Image,
+    /// Size of the uninstrumented binary in bytes.
+    pub original_size: u32,
+    /// Logging configuration.
+    pub config: TracesConfig,
+}
+
+impl TracesProgram {
+    /// Code-size overhead in bytes (Fig. 10 metric).
+    pub fn size_overhead(&self) -> u32 {
+        (self.image.end() - self.image.base()).saturating_sub(self.original_size)
+    }
+}
+
+/// Instruments `module` with TRACES-style secure-gateway logging calls.
+///
+/// # Errors
+///
+/// Returns [`InstrumentError`] when CFG recovery or re-assembly fails.
+pub fn instrument(
+    module: &Module,
+    base: u32,
+    config: TracesConfig,
+) -> Result<TracesProgram, InstrumentError> {
+    let original_size = module.size();
+    let cfg = Cfg::build(module)?;
+    let cls = classify(&cfg, config.classify);
+
+    let mut sg_at_header: Vec<Option<usize>> = vec![None; cfg.nodes.len()];
+    for (p, plan) in cls.loop_plans.iter().enumerate() {
+        if plan.kind == LoopPlanKind::Logged {
+            sg_at_header[plan.header] = Some(p);
+        }
+    }
+
+    let mut out: Vec<Item> = Vec::with_capacity(module.items.len() * 2);
+    let mut stubs: Vec<Item> = Vec::new();
+    let mut stub_id = 0usize;
+
+    for (i, node) in cfg.nodes.iter().enumerate() {
+        if let Some(p) = sg_at_header[i] {
+            out.push(Item::Instr(Instr::SecureGateway {
+                service: service::LOG_LOOP_COND,
+                arg: cls.loop_plans[p].iter,
+            }));
+        }
+        for label in &node.labels {
+            if node.func_entry.as_deref() == Some(label.as_str()) {
+                out.push(Item::Func(label.clone()));
+            } else {
+                out.push(Item::Label(label.clone()));
+            }
+        }
+
+        let instr = match &node.op {
+            rap_link::FlatOp::LoadAddr { rd, target } => {
+                out.push(Item::LoadAddr {
+                    rd: *rd,
+                    target: target.clone(),
+                });
+                continue;
+            }
+            rap_link::FlatOp::Instr(instr) => instr,
+        };
+
+        match cls.dispositions[i] {
+            Disposition::Keep
+            | Disposition::SimpleLoopLatch { .. }
+            | Disposition::StaticLoopLatch { .. } => out.push(Item::Instr(instr.clone())),
+            Disposition::IndirectCall => {
+                let Instr::Blx { rm } = instr else {
+                    unreachable!()
+                };
+                out.push(Item::Instr(Instr::SecureGateway {
+                    service: service::LOG_INDIRECT,
+                    arg: *rm,
+                }));
+                out.push(Item::Instr(instr.clone()));
+            }
+            Disposition::ReturnPop => {
+                let Instr::Pop { list } = instr else {
+                    unreachable!()
+                };
+                // The return address sits above the other popped
+                // registers: offset = 4 × (n - 1).
+                let offset = 4 * (list.len() as u16 - 1);
+                out.push(Item::Instr(Instr::LdrImm {
+                    rt: Reg::R12,
+                    rn: Reg::Sp,
+                    offset,
+                }));
+                out.push(Item::Instr(Instr::SecureGateway {
+                    service: service::LOG_RETURN,
+                    arg: Reg::R12,
+                }));
+                out.push(Item::Instr(instr.clone()));
+            }
+            Disposition::LoadJump => {
+                let probe = match instr {
+                    Instr::LdrImm { rn, offset, .. } => Instr::LdrImm {
+                        rt: Reg::R12,
+                        rn: *rn,
+                        offset: *offset,
+                    },
+                    Instr::LdrReg { rn, rm, .. } => Instr::LdrReg {
+                        rt: Reg::R12,
+                        rn: *rn,
+                        rm: *rm,
+                    },
+                    _ => unreachable!(),
+                };
+                out.push(Item::Instr(probe));
+                out.push(Item::Instr(Instr::SecureGateway {
+                    service: service::LOG_INDIRECT,
+                    arg: Reg::R12,
+                }));
+                out.push(Item::Instr(instr.clone()));
+            }
+            Disposition::IndirectJump => {
+                let Instr::Bx { rm } = instr else {
+                    unreachable!()
+                };
+                out.push(Item::Instr(Instr::SecureGateway {
+                    service: service::LOG_INDIRECT,
+                    arg: *rm,
+                }));
+                out.push(Item::Instr(instr.clone()));
+            }
+            Disposition::CondTaken => {
+                let Instr::BCond { cond, target } = instr else {
+                    unreachable!()
+                };
+                let stub = format!("__traces_stub_{stub_id}");
+                stub_id += 1;
+                out.push(Item::Instr(Instr::BCond {
+                    cond: *cond,
+                    target: Target::label(stub.clone()),
+                }));
+                stubs.push(Item::Label(stub));
+                stubs.push(Item::Instr(Instr::SecureGateway {
+                    service: service::LOG_COND_OUTCOME,
+                    arg: Reg::R0,
+                }));
+                stubs.push(Item::Instr(Instr::B {
+                    target: target.clone(),
+                }));
+            }
+            Disposition::LoopForward => {
+                // The conditional stays; the continue path logs itself.
+                out.push(Item::Instr(instr.clone()));
+                out.push(Item::Instr(Instr::SecureGateway {
+                    service: service::LOG_COND_OUTCOME,
+                    arg: Reg::R0,
+                }));
+            }
+            Disposition::CondBoth => {
+                // Both directions logged (parity with RAP-Track's
+                // disambiguation instrumentation).
+                let Instr::BCond { cond, target } = instr else {
+                    unreachable!()
+                };
+                let stub = format!("__traces_stub_{stub_id}");
+                stub_id += 1;
+                out.push(Item::Instr(Instr::BCond {
+                    cond: *cond,
+                    target: Target::label(stub.clone()),
+                }));
+                out.push(Item::Instr(Instr::SecureGateway {
+                    service: service::LOG_COND_OUTCOME,
+                    arg: Reg::R0,
+                }));
+                stubs.push(Item::Label(stub));
+                stubs.push(Item::Instr(Instr::SecureGateway {
+                    service: service::LOG_COND_OUTCOME,
+                    arg: Reg::R0,
+                }));
+                stubs.push(Item::Instr(Instr::B {
+                    target: target.clone(),
+                }));
+            }
+        }
+    }
+
+    out.extend(stubs);
+    let module = Module { items: out };
+    let image = module.assemble(base)?;
+    Ok(TracesProgram {
+        module,
+        image,
+        original_size,
+        config,
+    })
+}
+
+/// The TRACES Secure-World logger: appends software records, applies
+/// RLE, and transmits a partial report whenever the 4 KiB log buffer
+/// fills.
+#[derive(Debug, Clone)]
+pub struct TracesWorld {
+    config: TracesConfig,
+    /// (record word, repeat count) pairs since the last flush.
+    run: Vec<(u32, u32)>,
+    buffered_bytes: usize,
+    /// Total `CF_Log` bytes produced across the whole run.
+    pub total_bytes: usize,
+    /// Total logged events before compression.
+    pub events: u64,
+    /// Partial + final report transmissions.
+    pub transmissions: usize,
+}
+
+impl TracesWorld {
+    /// Creates a logger with the given configuration.
+    pub fn new(config: TracesConfig) -> TracesWorld {
+        TracesWorld {
+            config,
+            run: Vec::new(),
+            buffered_bytes: 0,
+            total_bytes: 0,
+            events: 0,
+            transmissions: 0,
+        }
+    }
+
+    fn push(&mut self, word: u32) -> u64 {
+        self.events += 1;
+        let mut added = self.config.entry_bytes;
+        if self.config.rle {
+            if let Some(last) = self.run.last_mut() {
+                if last.0 == word {
+                    // Extending a run: the count field was already
+                    // accounted the first time the run doubled.
+                    if last.1 == 1 {
+                        added = 4; // count word materializes
+                    } else {
+                        added = 0;
+                    }
+                    last.1 += 1;
+                    self.buffered_bytes += added;
+                    self.total_bytes += added;
+                    return cycles::LOG_APPEND;
+                }
+            }
+        }
+        self.run.push((word, 1));
+        self.buffered_bytes += added;
+        self.total_bytes += added;
+        let mut cost = cycles::LOG_APPEND;
+        if self.buffered_bytes >= self.config.buffer_bytes {
+            cost += self.flush();
+        }
+        cost
+    }
+
+    fn flush(&mut self) -> u64 {
+        let bytes = self.buffered_bytes;
+        self.run.clear();
+        self.buffered_bytes = 0;
+        self.transmissions += 1;
+        cycles::REPORT_FIXED + cycles::REPORT_PER_BYTE * bytes as u64
+    }
+
+    /// Finishes the run: transmits the final report and returns the
+    /// total transmission count.
+    pub fn finalize(&mut self) -> usize {
+        if self.buffered_bytes > 0 || self.transmissions == 0 {
+            self.flush();
+        }
+        self.transmissions
+    }
+}
+
+impl SecureWorld for TracesWorld {
+    fn on_gateway(
+        &mut self,
+        svc: u8,
+        arg: u32,
+        env: &mut SecureEnv<'_>,
+    ) -> Result<u64, ExecError> {
+        let cost = match svc {
+            service::LOG_LOOP_COND | service::LOG_RETURN | service::LOG_INDIRECT => self.push(arg),
+            // Conditional outcomes are identified by the gateway's own
+            // address (one per site).
+            service::LOG_COND_OUTCOME => self.push(env.pc),
+            other => {
+                return Err(ExecError::UnknownService {
+                    service: other,
+                    pc: env.pc,
+                });
+            }
+        };
+        Ok(cost)
+    }
+}
+
+/// The result of one instrumented run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracesRun {
+    /// CPU cycles including all context switches.
+    pub cycles: u64,
+    /// Instructions retired (instrumented binary).
+    pub instrs: u64,
+    /// Total `CF_Log` bytes.
+    pub cflog_bytes: usize,
+    /// Logged events (pre-compression).
+    pub events: u64,
+    /// Report transmissions.
+    pub transmissions: usize,
+}
+
+/// Runs an instrumented program to completion.
+///
+/// `prep` can attach devices or otherwise prepare the machine.
+///
+/// # Errors
+///
+/// Propagates execution faults.
+pub fn run(
+    program: &TracesProgram,
+    max_instrs: u64,
+    prep: impl FnOnce(&mut Machine),
+) -> Result<TracesRun, ExecError> {
+    let mut machine = Machine::new(program.image.clone());
+    prep(&mut machine);
+    let mut world = TracesWorld::new(program.config);
+    let outcome = machine.run(&mut world, max_instrs)?;
+    let transmissions = world.finalize();
+    Ok(TracesRun {
+        cycles: outcome.cycles,
+        instrs: outcome.instrs,
+        cflog_bytes: world.total_bytes,
+        events: world.events,
+        transmissions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armv8m_isa::Asm;
+
+    fn sample_module() -> Module {
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R1, 3);
+        a.label("loop");
+        a.cmpi(Reg::R2, 9);
+        a.beq("skip"); // internal conditional → general loop
+        a.addi(Reg::R2, Reg::R2, 1);
+        a.label("skip");
+        a.subi(Reg::R1, Reg::R1, 1);
+        a.cmpi(Reg::R1, 0);
+        a.bne("loop");
+        a.halt();
+        a.into_module()
+    }
+
+    #[test]
+    fn instrumentation_grows_code() {
+        let module = sample_module();
+        let program = instrument(&module, 0, TracesConfig::default()).expect("instruments");
+        assert!(program.size_overhead() > 0);
+    }
+
+    #[test]
+    fn run_logs_each_tracked_event() {
+        let module = sample_module();
+        let program = instrument(&module, 0, TracesConfig::default()).expect("instruments");
+        let run = run(&program, 100_000, |_| {}).expect("runs");
+        // Latch taken twice (3 iterations) + internal conditional never
+        // taken (R2 counts 1..3, never 9) → 2 events.
+        assert_eq!(run.events, 2);
+        assert!(run.cflog_bytes > 0);
+        assert_eq!(run.transmissions, 1);
+        // Context switches dominate: ≥ 2 × round trip.
+        assert!(run.cycles > 2 * cycles::CostModel::default().gateway_round_trip());
+    }
+
+    #[test]
+    fn rle_compresses_repeated_outcomes() {
+        // A tight general loop: the latch logs the same site each
+        // iteration, so RLE collapses it to one (word, count) pair.
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R1, 50);
+        a.label("loop");
+        a.cmpi(Reg::R2, 99);
+        a.beq("skip");
+        a.addi(Reg::R2, Reg::R2, 1);
+        a.label("skip");
+        a.subi(Reg::R1, Reg::R1, 1);
+        a.cmpi(Reg::R1, 0);
+        a.bne("loop");
+        a.halt();
+        let module = a.into_module();
+
+        let rle = instrument(&module, 0, TracesConfig::default()).unwrap();
+        let rle_run = run(&rle, 100_000, |_| {}).unwrap();
+
+        let raw = instrument(
+            &module,
+            0,
+            TracesConfig {
+                rle: false,
+                ..TracesConfig::default()
+            },
+        )
+        .unwrap();
+        let raw_run = run(&raw, 100_000, |_| {}).unwrap();
+
+        assert_eq!(rle_run.events, raw_run.events);
+        assert!(
+            rle_run.cflog_bytes < raw_run.cflog_bytes / 4,
+            "rle {} vs raw {}",
+            rle_run.cflog_bytes,
+            raw_run.cflog_bytes
+        );
+    }
+
+    #[test]
+    fn instrumentation_preserves_semantics() {
+        // The instrumented program computes the same result.
+        let module = sample_module();
+        let plain_image = module.assemble(0).unwrap();
+        let mut plain = Machine::new(plain_image);
+        plain
+            .run(&mut mcu_sim::NullSecureWorld, 100_000)
+            .expect("plain runs");
+
+        let program = instrument(&module, 0, TracesConfig::default()).unwrap();
+        let mut machine = Machine::new(program.image.clone());
+        let mut world = TracesWorld::new(program.config);
+        machine.run(&mut world, 100_000).expect("instrumented runs");
+
+        for r in [Reg::R1, Reg::R2] {
+            assert_eq!(machine.cpu.reg(r), plain.cpu.reg(r), "{r}");
+        }
+    }
+
+    #[test]
+    fn pop_return_logging_reads_correct_slot() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.bl("f");
+        a.halt();
+        a.func("f");
+        a.push(&[Reg::R4, Reg::R5, Reg::Lr]);
+        a.movi(Reg::R4, 1);
+        a.pop(&[Reg::R4, Reg::R5, Reg::Pc]);
+        let module = a.into_module();
+        let program = instrument(&module, 0, TracesConfig::default()).unwrap();
+        let mut machine = Machine::new(program.image.clone());
+        let mut world = TracesWorld::new(program.config);
+        machine.run(&mut world, 10_000).expect("runs");
+        // One return event, logging the correct return address (the
+        // instruction after BL f = main base + 4).
+        assert_eq!(world.events, 1);
+        let logged = world.run[0].0;
+        assert_eq!(logged, program.image.symbol("main").unwrap() + 4);
+    }
+
+    #[test]
+    fn rle_run_boundaries_account_bytes_exactly() {
+        let mut world = TracesWorld::new(TracesConfig::default());
+        // First record: 4 bytes; extending to a run: +4 once; further
+        // extensions: free.
+        assert!(world.push(7) > 0);
+        assert_eq!(world.total_bytes, 4);
+        world.push(7);
+        assert_eq!(world.total_bytes, 8);
+        world.push(7);
+        assert_eq!(world.total_bytes, 8);
+        // A different record starts a new 4-byte entry.
+        world.push(9);
+        assert_eq!(world.total_bytes, 12);
+        assert_eq!(world.events, 4);
+    }
+
+    #[test]
+    fn unknown_service_is_rejected() {
+        use mcu_sim::SecureWorld as _;
+        let mut world = TracesWorld::new(TracesConfig::default());
+        let mut fabric = trace_units::TraceFabric::default();
+        let mut env = mcu_sim::SecureEnv {
+            fabric: &mut fabric,
+            pc: 0x40,
+            cycles: 0,
+        };
+        assert!(matches!(
+            world.on_gateway(0xEE, 0, &mut env),
+            Err(mcu_sim::ExecError::UnknownService { service: 0xEE, .. })
+        ));
+    }
+
+    #[test]
+    fn finalize_always_reports_at_least_once() {
+        let mut world = TracesWorld::new(TracesConfig::default());
+        assert_eq!(world.finalize(), 1, "empty session still transmits");
+        let mut world = TracesWorld::new(TracesConfig::default());
+        world.push(1);
+        assert_eq!(world.finalize(), 1);
+    }
+
+    #[test]
+    fn buffer_fill_forces_transmissions() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R1, 200);
+        a.label("loop");
+        a.cmpi(Reg::R2, 9999);
+        a.beq("skip");
+        a.addi(Reg::R2, Reg::R2, 1);
+        a.label("skip");
+        a.subi(Reg::R1, Reg::R1, 1);
+        a.cmpi(Reg::R1, 0);
+        a.bne("loop");
+        a.halt();
+        let program = instrument(
+            &a.into_module(),
+            0,
+            TracesConfig {
+                rle: false,
+                buffer_bytes: 64,
+                ..TracesConfig::default()
+            },
+        )
+        .unwrap();
+        let run = run(&program, 1_000_000, |_| {}).unwrap();
+        assert!(run.transmissions > 5, "got {}", run.transmissions);
+    }
+}

@@ -1,0 +1,412 @@
+//! # rap-cli — the file-driven RAP-Track toolchain
+//!
+//! Everything the library pipeline does, driven by files, so the whole
+//! paper workflow runs from a shell:
+//!
+//! ```text
+//! rap link app.tasm -o app.img -m app.map     # offline phase
+//! rap disasm app.img                          # inspect the layout
+//! rap attest app.img app.map --chal 7 -o session.rpt
+//! rap verify app.img app.map session.rpt --chal 7
+//! ```
+//!
+//! The command implementations live here (library form, fully tested);
+//! `main.rs` is a thin argv adapter.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use armv8m_isa::{Image, parse_module};
+use rap_link::{ClassifyOptions, LinkOptions, TransformOptions, link, read_map, write_map};
+use rap_track::{
+    CfaEngine, Challenge, EngineConfig, Verifier, decode_stream, device_key, encode_stream,
+};
+
+/// A CLI-level failure, already formatted for the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+macro_rules! from_error {
+    ($($ty:ty),* $(,)?) => {
+        $(impl From<$ty> for CliError {
+            fn from(e: $ty) -> CliError {
+                CliError(e.to_string())
+            }
+        })*
+    };
+}
+
+from_error!(
+    armv8m_isa::ParseError,
+    armv8m_isa::AsmError,
+    armv8m_isa::DecodeError,
+    rap_link::LinkError,
+    rap_link::MapFormatError,
+    rap_track::WireError,
+    mcu_sim::ExecError,
+    std::io::Error,
+);
+
+
+/// Options for [`cmd_link`].
+#[derive(Debug, Clone, Copy)]
+pub struct LinkCmdOptions {
+    /// Load/link base address.
+    pub base: u32,
+    /// Disable the §IV-D loop optimizations.
+    pub no_loop_opt: bool,
+    /// MTBAR stub NOP padding.
+    pub padding: u32,
+}
+
+impl Default for LinkCmdOptions {
+    fn default() -> LinkCmdOptions {
+        LinkCmdOptions {
+            base: 0,
+            no_loop_opt: false,
+            padding: 1,
+        }
+    }
+}
+
+/// `rap asm`: assembles text assembly into a raw image (no CFA).
+///
+/// Returns `(image bytes, human summary)`.
+///
+/// # Errors
+///
+/// Parse or assembly failures, formatted.
+pub fn cmd_asm(source: &str, base: u32) -> Result<(Vec<u8>, String), CliError> {
+    let module = parse_module(source)?;
+    let image = module.assemble(base)?;
+    let summary = format!(
+        "assembled {} instructions, {} bytes at {:#010x}",
+        image.instrs().len(),
+        image.bytes().len(),
+        base
+    );
+    Ok((image.bytes().to_vec(), summary))
+}
+
+/// `rap link`: runs the offline phase on text assembly.
+///
+/// Returns `(deployed image bytes, map text, human summary)`.
+///
+/// # Errors
+///
+/// Parse, classification or re-assembly failures, formatted.
+pub fn cmd_link(
+    source: &str,
+    options: LinkCmdOptions,
+) -> Result<(Vec<u8>, String, String), CliError> {
+    let module = parse_module(source)?;
+    let link_options = LinkOptions {
+        classify: if options.no_loop_opt {
+            ClassifyOptions {
+                loop_opt: false,
+                static_loop_elision: false,
+            }
+        } else {
+            ClassifyOptions::default()
+        },
+        transform: TransformOptions {
+            nop_padding: options.padding,
+        },
+    };
+    let linked = link(&module, options.base, link_options)?;
+    let summary = format!(
+        "linked: {} -> {} bytes ({} trampolines, {} optimized loops)",
+        linked.map.original_size,
+        linked.image.bytes().len(),
+        linked.map.site_count(),
+        linked.map.loops_by_latch.len()
+    );
+    Ok((
+        linked.image.bytes().to_vec(),
+        write_map(&linked.map),
+        summary,
+    ))
+}
+
+/// `rap disasm`: disassembles a raw image.
+///
+/// # Errors
+///
+/// Decode failures, formatted.
+pub fn cmd_disasm(image_bytes: &[u8], base: u32) -> Result<String, CliError> {
+    let image = Image::from_bytes(base, image_bytes.to_vec())?;
+    Ok(image.disassemble())
+}
+
+/// `rap decompile`: re-emits a raw image as re-assemblable `.tasm`.
+///
+/// # Errors
+///
+/// Decode failures, formatted.
+pub fn cmd_decompile(image_bytes: &[u8], base: u32) -> Result<String, CliError> {
+    let image = Image::from_bytes(base, image_bytes.to_vec())?;
+    Ok(image.to_tasm())
+}
+
+/// `rap attest`: runs an attested execution and returns the encoded
+/// report stream plus a summary.
+///
+/// # Errors
+///
+/// Decode, map or execution failures, formatted.
+pub fn cmd_attest(
+    image_bytes: &[u8],
+    map_text: &str,
+    base: u32,
+    chal_seed: u64,
+    key_seed: &str,
+    watermark: Option<usize>,
+) -> Result<(Vec<u8>, String), CliError> {
+    let image = Image::from_bytes(base, image_bytes.to_vec())?;
+    let map = read_map(map_text)?;
+    let engine = CfaEngine::new(device_key(key_seed));
+    let mut machine = mcu_sim::Machine::new(image);
+    let chal = Challenge::from_seed(chal_seed);
+    let att = engine.attest(
+        &mut machine,
+        &map,
+        chal,
+        EngineConfig {
+            watermark,
+            ..EngineConfig::default()
+        },
+    )?;
+    let summary = format!(
+        "attested: {} instrs, {} cycles, {} report(s), CF_Log {} bytes",
+        att.outcome.instrs,
+        att.outcome.cycles,
+        att.reports.len(),
+        att.cflog_bytes()
+    );
+    Ok((encode_stream(&att.reports), summary))
+}
+
+/// `rap verify`: authenticates a report stream and reconstructs the
+/// path; returns a human-readable verdict.
+///
+/// # Errors
+///
+/// Only I/O-shaped failures (bad files) error out; a failed
+/// *verification* is reported in the returned verdict string with
+/// `ok == false`.
+pub fn cmd_verify(
+    image_bytes: &[u8],
+    map_text: &str,
+    report_bytes: &[u8],
+    base: u32,
+    chal_seed: u64,
+    key_seed: &str,
+) -> Result<(bool, String), CliError> {
+    let image = Image::from_bytes(base, image_bytes.to_vec())?;
+    let map = read_map(map_text)?;
+    let reports = decode_stream(report_bytes)?;
+    let verifier = Verifier::new(device_key(key_seed), image, map);
+    match verifier.verify(Challenge::from_seed(chal_seed), &reports) {
+        Ok(path) => Ok((
+            true,
+            format!(
+                "OK: lossless path accepted ({} events, {} replay steps)",
+                path.events.len(),
+                path.steps
+            ),
+        )),
+        Err(v) => Ok((false, format!("REJECTED: {v}"))),
+    }
+}
+
+/// `rap explain`: reports the offline phase's classification decisions
+/// for a text-assembly program, including loop-rejection reasons.
+///
+/// # Errors
+///
+/// Parse or CFG failures, formatted.
+pub fn cmd_explain(source: &str, options: LinkCmdOptions) -> Result<String, CliError> {
+    let module = parse_module(source)?;
+    let link_options = LinkOptions {
+        classify: if options.no_loop_opt {
+            ClassifyOptions {
+                loop_opt: false,
+                static_loop_elision: false,
+            }
+        } else {
+            ClassifyOptions::default()
+        },
+        transform: TransformOptions {
+            nop_padding: options.padding,
+        },
+    };
+    let report = rap_link::explain(&module, link_options)
+        .map_err(|e| CliError(e.to_string()))?;
+    Ok(report.to_string())
+}
+
+/// `rap inspect`: pretty-prints a map file.
+///
+/// # Errors
+///
+/// Map-format failures, formatted.
+pub fn cmd_inspect(map_text: &str) -> Result<String, CliError> {
+    let map = read_map(map_text)?;
+    let mut out = String::new();
+    if let (Some(dr), Some(ar)) = (map.mtbdr, map.mtbar) {
+        out.push_str(&format!(
+            "MTBDR [{:#010x}, {:#010x})  {} bytes\n",
+            dr.start,
+            dr.end,
+            dr.len()
+        ));
+        out.push_str(&format!(
+            "MTBAR [{:#010x}, {:#010x})  {} bytes\n",
+            ar.start,
+            ar.end,
+            ar.len()
+        ));
+    }
+    out.push_str(&format!(
+        "{} trampoline sites, {} optimized loops, {} functions\n",
+        map.site_count(),
+        map.loops_by_latch.len(),
+        map.funcs.len()
+    ));
+    Ok(out)
+}
+
+/// A demonstration program used by tests and `rap demo`.
+pub const DEMO_PROGRAM: &str = r"
+; RAP-Track demo: a variable loop, a conditional and a call.
+.func main
+    movw r2, #6
+    mov r0, r2
+spin:
+    subs r0, r0, #1
+    cmp r0, #0
+    bne spin
+    cmp r2, #3
+    ble small
+    bl bump
+small:
+    halt
+.func bump
+    adds r7, r7, #1
+    bx lr
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asm_and_disasm_roundtrip() {
+        let (bytes, summary) = cmd_asm(DEMO_PROGRAM, 0).expect("assembles");
+        assert!(summary.contains("assembled"));
+        let listing = cmd_disasm(&bytes, 0).expect("disassembles");
+        assert!(listing.contains("movw r2, #6"));
+        assert!(listing.contains("halt"));
+    }
+
+    #[test]
+    fn full_file_driven_pipeline() {
+        let (img, map_text, summary) =
+            cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).expect("links");
+        assert!(summary.contains("trampolines"));
+
+        let (reports, att_summary) =
+            cmd_attest(&img, &map_text, 0, 7, "cli-test", None).expect("attests");
+        assert!(att_summary.contains("report(s)"));
+
+        let (ok, verdict) =
+            cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test").expect("verifies");
+        assert!(ok, "{verdict}");
+        assert!(verdict.contains("OK"));
+    }
+
+    #[test]
+    fn wrong_challenge_rejected() {
+        let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
+        let (ok, verdict) = cmd_verify(&img, &map_text, &reports, 0, 8, "cli-test").unwrap();
+        assert!(!ok);
+        assert!(verdict.contains("REJECTED"));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "device-a", None).unwrap();
+        let (ok, verdict) = cmd_verify(&img, &map_text, &reports, 0, 7, "device-b").unwrap();
+        assert!(!ok);
+        assert!(verdict.contains("authentication"));
+    }
+
+    #[test]
+    fn tampered_image_rejected_via_h_mem() {
+        let (mut img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
+        // The verifier is handed a doctored binary.
+        img[0] ^= 0x01;
+        if let Ok((ok, _)) = cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test") {
+            assert!(!ok);
+        } // (a decode error is an acceptable rejection too)
+    }
+
+    #[test]
+    fn no_loop_opt_grows_the_log() {
+        let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let (opt_reports, _) = cmd_attest(&img, &map_text, 0, 7, "k", None).unwrap();
+
+        let options = LinkCmdOptions {
+            no_loop_opt: true,
+            ..LinkCmdOptions::default()
+        };
+        let (img2, map2, _) = cmd_link(DEMO_PROGRAM, options).unwrap();
+        let (raw_reports, _) = cmd_attest(&img2, &map2, 0, 7, "k", None).unwrap();
+        assert!(raw_reports.len() > opt_reports.len());
+
+        // Both verify against their own artifacts.
+        assert!(cmd_verify(&img, &map_text, &opt_reports, 0, 7, "k").unwrap().0);
+        assert!(cmd_verify(&img2, &map2, &raw_reports, 0, 7, "k").unwrap().0);
+    }
+
+    #[test]
+    fn decompile_round_trips_through_asm() {
+        let (img, _) = cmd_asm(DEMO_PROGRAM, 0).unwrap();
+        let tasm = cmd_decompile(&img, 0).unwrap();
+        let (img2, _) = cmd_asm(&tasm, 0).unwrap();
+        assert_eq!(img, img2);
+    }
+
+    #[test]
+    fn explain_reports_loop_decisions() {
+        let out = cmd_explain(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        assert!(out.contains("functions:"));
+        assert!(out.contains("LOGGED"), "{out}");
+    }
+
+    #[test]
+    fn inspect_summarizes() {
+        let (_, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let out = cmd_inspect(&map_text).unwrap();
+        assert!(out.contains("MTBAR"));
+        assert!(out.contains("trampoline sites"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_location() {
+        let err = cmd_asm("bogus r0, r1\n", 0).unwrap_err();
+        assert!(err.0.contains("line 1"), "{err}");
+    }
+}

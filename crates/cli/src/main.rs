@@ -1,0 +1,206 @@
+//! `rap` — the RAP-Track command-line toolchain (argv adapter over
+//! [`rap_cli`]).
+
+use std::fs;
+use std::process::ExitCode;
+
+use rap_cli::{CliError, LinkCmdOptions};
+
+const USAGE: &str = "\
+rap — RAP-Track toolchain (DAC 2025 reproduction)
+
+USAGE:
+  rap asm     <in.tasm> -o <out.img> [--base ADDR]
+  rap link    <in.tasm> -o <out.img> -m <out.map> [--base ADDR]
+              [--no-loop-opt] [--pad N]
+  rap disasm  <img> [--base ADDR]
+  rap decompile <img> [--base ADDR]   # emit re-assemblable .tasm
+  rap attest  <img> <map> --chal N -o <out.rpt>
+              [--base ADDR] [--key SEED] [--watermark N]
+  rap verify  <img> <map> <rpt> --chal N [--base ADDR] [--key SEED]
+  rap inspect <map>
+  rap explain <in.tasm> [--no-loop-opt]
+  rap demo    # print a sample .tasm program
+";
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let takes_value = matches!(
+                    name,
+                    "base" | "pad" | "chal" | "key" | "watermark"
+                ) || name == "o"
+                    || name == "m";
+                let value = if takes_value {
+                    it.next().cloned()
+                } else {
+                    None
+                };
+                flags.push((name.to_owned(), value));
+            } else if a == "-o" || a == "-m" {
+                flags.push((a[1..].to_owned(), it.next().cloned()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => {
+                let parsed = if let Some(h) = v.strip_prefix("0x") {
+                    u64::from_str_radix(h, 16)
+                } else {
+                    v.parse()
+                };
+                parsed.map_err(|_| CliError(format!("bad --{name} value `{v}`")))
+            }
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        return Err(CliError(USAGE.to_owned()));
+    };
+    let args = Args::parse(&argv[1..]);
+    let base = args.num("base", 0)? as u32;
+    let need = |n: usize| -> Result<(), CliError> {
+        if args.positional.len() < n {
+            Err(CliError(format!("missing arguments\n\n{USAGE}")))
+        } else {
+            Ok(())
+        }
+    };
+
+    match cmd.as_str() {
+        "asm" => {
+            need(1)?;
+            let source = fs::read_to_string(&args.positional[0])?;
+            let (bytes, summary) = rap_cli::cmd_asm(&source, base)?;
+            let out = args
+                .flag("o")
+                .ok_or_else(|| CliError("missing -o <out.img>".into()))?;
+            fs::write(out, bytes)?;
+            println!("{summary} -> {out}");
+        }
+        "link" => {
+            need(1)?;
+            let source = fs::read_to_string(&args.positional[0])?;
+            let options = LinkCmdOptions {
+                base,
+                no_loop_opt: args.has("no-loop-opt"),
+                padding: args.num("pad", 1)? as u32,
+            };
+            let (bytes, map_text, summary) = rap_cli::cmd_link(&source, options)?;
+            let out = args
+                .flag("o")
+                .ok_or_else(|| CliError("missing -o <out.img>".into()))?;
+            let map_out = args
+                .flag("m")
+                .ok_or_else(|| CliError("missing -m <out.map>".into()))?;
+            fs::write(out, bytes)?;
+            fs::write(map_out, map_text)?;
+            println!("{summary} -> {out}, {map_out}");
+        }
+        "disasm" => {
+            need(1)?;
+            let bytes = fs::read(&args.positional[0])?;
+            print!("{}", rap_cli::cmd_disasm(&bytes, base)?);
+        }
+        "decompile" => {
+            need(1)?;
+            let bytes = fs::read(&args.positional[0])?;
+            print!("{}", rap_cli::cmd_decompile(&bytes, base)?);
+        }
+        "attest" => {
+            need(2)?;
+            let img = fs::read(&args.positional[0])?;
+            let map = fs::read_to_string(&args.positional[1])?;
+            let chal = args.num("chal", 0)?;
+            let key = args.flag("key").unwrap_or("default-device");
+            let watermark = args
+                .flag("watermark")
+                .map(|w| {
+                    w.parse::<usize>()
+                        .map_err(|_| CliError(format!("bad --watermark `{w}`")))
+                })
+                .transpose()?;
+            let (stream, summary) =
+                rap_cli::cmd_attest(&img, &map, base, chal, key, watermark)?;
+            let out = args
+                .flag("o")
+                .ok_or_else(|| CliError("missing -o <out.rpt>".into()))?;
+            fs::write(out, stream)?;
+            println!("{summary} -> {out}");
+        }
+        "verify" => {
+            need(3)?;
+            let img = fs::read(&args.positional[0])?;
+            let map = fs::read_to_string(&args.positional[1])?;
+            let rpt = fs::read(&args.positional[2])?;
+            let chal = args.num("chal", 0)?;
+            let key = args.flag("key").unwrap_or("default-device");
+            let (ok, verdict) = rap_cli::cmd_verify(&img, &map, &rpt, base, chal, key)?;
+            println!("{verdict}");
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        "inspect" => {
+            need(1)?;
+            let map = fs::read_to_string(&args.positional[0])?;
+            print!("{}", rap_cli::cmd_inspect(&map)?);
+        }
+        "explain" => {
+            need(1)?;
+            let source = fs::read_to_string(&args.positional[0])?;
+            let options = LinkCmdOptions {
+                base,
+                no_loop_opt: args.has("no-loop-opt"),
+                padding: args.num("pad", 1)? as u32,
+            };
+            print!("{}", rap_cli::cmd_explain(&source, options)?);
+        }
+        "demo" => {
+            print!("{}", rap_cli::DEMO_PROGRAM);
+        }
+        other => {
+            return Err(CliError(format!("unknown command `{other}`\n\n{USAGE}")));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rap: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

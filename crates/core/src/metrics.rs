@@ -1,0 +1,73 @@
+//! Shared measurement record for the paper's figures.
+//!
+//! Every CFA configuration (RAP-Track, naive MTB, TRACES-style
+//! instrumentation, plain baseline) reduces a run to the same
+//! [`Metrics`] so the figure harness can tabulate them uniformly.
+
+/// Measurements from one attested (or baseline) execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Metrics {
+    /// CPU cycles consumed by the application run (Fig. 1b / Fig. 8).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instrs: u64,
+    /// Total `CF_Log` bytes produced (Fig. 1a / Fig. 9).
+    pub cflog_bytes: usize,
+    /// Deployed code size in bytes (Fig. 10).
+    pub code_bytes: u32,
+    /// Number of report transmissions to the Verifier (§V-B).
+    pub transmissions: usize,
+}
+
+impl Metrics {
+    /// Runtime overhead of `self` relative to `baseline`, in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the baseline ran for zero cycles (a setup error).
+    pub fn overhead_pct(&self, baseline: &Metrics) -> f64 {
+        assert!(baseline.cycles > 0, "baseline must have run");
+        (self.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0
+    }
+
+    /// Ratio of this run's `CF_Log` size to `other`'s (∞ when the
+    /// other log is empty and this one is not).
+    pub fn cflog_ratio(&self, other: &Metrics) -> f64 {
+        if other.cflog_bytes == 0 {
+            if self.cflog_bytes == 0 { 1.0 } else { f64::INFINITY }
+        } else {
+            self.cflog_bytes as f64 / other.cflog_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_computation() {
+        let base = Metrics {
+            cycles: 1000,
+            ..Metrics::default()
+        };
+        let slow = Metrics {
+            cycles: 1500,
+            ..Metrics::default()
+        };
+        assert!((slow.overhead_pct(&base) - 50.0).abs() < 1e-9);
+        assert!((base.overhead_pct(&base)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cflog_ratio_handles_empty() {
+        let none = Metrics::default();
+        let some = Metrics {
+            cflog_bytes: 64,
+            ..Metrics::default()
+        };
+        assert_eq!(some.cflog_ratio(&none), f64::INFINITY);
+        assert_eq!(none.cflog_ratio(&none), 1.0);
+        assert!((some.cflog_ratio(&some) - 1.0).abs() < 1e-9);
+    }
+}

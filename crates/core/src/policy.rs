@@ -1,0 +1,433 @@
+//! Verifier-side path assessment.
+//!
+//! Lossless CFA hands the Verifier the *complete* control-flow path;
+//! what makes that useful is the policy applied on top (§II-D: "Vrf can
+//! validate the entire execution path and observe any unintended …
+//! transitions"). This module provides:
+//!
+//! * [`PathStats`] — a structural summary of a [`VerifiedPath`], and
+//! * [`PathPolicy`] — declarative rules over reconstructed paths
+//!   (allowed indirect-call targets, required/forbidden functions,
+//!   loop-iteration bounds), evaluated to typed [`PolicyFinding`]s.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::verifier::{PathEvent, VerifiedPath};
+
+/// Structural summary of a reconstructed path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Direct calls.
+    pub calls: usize,
+    /// Indirect calls.
+    pub indirect_calls: usize,
+    /// Returns (both `POP {PC}` and shadow-stack `BX LR`).
+    pub returns: usize,
+    /// Taken tracked conditionals.
+    pub cond_taken: usize,
+    /// Fall-through tracked conditionals.
+    pub cond_not_taken: usize,
+    /// Forward-loop continue events.
+    pub loop_continues: usize,
+    /// §IV-D optimized loop executions.
+    pub optimized_loops: usize,
+    /// Total iterations replayed through optimized loops.
+    pub optimized_iterations: u64,
+    /// Indirect jumps (switch dispatches).
+    pub indirect_jumps: usize,
+    /// Iterations per optimized-loop header.
+    pub loop_iterations_by_header: BTreeMap<u32, u64>,
+}
+
+impl PathStats {
+    /// Computes the summary of `path`.
+    pub fn of(path: &VerifiedPath) -> PathStats {
+        let mut stats = PathStats::default();
+        for e in &path.events {
+            match e {
+                PathEvent::Call { .. } => stats.calls += 1,
+                PathEvent::IndirectCall { .. } => stats.indirect_calls += 1,
+                PathEvent::Return { .. } => stats.returns += 1,
+                PathEvent::CondTaken { .. } => stats.cond_taken += 1,
+                PathEvent::CondNotTaken { .. } => stats.cond_not_taken += 1,
+                PathEvent::LoopContinue { .. } => stats.loop_continues += 1,
+                PathEvent::LoopIterations { header, count } => {
+                    stats.optimized_loops += 1;
+                    stats.optimized_iterations += u64::from(*count);
+                    *stats.loop_iterations_by_header.entry(*header).or_default() +=
+                        u64::from(*count);
+                }
+                PathEvent::IndirectJump { .. } => stats.indirect_jumps += 1,
+                PathEvent::Enter(_) | PathEvent::Halt(_) => {}
+            }
+        }
+        stats
+    }
+
+    /// Total control-flow decisions evidenced by the log.
+    pub fn decisions(&self) -> usize {
+        self.indirect_calls
+            + self.returns
+            + self.cond_taken
+            + self.cond_not_taken
+            + self.loop_continues
+            + self.optimized_loops
+            + self.indirect_jumps
+    }
+}
+
+/// One policy violation discovered in an (authentic!) path.
+///
+/// Unlike [`crate::Violation`], these do not mean the log is invalid —
+/// the execution truly happened — but that it did something the
+/// application's owner forbade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyFinding {
+    /// An indirect call site reached a target outside its allow-list.
+    DisallowedIndirectTarget {
+        /// Call-site address.
+        site: u32,
+        /// The observed target.
+        dest: u32,
+    },
+    /// A function that must execute never did.
+    MissingRequiredCall {
+        /// The required function's entry address.
+        entry: u32,
+    },
+    /// A forbidden function executed.
+    ForbiddenCall {
+        /// The forbidden function's entry address.
+        entry: u32,
+        /// Where it was called from.
+        site: u32,
+    },
+    /// An optimized loop ran more iterations than permitted.
+    LoopIterationBound {
+        /// The loop header.
+        header: u32,
+        /// Iterations observed.
+        observed: u64,
+        /// The configured maximum.
+        max: u64,
+    },
+    /// The path contains more indirect jumps than permitted (a coarse
+    /// JOP-resilience bound).
+    TooManyIndirectJumps {
+        /// Observed count.
+        observed: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for PolicyFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyFinding::DisallowedIndirectTarget { site, dest } => write!(
+                f,
+                "indirect call at {site:#010x} reached disallowed target {dest:#010x}"
+            ),
+            PolicyFinding::MissingRequiredCall { entry } => {
+                write!(f, "required function {entry:#010x} never executed")
+            }
+            PolicyFinding::ForbiddenCall { entry, site } => write!(
+                f,
+                "forbidden function {entry:#010x} called from {site:#010x}"
+            ),
+            PolicyFinding::LoopIterationBound {
+                header,
+                observed,
+                max,
+            } => write!(
+                f,
+                "loop {header:#010x} ran {observed} iterations (max {max})"
+            ),
+            PolicyFinding::TooManyIndirectJumps { observed, max } => {
+                write!(f, "{observed} indirect jumps (max {max})")
+            }
+        }
+    }
+}
+
+/// Declarative rules evaluated over verified paths.
+#[derive(Debug, Clone, Default)]
+pub struct PathPolicy {
+    /// Per-site allow-lists for indirect-call targets. Sites not
+    /// listed are unconstrained.
+    pub allowed_indirect_targets: HashMap<u32, HashSet<u32>>,
+    /// Function entries that must appear as call destinations.
+    pub required_calls: HashSet<u32>,
+    /// Function entries that must never appear as call destinations.
+    pub forbidden_calls: HashSet<u32>,
+    /// Per-header maxima for optimized-loop iteration counts.
+    pub loop_iteration_max: HashMap<u32, u64>,
+    /// Global bound on indirect jumps (None = unbounded).
+    pub max_indirect_jumps: Option<usize>,
+}
+
+impl PathPolicy {
+    /// Creates an empty (allow-everything) policy.
+    pub fn new() -> PathPolicy {
+        PathPolicy::default()
+    }
+
+    /// Restricts the indirect-call site at `site` to `targets`.
+    #[must_use]
+    pub fn allow_indirect(mut self, site: u32, targets: impl IntoIterator<Item = u32>) -> Self {
+        self.allowed_indirect_targets
+            .entry(site)
+            .or_default()
+            .extend(targets);
+        self
+    }
+
+    /// Requires the function at `entry` to execute.
+    #[must_use]
+    pub fn require_call(mut self, entry: u32) -> Self {
+        self.required_calls.insert(entry);
+        self
+    }
+
+    /// Forbids the function at `entry` from executing.
+    #[must_use]
+    pub fn forbid_call(mut self, entry: u32) -> Self {
+        self.forbidden_calls.insert(entry);
+        self
+    }
+
+    /// Bounds the iterations of the optimized loop at `header`.
+    #[must_use]
+    pub fn bound_loop(mut self, header: u32, max: u64) -> Self {
+        self.loop_iteration_max.insert(header, max);
+        self
+    }
+
+    /// Bounds the total number of indirect jumps.
+    #[must_use]
+    pub fn bound_indirect_jumps(mut self, max: usize) -> Self {
+        self.max_indirect_jumps = Some(max);
+        self
+    }
+
+    /// Evaluates the policy; an empty result means compliance.
+    pub fn check(&self, path: &VerifiedPath) -> Vec<PolicyFinding> {
+        let mut findings = Vec::new();
+        let mut called: HashSet<u32> = HashSet::new();
+
+        for e in &path.events {
+            match e {
+                PathEvent::IndirectCall { site, dest } => {
+                    called.insert(*dest);
+                    if let Some(allowed) = self.allowed_indirect_targets.get(site) {
+                        if !allowed.contains(dest) {
+                            findings.push(PolicyFinding::DisallowedIndirectTarget {
+                                site: *site,
+                                dest: *dest,
+                            });
+                        }
+                    }
+                    if self.forbidden_calls.contains(dest) {
+                        findings.push(PolicyFinding::ForbiddenCall {
+                            entry: *dest,
+                            site: *site,
+                        });
+                    }
+                }
+                PathEvent::Call { site, dest } => {
+                    called.insert(*dest);
+                    if self.forbidden_calls.contains(dest) {
+                        findings.push(PolicyFinding::ForbiddenCall {
+                            entry: *dest,
+                            site: *site,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        for entry in &self.required_calls {
+            if !called.contains(entry) {
+                findings.push(PolicyFinding::MissingRequiredCall { entry: *entry });
+            }
+        }
+
+        let stats = PathStats::of(path);
+        for (header, iters) in &stats.loop_iterations_by_header {
+            if let Some(max) = self.loop_iteration_max.get(header) {
+                if iters > max {
+                    findings.push(PolicyFinding::LoopIterationBound {
+                        header: *header,
+                        observed: *iters,
+                        max: *max,
+                    });
+                }
+            }
+        }
+        if let Some(max) = self.max_indirect_jumps {
+            if stats.indirect_jumps > max {
+                findings.push(PolicyFinding::TooManyIndirectJumps {
+                    observed: stats.indirect_jumps,
+                    max,
+                });
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(events: Vec<PathEvent>) -> VerifiedPath {
+        VerifiedPath { events, steps: 1 }
+    }
+
+    #[test]
+    fn stats_count_each_event_kind() {
+        let p = path(vec![
+            PathEvent::Enter(0),
+            PathEvent::Call { site: 2, dest: 40 },
+            PathEvent::IndirectCall { site: 6, dest: 50 },
+            PathEvent::Return { site: 52, dest: 10 },
+            PathEvent::CondTaken { site: 12, dest: 20 },
+            PathEvent::CondNotTaken { site: 22 },
+            PathEvent::LoopContinue { site: 24 },
+            PathEvent::LoopIterations {
+                header: 30,
+                count: 9,
+            },
+            PathEvent::LoopIterations {
+                header: 30,
+                count: 2,
+            },
+            PathEvent::IndirectJump { site: 34, dest: 38 },
+            PathEvent::Halt(38),
+        ]);
+        let s = PathStats::of(&p);
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.indirect_calls, 1);
+        assert_eq!(s.returns, 1);
+        assert_eq!(s.cond_taken, 1);
+        assert_eq!(s.cond_not_taken, 1);
+        assert_eq!(s.loop_continues, 1);
+        assert_eq!(s.optimized_loops, 2);
+        assert_eq!(s.optimized_iterations, 11);
+        assert_eq!(s.loop_iterations_by_header.get(&30), Some(&11));
+        assert_eq!(s.indirect_jumps, 1);
+        assert_eq!(s.decisions(), 8);
+    }
+
+    #[test]
+    fn indirect_allow_list() {
+        let p = path(vec![PathEvent::IndirectCall { site: 6, dest: 50 }]);
+        let ok = PathPolicy::new().allow_indirect(6, [50, 60]);
+        assert!(ok.check(&p).is_empty());
+        let bad = PathPolicy::new().allow_indirect(6, [60]);
+        assert_eq!(
+            bad.check(&p),
+            vec![PolicyFinding::DisallowedIndirectTarget { site: 6, dest: 50 }]
+        );
+        // Unlisted sites are unconstrained.
+        let other = PathPolicy::new().allow_indirect(99, [1]);
+        assert!(other.check(&p).is_empty());
+    }
+
+    #[test]
+    fn required_and_forbidden_calls() {
+        let p = path(vec![
+            PathEvent::Call { site: 0, dest: 100 },
+            PathEvent::IndirectCall { site: 4, dest: 200 },
+        ]);
+        let policy = PathPolicy::new()
+            .require_call(100)
+            .require_call(300)
+            .forbid_call(200);
+        let findings = policy.check(&p);
+        assert!(findings.contains(&PolicyFinding::MissingRequiredCall { entry: 300 }));
+        assert!(findings.contains(&PolicyFinding::ForbiddenCall {
+            entry: 200,
+            site: 4
+        }));
+        assert_eq!(findings.len(), 2);
+    }
+
+    #[test]
+    fn loop_bounds() {
+        let p = path(vec![PathEvent::LoopIterations {
+            header: 8,
+            count: 1000,
+        }]);
+        let ok = PathPolicy::new().bound_loop(8, 1000);
+        assert!(ok.check(&p).is_empty());
+        let bad = PathPolicy::new().bound_loop(8, 999);
+        assert_eq!(
+            bad.check(&p),
+            vec![PolicyFinding::LoopIterationBound {
+                header: 8,
+                observed: 1000,
+                max: 999
+            }]
+        );
+    }
+
+    #[test]
+    fn indirect_jump_budget() {
+        let p = path(vec![
+            PathEvent::IndirectJump { site: 0, dest: 4 },
+            PathEvent::IndirectJump { site: 8, dest: 12 },
+        ]);
+        assert!(
+            PathPolicy::new()
+                .bound_indirect_jumps(2)
+                .check(&p)
+                .is_empty()
+        );
+        assert_eq!(
+            PathPolicy::new().bound_indirect_jumps(1).check(&p),
+            vec![PolicyFinding::TooManyIndirectJumps {
+                observed: 2,
+                max: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn end_to_end_policy_on_real_path() {
+        // The Geiger workload: its alarm callback must be permitted, a
+        // made-up "firmware_update" function must not run, and the
+        // history-sum loop is bounded.
+        use rap_link::{LinkOptions, link};
+        let w = workloads::geiger::workload();
+        let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
+        let key = crate::device_key("policy");
+        let engine = crate::CfaEngine::new(key.clone());
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        (w.attach)(&mut machine);
+        let chal = crate::Challenge::from_seed(1);
+        let att = engine
+            .attest(&mut machine, &linked.map, chal, crate::EngineConfig::default())
+            .unwrap();
+        let verifier = crate::Verifier::new(key, linked.image.clone(), linked.map.clone());
+        let path = verifier.verify(chal, &att.reports).unwrap();
+
+        let alarm = linked.image.symbol("alarm_blink").unwrap();
+        let site = linked
+            .map
+            .sites_by_entry
+            .values()
+            .find(|s| s.kind == rap_link::SiteKind::IndirectCall)
+            .unwrap()
+            .mtbdr_addr;
+        let policy = PathPolicy::new()
+            .allow_indirect(site, [alarm])
+            .require_call(linked.image.symbol("compute_cpm").unwrap());
+        assert!(policy.check(&path).is_empty());
+
+        // A policy that forbids the alarm flags the bursts.
+        let strict = PathPolicy::new().forbid_call(alarm);
+        assert!(!strict.check(&path).is_empty());
+    }
+}

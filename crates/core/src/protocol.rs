@@ -1,0 +1,236 @@
+//! The RA challenge–response protocol (§II-C): the session layer that
+//! drives the four steps around the engine and verifier.
+//!
+//! 1. Vrf creates a unique `Chal` and sends a CFA request.
+//! 2. Prv runs the attested execution and builds the evidence.
+//! 3. Prv authenticates the evidence with the device key.
+//! 4. Vrf checks the proof (and, here, reconstructs the path).
+//!
+//! [`VerifierSession`] owns challenge freshness: every request gets a
+//! new nonce derived from a counter and session secret, responses are
+//! matched to the *outstanding* challenge only, and a challenge is
+//! consumed on first use — replaying an old session's reports (or the
+//! same session's reports twice) is rejected without touching replay.
+
+use std::collections::HashSet;
+
+use armv8m_isa::Image;
+use rap_crypto::hmac_sha256;
+use rap_link::LinkMap;
+
+use crate::report::{Challenge, Key, Report};
+use crate::verifier::{VerifiedPath, Verifier, Violation};
+
+/// The Verifier's per-device session state.
+#[derive(Debug, Clone)]
+pub struct VerifierSession {
+    verifier: Verifier,
+    session_secret: Vec<u8>,
+    counter: u64,
+    outstanding: Option<Challenge>,
+    used: HashSet<[u8; 32]>,
+}
+
+/// A session-level protocol failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// A response arrived with no outstanding request.
+    NoOutstandingChallenge,
+    /// The challenge was already consumed by an earlier response.
+    ChallengeReused,
+    /// Verification of the evidence failed.
+    Verification(Violation),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NoOutstandingChallenge => {
+                write!(f, "response without an outstanding challenge")
+            }
+            SessionError::ChallengeReused => write!(f, "challenge reuse detected"),
+            SessionError::Verification(v) => write!(f, "verification failed: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl VerifierSession {
+    /// Opens a session for one deployed application.
+    ///
+    /// `session_secret` seeds nonce derivation (a real deployment uses
+    /// an OS RNG; determinism keeps tests and benches reproducible).
+    pub fn new(key: Key, image: Image, map: LinkMap, session_secret: &[u8]) -> VerifierSession {
+        VerifierSession {
+            verifier: Verifier::new(key, image, map),
+            session_secret: session_secret.to_vec(),
+            counter: 0,
+            outstanding: None,
+            used: HashSet::new(),
+        }
+    }
+
+    /// Step 1: issues a fresh challenge. Any previously outstanding
+    /// challenge is abandoned (its responses will be rejected).
+    pub fn issue_challenge(&mut self) -> Challenge {
+        self.counter += 1;
+        let mut msg = self.session_secret.clone();
+        msg.extend_from_slice(&self.counter.to_le_bytes());
+        let chal = Challenge(hmac_sha256(b"RAP-TRACK-CHAL", &msg));
+        self.outstanding = Some(chal);
+        chal
+    }
+
+    /// The currently outstanding challenge, if any.
+    pub fn outstanding(&self) -> Option<Challenge> {
+        self.outstanding
+    }
+
+    /// Step 4: checks a response against the outstanding challenge.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoOutstandingChallenge`] when no request is in
+    /// flight, [`SessionError::ChallengeReused`] when the nonce was
+    /// consumed before, and [`SessionError::Verification`] for
+    /// evidence failures (which also consume the challenge — a device
+    /// does not get a second try against the same nonce).
+    pub fn check_response(&mut self, reports: &[Report]) -> Result<VerifiedPath, SessionError> {
+        let chal = self
+            .outstanding
+            .take()
+            .ok_or(SessionError::NoOutstandingChallenge)?;
+        if !self.used.insert(chal.0) {
+            return Err(SessionError::ChallengeReused);
+        }
+        self.verifier
+            .verify(chal, reports)
+            .map_err(SessionError::Verification)
+    }
+
+    /// Number of challenges issued so far.
+    pub fn challenges_issued(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CfaEngine, EngineConfig, device_key};
+    use armv8m_isa::{Asm, Reg};
+    use rap_link::{LinkOptions, link};
+
+    fn linked() -> rap_link::LinkedProgram {
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R2, 4);
+        a.mov(Reg::R0, Reg::R2);
+        a.label("l");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmpi(Reg::R0, 0);
+        a.bne("l");
+        a.halt();
+        link(&a.into_module(), 0, LinkOptions::default()).unwrap()
+    }
+
+    fn respond(linked: &rap_link::LinkedProgram, chal: Challenge) -> Vec<Report> {
+        let engine = CfaEngine::new(device_key("proto"));
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        engine
+            .attest(&mut machine, &linked.map, chal, EngineConfig::default())
+            .unwrap()
+            .reports
+    }
+
+    fn session(linked: &rap_link::LinkedProgram) -> VerifierSession {
+        VerifierSession::new(
+            device_key("proto"),
+            linked.image.clone(),
+            linked.map.clone(),
+            b"session-secret",
+        )
+    }
+
+    #[test]
+    fn full_protocol_round() {
+        let linked = linked();
+        let mut s = session(&linked);
+        let chal = s.issue_challenge();
+        let reports = respond(&linked, chal);
+        let path = s.check_response(&reports).expect("verifies");
+        assert!(!path.events.is_empty());
+        assert_eq!(s.challenges_issued(), 1);
+    }
+
+    #[test]
+    fn challenges_are_unique() {
+        let linked = linked();
+        let mut s = session(&linked);
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(s.issue_challenge().0), "nonce repeated");
+        }
+    }
+
+    #[test]
+    fn response_without_request_rejected() {
+        let linked = linked();
+        let mut s = session(&linked);
+        let chal = Challenge::from_seed(1);
+        let reports = respond(&linked, chal);
+        assert!(matches!(
+            s.check_response(&reports),
+            Err(SessionError::NoOutstandingChallenge)
+        ));
+    }
+
+    #[test]
+    fn same_response_cannot_be_consumed_twice() {
+        let linked = linked();
+        let mut s = session(&linked);
+        let chal = s.issue_challenge();
+        let reports = respond(&linked, chal);
+        s.check_response(&reports).expect("first use ok");
+        // No outstanding challenge anymore.
+        assert!(matches!(
+            s.check_response(&reports),
+            Err(SessionError::NoOutstandingChallenge)
+        ));
+    }
+
+    #[test]
+    fn stale_response_to_new_challenge_rejected() {
+        let linked = linked();
+        let mut s = session(&linked);
+        let old_chal = s.issue_challenge();
+        let old_reports = respond(&linked, old_chal);
+        // The verifier re-issues before the (slow/portioned) response
+        // arrives — the old response no longer matches.
+        let _new_chal = s.issue_challenge();
+        match s.check_response(&old_reports) {
+            Err(SessionError::Verification(Violation::ChallengeMismatch)) => {}
+            other => panic!("expected challenge mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_verification_consumes_the_challenge() {
+        let linked = linked();
+        let mut s = session(&linked);
+        let chal = s.issue_challenge();
+        let mut reports = respond(&linked, chal);
+        reports[0].log.loop_records.clear(); // tamper
+        assert!(matches!(
+            s.check_response(&reports),
+            Err(SessionError::Verification(Violation::BadTag { .. }))
+        ));
+        // The device cannot retry against the same nonce.
+        let fixed = respond(&linked, chal);
+        assert!(matches!(
+            s.check_response(&fixed),
+            Err(SessionError::NoOutstandingChallenge)
+        ));
+    }
+}

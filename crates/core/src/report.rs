@@ -1,0 +1,297 @@
+//! CFA report format: `CF_Log`, challenges and authenticated reports.
+
+use rap_crypto::{Digest, HmacSha256, hmac_sha256, verify_tag};
+use trace_units::TraceEntry;
+
+/// A fresh verifier challenge (nonce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Challenge(pub [u8; 32]);
+
+impl Challenge {
+    /// Derives a deterministic challenge from a seed — convenient for
+    /// tests and benches (a real Verifier samples randomness).
+    pub fn from_seed(seed: u64) -> Challenge {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&seed.to_le_bytes());
+        Challenge(rap_crypto::sha256(&bytes))
+    }
+}
+
+/// The control-flow log of one (partial) report.
+///
+/// Two streams, mirroring the hardware: MTB packets written by the
+/// trace unit, and loop-condition records appended by the Secure World
+/// on `SG LOG_LOOP_COND` calls (§IV-D). The Verifier consumes each
+/// stream in program order during replay, so no interleaving metadata
+/// is required.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CfLog {
+    /// MTB packets, oldest first.
+    pub mtb: Vec<TraceEntry>,
+    /// Loop-condition records, oldest first.
+    pub loop_records: Vec<u32>,
+}
+
+impl CfLog {
+    /// Size of one loop-condition record as stored in Secure-World
+    /// memory (marker word + value word).
+    pub const LOOP_RECORD_BYTES: usize = 8;
+
+    /// Creates an empty log.
+    pub fn new() -> CfLog {
+        CfLog::default()
+    }
+
+    /// Transmission/storage size in bytes — the paper's Fig. 9 metric.
+    pub fn size_bytes(&self) -> usize {
+        self.mtb.len() * TraceEntry::BYTES + self.loop_records.len() * CfLog::LOOP_RECORD_BYTES
+    }
+
+    /// Whether both streams are empty.
+    pub fn is_empty(&self) -> bool {
+        self.mtb.is_empty() && self.loop_records.is_empty()
+    }
+}
+
+/// An authenticated (partial or final) CFA report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The challenge this report answers.
+    pub chal: Challenge,
+    /// Hash of the attested application's binary.
+    pub h_mem: Digest,
+    /// The log chunk carried by this report.
+    pub log: CfLog,
+    /// Report sequence number (0-based; partial reports increment it).
+    pub seq: u32,
+    /// Whether this is the final report of the attestation.
+    pub is_final: bool,
+    /// Whether the MTB wrapped (evidence was lost) since the previous
+    /// report. The Secure World reads this from the hardware's wrap
+    /// status; an honest-but-overflowed log must not verify as a
+    /// complete path.
+    pub overflow: bool,
+    /// HMAC-SHA256 over all of the above.
+    pub tag: Digest,
+}
+
+impl Report {
+    /// Builds and authenticates a report.
+    pub fn new(
+        key: &[u8],
+        chal: Challenge,
+        h_mem: Digest,
+        log: CfLog,
+        seq: u32,
+        is_final: bool,
+        overflow: bool,
+    ) -> Report {
+        let tag = Report::mac(key, &chal, &h_mem, &log, seq, is_final, overflow);
+        Report {
+            chal,
+            h_mem,
+            log,
+            seq,
+            is_final,
+            overflow,
+            tag,
+        }
+    }
+
+    /// Recomputes the MAC and compares it against the carried tag in
+    /// constant time.
+    pub fn authenticate(&self, key: &[u8]) -> bool {
+        let expected = Report::mac(
+            key,
+            &self.chal,
+            &self.h_mem,
+            &self.log,
+            self.seq,
+            self.is_final,
+            self.overflow,
+        );
+        verify_tag(&expected, &self.tag)
+    }
+
+    /// Wire size of the report body in bytes (header + log), used by
+    /// the communication-cost analysis (§V-B).
+    pub fn wire_bytes(&self) -> usize {
+        32 /* chal */ + 32 /* h_mem */ + 4 /* seq */ + 1 /* final+overflow flags */
+            + 32 /* tag */ + self.log.size_bytes()
+    }
+
+    fn mac(
+        key: &[u8],
+        chal: &Challenge,
+        h_mem: &Digest,
+        log: &CfLog,
+        seq: u32,
+        is_final: bool,
+        overflow: bool,
+    ) -> Digest {
+        let mut mac = HmacSha256::new(key);
+        mac.update(b"RAP-TRACK-REPORT-V1");
+        mac.update(&chal.0);
+        mac.update(h_mem);
+        mac.update(&seq.to_le_bytes());
+        mac.update(&[is_final as u8, overflow as u8]);
+        mac.update(&(log.mtb.len() as u32).to_le_bytes());
+        for e in &log.mtb {
+            mac.update(&e.source.to_le_bytes());
+            mac.update(&e.dest.to_le_bytes());
+        }
+        mac.update(&(log.loop_records.len() as u32).to_le_bytes());
+        for r in &log.loop_records {
+            mac.update(&r.to_le_bytes());
+        }
+        mac.finalize()
+    }
+}
+
+/// Convenience: MAC key alias to make signatures self-documenting.
+pub type Key = Vec<u8>;
+
+/// Derives the per-device attestation key from a seed (test aid).
+pub fn device_key(seed: &str) -> Key {
+    hmac_sha256(b"RAP-TRACK-DEVICE-KEY", seed.as_bytes()).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> CfLog {
+        CfLog {
+            mtb: vec![
+                TraceEntry {
+                    source: 0x100,
+                    dest: 0x200,
+                },
+                TraceEntry {
+                    source: 0x104,
+                    dest: 0x300,
+                },
+            ],
+            loop_records: vec![7],
+        }
+    }
+
+    #[test]
+    fn log_size_accounting() {
+        let log = sample_log();
+        assert_eq!(log.size_bytes(), 2 * 8 + 8);
+        assert!(!log.is_empty());
+        assert!(CfLog::new().is_empty());
+    }
+
+    #[test]
+    fn report_roundtrip_authenticates() {
+        let key = device_key("unit");
+        let r = Report::new(
+            &key,
+            Challenge::from_seed(1),
+            rap_crypto::sha256(b"binary"),
+            sample_log(),
+            0,
+            true,
+            false,
+        );
+        assert!(r.authenticate(&key));
+        assert!(!r.authenticate(&device_key("other")));
+    }
+
+    #[test]
+    fn any_field_tamper_invalidates_tag() {
+        let key = device_key("unit");
+        let base = Report::new(
+            &key,
+            Challenge::from_seed(1),
+            rap_crypto::sha256(b"binary"),
+            sample_log(),
+            2,
+            false,
+            false,
+        );
+
+        let mut r = base.clone();
+        r.seq = 3;
+        assert!(!r.authenticate(&key));
+
+        let mut r = base.clone();
+        r.is_final = true;
+        assert!(!r.authenticate(&key));
+
+        let mut r = base.clone();
+        r.log.mtb[0].dest ^= 4;
+        assert!(!r.authenticate(&key));
+
+        let mut r = base.clone();
+        r.log.loop_records[0] += 1;
+        assert!(!r.authenticate(&key));
+
+        let mut r = base.clone();
+        r.h_mem[0] ^= 1;
+        assert!(!r.authenticate(&key));
+
+        let mut r = base.clone();
+        r.chal = Challenge::from_seed(2);
+        assert!(!r.authenticate(&key));
+
+        let mut r = base;
+        r.overflow = true;
+        assert!(!r.authenticate(&key));
+    }
+
+    #[test]
+    fn stream_boundary_is_unambiguous() {
+        // Moving an element between streams must change the MAC even
+        // when the raw bytes could alias.
+        let key = device_key("unit");
+        let a = Report::new(
+            &key,
+            Challenge::from_seed(1),
+            [0; 32],
+            CfLog {
+                mtb: vec![TraceEntry { source: 7, dest: 0 }],
+                loop_records: vec![],
+            },
+            0,
+            true,
+            false,
+        );
+        let b = Report::new(
+            &key,
+            Challenge::from_seed(1),
+            [0; 32],
+            CfLog {
+                mtb: vec![],
+                loop_records: vec![7, 0],
+            },
+            0,
+            true,
+            false,
+        );
+        assert_ne!(a.tag, b.tag);
+    }
+
+    #[test]
+    fn challenge_from_seed_is_deterministic_and_distinct() {
+        assert_eq!(Challenge::from_seed(9), Challenge::from_seed(9));
+        assert_ne!(Challenge::from_seed(9), Challenge::from_seed(10));
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let key = device_key("unit");
+        let r = Report::new(
+            &key,
+            Challenge::from_seed(0),
+            [0; 32],
+            CfLog::new(),
+            0,
+            true,
+            false,
+        );
+        assert_eq!(r.wire_bytes(), 32 + 32 + 4 + 1 + 32);
+    }
+}

@@ -1,0 +1,816 @@
+//! The Verifier: report authentication and lossless control-flow path
+//! reconstruction.
+//!
+//! Given the deployed binary, the [`LinkMap`] from the offline phase and
+//! an authenticated report stream, the Verifier *replays* the binary: it
+//! walks instructions from the entry point, consuming one `CF_Log`
+//! element at every non-deterministic decision. A benign execution
+//! consumes the whole log exactly; any deviation — a corrupted return
+//! address, a hijacked indirect call, a forged or truncated log —
+//! surfaces as a typed [`Violation`].
+
+use std::collections::VecDeque;
+
+use armv8m_isa::{BranchKind, Image, Instr, Reg, Target, service};
+use rap_crypto::{Digest, sha256};
+use rap_link::{LinkMap, LoopPlanKind, SiteKind};
+
+use crate::report::{Challenge, Key, Report};
+
+/// Iteration cap for replayed simple loops (anti-DoS bound on forged
+/// loop-condition records).
+const LOOP_CAP: u32 = 1 << 22;
+
+/// A reconstructed control-flow event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathEvent {
+    /// Replay started at this address.
+    Enter(u32),
+    /// A direct call.
+    Call {
+        /// Address of the `BL`.
+        site: u32,
+        /// Callee entry.
+        dest: u32,
+    },
+    /// An indirect call, recovered from the log.
+    IndirectCall {
+        /// Address of the rewritten call site.
+        site: u32,
+        /// Callee entry from the MTB packet.
+        dest: u32,
+    },
+    /// A function return.
+    Return {
+        /// Address of the returning site (rewritten `POP`/`BX LR`).
+        site: u32,
+        /// Return target.
+        dest: u32,
+    },
+    /// A tracked conditional took its branch.
+    CondTaken {
+        /// Address of the conditional.
+        site: u32,
+        /// Taken target.
+        dest: u32,
+    },
+    /// A tracked conditional fell through.
+    CondNotTaken {
+        /// Address of the conditional.
+        site: u32,
+    },
+    /// One iteration of a forward-exit loop (Fig. 7 continue packet).
+    LoopContinue {
+        /// Address of the inserted continue branch.
+        site: u32,
+    },
+    /// An optimized loop ran to completion (§IV-D replay).
+    LoopIterations {
+        /// Loop header address.
+        header: u32,
+        /// Reconstructed iteration count.
+        count: u32,
+    },
+    /// An indirect jump (switch dispatch).
+    IndirectJump {
+        /// Address of the rewritten jump site.
+        site: u32,
+        /// Jump target from the MTB packet.
+        dest: u32,
+    },
+    /// Replay reached `HALT`.
+    Halt(u32),
+}
+
+/// Why verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A report failed MAC authentication.
+    BadTag {
+        /// Sequence number of the offending report.
+        seq: u32,
+    },
+    /// Reports out of order, missing, or final-flag misplaced.
+    BadReportStream(String),
+    /// The reported `H_MEM` does not match the known-good binary.
+    HMemMismatch,
+    /// The reported challenge does not match the issued one.
+    ChallengeMismatch,
+    /// Replay reached a non-executable address.
+    InvalidPc {
+        /// The bad address.
+        pc: u32,
+    },
+    /// The log ended although replay still required an element.
+    LogExhausted {
+        /// Replay position when the log ran dry.
+        pc: u32,
+    },
+    /// Log elements remained after the program halted.
+    TrailingLog {
+        /// Unconsumed MTB packets.
+        mtb_left: usize,
+        /// Unconsumed loop records.
+        loops_left: usize,
+    },
+    /// An MTB packet's source does not match the expected stub.
+    UnexpectedSource {
+        /// Replay position.
+        pc: u32,
+        /// Source carried by the packet.
+        got: u32,
+        /// Source replay expected.
+        expected: u32,
+    },
+    /// An MTB packet's destination is inconsistent with the stub kind.
+    UnexpectedDest {
+        /// Replay position.
+        pc: u32,
+        /// Destination carried by the packet.
+        got: u32,
+        /// Destination replay expected.
+        expected: u32,
+    },
+    /// A return target disagrees with the shadow call stack — the
+    /// signature of ROP.
+    ReturnMismatch {
+        /// Site address.
+        site: u32,
+        /// Expected return target (shadow stack).
+        expected: u32,
+        /// Logged return target.
+        got: u32,
+    },
+    /// A return occurred with an empty shadow stack.
+    ShadowStackUnderflow {
+        /// Site address.
+        site: u32,
+    },
+    /// An indirect call targeted something that is not a function
+    /// entry — the signature of JOP/call hijacking.
+    InvalidCallTarget {
+        /// Site address.
+        site: u32,
+        /// The illegal destination.
+        dest: u32,
+    },
+    /// A conditional branch that should have been rewritten was not —
+    /// the binary and the map disagree.
+    UntrackedConditional {
+        /// The conditional's address.
+        addr: u32,
+    },
+    /// An untracked indirect transfer in MTBDR — map/binary mismatch.
+    UntrackedIndirect {
+        /// The instruction's address.
+        addr: u32,
+    },
+    /// A replayed loop failed to terminate within the cap.
+    LoopDiverged {
+        /// The latch address.
+        latch: u32,
+    },
+    /// Replay exceeded its step budget.
+    BudgetExceeded,
+    /// A report carries the MTB overflow flag: packets were overwritten
+    /// before they could be drained, so the path cannot be losslessly
+    /// reconstructed. Configure a watermark (§IV-E).
+    EvidenceLost {
+        /// Sequence number of the overflowed report.
+        seq: u32,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::BadTag { seq } => write!(f, "report {seq} failed authentication"),
+            Violation::BadReportStream(msg) => write!(f, "malformed report stream: {msg}"),
+            Violation::HMemMismatch => write!(f, "H_MEM does not match the expected binary"),
+            Violation::ChallengeMismatch => write!(f, "challenge mismatch"),
+            Violation::InvalidPc { pc } => write!(f, "replay reached invalid pc {pc:#010x}"),
+            Violation::LogExhausted { pc } => {
+                write!(f, "cf_log exhausted while replaying at {pc:#010x}")
+            }
+            Violation::TrailingLog {
+                mtb_left,
+                loops_left,
+            } => write!(
+                f,
+                "{mtb_left} mtb packets and {loops_left} loop records left after halt"
+            ),
+            Violation::UnexpectedSource { pc, got, expected } => write!(
+                f,
+                "packet source {got:#010x} != expected {expected:#010x} at {pc:#010x}"
+            ),
+            Violation::UnexpectedDest { pc, got, expected } => write!(
+                f,
+                "packet dest {got:#010x} != expected {expected:#010x} at {pc:#010x}"
+            ),
+            Violation::ReturnMismatch {
+                site,
+                expected,
+                got,
+            } => write!(
+                f,
+                "return at {site:#010x} went to {got:#010x}, expected {expected:#010x} (ROP)"
+            ),
+            Violation::ShadowStackUnderflow { site } => {
+                write!(f, "return at {site:#010x} with empty shadow stack")
+            }
+            Violation::InvalidCallTarget { site, dest } => write!(
+                f,
+                "indirect call at {site:#010x} targeted non-function {dest:#010x}"
+            ),
+            Violation::UntrackedConditional { addr } => {
+                write!(f, "untracked conditional at {addr:#010x}")
+            }
+            Violation::UntrackedIndirect { addr } => {
+                write!(f, "untracked indirect transfer at {addr:#010x}")
+            }
+            Violation::LoopDiverged { latch } => {
+                write!(f, "loop at latch {latch:#010x} did not terminate")
+            }
+            Violation::BudgetExceeded => write!(f, "replay step budget exceeded"),
+            Violation::EvidenceLost { seq } => {
+                write!(f, "report {seq} flags an MTB overflow: evidence lost")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// A successfully reconstructed execution path.
+#[derive(Debug, Clone)]
+pub struct VerifiedPath {
+    /// Control-flow events in execution order.
+    pub events: Vec<PathEvent>,
+    /// Instructions walked during replay (≈ attested instructions).
+    pub steps: u64,
+}
+
+impl VerifiedPath {
+    /// Convenience: the addresses of all indirect-call targets, in
+    /// order (useful for audit tooling).
+    pub fn indirect_call_targets(&self) -> Vec<u32> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                PathEvent::IndirectCall { dest, .. } => Some(*dest),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders the path as a human-readable listing, resolving
+    /// addresses to symbols via the deployed image where possible.
+    pub fn render(&self, image: &Image) -> String {
+        use std::fmt::Write as _;
+        let sym = |addr: u32| -> String {
+            for (name, a) in image.symbols() {
+                if *a == addr && !name.starts_with("__rap_") {
+                    return format!("{name} ({addr:#x})");
+                }
+            }
+            format!("{addr:#x}")
+        };
+        let mut out = String::new();
+        let mut depth = 0usize;
+        for event in &self.events {
+            let indent = "  ".repeat(depth.min(12));
+            match event {
+                PathEvent::Enter(a) => {
+                    let _ = writeln!(out, "enter {}", sym(*a));
+                }
+                PathEvent::Call { dest, .. } => {
+                    let _ = writeln!(out, "{indent}call {}", sym(*dest));
+                    depth += 1;
+                }
+                PathEvent::IndirectCall { dest, .. } => {
+                    let _ = writeln!(out, "{indent}call* {}", sym(*dest));
+                    depth += 1;
+                }
+                PathEvent::Return { .. } => {
+                    depth = depth.saturating_sub(1);
+                }
+                PathEvent::CondTaken { site, dest } => {
+                    let _ = writeln!(out, "{indent}if@{site:#x} -> {}", sym(*dest));
+                }
+                PathEvent::CondNotTaken { site } => {
+                    let _ = writeln!(out, "{indent}if@{site:#x} fell through");
+                }
+                PathEvent::LoopContinue { site } => {
+                    let _ = writeln!(out, "{indent}loop-continue@{site:#x}");
+                }
+                PathEvent::LoopIterations { header, count } => {
+                    let _ = writeln!(out, "{indent}loop {} x{count}", sym(*header));
+                }
+                PathEvent::IndirectJump { dest, .. } => {
+                    let _ = writeln!(out, "{indent}switch -> {}", sym(*dest));
+                }
+                PathEvent::Halt(a) => {
+                    let _ = writeln!(out, "halt at {}", sym(*a));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The Verifier for one deployed application.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    key: Key,
+    image: Image,
+    map: LinkMap,
+    h_mem: Digest,
+    entry: u32,
+    /// Replay step budget.
+    pub max_steps: u64,
+}
+
+impl Verifier {
+    /// Creates a Verifier for the given deployed binary and link map.
+    /// Replay starts at the image base.
+    pub fn new(key: Key, image: Image, map: LinkMap) -> Verifier {
+        let h_mem = sha256(image.bytes());
+        let entry = image.base();
+        Verifier {
+            key,
+            image,
+            map,
+            h_mem,
+            entry,
+            max_steps: 100_000_000,
+        }
+    }
+
+    /// The expected `H_MEM` of the deployed binary.
+    pub fn expected_h_mem(&self) -> Digest {
+        self.h_mem
+    }
+
+    /// Authenticates a report stream and reconstructs the execution
+    /// path it attests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] encountered — authentication
+    /// failures first, then replay divergences.
+    pub fn verify(&self, chal: Challenge, reports: &[Report]) -> Result<VerifiedPath, Violation> {
+        // --- Stream validation -----------------------------------------
+        if reports.is_empty() {
+            return Err(Violation::BadReportStream("no reports".into()));
+        }
+        for (i, r) in reports.iter().enumerate() {
+            if !r.authenticate(&self.key) {
+                return Err(Violation::BadTag { seq: r.seq });
+            }
+            if r.seq != i as u32 {
+                return Err(Violation::BadReportStream(format!(
+                    "expected seq {i}, got {}",
+                    r.seq
+                )));
+            }
+            if r.chal != chal {
+                return Err(Violation::ChallengeMismatch);
+            }
+            if r.h_mem != self.h_mem {
+                return Err(Violation::HMemMismatch);
+            }
+            if r.overflow {
+                return Err(Violation::EvidenceLost { seq: r.seq });
+            }
+            let last = i + 1 == reports.len();
+            if r.is_final != last {
+                return Err(Violation::BadReportStream(
+                    "final flag on wrong report".into(),
+                ));
+            }
+        }
+
+        // --- Splice the log streams -------------------------------------
+        let mut mtb: Vec<trace_units::TraceEntry> = Vec::new();
+        let mut loops: Vec<u32> = Vec::new();
+        for r in reports {
+            mtb.extend(r.log.mtb.iter().copied());
+            loops.extend(r.log.loop_records.iter().copied());
+        }
+
+        self.replay(&mtb, &loops)
+    }
+
+    /// Replays the binary against the spliced log.
+    ///
+    /// Taken-conditional packets are ambiguous when the *next* logged
+    /// event comes from the same stub but a later dynamic instance of
+    /// the site (e.g. a recursive call whose inner conditional is taken
+    /// while the outer one falls through). Replay therefore runs as a
+    /// backtracking parse: at each ambiguous decision it prefers the
+    /// "taken/continue" reading and records a checkpoint with the
+    /// alternative applied; any later violation rewinds to the most
+    /// recent checkpoint. A benign log always admits a consistent
+    /// parse; an attack log admits none and the *first* violation is
+    /// reported.
+    fn replay(&self, mtb: &[trace_units::TraceEntry], loops: &[u32]) -> Result<VerifiedPath, Violation> {
+        let mut state = ReplayState::new(self.entry);
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let mut first_violation: Option<Violation> = None;
+        let mut global_steps: u64 = 0;
+
+        loop {
+            global_steps += 1;
+            if global_steps > self.max_steps {
+                return Err(first_violation.unwrap_or(Violation::BudgetExceeded));
+            }
+            let outcome = self.step(&mut state, mtb, loops, &mut checkpoints);
+            match outcome {
+                Ok(true) => {
+                    // Halted: the whole log must be consumed.
+                    if state.mtb_idx == mtb.len()
+                        && state.loop_idx == loops.len()
+                        && state.pending_inits.is_empty()
+                    {
+                        return Ok(VerifiedPath {
+                            events: state.events,
+                            steps: state.steps,
+                        });
+                    }
+                    let v = Violation::TrailingLog {
+                        mtb_left: mtb.len() - state.mtb_idx,
+                        loops_left: loops.len() - state.loop_idx + state.pending_inits.len(),
+                    };
+                    first_violation.get_or_insert(v.clone());
+                    match checkpoints.pop() {
+                        Some(alt) => alt.restore(&mut state),
+                        None => return Err(first_violation.unwrap_or(v)),
+                    }
+                }
+                Ok(false) => {}
+                Err(v) => {
+                    first_violation.get_or_insert(v.clone());
+                    match checkpoints.pop() {
+                        Some(alt) => alt.restore(&mut state),
+                        None => return Err(first_violation.unwrap_or(v)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one replayed instruction. Returns `Ok(true)` on halt.
+    fn step(
+        &self,
+        state: &mut ReplayState,
+        mtb: &[trace_units::TraceEntry],
+        loops: &[u32],
+        checkpoints: &mut Vec<Checkpoint>,
+    ) -> Result<bool, Violation> {
+        let pc = state.pc;
+        state.steps += 1;
+        let instr = self
+            .image
+            .instr_at(pc)
+            .ok_or(Violation::InvalidPc { pc })?;
+        let size = instr.size();
+
+        match instr {
+            Instr::Halt => {
+                state.events.push(PathEvent::Halt(pc));
+                return Ok(true);
+            }
+            Instr::SecureGateway { service: svc, .. } => {
+                if *svc == service::LOG_LOOP_COND {
+                    let v = loops
+                        .get(state.loop_idx)
+                        .copied()
+                        .ok_or(Violation::LogExhausted { pc })?;
+                    state.loop_idx += 1;
+                    state.pending_inits.push_back(v);
+                }
+                state.pc = pc + size;
+            }
+            Instr::B { target } => {
+                let dest = resolve(target);
+                if let Some(site) = self.map.site_at_entry(dest) {
+                    match site.kind {
+                        SiteKind::LoopForward { cont } => {
+                            let e = state.take_mtb(mtb, pc)?;
+                            expect_src(pc, e.source, site.src)?;
+                            expect_dest(pc, e.dest, cont)?;
+                            state.events.push(PathEvent::LoopContinue { site: pc });
+                            state.pc = cont;
+                        }
+                        SiteKind::CondFallthrough { cont } => {
+                            let e = state.take_mtb(mtb, pc)?;
+                            expect_src(pc, e.source, site.src)?;
+                            expect_dest(pc, e.dest, cont)?;
+                            state.events.push(PathEvent::CondNotTaken { site: pc });
+                            state.pc = cont;
+                        }
+                        SiteKind::ReturnPop | SiteKind::ReturnBx => {
+                            let e = state.take_mtb(mtb, pc)?;
+                            expect_src(pc, e.source, site.src)?;
+                            let expected = state
+                                .shadow
+                                .pop()
+                                .ok_or(Violation::ShadowStackUnderflow { site: pc })?;
+                            if e.dest != expected {
+                                return Err(Violation::ReturnMismatch {
+                                    site: pc,
+                                    expected,
+                                    got: e.dest,
+                                });
+                            }
+                            state.events.push(PathEvent::Return {
+                                site: pc,
+                                dest: e.dest,
+                            });
+                            state.pc = e.dest;
+                        }
+                        SiteKind::LoadJump | SiteKind::IndirectJump => {
+                            let e = state.take_mtb(mtb, pc)?;
+                            expect_src(pc, e.source, site.src)?;
+                            if self.map.in_mtbar(e.dest) {
+                                return Err(Violation::InvalidPc { pc: e.dest });
+                            }
+                            state.events.push(PathEvent::IndirectJump {
+                                site: pc,
+                                dest: e.dest,
+                            });
+                            state.pc = e.dest;
+                        }
+                        SiteKind::IndirectCall | SiteKind::CondTaken { .. } => {
+                            return Err(Violation::UntrackedIndirect { addr: pc });
+                        }
+                    }
+                } else {
+                    state.pc = dest;
+                }
+            }
+            Instr::BCond { target, .. } => {
+                let dest = resolve(target);
+                if let Some(site) = self.map.site_at_entry(dest) {
+                    let SiteKind::CondTaken { taken } = site.kind else {
+                        return Err(Violation::UntrackedConditional { addr: pc });
+                    };
+                    let front_matches = mtb
+                        .get(state.mtb_idx)
+                        .is_some_and(|e| e.source == site.src);
+                    // With CondBoth instrumentation the very next
+                    // instruction is a fall-through-logging branch, and
+                    // the decision is fully determined by the log.
+                    let ft_site = self.image.instr_at(pc + size).and_then(|n| match n {
+                        Instr::B { target } => self
+                            .map
+                            .site_at_entry(resolve(target))
+                            .filter(|s| matches!(s.kind, SiteKind::CondFallthrough { .. })),
+                        _ => None,
+                    });
+                    if let Some(ft) = ft_site {
+                        let e = mtb
+                            .get(state.mtb_idx)
+                            .copied()
+                            .ok_or(Violation::LogExhausted { pc })?;
+                        if e.source == site.src {
+                            state.mtb_idx += 1;
+                            expect_dest(pc, e.dest, taken)?;
+                            state.events.push(PathEvent::CondTaken {
+                                site: pc,
+                                dest: taken,
+                            });
+                            state.pc = taken;
+                        } else if e.source == ft.src {
+                            // Leave the packet for the logging branch.
+                            state.events.push(PathEvent::CondNotTaken { site: pc });
+                            state.pc = pc + size;
+                        } else {
+                            return Err(Violation::UnexpectedSource {
+                                pc,
+                                got: e.source,
+                                expected: site.src,
+                            });
+                        }
+                    } else if front_matches {
+                        // Ambiguous: checkpoint the not-taken reading.
+                        checkpoints.push(Checkpoint::new(
+                            state,
+                            pc + size,
+                            PathEvent::CondNotTaken { site: pc },
+                        ));
+
+                        let e = state.take_mtb(mtb, pc)?;
+                        expect_dest(pc, e.dest, taken)?;
+                        state.events.push(PathEvent::CondTaken {
+                            site: pc,
+                            dest: taken,
+                        });
+                        state.pc = taken;
+                    } else {
+                        state.events.push(PathEvent::CondNotTaken { site: pc });
+                        state.pc = pc + size;
+                    }
+                } else if let Some(meta) = self.map.loops_by_latch.get(&pc) {
+                    // §IV-D replay: derive the iteration count.
+                    let init = match meta.kind {
+                        LoopPlanKind::Static { init } => init,
+                        LoopPlanKind::Logged => state
+                            .pending_inits
+                            .pop_front()
+                            .ok_or(Violation::LogExhausted { pc })?,
+                    };
+                    let count = meta
+                        .iterations(init, LOOP_CAP)
+                        .ok_or(Violation::LoopDiverged { latch: pc })?;
+                    state.events.push(PathEvent::LoopIterations {
+                        header: meta.header,
+                        count,
+                    });
+                    state.pc = meta.exit;
+                } else {
+                    // Fig. 7 layout: the continue-logging branch
+                    // immediately follows the untracked exit check.
+                    let next_addr = pc + size;
+                    let follows = self.image.instr_at(next_addr);
+                    let forward_site = follows.and_then(|n| match n {
+                        Instr::B { target } => self
+                            .map
+                            .site_at_entry(resolve(target))
+                            .filter(|s| matches!(s.kind, SiteKind::LoopForward { .. })),
+                        _ => None,
+                    });
+                    let Some(fsite) = forward_site else {
+                        return Err(Violation::UntrackedConditional { addr: pc });
+                    };
+                    let continued = mtb
+                        .get(state.mtb_idx)
+                        .is_some_and(|e| e.source == fsite.src);
+                    if continued {
+                        // Ambiguous the same way: checkpoint "taken".
+                        checkpoints.push(Checkpoint::new(
+                            state,
+                            dest,
+                            PathEvent::CondTaken { site: pc, dest },
+                        ));
+
+                        state.events.push(PathEvent::CondNotTaken { site: pc });
+                        state.pc = next_addr; // the B consumes the packet
+                    } else {
+                        state.events.push(PathEvent::CondTaken { site: pc, dest });
+                        state.pc = dest;
+                    }
+                }
+            }
+            Instr::Bl { target } => {
+                let dest = resolve(target);
+                let ret = pc + size;
+                if let Some(site) = self.map.site_at_entry(dest) {
+                    if site.kind != SiteKind::IndirectCall {
+                        return Err(Violation::UntrackedIndirect { addr: pc });
+                    }
+                    let e = state.take_mtb(mtb, pc)?;
+                    expect_src(pc, e.source, site.src)?;
+                    let is_entry = self.image.is_func_entry(e.dest)
+                        || self.map.funcs.contains_key(&e.dest);
+                    if !is_entry {
+                        return Err(Violation::InvalidCallTarget {
+                            site: pc,
+                            dest: e.dest,
+                        });
+                    }
+                    state.shadow.push(ret);
+                    state.events.push(PathEvent::IndirectCall {
+                        site: pc,
+                        dest: e.dest,
+                    });
+                    state.pc = e.dest;
+                } else {
+                    state.shadow.push(ret);
+                    state.events.push(PathEvent::Call { site: pc, dest });
+                    state.pc = dest;
+                }
+            }
+            Instr::Bx { rm } if *rm == Reg::Lr => {
+                // Untracked leaf return: deterministic via the shadow
+                // stack (§IV-C.2).
+                let dest = state
+                    .shadow
+                    .pop()
+                    .ok_or(Violation::ShadowStackUnderflow { site: pc })?;
+                state.events.push(PathEvent::Return { site: pc, dest });
+                state.pc = dest;
+            }
+            other => match other.branch_kind() {
+                BranchKind::None | BranchKind::Gateway => state.pc = pc + size,
+                // Any leftover indirect transfer in MTBDR means the
+                // binary and the map disagree.
+                _ => return Err(Violation::UntrackedIndirect { addr: pc }),
+            },
+        }
+        Ok(false)
+    }
+}
+
+/// Snapshot-able replay state (checkpointed at ambiguous decisions).
+#[derive(Debug, Clone)]
+struct ReplayState {
+    pc: u32,
+    shadow: Vec<u32>,
+    mtb_idx: usize,
+    loop_idx: usize,
+    pending_inits: VecDeque<u32>,
+    events: Vec<PathEvent>,
+    steps: u64,
+}
+
+impl ReplayState {
+    fn new(entry: u32) -> ReplayState {
+        ReplayState {
+            pc: entry,
+            shadow: Vec::new(),
+            mtb_idx: 0,
+            loop_idx: 0,
+            pending_inits: VecDeque::new(),
+            events: vec![PathEvent::Enter(entry)],
+            steps: 0,
+        }
+    }
+
+    fn take_mtb(
+        &mut self,
+        mtb: &[trace_units::TraceEntry],
+        pc: u32,
+    ) -> Result<trace_units::TraceEntry, Violation> {
+        let e = mtb
+            .get(self.mtb_idx)
+            .copied()
+            .ok_or(Violation::LogExhausted { pc })?;
+        self.mtb_idx += 1;
+        Ok(e)
+    }
+}
+
+/// A cheap rewind point for the backtracking parse: everything needed
+/// to resume with the alternative reading of one ambiguous decision.
+/// The (potentially large) event list is shared with the live state and
+/// merely truncated on restore.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    /// PC to resume at under the alternative reading.
+    alt_pc: u32,
+    /// Event recorded for the alternative reading.
+    alt_event: PathEvent,
+    shadow: Vec<u32>,
+    mtb_idx: usize,
+    loop_idx: usize,
+    pending_inits: VecDeque<u32>,
+    events_len: usize,
+    steps: u64,
+}
+
+impl Checkpoint {
+    fn new(state: &ReplayState, alt_pc: u32, alt_event: PathEvent) -> Checkpoint {
+        Checkpoint {
+            alt_pc,
+            alt_event,
+            shadow: state.shadow.clone(),
+            mtb_idx: state.mtb_idx,
+            loop_idx: state.loop_idx,
+            pending_inits: state.pending_inits.clone(),
+            events_len: state.events.len(),
+            steps: state.steps,
+        }
+    }
+
+    fn restore(self, state: &mut ReplayState) {
+        state.pc = self.alt_pc;
+        state.shadow = self.shadow;
+        state.mtb_idx = self.mtb_idx;
+        state.loop_idx = self.loop_idx;
+        state.pending_inits = self.pending_inits;
+        state.events.truncate(self.events_len);
+        state.events.push(self.alt_event);
+        state.steps = self.steps;
+    }
+}
+
+fn resolve(target: &Target) -> u32 {
+    target
+        .abs()
+        .expect("deployed images carry resolved targets")
+}
+
+fn expect_src(pc: u32, got: u32, expected: u32) -> Result<(), Violation> {
+    if got != expected {
+        return Err(Violation::UnexpectedSource { pc, got, expected });
+    }
+    Ok(())
+}
+
+fn expect_dest(pc: u32, got: u32, expected: u32) -> Result<(), Violation> {
+    if got != expected {
+        return Err(Violation::UnexpectedDest { pc, got, expected });
+    }
+    Ok(())
+}

@@ -1,0 +1,285 @@
+//! Binary wire format for report streams — what actually travels from
+//! the Prover to the Verifier.
+//!
+//! Little-endian framing, one frame per report:
+//!
+//! ```text
+//! magic  "RAPR"            4 bytes
+//! ver    u8 = 1            1
+//! flags  u8  bit0 = final, bit1 = overflow
+//! seq    u32
+//! chal   [u8; 32]
+//! h_mem  [u8; 32]
+//! nmtb   u32, then nmtb × (source u32, dest u32)
+//! nloop  u32, then nloop × u32
+//! tag    [u8; 32]
+//! ```
+//!
+//! Frames concatenate to form a stream; [`decode_stream`] reads until
+//! the buffer is exhausted.
+
+use trace_units::TraceEntry;
+
+use crate::report::{CfLog, Challenge, Report};
+
+const MAGIC: &[u8; 4] = b"RAPR";
+const VERSION: u8 = 1;
+
+/// A failure while decoding a wire stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended mid-frame.
+    Truncated {
+        /// Byte offset at which more data was needed.
+        offset: usize,
+    },
+    /// The frame did not start with the magic bytes.
+    BadMagic {
+        /// Byte offset of the bad frame.
+        offset: usize,
+    },
+    /// Unsupported format version.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// A declared element count is implausibly large for the buffer.
+    BadCount {
+        /// The offending count.
+        count: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { offset } => write!(f, "stream truncated at byte {offset}"),
+            WireError::BadMagic { offset } => write!(f, "bad frame magic at byte {offset}"),
+            WireError::BadVersion { found } => write!(f, "unsupported wire version {found}"),
+            WireError::BadCount { count } => write!(f, "implausible element count {count}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes one report as a wire frame.
+pub fn encode_report(report: &Report) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + report.log.size_bytes());
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(u8::from(report.is_final) | u8::from(report.overflow) << 1);
+    out.extend_from_slice(&report.seq.to_le_bytes());
+    out.extend_from_slice(&report.chal.0);
+    out.extend_from_slice(&report.h_mem);
+    out.extend_from_slice(&(report.log.mtb.len() as u32).to_le_bytes());
+    for e in &report.log.mtb {
+        out.extend_from_slice(&e.source.to_le_bytes());
+        out.extend_from_slice(&e.dest.to_le_bytes());
+    }
+    out.extend_from_slice(&(report.log.loop_records.len() as u32).to_le_bytes());
+    for r in &report.log.loop_records {
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+    out.extend_from_slice(&report.tag);
+    out
+}
+
+/// Encodes a whole report stream.
+pub fn encode_stream(reports: &[Report]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in reports {
+        out.extend(encode_report(r));
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated { offset: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn arr32(&mut self) -> Result<[u8; 32], WireError> {
+        let mut out = [0u8; 32];
+        out.copy_from_slice(self.take(32)?);
+        Ok(out)
+    }
+}
+
+/// Decodes a stream of frames until the buffer is exhausted.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on any malformed frame. Authentication is
+/// *not* checked here — that is the Verifier's job.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Report>, WireError> {
+    let mut cur = Cursor { buf: bytes, pos: 0 };
+    let mut reports = Vec::new();
+    while cur.pos < bytes.len() {
+        let frame_start = cur.pos;
+        if cur.take(4)? != MAGIC {
+            return Err(WireError::BadMagic {
+                offset: frame_start,
+            });
+        }
+        let version = cur.u8()?;
+        if version != VERSION {
+            return Err(WireError::BadVersion { found: version });
+        }
+        let flags = cur.u8()?;
+        let seq = cur.u32()?;
+        let chal = Challenge(cur.arr32()?);
+        let h_mem = cur.arr32()?;
+        let nmtb = cur.u32()?;
+        if nmtb as usize > bytes.len() / 8 + 1 {
+            return Err(WireError::BadCount { count: nmtb });
+        }
+        let mut mtb = Vec::with_capacity(nmtb as usize);
+        for _ in 0..nmtb {
+            let source = cur.u32()?;
+            let dest = cur.u32()?;
+            mtb.push(TraceEntry { source, dest });
+        }
+        let nloop = cur.u32()?;
+        if nloop as usize > bytes.len() / 4 + 1 {
+            return Err(WireError::BadCount { count: nloop });
+        }
+        let mut loop_records = Vec::with_capacity(nloop as usize);
+        for _ in 0..nloop {
+            loop_records.push(cur.u32()?);
+        }
+        let tag = cur.arr32()?;
+        reports.push(Report {
+            chal,
+            h_mem,
+            log: CfLog { mtb, loop_records },
+            seq,
+            is_final: flags & 1 != 0,
+            overflow: flags & 2 != 0,
+            tag,
+        });
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::device_key;
+
+    fn sample_reports() -> Vec<Report> {
+        let key = device_key("wire");
+        let chal = Challenge::from_seed(3);
+        let h = rap_crypto::sha256(b"bin");
+        vec![
+            Report::new(
+                &key,
+                chal,
+                h,
+                CfLog {
+                    mtb: vec![
+                        TraceEntry {
+                            source: 0x10,
+                            dest: 0x20,
+                        },
+                        TraceEntry {
+                            source: 0x30,
+                            dest: 0x40,
+                        },
+                    ],
+                    loop_records: vec![5],
+                },
+                0,
+                false,
+                false,
+            ),
+            Report::new(&key, chal, h, CfLog::new(), 1, true, true),
+        ]
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let reports = sample_reports();
+        let bytes = encode_stream(&reports);
+        let back = decode_stream(&bytes).expect("decodes");
+        assert_eq!(back, reports);
+        // Authentication survives the trip.
+        let key = device_key("wire");
+        assert!(back[0].authenticate(&key));
+        assert!(back[1].authenticate(&key));
+        assert!(back[1].overflow);
+        assert!(back[1].is_final);
+    }
+
+    #[test]
+    fn truncation_detected_at_every_boundary() {
+        let bytes = encode_stream(&sample_reports());
+        for cut in 1..bytes.len() {
+            match decode_stream(&bytes[..cut]) {
+                Err(WireError::Truncated { .. }) => {}
+                Ok(reports) => {
+                    // A cut exactly between frames decodes the prefix.
+                    assert!(reports.len() < 2 || cut == bytes.len());
+                }
+                Err(other) => panic!("cut {cut}: unexpected {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut bytes = encode_stream(&sample_reports());
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(WireError::BadMagic { offset: 0 })
+        ));
+        let mut bytes = encode_stream(&sample_reports());
+        bytes[4] = 9;
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(WireError::BadVersion { found: 9 })
+        ));
+    }
+
+    #[test]
+    fn adversarial_count_rejected() {
+        let mut bytes = encode_report(&sample_reports()[1]);
+        // Overwrite nmtb (offset 4+1+1+4+32+32 = 74) with u32::MAX.
+        bytes[74..78].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(WireError::BadCount { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_wire_bytes_fail_authentication() {
+        let reports = sample_reports();
+        let mut bytes = encode_stream(&reports);
+        // Flip one byte inside the first report's first MTB entry.
+        bytes[75] ^= 1;
+        if let Ok(back) = decode_stream(&bytes) {
+            assert!(!back[0].authenticate(&device_key("wire")));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # rap-crypto — minimal crypto substrate for the RAP-Track RoT model
+//!
+//! From-scratch SHA-256 and HMAC-SHA256, used by the Secure-World CFA
+//! Engine to compute `H_MEM` (the attested application's code hash) and
+//! to authenticate CFA reports, and by the Verifier to check them.
+//!
+//! The paper's prototype signs reports inside TrustZone with a key held
+//! in the Secure World; this crate provides the functionally equivalent
+//! symmetric primitive (a MAC, as §II-C of the paper explicitly allows).
+//!
+//! ```
+//! use rap_crypto::{hmac_sha256, sha256, verify_tag};
+//! let h_mem = sha256(b"application binary bytes");
+//! let tag = hmac_sha256(b"device key", &h_mem);
+//! assert!(verify_tag(&tag, &hmac_sha256(b"device key", &h_mem)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod hmac;
+mod sha256;
+
+pub use hmac::{HmacSha256, hmac_sha256, verify_tag};
+pub use sha256::{DIGEST_LEN, Digest, Sha256, sha256};

@@ -1,0 +1,79 @@
+//! The cycle-cost model.
+//!
+//! A deterministic, Cortex-M33-flavoured cost model. The M33 is a simple
+//! in-order, two-stage-ish pipeline: most instructions are single-cycle,
+//! taken branches pay a pipeline refill, loads/stores pay a bus cycle and
+//! `UDIV` is multi-cycle. Secure-gateway transitions dominate everything
+//! else; their cost (state clearing, stack sealing, register scrubbing on
+//! the return path) is what makes instrumentation-based CFA slow, so the
+//! constant is deliberately configurable for the ablation bench.
+//!
+//! Absolute values are *calibrated, not measured*: the experiments only
+//! depend on the ratio between plain execution and context switches, and
+//! the defaults land the TRACES baseline inside the overhead band the
+//! paper reports (7%–1309%, Fig. 8).
+
+/// Base cost of every instruction.
+pub const BASE: u64 = 1;
+
+/// Pipeline-refill penalty for any non-sequential PC change.
+pub const BRANCH_TAKEN: u64 = 2;
+
+/// Extra cost of a single load/store bus access.
+pub const MEM_ACCESS: u64 = 1;
+
+/// Per-register cost of `PUSH`/`POP`.
+pub const PUSH_POP_PER_REG: u64 = 1;
+
+/// Extra cost of `UDIV` (2–11 cycles on the M33; fixed mid value).
+pub const UDIV: u64 = 5;
+
+/// Cost of entering the Secure World through an NSC veneer (hardware
+/// state banking plus the veneer prologue).
+pub const SG_ENTRY: u64 = 60;
+
+/// Cost of returning to the Non-Secure World (`BXNS`, register
+/// scrubbing).
+pub const SG_EXIT: u64 = 60;
+
+/// Cost of the Secure-World logger body appending one `CF_Log` element
+/// (bounds check + store + counter update, as in TRACES).
+pub const LOG_APPEND: u64 = 30;
+
+/// Cost of the Secure-World partial-report path per drained `CF_Log`
+/// byte (hashing/MAC streaming), charged when the MTB watermark or an
+/// instrumentation-side buffer limit triggers a report.
+pub const REPORT_PER_BYTE: u64 = 4;
+
+/// Fixed cost of assembling, authenticating and transmitting one
+/// (partial) report.
+pub const REPORT_FIXED: u64 = 2_000;
+
+/// A bundle of the tunable context-switch costs, used by the ablation
+/// bench to sweep the TEE-transition price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Secure-World entry cost (replaces [`SG_ENTRY`]).
+    pub sg_entry: u64,
+    /// Secure-World exit cost (replaces [`SG_EXIT`]).
+    pub sg_exit: u64,
+    /// Logger body cost (replaces [`LOG_APPEND`]).
+    pub log_append: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            sg_entry: SG_ENTRY,
+            sg_exit: SG_EXIT,
+            log_append: LOG_APPEND,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total cost of one instrumented logging call: entry + body + exit.
+    pub fn gateway_round_trip(&self) -> u64 {
+        self.sg_entry + self.log_append + self.sg_exit
+    }
+}

@@ -1,0 +1,67 @@
+//! Execution faults raised by the simulated MCU.
+
+use std::fmt;
+
+/// A fault raised while executing the attested application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A data access touched an address no segment or device maps.
+    UnmappedAddress {
+        /// The faulting data address.
+        addr: u32,
+        /// PC of the faulting instruction.
+        pc: u32,
+    },
+    /// A write hit a read-only MPU region (e.g. the locked application
+    /// binary — the code-injection defence of §IV-A).
+    MpuViolation {
+        /// The faulting data address.
+        addr: u32,
+        /// PC of the faulting instruction.
+        pc: u32,
+    },
+    /// The PC does not point at a decoded instruction.
+    InvalidPc {
+        /// The bad program counter.
+        pc: u32,
+    },
+    /// The instruction budget was exhausted (runaway-loop guard).
+    InstructionBudgetExceeded {
+        /// The configured budget.
+        max_instrs: u64,
+    },
+    /// A secure-gateway service id was not recognized by the installed
+    /// Secure World.
+    UnknownService {
+        /// The unknown service id.
+        service: u8,
+        /// PC of the `SG` instruction.
+        pc: u32,
+    },
+    /// The Secure World refused the request (e.g. CF_Log storage
+    /// exhausted with partial reports disabled).
+    SecureWorld(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnmappedAddress { addr, pc } => {
+                write!(f, "unmapped address {addr:#010x} accessed from {pc:#010x}")
+            }
+            ExecError::MpuViolation { addr, pc } => {
+                write!(f, "mpu write violation at {addr:#010x} from {pc:#010x}")
+            }
+            ExecError::InvalidPc { pc } => write!(f, "pc {pc:#010x} is not executable"),
+            ExecError::InstructionBudgetExceeded { max_instrs } => {
+                write!(f, "instruction budget of {max_instrs} exceeded")
+            }
+            ExecError::UnknownService { service, pc } => {
+                write!(f, "unknown secure service {service} requested at {pc:#010x}")
+            }
+            ExecError::SecureWorld(msg) => write!(f, "secure world fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

@@ -1,0 +1,45 @@
+//! # mcu-sim — a cycle-approximate Cortex-M33-like MCU platform
+//!
+//! The execution substrate for the RAP-Track reproduction: a
+//! deterministic interpreter for the T-lite ISA ([`armv8m_isa`]) with
+//!
+//! * a documented [cycle-cost model](cycles) (pipeline-refill penalties,
+//!   bus cycles, TrustZone context-switch costs),
+//! * a TrustZone-style Secure/Non-Secure boundary: the [`SecureWorld`]
+//!   trait models trusted Secure-World services invoked through secure
+//!   gateways, charged the full transition cost,
+//! * the NS-[`Mpu`] with configuration locking (code-injection defence),
+//! * the MTB/DWT [`trace_units::TraceFabric`] stepped on every
+//!   instruction, and
+//! * adversarial memory-write injection ([`InjectedWrite`]) for the
+//!   runtime-attack experiments.
+//!
+//! ```
+//! use armv8m_isa::{Asm, Reg};
+//! use mcu_sim::{Machine, NullSecureWorld};
+//!
+//! let mut a = Asm::new();
+//! a.movi(Reg::R0, 21);
+//! a.add(Reg::R0, Reg::R0, Reg::R0);
+//! a.halt();
+//! let image = a.into_module().assemble(0)?;
+//!
+//! let mut machine = Machine::new(image);
+//! let outcome = machine.run(&mut NullSecureWorld, 1_000)?;
+//! assert_eq!(machine.cpu.reg(Reg::R0), 42);
+//! assert!(outcome.cycles >= outcome.instrs);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cycles;
+mod error;
+mod machine;
+mod mem;
+mod mpu;
+
+pub use error::ExecError;
+pub use machine::{Cpu, InjectedWrite, Machine, NullSecureWorld, RunOutcome, SecureEnv, SecureWorld};
+pub use mem::{BusDevice, CODE_BASE, Memory, PERIPH_BASE, RAM_BASE, RAM_SIZE};
+pub use mpu::{Mpu, ProtectedRegion};

@@ -1,0 +1,733 @@
+//! The simulated MCU: CPU state, the instruction interpreter, the
+//! Secure-World boundary and the attack-injection hooks.
+
+use armv8m_isa::{Flags, Image, Instr, Reg, Target};
+use trace_units::{MtbConfig, TraceFabric};
+
+use crate::mem::{Memory, RAM_BASE, RAM_SIZE};
+use crate::mpu::Mpu;
+use crate::{ExecError, cycles};
+
+/// Architectural CPU state.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Cpu {
+    /// `R0`–`R12`, `SP`, `LR`, `PC`.
+    pub regs: [u32; 16],
+    /// APSR condition flags.
+    pub flags: Flags,
+    /// Cycle counter (the paper's Fig. 8 metric).
+    pub cycles: u64,
+    /// Retired-instruction counter.
+    pub instr_count: u64,
+    /// Set by `HALT`.
+    pub halted: bool,
+}
+
+
+impl Cpu {
+    /// Reads a register. `PC` reads return the current instruction
+    /// address (the model does not expose the +4 pipeline offset).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index() as usize] = value;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.reg(Reg::Pc)
+    }
+
+    /// Current stack pointer.
+    pub fn sp(&self) -> u32 {
+        self.reg(Reg::Sp)
+    }
+}
+
+/// Access the Secure World gets when invoked (gateway call or MTB
+/// watermark debug event): the trace fabric plus the faulting context.
+pub struct SecureEnv<'a> {
+    /// The MTB/DWT fabric (Secure-World-only configuration surface).
+    pub fabric: &'a mut TraceFabric,
+    /// PC of the Non-Secure instruction that triggered the transition.
+    pub pc: u32,
+    /// Cycles consumed so far.
+    pub cycles: u64,
+}
+
+/// The Secure-World runtime installed on the machine.
+///
+/// Implemented natively (host Rust) rather than in simulated
+/// instructions: the Secure World is *trusted* in the paper's model, so
+/// only its cycle cost and its effects matter. Implementations return
+/// the cycles consumed by the handler *body*; the machine adds the
+/// context-switch entry/exit costs itself.
+pub trait SecureWorld {
+    /// Handles a secure-gateway call (`SG service, arg`).
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject unknown services or signal internal
+    /// faults; the machine surfaces these as [`ExecError`].
+    fn on_gateway(&mut self, service: u8, arg: u32, env: &mut SecureEnv<'_>)
+    -> Result<u64, ExecError>;
+
+    /// Handles the MTB `MTB_FLOW` watermark debug event (partial
+    /// reports, §IV-E). The default ignores it.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail when, e.g., report transmission is
+    /// modelled as impossible.
+    fn on_watermark(&mut self, env: &mut SecureEnv<'_>) -> Result<u64, ExecError> {
+        let _ = env;
+        Ok(0)
+    }
+}
+
+/// A Secure World that rejects every request — used for baseline runs
+/// of uninstrumented applications.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSecureWorld;
+
+impl SecureWorld for NullSecureWorld {
+    fn on_gateway(
+        &mut self,
+        service: u8,
+        _arg: u32,
+        env: &mut SecureEnv<'_>,
+    ) -> Result<u64, ExecError> {
+        Err(ExecError::UnknownService {
+            service,
+            pc: env.pc,
+        })
+    }
+}
+
+/// A memory write injected by the (modelled) adversary at a chosen
+/// point in execution — the runtime-attack primitive used by the
+/// attack-detection experiments. It models a memory-corruption
+/// vulnerability inside the application (e.g. an out-of-bounds store),
+/// so it goes through the MPU like any Non-Secure write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedWrite {
+    /// Fires after this many retired instructions.
+    pub after_instrs: u64,
+    /// Target address.
+    pub addr: u32,
+    /// 32-bit value to plant.
+    pub value: u32,
+}
+
+/// Outcome of a completed (halted) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Total CPU cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instrs: u64,
+}
+
+/// The simulated MCU.
+pub struct Machine {
+    /// CPU state.
+    pub cpu: Cpu,
+    /// The bus.
+    pub mem: Memory,
+    /// The NS-MPU.
+    pub mpu: Mpu,
+    /// MTB + DWT.
+    pub fabric: TraceFabric,
+    image: Image,
+    injected: Vec<InjectedWrite>,
+    transfer_trace: Option<Vec<(u32, u32)>>,
+    cost: cycles::CostModel,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.cpu.pc())
+            .field("cycles", &self.cpu.cycles)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with `image` mapped at its base address, a
+    /// default-sized SRAM, the stack pointer at the top of SRAM and the
+    /// PC at the image's base.
+    pub fn new(image: Image) -> Machine {
+        Machine::with_mtb(image, MtbConfig::default())
+    }
+
+    /// As [`Machine::new`] with an explicit MTB configuration.
+    pub fn with_mtb(image: Image, mtb: MtbConfig) -> Machine {
+        let mut mem = Memory::new();
+        mem.map_segment(image.base(), image.bytes().to_vec());
+        mem.map_zeroed(RAM_BASE, RAM_SIZE);
+        let mut cpu = Cpu::default();
+        cpu.set_reg(Reg::Sp, RAM_BASE + RAM_SIZE);
+        cpu.set_reg(Reg::Pc, image.base());
+        Machine {
+            cpu,
+            mem,
+            mpu: Mpu::new(),
+            fabric: TraceFabric::new(mtb),
+            image,
+            injected: Vec::new(),
+            transfer_trace: None,
+            cost: cycles::CostModel::default(),
+        }
+    }
+
+    /// The executing image.
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// Sets the entry point (by symbol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol does not exist — a test-setup error.
+    pub fn set_entry(&mut self, symbol: &str) {
+        let addr = self
+            .image
+            .symbol(symbol)
+            .unwrap_or_else(|| panic!("unknown entry symbol `{symbol}`"));
+        self.cpu.set_reg(Reg::Pc, addr);
+    }
+
+    /// Schedules an adversarial memory write (see [`InjectedWrite`]).
+    pub fn inject_write(&mut self, write: InjectedWrite) {
+        self.injected.push(write);
+    }
+
+    /// Overrides the TrustZone context-switch cost model (the
+    /// `ablate-sg` sensitivity sweep).
+    pub fn set_cost_model(&mut self, cost: cycles::CostModel) {
+        self.cost = cost;
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> cycles::CostModel {
+        self.cost
+    }
+
+    /// Starts recording a ground-truth trace of **every** non-sequential
+    /// transfer `(source, dest)` the CPU executes — an oracle for
+    /// cross-validating trace hardware and verifier reconstructions
+    /// (this is what a cycle-accurate debugger would see, not what the
+    /// MTB records).
+    pub fn enable_transfer_trace(&mut self) {
+        self.transfer_trace = Some(Vec::new());
+    }
+
+    /// The ground-truth transfer trace, if recording was enabled.
+    pub fn transfer_trace(&self) -> Option<&[(u32, u32)]> {
+        self.transfer_trace.as_deref()
+    }
+
+    /// Runs until `HALT`, a fault, or `max_instrs` retired instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ExecError`] raised by the core, the bus, the
+    /// MPU or the Secure World.
+    pub fn run(
+        &mut self,
+        secure: &mut dyn SecureWorld,
+        max_instrs: u64,
+    ) -> Result<RunOutcome, ExecError> {
+        while !self.cpu.halted {
+            if self.cpu.instr_count >= max_instrs {
+                return Err(ExecError::InstructionBudgetExceeded { max_instrs });
+            }
+            self.step(secure)?;
+        }
+        Ok(RunOutcome {
+            cycles: self.cpu.cycles,
+            instrs: self.cpu.instr_count,
+        })
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run`].
+    pub fn step(&mut self, secure: &mut dyn SecureWorld) -> Result<(), ExecError> {
+        let pc = self.cpu.pc();
+        // DWT comparators see the PC of the instruction about to issue.
+        self.fabric.pre_step(pc);
+
+        let instr = self
+            .image
+            .instr_at(pc)
+            .ok_or(ExecError::InvalidPc { pc })?
+            .clone();
+        let size = instr.size();
+        let mut next_pc = pc + size;
+        let mut cost = cycles::BASE;
+
+        match &instr {
+            Instr::MovImm { rd, imm } => self.cpu.set_reg(*rd, *imm as u32),
+            Instr::MovTop { rd, imm } => {
+                let low = self.cpu.reg(*rd) & 0xFFFF;
+                self.cpu.set_reg(*rd, (*imm as u32) << 16 | low);
+            }
+            Instr::MovReg { rd, rm } => {
+                let v = self.cpu.reg(*rm);
+                self.cpu.set_reg(*rd, v);
+            }
+            Instr::AddImm { rd, rn, imm } => {
+                let (v, f) = Flags::from_add(self.cpu.reg(*rn), *imm as u32, false);
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = f;
+            }
+            Instr::AddReg { rd, rn, rm } => {
+                let (v, f) = Flags::from_add(self.cpu.reg(*rn), self.cpu.reg(*rm), false);
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = f;
+            }
+            Instr::SubImm { rd, rn, imm } => {
+                let (v, f) = Flags::from_sub(self.cpu.reg(*rn), *imm as u32);
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = f;
+            }
+            Instr::SubReg { rd, rn, rm } => {
+                let (v, f) = Flags::from_sub(self.cpu.reg(*rn), self.cpu.reg(*rm));
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = f;
+            }
+            Instr::MulReg { rd, rn, rm } => {
+                let v = self.cpu.reg(*rn).wrapping_mul(self.cpu.reg(*rm));
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = Flags::from_logical(v, self.cpu.flags);
+            }
+            Instr::UdivReg { rd, rn, rm } => {
+                let d = self.cpu.reg(*rm);
+                // ARMv8-M UDIV with DIV_0_TRP clear: x / 0 == 0.
+                let v = self.cpu.reg(*rn).checked_div(d).unwrap_or(0);
+                self.cpu.set_reg(*rd, v);
+                cost += cycles::UDIV;
+            }
+            Instr::AndReg { rd, rn, rm } => {
+                let v = self.cpu.reg(*rn) & self.cpu.reg(*rm);
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = Flags::from_logical(v, self.cpu.flags);
+            }
+            Instr::OrrReg { rd, rn, rm } => {
+                let v = self.cpu.reg(*rn) | self.cpu.reg(*rm);
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = Flags::from_logical(v, self.cpu.flags);
+            }
+            Instr::EorReg { rd, rn, rm } => {
+                let v = self.cpu.reg(*rn) ^ self.cpu.reg(*rm);
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = Flags::from_logical(v, self.cpu.flags);
+            }
+            Instr::LslImm { rd, rm, shift } => {
+                let v = self.cpu.reg(*rm) << (*shift & 31);
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = Flags::from_logical(v, self.cpu.flags);
+            }
+            Instr::LsrImm { rd, rm, shift } => {
+                let v = self.cpu.reg(*rm) >> (*shift & 31);
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = Flags::from_logical(v, self.cpu.flags);
+            }
+            Instr::AsrImm { rd, rm, shift } => {
+                let v = ((self.cpu.reg(*rm) as i32) >> (*shift & 31)) as u32;
+                self.cpu.set_reg(*rd, v);
+                self.cpu.flags = Flags::from_logical(v, self.cpu.flags);
+            }
+            Instr::CmpImm { rn, imm } => {
+                let (_, f) = Flags::from_sub(self.cpu.reg(*rn), *imm as u32);
+                self.cpu.flags = f;
+            }
+            Instr::CmpReg { rn, rm } => {
+                let (_, f) = Flags::from_sub(self.cpu.reg(*rn), self.cpu.reg(*rm));
+                self.cpu.flags = f;
+            }
+            Instr::LdrImm { rt, rn, offset } => {
+                let addr = self.cpu.reg(*rn).wrapping_add(*offset as u32);
+                let v = self.mem.read_word(addr, pc)?;
+                cost += cycles::MEM_ACCESS;
+                if *rt == Reg::Pc {
+                    next_pc = v & !1;
+                } else {
+                    self.cpu.set_reg(*rt, v);
+                }
+            }
+            Instr::LdrReg { rt, rn, rm } => {
+                let addr = self
+                    .cpu
+                    .reg(*rn)
+                    .wrapping_add(self.cpu.reg(*rm).wrapping_shl(2));
+                let v = self.mem.read_word(addr, pc)?;
+                cost += cycles::MEM_ACCESS;
+                if *rt == Reg::Pc {
+                    next_pc = v & !1;
+                } else {
+                    self.cpu.set_reg(*rt, v);
+                }
+            }
+            Instr::StrImm { rt, rn, offset } => {
+                let addr = self.cpu.reg(*rn).wrapping_add(*offset as u32);
+                self.checked_write_word(addr, self.cpu.reg(*rt), pc)?;
+                cost += cycles::MEM_ACCESS;
+            }
+            Instr::LdrbImm { rt, rn, offset } => {
+                let addr = self.cpu.reg(*rn).wrapping_add(*offset as u32);
+                let v = self.mem.read_byte(addr, pc)? as u32;
+                self.cpu.set_reg(*rt, v);
+                cost += cycles::MEM_ACCESS;
+            }
+            Instr::LdrbReg { rt, rn, rm } => {
+                let addr = self.cpu.reg(*rn).wrapping_add(self.cpu.reg(*rm));
+                let v = self.mem.read_byte(addr, pc)? as u32;
+                self.cpu.set_reg(*rt, v);
+                cost += cycles::MEM_ACCESS;
+            }
+            Instr::StrbImm { rt, rn, offset } => {
+                let addr = self.cpu.reg(*rn).wrapping_add(*offset as u32);
+                if !self.mpu.write_allowed(addr) {
+                    return Err(ExecError::MpuViolation { addr, pc });
+                }
+                self.mem.write_byte(addr, self.cpu.reg(*rt) as u8, pc)?;
+                cost += cycles::MEM_ACCESS;
+            }
+            Instr::Push { list } => {
+                let n = list.len();
+                let mut sp = self.cpu.sp().wrapping_sub(4 * n);
+                self.cpu.set_reg(Reg::Sp, sp);
+                for reg in list.iter() {
+                    self.checked_write_word(sp, self.cpu.reg(reg), pc)?;
+                    sp += 4;
+                }
+                cost += cycles::PUSH_POP_PER_REG * n as u64;
+            }
+            Instr::Pop { list } => {
+                let mut sp = self.cpu.sp();
+                for reg in list.iter() {
+                    let v = self.mem.read_word(sp, pc)?;
+                    sp += 4;
+                    if reg == Reg::Pc {
+                        next_pc = v & !1;
+                    } else {
+                        self.cpu.set_reg(reg, v);
+                    }
+                }
+                self.cpu.set_reg(Reg::Sp, sp);
+                cost += cycles::PUSH_POP_PER_REG * list.len() as u64;
+            }
+            Instr::B { target } => next_pc = abs_target(target),
+            Instr::BCond { cond, target } => {
+                if cond.passes(self.cpu.flags) {
+                    next_pc = abs_target(target);
+                }
+            }
+            Instr::Bl { target } => {
+                self.cpu.set_reg(Reg::Lr, pc + size);
+                next_pc = abs_target(target);
+            }
+            Instr::Blx { rm } => {
+                let dest = self.cpu.reg(*rm) & !1;
+                self.cpu.set_reg(Reg::Lr, pc + size);
+                next_pc = dest;
+            }
+            Instr::Bx { rm } => {
+                next_pc = self.cpu.reg(*rm) & !1;
+            }
+            Instr::Nop => {}
+            Instr::SecureGateway { service, arg } => {
+                let arg_value = self.cpu.reg(*arg);
+                let mut env = SecureEnv {
+                    fabric: &mut self.fabric,
+                    pc,
+                    cycles: self.cpu.cycles,
+                };
+                let body = secure.on_gateway(*service, arg_value, &mut env)?;
+                cost += self.cost.sg_entry + body + self.cost.sg_exit;
+            }
+            Instr::Halt => {
+                self.cpu.halted = true;
+            }
+        }
+
+        let taken = next_pc != pc + size;
+        if taken {
+            cost += cycles::BRANCH_TAKEN;
+            self.fabric.on_branch(pc, next_pc);
+            if let Some(trace) = &mut self.transfer_trace {
+                trace.push((pc, next_pc));
+            }
+        }
+
+        self.cpu.set_reg(Reg::Pc, next_pc);
+        self.cpu.cycles += cost;
+        self.cpu.instr_count += 1;
+
+        // MTB watermark: debug event into the Secure World (§IV-E).
+        if self.fabric.mtb().watermark_hit() {
+            let mut env = SecureEnv {
+                fabric: &mut self.fabric,
+                pc: next_pc,
+                cycles: self.cpu.cycles,
+            };
+            let body = secure.on_watermark(&mut env)?;
+            self.cpu.cycles += self.cost.sg_entry + body + self.cost.sg_exit;
+        }
+
+        // Adversarial writes fire between instructions.
+        let count = self.cpu.instr_count;
+        let due: Vec<InjectedWrite> = self
+            .injected
+            .iter()
+            .copied()
+            .filter(|w| w.after_instrs == count)
+            .collect();
+        for w in due {
+            if !self.mpu.write_allowed(w.addr) {
+                return Err(ExecError::MpuViolation {
+                    addr: w.addr,
+                    pc: next_pc,
+                });
+            }
+            self.mem.write_word(w.addr, w.value, next_pc)?;
+        }
+
+        Ok(())
+    }
+
+    fn checked_write_word(&mut self, addr: u32, value: u32, pc: u32) -> Result<(), ExecError> {
+        if !self.mpu.write_allowed(addr) {
+            return Err(ExecError::MpuViolation { addr, pc });
+        }
+        self.mem.write_word(addr, value, pc)
+    }
+}
+
+fn abs_target(target: &Target) -> u32 {
+    target
+        .abs()
+        .expect("assembled images contain only resolved targets")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armv8m_isa::Asm;
+
+    fn run_asm(build: impl FnOnce(&mut Asm)) -> Machine {
+        let mut a = Asm::new();
+        build(&mut a);
+        let image = a.into_module().assemble(0).expect("assembles");
+        let mut m = Machine::new(image);
+        m.run(&mut NullSecureWorld, 1_000_000).expect("runs");
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let m = run_asm(|a| {
+            a.movi(Reg::R0, 6);
+            a.movi(Reg::R1, 7);
+            a.mul(Reg::R2, Reg::R0, Reg::R1);
+            a.halt();
+        });
+        assert_eq!(m.cpu.reg(Reg::R2), 42);
+        assert!(m.cpu.halted);
+    }
+
+    #[test]
+    fn countdown_loop_iterates() {
+        let m = run_asm(|a| {
+            a.movi(Reg::R0, 5);
+            a.movi(Reg::R1, 0);
+            a.label("loop");
+            a.addi(Reg::R1, Reg::R1, 3);
+            a.subi(Reg::R0, Reg::R0, 1);
+            a.bne("loop");
+            a.halt();
+        });
+        assert_eq!(m.cpu.reg(Reg::R1), 15);
+    }
+
+    #[test]
+    fn call_and_return_via_lr() {
+        let m = run_asm(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 1);
+            a.bl("double");
+            a.bl("double");
+            a.halt();
+            a.func("double");
+            a.add(Reg::R0, Reg::R0, Reg::R0);
+            a.ret();
+        });
+        assert_eq!(m.cpu.reg(Reg::R0), 4);
+    }
+
+    #[test]
+    fn nested_call_with_stacked_lr() {
+        let m = run_asm(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 2);
+            a.bl("outer");
+            a.halt();
+            a.func("outer");
+            a.push(&[Reg::Lr]);
+            a.bl("inner");
+            a.addi(Reg::R0, Reg::R0, 1);
+            a.pop(&[Reg::Pc]);
+            a.func("inner");
+            a.add(Reg::R0, Reg::R0, Reg::R0);
+            a.ret();
+        });
+        // 2 → inner doubles → 4 → outer adds 1 → 5.
+        assert_eq!(m.cpu.reg(Reg::R0), 5);
+    }
+
+    #[test]
+    fn indirect_call_via_blx() {
+        let m = run_asm(|a| {
+            a.func("main");
+            a.load_addr(Reg::R3, "callee");
+            a.movi(Reg::R0, 10);
+            a.blx(Reg::R3);
+            a.halt();
+            a.func("callee");
+            a.addi(Reg::R0, Reg::R0, 5);
+            a.ret();
+        });
+        assert_eq!(m.cpu.reg(Reg::R0), 15);
+    }
+
+    #[test]
+    fn stack_push_pop_roundtrip() {
+        let m = run_asm(|a| {
+            a.movi(Reg::R4, 11);
+            a.movi(Reg::R5, 22);
+            a.push(&[Reg::R4, Reg::R5]);
+            a.movi(Reg::R4, 0);
+            a.movi(Reg::R5, 0);
+            a.pop(&[Reg::R4, Reg::R5]);
+            a.halt();
+        });
+        assert_eq!(m.cpu.reg(Reg::R4), 11);
+        assert_eq!(m.cpu.reg(Reg::R5), 22);
+        assert_eq!(m.cpu.sp(), RAM_BASE + RAM_SIZE);
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let m = run_asm(|a| {
+            a.mov32(Reg::R1, RAM_BASE);
+            a.movi(Reg::R0, 123);
+            a.str_(Reg::R0, Reg::R1, 16);
+            a.ldr(Reg::R2, Reg::R1, 16);
+            a.strb(Reg::R2, Reg::R1, 20);
+            a.ldrb(Reg::R3, Reg::R1, 20);
+            a.halt();
+        });
+        assert_eq!(m.cpu.reg(Reg::R2), 123);
+        assert_eq!(m.cpu.reg(Reg::R3), 123);
+    }
+
+    #[test]
+    fn runaway_loop_hits_budget() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.b("spin");
+        let image = a.into_module().assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        assert!(matches!(
+            m.run(&mut NullSecureWorld, 100),
+            Err(ExecError::InstructionBudgetExceeded { max_instrs: 100 })
+        ));
+    }
+
+    #[test]
+    fn mpu_blocks_store_to_locked_code() {
+        let mut a = Asm::new();
+        a.movi(Reg::R0, 0xAA);
+        a.movi(Reg::R1, 0); // address 0 = code base
+        a.str_(Reg::R0, Reg::R1, 0);
+        a.halt();
+        let image = a.into_module().assemble(0).unwrap();
+        let end = image.end();
+        let mut m = Machine::new(image);
+        m.mpu.protect(crate::ProtectedRegion {
+            base: 0,
+            limit: end,
+        });
+        m.mpu.lock();
+        assert!(matches!(
+            m.run(&mut NullSecureWorld, 1000),
+            Err(ExecError::MpuViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn naive_mtb_traces_all_transfers() {
+        let mut a = Asm::new();
+        a.movi(Reg::R0, 3);
+        a.label("loop");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.bne("loop");
+        a.halt();
+        let image = a.into_module().assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        m.fabric.mtb_mut().set_master_trace(true);
+        m.run(&mut NullSecureWorld, 1000).unwrap();
+        // Two taken back edges (R0: 3→2→1, the final 1→0 falls through).
+        assert_eq!(m.fabric.mtb().total_recorded(), 2);
+    }
+
+    #[test]
+    fn injected_write_corrupts_ram() {
+        let mut a = Asm::new();
+        a.mov32(Reg::R1, RAM_BASE);
+        a.movi(Reg::R0, 1);
+        a.str_(Reg::R0, Reg::R1, 0);
+        a.nop();
+        a.nop();
+        a.ldr(Reg::R2, Reg::R1, 0);
+        a.halt();
+        let image = a.into_module().assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        // MOVW+MOVT+pad = 3 retired instructions for mov32, +1 movi, +1 str.
+        m.inject_write(InjectedWrite {
+            after_instrs: 5,
+            addr: RAM_BASE,
+            value: 0x666,
+        });
+        m.run(&mut NullSecureWorld, 1000).unwrap();
+        assert_eq!(m.cpu.reg(Reg::R2), 0x666);
+    }
+
+    #[test]
+    fn cycle_costs_accumulate() {
+        let m = run_asm(|a| {
+            a.nop(); // 1
+            a.nop(); // 1
+            a.halt(); // 1
+        });
+        assert_eq!(m.cpu.cycles, 3);
+
+        let m = run_asm(|a| {
+            a.b("next"); // 1 + branch penalty
+            a.nop(); // skipped
+            a.label("next");
+            a.halt(); // 1
+        });
+        assert_eq!(m.cpu.cycles, 1 + cycles::BRANCH_TAKEN + 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! The memory system: flat segments plus memory-mapped bus devices.
+//!
+//! The default map mirrors the AN505 Cortex-M33 image:
+//!
+//! | region | base | contents |
+//! |---|---|---|
+//! | code flash | `0x0000_0000` | the attested application image |
+//! | SRAM | `0x2000_0000` | data, stack (descending from the top) |
+//! | peripherals | `0x4000_0000`+ | sensor devices ([`BusDevice`]) |
+
+use crate::ExecError;
+
+/// Default base address of the code flash.
+pub const CODE_BASE: u32 = 0x0000_0000;
+/// Default base address of the SRAM.
+pub const RAM_BASE: u32 = 0x2000_0000;
+/// Default SRAM size (bytes).
+pub const RAM_SIZE: u32 = 128 * 1024;
+/// Start of the peripheral address space.
+pub const PERIPH_BASE: u32 = 0x4000_0000;
+
+/// A memory-mapped peripheral (sensor, GPIO, UART…).
+///
+/// Workloads implement this to feed synthetic sensor streams to the
+/// attested application. Reads may have side effects (FIFO pops), so
+/// both accessors take `&mut self`.
+pub trait BusDevice {
+    /// Inclusive base address of the device's register window.
+    fn base(&self) -> u32;
+    /// Size of the register window in bytes.
+    fn size(&self) -> u32;
+    /// Reads the 32-bit register at `offset` bytes into the window.
+    fn read(&mut self, offset: u32) -> u32;
+    /// Writes the 32-bit register at `offset` bytes into the window.
+    fn write(&mut self, offset: u32, value: u32);
+
+    /// Whether `addr` falls inside the device window.
+    fn contains(&self, addr: u32) -> bool {
+        addr >= self.base() && addr < self.base() + self.size()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    base: u32,
+    data: Vec<u8>,
+}
+
+impl Segment {
+    fn contains(&self, addr: u32, len: u32) -> bool {
+        addr >= self.base && addr + len <= self.base + self.data.len() as u32
+    }
+}
+
+/// The bus: RAM/flash segments plus peripherals.
+pub struct Memory {
+    segments: Vec<Segment>,
+    devices: Vec<Box<dyn BusDevice>>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("segments", &self.segments.len())
+            .field("devices", &self.devices.len())
+            .finish()
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+impl Memory {
+    /// Creates a bus with no segments or devices mapped.
+    pub fn new() -> Memory {
+        Memory {
+            segments: Vec::new(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// Maps a RAM/flash segment at `base` with the given initial bytes.
+    pub fn map_segment(&mut self, base: u32, data: Vec<u8>) {
+        self.segments.push(Segment { base, data });
+    }
+
+    /// Maps a zero-initialized segment of `size` bytes at `base`.
+    pub fn map_zeroed(&mut self, base: u32, size: u32) {
+        self.map_segment(base, vec![0; size as usize]);
+    }
+
+    /// Attaches a peripheral.
+    pub fn attach_device(&mut self, device: Box<dyn BusDevice>) {
+        self.devices.push(device);
+    }
+
+    /// Exclusive access to an attached device, downcast by the caller.
+    pub fn devices_mut(&mut self) -> &mut [Box<dyn BusDevice>] {
+        &mut self.devices
+    }
+
+    fn segment(&self, addr: u32, len: u32) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.contains(addr, len))
+    }
+
+    fn segment_mut(&mut self, addr: u32, len: u32) -> Option<&mut Segment> {
+        self.segments.iter_mut().find(|s| s.contains(addr, len))
+    }
+
+    /// Reads a 32-bit word (unaligned allowed; the M33 supports it).
+    pub fn read_word(&mut self, addr: u32, pc: u32) -> Result<u32, ExecError> {
+        if let Some(seg) = self.segment(addr, 4) {
+            let off = (addr - seg.base) as usize;
+            let bytes = [
+                seg.data[off],
+                seg.data[off + 1],
+                seg.data[off + 2],
+                seg.data[off + 3],
+            ];
+            return Ok(u32::from_le_bytes(bytes));
+        }
+        for dev in &mut self.devices {
+            if dev.contains(addr) {
+                let off = addr - dev.base();
+                return Ok(dev.read(off));
+            }
+        }
+        Err(ExecError::UnmappedAddress { addr, pc })
+    }
+
+    /// Writes a 32-bit word.
+    pub fn write_word(&mut self, addr: u32, value: u32, pc: u32) -> Result<(), ExecError> {
+        if let Some(seg) = self.segment_mut(addr, 4) {
+            let off = (addr - seg.base) as usize;
+            seg.data[off..off + 4].copy_from_slice(&value.to_le_bytes());
+            return Ok(());
+        }
+        for dev in &mut self.devices {
+            if dev.contains(addr) {
+                let off = addr - dev.base();
+                dev.write(off, value);
+                return Ok(());
+            }
+        }
+        Err(ExecError::UnmappedAddress { addr, pc })
+    }
+
+    /// Reads a byte (zero-extended by the caller).
+    pub fn read_byte(&mut self, addr: u32, pc: u32) -> Result<u8, ExecError> {
+        if let Some(seg) = self.segment(addr, 1) {
+            return Ok(seg.data[(addr - seg.base) as usize]);
+        }
+        for dev in &mut self.devices {
+            if dev.contains(addr) {
+                let off = addr - dev.base();
+                return Ok(dev.read(off & !3).to_le_bytes()[(addr & 3) as usize]);
+            }
+        }
+        Err(ExecError::UnmappedAddress { addr, pc })
+    }
+
+    /// Writes a byte.
+    pub fn write_byte(&mut self, addr: u32, value: u8, pc: u32) -> Result<(), ExecError> {
+        if let Some(seg) = self.segment_mut(addr, 1) {
+            seg.data[(addr - seg.base) as usize] = value;
+            return Ok(());
+        }
+        Err(ExecError::UnmappedAddress { addr, pc })
+    }
+
+    /// Copies a byte slice out of mapped segments (test/verifier aid).
+    pub fn read_bytes(&mut self, addr: u32, len: u32, pc: u32) -> Result<Vec<u8>, ExecError> {
+        (0..len).map(|i| self.read_byte(addr + i, pc)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_read_write_roundtrip() {
+        let mut mem = Memory::new();
+        mem.map_zeroed(RAM_BASE, 64);
+        mem.write_word(RAM_BASE + 8, 0xDEAD_BEEF, 0).unwrap();
+        assert_eq!(mem.read_word(RAM_BASE + 8, 0).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(mem.read_byte(RAM_BASE + 8, 0).unwrap(), 0xEF);
+        mem.write_byte(RAM_BASE + 9, 0x00, 0).unwrap();
+        assert_eq!(mem.read_word(RAM_BASE + 8, 0).unwrap(), 0xDEAD_00EF);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut mem = Memory::new();
+        mem.map_zeroed(RAM_BASE, 64);
+        assert!(matches!(
+            mem.read_word(RAM_BASE + 64, 0x10),
+            Err(ExecError::UnmappedAddress { addr, pc: 0x10 }) if addr == RAM_BASE + 64
+        ));
+        assert!(matches!(
+            mem.write_word(0x1000_0000, 1, 0),
+            Err(ExecError::UnmappedAddress { .. })
+        ));
+    }
+
+    struct Fifo {
+        base: u32,
+        values: Vec<u32>,
+        next: usize,
+        written: Vec<u32>,
+    }
+
+    impl BusDevice for Fifo {
+        fn base(&self) -> u32 {
+            self.base
+        }
+        fn size(&self) -> u32 {
+            8
+        }
+        fn read(&mut self, _offset: u32) -> u32 {
+            let v = self.values.get(self.next).copied().unwrap_or(0);
+            self.next += 1;
+            v
+        }
+        fn write(&mut self, _offset: u32, value: u32) {
+            self.written.push(value);
+        }
+    }
+
+    #[test]
+    fn device_reads_have_side_effects() {
+        let mut mem = Memory::new();
+        mem.attach_device(Box::new(Fifo {
+            base: PERIPH_BASE,
+            values: vec![10, 20],
+            next: 0,
+            written: Vec::new(),
+        }));
+        assert_eq!(mem.read_word(PERIPH_BASE, 0).unwrap(), 10);
+        assert_eq!(mem.read_word(PERIPH_BASE, 0).unwrap(), 20);
+        assert_eq!(mem.read_word(PERIPH_BASE, 0).unwrap(), 0);
+        mem.write_word(PERIPH_BASE + 4, 99, 0).unwrap();
+    }
+
+    #[test]
+    fn word_access_spanning_segment_end_faults() {
+        let mut mem = Memory::new();
+        mem.map_zeroed(RAM_BASE, 6);
+        assert!(mem.read_word(RAM_BASE + 2, 0).is_ok());
+        assert!(mem.read_word(RAM_BASE + 4, 0).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! The Non-Secure Memory Protection Unit (NS-MPU) model.
+//!
+//! The CFA Engine marks the attested application's binary non-writable
+//! and *locks* the MPU so the Non-Secure World cannot undo the
+//! protection (paper §IV-A, following TRACES). Only the lock and
+//! read-only enforcement matter to the experiments, so that is what the
+//! model provides.
+
+/// A read-only region enforced on Non-Secure writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectedRegion {
+    /// Inclusive lower bound.
+    pub base: u32,
+    /// Exclusive upper bound.
+    pub limit: u32,
+}
+
+impl ProtectedRegion {
+    /// Whether `addr` falls inside the protected region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.limit
+    }
+}
+
+/// The NS-MPU: a set of read-only regions plus a configuration lock.
+#[derive(Debug, Clone, Default)]
+pub struct Mpu {
+    regions: Vec<ProtectedRegion>,
+    locked: bool,
+}
+
+impl Mpu {
+    /// Creates an MPU with no regions and the lock open.
+    pub fn new() -> Mpu {
+        Mpu::default()
+    }
+
+    /// Marks `[base, limit)` read-only for Non-Secure writes.
+    ///
+    /// Returns `false` (and does nothing) when the MPU is locked —
+    /// the Non-Secure World cannot reconfigure it.
+    pub fn protect(&mut self, region: ProtectedRegion) -> bool {
+        if self.locked {
+            return false;
+        }
+        self.regions.push(region);
+        true
+    }
+
+    /// Removes all protections. Refused (returns `false`) when locked.
+    pub fn clear(&mut self) -> bool {
+        if self.locked {
+            return false;
+        }
+        self.regions.clear();
+        true
+    }
+
+    /// Locks the configuration (Secure-World privilege; the model does
+    /// not expose an unlock short of [`Mpu::reset`], mirroring the
+    /// until-reboot lock of the paper's design).
+    pub fn lock(&mut self) {
+        self.locked = true;
+    }
+
+    /// Whether the configuration is locked.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Whether a write to `addr` is permitted.
+    pub fn write_allowed(&self, addr: u32) -> bool {
+        !self.regions.iter().any(|r| r.contains(addr))
+    }
+
+    /// The protected regions.
+    pub fn regions(&self) -> &[ProtectedRegion] {
+        &self.regions
+    }
+
+    /// Power-cycle reset: clears regions and the lock.
+    pub fn reset(&mut self) {
+        self.regions.clear();
+        self.locked = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protect_blocks_writes_in_range() {
+        let mut mpu = Mpu::new();
+        assert!(mpu.protect(ProtectedRegion {
+            base: 0x0,
+            limit: 0x100
+        }));
+        assert!(!mpu.write_allowed(0x0));
+        assert!(!mpu.write_allowed(0xFF));
+        assert!(mpu.write_allowed(0x100));
+    }
+
+    #[test]
+    fn lock_prevents_reconfiguration() {
+        let mut mpu = Mpu::new();
+        mpu.protect(ProtectedRegion {
+            base: 0x0,
+            limit: 0x100,
+        });
+        mpu.lock();
+        assert!(!mpu.protect(ProtectedRegion {
+            base: 0x200,
+            limit: 0x300
+        }));
+        assert!(!mpu.clear());
+        assert!(!mpu.write_allowed(0x50), "protection survives the attempt");
+        assert!(mpu.is_locked());
+    }
+
+    #[test]
+    fn reset_unlocks() {
+        let mut mpu = Mpu::new();
+        mpu.protect(ProtectedRegion {
+            base: 0x0,
+            limit: 0x10,
+        });
+        mpu.lock();
+        mpu.reset();
+        assert!(!mpu.is_locked());
+        assert!(mpu.write_allowed(0x5));
+    }
+}

@@ -1,0 +1,282 @@
+//! Golden tests for the interpreter's architectural semantics: every
+//! condition code against signed/unsigned comparisons, flag behaviour
+//! across instruction classes, stack discipline and calling
+//! conventions. These pin the CPU model the whole reproduction rests
+//! on.
+
+use armv8m_isa::{Asm, Cond, Reg};
+use mcu_sim::{Machine, NullSecureWorld};
+
+fn run(build: impl FnOnce(&mut Asm)) -> Machine {
+    let mut a = Asm::new();
+    build(&mut a);
+    let image = a.into_module().assemble(0).expect("assembles");
+    let mut m = Machine::new(image);
+    m.run(&mut NullSecureWorld, 100_000).expect("runs");
+    m
+}
+
+/// Runs `cmp lhs, rhs; b<cond> set_one` and returns whether the branch
+/// was taken.
+fn branch_taken(lhs: u32, rhs: u32, cond: Cond) -> bool {
+    let m = run(|a| {
+        a.movi(Reg::R7, 0);
+        a.mov32(Reg::R0, lhs);
+        a.mov32(Reg::R1, rhs);
+        a.cmp(Reg::R0, Reg::R1);
+        a.bcond(cond, "taken");
+        a.halt();
+        a.label("taken");
+        a.movi(Reg::R7, 1);
+        a.halt();
+    });
+    m.cpu.reg(Reg::R7) == 1
+}
+
+#[test]
+fn equality_conditions() {
+    assert!(branch_taken(5, 5, Cond::Eq));
+    assert!(!branch_taken(5, 6, Cond::Eq));
+    assert!(branch_taken(5, 6, Cond::Ne));
+    assert!(!branch_taken(5, 5, Cond::Ne));
+}
+
+#[test]
+fn unsigned_conditions() {
+    // HI: unsigned >.
+    assert!(branch_taken(6, 5, Cond::Hi));
+    assert!(!branch_taken(5, 5, Cond::Hi));
+    assert!(!branch_taken(4, 5, Cond::Hi));
+    // 0xFFFF_FFFF is unsigned-huge.
+    assert!(branch_taken(0xFFFF_FFFF, 1, Cond::Hi));
+    // LS: unsigned <=.
+    assert!(branch_taken(5, 5, Cond::Ls));
+    assert!(branch_taken(4, 5, Cond::Ls));
+    assert!(!branch_taken(6, 5, Cond::Ls));
+    // CS/CC: unsigned >= / <.
+    assert!(branch_taken(5, 5, Cond::Cs));
+    assert!(branch_taken(6, 5, Cond::Cs));
+    assert!(!branch_taken(4, 5, Cond::Cs));
+    assert!(branch_taken(4, 5, Cond::Cc));
+}
+
+#[test]
+fn signed_conditions() {
+    let minus_one = -1i32 as u32;
+    // -1 < 1 signed.
+    assert!(branch_taken(minus_one, 1, Cond::Lt));
+    assert!(!branch_taken(minus_one, 1, Cond::Ge));
+    assert!(!branch_taken(minus_one, 1, Cond::Gt));
+    assert!(branch_taken(minus_one, 1, Cond::Le));
+    // 1 > -1 signed.
+    assert!(branch_taken(1, minus_one, Cond::Gt));
+    assert!(branch_taken(1, minus_one, Cond::Ge));
+    // Equal values.
+    assert!(branch_taken(7, 7, Cond::Ge));
+    assert!(branch_taken(7, 7, Cond::Le));
+    assert!(!branch_taken(7, 7, Cond::Lt));
+    assert!(!branch_taken(7, 7, Cond::Gt));
+    // INT_MIN vs INT_MAX (overflow-flag path).
+    let int_min = i32::MIN as u32;
+    let int_max = i32::MAX as u32;
+    assert!(branch_taken(int_min, int_max, Cond::Lt));
+    assert!(branch_taken(int_max, int_min, Cond::Gt));
+}
+
+#[test]
+fn negative_and_overflow_flags() {
+    // MI/PL track the sign of the subtraction result.
+    assert!(branch_taken(3, 5, Cond::Mi));
+    assert!(branch_taken(5, 3, Cond::Pl));
+    // VS: signed overflow on INT_MIN - 1.
+    assert!(branch_taken(i32::MIN as u32, 1, Cond::Vs));
+    assert!(branch_taken(3, 1, Cond::Vc));
+}
+
+#[test]
+fn arithmetic_sets_flags_moves_do_not() {
+    // SUBS leaves Z when hitting zero; a following MOV must not
+    // disturb it.
+    let m = run(|a| {
+        a.movi(Reg::R0, 1);
+        a.subi(Reg::R0, Reg::R0, 1); // Z := 1
+        a.movi(Reg::R1, 99); // MOVW: no flags
+        a.mov(Reg::R2, Reg::R1); // MOV: no flags
+        a.beq("z_preserved");
+        a.movi(Reg::R7, 0);
+        a.halt();
+        a.label("z_preserved");
+        a.movi(Reg::R7, 1);
+        a.halt();
+    });
+    assert_eq!(m.cpu.reg(Reg::R7), 1);
+}
+
+#[test]
+fn logical_ops_preserve_carry() {
+    // Set carry via a compare, then AND — C must survive.
+    let m = run(|a| {
+        a.movi(Reg::R0, 5);
+        a.cmpi(Reg::R0, 3); // C := 1 (no borrow)
+        a.movi(Reg::R1, 0xFF);
+        a.and(Reg::R1, Reg::R1, Reg::R0); // logical: keeps C
+        a.bcs("carry_alive");
+        a.movi(Reg::R7, 0);
+        a.halt();
+        a.label("carry_alive");
+        a.movi(Reg::R7, 1);
+        a.halt();
+    });
+    assert_eq!(m.cpu.reg(Reg::R7), 1);
+}
+
+#[test]
+fn division_by_zero_yields_zero() {
+    let m = run(|a| {
+        a.movi(Reg::R0, 42);
+        a.movi(Reg::R1, 0);
+        a.udiv(Reg::R2, Reg::R0, Reg::R1);
+        a.halt();
+    });
+    assert_eq!(m.cpu.reg(Reg::R2), 0);
+}
+
+#[test]
+fn multiplication_wraps() {
+    let m = run(|a| {
+        a.mov32(Reg::R0, 0x8000_0001);
+        a.movi(Reg::R1, 2);
+        a.mul(Reg::R2, Reg::R0, Reg::R1);
+        a.halt();
+    });
+    assert_eq!(m.cpu.reg(Reg::R2), 2);
+}
+
+#[test]
+fn shifts_behave() {
+    let m = run(|a| {
+        a.movi(Reg::R0, 1);
+        a.lsl(Reg::R1, Reg::R0, 31);
+        a.lsr(Reg::R2, Reg::R1, 31);
+        a.asr(Reg::R3, Reg::R1, 31); // sign-extends
+        a.halt();
+    });
+    assert_eq!(m.cpu.reg(Reg::R1), 0x8000_0000);
+    assert_eq!(m.cpu.reg(Reg::R2), 1);
+    assert_eq!(m.cpu.reg(Reg::R3), 0xFFFF_FFFF);
+}
+
+#[test]
+fn push_pop_are_mirror_images() {
+    // PUSH stores ascending from the new SP; POP restores in the same
+    // order — values must land back in their registers through an
+    // arbitrary interleaving.
+    let m = run(|a| {
+        a.movi(Reg::R0, 10);
+        a.movi(Reg::R1, 11);
+        a.movi(Reg::R2, 12);
+        a.push(&[Reg::R0, Reg::R1, Reg::R2]);
+        a.movi(Reg::R0, 0);
+        a.movi(Reg::R1, 0);
+        a.movi(Reg::R2, 0);
+        a.pop(&[Reg::R0, Reg::R1, Reg::R2]);
+        a.halt();
+    });
+    assert_eq!(m.cpu.reg(Reg::R0), 10);
+    assert_eq!(m.cpu.reg(Reg::R1), 11);
+    assert_eq!(m.cpu.reg(Reg::R2), 12);
+}
+
+#[test]
+fn stack_layout_matches_arm_convention() {
+    // After PUSH {r4, lr}: [sp] = r4, [sp+4] = lr.
+    let m = run(|a| {
+        a.movi(Reg::R4, 0xAB);
+        a.mov32(Reg::R0, 0xCD); // pretend LR
+        a.mov(Reg::Lr, Reg::R0);
+        a.push(&[Reg::R4, Reg::Lr]);
+        a.mov(Reg::R1, Reg::Sp);
+        a.ldr(Reg::R2, Reg::R1, 0); // lowest address = lowest reg
+        a.ldr(Reg::R3, Reg::R1, 4);
+        a.halt();
+    });
+    assert_eq!(m.cpu.reg(Reg::R2), 0xAB);
+    assert_eq!(m.cpu.reg(Reg::R3), 0xCD);
+}
+
+#[test]
+fn bl_sets_lr_to_following_instruction() {
+    let m = run(|a| {
+        a.func("main");
+        a.bl("grab_lr"); // 4-byte BL at 0 → LR must be 4
+        a.halt();
+        a.func("grab_lr");
+        a.mov(Reg::R6, Reg::Lr);
+        a.ret();
+    });
+    assert_eq!(m.cpu.reg(Reg::R6), 4);
+}
+
+#[test]
+fn blx_thumb_bit_is_masked() {
+    // Addresses with bit 0 set (Thumb interworking) execute at the
+    // even address.
+    let m = run(|a| {
+        a.func("main");
+        a.load_addr(Reg::R3, "target");
+        a.addi(Reg::R3, Reg::R3, 1); // set the Thumb bit
+        a.blx(Reg::R3);
+        a.halt();
+        a.func("target");
+        a.movi(Reg::R7, 77);
+        a.ret();
+    });
+    assert_eq!(m.cpu.reg(Reg::R7), 77);
+}
+
+#[test]
+fn movw_movt_compose_32_bit_constants() {
+    let m = run(|a| {
+        a.movi(Reg::R0, 0xBEEF);
+        a.movt(Reg::R0, 0xDEAD);
+        // MOVW then clears the top half again.
+        a.mov(Reg::R1, Reg::R0);
+        a.movi(Reg::R1, 0x1234);
+        a.halt();
+    });
+    assert_eq!(m.cpu.reg(Reg::R0), 0xDEAD_BEEF);
+    assert_eq!(m.cpu.reg(Reg::R1), 0x1234);
+}
+
+#[test]
+fn byte_accesses_are_byte_sized() {
+    let m = run(|a| {
+        a.mov32(Reg::R1, mcu_sim::RAM_BASE);
+        a.mov32(Reg::R0, 0x1122_33FF);
+        a.str_(Reg::R0, Reg::R1, 0);
+        a.ldrb(Reg::R2, Reg::R1, 0); // 0xFF
+        a.ldrb(Reg::R3, Reg::R1, 3); // 0x11
+        a.movi(Reg::R4, 0xAB);
+        a.strb(Reg::R4, Reg::R1, 1);
+        a.ldr(Reg::R5, Reg::R1, 0); // 0x1122ABFF
+        a.halt();
+    });
+    assert_eq!(m.cpu.reg(Reg::R2), 0xFF);
+    assert_eq!(m.cpu.reg(Reg::R3), 0x11);
+    assert_eq!(m.cpu.reg(Reg::R5), 0x1122_ABFF);
+}
+
+#[test]
+fn indexed_loads_scale_by_four() {
+    let m = run(|a| {
+        a.mov32(Reg::R1, mcu_sim::RAM_BASE);
+        a.movi(Reg::R0, 111);
+        a.str_(Reg::R0, Reg::R1, 0);
+        a.movi(Reg::R0, 222);
+        a.str_(Reg::R0, Reg::R1, 4);
+        a.movi(Reg::R2, 1);
+        a.ldr_idx(Reg::R3, Reg::R1, Reg::R2); // [r1 + 1*4]
+        a.halt();
+    });
+    assert_eq!(m.cpu.reg(Reg::R3), 222);
+}

@@ -1,0 +1,541 @@
+//! Control-flow graph recovery over an assembly module.
+//!
+//! The offline phase needs function boundaries, intra-procedural edges,
+//! dominators and natural loops to classify branches the way the paper
+//! does (§IV-B–§IV-D). The CFG is built from the module's instruction
+//! list and symbol markers — the same information a binary-level tool
+//! recovers from an ELF image and its symbol table.
+
+use std::collections::HashMap;
+
+use armv8m_isa::{BranchKind, Instr, Item, Module, Reg, Target};
+
+/// A flattened module node: one instruction (or `LoadAddr` pseudo) plus
+/// the labels attached to it.
+#[derive(Debug, Clone)]
+pub struct FlatNode {
+    /// Labels defined immediately before this instruction.
+    pub labels: Vec<String>,
+    /// Function name when this instruction is a function entry.
+    pub func_entry: Option<String>,
+    /// The operation.
+    pub op: FlatOp,
+}
+
+/// The operation held by a [`FlatNode`].
+#[derive(Debug, Clone)]
+pub enum FlatOp {
+    /// A machine instruction.
+    Instr(Instr),
+    /// The `LoadAddr` pseudo-instruction (never a branch).
+    LoadAddr {
+        /// Destination register.
+        rd: Reg,
+        /// Materialized target.
+        target: Target,
+    },
+}
+
+impl FlatNode {
+    /// The instruction, when the node is not a pseudo-op.
+    pub fn instr(&self) -> Option<&Instr> {
+        match &self.op {
+            FlatOp::Instr(i) => Some(i),
+            FlatOp::LoadAddr { .. } => None,
+        }
+    }
+
+    /// Control-flow class of the node.
+    pub fn branch_kind(&self) -> BranchKind {
+        match &self.op {
+            FlatOp::Instr(i) => i.branch_kind(),
+            FlatOp::LoadAddr { .. } => BranchKind::None,
+        }
+    }
+
+    /// Whether execution can continue at the next node.
+    pub fn falls_through(&self) -> bool {
+        match &self.op {
+            FlatOp::Instr(i) => i.falls_through(),
+            FlatOp::LoadAddr { .. } => true,
+        }
+    }
+}
+
+/// The recovered control-flow graph of one module.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Flattened nodes in layout order.
+    pub nodes: Vec<FlatNode>,
+    /// Label name → node index.
+    pub label_index: HashMap<String, usize>,
+    /// `functions[f] = (name, first_node, one_past_last_node)`.
+    pub functions: Vec<(String, usize, usize)>,
+    /// Intra-procedural successors of each node (fall-through + direct
+    /// targets; calls fall through, indirect transfers have none).
+    pub succs: Vec<Vec<usize>>,
+    /// Natural loops, innermost-last in discovery order.
+    pub loops: Vec<NaturalLoop>,
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header node.
+    pub header: usize,
+    /// The node holding the back-edge branch.
+    pub latch: usize,
+    /// All nodes in the loop body (header and latch included).
+    pub body: Vec<usize>,
+}
+
+impl NaturalLoop {
+    /// Whether `node` belongs to the loop body.
+    pub fn contains(&self, node: usize) -> bool {
+        self.body.binary_search(&node).is_ok()
+    }
+}
+
+/// Errors raised during CFG recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// A branch referenced an undefined label.
+    UndefinedLabel(String),
+}
+
+impl std::fmt::Display for CfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CfgError::UndefinedLabel(name) => write!(f, "undefined label `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+impl Cfg {
+    /// Recovers the CFG of `module`.
+    ///
+    /// # Errors
+    ///
+    /// [`CfgError::UndefinedLabel`] when a branch targets a label the
+    /// module never defines.
+    pub fn build(module: &Module) -> Result<Cfg, CfgError> {
+        // Flatten items into nodes, collecting labels.
+        let mut nodes: Vec<FlatNode> = Vec::new();
+        let mut pending_labels: Vec<String> = Vec::new();
+        let mut pending_func: Option<String> = None;
+        for item in &module.items {
+            match item {
+                Item::Label(name) => pending_labels.push(name.clone()),
+                Item::Func(name) => {
+                    pending_labels.push(name.clone());
+                    pending_func = Some(name.clone());
+                }
+                Item::Instr(i) => {
+                    nodes.push(FlatNode {
+                        labels: std::mem::take(&mut pending_labels),
+                        func_entry: pending_func.take(),
+                        op: FlatOp::Instr(i.clone()),
+                    });
+                }
+                Item::LoadAddr { rd, target } => {
+                    nodes.push(FlatNode {
+                        labels: std::mem::take(&mut pending_labels),
+                        func_entry: pending_func.take(),
+                        op: FlatOp::LoadAddr {
+                            rd: *rd,
+                            target: target.clone(),
+                        },
+                    });
+                }
+            }
+        }
+
+        let mut label_index = HashMap::new();
+        for (i, node) in nodes.iter().enumerate() {
+            for label in &node.labels {
+                label_index.insert(label.clone(), i);
+            }
+        }
+
+        // Function ranges: from each Func marker to the next.
+        let mut functions: Vec<(String, usize, usize)> = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            if let Some(name) = &node.func_entry {
+                if let Some(last) = functions.last_mut() {
+                    last.2 = i;
+                }
+                functions.push((name.clone(), i, nodes.len()));
+            }
+        }
+        // A module without Func markers is one anonymous function.
+        if functions.is_empty() && !nodes.is_empty() {
+            functions.push(("<module>".to_owned(), 0, nodes.len()));
+        }
+
+        // Successor edges.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            let mut out = Vec::new();
+            if node.falls_through() && i + 1 < nodes.len() {
+                out.push(i + 1);
+            }
+            if let Some(instr) = node.instr() {
+                // Calls transfer out-of-function; only intra edges here.
+                if !matches!(instr.branch_kind(), BranchKind::DirectCall) {
+                    if let Some(target) = instr.target() {
+                        let idx = resolve(target, &label_index)?;
+                        if !out.contains(&idx) {
+                            out.push(idx);
+                        }
+                    }
+                }
+            }
+            succs[i] = out;
+        }
+
+        let mut cfg = Cfg {
+            nodes,
+            label_index,
+            functions,
+            succs,
+            loops: Vec::new(),
+        };
+        cfg.loops = cfg.find_loops();
+        Ok(cfg)
+    }
+
+    /// The function range containing `node`.
+    pub fn function_of(&self, node: usize) -> Option<&(String, usize, usize)> {
+        self.functions.iter().find(|(_, s, e)| node >= *s && node < *e)
+    }
+
+    /// Immediate-dominator computation (Cooper–Harvey–Kennedy) over one
+    /// function subgraph rooted at `entry`, restricted to `[start, end)`.
+    /// Returns `idom[node - start]`, with unreachable nodes mapped to
+    /// `usize::MAX`.
+    fn dominators(&self, entry: usize, start: usize, end: usize) -> Vec<usize> {
+        let n = end - start;
+        let local = |g: usize| g - start;
+
+        // Reverse-postorder over reachable nodes.
+        let mut visited = vec![false; n];
+        let mut postorder: Vec<usize> = Vec::new();
+        let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+        visited[local(entry)] = true;
+        while let Some((node, child)) = stack.pop() {
+            let succs: Vec<usize> = self.succs[node]
+                .iter()
+                .copied()
+                .filter(|&s| s >= start && s < end)
+                .collect();
+            if child < succs.len() {
+                stack.push((node, child + 1));
+                let s = succs[child];
+                if !visited[local(s)] {
+                    visited[local(s)] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(node);
+            }
+        }
+        let rpo: Vec<usize> = postorder.iter().rev().copied().collect();
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, &node) in rpo.iter().enumerate() {
+            rpo_number[local(node)] = i;
+        }
+
+        // Predecessors within the subgraph.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for node in start..end {
+            if !visited[local(node)] {
+                continue;
+            }
+            for &s in &self.succs[node] {
+                if s >= start && s < end && visited[local(s)] {
+                    preds[local(s)].push(node);
+                }
+            }
+        }
+
+        let mut idom = vec![usize::MAX; n];
+        idom[local(entry)] = entry;
+        let intersect = |idom: &[usize], mut a: usize, mut b: usize| -> usize {
+            while a != b {
+                while rpo_number[local(a)] > rpo_number[local(b)] {
+                    a = idom[local(a)];
+                }
+                while rpo_number[local(b)] > rpo_number[local(a)] {
+                    b = idom[local(b)];
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in &rpo {
+                if node == entry {
+                    continue;
+                }
+                let mut new_idom = usize::MAX;
+                for &p in &preds[local(node)] {
+                    if idom[local(p)] == usize::MAX {
+                        continue;
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        intersect(&idom, new_idom, p)
+                    };
+                }
+                if new_idom != usize::MAX && idom[local(node)] != new_idom {
+                    idom[local(node)] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    /// Whether `a` dominates `b` given the per-function `idom` array.
+    fn dominates(idom: &[usize], start: usize, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = idom[cur - start];
+            if next == usize::MAX || next == cur {
+                return cur == a;
+            }
+            cur = next;
+        }
+    }
+
+    /// Finds all natural loops: edges `latch → header` where the header
+    /// dominates the latch.
+    fn find_loops(&self) -> Vec<NaturalLoop> {
+        let mut loops = Vec::new();
+        for &(_, start, end) in &self.functions {
+            if start >= end {
+                continue;
+            }
+            let idom = self.dominators(start, start, end);
+            for latch in start..end {
+                for &header in &self.succs[latch] {
+                    if header < start || header >= end || header > latch {
+                        continue;
+                    }
+                    // Skip unreachable latches.
+                    if idom[latch - start] == usize::MAX && latch != start {
+                        continue;
+                    }
+                    if Cfg::dominates(&idom, start, header, latch) {
+                        loops.push(self.natural_loop(header, latch, start, end));
+                    }
+                }
+            }
+        }
+        loops
+    }
+
+    /// Computes the body of the natural loop for back edge
+    /// `latch → header`: nodes reaching `latch` without passing `header`.
+    fn natural_loop(&self, header: usize, latch: usize, start: usize, end: usize) -> NaturalLoop {
+        // Predecessor map for the function subgraph.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); end - start];
+        for node in start..end {
+            for &s in &self.succs[node] {
+                if s >= start && s < end {
+                    preds[s - start].push(node);
+                }
+            }
+        }
+        let mut body = vec![header];
+        let mut stack = vec![latch];
+        let mut in_body = vec![false; end - start];
+        in_body[header - start] = true;
+        while let Some(node) = stack.pop() {
+            if in_body[node - start] {
+                continue;
+            }
+            in_body[node - start] = true;
+            body.push(node);
+            for &p in &preds[node - start] {
+                if !in_body[p - start] {
+                    stack.push(p);
+                }
+            }
+        }
+        body.sort_unstable();
+        NaturalLoop {
+            header,
+            latch,
+            body,
+        }
+    }
+}
+
+fn resolve(target: &Target, labels: &HashMap<String, usize>) -> Result<usize, CfgError> {
+    match target {
+        Target::Label(name) => labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| CfgError::UndefinedLabel(name.clone())),
+        Target::Abs(_) => {
+            // Absolute targets appear only in already-assembled code;
+            // the offline phase runs on label-form modules. Treat as
+            // having no intra-edge (conservative).
+            Err(CfgError::UndefinedLabel(format!("{target}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armv8m_isa::{Asm, Reg};
+
+    fn cfg_of(build: impl FnOnce(&mut Asm)) -> Cfg {
+        let mut a = Asm::new();
+        build(&mut a);
+        Cfg::build(&a.into_module()).expect("cfg builds")
+    }
+
+    #[test]
+    fn straight_line_has_fallthrough_edges() {
+        let cfg = cfg_of(|a| {
+            a.func("main");
+            a.nop();
+            a.nop();
+            a.halt();
+        });
+        assert_eq!(cfg.succs[0], vec![1]);
+        assert_eq!(cfg.succs[1], vec![2]);
+        assert!(cfg.succs[2].is_empty());
+        assert!(cfg.loops.is_empty());
+    }
+
+    #[test]
+    fn backward_conditional_latch_forms_loop() {
+        let cfg = cfg_of(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 5); // 0
+            a.label("loop");
+            a.subi(Reg::R0, Reg::R0, 1); // 1 (header)
+            a.cmpi(Reg::R0, 0); // 2
+            a.bne("loop"); // 3 (latch)
+            a.halt(); // 4
+        });
+        assert_eq!(cfg.loops.len(), 1);
+        let l = &cfg.loops[0];
+        assert_eq!(l.header, 1);
+        assert_eq!(l.latch, 3);
+        assert_eq!(l.body, vec![1, 2, 3]);
+        assert!(l.contains(2));
+        assert!(!l.contains(4));
+    }
+
+    #[test]
+    fn forward_exit_loop_with_unconditional_latch() {
+        let cfg = cfg_of(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 0); // 0
+            a.label("head");
+            a.cmpi(Reg::R0, 10); // 1 (header)
+            a.beq("done"); // 2 (forward exit)
+            a.addi(Reg::R0, Reg::R0, 1); // 3
+            a.b("head"); // 4 (latch)
+            a.label("done");
+            a.halt(); // 5
+        });
+        assert_eq!(cfg.loops.len(), 1);
+        let l = &cfg.loops[0];
+        assert_eq!(l.header, 1);
+        assert_eq!(l.latch, 4);
+        assert_eq!(l.body, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_loops_found_separately() {
+        let cfg = cfg_of(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 3); // 0
+            a.label("outer");
+            a.movi(Reg::R1, 2); // 1 (outer header)
+            a.label("inner");
+            a.subi(Reg::R1, Reg::R1, 1); // 2 (inner header)
+            a.bne("inner"); // 3 (inner latch)
+            a.subi(Reg::R0, Reg::R0, 1); // 4
+            a.bne("outer"); // 5 (outer latch)
+            a.halt(); // 6
+        });
+        assert_eq!(cfg.loops.len(), 2);
+        let inner = cfg.loops.iter().find(|l| l.header == 2).expect("inner");
+        assert_eq!(inner.body, vec![2, 3]);
+        let outer = cfg.loops.iter().find(|l| l.header == 1).expect("outer");
+        assert_eq!(outer.body, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn functions_partition_nodes() {
+        let cfg = cfg_of(|a| {
+            a.func("main");
+            a.bl("helper"); // 0
+            a.halt(); // 1
+            a.func("helper");
+            a.nop(); // 2
+            a.ret(); // 3
+        });
+        assert_eq!(cfg.functions.len(), 2);
+        assert_eq!(cfg.functions[0], ("main".into(), 0, 2));
+        assert_eq!(cfg.functions[1], ("helper".into(), 2, 4));
+        // BL is treated as fall-through, no edge into helper.
+        assert_eq!(cfg.succs[0], vec![1]);
+    }
+
+    #[test]
+    fn calls_do_not_create_false_loops() {
+        // A function called from below must not look like a loop.
+        let cfg = cfg_of(|a| {
+            a.func("helper");
+            a.nop(); // 0
+            a.ret(); // 1
+            a.func("main");
+            a.bl("helper"); // 2
+            a.halt(); // 3
+        });
+        assert!(cfg.loops.is_empty());
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new();
+        a.b("missing");
+        assert!(matches!(
+            Cfg::build(&a.into_module()),
+            Err(CfgError::UndefinedLabel(_))
+        ));
+    }
+
+    #[test]
+    fn if_else_join_has_two_preds_no_loop() {
+        let cfg = cfg_of(|a| {
+            a.func("main");
+            a.cmpi(Reg::R0, 0); // 0
+            a.beq("else_"); // 1
+            a.movi(Reg::R1, 1); // 2
+            a.b("join"); // 3
+            a.label("else_");
+            a.movi(Reg::R1, 2); // 4
+            a.label("join");
+            a.halt(); // 5
+        });
+        assert!(cfg.loops.is_empty());
+        assert_eq!(cfg.succs[1], vec![2, 4]);
+        assert_eq!(cfg.succs[3], vec![5]);
+    }
+}

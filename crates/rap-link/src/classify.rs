@@ -1,0 +1,885 @@
+//! Branch classification: deterministic vs. non-deterministic transfers
+//! and the loop taxonomy of §IV-C/§IV-D.
+//!
+//! Every instruction receives a [`Disposition`] telling the transformer
+//! what to do with it, and every optimizable loop receives a
+//! [`LoopPlan`] describing how the Verifier will replay it.
+
+use armv8m_isa::{BranchKind, Cond, Instr, Reg, Target};
+
+use crate::cfg::{Cfg, FlatOp};
+
+/// What the offline phase does with one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Deterministic or non-branch: stays in MTBDR untouched.
+    Keep,
+    /// `BLX rm`: replaced by `BL` into a per-site MTBAR stub (Fig. 3).
+    IndirectCall,
+    /// `POP {…, PC}`: split into `POP {…}` + branch to the shared
+    /// MTBAR `POP {PC}` stub (Fig. 4).
+    ReturnPop,
+    /// `LDR PC, […]`: moved into a per-site MTBAR stub (Fig. 4).
+    LoadJump,
+    /// `BX rm` with a non-deterministic target (computed jump, or a
+    /// `BX LR` return in a function that modifies `LR`).
+    IndirectJump,
+    /// Tracked conditional: taken edge retargeted through MTBAR
+    /// (Fig. 5 / Fig. 6 — non-loop and backward-loop cases coincide).
+    CondTaken,
+    /// Forward loop-exit conditional with an untracked (unconditional)
+    /// back edge: a continue-logging branch is inserted after it
+    /// (Fig. 7).
+    LoopForward,
+    /// A conditional that can *quietly* (producing no log entry on any
+    /// path) reach itself again — e.g. the base-case test of a
+    /// recursive function. Taken-only logging would be ambiguous for
+    /// such sites, so both directions are routed through stubs: the
+    /// taken edge like [`Disposition::CondTaken`] plus an inserted
+    /// fall-through-logging branch. A reproduction-side extension for
+    /// sound lossless replay; see DESIGN.md.
+    CondBoth,
+    /// Latch of a loop optimized per §IV-D: left untouched; an `SG`
+    /// loop-condition log is inserted before the loop header.
+    SimpleLoopLatch {
+        /// Index into [`Classification::loop_plans`].
+        plan: usize,
+    },
+    /// Latch of a fully static loop: left untouched, nothing logged —
+    /// the Verifier derives the iteration count from the binary alone.
+    StaticLoopLatch {
+        /// Index into [`Classification::loop_plans`].
+        plan: usize,
+    },
+}
+
+impl Disposition {
+    /// Whether the transformer allocates an MTBAR stub for this site.
+    pub fn needs_stub(self) -> bool {
+        matches!(
+            self,
+            Disposition::IndirectCall
+                | Disposition::ReturnPop
+                | Disposition::LoadJump
+                | Disposition::IndirectJump
+                | Disposition::CondTaken
+                | Disposition::LoopForward
+                | Disposition::CondBoth
+        )
+    }
+}
+
+/// How a simple loop's iteration count is recovered by the Verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopPlanKind {
+    /// Initial iterator value is a compile-time constant.
+    Static {
+        /// The statically known initial value.
+        init: u32,
+    },
+    /// Initial iterator value is logged at runtime (`SG LOG_LOOP_COND`).
+    Logged,
+}
+
+/// Replay metadata for a §IV-D simple loop (or a fully static loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopPlan {
+    /// Node index of the loop header.
+    pub header: usize,
+    /// Node index of the backward conditional latch.
+    pub latch: usize,
+    /// The iterator register.
+    pub iter: Reg,
+    /// Signed per-iteration increment.
+    pub step: i32,
+    /// The constant compared against at the latch.
+    pub bound: u16,
+    /// The latch's branch condition (loop continues while it passes).
+    pub cond: Cond,
+    /// How the initial value is obtained.
+    pub kind: LoopPlanKind,
+}
+
+/// Why a loop failed the §IV-D optimization checks — surfaced by
+/// [`crate::explain`] so firmware authors can see which loops pay
+/// per-iteration logging and how to restructure them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopReject {
+    /// The back edge is not a backward conditional branch to the
+    /// header (e.g. a forward-exit loop with an unconditional latch).
+    NotBackwardConditionalLatch,
+    /// More than one branch targets the header (multiple back edges or
+    /// `continue`-style re-entries).
+    MultipleHeaderEntries,
+    /// The header is not entered purely by fall-through.
+    HeaderNotFallThrough,
+    /// The body contains branches, calls or gateways (nested loops,
+    /// internal conditionals — the paper's "internal branches must be
+    /// deterministic" requirement).
+    BranchInBody,
+    /// No `CMP iter, #const` immediately before the latch.
+    NoConstCompareAtLatch,
+    /// The iterator is updated by something other than a single
+    /// register-only `ADDS`/`SUBS` immediate (e.g. loads — "register-
+    /// only operations" per §IV-D).
+    IteratorNotRegisterOnly,
+    /// The iterator is never updated in the body.
+    NoIteratorUpdate,
+}
+
+impl std::fmt::Display for LoopReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            LoopReject::NotBackwardConditionalLatch => {
+                "back edge is not a backward conditional branch"
+            }
+            LoopReject::MultipleHeaderEntries => "header has multiple entries/back edges",
+            LoopReject::HeaderNotFallThrough => "header not entered by fall-through",
+            LoopReject::BranchInBody => "body contains branches/calls",
+            LoopReject::NoConstCompareAtLatch => "no constant compare immediately before latch",
+            LoopReject::IteratorNotRegisterOnly => "iterator update is not register-only",
+            LoopReject::NoIteratorUpdate => "iterator never updated in body",
+        };
+        write!(f, "{msg}")
+    }
+}
+
+/// The classification of a whole module.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Per-node dispositions, parallel to `cfg.nodes`.
+    pub dispositions: Vec<Disposition>,
+    /// Plans for simple/static loops.
+    pub loop_plans: Vec<LoopPlan>,
+}
+
+impl Classification {
+    /// Number of sites that will receive MTBAR stubs.
+    pub fn stub_count(&self) -> usize {
+        self.dispositions.iter().filter(|d| d.needs_stub()).count()
+    }
+}
+
+/// Classification tuning knobs (ablation switches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassifyOptions {
+    /// Apply the §IV-D simple-loop optimization (log the loop condition
+    /// once instead of per-iteration trampolines).
+    pub loop_opt: bool,
+    /// Elide fully static loops entirely (their counts are derivable
+    /// from the binary).
+    pub static_loop_elision: bool,
+}
+
+impl Default for ClassifyOptions {
+    fn default() -> ClassifyOptions {
+        ClassifyOptions {
+            loop_opt: true,
+            static_loop_elision: true,
+        }
+    }
+}
+
+/// Classifies every instruction of the CFG.
+pub fn classify(cfg: &Cfg, options: ClassifyOptions) -> Classification {
+    let n = cfg.nodes.len();
+    let mut dispositions = vec![Disposition::Keep; n];
+    let mut loop_plans: Vec<LoopPlan> = Vec::new();
+
+    // --- Per-function LR analysis -------------------------------------
+    // The paper monitors returns only when LR is pushed (and thus
+    // restored via POP {PC}); a `BX LR` return is deterministic only in
+    // functions that never modify LR (§IV-C.2).
+    let mut lr_unstable = vec![false; n];
+    for &(_, start, end) in &cfg.functions {
+        let modified = (start..end).any(|i| writes_lr(&cfg.nodes[i].op));
+        for flag in lr_unstable.iter_mut().take(end).skip(start) {
+            *flag = modified;
+        }
+    }
+
+    // --- Simple/static loop planning -----------------------------------
+    // Candidate: innermost backward-conditional-latch loop with a
+    // straight-line body, a register-only iterator and a constant bound.
+    let mut latch_plan: Vec<Option<usize>> = vec![None; n];
+    if options.loop_opt || options.static_loop_elision {
+        for l in &cfg.loops {
+            let Ok(plan) = plan_simple_loop(cfg, l) else {
+                continue;
+            };
+            let is_static = matches!(plan.kind, LoopPlanKind::Static { .. });
+            if is_static && !options.static_loop_elision && !options.loop_opt {
+                continue;
+            }
+            // A static plan downgraded to Logged when elision is off but
+            // the loop-opt is on.
+            let plan = if is_static && !options.static_loop_elision {
+                LoopPlan {
+                    kind: LoopPlanKind::Logged,
+                    ..plan
+                }
+            } else if !is_static && !options.loop_opt {
+                continue;
+            } else {
+                plan
+            };
+            latch_plan[plan.latch] = Some(loop_plans.len());
+            loop_plans.push(plan);
+        }
+    }
+
+    // --- Per-instruction dispositions ----------------------------------
+    for (i, node) in cfg.nodes.iter().enumerate() {
+        let disp = match node.branch_kind() {
+            BranchKind::None | BranchKind::Direct | BranchKind::DirectCall | BranchKind::Halt => {
+                Disposition::Keep
+            }
+            BranchKind::Gateway => Disposition::Keep,
+            BranchKind::IndirectCall => Disposition::IndirectCall,
+            BranchKind::ReturnPop => Disposition::ReturnPop,
+            BranchKind::LoadJump => Disposition::LoadJump,
+            BranchKind::IndirectJump => Disposition::IndirectJump,
+            BranchKind::ReturnBx => {
+                if lr_unstable[i] {
+                    Disposition::IndirectJump
+                } else {
+                    Disposition::Keep
+                }
+            }
+            BranchKind::Conditional => {
+                if let Some(plan) = latch_plan[i] {
+                    match loop_plans[plan].kind {
+                        LoopPlanKind::Static { .. } => Disposition::StaticLoopLatch { plan },
+                        LoopPlanKind::Logged => Disposition::SimpleLoopLatch { plan },
+                    }
+                } else if is_forward_exit_of_untracked_loop(cfg, i, &latch_plan) {
+                    Disposition::LoopForward
+                } else {
+                    Disposition::CondTaken
+                }
+            }
+        };
+        dispositions[i] = disp;
+    }
+
+    dedup_loop_forward_sites(cfg, &mut dispositions, &latch_plan);
+    upgrade_ambiguous_sites(cfg, &mut dispositions);
+
+    Classification {
+        dispositions,
+        loop_plans,
+    }
+}
+
+/// Iteration counting only needs *one* continue-logging site per loop
+/// (Fig. 7); additional forward exits of the same loop are demoted to
+/// plain taken-logging conditionals — their exits stay visible while
+/// halving the per-iteration log volume.
+fn dedup_loop_forward_sites(
+    cfg: &Cfg,
+    dispositions: &mut [Disposition],
+    latch_plan: &[Option<usize>],
+) {
+    for l in &cfg.loops {
+        if latch_plan[l.latch].is_some() {
+            continue;
+        }
+        let mut seen_logger = false;
+        for &i in &l.body {
+            if dispositions[i] != Disposition::LoopForward {
+                continue;
+            }
+            // Only consider sites whose innermost loop is this one.
+            if !is_innermost_loop_of(cfg, i, l) {
+                continue;
+            }
+            if seen_logger {
+                dispositions[i] = Disposition::CondTaken;
+            } else {
+                seen_logger = true;
+            }
+        }
+    }
+}
+
+fn is_innermost_loop_of(cfg: &Cfg, node: usize, l: &crate::cfg::NaturalLoop) -> bool {
+    let mut best: Option<&crate::cfg::NaturalLoop> = None;
+    for candidate in &cfg.loops {
+        if candidate.contains(node) {
+            best = match best {
+                None => Some(candidate),
+                Some(b) if candidate.body.len() < b.body.len() => Some(candidate),
+                Some(b) => Some(b),
+            };
+        }
+    }
+    best.is_some_and(|b| b.header == l.header && b.latch == l.latch)
+}
+
+/// Disambiguation pass: a conditional logged taken-only is ambiguous if
+/// a *quiet cycle* — a path producing no `CF_Log` entry — leads from
+/// its unlogged direction back to the site itself (two dynamic
+/// instances of the site with nothing logged in between cannot be told
+/// apart during replay). Such sites get both directions logged
+/// ([`Disposition::CondBoth`]).
+fn upgrade_ambiguous_sites(cfg: &Cfg, dispositions: &mut [Disposition]) {
+    let n = cfg.nodes.len();
+
+    // Quiet successor edges under the *current* dispositions.
+    let mut quiet: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Entry node of each function, for direct-call edges.
+    let entry_of = |target: &Instr| -> Option<usize> {
+        direct_target_index(cfg, target)
+    };
+    // Leaf `BX LR` return linkage: return-site → after every BL that
+    // targets the containing function (pairwise edges suffice).
+    let mut leaf_returns: Vec<(usize, usize)> = Vec::new(); // (ret node, fstart)
+    for (i, node) in cfg.nodes.iter().enumerate() {
+        if dispositions[i] == Disposition::Keep
+            && node.branch_kind() == BranchKind::ReturnBx
+        {
+            if let Some(&(_, fstart, _)) = cfg.function_of(i) {
+                leaf_returns.push((i, fstart));
+            }
+        }
+    }
+
+    for (i, node) in cfg.nodes.iter().enumerate() {
+        let succs: Vec<usize> = match dispositions[i] {
+            Disposition::CondTaken | Disposition::CondBoth => {
+                // Taken edge is logged; fall-through is quiet.
+                if i + 1 < n { vec![i + 1] } else { vec![] }
+            }
+            Disposition::LoopForward => {
+                // The continue path hits the inserted logged branch;
+                // only the (exit) taken edge is quiet.
+                node.instr()
+                    .and_then(&entry_of)
+                    .into_iter()
+                    .collect()
+            }
+            Disposition::SimpleLoopLatch { .. } | Disposition::StaticLoopLatch { .. } => {
+                // Neither direction of an optimized latch produces an
+                // MTB packet.
+                let mut out = Vec::new();
+                if i + 1 < n {
+                    out.push(i + 1);
+                }
+                if let Some(t) = node.instr().and_then(&entry_of) {
+                    out.push(t);
+                }
+                out
+            }
+            Disposition::IndirectCall
+            | Disposition::ReturnPop
+            | Disposition::LoadJump
+            | Disposition::IndirectJump => Vec::new(),
+            Disposition::Keep => match node.branch_kind() {
+                BranchKind::None | BranchKind::Gateway => {
+                    if i + 1 < n { vec![i + 1] } else { vec![] }
+                }
+                BranchKind::Direct | BranchKind::DirectCall => node
+                    .instr()
+                    .and_then(&entry_of)
+                    .into_iter()
+                    .collect(),
+                BranchKind::ReturnBx => {
+                    // Edges added below (needs the BL sites).
+                    Vec::new()
+                }
+                _ => Vec::new(),
+            },
+        };
+        quiet[i] = succs;
+    }
+
+    // Link leaf returns to their callers' continuation points.
+    for (ret, fstart) in leaf_returns {
+        for (b, node) in cfg.nodes.iter().enumerate() {
+            if node.branch_kind() == BranchKind::DirectCall {
+                if let Some(instr) = node.instr() {
+                    if direct_target_index(cfg, instr) == Some(fstart) && b + 1 < n {
+                        quiet[ret].push(b + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    // For each taken-only conditional: can its quiet direction reach
+    // the site again without a logged event?
+    let reaches = |from: usize, goal: usize| -> bool {
+        let mut seen = vec![false; n];
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            if x == goal {
+                return true;
+            }
+            if seen[x] {
+                continue;
+            }
+            seen[x] = true;
+            for &s in &quiet[x] {
+                if !seen[s] {
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    };
+
+    #[allow(clippy::needless_range_loop)] // `i` indexes two parallel structures
+    for i in 0..n {
+        let ambiguous = match dispositions[i] {
+            Disposition::CondTaken => i + 1 < n && reaches(i + 1, i),
+            Disposition::LoopForward => cfg.nodes[i]
+                .instr()
+                .and_then(|instr| direct_target_index(cfg, instr))
+                .is_some_and(|t| reaches(t, i)),
+            _ => false,
+        };
+        if ambiguous {
+            dispositions[i] = Disposition::CondBoth;
+        }
+    }
+}
+
+fn writes_lr(op: &FlatOp) -> bool {
+    match op {
+        FlatOp::Instr(i) => {
+            i.dest_reg() == Some(Reg::Lr)
+                || matches!(i, Instr::Pop { list } if list.contains(Reg::Lr))
+                || matches!(i.branch_kind(), BranchKind::DirectCall | BranchKind::IndirectCall)
+        }
+        FlatOp::LoadAddr { rd, .. } => *rd == Reg::Lr,
+    }
+}
+
+/// A conditional branch is the Fig. 7 case when it sits inside a loop,
+/// jumps out of it, and that loop's back edge is an *untracked*
+/// unconditional branch (so iterations would otherwise go unlogged).
+fn is_forward_exit_of_untracked_loop(cfg: &Cfg, node: usize, latch_plan: &[Option<usize>]) -> bool {
+    let Some(instr) = cfg.nodes[node].instr() else {
+        return false;
+    };
+    let Some(target_idx) = direct_target_index(cfg, instr) else {
+        return false;
+    };
+    // Innermost loop containing the node whose body excludes the target.
+    let mut best: Option<&crate::cfg::NaturalLoop> = None;
+    for l in &cfg.loops {
+        if l.contains(node) && !l.contains(target_idx) {
+            best = match best {
+                None => Some(l),
+                Some(b) if l.body.len() < b.body.len() => Some(l),
+                Some(b) => Some(b),
+            };
+        }
+    }
+    let Some(l) = best else {
+        return false;
+    };
+    // Simple/static loops never contain conditionals, but be defensive.
+    if latch_plan[l.latch].is_some() {
+        return false;
+    }
+    // Untracked back edge = unconditional direct branch.
+    matches!(
+        cfg.nodes[l.latch].branch_kind(),
+        BranchKind::Direct
+    )
+}
+
+fn direct_target_index(cfg: &Cfg, instr: &Instr) -> Option<usize> {
+    match instr.target() {
+        Some(Target::Label(name)) => cfg.label_index.get(name).copied(),
+        _ => None,
+    }
+}
+
+/// Attempts to plan `l` as a §IV-D simple (or fully static) loop.
+pub(crate) fn plan_simple_loop(
+    cfg: &Cfg,
+    l: &crate::cfg::NaturalLoop,
+) -> Result<LoopPlan, LoopReject> {
+    // Backward conditional latch, targeting the header.
+    let latch_instr = cfg.nodes[l.latch]
+        .instr()
+        .ok_or(LoopReject::NotBackwardConditionalLatch)?;
+    let cond = match latch_instr {
+        Instr::BCond { cond, .. } => *cond,
+        _ => return Err(LoopReject::NotBackwardConditionalLatch),
+    };
+    if direct_target_index(cfg, latch_instr) != Some(l.header) || l.header >= l.latch {
+        return Err(LoopReject::NotBackwardConditionalLatch);
+    }
+
+    // Single back edge: no other node in the function branches to the
+    // header, and the only external entry is fall-through from
+    // header - 1.
+    let (_, fstart, fend) = *cfg
+        .function_of(l.header)
+        .ok_or(LoopReject::NotBackwardConditionalLatch)?;
+    for i in fstart..fend {
+        if i == l.latch {
+            continue;
+        }
+        if let Some(instr) = cfg.nodes[i].instr() {
+            if let Some(t) = direct_target_index(cfg, instr) {
+                if t == l.header {
+                    return Err(LoopReject::MultipleHeaderEntries);
+                }
+            }
+        }
+    }
+    if l.header == fstart || !cfg.nodes[l.header - 1].falls_through() {
+        return Err(LoopReject::HeaderNotFallThrough);
+    }
+
+    // Straight-line body: no branches other than the latch, no nested
+    // loops, no gateways, no calls.
+    for &i in &l.body {
+        if i == l.latch {
+            continue;
+        }
+        if cfg.nodes[i].branch_kind() != BranchKind::None {
+            return Err(LoopReject::BranchInBody);
+        }
+    }
+
+    // The compare must immediately precede the latch: CMP iter, #bound.
+    let cmp_idx = l.latch.checked_sub(1).ok_or(LoopReject::NoConstCompareAtLatch)?;
+    if !l.contains(cmp_idx) {
+        return Err(LoopReject::NoConstCompareAtLatch);
+    }
+    let (iter, bound) = match cfg.nodes[cmp_idx]
+        .instr()
+        .ok_or(LoopReject::NoConstCompareAtLatch)?
+    {
+        Instr::CmpImm { rn, imm } => (*rn, *imm),
+        _ => return Err(LoopReject::NoConstCompareAtLatch),
+    };
+
+    // Exactly one register-only iterator update in the body.
+    let mut step: Option<i32> = None;
+    for &i in &l.body {
+        if i == cmp_idx || i == l.latch {
+            continue;
+        }
+        let writes_iter = match &cfg.nodes[i].op {
+            FlatOp::Instr(instr) => instr.dest_reg() == Some(iter),
+            FlatOp::LoadAddr { rd, .. } => *rd == iter,
+        };
+        if !writes_iter {
+            continue;
+        }
+        let s = match cfg.nodes[i]
+            .instr()
+            .ok_or(LoopReject::IteratorNotRegisterOnly)?
+        {
+            Instr::AddImm { rd, rn, imm } if rd == rn && *rd == iter => *imm as i32,
+            Instr::SubImm { rd, rn, imm } if rd == rn && *rd == iter => -(*imm as i32),
+            _ => return Err(LoopReject::IteratorNotRegisterOnly),
+        };
+        if step.is_some() || s == 0 {
+            return Err(LoopReject::IteratorNotRegisterOnly);
+        }
+        step = Some(s);
+    }
+    let step = step.ok_or(LoopReject::NoIteratorUpdate)?;
+
+    // Static initial value: scan backwards from the header through
+    // straight-line, label-free, iter-preserving instructions.
+    let mut kind = LoopPlanKind::Logged;
+    let mut i = l.header;
+    while i > fstart {
+        i -= 1;
+        let node = &cfg.nodes[i];
+        if !node.falls_through() {
+            break;
+        }
+        let writes_iter = match &node.op {
+            FlatOp::Instr(instr) => instr.dest_reg() == Some(iter),
+            FlatOp::LoadAddr { rd, .. } => *rd == iter,
+        };
+        if writes_iter {
+            // A label *on* the initializer is harmless: any entry at it
+            // still executes the write before reaching the header.
+            if let Some(Instr::MovImm { imm, .. }) = node.instr() {
+                kind = LoopPlanKind::Static { init: *imm as u32 };
+            }
+            break;
+        }
+        // A label strictly between the initializer and the header would
+        // let control skip the initializer — give up.
+        if !node.labels.is_empty() {
+            break;
+        }
+    }
+
+    Ok(LoopPlan {
+        header: l.header,
+        latch: l.latch,
+        iter,
+        step,
+        bound,
+        cond,
+        kind,
+    })
+}
+
+/// Simulates a planned loop to its exit, returning the iteration count
+/// (shared by the linker's sanity checks and the Verifier's replay).
+///
+/// Returns `None` when the loop does not terminate within `cap`
+/// iterations — a misclassification or a forged log value.
+pub fn simulate_loop_count(plan: &LoopPlan, init: u32, cap: u32) -> Option<u32> {
+    let mut iter = init;
+    let mut count: u32 = 0;
+    loop {
+        iter = iter.wrapping_add(plan.step as u32);
+        count += 1;
+        let (_, flags) = armv8m_isa::Flags::from_sub(iter, plan.bound as u32);
+        if !plan.cond.passes(flags) {
+            return Some(count);
+        }
+        if count >= cap {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armv8m_isa::{Asm, Reg};
+
+    fn classified(build: impl FnOnce(&mut Asm)) -> (Cfg, Classification) {
+        let mut a = Asm::new();
+        build(&mut a);
+        let cfg = Cfg::build(&a.into_module()).expect("cfg");
+        let cls = classify(&cfg, ClassifyOptions::default());
+        (cfg, cls)
+    }
+
+    #[test]
+    fn static_countdown_loop_is_elided() {
+        let (_, cls) = classified(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 5); // 0: init
+            a.label("loop");
+            a.nop(); // 1: header
+            a.subi(Reg::R0, Reg::R0, 1); // 2: update
+            a.cmpi(Reg::R0, 0); // 3: cmp
+            a.bne("loop"); // 4: latch
+            a.halt(); // 5
+        });
+        assert_eq!(cls.loop_plans.len(), 1);
+        let plan = cls.loop_plans[0];
+        assert_eq!(plan.kind, LoopPlanKind::Static { init: 5 });
+        assert_eq!(plan.step, -1);
+        assert_eq!(plan.bound, 0);
+        assert!(matches!(
+            cls.dispositions[4],
+            Disposition::StaticLoopLatch { .. }
+        ));
+        assert_eq!(cls.stub_count(), 0);
+        assert_eq!(simulate_loop_count(&plan, 5, 100), Some(5));
+    }
+
+    #[test]
+    fn variable_count_simple_loop_is_logged() {
+        let (_, cls) = classified(|a| {
+            a.func("main");
+            a.mov(Reg::R0, Reg::R2); // runtime-variable init
+            a.label("loop");
+            a.subi(Reg::R0, Reg::R0, 1);
+            a.cmpi(Reg::R0, 0);
+            a.bne("loop");
+            a.halt();
+        });
+        assert_eq!(cls.loop_plans.len(), 1);
+        assert_eq!(cls.loop_plans[0].kind, LoopPlanKind::Logged);
+        assert!(matches!(
+            cls.dispositions[3],
+            Disposition::SimpleLoopLatch { .. }
+        ));
+    }
+
+    #[test]
+    fn loop_with_internal_conditional_is_general() {
+        let (_, cls) = classified(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 5); // 0
+            a.label("loop");
+            a.cmpi(Reg::R1, 3); // 1
+            a.beq("skip"); // 2: internal conditional
+            a.addi(Reg::R1, Reg::R1, 1); // 3
+            a.label("skip");
+            a.subi(Reg::R0, Reg::R0, 1); // 4
+            a.cmpi(Reg::R0, 0); // 5
+            a.bne("loop"); // 6: latch
+            a.halt(); // 7
+        });
+        assert!(cls.loop_plans.is_empty());
+        // Internal conditional and latch both tracked.
+        assert_eq!(cls.dispositions[2], Disposition::CondTaken);
+        assert_eq!(cls.dispositions[6], Disposition::CondTaken);
+    }
+
+    #[test]
+    fn memory_iterating_loop_is_general() {
+        let (_, cls) = classified(|a| {
+            a.func("main");
+            a.mov32(Reg::R1, 0x2000_0000);
+            a.label("loop");
+            a.ldr(Reg::R0, Reg::R1, 0); // iterator from memory
+            a.cmpi(Reg::R0, 0);
+            a.bne("loop");
+            a.halt();
+        });
+        assert!(cls.loop_plans.is_empty());
+    }
+
+    #[test]
+    fn forward_exit_with_unconditional_latch() {
+        let (_, cls) = classified(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 0); // 0
+            a.label("head");
+            a.ldr(Reg::R1, Reg::R2, 0); // 1: header, memory-dependent
+            a.cmpi(Reg::R1, 0); // 2
+            a.beq("done"); // 3: forward exit
+            a.addi(Reg::R0, Reg::R0, 1); // 4
+            a.b("head"); // 5: untracked latch
+            a.label("done");
+            a.halt(); // 6
+        });
+        assert_eq!(cls.dispositions[3], Disposition::LoopForward);
+        assert_eq!(cls.dispositions[5], Disposition::Keep);
+    }
+
+    #[test]
+    fn forward_exit_with_tracked_latch_is_plain_conditional() {
+        // Two conditionals: exit check + backward latch. The latch is
+        // tracked, so iterations are already logged; the forward exit
+        // is just a CondTaken site.
+        let (_, cls) = classified(|a| {
+            a.func("main");
+            a.label("head");
+            a.ldr(Reg::R1, Reg::R2, 0); // 0 header
+            a.cmpi(Reg::R1, 99); // 1
+            a.beq("done"); // 2 forward exit
+            a.subi(Reg::R0, Reg::R0, 1); // 3
+            a.cmpi(Reg::R0, 0); // 4
+            a.bne("head"); // 5 conditional latch (general: memory load)
+            a.label("done");
+            a.halt(); // 6
+        });
+        assert_eq!(cls.dispositions[2], Disposition::CondTaken);
+        assert_eq!(cls.dispositions[5], Disposition::CondTaken);
+    }
+
+    #[test]
+    fn returns_classified_by_lr_stability() {
+        let (_, cls) = classified(|a| {
+            a.func("main");
+            a.bl("leaf"); // 0
+            a.bl("parent"); // 1
+            a.halt(); // 2
+            a.func("leaf");
+            a.addi(Reg::R0, Reg::R0, 1); // 3
+            a.ret(); // 4: BX LR, leaf → Keep
+            a.func("parent");
+            a.push(&[Reg::R4, Reg::Lr]); // 5
+            a.bl("leaf"); // 6
+            a.pop(&[Reg::R4, Reg::Pc]); // 7: POP {PC} → ReturnPop
+        });
+        assert_eq!(cls.dispositions[4], Disposition::Keep);
+        assert_eq!(cls.dispositions[7], Disposition::ReturnPop);
+    }
+
+    #[test]
+    fn bx_lr_after_pop_lr_is_tracked() {
+        let (_, cls) = classified(|a| {
+            a.func("weird");
+            a.push(&[Reg::Lr]); // 0
+            a.bl("leaf"); // 1
+            a.pop(&[Reg::R3]); // 2 — restores into R3? keep simple
+            a.mov(Reg::Lr, Reg::R3); // 3 — LR modified
+            a.ret(); // 4 → IndirectJump
+            a.func("leaf");
+            a.ret(); // 5
+        });
+        assert_eq!(cls.dispositions[4], Disposition::IndirectJump);
+    }
+
+    #[test]
+    fn indirect_call_and_load_jump_tracked() {
+        let (_, cls) = classified(|a| {
+            a.func("main");
+            a.load_addr(Reg::R3, "main"); // 0
+            a.blx(Reg::R3); // 1
+            a.instr(armv8m_isa::Instr::LdrImm {
+                rt: Reg::Pc,
+                rn: Reg::R4,
+                offset: 0,
+            }); // 2
+            a.halt(); // 3
+        });
+        assert_eq!(cls.dispositions[1], Disposition::IndirectCall);
+        assert_eq!(cls.dispositions[2], Disposition::LoadJump);
+    }
+
+    #[test]
+    fn loop_opt_disabled_tracks_latch() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.mov(Reg::R0, Reg::R2);
+        a.label("loop");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmpi(Reg::R0, 0);
+        a.bne("loop");
+        a.halt();
+        let cfg = Cfg::build(&a.into_module()).unwrap();
+        let cls = classify(
+            &cfg,
+            ClassifyOptions {
+                loop_opt: false,
+                static_loop_elision: false,
+            },
+        );
+        assert!(cls.loop_plans.is_empty());
+        assert_eq!(cls.dispositions[3], Disposition::CondTaken);
+    }
+
+    #[test]
+    fn simulate_loop_counts() {
+        let plan = LoopPlan {
+            header: 0,
+            latch: 1,
+            iter: Reg::R0,
+            step: -1,
+            bound: 0,
+            cond: Cond::Ne,
+            kind: LoopPlanKind::Logged,
+        };
+        assert_eq!(simulate_loop_count(&plan, 1, 100), Some(1));
+        assert_eq!(simulate_loop_count(&plan, 10, 100), Some(10));
+        // Non-terminating within cap.
+        let bad = LoopPlan {
+            step: 0,
+            ..plan
+        };
+        assert_eq!(simulate_loop_count(&bad, 10, 100), None);
+
+        let up = LoopPlan {
+            step: 2,
+            bound: 10,
+            cond: Cond::Lt,
+            ..plan
+        };
+        // 0→2→4→6→8→10: passes Lt at 2,4,6,8; fails at 10 → 5 iters.
+        assert_eq!(simulate_loop_count(&up, 0, 100), Some(5));
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline-phase diagnostics: what the linker decided and why.
+//!
+//! Firmware authors tuning for RAP-Track want to know which loops pay
+//! per-iteration logging and how to restructure them for §IV-D. The
+//! [`explain`] report lists, per function, the branch-site dispositions
+//! and every loop's optimization outcome — including the *rejection
+//! reason* for loops that stay general.
+
+use std::fmt;
+
+use crate::cfg::Cfg;
+use crate::classify::{
+    Classification, ClassifyOptions, Disposition, LoopPlanKind, LoopReject, classify,
+    plan_simple_loop,
+};
+use crate::{CfgError, LinkOptions};
+use armv8m_isa::Module;
+
+/// Per-function classification summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionSummary {
+    /// Function name.
+    pub name: String,
+    /// Instruction count (including pseudo-ops).
+    pub instrs: usize,
+    /// Trampolined sites: `(disposition label, count)` pairs.
+    pub sites: Vec<(&'static str, usize)>,
+}
+
+/// The optimization outcome of one natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopOutcome {
+    /// Fully static: elided from the log entirely.
+    Static {
+        /// Statically derived iteration count's initial value.
+        init: u32,
+    },
+    /// §IV-D: condition logged once per entry.
+    Logged,
+    /// General loop with the rejection reason.
+    General(LoopReject),
+}
+
+/// One analyzed loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopDecision {
+    /// Enclosing function.
+    pub function: String,
+    /// Header node index (see [`Cfg::nodes`]).
+    pub header: usize,
+    /// Latch node index.
+    pub latch: usize,
+    /// Body size in nodes.
+    pub body_len: usize,
+    /// The outcome.
+    pub outcome: LoopOutcome,
+}
+
+/// The full offline-phase report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Per-function summaries in layout order.
+    pub functions: Vec<FunctionSummary>,
+    /// Per-loop decisions in discovery order.
+    pub loops: Vec<LoopDecision>,
+}
+
+fn disposition_label(d: Disposition) -> Option<&'static str> {
+    Some(match d {
+        Disposition::Keep => return None,
+        Disposition::IndirectCall => "indirect-call",
+        Disposition::ReturnPop => "return-pop",
+        Disposition::LoadJump => "load-jump",
+        Disposition::IndirectJump => "indirect-jump",
+        Disposition::CondTaken => "cond-taken",
+        Disposition::LoopForward => "loop-forward",
+        Disposition::CondBoth => "cond-both",
+        Disposition::SimpleLoopLatch { .. } => "loop-latch(logged)",
+        Disposition::StaticLoopLatch { .. } => "loop-latch(static)",
+    })
+}
+
+/// Analyzes `module` and reports every classification decision.
+///
+/// # Errors
+///
+/// Propagates CFG-recovery failures.
+pub fn explain(module: &Module, options: LinkOptions) -> Result<LinkReport, CfgError> {
+    let cfg = Cfg::build(module)?;
+    let cls: Classification = classify(&cfg, options.classify);
+
+    let mut functions = Vec::new();
+    for (name, start, end) in &cfg.functions {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for i in *start..*end {
+            if let Some(label) = disposition_label(cls.dispositions[i]) {
+                match counts.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((label, 1)),
+                }
+            }
+        }
+        functions.push(FunctionSummary {
+            name: name.clone(),
+            instrs: end - start,
+            sites: counts,
+        });
+    }
+
+    let opts_on = ClassifyOptions::default();
+    let _ = opts_on;
+    let mut loops = Vec::new();
+    for l in &cfg.loops {
+        let function = cfg
+            .function_of(l.header)
+            .map(|(n, _, _)| n.clone())
+            .unwrap_or_else(|| "<module>".to_owned());
+        let outcome = match plan_simple_loop(&cfg, l) {
+            Ok(plan) => match plan.kind {
+                LoopPlanKind::Static { init } if options.classify.static_loop_elision => {
+                    LoopOutcome::Static { init }
+                }
+                _ if options.classify.loop_opt => LoopOutcome::Logged,
+                _ => LoopOutcome::General(LoopReject::NotBackwardConditionalLatch),
+            },
+            Err(reason) => LoopOutcome::General(reason),
+        };
+        loops.push(LoopDecision {
+            function,
+            header: l.header,
+            latch: l.latch,
+            body_len: l.body.len(),
+            outcome,
+        });
+    }
+
+    Ok(LinkReport { functions, loops })
+}
+
+impl fmt::Display for LinkReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "functions:")?;
+        for func in &self.functions {
+            write!(f, "  {:<20} {:>4} instrs", func.name, func.instrs)?;
+            if func.sites.is_empty() {
+                writeln!(f, "  (fully deterministic)")?;
+            } else {
+                let sites: Vec<String> = func
+                    .sites
+                    .iter()
+                    .map(|(l, c)| format!("{l} x{c}"))
+                    .collect();
+                writeln!(f, "  {}", sites.join(", "))?;
+            }
+        }
+        writeln!(f, "loops:")?;
+        for l in &self.loops {
+            let outcome = match &l.outcome {
+                LoopOutcome::Static { init } => format!("STATIC (init {init}, elided)"),
+                LoopOutcome::Logged => "LOGGED once per entry (§IV-D)".to_owned(),
+                LoopOutcome::General(r) => format!("general — {r}"),
+            };
+            writeln!(
+                f,
+                "  {}: nodes {}..={} ({} in body)  {}",
+                l.function, l.header, l.latch, l.body_len, outcome
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_workload_structure() {
+        let w = workloads::ultrasonic::workload();
+        let report = explain(&w.module, LinkOptions::default()).expect("explains");
+        // main + measure + to_distance.
+        assert_eq!(report.functions.len(), 3);
+        let main = &report.functions[0];
+        assert_eq!(main.name, "main");
+        assert!(main.sites.iter().any(|(l, _)| *l == "cond-taken"));
+        // The echo wait is the logged loop, the outer loop is general.
+        assert!(report
+            .loops
+            .iter()
+            .any(|l| l.outcome == LoopOutcome::Logged));
+        assert!(report
+            .loops
+            .iter()
+            .any(|l| matches!(l.outcome, LoopOutcome::General(LoopReject::BranchInBody))));
+    }
+
+    #[test]
+    fn rejection_reasons_are_specific() {
+        use armv8m_isa::{Asm, Reg};
+
+        // Memory-dependent iterator → not register-only.
+        let mut a = Asm::new();
+        a.func("main");
+        a.mov32(Reg::R1, mcu_sim::RAM_BASE);
+        a.label("l");
+        a.ldr(Reg::R0, Reg::R1, 0);
+        a.cmpi(Reg::R0, 0);
+        a.bne("l");
+        a.halt();
+        let report = explain(&a.into_module(), LinkOptions::default()).unwrap();
+        assert!(matches!(
+            report.loops[0].outcome,
+            LoopOutcome::General(LoopReject::IteratorNotRegisterOnly)
+        ));
+
+        // Register-vs-register bound → no constant compare.
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R0, 5);
+        a.movi(Reg::R2, 0);
+        a.label("l");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmp(Reg::R0, Reg::R2);
+        a.bne("l");
+        a.halt();
+        let report = explain(&a.into_module(), LinkOptions::default()).unwrap();
+        assert!(matches!(
+            report.loops[0].outcome,
+            LoopOutcome::General(LoopReject::NoConstCompareAtLatch)
+        ));
+
+        // Unconditional latch → not a backward conditional.
+        let mut a = Asm::new();
+        a.func("main");
+        a.mov32(Reg::R2, mcu_sim::RAM_BASE);
+        a.label("l");
+        a.ldr(Reg::R1, Reg::R2, 0);
+        a.cmpi(Reg::R1, 1);
+        a.beq("out");
+        a.b("l");
+        a.label("out");
+        a.halt();
+        let report = explain(&a.into_module(), LinkOptions::default()).unwrap();
+        assert!(matches!(
+            report.loops[0].outcome,
+            LoopOutcome::General(LoopReject::NotBackwardConditionalLatch)
+        ));
+    }
+
+    #[test]
+    fn display_renders_everything() {
+        let w = workloads::geiger::workload();
+        let report = explain(&w.module, LinkOptions::default()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("functions:"));
+        assert!(text.contains("loops:"));
+        assert!(text.contains("STATIC"), "{text}");
+        assert!(text.contains("compute_cpm"));
+    }
+}

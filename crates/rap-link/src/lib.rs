@@ -1,0 +1,443 @@
+//! # rap-link — RAP-Track's offline static-analysis and linking phase
+//!
+//! Implements the paper's Offline Phase (§IV): recovers a CFG from the
+//! application, classifies every control-flow transfer as deterministic
+//! or non-deterministic, plans the §IV-D loop optimizations, and
+//! rewrites the binary into the MTBDR/MTBAR layout with branch
+//! trampolines (Figs. 3–7), emitting the [`LinkMap`] the Verifier uses
+//! for lossless path reconstruction.
+//!
+//! ```
+//! use armv8m_isa::{Asm, Reg};
+//! use rap_link::{LinkOptions, link};
+//!
+//! let mut a = Asm::new();
+//! a.func("main");
+//! a.mov(Reg::R0, Reg::R2); // runtime-variable count
+//! a.label("loop");
+//! a.subi(Reg::R0, Reg::R0, 1);
+//! a.cmpi(Reg::R0, 0);
+//! a.bne("loop");
+//! a.halt();
+//!
+//! let linked = link(&a.into_module(), 0x0, LinkOptions::default())?;
+//! // The variable-count loop was optimized per §IV-D:
+//! assert_eq!(linked.map.loops_by_latch.len(), 1);
+//! # Ok::<(), rap_link::LinkError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod cfg;
+mod classify;
+mod explain;
+mod map;
+mod serialize;
+mod transform;
+
+pub use cfg::{Cfg, CfgError, FlatNode, FlatOp, NaturalLoop};
+pub use classify::{
+    Classification, ClassifyOptions, Disposition, LoopPlan, LoopPlanKind, LoopReject, classify,
+    simulate_loop_count,
+};
+pub use explain::{FunctionSummary, LinkReport, LoopDecision, LoopOutcome, explain};
+pub use map::{AddrRange, LinkMap, LoopMeta, Site, SiteKind};
+pub use serialize::{MapFormatError, read_map, write_map};
+pub use transform::{LinkError, TransformOptions, Transformed, transform};
+
+use armv8m_isa::{Image, Module};
+
+/// All offline-phase tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkOptions {
+    /// Branch-classification switches (§IV-D ablations).
+    pub classify: ClassifyOptions,
+    /// Layout switches (stub NOP padding for MTB activation latency).
+    pub transform: TransformOptions,
+}
+
+/// The output of the offline phase: the deployable image plus the
+/// Verifier-side metadata.
+#[derive(Debug, Clone)]
+pub struct LinkedProgram {
+    /// The rewritten module (kept for inspection/re-linking).
+    pub module: Module,
+    /// The assembled, deployable binary (MTBDR followed by MTBAR).
+    pub image: Image,
+    /// Verifier metadata.
+    pub map: LinkMap,
+    /// The classification that produced this layout.
+    pub classification: Classification,
+}
+
+impl LinkedProgram {
+    /// Code-size overhead in bytes relative to the original binary
+    /// (the Fig. 10 metric).
+    pub fn size_overhead(&self) -> u32 {
+        (self.image.end() - self.image.base()).saturating_sub(self.map.original_size)
+    }
+}
+
+/// Runs the full offline phase on `module`, producing the image mapped
+/// at `base` and its [`LinkMap`].
+///
+/// # Errors
+///
+/// Returns [`LinkError`] when CFG recovery or re-assembly fails.
+pub fn link(module: &Module, base: u32, options: LinkOptions) -> Result<LinkedProgram, LinkError> {
+    let cfg = Cfg::build(module)?;
+    let classification = classify(&cfg, options.classify);
+    let transformed = transform(module, &cfg, &classification, options.transform);
+    let (image, map) = transformed.assemble(base, &classification)?;
+    Ok(LinkedProgram {
+        module: transformed.module,
+        image,
+        map,
+        classification,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armv8m_isa::{Asm, Instr, Reg};
+    use mcu_sim::{Machine, NullSecureWorld, SecureEnv, SecureWorld};
+    use trace_units::{PcRange, RangeAction};
+
+    /// Configures the machine's DWT the way the CFA Engine does:
+    /// MTBDR stops tracing, MTBAR starts it.
+    fn arm_dwt(machine: &mut Machine, map: &LinkMap) {
+        let (Some(mtbdr), Some(mtbar)) = (map.mtbdr, map.mtbar) else {
+            return; // nothing to trace
+        };
+        machine
+            .fabric
+            .dwt_mut()
+            .watch_range(PcRange {
+                base: mtbdr.start,
+                limit: mtbdr.end,
+                action: RangeAction::StopMtb,
+            })
+            .unwrap();
+        machine
+            .fabric
+            .dwt_mut()
+            .watch_range(PcRange {
+                base: mtbar.start,
+                limit: mtbar.end,
+                action: RangeAction::StartMtb,
+            })
+            .unwrap();
+    }
+
+    /// A Secure World that collects loop-condition records.
+    #[derive(Default)]
+    struct LoopLogger {
+        records: Vec<u32>,
+    }
+
+    impl SecureWorld for LoopLogger {
+        fn on_gateway(
+            &mut self,
+            service: u8,
+            arg: u32,
+            _env: &mut SecureEnv<'_>,
+        ) -> Result<u64, mcu_sim::ExecError> {
+            assert_eq!(service, armv8m_isa::service::LOG_LOOP_COND);
+            self.records.push(arg);
+            Ok(mcu_sim::cycles::LOG_APPEND)
+        }
+    }
+
+    fn link_and_run(build: impl FnOnce(&mut Asm)) -> (LinkedProgram, Machine, LoopLogger) {
+        let mut a = Asm::new();
+        build(&mut a);
+        let module = a.into_module();
+        let linked = link(&module, 0, LinkOptions::default()).expect("links");
+        let mut machine = Machine::new(linked.image.clone());
+        arm_dwt(&mut machine, &linked.map);
+        let mut logger = LoopLogger::default();
+        machine.run(&mut logger, 1_000_000).expect("runs");
+        (linked, machine, logger)
+    }
+
+    #[test]
+    fn static_loop_produces_empty_log() {
+        let (linked, machine, logger) = link_and_run(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 10);
+            a.label("loop");
+            a.nop();
+            a.subi(Reg::R0, Reg::R0, 1);
+            a.cmpi(Reg::R0, 0);
+            a.bne("loop");
+            a.halt();
+        });
+        assert_eq!(machine.fabric.mtb().total_recorded(), 0);
+        assert!(logger.records.is_empty());
+        assert_eq!(linked.map.site_count(), 0);
+        assert_eq!(linked.map.loops_by_latch.len(), 1);
+    }
+
+    #[test]
+    fn logged_loop_records_condition_once() {
+        let (linked, machine, logger) = link_and_run(|a| {
+            a.func("main");
+            a.movi(Reg::R2, 7);
+            a.mov(Reg::R0, Reg::R2); // variable init (mov hides constant)
+            a.label("loop");
+            a.subi(Reg::R0, Reg::R0, 1);
+            a.cmpi(Reg::R0, 0);
+            a.bne("loop");
+            a.halt();
+        });
+        assert_eq!(machine.fabric.mtb().total_recorded(), 0);
+        assert_eq!(logger.records, vec![7]);
+        let meta = linked.map.loops_by_latch.values().next().expect("loop");
+        assert_eq!(meta.iterations(7, 100), Some(7));
+    }
+
+    #[test]
+    fn tracked_conditional_logs_taken_only() {
+        let (linked, machine, _) = link_and_run(|a| {
+            a.func("main");
+            a.movi(Reg::R2, 0);
+            a.cmpi(Reg::R2, 0);
+            a.beq("yes");
+            a.movi(Reg::R3, 1); // skipped
+            a.label("yes");
+            a.cmpi(Reg::R2, 5);
+            a.beq("also"); // not taken
+            a.movi(Reg::R4, 2); // executed
+            a.label("also");
+            a.halt();
+        });
+        let entries = machine.fabric.mtb().entries();
+        assert_eq!(entries.len(), 1, "only the taken conditional is logged");
+        let site = linked
+            .map
+            .site_at_src(entries[0].source)
+            .expect("known site");
+        match site.kind {
+            SiteKind::CondTaken { taken } => assert_eq!(entries[0].dest, taken),
+            other => panic!("expected CondTaken, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn general_loop_logs_each_iteration() {
+        // Loop with an internal conditional → per-iteration tracking.
+        let (_, machine, logger) = link_and_run(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 4);
+            a.movi(Reg::R1, 0);
+            a.label("loop");
+            a.cmpi(Reg::R1, 2);
+            a.beq("skip");
+            a.addi(Reg::R1, Reg::R1, 1);
+            a.label("skip");
+            a.subi(Reg::R0, Reg::R0, 1);
+            a.cmpi(Reg::R0, 0);
+            a.bne("loop");
+            a.halt();
+        });
+        assert!(logger.records.is_empty());
+        // Latch taken 3 times + internal BEQ taken twice (R1 saturates
+        // at 2 on iterations 3 and 4).
+        assert_eq!(machine.fabric.mtb().total_recorded(), 3 + 2);
+    }
+
+    #[test]
+    fn indirect_call_logged_with_callee_dest() {
+        let (linked, machine, _) = link_and_run(|a| {
+            a.func("main");
+            a.load_addr(Reg::R3, "callee");
+            a.blx(Reg::R3);
+            a.halt();
+            a.func("callee");
+            a.movi(Reg::R0, 9);
+            a.ret();
+        });
+        let entries = machine.fabric.mtb().entries();
+        assert_eq!(entries.len(), 1);
+        let callee = linked.image.symbol("callee").unwrap();
+        assert_eq!(entries[0].dest, callee);
+        let site = linked.map.site_at_src(entries[0].source).unwrap();
+        assert_eq!(site.kind, SiteKind::IndirectCall);
+        assert_eq!(machine.cpu.reg(Reg::R0), 9);
+    }
+
+    #[test]
+    fn pop_return_goes_through_shared_stub() {
+        let (linked, machine, _) = link_and_run(|a| {
+            a.func("main");
+            a.bl("wrapper");
+            a.bl("wrapper");
+            a.halt();
+            a.func("wrapper");
+            a.push(&[Reg::R4, Reg::Lr]);
+            a.bl("leaf");
+            a.pop(&[Reg::R4, Reg::Pc]);
+            a.func("leaf");
+            a.addi(Reg::R0, Reg::R0, 1);
+            a.ret();
+        });
+        assert_eq!(machine.cpu.reg(Reg::R0), 2);
+        let entries = machine.fabric.mtb().entries();
+        // Two returns through the shared POP stub; leaf's BX LR and the
+        // direct BLs are untracked.
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].source, entries[1].source);
+        let site = linked.map.site_at_src(entries[0].source).unwrap();
+        assert_eq!(site.kind, SiteKind::ReturnPop);
+    }
+
+    #[test]
+    fn forward_exit_loop_logs_continues() {
+        let (linked, machine, _) = link_and_run(|a| {
+            a.func("main");
+            a.movi(Reg::R0, 0);
+            a.mov32(Reg::R2, mcu_sim::RAM_BASE);
+            a.label("head");
+            a.ldr(Reg::R1, Reg::R2, 0); // always 0 (zeroed RAM)
+            a.cmpi(Reg::R0, 3);
+            a.beq("done"); // exits when R0 == 3
+            a.addi(Reg::R0, Reg::R0, 1);
+            a.b("head");
+            a.label("done");
+            a.halt();
+        });
+        assert_eq!(machine.cpu.reg(Reg::R0), 3);
+        let entries = machine.fabric.mtb().entries();
+        // Three continues logged (R0 = 0, 1, 2); the final taken exit
+        // is implied by absence.
+        assert_eq!(entries.len(), 3);
+        let site = linked.map.site_at_src(entries[0].source).unwrap();
+        match site.kind {
+            SiteKind::LoopForward { cont } => {
+                for e in &entries {
+                    assert_eq!(e.dest, cont);
+                }
+            }
+            other => panic!("expected LoopForward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_jump_table_dispatch() {
+        // A C-switch lowered to LDR PC, [table + idx*4].
+        let (_, machine, _) = link_and_run(|a| {
+            a.func("main");
+            a.mov32(Reg::R5, mcu_sim::RAM_BASE);
+            a.load_addr(Reg::R0, "case0");
+            a.str_(Reg::R0, Reg::R5, 0);
+            a.load_addr(Reg::R0, "case1");
+            a.str_(Reg::R0, Reg::R5, 4);
+            a.movi(Reg::R1, 1); // select case1
+            a.instr(Instr::LdrReg {
+                rt: Reg::Pc,
+                rn: Reg::R5,
+                rm: Reg::R1,
+            });
+            a.label("case0");
+            a.movi(Reg::R7, 10);
+            a.halt();
+            a.label("case1");
+            a.movi(Reg::R7, 20);
+            a.halt();
+        });
+        assert_eq!(machine.cpu.reg(Reg::R7), 20);
+        assert_eq!(machine.fabric.mtb().total_recorded(), 1);
+    }
+
+    #[test]
+    fn naive_mtb_logs_far_more_than_rap_track() {
+        let build = |a: &mut Asm| {
+            a.func("main");
+            a.movi(Reg::R0, 50);
+            a.label("loop");
+            a.nop();
+            a.subi(Reg::R0, Reg::R0, 1);
+            a.cmpi(Reg::R0, 0);
+            a.bne("loop");
+            a.halt();
+        };
+        // RAP-Track: static loop → zero log.
+        let (_, rap_machine, _) = link_and_run(build);
+        assert_eq!(rap_machine.fabric.mtb().total_recorded(), 0);
+
+        // Naive MTB on the unmodified binary.
+        let mut a = Asm::new();
+        build(&mut a);
+        let image = a.into_module().assemble(0).unwrap();
+        let mut naive = Machine::new(image);
+        naive.fabric.mtb_mut().set_master_trace(true);
+        naive.run(&mut NullSecureWorld, 100_000).unwrap();
+        assert_eq!(naive.fabric.mtb().total_recorded(), 49);
+    }
+
+    #[test]
+    fn rewritten_binary_decodes_from_bytes() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.mov(Reg::R0, Reg::R2);
+        a.label("loop");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmpi(Reg::R0, 0);
+        a.bne("loop");
+        a.halt();
+        let linked = link(&a.into_module(), 0, LinkOptions::default()).unwrap();
+        let redecoded =
+            Image::from_bytes(linked.image.base(), linked.image.bytes().to_vec()).unwrap();
+        assert_eq!(redecoded.instrs(), linked.image.instrs());
+    }
+
+    #[test]
+    fn nop_padding_matches_option() {
+        for pad in [0u32, 1, 3] {
+            let mut a = Asm::new();
+            a.func("main");
+            a.cmpi(Reg::R0, 0);
+            a.beq("t");
+            a.label("t");
+            a.halt();
+            let options = LinkOptions {
+                transform: TransformOptions { nop_padding: pad },
+                ..LinkOptions::default()
+            };
+            let linked = link(&a.into_module(), 0, options).unwrap();
+            let site = linked.map.sites_by_entry.values().next().unwrap();
+            assert_eq!(site.src - site.entry, pad * 2, "padding {pad}");
+        }
+    }
+
+    #[test]
+    fn size_overhead_is_positive_when_sites_exist() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.load_addr(Reg::R3, "f");
+        a.blx(Reg::R3);
+        a.halt();
+        a.func("f");
+        a.ret();
+        let linked = link(&a.into_module(), 0, LinkOptions::default()).unwrap();
+        assert!(linked.size_overhead() > 0);
+        assert_eq!(linked.map.site_count(), 1);
+    }
+
+    #[test]
+    fn conditional_target_resolution() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.cmpi(Reg::R0, 0);
+        a.beq("target");
+        a.nop();
+        a.label("target");
+        a.halt();
+        let linked = link(&a.into_module(), 0, LinkOptions::default()).unwrap();
+        let target_addr = linked.image.symbol("target").unwrap();
+        let site = linked.map.sites_by_entry.values().next().unwrap();
+        assert_eq!(site.kind, SiteKind::CondTaken { taken: target_addr });
+        assert!(linked.map.mtbdr.unwrap().contains(target_addr));
+    }
+}

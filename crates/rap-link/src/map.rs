@@ -1,0 +1,215 @@
+//! Link metadata: what the Verifier needs (besides the deployed binary)
+//! to losslessly reconstruct control flow from `CF_Log`.
+//!
+//! All addresses refer to the *rewritten* image — the binary actually
+//! deployed on the Prover and hashed into `H_MEM`.
+
+use std::collections::HashMap;
+
+use armv8m_isa::{Cond, Reg};
+
+use crate::classify::{LoopPlanKind, simulate_loop_count};
+
+/// A half-open address range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrRange {
+    /// Inclusive start.
+    pub start: u32,
+    /// Exclusive end.
+    pub end: u32,
+}
+
+impl AddrRange {
+    /// Whether `addr` lies inside the range.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Size of the range in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// The kind of an MTBAR trampoline site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// Fig. 3: `BLX rm` relocated as `BL stub` + `BX rm`.
+    IndirectCall,
+    /// Fig. 4 (shared): `POP {…, PC}` split into `POP {…}` + `B stub`,
+    /// stub holds the single shared `POP {PC}`.
+    ReturnPop,
+    /// Fig. 4: `LDR PC, […]` relocated into its own stub.
+    LoadJump,
+    /// `BX rm` computed jump relocated into its own stub.
+    IndirectJump,
+    /// `BX LR` return in a function that modifies `LR` (§IV-C.2):
+    /// relocated like an indirect jump, but verified as a return
+    /// against the shadow call stack.
+    ReturnBx,
+    /// Fig. 5/6: conditional with the taken edge routed via the stub.
+    CondTaken {
+        /// Original taken-target address.
+        taken: u32,
+    },
+    /// Fig. 7: per-iteration continue logging for forward-exit loops.
+    LoopForward {
+        /// Address execution resumes at (the original not-taken path).
+        cont: u32,
+    },
+    /// Disambiguation extension: explicit fall-through logging for
+    /// conditionals with quiet self-cycles (see `Disposition::CondBoth`).
+    CondFallthrough {
+        /// Address execution resumes at.
+        cont: u32,
+    },
+}
+
+/// One MTBAR stub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site {
+    /// Stable site id (allocation order).
+    pub id: usize,
+    /// What the stub implements.
+    pub kind: SiteKind,
+    /// Address of the stub's first instruction (branch-target of the
+    /// MTBDR side).
+    pub entry: u32,
+    /// Address of the stub's *branching* instruction — the `source`
+    /// field of MTB packets produced by this site.
+    pub src: u32,
+    /// Address of the rewritten site in MTBDR.
+    pub mtbdr_addr: u32,
+}
+
+/// Replay metadata for one optimized (simple or static) loop, keyed by
+/// its latch address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopMeta {
+    /// Loop header address.
+    pub header: u32,
+    /// Latch (backward conditional branch) address.
+    pub latch: u32,
+    /// Address execution continues at after the loop (latch
+    /// fall-through).
+    pub exit: u32,
+    /// Iterator register.
+    pub iter: Reg,
+    /// Signed per-iteration step.
+    pub step: i32,
+    /// Constant bound compared at the latch.
+    pub bound: u16,
+    /// Latch condition (loop continues while it passes).
+    pub cond: Cond,
+    /// Static or runtime-logged initial value.
+    pub kind: LoopPlanKind,
+}
+
+impl LoopMeta {
+    /// Iteration count for a given initial iterator value.
+    ///
+    /// Returns `None` when the loop would not terminate within `cap`
+    /// iterations (misclassification or a forged logged value).
+    pub fn iterations(&self, init: u32, cap: u32) -> Option<u32> {
+        let plan = crate::classify::LoopPlan {
+            header: 0,
+            latch: 0,
+            iter: self.iter,
+            step: self.step,
+            bound: self.bound,
+            cond: self.cond,
+            kind: self.kind,
+        };
+        simulate_loop_count(&plan, init, cap)
+    }
+}
+
+/// The complete link map shipped to the Verifier alongside the binary.
+#[derive(Debug, Clone, Default)]
+pub struct LinkMap {
+    /// The MTB deactivation region (the rewritten application code).
+    pub mtbdr: Option<AddrRange>,
+    /// The MTB activation region (the trampoline stubs).
+    pub mtbar: Option<AddrRange>,
+    /// Stubs by entry address (what MTBDR branches target).
+    pub sites_by_entry: HashMap<u32, Site>,
+    /// Stubs by source address (what MTB packets carry).
+    pub sites_by_src: HashMap<u32, Site>,
+    /// Optimized loops keyed by latch address.
+    pub loops_by_latch: HashMap<u32, LoopMeta>,
+    /// Function entry points (address → name) — the indirect-call
+    /// policy set, preserved here because raw binaries carry no symbol
+    /// table.
+    pub funcs: HashMap<u32, String>,
+    /// Original (pre-transform) code size in bytes, for the Fig. 10
+    /// comparison.
+    pub original_size: u32,
+}
+
+impl LinkMap {
+    /// Whether `addr` lies in the MTB activation region.
+    pub fn in_mtbar(&self, addr: u32) -> bool {
+        self.mtbar.is_some_and(|r| r.contains(addr))
+    }
+
+    /// The stub whose entry is `addr`, if any.
+    pub fn site_at_entry(&self, addr: u32) -> Option<&Site> {
+        self.sites_by_entry.get(&addr)
+    }
+
+    /// The stub whose branch source is `addr`, if any.
+    pub fn site_at_src(&self, addr: u32) -> Option<&Site> {
+        self.sites_by_src.get(&addr)
+    }
+
+    /// Number of trampoline sites.
+    pub fn site_count(&self) -> usize {
+        self.sites_by_entry.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_range_membership() {
+        let r = AddrRange {
+            start: 0x100,
+            end: 0x200,
+        };
+        assert!(r.contains(0x100));
+        assert!(!r.contains(0x200));
+        assert_eq!(r.len(), 0x100);
+        assert!(!r.is_empty());
+        assert!(
+            AddrRange {
+                start: 0x10,
+                end: 0x10
+            }
+            .is_empty()
+        );
+    }
+
+    #[test]
+    fn loop_meta_iterations() {
+        let meta = LoopMeta {
+            header: 0x10,
+            latch: 0x20,
+            exit: 0x24,
+            iter: Reg::R0,
+            step: -1,
+            bound: 0,
+            cond: Cond::Ne,
+            kind: LoopPlanKind::Logged,
+        };
+        assert_eq!(meta.iterations(4, 100), Some(4));
+        // init 0 wraps to u32::MAX and never reaches the bound in cap.
+        assert_eq!(meta.iterations(0, 100), None);
+    }
+}

@@ -1,0 +1,408 @@
+//! Textual serialization of the [`LinkMap`] — the artifact the offline
+//! phase ships to the Verifier alongside the deployed binary.
+//!
+//! A line-oriented, diff-friendly format:
+//!
+//! ```text
+//! rap-track-map v1
+//! mtbdr 0x00000000 0x00000120
+//! mtbar 0x00000120 0x00000200
+//! origsize 280
+//! site 0 cond-taken 0x120 0x122 0x14 taken=0x30
+//! loop 0x40 header=0x38 exit=0x44 iter=r0 step=-1 bound=0 cond=ne logged
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use armv8m_isa::{Cond, Reg};
+
+use crate::classify::LoopPlanKind;
+use crate::map::{AddrRange, LinkMap, LoopMeta, Site, SiteKind};
+
+/// A failure while reading a serialized map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapFormatError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for MapFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "map line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MapFormatError {}
+
+fn ferr(line: usize, message: impl Into<String>) -> MapFormatError {
+    MapFormatError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn cond_name(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "eq",
+        Cond::Ne => "ne",
+        Cond::Cs => "cs",
+        Cond::Cc => "cc",
+        Cond::Mi => "mi",
+        Cond::Pl => "pl",
+        Cond::Vs => "vs",
+        Cond::Vc => "vc",
+        Cond::Hi => "hi",
+        Cond::Ls => "ls",
+        Cond::Ge => "ge",
+        Cond::Lt => "lt",
+        Cond::Gt => "gt",
+        Cond::Le => "le",
+    }
+}
+
+fn cond_parse(s: &str, line: usize) -> Result<Cond, MapFormatError> {
+    Cond::ALL
+        .into_iter()
+        .find(|c| cond_name(*c) == s)
+        .ok_or_else(|| ferr(line, format!("bad condition `{s}`")))
+}
+
+/// Renders a [`LinkMap`] to its text form.
+pub fn write_map(map: &LinkMap) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "rap-track-map v1");
+    if let Some(r) = map.mtbdr {
+        let _ = writeln!(out, "mtbdr {:#010x} {:#010x}", r.start, r.end);
+    }
+    if let Some(r) = map.mtbar {
+        let _ = writeln!(out, "mtbar {:#010x} {:#010x}", r.start, r.end);
+    }
+    let _ = writeln!(out, "origsize {}", map.original_size);
+
+    let mut sites: Vec<&Site> = map.sites_by_entry.values().collect();
+    sites.sort_by_key(|s| (s.entry, s.id));
+    for s in sites {
+        let (kind, aux) = match s.kind {
+            SiteKind::IndirectCall => ("indirect-call", String::new()),
+            SiteKind::ReturnPop => ("return-pop", String::new()),
+            SiteKind::ReturnBx => ("return-bx", String::new()),
+            SiteKind::LoadJump => ("load-jump", String::new()),
+            SiteKind::IndirectJump => ("indirect-jump", String::new()),
+            SiteKind::CondTaken { taken } => ("cond-taken", format!(" taken={taken:#x}")),
+            SiteKind::LoopForward { cont } => ("loop-forward", format!(" cont={cont:#x}")),
+            SiteKind::CondFallthrough { cont } => {
+                ("cond-fallthrough", format!(" cont={cont:#x}"))
+            }
+        };
+        let _ = writeln!(
+            out,
+            "site {} {kind} {:#x} {:#x} {:#x}{aux}",
+            s.id, s.entry, s.src, s.mtbdr_addr
+        );
+    }
+
+    let mut funcs: Vec<(&u32, &String)> = map.funcs.iter().collect();
+    funcs.sort();
+    for (addr, name) in funcs {
+        let _ = writeln!(out, "func {addr:#x} {name}");
+    }
+
+    let mut loops: Vec<&LoopMeta> = map.loops_by_latch.values().collect();
+    loops.sort_by_key(|l| l.latch);
+    for l in loops {
+        let kind = match l.kind {
+            LoopPlanKind::Static { init } => format!("static={init}"),
+            LoopPlanKind::Logged => "logged".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "loop {:#x} header={:#x} exit={:#x} iter={} step={} bound={} cond={} {kind}",
+            l.latch,
+            l.header,
+            l.exit,
+            l.iter,
+            l.step,
+            l.bound,
+            cond_name(l.cond)
+        );
+    }
+    out
+}
+
+fn num(token: &str, line: usize) -> Result<u32, MapFormatError> {
+    let t = token.trim();
+    let parsed = if let Some(h) = t.strip_prefix("0x") {
+        u32::from_str_radix(h, 16)
+    } else {
+        t.parse()
+    };
+    parsed.map_err(|_| ferr(line, format!("bad number `{token}`")))
+}
+
+fn kv<'a>(token: &'a str, key: &str, line: usize) -> Result<&'a str, MapFormatError> {
+    token
+        .strip_prefix(key)
+        .and_then(|t| t.strip_prefix('='))
+        .ok_or_else(|| ferr(line, format!("expected `{key}=…`, found `{token}`")))
+}
+
+/// Parses the text form back into a [`LinkMap`].
+///
+/// # Errors
+///
+/// Returns a [`MapFormatError`] on version mismatch or malformed lines.
+pub fn read_map(text: &str) -> Result<LinkMap, MapFormatError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ferr(1, "empty map file"))?;
+    if header.trim() != "rap-track-map v1" {
+        return Err(ferr(1, format!("bad header `{header}`")));
+    }
+
+    let mut map = LinkMap::default();
+    let mut sites: HashMap<u32, Site> = HashMap::new();
+
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let head = tok.next().expect("nonempty line");
+        let rest: Vec<&str> = tok.collect();
+        match head {
+            "mtbdr" | "mtbar" => {
+                if rest.len() != 2 {
+                    return Err(ferr(line_no, "expected two addresses"));
+                }
+                let range = AddrRange {
+                    start: num(rest[0], line_no)?,
+                    end: num(rest[1], line_no)?,
+                };
+                if head == "mtbdr" {
+                    map.mtbdr = Some(range);
+                } else {
+                    map.mtbar = Some(range);
+                }
+            }
+            "func" => {
+                if rest.len() != 2 {
+                    return Err(ferr(line_no, "expected `func ADDR NAME`"));
+                }
+                map.funcs
+                    .insert(num(rest[0], line_no)?, rest[1].to_owned());
+            }
+            "origsize" => {
+                if rest.len() != 1 {
+                    return Err(ferr(line_no, "expected one size"));
+                }
+                map.original_size = num(rest[0], line_no)?;
+            }
+            "site" => {
+                if rest.len() < 5 {
+                    return Err(ferr(line_no, "truncated site record"));
+                }
+                let id = num(rest[0], line_no)? as usize;
+                let entry = num(rest[2], line_no)?;
+                let src = num(rest[3], line_no)?;
+                let mtbdr_addr = num(rest[4], line_no)?;
+                let kind = match rest[1] {
+                    "indirect-call" => SiteKind::IndirectCall,
+                    "return-pop" => SiteKind::ReturnPop,
+                    "return-bx" => SiteKind::ReturnBx,
+                    "load-jump" => SiteKind::LoadJump,
+                    "indirect-jump" => SiteKind::IndirectJump,
+                    "cond-taken" => SiteKind::CondTaken {
+                        taken: num(kv(rest.get(5).copied().unwrap_or(""), "taken", line_no)?, line_no)?,
+                    },
+                    "loop-forward" => SiteKind::LoopForward {
+                        cont: num(kv(rest.get(5).copied().unwrap_or(""), "cont", line_no)?, line_no)?,
+                    },
+                    "cond-fallthrough" => SiteKind::CondFallthrough {
+                        cont: num(kv(rest.get(5).copied().unwrap_or(""), "cont", line_no)?, line_no)?,
+                    },
+                    other => return Err(ferr(line_no, format!("bad site kind `{other}`"))),
+                };
+                sites.insert(
+                    entry,
+                    Site {
+                        id,
+                        kind,
+                        entry,
+                        src,
+                        mtbdr_addr,
+                    },
+                );
+            }
+            "loop" => {
+                if rest.len() != 8 {
+                    return Err(ferr(line_no, "truncated loop record"));
+                }
+                let latch = num(rest[0], line_no)?;
+                let header = num(kv(rest[1], "header", line_no)?, line_no)?;
+                let exit = num(kv(rest[2], "exit", line_no)?, line_no)?;
+                let iter_str = kv(rest[3], "iter", line_no)?;
+                let iter = iter_str
+                    .strip_prefix('r')
+                    .and_then(|n| n.parse::<u8>().ok())
+                    .and_then(Reg::from_index)
+                    .or(match iter_str {
+                        "sp" => Some(Reg::Sp),
+                        "lr" => Some(Reg::Lr),
+                        "pc" => Some(Reg::Pc),
+                        _ => None,
+                    })
+                    .ok_or_else(|| ferr(line_no, format!("bad iter register `{iter_str}`")))?;
+                let step: i32 = kv(rest[4], "step", line_no)?
+                    .parse()
+                    .map_err(|_| ferr(line_no, "bad step"))?;
+                let bound = num(kv(rest[5], "bound", line_no)?, line_no)? as u16;
+                let cond = cond_parse(kv(rest[6], "cond", line_no)?, line_no)?;
+                let kind = if rest[7] == "logged" {
+                    LoopPlanKind::Logged
+                } else {
+                    LoopPlanKind::Static {
+                        init: num(kv(rest[7], "static", line_no)?, line_no)?,
+                    }
+                };
+                map.loops_by_latch.insert(
+                    latch,
+                    LoopMeta {
+                        header,
+                        latch,
+                        exit,
+                        iter,
+                        step,
+                        bound,
+                        cond,
+                        kind,
+                    },
+                );
+            }
+            other => return Err(ferr(line_no, format!("unknown record `{other}`"))),
+        }
+    }
+
+    for (entry, site) in sites {
+        map.sites_by_src.insert(site.src, site);
+        map.sites_by_entry.insert(entry, site);
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinkOptions, link};
+    use armv8m_isa::{Asm, Instr, Reg};
+
+    fn rich_map() -> LinkMap {
+        // A program exercising every site kind and loop kind.
+        let mut a = Asm::new();
+        a.func("main");
+        // static loop
+        a.movi(Reg::R0, 4);
+        a.label("s");
+        a.nop();
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmpi(Reg::R0, 0);
+        a.bne("s");
+        // logged loop
+        a.mov(Reg::R0, Reg::R2);
+        a.label("l");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmpi(Reg::R0, 0);
+        a.bne("l");
+        // conditional
+        a.cmpi(Reg::R1, 1);
+        a.beq("t");
+        a.label("t");
+        // forward loop
+        a.mov32(Reg::R2, mcu_sim::RAM_BASE);
+        a.label("fw");
+        a.ldr(Reg::R1, Reg::R2, 0);
+        a.cmpi(Reg::R1, 1);
+        a.beq("out");
+        a.b("fw");
+        a.label("out");
+        // indirect call + jump-table + returns
+        a.load_addr(Reg::R3, "leafish");
+        a.blx(Reg::R3);
+        a.bl("popret");
+        a.instr(Instr::LdrReg {
+            rt: Reg::Pc,
+            rn: Reg::R2,
+            rm: Reg::R1,
+        });
+        a.label("case");
+        a.halt();
+        a.func("popret");
+        a.push(&[Reg::Lr]);
+        a.bl("leafish");
+        a.pop(&[Reg::Pc]);
+        a.func("leafish");
+        a.ret();
+        link(&a.into_module(), 0, LinkOptions::default())
+            .expect("links")
+            .map
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let map = rich_map();
+        let text = write_map(&map);
+        let back = read_map(&text).expect("parses");
+        assert_eq!(back.mtbdr, map.mtbdr);
+        assert_eq!(back.mtbar, map.mtbar);
+        assert_eq!(back.original_size, map.original_size);
+        assert_eq!(back.sites_by_entry.len(), map.sites_by_entry.len());
+        for (entry, site) in &map.sites_by_entry {
+            assert_eq!(back.sites_by_entry.get(entry), Some(site));
+        }
+        assert_eq!(back.sites_by_src.len(), map.sites_by_src.len());
+        assert_eq!(back.loops_by_latch.len(), map.loops_by_latch.len());
+        for (latch, l) in &map.loops_by_latch {
+            assert_eq!(back.loops_by_latch.get(latch), Some(l));
+        }
+        assert_eq!(back.funcs, map.funcs);
+        assert!(!back.funcs.is_empty());
+    }
+
+    #[test]
+    fn rich_map_covers_kinds() {
+        let map = rich_map();
+        let kinds: Vec<SiteKind> = map.sites_by_entry.values().map(|s| s.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(k, SiteKind::IndirectCall)));
+        assert!(kinds.iter().any(|k| matches!(k, SiteKind::ReturnPop)));
+        assert!(kinds.iter().any(|k| matches!(k, SiteKind::LoadJump)));
+        assert!(kinds.iter().any(|k| matches!(k, SiteKind::CondTaken { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, SiteKind::LoopForward { .. })));
+        let loop_kinds: Vec<LoopPlanKind> =
+            map.loops_by_latch.values().map(|l| l.kind).collect();
+        assert!(loop_kinds.iter().any(|k| matches!(k, LoopPlanKind::Static { .. })));
+        assert!(loop_kinds.contains(&LoopPlanKind::Logged));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_lines() {
+        assert!(read_map("").is_err());
+        assert!(read_map("not-a-map").is_err());
+        let e = read_map("rap-track-map v1\nsite 0 bogus 0x0 0x0 0x0").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = read_map("rap-track-map v1\nmtbdr 0x0").unwrap_err();
+        assert!(e.message.contains("two addresses"));
+        let e = read_map("rap-track-map v1\nwat 1").unwrap_err();
+        assert!(e.message.contains("unknown record"));
+    }
+
+    #[test]
+    fn comments_and_blanks_tolerated() {
+        let map = read_map("rap-track-map v1\n\n# comment\norigsize 12\n").expect("parses");
+        assert_eq!(map.original_size, 12);
+    }
+}

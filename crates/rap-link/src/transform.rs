@@ -1,0 +1,529 @@
+//! The rewriting pass: MTBDR/MTBAR layout and trampoline insertion.
+//!
+//! Consumes a classified module and produces the deployed layout:
+//! the rewritten application code (MTBDR) followed by the trampoline
+//! region (MTBAR), with synthetic labels tying the two together and the
+//! address-resolved [`LinkMap`] extracted after assembly.
+
+use armv8m_isa::{AsmError, Image, Instr, Item, Module, Reg, RegList, Target, service};
+
+use crate::cfg::{Cfg, FlatOp};
+use crate::classify::{Classification, Disposition, LoopPlanKind};
+use crate::map::{AddrRange, LinkMap, LoopMeta, Site, SiteKind};
+
+/// Synthetic label prefixes (namespaced to avoid user collisions).
+const MTBAR_START: &str = "__rap_mtbar_start";
+const POP_STUB: &str = "__rap_pop";
+const POP_SRC: &str = "__rap_pop_src";
+
+fn site_label(id: usize) -> String {
+    format!("__rap_site_{id}")
+}
+
+fn src_label(id: usize) -> String {
+    format!("__rap_src_{id}")
+}
+
+fn cont_label(id: usize) -> String {
+    format!("__rap_cont_{id}")
+}
+
+fn latch_label(plan: usize) -> String {
+    format!("__rap_latch_{plan}")
+}
+
+/// Tuning knobs of the transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformOptions {
+    /// `NOP`s inserted at each stub head so the MTB is active by the
+    /// time the stub's branch executes (must be ≥ the MTB model's
+    /// `activation_delay`, §V-C).
+    pub nop_padding: u32,
+}
+
+impl Default for TransformOptions {
+    fn default() -> TransformOptions {
+        TransformOptions { nop_padding: 1 }
+    }
+}
+
+/// Label-form site record, resolved to addresses after assembly.
+#[derive(Debug, Clone)]
+struct PendingSite {
+    id: usize,
+    kind: PendingKind,
+}
+
+#[derive(Debug, Clone)]
+enum PendingKind {
+    IndirectCall,
+    ReturnPop,
+    ReturnBx,
+    LoadJump,
+    IndirectJump,
+    CondTaken { taken: Target },
+    CondFallthrough,
+    LoopForward,
+}
+
+/// The transformed program before assembly.
+#[derive(Debug, Clone)]
+pub struct Transformed {
+    /// The rewritten module (MTBDR then MTBAR).
+    pub module: Module,
+    pending: Vec<PendingSite>,
+    pending_loops: Vec<usize>,
+    original_size: u32,
+    uses_pop_stub: bool,
+}
+
+/// Rewrites `module` according to its classification.
+///
+/// The result still carries symbolic labels; call
+/// [`Transformed::assemble`] to obtain the deployable image and the
+/// address-resolved [`LinkMap`].
+pub fn transform(
+    module: &Module,
+    cfg: &Cfg,
+    cls: &Classification,
+    options: TransformOptions,
+) -> Transformed {
+    let original_size = module.size();
+    let mut out: Vec<Item> = Vec::with_capacity(module.items.len() * 2);
+    let mut stubs: Vec<Item> = Vec::new();
+    let mut pending: Vec<PendingSite> = Vec::new();
+    let mut uses_pop_stub = false;
+
+    // Loops whose header needs a preceding SG instrumentation.
+    let mut sg_at_header: Vec<Option<usize>> = vec![None; cfg.nodes.len()];
+    let mut latch_of_plan: Vec<Option<usize>> = vec![None; cfg.nodes.len()];
+    for (p, plan) in cls.loop_plans.iter().enumerate() {
+        if plan.kind == LoopPlanKind::Logged {
+            sg_at_header[plan.header] = Some(p);
+        }
+        latch_of_plan[plan.latch] = Some(p);
+    }
+
+    let pad = |stubs: &mut Vec<Item>| {
+        for _ in 0..options.nop_padding {
+            stubs.push(Item::Instr(Instr::Nop));
+        }
+    };
+
+    let emit_stub_head = |stubs: &mut Vec<Item>, id: usize| {
+        stubs.push(Item::Label(site_label(id)));
+        pad(stubs);
+        stubs.push(Item::Label(src_label(id)));
+    };
+
+    for (i, node) in cfg.nodes.iter().enumerate() {
+        // §IV-D instrumentation goes *before* the header's labels so the
+        // back edge re-enters past it.
+        if let Some(p) = sg_at_header[i] {
+            out.push(Item::Instr(Instr::SecureGateway {
+                service: service::LOG_LOOP_COND,
+                arg: cls.loop_plans[p].iter,
+            }));
+        }
+
+        // Re-emit labels / function markers.
+        for label in &node.labels {
+            if node.func_entry.as_deref() == Some(label.as_str()) {
+                out.push(Item::Func(label.clone()));
+            } else {
+                out.push(Item::Label(label.clone()));
+            }
+        }
+        // Latches of planned loops get a synthetic label so the map can
+        // key them by address.
+        if let Some(p) = latch_of_plan[i] {
+            out.push(Item::Label(latch_label(p)));
+        }
+
+        let instr = match &node.op {
+            FlatOp::LoadAddr { rd, target } => {
+                out.push(Item::LoadAddr {
+                    rd: *rd,
+                    target: target.clone(),
+                });
+                continue;
+            }
+            FlatOp::Instr(instr) => instr,
+        };
+
+        match cls.dispositions[i] {
+            Disposition::Keep
+            | Disposition::SimpleLoopLatch { .. }
+            | Disposition::StaticLoopLatch { .. } => {
+                out.push(Item::Instr(instr.clone()));
+            }
+            Disposition::IndirectCall => {
+                let Instr::Blx { rm } = instr else {
+                    unreachable!("IndirectCall disposition on non-BLX");
+                };
+                let id = pending.len();
+                out.push(Item::Instr(Instr::Bl {
+                    target: Target::label(site_label(id)),
+                }));
+                emit_stub_head(&mut stubs, id);
+                stubs.push(Item::Instr(Instr::Bx { rm: *rm }));
+                pending.push(PendingSite {
+                    id,
+                    kind: PendingKind::IndirectCall,
+                });
+            }
+            Disposition::ReturnPop => {
+                let Instr::Pop { list } = instr else {
+                    unreachable!("ReturnPop disposition on non-POP");
+                };
+                let rest = list.without(Reg::Pc);
+                if !rest.is_empty() {
+                    out.push(Item::Instr(Instr::Pop { list: rest }));
+                }
+                let id = pending.len();
+                out.push(Item::Instr(Instr::B {
+                    target: Target::label(POP_STUB.to_owned()),
+                }));
+                uses_pop_stub = true;
+                pending.push(PendingSite {
+                    id,
+                    kind: PendingKind::ReturnPop,
+                });
+            }
+            Disposition::LoadJump => {
+                let id = pending.len();
+                out.push(Item::Instr(Instr::B {
+                    target: Target::label(site_label(id)),
+                }));
+                emit_stub_head(&mut stubs, id);
+                stubs.push(Item::Instr(instr.clone()));
+                pending.push(PendingSite {
+                    id,
+                    kind: PendingKind::LoadJump,
+                });
+            }
+            Disposition::IndirectJump => {
+                let Instr::Bx { rm } = instr else {
+                    unreachable!("IndirectJump disposition on non-BX");
+                };
+                let id = pending.len();
+                out.push(Item::Instr(Instr::B {
+                    target: Target::label(site_label(id)),
+                }));
+                emit_stub_head(&mut stubs, id);
+                stubs.push(Item::Instr(Instr::Bx { rm: *rm }));
+                let kind = if *rm == Reg::Lr {
+                    PendingKind::ReturnBx
+                } else {
+                    PendingKind::IndirectJump
+                };
+                pending.push(PendingSite { id, kind });
+            }
+            Disposition::CondTaken => {
+                let Instr::BCond { cond, target } = instr else {
+                    unreachable!("CondTaken disposition on non-BCond");
+                };
+                let id = pending.len();
+                out.push(Item::Instr(Instr::BCond {
+                    cond: *cond,
+                    target: Target::label(site_label(id)),
+                }));
+                emit_stub_head(&mut stubs, id);
+                stubs.push(Item::Instr(Instr::B {
+                    target: target.clone(),
+                }));
+                pending.push(PendingSite {
+                    id,
+                    kind: PendingKind::CondTaken {
+                        taken: target.clone(),
+                    },
+                });
+            }
+            Disposition::CondBoth => {
+                // Disambiguation extension: both directions logged.
+                let Instr::BCond { cond, target } = instr else {
+                    unreachable!("CondBoth disposition on non-BCond");
+                };
+                // Taken side, exactly like CondTaken.
+                let id = pending.len();
+                out.push(Item::Instr(Instr::BCond {
+                    cond: *cond,
+                    target: Target::label(site_label(id)),
+                }));
+                emit_stub_head(&mut stubs, id);
+                stubs.push(Item::Instr(Instr::B {
+                    target: target.clone(),
+                }));
+                pending.push(PendingSite {
+                    id,
+                    kind: PendingKind::CondTaken {
+                        taken: target.clone(),
+                    },
+                });
+                // Fall-through side: an inserted logging branch.
+                let id = pending.len();
+                out.push(Item::Instr(Instr::B {
+                    target: Target::label(site_label(id)),
+                }));
+                out.push(Item::Label(cont_label(id)));
+                emit_stub_head(&mut stubs, id);
+                stubs.push(Item::Instr(Instr::B {
+                    target: Target::label(cont_label(id)),
+                }));
+                pending.push(PendingSite {
+                    id,
+                    kind: PendingKind::CondFallthrough,
+                });
+            }
+            Disposition::LoopForward => {
+                // Fig. 7: the conditional stays; a continue-logging
+                // branch is inserted right after it.
+                out.push(Item::Instr(instr.clone()));
+                let id = pending.len();
+                out.push(Item::Instr(Instr::B {
+                    target: Target::label(site_label(id)),
+                }));
+                out.push(Item::Label(cont_label(id)));
+                emit_stub_head(&mut stubs, id);
+                stubs.push(Item::Instr(Instr::B {
+                    target: Target::label(cont_label(id)),
+                }));
+                pending.push(PendingSite {
+                    id,
+                    kind: PendingKind::LoopForward,
+                });
+            }
+        }
+    }
+
+    // Shared POP {PC} stub (Fig. 4: one MTBAR_POP_ADDR for all sites).
+    let mut mtbar: Vec<Item> = Vec::new();
+    mtbar.push(Item::Label(MTBAR_START.to_owned()));
+    if uses_pop_stub {
+        mtbar.push(Item::Label(POP_STUB.to_owned()));
+        for _ in 0..options.nop_padding {
+            mtbar.push(Item::Instr(Instr::Nop));
+        }
+        mtbar.push(Item::Label(POP_SRC.to_owned()));
+        mtbar.push(Item::Instr(Instr::Pop {
+            list: RegList::new().with(Reg::Pc),
+        }));
+    }
+    mtbar.extend(stubs);
+
+    out.extend(mtbar);
+
+    Transformed {
+        module: Module { items: out },
+        pending,
+        pending_loops: (0..cls.loop_plans.len()).collect(),
+        original_size,
+        uses_pop_stub,
+    }
+}
+
+/// Errors raised when finalizing the transformed program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// The rewritten module failed to assemble.
+    Asm(AsmError),
+    /// CFG recovery failed.
+    Cfg(crate::cfg::CfgError),
+    /// Internal invariant broken while resolving the map (a bug).
+    Internal(String),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::Asm(e) => write!(f, "assembly failed: {e}"),
+            LinkError::Cfg(e) => write!(f, "cfg recovery failed: {e}"),
+            LinkError::Internal(msg) => write!(f, "internal link error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LinkError::Asm(e) => Some(e),
+            LinkError::Cfg(e) => Some(e),
+            LinkError::Internal(_) => None,
+        }
+    }
+}
+
+impl From<AsmError> for LinkError {
+    fn from(e: AsmError) -> LinkError {
+        LinkError::Asm(e)
+    }
+}
+
+impl From<crate::cfg::CfgError> for LinkError {
+    fn from(e: crate::cfg::CfgError) -> LinkError {
+        LinkError::Cfg(e)
+    }
+}
+
+impl Transformed {
+    /// Assembles the rewritten module at `base` and resolves the
+    /// [`LinkMap`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly failures and reports internal inconsistencies
+    /// as [`LinkError::Internal`].
+    pub fn assemble(
+        &self,
+        base: u32,
+        cls: &Classification,
+    ) -> Result<(Image, LinkMap), LinkError> {
+        let image = self.module.assemble(base)?;
+        let sym = |name: &str| -> Result<u32, LinkError> {
+            image
+                .symbol(name)
+                .ok_or_else(|| LinkError::Internal(format!("missing symbol `{name}`")))
+        };
+
+        let mtbar_start = sym(MTBAR_START)?;
+        let mtbar = AddrRange {
+            start: mtbar_start,
+            end: image.end(),
+        };
+        let mut map = LinkMap {
+            mtbdr: Some(AddrRange {
+                start: base,
+                end: mtbar_start,
+            }),
+            // No stubs → no activation region: the MTB simply never
+            // turns on and the DWT needs no comparators.
+            mtbar: (!mtbar.is_empty()).then_some(mtbar),
+            original_size: self.original_size,
+            ..LinkMap::default()
+        };
+
+        let pop_entry = if self.uses_pop_stub {
+            Some((sym(POP_STUB)?, sym(POP_SRC)?))
+        } else {
+            None
+        };
+
+        for p in &self.pending {
+            let (entry, src, kind) = match &p.kind {
+                PendingKind::ReturnPop => {
+                    let (entry, src) = pop_entry
+                        .ok_or_else(|| LinkError::Internal("pop stub missing".into()))?;
+                    (entry, src, SiteKind::ReturnPop)
+                }
+                PendingKind::IndirectCall => (
+                    sym(&site_label(p.id))?,
+                    sym(&src_label(p.id))?,
+                    SiteKind::IndirectCall,
+                ),
+                PendingKind::LoadJump => (
+                    sym(&site_label(p.id))?,
+                    sym(&src_label(p.id))?,
+                    SiteKind::LoadJump,
+                ),
+                PendingKind::IndirectJump => (
+                    sym(&site_label(p.id))?,
+                    sym(&src_label(p.id))?,
+                    SiteKind::IndirectJump,
+                ),
+                PendingKind::ReturnBx => (
+                    sym(&site_label(p.id))?,
+                    sym(&src_label(p.id))?,
+                    SiteKind::ReturnBx,
+                ),
+                PendingKind::CondTaken { taken } => {
+                    let taken_addr = match taken {
+                        Target::Label(name) => sym(name)?,
+                        Target::Abs(a) => *a,
+                    };
+                    (
+                        sym(&site_label(p.id))?,
+                        sym(&src_label(p.id))?,
+                        SiteKind::CondTaken { taken: taken_addr },
+                    )
+                }
+                PendingKind::LoopForward => (
+                    sym(&site_label(p.id))?,
+                    sym(&src_label(p.id))?,
+                    SiteKind::LoopForward {
+                        cont: sym(&cont_label(p.id))?,
+                    },
+                ),
+                PendingKind::CondFallthrough => (
+                    sym(&site_label(p.id))?,
+                    sym(&src_label(p.id))?,
+                    SiteKind::CondFallthrough {
+                        cont: sym(&cont_label(p.id))?,
+                    },
+                ),
+            };
+            let site = Site {
+                id: p.id,
+                kind,
+                entry,
+                src,
+                mtbdr_addr: 0, // filled below from the image
+            };
+            map.sites_by_entry.insert(entry, site);
+            map.sites_by_src.insert(src, site);
+        }
+
+        // Locate each site's MTBDR-side instruction (the one branching
+        // into the stub) for diagnostics.
+        for (addr, instr) in image.instrs() {
+            if *addr >= mtbar_start {
+                break;
+            }
+            if let Some(Target::Abs(t)) = instr.target().cloned() {
+                if map.in_mtbar(t) {
+                    if let Some(site) = map.sites_by_entry.get_mut(&t) {
+                        if site.mtbdr_addr == 0 {
+                            site.mtbdr_addr = *addr;
+                            let src = site.src;
+                            let copy = *site;
+                            map.sites_by_src.insert(src, copy);
+                        }
+                    }
+                }
+            }
+        }
+
+        for (name, addr) in image.funcs() {
+            map.funcs.insert(*addr, name.clone());
+        }
+
+        for (p, plan) in cls.loop_plans.iter().enumerate() {
+            if !self.pending_loops.contains(&p) {
+                continue;
+            }
+            let latch = sym(&latch_label(p))?;
+            let latch_instr = image
+                .instr_at(latch)
+                .ok_or_else(|| LinkError::Internal("latch address invalid".into()))?;
+            let header = match latch_instr.target() {
+                Some(Target::Abs(h)) => *h,
+                _ => return Err(LinkError::Internal("latch has no resolved target".into())),
+            };
+            let exit = latch + latch_instr.size();
+            map.loops_by_latch.insert(
+                latch,
+                LoopMeta {
+                    header,
+                    latch,
+                    exit,
+                    iter: plan.iter,
+                    step: plan.step,
+                    bound: plan.bound,
+                    cond: plan.cond,
+                    kind: plan.kind,
+                },
+            );
+        }
+
+        Ok((image, map))
+    }
+}

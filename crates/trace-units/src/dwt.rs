@@ -1,0 +1,230 @@
+//! Data Watchpoint and Trace (DWT) unit model.
+//!
+//! The Cortex-M33 DWT provides four comparators that can monitor the
+//! program counter and signal other units. RAP-Track uses two comparator
+//! *pairs* as PC-range matchers: one pair bounds the MTBAR and asserts
+//! `MTB_TSTART`, the other bounds the MTBDR and asserts `MTB_TSTOP`
+//! (paper §IV-B).
+
+use std::fmt;
+
+/// Number of hardware comparators in the unit.
+pub const NUM_COMPARATORS: usize = 4;
+
+/// What a matching comparator pair signals to the MTB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeAction {
+    /// Assert `MTB_TSTART` while the PC is inside the range.
+    StartMtb,
+    /// Assert `MTB_TSTOP` while the PC is inside the range.
+    StopMtb,
+}
+
+/// A configured PC range watched by two comparators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcRange {
+    /// Inclusive lower bound.
+    pub base: u32,
+    /// Exclusive upper bound.
+    pub limit: u32,
+    /// Signal asserted while the PC is inside `[base, limit)`.
+    pub action: RangeAction,
+}
+
+impl PcRange {
+    /// Whether `pc` falls inside the watched range.
+    pub fn contains(&self, pc: u32) -> bool {
+        pc >= self.base && pc < self.limit
+    }
+}
+
+/// Signals the DWT asserts towards the MTB for the current PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DwtSignals {
+    /// `MTB_TSTART` asserted.
+    pub start: bool,
+    /// `MTB_TSTOP` asserted.
+    pub stop: bool,
+}
+
+/// Errors raised by DWT configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DwtError {
+    /// All four comparators are already allocated.
+    OutOfComparators,
+    /// `base >= limit`.
+    EmptyRange {
+        /// The offending base.
+        base: u32,
+        /// The offending limit.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for DwtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DwtError::OutOfComparators => {
+                write!(f, "all {NUM_COMPARATORS} DWT comparators are in use")
+            }
+            DwtError::EmptyRange { base, limit } => {
+                write!(f, "empty PC range {base:#x}..{limit:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DwtError {}
+
+/// The DWT unit: up to two PC ranges (four comparators).
+///
+/// ```
+/// use trace_units::{Dwt, PcRange, RangeAction};
+/// let mut dwt = Dwt::new();
+/// dwt.watch_range(PcRange { base: 0x100, limit: 0x200, action: RangeAction::StartMtb })?;
+/// assert!(dwt.evaluate(0x150).start);
+/// assert!(!dwt.evaluate(0x250).start);
+/// # Ok::<(), trace_units::DwtError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dwt {
+    ranges: Vec<PcRange>,
+}
+
+impl Dwt {
+    /// Creates a DWT with no comparators configured.
+    pub fn new() -> Dwt {
+        Dwt::default()
+    }
+
+    /// Allocates a comparator pair to watch `range`.
+    ///
+    /// # Errors
+    ///
+    /// [`DwtError::OutOfComparators`] when both pairs are in use and
+    /// [`DwtError::EmptyRange`] when `base >= limit`.
+    pub fn watch_range(&mut self, range: PcRange) -> Result<(), DwtError> {
+        if range.base >= range.limit {
+            return Err(DwtError::EmptyRange {
+                base: range.base,
+                limit: range.limit,
+            });
+        }
+        if (self.ranges.len() + 1) * 2 > NUM_COMPARATORS {
+            return Err(DwtError::OutOfComparators);
+        }
+        self.ranges.push(range);
+        Ok(())
+    }
+
+    /// Releases all comparators.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
+    /// Number of comparators currently allocated.
+    pub fn comparators_in_use(&self) -> usize {
+        self.ranges.len() * 2
+    }
+
+    /// The configured ranges.
+    pub fn ranges(&self) -> &[PcRange] {
+        &self.ranges
+    }
+
+    /// Evaluates the comparators against the current PC.
+    pub fn evaluate(&self, pc: u32) -> DwtSignals {
+        let mut signals = DwtSignals::default();
+        for range in &self.ranges {
+            if range.contains(pc) {
+                match range.action {
+                    RangeAction::StartMtb => signals.start = true,
+                    RangeAction::StopMtb => signals.stop = true,
+                }
+            }
+        }
+        signals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_matching() {
+        let range = PcRange {
+            base: 0x100,
+            limit: 0x200,
+            action: RangeAction::StartMtb,
+        };
+        assert!(range.contains(0x100));
+        assert!(range.contains(0x1FE));
+        assert!(!range.contains(0x200));
+        assert!(!range.contains(0xFF));
+    }
+
+    #[test]
+    fn two_ranges_exhaust_comparators() {
+        let mut dwt = Dwt::new();
+        let r = |base, action| PcRange {
+            base,
+            limit: base + 0x10,
+            action,
+        };
+        dwt.watch_range(r(0x000, RangeAction::StopMtb)).unwrap();
+        dwt.watch_range(r(0x100, RangeAction::StartMtb)).unwrap();
+        assert_eq!(dwt.comparators_in_use(), 4);
+        assert_eq!(
+            dwt.watch_range(r(0x200, RangeAction::StartMtb)),
+            Err(DwtError::OutOfComparators)
+        );
+        dwt.clear();
+        assert_eq!(dwt.comparators_in_use(), 0);
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let mut dwt = Dwt::new();
+        assert!(matches!(
+            dwt.watch_range(PcRange {
+                base: 0x100,
+                limit: 0x100,
+                action: RangeAction::StartMtb
+            }),
+            Err(DwtError::EmptyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn signals_reflect_membership() {
+        let mut dwt = Dwt::new();
+        dwt.watch_range(PcRange {
+            base: 0x1000,
+            limit: 0x2000,
+            action: RangeAction::StopMtb,
+        })
+        .unwrap();
+        dwt.watch_range(PcRange {
+            base: 0x2000,
+            limit: 0x3000,
+            action: RangeAction::StartMtb,
+        })
+        .unwrap();
+        assert_eq!(
+            dwt.evaluate(0x1800),
+            DwtSignals {
+                start: false,
+                stop: true
+            }
+        );
+        assert_eq!(
+            dwt.evaluate(0x2800),
+            DwtSignals {
+                start: true,
+                stop: false
+            }
+        );
+        assert_eq!(dwt.evaluate(0x4000), DwtSignals::default());
+    }
+}

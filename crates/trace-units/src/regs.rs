@@ -1,0 +1,348 @@
+//! Register-level programming interface for the trace units.
+//!
+//! The behavioural models ([`crate::Mtb`], [`crate::Dwt`]) expose typed
+//! methods; real Secure-World firmware programs the units through
+//! memory-mapped registers. [`TraceRegFile`] models that surface: a
+//! small register file whose layout follows the MTB-M33 and DWT
+//! programming models closely enough that driver-style code (write
+//! `MTB_MASTER`, set up comparator pairs, set `MTB_FLOW`) works as it
+//! would on hardware, and [`TraceRegFile::program`] commits the
+//! register state into the behavioural models.
+//!
+//! | offset | register | modelled bits |
+//! |---|---|---|
+//! | `0x00` | `MTB_POSITION` | read-only: write pointer (entries) |
+//! | `0x04` | `MTB_MASTER` | bit 31 `EN`, bit 5 `TSTARTEN` |
+//! | `0x08` | `MTB_FLOW` | bits 31:3 `WATERMARK` (byte offset), bit 0 enable |
+//! | `0x10 + 8n` | `DWT_COMP{n}` | comparator address |
+//! | `0x14 + 8n` | `DWT_FUNCTION{n}` | bits 1:0 — 0 off, 1 start, 2 stop |
+//!
+//! Comparators pair up (0-1 and 2-3): the even comparator holds the
+//! range base, the odd one the range limit, and the even comparator's
+//! `FUNCTION` selects the MTB action — exactly the paired usage of
+//! §IV-B.
+
+use crate::{Dwt, DwtError, Mtb, PcRange, RangeAction, TraceEntry};
+
+/// `MTB_MASTER.EN`.
+pub const MASTER_EN: u32 = 1 << 31;
+/// `MTB_MASTER.TSTARTEN` — trace unconditionally.
+pub const MASTER_TSTARTEN: u32 = 1 << 5;
+/// `DWT_FUNCTION` action: disabled.
+pub const FUNC_OFF: u32 = 0;
+/// `DWT_FUNCTION` action: assert `MTB_TSTART` while matching.
+pub const FUNC_START: u32 = 1;
+/// `DWT_FUNCTION` action: assert `MTB_TSTOP` while matching.
+pub const FUNC_STOP: u32 = 2;
+
+/// Register offsets.
+pub mod offset {
+    /// `MTB_POSITION` (read-only).
+    pub const MTB_POSITION: u32 = 0x00;
+    /// `MTB_MASTER`.
+    pub const MTB_MASTER: u32 = 0x04;
+    /// `MTB_FLOW`.
+    pub const MTB_FLOW: u32 = 0x08;
+    /// `DWT_COMP{n}` for `n` in `0..4`.
+    pub fn dwt_comp(n: usize) -> u32 {
+        0x10 + 8 * n as u32
+    }
+    /// `DWT_FUNCTION{n}` for `n` in `0..4`.
+    pub fn dwt_function(n: usize) -> u32 {
+        0x14 + 8 * n as u32
+    }
+}
+
+/// An error raised while programming the units from register state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// An odd comparator carries a `FUNCTION` action (only even
+    /// comparators select the pair's action).
+    OddComparatorFunction {
+        /// The offending comparator index.
+        index: usize,
+    },
+    /// A pair's base is not below its limit.
+    BadRange {
+        /// The pair's even comparator index.
+        index: usize,
+    },
+    /// The DWT rejected the configuration.
+    Dwt(DwtError),
+    /// A write touched an unknown register offset.
+    UnknownRegister {
+        /// The offending byte offset.
+        offset: u32,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::OddComparatorFunction { index } => {
+                write!(f, "comparator {index} is a range limit; clear its FUNCTION")
+            }
+            ProgramError::BadRange { index } => {
+                write!(f, "comparator pair {index} has base >= limit")
+            }
+            ProgramError::Dwt(e) => write!(f, "dwt rejected configuration: {e}"),
+            ProgramError::UnknownRegister { offset } => {
+                write!(f, "no register at offset {offset:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl From<DwtError> for ProgramError {
+    fn from(e: DwtError) -> ProgramError {
+        ProgramError::Dwt(e)
+    }
+}
+
+/// The modelled register file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceRegFile {
+    master: u32,
+    flow: u32,
+    comp: [u32; 4],
+    function: [u32; 4],
+}
+
+impl TraceRegFile {
+    /// Creates a reset register file (everything zero/disabled).
+    pub fn new() -> TraceRegFile {
+        TraceRegFile::default()
+    }
+
+    /// Writes a register.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::UnknownRegister`] for unmapped offsets and
+    /// writes to the read-only `MTB_POSITION`.
+    pub fn write(&mut self, offset: u32, value: u32) -> Result<(), ProgramError> {
+        match offset {
+            o if o == offset::MTB_MASTER => self.master = value,
+            o if o == offset::MTB_FLOW => self.flow = value,
+            _ => {
+                for n in 0..4 {
+                    if offset == offset::dwt_comp(n) {
+                        self.comp[n] = value;
+                        return Ok(());
+                    }
+                    if offset == offset::dwt_function(n) {
+                        self.function[n] = value & 0x3;
+                        return Ok(());
+                    }
+                }
+                return Err(ProgramError::UnknownRegister { offset });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a register (`MTB_POSITION` reflects the live MTB).
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::UnknownRegister`] for unmapped offsets.
+    pub fn read(&self, offset: u32, mtb: &Mtb) -> Result<u32, ProgramError> {
+        match offset {
+            o if o == offset::MTB_POSITION => {
+                Ok((mtb.entries().len() * TraceEntry::BYTES) as u32)
+            }
+            o if o == offset::MTB_MASTER => Ok(self.master),
+            o if o == offset::MTB_FLOW => Ok(self.flow),
+            _ => {
+                for n in 0..4 {
+                    if offset == offset::dwt_comp(n) {
+                        return Ok(self.comp[n]);
+                    }
+                    if offset == offset::dwt_function(n) {
+                        return Ok(self.function[n]);
+                    }
+                }
+                Err(ProgramError::UnknownRegister { offset })
+            }
+        }
+    }
+
+    /// Commits the register state into the behavioural models,
+    /// replacing any previous configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProgramError`].
+    pub fn program(&self, dwt: &mut Dwt, mtb: &mut Mtb) -> Result<(), ProgramError> {
+        // MTB master control.
+        mtb.set_master_trace(
+            self.master & MASTER_EN != 0 && self.master & MASTER_TSTARTEN != 0,
+        );
+        // Watermark: byte offset → entries; bit 0 enables.
+        if self.flow & 1 != 0 {
+            let bytes = (self.flow & !7) as usize;
+            mtb.set_flow_watermark(Some(bytes / TraceEntry::BYTES));
+        } else {
+            mtb.set_flow_watermark(None);
+        }
+
+        // Comparator pairs.
+        dwt.clear();
+        for pair in [0usize, 2] {
+            let action_bits = self.function[pair];
+            if self.function[pair + 1] != FUNC_OFF {
+                return Err(ProgramError::OddComparatorFunction { index: pair + 1 });
+            }
+            let action = match action_bits {
+                FUNC_OFF => continue,
+                FUNC_START => RangeAction::StartMtb,
+                FUNC_STOP => RangeAction::StopMtb,
+                _ => continue,
+            };
+            let base = self.comp[pair];
+            let limit = self.comp[pair + 1];
+            if base >= limit {
+                return Err(ProgramError::BadRange { index: pair });
+            }
+            dwt.watch_range(PcRange {
+                base,
+                limit,
+                action,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DwtSignals, MtbConfig};
+
+    fn units() -> (Dwt, Mtb) {
+        (
+            Dwt::new(),
+            Mtb::new(MtbConfig {
+                capacity: 16,
+                activation_delay: 0,
+            }),
+        )
+    }
+
+    #[test]
+    fn master_tstarten_traces_everything() {
+        let (mut dwt, mut mtb) = units();
+        let mut regs = TraceRegFile::new();
+        regs.write(offset::MTB_MASTER, MASTER_EN | MASTER_TSTARTEN)
+            .unwrap();
+        regs.program(&mut dwt, &mut mtb).unwrap();
+        assert!(mtb.record(0, 4));
+    }
+
+    #[test]
+    fn paired_comparators_define_regions() {
+        let (mut dwt, mut mtb) = units();
+        let mut regs = TraceRegFile::new();
+        // MTBDR [0, 0x100): stop. MTBAR [0x100, 0x200): start.
+        regs.write(offset::dwt_comp(0), 0x000).unwrap();
+        regs.write(offset::dwt_comp(1), 0x100).unwrap();
+        regs.write(offset::dwt_function(0), FUNC_STOP).unwrap();
+        regs.write(offset::dwt_comp(2), 0x100).unwrap();
+        regs.write(offset::dwt_comp(3), 0x200).unwrap();
+        regs.write(offset::dwt_function(2), FUNC_START).unwrap();
+        regs.program(&mut dwt, &mut mtb).unwrap();
+
+        assert_eq!(
+            dwt.evaluate(0x80),
+            DwtSignals {
+                start: false,
+                stop: true
+            }
+        );
+        assert_eq!(
+            dwt.evaluate(0x180),
+            DwtSignals {
+                start: true,
+                stop: false
+            }
+        );
+    }
+
+    #[test]
+    fn flow_watermark_in_bytes() {
+        let (mut dwt, mut mtb) = units();
+        let mut regs = TraceRegFile::new();
+        regs.write(offset::MTB_MASTER, MASTER_EN | MASTER_TSTARTEN)
+            .unwrap();
+        // Watermark at 16 bytes = 2 entries, enabled.
+        regs.write(offset::MTB_FLOW, 16 | 1).unwrap();
+        regs.program(&mut dwt, &mut mtb).unwrap();
+        mtb.record(0, 4);
+        assert!(!mtb.watermark_hit());
+        mtb.record(8, 12);
+        assert!(mtb.watermark_hit());
+    }
+
+    #[test]
+    fn position_register_reflects_fill() {
+        let (_, mut mtb) = units();
+        mtb.set_master_trace(true);
+        let regs = TraceRegFile::new();
+        assert_eq!(regs.read(offset::MTB_POSITION, &mtb).unwrap(), 0);
+        mtb.record(0, 4);
+        mtb.record(8, 12);
+        assert_eq!(regs.read(offset::MTB_POSITION, &mtb).unwrap(), 16);
+    }
+
+    #[test]
+    fn bad_configurations_rejected() {
+        let (mut dwt, mut mtb) = units();
+        let mut regs = TraceRegFile::new();
+        // Function on the odd comparator of a pair.
+        regs.write(offset::dwt_function(1), FUNC_START).unwrap();
+        assert!(matches!(
+            regs.program(&mut dwt, &mut mtb),
+            Err(ProgramError::OddComparatorFunction { index: 1 })
+        ));
+        regs.write(offset::dwt_function(1), FUNC_OFF).unwrap();
+
+        // Empty range.
+        regs.write(offset::dwt_comp(0), 0x100).unwrap();
+        regs.write(offset::dwt_comp(1), 0x100).unwrap();
+        regs.write(offset::dwt_function(0), FUNC_START).unwrap();
+        assert!(matches!(
+            regs.program(&mut dwt, &mut mtb),
+            Err(ProgramError::BadRange { index: 0 })
+        ));
+
+        // Unknown offset.
+        assert!(matches!(
+            regs.write(0x99, 0),
+            Err(ProgramError::UnknownRegister { offset: 0x99 })
+        ));
+        assert!(matches!(
+            regs.read(0x99, &mtb),
+            Err(ProgramError::UnknownRegister { offset: 0x99 })
+        ));
+        // MTB_POSITION is read-only.
+        assert!(regs.write(offset::MTB_POSITION, 1).is_err());
+    }
+
+    #[test]
+    fn reprogramming_replaces_old_ranges() {
+        let (mut dwt, mut mtb) = units();
+        let mut regs = TraceRegFile::new();
+        regs.write(offset::dwt_comp(0), 0x000).unwrap();
+        regs.write(offset::dwt_comp(1), 0x100).unwrap();
+        regs.write(offset::dwt_function(0), FUNC_START).unwrap();
+        regs.program(&mut dwt, &mut mtb).unwrap();
+        assert!(dwt.evaluate(0x50).start);
+
+        regs.write(offset::dwt_function(0), FUNC_OFF).unwrap();
+        regs.program(&mut dwt, &mut mtb).unwrap();
+        assert!(!dwt.evaluate(0x50).start);
+        assert_eq!(dwt.comparators_in_use(), 0);
+    }
+}

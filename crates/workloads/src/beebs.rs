@@ -1,0 +1,425 @@
+//! BEEBS benchmark kernels (Pallister et al.), as used by the paper for
+//! the `prime`/`gps` instrumentation comparisons and the Fig. 1
+//! motivation.
+//!
+//! * [`prime`] — trial-division prime counting: data-dependent inner
+//!   loops with register-bound comparisons (no §IV-D opt applies) and
+//!   heavy division.
+//! * [`crc32`] — table-driven CRC-32: a conditional-dense table
+//!   initialization plus straight-line, fully static processing loops.
+//! * [`bubblesort`] — nested data-dependent compare-and-swap loops,
+//!   the worst case for taken-branch logging.
+//! * [`fibcall`] — naive recursive Fibonacci: deep call trees of
+//!   `PUSH {LR}` / `POP {PC}` pairs, the return-tracking stress test.
+
+use armv8m_isa::{Asm, Module, Reg};
+use mcu_sim::Machine;
+
+use crate::devices::Lcg;
+use crate::{SCRATCH_BUF, Workload};
+
+fn no_devices(_machine: &mut Machine) {}
+
+// --------------------------------------------------------------------
+// prime
+// --------------------------------------------------------------------
+
+/// Upper bound of the prime search.
+pub const PRIME_LIMIT: u16 = 400;
+
+/// Number of primes below [`PRIME_LIMIT`] (host-side oracle).
+pub fn prime_count_oracle() -> u32 {
+    let mut count = 0;
+    for n in 2..PRIME_LIMIT as u32 {
+        let mut d = 2;
+        let mut prime = true;
+        while d * d <= n {
+            if n % d == 0 {
+                prime = false;
+                break;
+            }
+            d += 1;
+        }
+        if prime {
+            count += 1;
+        }
+    }
+    count
+}
+
+fn prime_module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    a.movi(R7, 0); // prime count
+    a.movi(R4, 2); // candidate n
+    a.label("scan");
+    a.mov(R0, R4);
+    a.bl("is_prime"); // r0 = 1 if prime
+    a.add(R7, R7, R0);
+    a.addi(R4, R4, 1);
+    a.cmpi(R4, PRIME_LIMIT);
+    a.bne("scan");
+    a.halt();
+
+    // is_prime(n): trial division, d from 2 while d*d <= n.
+    a.func("is_prime");
+    a.mov(R1, R0); // n
+    a.movi(R2, 2); // d
+    a.label("trial");
+    a.mul(R3, R2, R2); // d*d
+    a.cmp(R3, R1);
+    a.bhi("prime_yes"); // d*d > n → prime
+    // n % d == 0 ?
+    a.udiv(R3, R1, R2);
+    a.mul(R3, R3, R2);
+    a.cmp(R3, R1);
+    a.beq("prime_no"); // divisible → composite
+    a.addi(R2, R2, 1);
+    a.b("trial");
+    a.label("prime_yes");
+    a.movi(R0, 1);
+    a.ret();
+    a.label("prime_no");
+    a.movi(R0, 0);
+    a.ret();
+
+    a.into_module()
+}
+
+/// Builds the BEEBS `prime` workload.
+pub fn prime() -> Workload {
+    Workload {
+        name: "prime",
+        description: "BEEBS prime: trial-division prime counting",
+        module: prime_module(),
+        attach: no_devices,
+        max_instrs: 10_000_000,
+    }
+}
+
+// --------------------------------------------------------------------
+// crc32
+// --------------------------------------------------------------------
+
+/// Input buffer length in bytes.
+pub const CRC_LEN: u16 = 256;
+const CRC_TABLE: u32 = SCRATCH_BUF; // 256 words
+const CRC_BUF: u32 = SCRATCH_BUF + 0x400; // CRC_LEN bytes
+
+/// Host-side CRC-32 oracle matching the kernel (poly 0xEDB88320).
+pub fn crc32_oracle() -> u32 {
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                (c >> 1) ^ 0xEDB8_8320
+            } else {
+                c >> 1
+            };
+        }
+        *slot = c;
+    }
+    let mut rng = Lcg::new(0xC3C3);
+    let mut crc = 0xFFFF_FFFFu32;
+    for _ in 0..CRC_LEN {
+        let byte = (rng.next_u32() >> 16) as u8;
+        crc = table[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn crc32_module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    a.bl("init_table");
+    a.bl("fill_buffer");
+    a.bl("compute_crc");
+    a.mov(R7, R0);
+    a.halt();
+
+    // init_table: the classic reflected CRC-32 table build.
+    a.func("init_table");
+    a.mov32(R1, CRC_TABLE);
+    a.movi(R2, 0); // i
+    a.label("tbl_outer");
+    a.mov(R3, R2); // c = i
+    a.movi(R4, 8); // bit counter
+    a.label("tbl_inner");
+    a.movi(R5, 1);
+    a.and(R5, R3, R5);
+    a.cmpi(R5, 0);
+    a.beq("even_bit");
+    a.lsr(R3, R3, 1);
+    a.mov32(R5, 0xEDB8_8320);
+    a.eor(R3, R3, R5);
+    a.b("bit_done");
+    a.label("even_bit");
+    a.lsr(R3, R3, 1);
+    a.label("bit_done");
+    a.subi(R4, R4, 1);
+    a.cmpi(R4, 0);
+    a.bne("tbl_inner");
+    a.str_(R3, R1, 0);
+    a.addi(R1, R1, 4);
+    a.addi(R2, R2, 1);
+    a.cmpi(R2, 256);
+    a.bne("tbl_outer");
+    a.ret();
+
+    // fill_buffer: deterministic LCG bytes (register-only iterator →
+    // fully static loop, elided by RAP-Track).
+    a.func("fill_buffer");
+    a.mov32(R1, CRC_BUF);
+    a.mov32(R2, 0xC3C3); // LCG state (same seed as the oracle)
+    a.mov32(R4, 1_664_525);
+    a.mov32(R5, 1_013_904_223);
+    a.movi(R3, CRC_LEN); // static counter
+    a.label("fill_loop");
+    a.mul(R2, R2, R4);
+    a.add(R2, R2, R5);
+    a.lsr(R6, R2, 16);
+    a.strb(R6, R1, 0);
+    a.addi(R1, R1, 1);
+    a.subi(R3, R3, 1);
+    a.cmpi(R3, 0);
+    a.bne("fill_loop");
+    a.ret();
+
+    // compute_crc: straight-line table-driven update per byte
+    // (fully static loop).
+    a.func("compute_crc");
+    a.mov32(R0, 0xFFFF_FFFF); // crc
+    a.mov32(R1, CRC_BUF);
+    a.mov32(R4, CRC_TABLE);
+    a.movi(R3, CRC_LEN); // static counter
+    a.label("crc_loop");
+    a.ldrb(R2, R1, 0);
+    a.eor(R2, R2, R0);
+    a.movi(R5, 0xFF);
+    a.and(R2, R2, R5);
+    a.ldr_idx(R2, R4, R2); // table[(crc ^ b) & 0xFF]
+    a.lsr(R0, R0, 8);
+    a.eor(R0, R0, R2);
+    a.addi(R1, R1, 1);
+    a.subi(R3, R3, 1);
+    a.cmpi(R3, 0);
+    a.bne("crc_loop");
+    a.mov32(R5, 0xFFFF_FFFF);
+    a.eor(R0, R0, R5); // final inversion
+    a.ret();
+
+    a.into_module()
+}
+
+/// Builds the BEEBS `crc32` workload.
+pub fn crc32() -> Workload {
+    Workload {
+        name: "crc32",
+        description: "BEEBS crc_32: table build + table-driven checksum",
+        module: crc32_module(),
+        attach: no_devices,
+        max_instrs: 10_000_000,
+    }
+}
+
+// --------------------------------------------------------------------
+// bubblesort
+// --------------------------------------------------------------------
+
+/// Array length sorted.
+pub const SORT_LEN: u16 = 48;
+const SORT_BUF: u32 = SCRATCH_BUF + 0x800;
+
+/// Host-side oracle: checksum of the sorted array
+/// (`Σ value[i] * (i+1)` over the sorted order).
+pub fn sort_oracle() -> u32 {
+    let mut rng = Lcg::new(0x50B7);
+    let mut values: Vec<u32> = (0..SORT_LEN).map(|_| rng.next_u32() & 0xFFFF).collect();
+    values.sort_unstable();
+    values
+        .iter()
+        .enumerate()
+        .fold(0u32, |acc, (i, v)| acc.wrapping_add(v * (i as u32 + 1)))
+}
+
+fn bubblesort_module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    a.bl("fill_array");
+    a.bl("sort");
+    a.bl("checksum");
+    a.mov(R7, R0);
+    a.halt();
+
+    // fill_array: LCG & 0xFFFF values (static loop).
+    a.func("fill_array");
+    a.mov32(R1, SORT_BUF);
+    a.mov32(R2, 0x50B7);
+    a.mov32(R4, 1_664_525);
+    a.mov32(R5, 1_013_904_223);
+    a.movi(R3, SORT_LEN);
+    a.label("fa_loop");
+    a.mul(R2, R2, R4);
+    a.add(R2, R2, R5);
+    a.movi(R6, 0xFFFF);
+    a.and(R6, R6, R2);
+    a.str_(R6, R1, 0);
+    a.addi(R1, R1, 4);
+    a.subi(R3, R3, 1);
+    a.cmpi(R3, 0);
+    a.bne("fa_loop");
+    a.ret();
+
+    // sort: classic bubble sort, n-1 full passes.
+    a.func("sort");
+    a.movi(R4, SORT_LEN - 1); // passes
+    a.label("pass_loop");
+    a.mov32(R1, SORT_BUF);
+    a.movi(R5, SORT_LEN - 1); // comparisons per pass
+    a.label("cmp_loop");
+    a.ldr(R2, R1, 0);
+    a.ldr(R3, R1, 4);
+    a.cmp(R2, R3);
+    a.bls("no_swap");
+    a.str_(R3, R1, 0);
+    a.str_(R2, R1, 4);
+    a.label("no_swap");
+    a.addi(R1, R1, 4);
+    a.subi(R5, R5, 1);
+    a.cmpi(R5, 0);
+    a.bne("cmp_loop");
+    a.subi(R4, R4, 1);
+    a.cmpi(R4, 0);
+    a.bne("pass_loop");
+    a.ret();
+
+    // checksum: Σ value[i] * (i+1) (static loop).
+    a.func("checksum");
+    a.mov32(R1, SORT_BUF);
+    a.movi(R0, 0);
+    a.movi(R2, 1); // weight
+    a.movi(R3, SORT_LEN);
+    a.label("ck_loop");
+    a.ldr(R4, R1, 0);
+    a.mul(R4, R4, R2);
+    a.add(R0, R0, R4);
+    a.addi(R1, R1, 4);
+    a.addi(R2, R2, 1);
+    a.subi(R3, R3, 1);
+    a.cmpi(R3, 0);
+    a.bne("ck_loop");
+    a.ret();
+
+    a.into_module()
+}
+
+/// Builds the BEEBS `bubblesort` workload.
+pub fn bubblesort() -> Workload {
+    Workload {
+        name: "bubblesort",
+        description: "BEEBS bubblesort: nested compare-and-swap passes",
+        module: bubblesort_module(),
+        attach: no_devices,
+        max_instrs: 10_000_000,
+    }
+}
+
+// --------------------------------------------------------------------
+// fibcall
+// --------------------------------------------------------------------
+
+/// Fibonacci argument.
+pub const FIB_N: u16 = 13;
+
+/// Host-side oracle.
+pub fn fib_oracle() -> u32 {
+    fn f(n: u32) -> u32 {
+        if n < 2 { n } else { f(n - 1) + f(n - 2) }
+    }
+    f(FIB_N as u32)
+}
+
+fn fibcall_module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    a.movi(R0, FIB_N);
+    a.bl("fib");
+    a.mov(R7, R0);
+    a.halt();
+
+    // fib(n): naive recursion; every frame pushes LR and returns via
+    // POP {PC} — a monitored return per call.
+    a.func("fib");
+    a.cmpi(R0, 2);
+    a.bcc("fib_base"); // n < 2 → return n
+    a.push(&[Reg::R4, Reg::Lr]);
+    a.mov(R4, R0);
+    a.subi(R0, R4, 1);
+    a.bl("fib");
+    a.mov(R1, R0);
+    a.subi(R0, R4, 2);
+    a.push(&[Reg::R1]);
+    a.bl("fib");
+    a.pop(&[Reg::R1]);
+    a.add(R0, R0, R1);
+    a.pop(&[Reg::R4, Reg::Pc]);
+    a.label("fib_base");
+    a.ret();
+
+    a.into_module()
+}
+
+/// Builds the BEEBS `fibcall` workload.
+pub fn fibcall() -> Workload {
+    Workload {
+        name: "fibcall",
+        description: "BEEBS fibcall: recursive Fibonacci, return-tracking stress",
+        module: fibcall_module(),
+        attach: no_devices,
+        max_instrs: 10_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_sim::NullSecureWorld;
+
+    fn run(w: &Workload) -> u32 {
+        let image = w.module.assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        (w.attach)(&mut m);
+        m.run(&mut NullSecureWorld, w.max_instrs).expect("runs");
+        m.cpu.reg(Reg::R7)
+    }
+
+    #[test]
+    fn prime_matches_oracle() {
+        assert_eq!(run(&prime()), prime_count_oracle());
+    }
+
+    #[test]
+    fn crc32_matches_oracle() {
+        assert_eq!(run(&crc32()), crc32_oracle());
+    }
+
+    #[test]
+    fn bubblesort_matches_oracle() {
+        assert_eq!(run(&bubblesort()), sort_oracle());
+    }
+
+    #[test]
+    fn fibcall_matches_oracle() {
+        assert_eq!(run(&fibcall()), fib_oracle());
+        assert_eq!(fib_oracle(), 233);
+    }
+}

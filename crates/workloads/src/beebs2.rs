@@ -1,0 +1,471 @@
+//! Additional BEEBS kernels: `matmult`, `fir` and `binsearch`.
+//!
+//! * [`matmult`] — dense integer matrix multiply: triply nested
+//!   constant-bound loops. The inner MAC loop is fully static, but the
+//!   nesting disqualifies the outer levels from §IV-D, exercising the
+//!   nested-loop classification paths.
+//! * [`fir`] — finite-impulse-response filter over a sample stream:
+//!   the classic DSP kernel, static tap loops inside a general
+//!   streaming loop.
+//! * [`binsearch`] — binary search probes over a sorted table:
+//!   data-dependent two-sided conditionals with a `while lo < hi`
+//!   register-bound loop (no §IV-D opt applies).
+
+use armv8m_isa::{Asm, Module, Reg};
+use mcu_sim::Machine;
+
+use crate::devices::Lcg;
+use crate::{SCRATCH_BUF, Workload};
+
+fn no_devices(_machine: &mut Machine) {}
+
+// --------------------------------------------------------------------
+// matmult
+// --------------------------------------------------------------------
+
+/// Matrix dimension (N×N).
+pub const MAT_N: u16 = 8;
+const MAT_A: u32 = SCRATCH_BUF;
+// A and B are filled by one contiguous LCG stream: B starts right
+// after A's N*N words.
+const MAT_B: u32 = SCRATCH_BUF + (MAT_N as u32 * MAT_N as u32 * 4);
+const MAT_C: u32 = MAT_B + (MAT_N as u32 * MAT_N as u32 * 4);
+
+/// Host-side oracle: checksum of `C = A × B` (same LCG fill).
+pub fn matmult_oracle() -> u32 {
+    let n = MAT_N as usize;
+    let mut rng = Lcg::new(0x3A37);
+    let a: Vec<u32> = (0..n * n).map(|_| rng.next_u32() & 0xFF).collect();
+    let b: Vec<u32> = (0..n * n).map(|_| rng.next_u32() & 0xFF).collect();
+    let mut sum = 0u32;
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0u32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+            }
+            sum = sum.wrapping_add(acc ^ (i as u32 * 31 + j as u32));
+        }
+    }
+    sum
+}
+
+fn matmult_module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    a.bl("fill_mats");
+    a.bl("multiply");
+    a.bl("checksum");
+    a.mov(R7, R0);
+    a.halt();
+
+    // fill_mats: one LCG stream fills A then B (static loop).
+    a.func("fill_mats");
+    a.mov32(R1, MAT_A);
+    a.mov32(R2, 0x3A37);
+    a.mov32(R4, 1_664_525);
+    a.mov32(R5, 1_013_904_223);
+    a.movi(R3, MAT_N * MAT_N * 2);
+    a.label("fm_loop");
+    a.mul(R2, R2, R4);
+    a.add(R2, R2, R5);
+    a.movi(R6, 0xFF);
+    a.and(R6, R6, R2);
+    a.str_(R6, R1, 0);
+    a.addi(R1, R1, 4);
+    a.subi(R3, R3, 1);
+    a.cmpi(R3, 0);
+    a.bne("fm_loop");
+    a.ret();
+
+    // multiply: i/j loops are general (they contain the inner loop);
+    // the k MAC loop is straight-line and fully static.
+    a.func("multiply");
+    a.movi(R8, 0); // i
+    a.label("mi_loop");
+    a.movi(R9, 0); // j
+    a.label("mj_loop");
+    // acc (R0) = Σ_k A[i*n+k] * B[k*n+j]
+    a.movi(R0, 0);
+    // R1 → &A[i*n], advancing by 4 per k.
+    a.movi(R5, MAT_N * 4);
+    a.mul(R1, R8, R5);
+    a.mov32(R5, MAT_A);
+    a.add(R1, R1, R5);
+    // R2 → &B[j], advancing by n*4 per k.
+    a.mov(R2, R9);
+    a.lsl(R2, R2, 2);
+    a.mov32(R5, MAT_B);
+    a.add(R2, R2, R5);
+    a.movi(R3, MAT_N); // k counter — static inner loop
+    a.label("mk_loop");
+    a.ldr(R4, R1, 0);
+    a.ldr(R5, R2, 0);
+    a.mul(R4, R4, R5);
+    a.add(R0, R0, R4);
+    a.addi(R1, R1, 4);
+    a.addi(R2, R2, MAT_N * 4);
+    a.subi(R3, R3, 1);
+    a.cmpi(R3, 0);
+    a.bne("mk_loop");
+    // C[i*n+j] = acc
+    a.movi(R5, MAT_N * 4);
+    a.mul(R1, R8, R5);
+    a.mov(R2, R9);
+    a.lsl(R2, R2, 2);
+    a.add(R1, R1, R2);
+    a.mov32(R5, MAT_C);
+    a.add(R1, R1, R5);
+    a.str_(R0, R1, 0);
+    a.addi(R9, R9, 1);
+    a.cmpi(R9, MAT_N);
+    a.bne("mj_loop");
+    a.addi(R8, R8, 1);
+    a.cmpi(R8, MAT_N);
+    a.bne("mi_loop");
+    a.ret();
+
+    // checksum: Σ (C[i*n+j] ^ (i*31+j)) over the row-major walk.
+    a.func("checksum");
+    a.movi(R0, 0); // sum
+    a.movi(R8, 0); // i
+    a.label("ci_loop");
+    a.movi(R9, 0); // j
+    a.label("cj_loop");
+    a.movi(R5, MAT_N * 4);
+    a.mul(R1, R8, R5);
+    a.mov(R2, R9);
+    a.lsl(R2, R2, 2);
+    a.add(R1, R1, R2);
+    a.mov32(R5, MAT_C);
+    a.add(R1, R1, R5);
+    a.ldr(R3, R1, 0);
+    // mix = i*31 + j
+    a.movi(R5, 31);
+    a.mul(R4, R8, R5);
+    a.add(R4, R4, R9);
+    a.eor(R3, R3, R4);
+    a.add(R0, R0, R3);
+    a.addi(R9, R9, 1);
+    a.cmpi(R9, MAT_N);
+    a.bne("cj_loop");
+    a.addi(R8, R8, 1);
+    a.cmpi(R8, MAT_N);
+    a.bne("ci_loop");
+    a.ret();
+
+    a.into_module()
+}
+
+/// Builds the BEEBS `matmult` workload.
+pub fn matmult() -> Workload {
+    Workload {
+        name: "matmult",
+        description: "BEEBS matmult: 8x8 integer matrix multiply, triply nested loops",
+        module: matmult_module(),
+        attach: no_devices,
+        max_instrs: 10_000_000,
+    }
+}
+
+// --------------------------------------------------------------------
+// fir
+// --------------------------------------------------------------------
+
+/// Number of filter taps.
+pub const FIR_TAPS: u16 = 8;
+/// Samples filtered.
+pub const FIR_SAMPLES: u16 = 64;
+const FIR_COEFF: u32 = SCRATCH_BUF;
+const FIR_IN: u32 = SCRATCH_BUF + 0x100;
+const FIR_OUT: u32 = SCRATCH_BUF + 0x400;
+
+/// Host-side oracle for the filtered-output checksum.
+pub fn fir_oracle() -> u32 {
+    let taps = FIR_TAPS as usize;
+    let n = FIR_SAMPLES as usize;
+    let coeff: Vec<u32> = (1..=taps as u32).collect();
+    let mut rng = Lcg::new(0xF1F1);
+    let input: Vec<u32> = (0..n + taps).map(|_| rng.next_u32() & 0x3FF).collect();
+    let mut sum = 0u32;
+    for i in 0..n {
+        let mut acc = 0u32;
+        for (k, c) in coeff.iter().enumerate() {
+            acc = acc.wrapping_add(input[i + k].wrapping_mul(*c));
+        }
+        sum = sum.wrapping_add(acc >> 3);
+    }
+    sum
+}
+
+fn fir_module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    a.bl("init");
+    a.bl("filter");
+    a.mov(R7, R0);
+    a.halt();
+
+    // init: coefficients 1..taps, then the input stream (static loops).
+    a.func("init");
+    a.mov32(R1, FIR_COEFF);
+    a.movi(R2, 1);
+    a.movi(R3, FIR_TAPS);
+    a.label("co_loop");
+    a.str_(R2, R1, 0);
+    a.addi(R1, R1, 4);
+    a.addi(R2, R2, 1);
+    a.subi(R3, R3, 1);
+    a.cmpi(R3, 0);
+    a.bne("co_loop");
+    a.mov32(R1, FIR_IN);
+    a.mov32(R2, 0xF1F1);
+    a.mov32(R4, 1_664_525);
+    a.mov32(R5, 1_013_904_223);
+    a.movi(R3, FIR_SAMPLES + FIR_TAPS);
+    a.label("in_loop");
+    a.mul(R2, R2, R4);
+    a.add(R2, R2, R5);
+    a.movi(R6, 0x3FF);
+    a.and(R6, R6, R2);
+    a.str_(R6, R1, 0);
+    a.addi(R1, R1, 4);
+    a.subi(R3, R3, 1);
+    a.cmpi(R3, 0);
+    a.bne("in_loop");
+    a.ret();
+
+    // filter: outer sample loop (general: nests the tap loop),
+    // inner static MAC over the taps.
+    a.func("filter");
+    a.movi(R0, 0); // checksum
+    a.movi(R8, 0); // sample index
+    a.label("s_loop");
+    a.movi(R1, 0); // acc
+    a.mov(R2, R8);
+    a.lsl(R2, R2, 2);
+    a.mov32(R5, FIR_IN);
+    a.add(R2, R2, R5); // &input[i]
+    a.mov32(R3, FIR_COEFF);
+    a.movi(R4, FIR_TAPS); // static tap loop
+    a.label("t_loop");
+    a.ldr(R5, R2, 0);
+    a.ldr(R6, R3, 0);
+    a.mul(R5, R5, R6);
+    a.add(R1, R1, R5);
+    a.addi(R2, R2, 4);
+    a.addi(R3, R3, 4);
+    a.subi(R4, R4, 1);
+    a.cmpi(R4, 0);
+    a.bne("t_loop");
+    a.lsr(R1, R1, 3);
+    a.add(R0, R0, R1);
+    // store the filtered sample
+    a.mov(R2, R8);
+    a.lsl(R2, R2, 2);
+    a.mov32(R5, FIR_OUT);
+    a.add(R2, R2, R5);
+    a.str_(R1, R2, 0);
+    a.addi(R8, R8, 1);
+    a.cmpi(R8, FIR_SAMPLES);
+    a.bne("s_loop");
+    a.ret();
+
+    a.into_module()
+}
+
+/// Builds the BEEBS `fir` workload.
+pub fn fir() -> Workload {
+    Workload {
+        name: "fir",
+        description: "BEEBS fir: 8-tap FIR filter over 64 samples",
+        module: fir_module(),
+        attach: no_devices,
+        max_instrs: 10_000_000,
+    }
+}
+
+// --------------------------------------------------------------------
+// binsearch
+// --------------------------------------------------------------------
+
+/// Sorted-table size (entries).
+pub const BS_LEN: u16 = 64;
+/// Number of probes.
+pub const BS_PROBES: u16 = 40;
+const BS_TABLE: u32 = SCRATCH_BUF;
+
+/// Host-side oracle: Σ found-index (or 0xFF for misses) over probes.
+pub fn binsearch_oracle() -> u32 {
+    let n = BS_LEN as u32;
+    let table: Vec<u32> = (0..n).map(|i| i * 7 + 3).collect();
+    let mut rng = Lcg::new(0xB5EA);
+    let mut sum = 0u32;
+    for _ in 0..BS_PROBES {
+        let needle = rng.next_range(0, n * 7 + 10);
+        let mut lo = 0u32;
+        let mut hi = n;
+        let mut found = 0xFFu32;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let v = table[mid as usize];
+            if v == needle {
+                found = mid;
+                break;
+            } else if v < needle {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        sum = sum.wrapping_add(found);
+    }
+    sum
+}
+
+fn binsearch_module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    // Build the sorted table: table[i] = i*7 + 3 (static loop).
+    a.mov32(R1, BS_TABLE);
+    a.movi(R2, 0); // i
+    a.movi(R3, BS_LEN);
+    a.label("tb_loop");
+    a.movi(R5, 7);
+    a.mul(R4, R2, R5);
+    a.addi(R4, R4, 3);
+    a.str_(R4, R1, 0);
+    a.addi(R1, R1, 4);
+    a.addi(R2, R2, 1);
+    a.subi(R3, R3, 1);
+    a.cmpi(R3, 0);
+    a.bne("tb_loop");
+
+    // Probe loop (general: calls search).
+    a.movi(R7, 0); // checksum
+    a.mov32(R8, 0xB5EA); // LCG state
+    a.mov32(R10, 1_664_525);
+    a.mov32(R11, 1_013_904_223);
+    a.movi(R9, BS_PROBES);
+    a.label("probe_loop");
+    // needle = (lcg() >> 8) % (n*7 + 10)
+    a.mul(R8, R8, R10);
+    a.add(R8, R8, R11);
+    a.mov(R0, R8);
+    a.lsr(R0, R0, 8);
+    a.movi(R1, BS_LEN * 7 + 10);
+    a.udiv(R2, R0, R1);
+    a.mul(R2, R2, R1);
+    a.sub(R0, R0, R2);
+    a.bl("search"); // r0 = index or 0xFF
+    a.add(R7, R7, R0);
+    a.subi(R9, R9, 1);
+    a.cmpi(R9, 0);
+    a.bne("probe_loop");
+    a.halt();
+
+    // search(needle): classic lo/hi binary search. Register-bound
+    // loop with data-dependent three-way branching — no §IV-D opt.
+    a.func("search");
+    a.mov(R1, R0); // needle
+    a.movi(R2, 0); // lo
+    a.movi(R3, BS_LEN); // hi
+    a.label("bs_loop");
+    a.cmp(R2, R3);
+    a.bcs("bs_miss"); // lo >= hi (unsigned)
+    a.add(R4, R2, R3);
+    a.lsr(R4, R4, 1); // mid
+    a.mov32(R5, BS_TABLE);
+    a.instr(armv8m_isa::Instr::LdrReg {
+        rt: R6,
+        rn: R5,
+        rm: R4,
+    }); // v = table[mid]
+    a.cmp(R6, R1);
+    a.beq("bs_hit");
+    a.bcc("bs_right"); // v < needle (unsigned)
+    a.mov(R3, R4); // hi = mid
+    a.b("bs_loop");
+    a.label("bs_right");
+    a.addi(R2, R4, 1); // lo = mid + 1
+    a.b("bs_loop");
+    a.label("bs_hit");
+    a.mov(R0, R4);
+    a.ret();
+    a.label("bs_miss");
+    a.movi(R0, 0xFF);
+    a.ret();
+
+    a.into_module()
+}
+
+/// Builds the BEEBS `binsearch` workload.
+pub fn binsearch() -> Workload {
+    Workload {
+        name: "binsearch",
+        description: "BEEBS binsearch: 40 probes over a 64-entry sorted table",
+        module: binsearch_module(),
+        attach: no_devices,
+        max_instrs: 10_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_sim::NullSecureWorld;
+
+    fn run(w: &Workload) -> u32 {
+        let image = w.module.assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        (w.attach)(&mut m);
+        m.run(&mut NullSecureWorld, w.max_instrs).expect("runs");
+        m.cpu.reg(Reg::R7)
+    }
+
+    #[test]
+    fn matmult_matches_oracle() {
+        assert_eq!(run(&matmult()), matmult_oracle());
+    }
+
+    #[test]
+    fn fir_matches_oracle() {
+        assert_eq!(run(&fir()), fir_oracle());
+    }
+
+    #[test]
+    fn binsearch_matches_oracle() {
+        assert_eq!(run(&binsearch()), binsearch_oracle());
+    }
+
+    #[test]
+    fn inner_mac_loops_are_static() {
+        for w in [matmult(), fir()] {
+            let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+            assert!(
+                linked
+                    .map
+                    .loops_by_latch
+                    .values()
+                    .any(|l| matches!(l.kind, rap_link::LoopPlanKind::Static { .. })),
+                "{}: the MAC loop should be static",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn binsearch_has_no_optimized_loops_inside_search() {
+        // The search loop is register-vs-register bound: general.
+        let w = binsearch();
+        let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+        // Only the table-build loop qualifies for a plan.
+        assert!(linked.map.loops_by_latch.len() <= 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Synthetic sensor peripherals.
+//!
+//! The paper's applications read real hardware (ultrasonic echo pins,
+//! Geiger pulse counters, UART-attached GPS modules…). Here each sensor
+//! is a memory-mapped [`BusDevice`] fed by a deterministic pseudo-random
+//! stream, so every run — and every CFA configuration of the same
+//! workload — sees identical inputs. Only the *control-flow profile* of
+//! the application matters to the experiments; the data is a stand-in.
+
+use mcu_sim::BusDevice;
+
+/// Deterministic 32-bit LCG (Numerical Recipes constants) used to
+/// synthesize sensor streams without external dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg {
+    state: u32,
+}
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u32) -> Lcg {
+        Lcg { state: seed }
+    }
+
+    /// Next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(1_664_525)
+            .wrapping_add(1_013_904_223);
+        self.state
+    }
+
+    /// Next value in `[lo, hi)` (upper bits for better quality).
+    pub fn next_range(&mut self, lo: u32, hi: u32) -> u32 {
+        debug_assert!(lo < hi);
+        lo + (self.next_u32() >> 8) % (hi - lo)
+    }
+}
+
+/// A read-side FIFO register: every read of offset 0 pops the next
+/// value of a pre-generated stream; once exhausted it returns
+/// `exhausted_value`.
+#[derive(Debug, Clone)]
+pub struct StreamSensor {
+    base: u32,
+    values: Vec<u32>,
+    next: usize,
+    exhausted_value: u32,
+    /// Values written to offset 4 (actuator side), for test inspection.
+    pub written: Vec<u32>,
+}
+
+impl StreamSensor {
+    /// Creates a sensor at `base` serving `values` in order.
+    pub fn new(base: u32, values: Vec<u32>, exhausted_value: u32) -> StreamSensor {
+        StreamSensor {
+            base,
+            values,
+            next: 0,
+            exhausted_value,
+            written: Vec::new(),
+        }
+    }
+
+    /// How many values have been consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.next.min(self.values.len())
+    }
+}
+
+impl BusDevice for StreamSensor {
+    fn base(&self) -> u32 {
+        self.base
+    }
+
+    fn size(&self) -> u32 {
+        8
+    }
+
+    fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            0 => {
+                let v = self
+                    .values
+                    .get(self.next)
+                    .copied()
+                    .unwrap_or(self.exhausted_value);
+                self.next += 1;
+                v
+            }
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32) {
+        if offset == 4 {
+            self.written.push(value);
+        }
+    }
+}
+
+/// A byte-stream UART: reads of offset 0 return the next byte
+/// (zero once exhausted — used as the end-of-stream sentinel).
+#[derive(Debug, Clone)]
+pub struct ByteUart {
+    base: u32,
+    bytes: Vec<u8>,
+    next: usize,
+    /// Bytes written to the TX register (offset 4).
+    pub tx: Vec<u8>,
+}
+
+impl ByteUart {
+    /// Creates a UART at `base` serving `bytes`.
+    pub fn new(base: u32, bytes: Vec<u8>) -> ByteUart {
+        ByteUart {
+            base,
+            bytes,
+            next: 0,
+            tx: Vec::new(),
+        }
+    }
+}
+
+impl BusDevice for ByteUart {
+    fn base(&self) -> u32 {
+        self.base
+    }
+
+    fn size(&self) -> u32 {
+        8
+    }
+
+    fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            0 => {
+                let b = self.bytes.get(self.next).copied().unwrap_or(0);
+                self.next += 1;
+                b as u32
+            }
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32) {
+        if offset == 4 {
+            self.tx.push(value as u8);
+        }
+    }
+}
+
+/// Peripheral window bases used by the workloads.
+pub mod bases {
+    use mcu_sim::PERIPH_BASE;
+
+    /// Ultrasonic ranger (echo-time register).
+    pub const ULTRASONIC: u32 = PERIPH_BASE;
+    /// Geiger pulse counter.
+    pub const GEIGER: u32 = PERIPH_BASE + 0x100;
+    /// Syringe-pump command UART.
+    pub const SYRINGE: u32 = PERIPH_BASE + 0x200;
+    /// Temperature sensor.
+    pub const TEMPERATURE: u32 = PERIPH_BASE + 0x300;
+    /// GPS NMEA UART.
+    pub const GPS: u32 = PERIPH_BASE + 0x400;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = Lcg::new(43);
+        assert_ne!(a.next_u32(), c.next_u32());
+    }
+
+    #[test]
+    fn lcg_range_bounds() {
+        let mut g = Lcg::new(7);
+        for _ in 0..1000 {
+            let v = g.next_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn stream_sensor_pops_then_saturates() {
+        let mut s = StreamSensor::new(0x4000_0000, vec![5, 6], 99);
+        assert_eq!(s.read(0), 5);
+        assert_eq!(s.read(0), 6);
+        assert_eq!(s.read(0), 99);
+        assert_eq!(s.consumed(), 2);
+        s.write(4, 1234);
+        assert_eq!(s.written, vec![1234]);
+    }
+
+    #[test]
+    fn byte_uart_serves_bytes_then_zero() {
+        let mut u = ByteUart::new(0x4000_0400, b"$G".to_vec());
+        assert_eq!(u.read(0), b'$' as u32);
+        assert_eq!(u.read(0), b'G' as u32);
+        assert_eq!(u.read(0), 0);
+        u.write(4, b'!' as u32);
+        assert_eq!(u.tx, vec![b'!']);
+    }
+}

@@ -1,0 +1,188 @@
+//! Pocket Geiger counter (`ArduinoPocketGeiger`).
+//!
+//! Samples a radiation pulse counter over fixed windows, maintains an
+//! 8-slot history ring, recomputes counts-per-minute each window and
+//! fires a registered callback — through a function pointer, as the
+//! library's `registerRadiationCallback` does — when CPM crosses the
+//! alarm threshold.
+//!
+//! Control-flow profile: a general outer sampling loop, fully static
+//! inner loops (history summation — elided by RAP-Track), a threshold
+//! conditional and an **indirect call** per alarm.
+
+use armv8m_isa::{Asm, Module, Reg};
+use mcu_sim::Machine;
+
+use crate::devices::{Lcg, StreamSensor, bases};
+use crate::{SCRATCH_BUF, Workload};
+
+/// Sampling windows processed.
+pub const WINDOWS: u16 = 30;
+/// CPM threshold that triggers the alarm callback.
+pub const ALARM_CPM: u16 = 120;
+
+/// RAM slot holding the alarm callback pointer.
+const CALLBACK_PTR: u32 = SCRATCH_BUF;
+/// History ring buffer (8 words) and its index cell.
+const HISTORY: u32 = SCRATCH_BUF + 0x10;
+const HISTORY_IDX: u32 = SCRATCH_BUF + 0x40;
+
+fn module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    a.movi(R7, 0); // checksum
+    a.movi(R5, 0); // alarms fired
+    // Register the alarm callback (function pointer in RAM).
+    a.mov32(R6, CALLBACK_PTR);
+    a.load_addr(R0, "alarm_blink");
+    a.str_(R0, R6, 0);
+    a.movi(R4, WINDOWS);
+    a.label("window_loop");
+    a.bl("sample_window"); // r0 = pulses this window
+    a.add(R7, R7, R0);
+    a.bl("update_history");
+    a.bl("compute_cpm"); // r0 = counts per minute
+    a.cmpi(R0, ALARM_CPM);
+    a.blt("calm");
+    // Alarm: dispatch through the registered callback.
+    a.mov32(R6, CALLBACK_PTR);
+    a.ldr(R3, R6, 0);
+    a.blx(R3);
+    a.label("calm");
+    a.subi(R4, R4, 1);
+    a.cmpi(R4, 0);
+    a.bne("window_loop");
+    a.lsl(R5, R5, 12);
+    a.add(R7, R7, R5);
+    a.halt();
+
+    // sample_window: read the pulse-counter delta register.
+    a.func("sample_window");
+    a.mov32(R1, bases::GEIGER);
+    a.ldr(R0, R1, 0);
+    a.ret();
+
+    // update_history: history[idx & 7] = r0; idx += 1.
+    a.func("update_history");
+    a.mov32(R1, HISTORY_IDX);
+    a.ldr(R2, R1, 0);
+    a.movi(R3, 7);
+    a.and(R3, R2, R3);
+    a.lsl(R3, R3, 2);
+    a.mov32(R1, HISTORY);
+    a.add(R1, R1, R3);
+    a.str_(R0, R1, 0);
+    a.mov32(R1, HISTORY_IDX);
+    a.addi(R2, R2, 1);
+    a.str_(R2, R1, 0);
+    a.ret();
+
+    // compute_cpm: sum the 8 history slots (fully static loop) and
+    // scale: cpm = sum * 60 / 8.
+    a.func("compute_cpm");
+    a.movi(R0, 0); // sum
+    a.mov32(R1, HISTORY);
+    a.movi(R2, 8); // static counter
+    a.label("sum_loop");
+    a.ldr(R3, R1, 0);
+    a.add(R0, R0, R3);
+    a.addi(R1, R1, 4);
+    a.subi(R2, R2, 1);
+    a.cmpi(R2, 0);
+    a.bne("sum_loop");
+    a.movi(R1, 60);
+    a.mul(R0, R0, R1);
+    a.movi(R1, 8);
+    a.udiv(R0, R0, R1);
+    a.ret();
+
+    // alarm_blink: the registered radiation callback.
+    a.func("alarm_blink");
+    a.addi(R5, R5, 1);
+    a.mov32(R1, bases::GEIGER);
+    a.movi(R2, 0xFF);
+    a.str_(R2, R1, 4); // pulse the LED register
+    a.ret();
+
+    a.into_module()
+}
+
+fn attach(machine: &mut Machine) {
+    let mut rng = Lcg::new(0xBEC0);
+    // Mostly background radiation with occasional bursts.
+    let pulses: Vec<u32> = (0..WINDOWS as u32 + 4)
+        .map(|i| {
+            if i % 7 == 3 {
+                rng.next_range(20, 60) // burst
+            } else {
+                rng.next_range(0, 12)
+            }
+        })
+        .collect();
+    machine
+        .mem
+        .attach_device(Box::new(StreamSensor::new(bases::GEIGER, pulses, 0)));
+}
+
+/// Builds the Geiger-counter workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "geiger",
+        description: "Pocket Geiger: windowed pulse counting, CPM history, alarm callback",
+        module: module(),
+        attach,
+        max_instrs: 2_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_sim::NullSecureWorld;
+
+    fn run_plain() -> Machine {
+        let w = workload();
+        let image = w.module.assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        (w.attach)(&mut m);
+        m.run(&mut NullSecureWorld, w.max_instrs).expect("runs");
+        m
+    }
+
+    #[test]
+    fn bursts_trigger_the_callback() {
+        let m = run_plain();
+        let alarms = m.cpu.reg(Reg::R7) >> 12 & 0xFFF;
+        assert!(alarms > 0, "bursts must fire the alarm callback");
+        assert!(alarms < WINDOWS as u32);
+    }
+
+    #[test]
+    fn history_summation_loop_is_static() {
+        let w = workload();
+        let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+        assert!(
+            linked
+                .map
+                .loops_by_latch
+                .values()
+                .any(|l| matches!(l.kind, rap_link::LoopPlanKind::Static { init: 8 })),
+            "history sum should be a static loop"
+        );
+    }
+
+    #[test]
+    fn indirect_call_site_present_after_linking() {
+        let w = workload();
+        let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+        assert!(
+            linked
+                .map
+                .sites_by_entry
+                .values()
+                .any(|s| s.kind == rap_link::SiteKind::IndirectCall)
+        );
+    }
+}

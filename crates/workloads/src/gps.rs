@@ -1,0 +1,235 @@
+//! GPS NMEA parser (TinyGPS++-style).
+//!
+//! Consumes a UART byte stream of NMEA-like sentences
+//! (`$<body>*<checksum>\n`), runs a per-character state machine
+//! dispatched through a jump table, accumulates the XOR checksum and
+//! parses the numeric field, accepting sentences whose checksum byte
+//! matches.
+//!
+//! Control-flow profile: the densest of the workloads — one jump-table
+//! dispatch (`LDR PC`) **per input character** plus several
+//! data-dependent conditionals per character, the worst case for
+//! instrumentation-based CFA (the paper's 1309% TRACES overhead is on
+//! exactly this kind of code).
+
+use armv8m_isa::{Asm, Instr, Module, Reg};
+use mcu_sim::Machine;
+
+use crate::devices::{ByteUart, Lcg, bases};
+use crate::{SCRATCH_BUF, Workload};
+
+/// Number of synthetic sentences in the stream.
+pub const SENTENCES: usize = 8;
+
+const STATE_TABLE: u32 = SCRATCH_BUF; // 3 entries
+
+/// Builds one NMEA-like sentence carrying `value`, with a valid
+/// 7-bit XOR checksum; `corrupt` flips the checksum byte.
+pub fn sentence(value: u32, corrupt: bool) -> Vec<u8> {
+    let body = format!("GPRMC,{value}");
+    let mut ck: u8 = 0;
+    for b in body.bytes() {
+        ck ^= b;
+    }
+    ck &= 0x7F;
+    if corrupt {
+        ck ^= 0x55;
+    }
+    // Keep the checksum byte printable-ish but never '*', '$' or '\n'.
+    let ck = if ck == 0 { 0x7F } else { ck };
+    let mut out = Vec::new();
+    out.push(b'$');
+    out.extend(body.bytes());
+    out.push(b'*');
+    out.push(ck);
+    out.push(b'\n');
+    out
+}
+
+/// The full synthetic byte stream (one corrupted sentence included).
+pub fn nmea_stream() -> Vec<u8> {
+    let mut rng = Lcg::new(0x69F5);
+    let mut bytes = Vec::new();
+    for i in 0..SENTENCES {
+        let value = rng.next_range(100, 99_999);
+        bytes.extend(sentence(value, i == 3));
+    }
+    bytes
+}
+
+/// Sum of the values carried by the *valid* sentences — what the
+/// parser's checksum register must equal.
+pub fn expected_value_sum() -> u32 {
+    let mut rng = Lcg::new(0x69F5);
+    let mut sum: u32 = 0;
+    for i in 0..SENTENCES {
+        let value = rng.next_range(100, 99_999);
+        if i != 3 {
+            sum = sum.wrapping_add(value);
+        }
+    }
+    sum
+}
+
+fn module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    // Register use: r4 = state, r5 = xor accumulator, r6 = value
+    // accumulator, r7 = sum of accepted values, r8 = table base,
+    // r9 = rejected count.
+    a.func("main");
+    a.movi(R7, 0);
+    a.movi(R4, 0);
+    a.movi(R9, 0);
+    a.mov32(R8, STATE_TABLE);
+    a.load_addr(R0, "st_idle");
+    a.str_(R0, R8, 0);
+    a.load_addr(R0, "st_body");
+    a.str_(R0, R8, 4);
+    a.load_addr(R0, "st_cksum");
+    a.str_(R0, R8, 8);
+
+    a.label("char_loop");
+    a.mov32(R1, bases::GPS);
+    a.ldr(R0, R1, 0); // next char
+    a.cmpi(R0, 0);
+    a.beq("stream_end"); // forward exit
+    a.instr(Instr::LdrReg {
+        rt: Pc,
+        rn: R8,
+        rm: R4,
+    }); // dispatch on parser state
+
+    // State 0: waiting for '$'.
+    a.label("st_idle");
+    a.cmpi(R0, b'$' as u16);
+    a.bne("char_loop");
+    a.movi(R4, 1);
+    a.movi(R5, 0);
+    a.movi(R6, 0);
+    a.b("char_loop");
+
+    // State 1: sentence body — XOR everything, parse digits.
+    a.label("st_body");
+    a.cmpi(R0, b'*' as u16);
+    a.beq("to_cksum");
+    a.eor(R5, R5, R0);
+    // Digit?
+    a.cmpi(R0, b'0' as u16);
+    a.bcc("char_loop");
+    a.cmpi(R0, b'9' as u16);
+    a.bhi("char_loop");
+    // value = value * 10 + (c - '0')
+    a.movi(R1, 10);
+    a.mul(R6, R6, R1);
+    a.subi(R0, R0, b'0' as u16);
+    a.add(R6, R6, R0);
+    a.b("char_loop");
+    a.label("to_cksum");
+    a.movi(R4, 2);
+    a.b("char_loop");
+
+    // State 2: compare the checksum byte.
+    a.label("st_cksum");
+    a.movi(R1, 0x7F);
+    a.and(R5, R5, R1);
+    a.cmpi(R5, 0);
+    a.bne("ck_nonzero");
+    a.movi(R5, 0x7F); // generator maps 0 → 0x7F
+    a.label("ck_nonzero");
+    a.cmp(R0, R5);
+    a.bne("reject");
+    a.add(R7, R7, R6); // accept: accumulate parsed value
+    a.b("ck_done");
+    a.label("reject");
+    a.addi(R9, R9, 1);
+    a.label("ck_done");
+    a.movi(R4, 0); // back to idle (skips the trailing newline)
+    a.b("char_loop");
+
+    a.label("stream_end");
+    a.halt();
+
+    a.into_module()
+}
+
+fn attach(machine: &mut Machine) {
+    machine
+        .mem
+        .attach_device(Box::new(ByteUart::new(bases::GPS, nmea_stream())));
+}
+
+/// Builds the GPS NMEA-parser workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "gps",
+        description: "TinyGPS-style NMEA parser: per-char state machine, checksum validation",
+        module: module(),
+        attach,
+        max_instrs: 5_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_sim::NullSecureWorld;
+
+    #[test]
+    fn parser_accepts_valid_and_rejects_corrupt() {
+        let w = workload();
+        let image = w.module.assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        (w.attach)(&mut m);
+        m.run(&mut NullSecureWorld, w.max_instrs).expect("runs");
+        assert_eq!(m.cpu.reg(Reg::R7), expected_value_sum());
+        assert_eq!(m.cpu.reg(Reg::R9), 1, "exactly one corrupted sentence");
+    }
+
+    #[test]
+    fn sentence_checksums_validate() {
+        let s = sentence(12345, false);
+        assert_eq!(s[0], b'$');
+        assert_eq!(*s.last().unwrap(), b'\n');
+        let star = s.iter().position(|&b| b == b'*').unwrap();
+        let mut ck = 0u8;
+        for &b in &s[1..star] {
+            ck ^= b;
+        }
+        let ck = if ck & 0x7F == 0 { 0x7F } else { ck & 0x7F };
+        assert_eq!(s[star + 1], ck);
+    }
+
+    #[test]
+    fn dispatch_density_is_high() {
+        // One LoadJump per character: the defining property of this
+        // workload.
+        let w = workload();
+        let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+        let stream_len = nmea_stream().len();
+        let engine = rap_track::CfaEngine::new(rap_track::device_key("gps"));
+        let mut machine = Machine::new(linked.image.clone());
+        (w.attach)(&mut machine);
+        let att = engine
+            .attest(
+                &mut machine,
+                &linked.map,
+                rap_track::Challenge::from_seed(0),
+                rap_track::EngineConfig::default(),
+            )
+            .unwrap();
+        let log = att.combined_log();
+        let dispatches = log
+            .mtb
+            .iter()
+            .filter(|e| {
+                matches!(
+                    linked.map.site_at_src(e.source).map(|s| s.kind),
+                    Some(rap_link::SiteKind::LoadJump)
+                )
+            })
+            .count();
+        assert_eq!(dispatches, stream_len);
+    }
+}

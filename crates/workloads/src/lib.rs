@@ -1,0 +1,233 @@
+//! # workloads — the paper's evaluation applications
+//!
+//! Faithful control-flow reimplementations of the open-source MCU
+//! applications the paper evaluates on (§I, §V): an ultrasonic ranger,
+//! a pocket Geiger counter, a syringe pump, a temperature sensor and a
+//! TinyGPS-style NMEA parser, plus BEEBS benchmark kernels (`prime`,
+//! `crc32`, `bubblesort`, `fibcall`). Sensors are replaced by
+//! deterministic synthetic streams ([`devices`]); the applications'
+//! *control-flow profiles* — branch mix, loop structure, call and
+//! indirect-dispatch density — are what the experiments measure, and
+//! those are preserved.
+//!
+//! ```
+//! use workloads::all;
+//! for w in all() {
+//!     let image = w.module.assemble(0)?;
+//!     let mut machine = mcu_sim::Machine::new(image);
+//!     (w.attach)(&mut machine);
+//!     machine.run(&mut mcu_sim::NullSecureWorld, w.max_instrs)?;
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod beebs;
+pub mod beebs2;
+pub mod devices;
+pub mod geiger;
+pub mod gps;
+pub mod synthetic;
+pub mod syringe;
+pub mod temperature;
+pub mod ultrasonic;
+
+
+
+use armv8m_isa::{Module, Reg};
+use mcu_sim::{Machine, RAM_BASE};
+
+/// RAM address of the shared results buffer used by sensing workloads.
+pub const RESULT_BUF: u32 = RAM_BASE + 0x1000;
+/// RAM address of per-workload scratch structures (tables, windows…).
+pub const SCRATCH_BUF: u32 = RAM_BASE + 0x2000;
+
+/// One evaluation application.
+pub struct Workload {
+    /// Short identifier used in figure rows.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The application in label form (input to the offline phase).
+    pub module: Module,
+    /// Attaches the workload's synthetic sensor devices.
+    pub attach: fn(&mut Machine),
+    /// Instruction budget for one run.
+    pub max_instrs: u64,
+}
+
+impl Workload {
+    /// Register holding the workload's final checksum (all workloads
+    /// use `R7` by convention).
+    pub fn result_reg(&self) -> Reg {
+        Reg::R7
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("instrs", &self.module.instr_count())
+            .finish()
+    }
+}
+
+/// All workloads in the paper's presentation order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        ultrasonic::workload(),
+        geiger::workload(),
+        syringe::workload(),
+        temperature::workload(),
+        gps::workload(),
+        beebs::prime(),
+        beebs::crc32(),
+        beebs::bubblesort(),
+        beebs::fibcall(),
+        beebs2::matmult(),
+        beebs2::fir(),
+        beebs2::binsearch(),
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_sim::NullSecureWorld;
+
+    #[test]
+    fn every_workload_assembles_and_halts() {
+        for w in all() {
+            let image = w.module.assemble(0).unwrap_or_else(|e| {
+                panic!("{} fails to assemble: {e}", w.name);
+            });
+            let mut m = Machine::new(image);
+            (w.attach)(&mut m);
+            let outcome = m
+                .run(&mut NullSecureWorld, w.max_instrs)
+                .unwrap_or_else(|e| panic!("{} fails to run: {e}", w.name));
+            assert!(outcome.instrs > 100, "{} did trivial work", w.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+        for name in names {
+            assert!(by_name(name).is_some());
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_workload_links_under_rap_track() {
+        for w in all() {
+            let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default())
+                .unwrap_or_else(|e| panic!("{} fails to link: {e}", w.name));
+            assert!(
+                linked.map.mtbar.is_some(),
+                "{} should have at least one trampoline",
+                w.name
+            );
+        }
+    }
+
+    /// The semantics-preservation property across every configuration:
+    /// plain, RAP-Track-linked and TRACES-instrumented executions all
+    /// produce the same checksum.
+    #[test]
+    fn all_configurations_agree_on_results() {
+        for w in all() {
+            let plain_image = w.module.assemble(0).unwrap();
+            let mut plain = Machine::new(plain_image);
+            (w.attach)(&mut plain);
+            plain
+                .run(&mut NullSecureWorld, w.max_instrs)
+                .expect("plain");
+            let expected = plain.cpu.reg(w.result_reg());
+
+            // RAP-Track.
+            let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+            let engine = rap_track::CfaEngine::new(rap_track::device_key("wk"));
+            let mut machine = Machine::new(linked.image.clone());
+            (w.attach)(&mut machine);
+            engine
+                .attest(
+                    &mut machine,
+                    &linked.map,
+                    rap_track::Challenge::from_seed(0),
+                    rap_track::EngineConfig {
+                        max_instrs: w.max_instrs * 2,
+                        ..rap_track::EngineConfig::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{}: rap attest: {e}", w.name));
+            assert_eq!(
+                machine.cpu.reg(w.result_reg()),
+                expected,
+                "{}: RAP-Track changed the result",
+                w.name
+            );
+
+            // TRACES.
+            let prog =
+                cfa_baselines::instrument(&w.module, 0, cfa_baselines::TracesConfig::default())
+                    .unwrap();
+            let mut traced = Machine::new(prog.image.clone());
+            (w.attach)(&mut traced);
+            let mut world = cfa_baselines::TracesWorld::new(prog.config);
+            traced
+                .run(&mut world, w.max_instrs * 2)
+                .unwrap_or_else(|e| panic!("{}: traces run: {e}", w.name));
+            assert_eq!(
+                traced.cpu.reg(w.result_reg()),
+                expected,
+                "{}: TRACES changed the result",
+                w.name
+            );
+        }
+    }
+
+    /// Lossless verification holds for every workload.
+    #[test]
+    fn all_workloads_verify_end_to_end() {
+        for w in all() {
+            let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+            let key = rap_track::device_key("wk-verify");
+            let engine = rap_track::CfaEngine::new(key.clone());
+            let mut machine = Machine::new(linked.image.clone());
+            (w.attach)(&mut machine);
+            let chal = rap_track::Challenge::from_seed(99);
+            // Enable partial reports: big workloads overflow the 4 KiB
+            // MTB SRAM many times over (§IV-E / §V-B).
+            let att = engine
+                .attest(
+                    &mut machine,
+                    &linked.map,
+                    chal,
+                    rap_track::EngineConfig {
+                        max_instrs: w.max_instrs * 2,
+                        watermark: Some(448),
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{}: attest: {e}", w.name));
+            let verifier =
+                rap_track::Verifier::new(key, linked.image.clone(), linked.map.clone());
+            let path = verifier
+                .verify(chal, &att.reports)
+                .unwrap_or_else(|e| panic!("{}: verify: {e}", w.name));
+            assert!(path.steps > 0, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Parameterized synthetic workloads for sweeps.
+//!
+//! The paper's figures use fixed applications; the sweep experiments in
+//! `rap-bench` additionally vary *structural parameters* to locate
+//! crossovers: how does each CFA method scale with branch density, loop
+//! weight and input size?
+
+use armv8m_isa::{Asm, Module, Reg};
+use mcu_sim::Machine;
+
+use crate::devices::{ByteUart, Lcg, bases};
+use crate::{Workload, gps};
+
+/// Parameters of the synthetic kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticParams {
+    /// Outer iterations (work volume).
+    pub iterations: u16,
+    /// Data-dependent conditionals evaluated per iteration (tracked
+    /// branch density).
+    pub conditionals_per_iter: u16,
+    /// Straight-line arithmetic instructions per iteration (dilutes
+    /// branch density).
+    pub straightline_per_iter: u16,
+    /// Whether each iteration performs a call/return pair.
+    pub with_calls: bool,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> SyntheticParams {
+        SyntheticParams {
+            iterations: 100,
+            conditionals_per_iter: 2,
+            straightline_per_iter: 8,
+            with_calls: false,
+        }
+    }
+}
+
+fn module(p: SyntheticParams) -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    a.movi(R7, 0); // checksum
+    a.mov32(R6, 0x5EED); // LCG state (data source)
+    a.mov32(R10, 1_664_525);
+    a.mov32(R11, 1_013_904_223);
+    a.movi(R4, p.iterations);
+    a.label("outer");
+    // Fresh pseudo-random word each iteration.
+    a.mul(R6, R6, R10);
+    a.add(R6, R6, R11);
+    a.mov(R1, R6);
+    // Data-dependent conditionals: test successive bits of R1.
+    for c in 0..p.conditionals_per_iter {
+        let skip = format!("skip_{c}");
+        a.movi(R2, 1);
+        a.and(R2, R1, R2);
+        a.cmpi(R2, 0);
+        a.beq(skip.as_str());
+        a.addi(R7, R7, 1);
+        a.label(skip);
+        a.mov(R2, R1);
+        a.lsr(R2, R2, 1);
+        a.mov(R1, R2);
+    }
+    // Straight-line filler.
+    for _ in 0..p.straightline_per_iter {
+        a.addi(R7, R7, 3);
+        a.eor(R7, R7, R6);
+    }
+    if p.with_calls {
+        a.bl("leafwork");
+    }
+    a.subi(R4, R4, 1);
+    a.cmpi(R4, 0);
+    a.bne("outer");
+    a.halt();
+
+    a.func("leafwork");
+    a.addi(R7, R7, 7);
+    a.ret();
+
+    a.into_module()
+}
+
+fn no_devices(_machine: &mut Machine) {}
+
+/// Builds a synthetic workload with the given structure.
+pub fn synthetic(p: SyntheticParams) -> Workload {
+    Workload {
+        name: "synthetic",
+        description: "parameterized kernel for density/volume sweeps",
+        module: module(p),
+        attach: no_devices,
+        max_instrs: 20_000_000,
+    }
+}
+
+/// A GPS workload scaled to `sentences` NMEA sentences — the
+/// input-volume sweep (log size and runtime should scale linearly).
+pub fn gps_scaled(sentences: usize) -> Workload {
+    let mut rng = Lcg::new(0x69F5);
+    let mut bytes = Vec::new();
+    for _ in 0..sentences {
+        let value = rng.next_range(100, 99_999);
+        bytes.extend(gps::sentence(value, false));
+    }
+    // The attach closure must be a fn pointer; stash the stream in a
+    // thread-local keyed by length instead of capturing.
+    STREAM.with(|s| *s.borrow_mut() = bytes);
+    fn attach(machine: &mut Machine) {
+        let bytes = STREAM.with(|s| s.borrow().clone());
+        machine
+            .mem
+            .attach_device(Box::new(ByteUart::new(bases::GPS, bytes)));
+    }
+    let base = gps::workload();
+    Workload {
+        name: "gps-scaled",
+        description: "NMEA parser with a scaled sentence stream",
+        module: base.module,
+        attach,
+        max_instrs: 50_000_000,
+    }
+}
+
+thread_local! {
+    static STREAM: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_sim::NullSecureWorld;
+
+    fn run(w: &Workload) -> (u32, u64) {
+        let image = w.module.assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        (w.attach)(&mut m);
+        let out = m.run(&mut NullSecureWorld, w.max_instrs).expect("runs");
+        (m.cpu.reg(Reg::R7), out.cycles)
+    }
+
+    #[test]
+    fn synthetic_runs_and_scales_with_iterations() {
+        let small = run(&synthetic(SyntheticParams {
+            iterations: 10,
+            ..SyntheticParams::default()
+        }));
+        let big = run(&synthetic(SyntheticParams {
+            iterations: 100,
+            ..SyntheticParams::default()
+        }));
+        assert!(big.1 > 8 * small.1, "cycles scale with iterations");
+    }
+
+    #[test]
+    fn conditional_density_changes_log_not_semantics() {
+        for conds in [0u16, 1, 4, 8] {
+            let w = synthetic(SyntheticParams {
+                conditionals_per_iter: conds,
+                ..SyntheticParams::default()
+            });
+            let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+            let engine = rap_track::CfaEngine::new(rap_track::device_key("syn"));
+            let mut machine = mcu_sim::Machine::new(linked.image.clone());
+            engine
+                .attest(
+                    &mut machine,
+                    &linked.map,
+                    rap_track::Challenge::from_seed(0),
+                    rap_track::EngineConfig::default(),
+                )
+                .unwrap();
+            // Baseline semantics agree.
+            let (plain_r7, _) = run(&w);
+            assert_eq!(machine.cpu.reg(Reg::R7), plain_r7, "conds={conds}");
+        }
+    }
+
+    #[test]
+    fn gps_scaled_consumes_whole_stream() {
+        for n in [2usize, 8] {
+            let w = gps_scaled(n);
+            let image = w.module.assemble(0).unwrap();
+            let mut m = Machine::new(image);
+            (w.attach)(&mut m);
+            m.run(&mut NullSecureWorld, w.max_instrs).expect("runs");
+            assert!(m.cpu.reg(Reg::R7) > 0);
+        }
+        // More sentences → more parsed value accumulated... not
+        // necessarily monotone (wrapping), but runtime is.
+        let cycles: Vec<u64> = [2usize, 8]
+            .iter()
+            .map(|n| {
+                let w = gps_scaled(*n);
+                let image = w.module.assemble(0).unwrap();
+                let mut m = Machine::new(image);
+                (w.attach)(&mut m);
+                m.run(&mut NullSecureWorld, w.max_instrs).unwrap().cycles
+            })
+            .collect();
+        assert!(cycles[1] > 3 * cycles[0]);
+    }
+}

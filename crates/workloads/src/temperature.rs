@@ -1,0 +1,163 @@
+//! Temperature/humidity sensor (Seeed Grove `temp_humi_sensor`).
+//!
+//! Periodically samples the raw ADC value, converts it to
+//! centi-degrees with the sensor's transfer polynomial, smooths it over
+//! an 8-sample moving window and raises hot/cold alerts.
+//!
+//! Control-flow profile: a general sampling loop with calls, fully
+//! static smoothing loops (window shift + sum, both elided by
+//! RAP-Track), and two-sided threshold conditionals.
+
+use armv8m_isa::{Asm, Module, Reg};
+use mcu_sim::Machine;
+
+use crate::devices::{Lcg, StreamSensor, bases};
+use crate::{SCRATCH_BUF, Workload};
+
+/// Samples taken.
+pub const SAMPLES: u16 = 24;
+/// Hot alarm threshold (centi-degrees).
+pub const HOT: u16 = 3200;
+/// Cold alarm threshold (centi-degrees).
+pub const COLD: u16 = 500;
+
+const WINDOW: u32 = SCRATCH_BUF; // 8 words
+
+fn module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    a.movi(R7, 0); // checksum
+    a.movi(R5, 0); // alert bits accumulated
+    a.movi(R4, SAMPLES);
+    a.label("sample_loop");
+    a.bl("read_raw"); // r0 = raw ADC
+    a.bl("convert"); // r0 = centi-degrees
+    a.bl("smooth"); // r0 = smoothed value
+    a.add(R7, R7, R0);
+    // Two-sided classification.
+    a.cmpi(R0, HOT);
+    a.bls("not_hot");
+    a.addi(R5, R5, 1);
+    a.label("not_hot");
+    a.cmpi(R0, COLD);
+    a.bhi("not_cold");
+    a.addi(R5, R5, 16);
+    a.label("not_cold");
+    a.subi(R4, R4, 1);
+    a.cmpi(R4, 0);
+    a.bne("sample_loop");
+    a.lsl(R5, R5, 16);
+    a.add(R7, R7, R5);
+    a.halt();
+
+    a.func("read_raw");
+    a.mov32(R1, bases::TEMPERATURE);
+    a.ldr(R0, R1, 0);
+    a.ret();
+
+    // convert: centi°C ≈ raw * 33 / 10 - 600 (clamped at 0).
+    a.func("convert");
+    a.movi(R1, 33);
+    a.mul(R0, R0, R1);
+    a.movi(R1, 10);
+    a.udiv(R0, R0, R1);
+    a.cmpi(R0, 600);
+    a.bls("clamp_zero");
+    a.subi(R0, R0, 600);
+    a.ret();
+    a.label("clamp_zero");
+    a.movi(R0, 0);
+    a.ret();
+
+    // smooth: shift the 8-slot window down (static loop), append the
+    // new sample, return the window average (static loop).
+    a.func("smooth");
+    a.mov32(R1, WINDOW);
+    a.movi(R2, 7); // static shift counter
+    a.label("shift_loop");
+    a.ldr(R3, R1, 4);
+    a.str_(R3, R1, 0);
+    a.addi(R1, R1, 4);
+    a.subi(R2, R2, 1);
+    a.cmpi(R2, 0);
+    a.bne("shift_loop");
+    a.str_(R0, R1, 0); // newest sample in the last slot
+    // Average.
+    a.mov32(R1, WINDOW);
+    a.movi(R0, 0);
+    a.movi(R2, 8); // static sum counter
+    a.label("avg_loop");
+    a.ldr(R3, R1, 0);
+    a.add(R0, R0, R3);
+    a.addi(R1, R1, 4);
+    a.subi(R2, R2, 1);
+    a.cmpi(R2, 0);
+    a.bne("avg_loop");
+    a.lsr(R0, R0, 3); // / 8
+    a.ret();
+
+    a.into_module()
+}
+
+fn attach(machine: &mut Machine) {
+    let mut rng = Lcg::new(0x7E39);
+    // Raw ADC around room temperature with a hot excursion.
+    let raw: Vec<u32> = (0..SAMPLES as u32 + 4)
+        .map(|i| {
+            if (10..14).contains(&i) {
+                rng.next_range(1100, 1300) // hot spike
+            } else {
+                rng.next_range(380, 520)
+            }
+        })
+        .collect();
+    machine
+        .mem
+        .attach_device(Box::new(StreamSensor::new(bases::TEMPERATURE, raw, 400)));
+}
+
+/// Builds the temperature-sensor workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "temperature",
+        description: "Grove temperature sensor: ADC convert, moving average, alerts",
+        module: module(),
+        attach,
+        max_instrs: 2_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_sim::NullSecureWorld;
+
+    #[test]
+    fn smoothing_and_alerts_behave() {
+        let w = workload();
+        let image = w.module.assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        (w.attach)(&mut m);
+        m.run(&mut NullSecureWorld, w.max_instrs).expect("runs");
+        let checksum = m.cpu.reg(Reg::R7);
+        assert!(checksum > 0);
+        // Cold alerts fire early (window warms up from zero).
+        let alerts = checksum >> 16;
+        assert!(alerts & 0xFFF0 != 0, "cold alerts expected: {alerts:#x}");
+    }
+
+    #[test]
+    fn smoothing_loops_are_static() {
+        let w = workload();
+        let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+        let statics = linked
+            .map
+            .loops_by_latch
+            .values()
+            .filter(|l| matches!(l.kind, rap_link::LoopPlanKind::Static { .. }))
+            .count();
+        assert!(statics >= 2, "shift + avg loops static, got {statics}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Ultrasonic ranger (Seeed Grove `ultrasonic_ranger`).
+//!
+//! Periodically triggers a pulse, waits for the echo with a timed
+//! countdown (the classic `pulseIn` pattern: read the expected tick
+//! count from the timer capture register, then spin it down), converts
+//! ticks to centimetres and classifies the distance against a
+//! proximity threshold.
+//!
+//! Control-flow profile: a call-heavy outer measurement loop (general,
+//! per-iteration tracking), a **variable-count simple wait loop** per
+//! measurement — the showcase for the §IV-D loop optimization — and a
+//! data-dependent proximity conditional.
+
+use armv8m_isa::{Asm, Module, Reg};
+use mcu_sim::Machine;
+
+use crate::devices::{Lcg, StreamSensor, bases};
+use crate::{RESULT_BUF, Workload};
+
+
+/// Number of distance measurements taken.
+pub const MEASUREMENTS: u16 = 16;
+
+fn module() -> Module {
+    use Reg::*;
+    let mut a = Asm::new();
+
+    a.func("main");
+    a.movi(R7, 0); // checksum
+    a.movi(R5, 0); // proximity alarms
+    a.mov32(R6, RESULT_BUF); // results buffer
+    a.movi(R4, MEASUREMENTS); // outer counter
+    a.label("measure_loop");
+    a.bl("measure"); // r0 = echo ticks
+    a.bl("to_distance"); // r0 = centimetres
+    // Proximity classification.
+    a.cmpi(R0, 50);
+    a.bge("far_enough");
+    a.addi(R5, R5, 1); // near-object alarm
+    a.label("far_enough");
+    a.str_(R0, R6, 0);
+    a.addi(R6, R6, 4);
+    a.add(R7, R7, R0); // checksum += distance
+    a.subi(R4, R4, 1);
+    a.cmpi(R4, 0);
+    a.bne("measure_loop");
+    // Fold the alarm count into the checksum.
+    a.lsl(R5, R5, 8);
+    a.add(R7, R7, R5);
+    a.halt();
+
+    // measure: trigger a pulse, then run the timed echo wait.
+    a.func("measure");
+    a.mov32(R1, bases::ULTRASONIC);
+    a.movi(R0, 1);
+    a.str_(R0, R1, 4); // trigger pulse
+    a.ldr(R0, R1, 0); // expected echo ticks (runtime-variable)
+    a.mov(R2, R0); // keep the measurement
+    // Timed wait: variable-count, register-only countdown — a §IV-D
+    // simple loop whose condition is logged once.
+    a.label("echo_wait");
+    a.subi(R0, R0, 1);
+    a.cmpi(R0, 0);
+    a.bne("echo_wait");
+    a.mov(R0, R2);
+    a.ret();
+
+    // to_distance: cm = ticks * 17 / 100 (speed of sound, scaled).
+    a.func("to_distance");
+    a.movi(R1, 17);
+    a.mul(R0, R0, R1);
+    a.movi(R1, 100);
+    a.udiv(R0, R0, R1);
+    a.ret();
+
+    a.into_module()
+}
+
+fn attach(machine: &mut Machine) {
+    let mut rng = Lcg::new(0x1051);
+    let ticks: Vec<u32> = (0..MEASUREMENTS as u32 + 4)
+        .map(|_| rng.next_range(40, 400))
+        .collect();
+    machine
+        .mem
+        .attach_device(Box::new(StreamSensor::new(bases::ULTRASONIC, ticks, 40)));
+}
+
+/// Builds the ultrasonic-ranger workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "ultrasonic",
+        description: "Grove ultrasonic ranger: pulse, timed echo wait, distance classify",
+        module: module(),
+        attach,
+        max_instrs: 2_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_sim::NullSecureWorld;
+
+    #[test]
+    fn plain_run_measures_all_samples() {
+        let w = workload();
+        let image = w.module.assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        (w.attach)(&mut m);
+        m.run(&mut NullSecureWorld, w.max_instrs).expect("runs");
+        assert!(m.cpu.reg(Reg::R7) > 0, "checksum accumulated");
+        // All measurements stored: last buffer slot written.
+        let addr = RESULT_BUF + 4 * (MEASUREMENTS as u32 - 1);
+        let last = m.mem.read_word(addr, 0).unwrap();
+        assert!(last > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let w = workload();
+        let image = w.module.assemble(0).unwrap();
+        let mut results = Vec::new();
+        for _ in 0..2 {
+            let mut m = Machine::new(image.clone());
+            (w.attach)(&mut m);
+            m.run(&mut NullSecureWorld, w.max_instrs).expect("runs");
+            results.push((m.cpu.reg(Reg::R7), m.cpu.cycles));
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn wait_loop_is_optimized_by_rap_link() {
+        let w = workload();
+        let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+        // The echo wait must be a Logged simple loop.
+        assert!(
+            linked
+                .map
+                .loops_by_latch
+                .values()
+                .any(|l| l.kind == rap_link::LoopPlanKind::Logged),
+            "echo wait should be §IV-D optimized"
+        );
+    }
+
+}

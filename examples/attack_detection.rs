@@ -1,0 +1,118 @@
+//! Attack detection (§IV-F): three adversaries against an attested run.
+//!
+//! ```text
+//! cargo run --example attack_detection
+//! ```
+//!
+//! * **ROP** — a stack-smash overwrites a saved return address; the
+//!   `POP {PC}` return is logged by the MTB and the Verifier's shadow
+//!   call stack flags the mismatch.
+//! * **JOP / call hijack** — a function pointer in RAM is redirected
+//!   into the middle of a function; the logged `BLX` target fails the
+//!   function-entry policy.
+//! * **Code injection** — a write to the application binary trips the
+//!   locked NS-MPU before a single corrupted instruction can run.
+
+use armv8m_isa::{Asm, Reg};
+use mcu_sim::{InjectedWrite, Machine, RAM_BASE, RAM_SIZE};
+use rap_link::{LinkOptions, link};
+use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+
+fn victim() -> rap_link::LinkedProgram {
+    let mut a = Asm::new();
+    a.func("main");
+    a.mov32(Reg::R5, RAM_BASE);
+    a.load_addr(Reg::R0, "sensor_read"); // register the handler
+    a.str_(Reg::R0, Reg::R5, 0);
+    a.bl("handle_request");
+    a.ldr(Reg::R3, Reg::R5, 0);
+    a.blx(Reg::R3); // dispatch through the pointer
+    a.halt();
+
+    a.func("handle_request");
+    a.push(&[Reg::R4, Reg::Lr]);
+    a.movi(Reg::R4, 7);
+    a.nop();
+    a.nop();
+    a.pop(&[Reg::R4, Reg::Pc]);
+
+    a.func("sensor_read");
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.label("sensor_read_body");
+    a.addi(Reg::R7, Reg::R7, 2);
+    a.ret();
+
+    a.func("firmware_update"); // the gadget the attacker wants
+    a.movi(Reg::R7, 0x66);
+    a.halt();
+
+    link(&a.into_module(), 0, LinkOptions::default()).expect("victim links")
+}
+
+fn attest_and_verify(
+    linked: &rap_link::LinkedProgram,
+    prep: impl FnOnce(&mut Machine),
+) -> Result<(), String> {
+    let key = device_key("attack-demo");
+    let engine = CfaEngine::new(key.clone());
+    let mut machine = Machine::new(linked.image.clone());
+    prep(&mut machine);
+    let chal = Challenge::from_seed(7);
+    let att = engine
+        .attest(&mut machine, &linked.map, chal, EngineConfig::default())
+        .map_err(|e| format!("execution fault: {e}"))?;
+    let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+    verifier
+        .verify(chal, &att.reports)
+        .map(|_| ())
+        .map_err(|v| format!("verifier verdict: {v}"))
+}
+
+fn main() {
+    let linked = victim();
+
+    println!("== benign run ==");
+    match attest_and_verify(&linked, |_| {}) {
+        Ok(()) => println!("accepted: path verified losslessly\n"),
+        Err(e) => println!("UNEXPECTED rejection: {e}\n"),
+    }
+
+    println!("== ROP: overwrite the saved return address on the stack ==");
+    let gadget = linked.image.symbol("firmware_update").unwrap();
+    match attest_and_verify(&linked, |m| {
+        m.inject_write(InjectedWrite {
+            // handle_request pushed {R4, LR}: LR sits at top-of-stack+4.
+            after_instrs: 9,
+            addr: RAM_BASE + RAM_SIZE - 4,
+            value: gadget,
+        });
+    }) {
+        Ok(()) => println!("MISSED the attack!\n"),
+        Err(e) => println!("detected — {e}\n"),
+    }
+
+    println!("== JOP: redirect the registered function pointer ==");
+    let inside = linked.image.symbol("sensor_read_body").unwrap();
+    match attest_and_verify(&linked, |m| {
+        m.inject_write(InjectedWrite {
+            after_instrs: 14,
+            addr: RAM_BASE,
+            value: inside,
+        });
+    }) {
+        Ok(()) => println!("MISSED the attack!\n"),
+        Err(e) => println!("detected — {e}\n"),
+    }
+
+    println!("== code injection: patch the binary in place ==");
+    match attest_and_verify(&linked, |m| {
+        m.inject_write(InjectedWrite {
+            after_instrs: 3,
+            addr: linked.image.base() + 4,
+            value: 0xE100_E100, // halt; halt
+        });
+    }) {
+        Ok(()) => println!("MISSED the attack!\n"),
+        Err(e) => println!("blocked — {e}\n"),
+    }
+}

@@ -1,0 +1,144 @@
+//! Fleet attestation: one Verifier running challenge–response rounds
+//! against a fleet of deployed sensor nodes, with a path policy on top
+//! of lossless verification — and one compromised node in the mix.
+//!
+//! ```text
+//! cargo run --example fleet_attestation
+//! ```
+
+use mcu_sim::{InjectedWrite, Machine};
+use rap_link::{LinkOptions, link};
+use rap_track::{
+    CfaEngine, EngineConfig, PathPolicy, PathStats, Report, SessionError, VerifierSession,
+    device_key,
+};
+
+/// One simulated device in the fleet.
+struct Device {
+    name: &'static str,
+    engine: CfaEngine,
+    /// A memory-corruption implant (compromised node only).
+    implant: Option<InjectedWrite>,
+}
+
+impl Device {
+    fn respond(
+        &self,
+        linked: &rap_link::LinkedProgram,
+        w: &workloads::Workload,
+        chal: rap_track::Challenge,
+    ) -> Result<Vec<Report>, mcu_sim::ExecError> {
+        let mut machine = Machine::new(linked.image.clone());
+        (w.attach)(&mut machine);
+        if let Some(write) = self.implant {
+            machine.inject_write(write);
+        }
+        let att = self.engine.attest(
+            &mut machine,
+            &linked.map,
+            chal,
+            EngineConfig {
+                watermark: Some(448),
+                max_instrs: w.max_instrs,
+            },
+        )?;
+        Ok(att.reports)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Everyone runs the Geiger firmware.
+    let w = workloads::geiger::workload();
+    let linked = link(&w.module, 0, LinkOptions::default())?;
+    let alarm = linked.image.symbol("alarm_blink").unwrap();
+
+    // The fleet policy: only the registered alarm callback may be
+    // called indirectly, and the CPM loop is bounded.
+    let call_site = linked
+        .map
+        .sites_by_entry
+        .values()
+        .find(|s| s.kind == rap_link::SiteKind::IndirectCall)
+        .unwrap()
+        .mtbdr_addr;
+    let policy = PathPolicy::new()
+        .allow_indirect(call_site, [alarm])
+        .require_call(linked.image.symbol("compute_cpm").unwrap());
+
+    // Three healthy nodes, one with a planted implant that hijacks the
+    // registered radiation callback (a classic IoT persistence trick).
+    let implant = InjectedWrite {
+        after_instrs: 60, // after the callback is registered
+        addr: workloads::SCRATCH_BUF,
+        value: alarm + 2, // mid-function gadget, not a function entry
+    };
+    let fleet = [
+        Device {
+            name: "node-01",
+            engine: CfaEngine::new(device_key("node-01")),
+            implant: None,
+        },
+        Device {
+            name: "node-02",
+            engine: CfaEngine::new(device_key("node-02")),
+            implant: None,
+        },
+        Device {
+            name: "node-03 (compromised)",
+            engine: CfaEngine::new(device_key("node-03")),
+            implant: Some(implant),
+        },
+        Device {
+            name: "node-04",
+            engine: CfaEngine::new(device_key("node-04")),
+            implant: None,
+        },
+    ];
+
+    for (i, device) in fleet.iter().enumerate() {
+        let key_seed = format!("node-{:02}", i + 1);
+        let mut session = VerifierSession::new(
+            device_key(&key_seed),
+            linked.image.clone(),
+            linked.map.clone(),
+            b"fleet-2026-07",
+        );
+        println!("== {} ==", device.name);
+        for round in 1..=2 {
+            let chal = session.issue_challenge();
+            match device.respond(&linked, &w, chal) {
+                Err(fault) => {
+                    println!("  round {round}: DEVICE FAULT — {fault}");
+                    break;
+                }
+                Ok(reports) => match session.check_response(&reports) {
+                    Err(SessionError::Verification(v)) => {
+                        println!("  round {round}: ATTESTATION FAILED — {v}");
+                        break;
+                    }
+                    Err(other) => {
+                        println!("  round {round}: protocol error — {other}");
+                        break;
+                    }
+                    Ok(path) => {
+                        let findings = policy.check(&path);
+                        let stats = PathStats::of(&path);
+                        if findings.is_empty() {
+                            println!(
+                                "  round {round}: healthy — {} decisions, {} alarms",
+                                stats.decisions(),
+                                stats.indirect_calls
+                            );
+                        } else {
+                            for f in findings {
+                                println!("  round {round}: POLICY VIOLATION — {f}");
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

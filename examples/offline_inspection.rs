@@ -1,0 +1,65 @@
+//! Offline-phase inspection: what the RAP-Track linker does to a
+//! binary — branch classification, trampoline layout, loop plans.
+//!
+//! ```text
+//! cargo run --example offline_inspection [workload]
+//! ```
+
+use rap_link::{LinkOptions, link};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "geiger".into());
+    let Some(w) = workloads::by_name(&name) else {
+        eprintln!(
+            "unknown workload `{name}`; available: {}",
+            workloads::all()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let original = w.module.assemble(0)?;
+    let linked = link(&w.module, 0, LinkOptions::default())?;
+
+    println!("== {} — {}\n", w.name, w.description);
+    println!("original code : {:>6} bytes", original.bytes().len());
+    println!(
+        "deployed code : {:>6} bytes ({:+} for trampolines)",
+        linked.image.bytes().len(),
+        linked.size_overhead()
+    );
+    println!("MTBDR         : {:#010x?}", linked.map.mtbdr.unwrap());
+    if let Some(mtbar) = linked.map.mtbar {
+        println!("MTBAR         : {mtbar:#010x?}");
+    }
+
+    println!("\n-- trampoline sites --");
+    let mut sites: Vec<_> = linked.map.sites_by_entry.values().collect();
+    sites.sort_by_key(|s| s.entry);
+    for s in &sites {
+        println!(
+            "  {:<24} entry {:#06x}  src {:#06x}  rewritten site {:#06x}",
+            format!("{:?}", s.kind),
+            s.entry,
+            s.src,
+            s.mtbdr_addr
+        );
+    }
+
+    println!("\n-- optimized loops (§IV-D) --");
+    let mut loops: Vec<_> = linked.map.loops_by_latch.values().collect();
+    loops.sort_by_key(|l| l.header);
+    for l in &loops {
+        println!(
+            "  header {:#06x} latch {:#06x} iter {} step {:+} bound {} cond {:?} ({:?})",
+            l.header, l.latch, l.iter, l.step, l.bound, l.cond, l.kind
+        );
+    }
+
+    println!("\n-- deployed binary (MTBAR region at the end) --");
+    println!("{}", linked.image.disassemble());
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Partial reports (§IV-E): a memory-constrained Prover streams
+//! `CF_Log` chunks through the `MTB_FLOW` watermark instead of losing
+//! packets to buffer wrap-around.
+//!
+//! ```text
+//! cargo run --example partial_reports
+//! ```
+
+use rap_link::{LinkOptions, link};
+use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+use trace_units::MtbConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workloads::gps::workload(); // branch-dense: fills buffers fast
+    let linked = link(&w.module, 0, LinkOptions::default())?;
+    let key = device_key("constrained-node");
+
+    // A tiny MTB: 32 entries (256 bytes of trace SRAM).
+    let tiny = MtbConfig {
+        capacity: 32,
+        activation_delay: 1,
+    };
+
+    println!("== without partial reports (watermark disabled) ==");
+    let engine = CfaEngine::new(key.clone());
+    let mut machine = mcu_sim::Machine::with_mtb(linked.image.clone(), tiny);
+    (w.attach)(&mut machine);
+    let chal = Challenge::from_seed(1);
+    let att = engine.attest(&mut machine, &linked.map, chal, EngineConfig::default())?;
+    println!(
+        "  total transfers recorded: {}, surviving in buffer: {}",
+        machine.fabric.mtb().total_recorded(),
+        att.combined_log().mtb.len()
+    );
+    let verifier = Verifier::new(key.clone(), linked.image.clone(), linked.map.clone());
+    match verifier.verify(chal, &att.reports) {
+        Ok(_) => println!("  UNEXPECTED: truncated evidence verified"),
+        Err(v) => println!("  rejected as expected — {v}"),
+    }
+
+    println!("\n== with partial reports (watermark at 24/32 entries) ==");
+    let engine = CfaEngine::new(key.clone());
+    let mut machine = mcu_sim::Machine::with_mtb(linked.image.clone(), tiny);
+    (w.attach)(&mut machine);
+    let chal = Challenge::from_seed(2);
+    let att = engine.attest(
+        &mut machine,
+        &linked.map,
+        chal,
+        EngineConfig {
+            watermark: Some(24),
+            ..EngineConfig::default()
+        },
+    )?;
+    println!(
+        "  reports sent: {} (total CF_Log {} bytes, {} wire bytes)",
+        att.reports.len(),
+        att.cflog_bytes(),
+        att.reports.iter().map(|r| r.wire_bytes()).sum::<usize>()
+    );
+    let path = verifier.verify(chal, &att.reports)?;
+    println!(
+        "  verified: {} path events reconstructed across {} chunks",
+        path.events.len(),
+        att.reports.len()
+    );
+    Ok(())
+}

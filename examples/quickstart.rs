@@ -1,0 +1,67 @@
+//! Quickstart: the full RAP-Track round trip on a tiny application.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! 1. Write an application (T-lite assembly builder).
+//! 2. Run the offline phase: classify branches, build MTBAR/MTBDR.
+//! 3. Prover: attest one execution (MTB/DWT do the logging).
+//! 4. Verifier: authenticate the report and reconstruct the path.
+
+use armv8m_isa::{Asm, Reg};
+use rap_link::{LinkOptions, link};
+use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small sensing-style application: a runtime-variable loop, a
+    //    conditional and a function call.
+    let mut a = Asm::new();
+    a.func("main");
+    a.movi(Reg::R2, 5); // pretend this came from a sensor
+    a.mov(Reg::R0, Reg::R2);
+    a.label("sample_loop"); // §IV-D optimizable loop
+    a.subi(Reg::R0, Reg::R0, 1);
+    a.cmpi(Reg::R0, 0);
+    a.bne("sample_loop");
+    a.cmpi(Reg::R2, 3);
+    a.ble("small");
+    a.bl("process");
+    a.label("small");
+    a.halt();
+    a.func("process");
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.ret();
+
+    // 2. Offline phase.
+    let linked = link(&a.into_module(), 0, LinkOptions::default())?;
+    println!("deployed binary: {} bytes", linked.image.bytes().len());
+    println!(
+        "MTBDR {:#x?}  MTBAR {:#x?}  trampolines: {}",
+        linked.map.mtbdr,
+        linked.map.mtbar,
+        linked.map.site_count()
+    );
+
+    // 3. Prover side.
+    let key = device_key("quickstart-device");
+    let engine = CfaEngine::new(key.clone());
+    let mut machine = mcu_sim::Machine::new(linked.image.clone());
+    let chal = Challenge::from_seed(2024);
+    let att = engine.attest(&mut machine, &linked.map, chal, EngineConfig::default())?;
+    println!(
+        "\nattested run: {} instrs, {} cycles, CF_Log = {} bytes in {} report(s)",
+        att.outcome.instrs,
+        att.outcome.cycles,
+        att.cflog_bytes(),
+        att.reports.len()
+    );
+
+    // 4. Verifier side.
+    let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+    let path = verifier.verify(chal, &att.reports)?;
+    println!("\nreconstructed control-flow path ({} events):", path.events.len());
+    print!("{}", path.render(&linked.image));
+    println!("\nverification: OK (lossless path accepted)");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Safety-critical audit: attest a syringe-pump dosing session and
+//! reconstruct exactly what the pump did — the paper's motivating
+//! use-case for remote visibility into runtime behaviour.
+//!
+//! ```text
+//! cargo run --example syringe_audit
+//! ```
+
+use rap_link::{LinkOptions, link};
+use rap_track::{CfaEngine, Challenge, EngineConfig, PathEvent, Verifier, device_key};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workloads::syringe::workload();
+    println!("workload: {} — {}", w.name, w.description);
+    println!("command script: {:?}\n", workloads::syringe::command_script());
+
+    let linked = link(&w.module, 0, LinkOptions::default())?;
+    let key = device_key("infusion-pump-17");
+    let engine = CfaEngine::new(key.clone());
+
+    let mut machine = mcu_sim::Machine::new(linked.image.clone());
+    (w.attach)(&mut machine);
+    let chal = Challenge::from_seed(0xD05E);
+    let att = engine.attest(
+        &mut machine,
+        &linked.map,
+        chal,
+        EngineConfig {
+            watermark: Some(256), // stream partial reports
+            max_instrs: w.max_instrs,
+        },
+    )?;
+    println!(
+        "session attested: {} cycles, {} report(s), CF_Log {} bytes",
+        att.outcome.cycles,
+        att.reports.len(),
+        att.cflog_bytes()
+    );
+
+    let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+    let path = verifier.verify(chal, &att.reports)?;
+
+    // Audit: every jump-table dispatch is one executed pump command.
+    let step_loop_header = linked
+        .map
+        .loops_by_latch
+        .values()
+        .next()
+        .map(|l| l.header);
+    let mut commands = 0;
+    let mut motor_steps: u32 = 0;
+    for event in &path.events {
+        match event {
+            PathEvent::IndirectJump { dest, .. } => {
+                commands += 1;
+                println!("  command #{commands}: dispatched to {dest:#06x}");
+            }
+            PathEvent::LoopIterations { header, count }
+                if Some(*header) == step_loop_header =>
+            {
+                motor_steps += count;
+                println!("    motor stepped {count} times");
+            }
+            _ => {}
+        }
+    }
+    println!("\naudit summary: {commands} commands, {motor_steps} motor steps");
+    println!("final plunger position register: {}", machine.cpu.reg(w.result_reg()));
+    println!("verification: OK — the session matched the deployed firmware");
+    Ok(())
+}

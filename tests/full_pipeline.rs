@@ -1,0 +1,206 @@
+//! Cross-crate integration: the complete offline → attest → verify
+//! pipeline over every evaluation workload, plus the figure-shape
+//! invariants the paper's evaluation rests on.
+
+use rap_bench::{WorkloadReport, measure_all};
+use rap_link::{LinkOptions, link};
+use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+
+fn reports() -> Vec<WorkloadReport> {
+    measure_all()
+}
+
+#[test]
+fn fig1a_naive_mtb_logs_dominate() {
+    for r in reports() {
+        assert!(
+            r.naive.cflog_bytes as f64 >= 1.5 * r.traces.cflog_bytes as f64,
+            "{}: naive {} vs traces {}",
+            r.name,
+            r.naive.cflog_bytes,
+            r.traces.cflog_bytes
+        );
+    }
+}
+
+#[test]
+fn fig8_overhead_bands() {
+    for r in reports() {
+        // Naive MTB adds nothing.
+        assert_eq!(r.naive.cycles, r.plain.cycles, "{}", r.name);
+        // RAP-Track stays under 2x (paper band: +2%..+62%).
+        let rap = r.rap.cycles as f64 / r.plain.cycles as f64;
+        assert!(rap < 2.0, "{}: RAP overhead {rap:.2}x", r.name);
+        // TRACES is always worse than RAP-Track.
+        assert!(
+            r.traces.cycles > r.rap.cycles,
+            "{}: TRACES {} vs RAP {}",
+            r.name,
+            r.traces.cycles,
+            r.rap.cycles
+        );
+    }
+}
+
+#[test]
+fn fig9_rap_log_bounded_by_naive() {
+    for r in reports() {
+        // RAP-Track never logs more than ~1.1x naive MTB and is
+        // dramatically smaller on loop-optimizable applications.
+        assert!(
+            r.rap.cflog_bytes as f64 <= 1.1 * r.naive.cflog_bytes as f64,
+            "{}: rap {} vs naive {}",
+            r.name,
+            r.rap.cflog_bytes,
+            r.naive.cflog_bytes
+        );
+    }
+    // The loop-optimization stars from the paper's discussion.
+    let by_name = |reports: &[WorkloadReport], n: &str| {
+        reports.iter().find(|r| r.name == n).unwrap().clone()
+    };
+    let all = reports();
+    for star in ["ultrasonic", "syringe"] {
+        let r = by_name(&all, star);
+        assert!(
+            r.naive.cflog_bytes > 10 * r.rap.cflog_bytes,
+            "{star} should show a large loop-opt win"
+        );
+    }
+}
+
+#[test]
+fn fig9_instrumentation_equivalent_matches_rap() {
+    // §V-B: same event set + same entry size → identical CF_Log.
+    for r in reports() {
+        assert_eq!(
+            r.instr_equiv.cflog_bytes, r.rap.cflog_bytes,
+            "{}: instr-equiv log must match RAP-Track's",
+            r.name
+        );
+        assert!(
+            r.instr_equiv.cycles > r.rap.cycles,
+            "{}: instrumentation must be slower",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn fig10_code_growth() {
+    for r in reports() {
+        assert!(r.rap.code_bytes > r.plain.code_bytes, "{}", r.name);
+        assert!(r.traces.code_bytes > r.plain.code_bytes, "{}", r.name);
+        // Trampolines + NOP padding stay within 2x of the original.
+        assert!(
+            r.rap.code_bytes < 2 * r.plain.code_bytes,
+            "{}: code doubled: {} vs {}",
+            r.name,
+            r.rap.code_bytes,
+            r.plain.code_bytes
+        );
+    }
+}
+
+#[test]
+fn partial_transmissions_favor_rap() {
+    for r in reports() {
+        assert!(
+            r.rap.transmissions <= r.naive.transmissions,
+            "{}: rap {} vs naive {} transmissions",
+            r.name,
+            r.rap.transmissions,
+            r.naive.transmissions
+        );
+    }
+}
+
+#[test]
+fn attestation_is_deterministic() {
+    let w = workloads::geiger::workload();
+    let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
+    let key = device_key("det");
+    let engine = CfaEngine::new(key.clone());
+    let chal = Challenge::from_seed(5);
+
+    let run = || {
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        (w.attach)(&mut machine);
+        engine
+            .attest(&mut machine, &linked.map, chal, EngineConfig::default())
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.reports, b.reports, "identical runs → identical reports");
+    assert_eq!(a.outcome.cycles, b.outcome.cycles);
+}
+
+#[test]
+fn deployed_binaries_decode_cleanly() {
+    // Every deployed (rewritten) binary must round-trip through the
+    // raw-bytes decoder — Vrf only needs the bytes plus the map.
+    for w in workloads::all() {
+        let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
+        let redecoded =
+            armv8m_isa::Image::from_bytes(linked.image.base(), linked.image.bytes().to_vec())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(redecoded.instrs(), linked.image.instrs(), "{}", w.name);
+    }
+}
+
+#[test]
+fn deployed_binaries_roundtrip_through_tasm() {
+    // The toolchain story closes: deployed image → .tasm → reassembled
+    // byte-identical, for every workload's linked binary.
+    for w in workloads::all() {
+        let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
+        let tasm = linked.image.to_tasm();
+        let rebuilt = armv8m_isa::parse_module(&tasm)
+            .unwrap_or_else(|e| panic!("{}: tasm parse: {e}", w.name))
+            .assemble(linked.image.base())
+            .unwrap_or_else(|e| panic!("{}: reassemble: {e}", w.name));
+        assert_eq!(rebuilt.bytes(), linked.image.bytes(), "{}", w.name);
+    }
+}
+
+#[test]
+fn verifier_accepts_only_matching_binary() {
+    let w = workloads::temperature::workload();
+    let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
+    let key = device_key("swap");
+    let engine = CfaEngine::new(key.clone());
+    let mut machine = mcu_sim::Machine::new(linked.image.clone());
+    (w.attach)(&mut machine);
+    let chal = Challenge::from_seed(8);
+    let att = engine
+        .attest(&mut machine, &linked.map, chal, EngineConfig::default())
+        .unwrap();
+
+    // A verifier expecting a *different* binary rejects on H_MEM.
+    let other = workloads::geiger::workload();
+    let other_linked = link(&other.module, 0, LinkOptions::default()).unwrap();
+    let wrong_verifier = Verifier::new(key, other_linked.image.clone(), other_linked.map.clone());
+    assert!(matches!(
+        wrong_verifier.verify(chal, &att.reports),
+        Err(rap_track::Violation::HMemMismatch)
+    ));
+}
+
+#[test]
+fn ablation_loop_opt_shrinks_logs_globally() {
+    let mut wins = 0;
+    for w in workloads::all() {
+        let with = rap_bench::measure_rap(&w);
+        let without = rap_bench::measure_rap_with(&w, rap_bench::options_no_loop_opt());
+        assert!(
+            without.cflog_bytes >= with.cflog_bytes,
+            "{}: opt must never grow the log",
+            w.name
+        );
+        if without.cflog_bytes > with.cflog_bytes {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 5, "loop opt should matter for most workloads: {wins}");
+}

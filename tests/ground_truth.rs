@@ -1,0 +1,215 @@
+//! Cross-validation against the execution oracle: the verifier's
+//! reconstructed path must agree with what the CPU *actually executed*,
+//! decision for decision — the strongest form of the losslessness
+//! claim, checked on every workload.
+
+use std::collections::HashMap;
+
+use rap_link::{LinkOptions, SiteKind, link};
+use rap_track::{CfaEngine, Challenge, EngineConfig, PathEvent, Verifier, device_key};
+
+struct GroundTruth {
+    /// Dynamic executions of each MTBAR stub (by stub source address).
+    stub_executions: HashMap<u32, usize>,
+}
+
+fn run_with_oracle(w: &workloads::Workload) -> (rap_link::LinkedProgram, GroundTruth, Vec<PathEvent>) {
+    let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
+    let key = device_key("oracle");
+    let engine = CfaEngine::new(key.clone());
+    let mut machine = mcu_sim::Machine::new(linked.image.clone());
+    machine.enable_transfer_trace();
+    (w.attach)(&mut machine);
+    let chal = Challenge::from_seed(4);
+    let att = engine
+        .attest(
+            &mut machine,
+            &linked.map,
+            chal,
+            EngineConfig {
+                watermark: Some(448),
+                max_instrs: w.max_instrs * 2,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: attest: {e}", w.name));
+    let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+    let path = verifier
+        .verify(chal, &att.reports)
+        .unwrap_or_else(|e| panic!("{}: verify: {e}", w.name));
+
+    let transfers: Vec<(u32, u32)> = machine.transfer_trace().unwrap().to_vec();
+    let mut stub_executions: HashMap<u32, usize> = HashMap::new();
+    for (src, _) in &transfers {
+        if linked.map.site_at_src(*src).is_some() {
+            *stub_executions.entry(*src).or_default() += 1;
+        }
+    }
+    (linked, GroundTruth { stub_executions }, path.events)
+}
+
+/// For every trampoline site, the number of *reconstructed* events must
+/// equal the number of times the stub *actually executed*.
+#[test]
+fn reconstructed_event_counts_match_execution() {
+    for w in workloads::all() {
+        let (linked, truth, events) = run_with_oracle(&w);
+
+        // Count reconstructed events per stub source.
+        let mut reconstructed: HashMap<u32, usize> = HashMap::new();
+        for e in &events {
+            let (site_addr, not_taken) = match e {
+                PathEvent::IndirectCall { site, .. }
+                | PathEvent::Return { site, .. }
+                | PathEvent::CondTaken { site, .. }
+                | PathEvent::LoopContinue { site }
+                | PathEvent::IndirectJump { site, .. } => (Some(*site), false),
+                // A fall-through event either consumed a CondFallthrough
+                // stub packet (site = the inserted B) or executed no
+                // stub at all (site = the conditional itself).
+                PathEvent::CondNotTaken { site } => (Some(*site), true),
+                _ => (None, false),
+            };
+            let Some(mtbdr_addr) = site_addr else { continue };
+            // Map the MTBDR-side event site to the stub it targets.
+            let Some(instr) = linked.image.instr_at(mtbdr_addr) else {
+                continue;
+            };
+            let Some(target) = instr.target().and_then(|t| t.abs()) else {
+                continue;
+            };
+            if let Some(site) = linked.map.site_at_entry(target) {
+                let is_ft_stub = matches!(site.kind, SiteKind::CondFallthrough { .. });
+                if not_taken && !is_ft_stub {
+                    // Plain fall-through: the taken-stub did not run.
+                    continue;
+                }
+                *reconstructed.entry(site.src).or_default() += 1;
+            }
+        }
+
+        // `Return` events also cover untracked BX LR (no stub) — drop
+        // ground-truth-absent entries symmetrically by comparing only
+        // stub sources the oracle saw or the verifier claimed.
+        let mut all_srcs: Vec<u32> = truth
+            .stub_executions
+            .keys()
+            .chain(reconstructed.keys())
+            .copied()
+            .collect();
+        all_srcs.sort_unstable();
+        all_srcs.dedup();
+        for src in all_srcs {
+            let actual = truth.stub_executions.get(&src).copied().unwrap_or(0);
+            let claimed = reconstructed.get(&src).copied().unwrap_or(0);
+            assert_eq!(
+                actual,
+                claimed,
+                "{}: stub {:#x} ({:?}) executed {} times but verifier reconstructed {}",
+                w.name,
+                src,
+                linked.map.site_at_src(src).map(|s| s.kind),
+                actual,
+                claimed
+            );
+        }
+    }
+}
+
+/// Every MTB packet the hardware recorded corresponds to an actual
+/// executed transfer — the trace unit never invents packets.
+#[test]
+fn mtb_packets_are_a_subsequence_of_truth() {
+    for w in [
+        workloads::gps::workload(),
+        workloads::beebs::fibcall(),
+        workloads::syringe::workload(),
+    ] {
+        let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
+        let key = device_key("oracle2");
+        let engine = CfaEngine::new(key);
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        machine.enable_transfer_trace();
+        (w.attach)(&mut machine);
+        let att = engine
+            .attest(
+                &mut machine,
+                &linked.map,
+                Challenge::from_seed(5),
+                EngineConfig {
+                    watermark: Some(448),
+                    max_instrs: w.max_instrs * 2,
+                },
+            )
+            .unwrap();
+        let truth = machine.transfer_trace().unwrap();
+        let log = att.combined_log();
+
+        // Subsequence check.
+        let mut ti = 0usize;
+        for packet in &log.mtb {
+            let pair = (packet.source, packet.dest);
+            while ti < truth.len() && truth[ti] != pair {
+                ti += 1;
+            }
+            assert!(
+                ti < truth.len(),
+                "{}: MTB packet {packet} has no matching executed transfer",
+                w.name
+            );
+            ti += 1;
+        }
+    }
+}
+
+/// The MTB records *exactly* the transfers whose source lies in MTBAR —
+/// the DWT gating is precise on region boundaries.
+#[test]
+fn mtb_selection_matches_region_semantics() {
+    let w = workloads::temperature::workload();
+    let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
+    let key = device_key("oracle3");
+    let engine = CfaEngine::new(key);
+    let mut machine = mcu_sim::Machine::new(linked.image.clone());
+    machine.enable_transfer_trace();
+    (w.attach)(&mut machine);
+    let att = engine
+        .attest(
+            &mut machine,
+            &linked.map,
+            Challenge::from_seed(6),
+            EngineConfig::default(),
+        )
+        .unwrap();
+    let truth = machine.transfer_trace().unwrap();
+    let mtbar = linked.map.mtbar.unwrap();
+
+    // Ground truth restricted to MTBAR sources, minus the activation
+    // subtlety: stubs are entered at their padded head, so by the time
+    // the branching instruction runs the MTB is active — the selected
+    // sets must be identical.
+    let expected: Vec<(u32, u32)> = truth
+        .iter()
+        .copied()
+        .filter(|(src, _)| mtbar.contains(*src))
+        .collect();
+    let recorded: Vec<(u32, u32)> = att
+        .combined_log()
+        .mtb
+        .iter()
+        .map(|e| (e.source, e.dest))
+        .collect();
+    assert_eq!(expected, recorded);
+
+    // And nothing from MTBDR leaks into the log.
+    assert!(recorded.iter().all(|(src, _)| mtbar.contains(*src)));
+
+    // Sanity: the kinds of selected sources are all known stubs.
+    for (src, _) in &recorded {
+        assert!(
+            linked.map.site_at_src(*src).is_some(),
+            "unknown stub source {src:#x}"
+        );
+    }
+    // Suppress unused-field warning (transfers used in the other test).
+    let _ = SiteKind::ReturnPop;
+}

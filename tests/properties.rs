@@ -1,0 +1,444 @@
+//! Property-based tests over the core invariants:
+//!
+//! * encode/decode round-trips for arbitrary instructions,
+//! * crypto incremental/one-shot agreement and tamper sensitivity,
+//! * MTB buffer invariants under arbitrary record/drain sequences,
+//! * and the headline property: **any** structured random program,
+//!   linked by RAP-Track, attests and verifies losslessly, with the
+//!   rewritten binary computing the same result as the original.
+
+use proptest::prelude::*;
+
+use armv8m_isa::{Asm, Cond, Instr, Reg, RegList, Target, decode, encode};
+use rap_link::{LinkOptions, link};
+use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+
+// ---------------------------------------------------------------------
+// ISA round-trip
+// ---------------------------------------------------------------------
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn low_reg() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    (0u8..14).prop_map(|i| Cond::from_index(i).unwrap())
+}
+
+prop_compose! {
+    fn aligned_addr()(a in 0u32..0x2_0000) -> u32 { a & !1 }
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::MovImm { rd, imm }),
+        (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::MovTop { rd, imm }),
+        (any_reg(), any_reg()).prop_map(|(rd, rm)| Instr::MovReg { rd, rm }),
+        (any_reg(), any_reg(), any::<u16>())
+            .prop_map(|(rd, rn, imm)| Instr::AddImm { rd, rn, imm }),
+        (any_reg(), any_reg(), any::<u16>())
+            .prop_map(|(rd, rn, imm)| Instr::SubImm { rd, rn, imm }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rn, rm)| Instr::AddReg { rd, rn, rm }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rn, rm)| Instr::MulReg { rd, rn, rm }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rn, rm)| Instr::UdivReg { rd, rn, rm }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rn, rm)| Instr::EorReg { rd, rn, rm }),
+        (low_reg(), low_reg(), 0u8..32).prop_map(|(rd, rm, shift)| Instr::LslImm {
+            rd,
+            rm,
+            shift
+        }),
+        (low_reg(), low_reg(), 0u8..32).prop_map(|(rd, rm, shift)| Instr::AsrImm {
+            rd,
+            rm,
+            shift
+        }),
+        (any_reg(), any::<u16>()).prop_map(|(rn, imm)| Instr::CmpImm { rn, imm }),
+        (any_reg(), any_reg(), any::<u16>())
+            .prop_map(|(rt, rn, offset)| Instr::LdrImm { rt, rn, offset }),
+        (any_reg(), any_reg(), any::<u16>())
+            .prop_map(|(rt, rn, offset)| Instr::StrImm { rt, rn, offset }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rt, rn, rm)| Instr::LdrReg { rt, rn, rm }),
+        (0u16..256, any::<bool>()).prop_map(|(mask, lr)| {
+            let mut list = RegList::from_mask(mask);
+            if lr {
+                list = list.with(Reg::Lr);
+            }
+            Instr::Push { list }
+        }),
+        (0u16..256, any::<bool>()).prop_map(|(mask, pc)| {
+            let mut list = RegList::from_mask(mask);
+            if pc {
+                list = list.with(Reg::Pc);
+            }
+            Instr::Pop { list }
+        }),
+        aligned_addr().prop_map(|a| Instr::B {
+            target: Target::Abs(a)
+        }),
+        (any_cond(), aligned_addr()).prop_map(|(cond, a)| Instr::BCond {
+            cond,
+            target: Target::Abs(a)
+        }),
+        aligned_addr().prop_map(|a| Instr::Bl {
+            target: Target::Abs(a)
+        }),
+        any_reg().prop_map(|rm| Instr::Blx { rm }),
+        any_reg().prop_map(|rm| Instr::Bx { rm }),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        (any::<u8>(), any_reg()).prop_map(|(service, arg)| Instr::SecureGateway {
+            service,
+            arg
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(instr in any_instr(), base in 0u32..0x1_0000) {
+        let addr = base & !1;
+        let bytes = encode(&instr, addr).expect("arbitrary instructions encode");
+        prop_assert_eq!(bytes.len() as u32, instr.size());
+        let (decoded, size) = decode(&bytes, addr).expect("decodes");
+        prop_assert_eq!(size, instr.size());
+        prop_assert_eq!(decoded, instr);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 2..8),
+                            addr in 0u32..0x1000) {
+        // Arbitrary bytes either decode or produce a typed error.
+        let _ = decode(&bytes, addr & !1);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(instr in any_instr()) {
+        // Every instruction's assembly text reparses to itself.
+        let text = instr.to_string();
+        let parsed = armv8m_isa::parse_instr(&text, 1)
+            .unwrap_or_else(|e| panic!("`{text}` fails to parse: {e}"));
+        prop_assert_eq!(parsed, instr);
+    }
+
+    #[test]
+    fn parser_never_panics(line in "[ -~]{0,60}") {
+        // Arbitrary printable input either parses or errors cleanly.
+        let _ = armv8m_isa::parse_instr(&line, 1);
+        let _ = armv8m_isa::parse_module(&line);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crypto
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sha256_incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..600),
+                                          split in 0usize..600) {
+        let split = split.min(data.len());
+        let mut h = rap_crypto::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), rap_crypto::sha256(&data));
+    }
+
+    #[test]
+    fn hmac_detects_any_single_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..64),
+                                        byte in 0usize..64, bit in 0u8..8) {
+        let byte = byte % data.len();
+        let tag = rap_crypto::hmac_sha256(b"k", &data);
+        let mut tampered = data.clone();
+        tampered[byte] ^= 1 << bit;
+        prop_assert_ne!(tag, rap_crypto::hmac_sha256(b"k", &tampered));
+    }
+}
+
+// ---------------------------------------------------------------------
+// MTB invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn mtb_never_exceeds_capacity_and_counts_all(
+        capacity in 1usize..64,
+        ops in proptest::collection::vec(any::<bool>(), 0..200)
+    ) {
+        let mut mtb = trace_units::Mtb::new(trace_units::MtbConfig {
+            capacity,
+            activation_delay: 0,
+        });
+        mtb.set_master_trace(true);
+        let mut recorded = 0u64;
+        let mut drained = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            if *op {
+                mtb.record(i as u32 * 2, i as u32 * 2 + 4);
+                recorded += 1;
+            } else {
+                drained += mtb.drain().len();
+            }
+            prop_assert!(mtb.entries().len() <= capacity);
+        }
+        prop_assert_eq!(mtb.total_recorded(), recorded);
+        // Whatever was drained plus what remains never exceeds the
+        // total (equality iff no overflow).
+        prop_assert!(drained + mtb.entries().len() <= recorded as usize);
+        if !mtb.overflowed() && drained == 0 {
+            prop_assert!(mtb.entries().len() == (recorded as usize).min(capacity));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random-program pipeline property
+// ---------------------------------------------------------------------
+
+/// A structured random program: a tree of statements over registers
+/// R0 (accumulator) and R1 (entropy), loop counters on R2-R4 by depth.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// R0 += k.
+    Add(u8),
+    /// R1 = R1 * 31 + k (drives conditional variety).
+    Stir(u8),
+    /// if (R1 & 1 == parity) { then } else { else }.
+    If(bool, Vec<Stmt>, Vec<Stmt>),
+    /// Constant-count countdown loop.
+    Loop(u8, Vec<Stmt>),
+    /// Call one of the two library functions.
+    Call(bool),
+}
+
+fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (1u8..20).prop_map(Stmt::Add),
+        (0u8..255).prop_map(Stmt::Stir),
+        any::<bool>().prop_map(Stmt::Call),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            (
+                any::<bool>(),
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(p, t, e)| Stmt::If(p, t, e)),
+            ((1u8..5), proptest::collection::vec(inner, 1..3))
+                .prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    })
+}
+
+struct Lowering {
+    asm: Asm,
+    label: usize,
+    depth: usize,
+}
+
+impl Lowering {
+    fn fresh(&mut self, tag: &str) -> String {
+        self.label += 1;
+        format!("__p_{tag}_{}", self.label)
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Add(k) => {
+                self.asm.addi(Reg::R0, Reg::R0, u16::from(*k));
+            }
+            Stmt::Stir(k) => {
+                self.asm.movi(Reg::R5, 31);
+                self.asm.mul(Reg::R1, Reg::R1, Reg::R5);
+                self.asm.addi(Reg::R1, Reg::R1, u16::from(*k));
+            }
+            Stmt::If(parity, then_b, else_b) => {
+                let else_l = self.fresh("else");
+                let join_l = self.fresh("join");
+                self.asm.movi(Reg::R5, 1);
+                self.asm.and(Reg::R5, Reg::R1, Reg::R5);
+                self.asm.cmpi(Reg::R5, u16::from(*parity));
+                self.asm.bne(else_l.as_str());
+                for s in then_b {
+                    self.stmt(s);
+                }
+                self.asm.b(join_l.as_str());
+                self.asm.label(else_l);
+                for s in else_b {
+                    self.stmt(s);
+                }
+                self.asm.label(join_l);
+            }
+            Stmt::Loop(n, body) => {
+                // Loop counters nest on R2..R4; deeper nesting degrades
+                // to straight-line execution of the body once.
+                if self.depth >= 3 {
+                    for s in body {
+                        self.stmt(s);
+                    }
+                    return;
+                }
+                let reg = [Reg::R2, Reg::R3, Reg::R4][self.depth];
+                self.depth += 1;
+                let head = self.fresh("loop");
+                self.asm.movi(reg, u16::from(*n));
+                self.asm.label(head.clone());
+                for s in body {
+                    self.stmt(s);
+                }
+                self.asm.subi(reg, reg, 1);
+                self.asm.cmpi(reg, 0);
+                self.asm.bne(head.as_str());
+                self.depth -= 1;
+            }
+            Stmt::Call(which) => {
+                self.asm.bl(if *which { "lib_double" } else { "lib_mix" });
+            }
+        }
+    }
+}
+
+fn lower(stmts: &[Stmt]) -> armv8m_isa::Module {
+    let mut l = Lowering {
+        asm: Asm::new(),
+        label: 0,
+        depth: 0,
+    };
+    l.asm.func("main");
+    l.asm.movi(Reg::R0, 0);
+    l.asm.movi(Reg::R1, 7);
+    for s in stmts {
+        l.stmt(s);
+    }
+    l.asm.halt();
+
+    l.asm.func("lib_double");
+    l.asm.add(Reg::R0, Reg::R0, Reg::R0);
+    l.asm.ret();
+
+    l.asm.func("lib_mix");
+    l.asm.push(&[Reg::R4, Reg::Lr]);
+    l.asm.movi(Reg::R4, 3);
+    l.asm.add(Reg::R0, Reg::R0, Reg::R4);
+    l.asm.bl("lib_double");
+    l.asm.pop(&[Reg::R4, Reg::Pc]);
+
+    l.asm.into_module()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Robustness: an adversary who somehow *could* re-sign reports
+    /// (worst case) still cannot crash the Verifier or make it loop —
+    /// arbitrary log mutations produce a clean verdict.
+    #[test]
+    fn mutated_logs_never_panic_the_verifier(
+        mutations in proptest::collection::vec(
+            (0usize..64, any::<u32>(), any::<u32>()), 1..6),
+        drop_loops in any::<bool>(),
+    ) {
+        use rap_track::{CfaEngine, Challenge, EngineConfig, Report, Verifier, device_key};
+        let mut a = Asm::new();
+        a.func("main");
+        a.movi(Reg::R0, 6);
+        a.movi(Reg::R1, 0);
+        a.label("loop");
+        a.cmpi(Reg::R1, 3);
+        a.beq("skip");
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.label("skip");
+        a.bl("leaf");
+        a.subi(Reg::R0, Reg::R0, 1);
+        a.cmpi(Reg::R0, 0);
+        a.bne("loop");
+        a.halt();
+        a.func("leaf");
+        a.push(&[Reg::Lr]);
+        a.nop();
+        a.pop(&[Reg::Pc]);
+        let linked = link(&a.into_module(), 0, LinkOptions::default()).expect("links");
+        let key = device_key("fuzz");
+        let engine = CfaEngine::new(key.clone());
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        let chal = Challenge::from_seed(1);
+        let att = engine
+            .attest(&mut machine, &linked.map, chal, EngineConfig::default())
+            .expect("attests");
+
+        // Mutate the log, then re-sign with the device key (the
+        // strongest adversary assumption).
+        let mut log = att.reports[0].log.clone();
+        for (idx, src, dst) in mutations {
+            if log.mtb.is_empty() {
+                break;
+            }
+            let i = idx % log.mtb.len();
+            log.mtb[i].source = src & !1;
+            log.mtb[i].dest = dst & !1;
+        }
+        if drop_loops {
+            log.loop_records.clear();
+        }
+        let forged = vec![Report::new(
+            &key,
+            chal,
+            att.reports[0].h_mem,
+            log,
+            0,
+            true,
+            false,
+        )];
+        let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+        // Must terminate with a verdict, never panic or hang.
+        let _ = verifier.verify(chal, &forged);
+    }
+
+    /// The crown-jewel property: any structured random program
+    /// (1) keeps its semantics after RAP-Track rewriting and
+    /// (2) attests and verifies losslessly.
+    #[test]
+    fn random_programs_attest_and_verify(stmts in proptest::collection::vec(stmt_strategy(3), 1..6)) {
+        let module = lower(&stmts);
+
+        // Plain semantics.
+        let plain_image = module.assemble(0).expect("assembles");
+        let mut plain = mcu_sim::Machine::new(plain_image);
+        plain
+            .run(&mut mcu_sim::NullSecureWorld, 2_000_000)
+            .expect("plain runs");
+        let expected = (plain.cpu.reg(Reg::R0), plain.cpu.reg(Reg::R1));
+
+        // Linked semantics + attestation.
+        let linked = link(&module, 0, LinkOptions::default()).expect("links");
+        let key = device_key("prop");
+        let engine = CfaEngine::new(key.clone());
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        let chal = Challenge::from_seed(42);
+        let att = engine
+            .attest(
+                &mut machine,
+                &linked.map,
+                chal,
+                EngineConfig {
+                    watermark: Some(448),
+                    max_instrs: 4_000_000,
+                },
+            )
+            .expect("attests");
+        prop_assert_eq!(
+            (machine.cpu.reg(Reg::R0), machine.cpu.reg(Reg::R1)),
+            expected,
+            "rewriting changed program semantics"
+        );
+
+        // Lossless verification.
+        let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+        let path = verifier.verify(chal, &att.reports).expect("verifies");
+        prop_assert!(!path.events.is_empty());
+    }
+}
