@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use crate::{AsmError, Cond, Image, Instr, Reg, RegList, Target, encode};
+use crate::{encode, AsmError, Cond, Image, Instr, Reg, RegList, Target};
 
 /// One element of a [`Module`].
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -131,9 +131,7 @@ pub fn encode(instr: &Instr, addr: u32) -> Result<Vec<u8>, EncodeError> {
         Instr::LdrbReg { rt, rn, rm } => narrow(0x7, r(*rt) << 8 | r(*rn) << 4 | r(*rm)),
 
         // Small-immediate add/sub (narrow when imm < 8).
-        Instr::AddImm { rd, rn, imm } if *imm < 8 => {
-            narrow(0x8, r(*rd) << 7 | r(*rn) << 3 | *imm)
-        }
+        Instr::AddImm { rd, rn, imm } if *imm < 8 => narrow(0x8, r(*rd) << 7 | r(*rn) << 3 | *imm),
         Instr::SubImm { rd, rn, imm } if *imm < 8 => {
             narrow(0x8, 1 << 11 | r(*rd) << 7 | r(*rn) << 3 | *imm)
         }
@@ -157,12 +155,8 @@ pub fn encode(instr: &Instr, addr: u32) -> Result<Vec<u8>, EncodeError> {
         Instr::Pop { list } => narrow(0xB, 1 << 11 | narrow_list_mask(*list, Reg::Pc, instr)?),
 
         // Narrow immediates.
-        Instr::MovImm { rd, imm } if rd.is_low() && *imm < 256 => {
-            narrow(0xC, (r(*rd) << 8) | *imm)
-        }
-        Instr::CmpImm { rn, imm } if rn.is_low() && *imm < 256 => {
-            narrow(0xD, (r(*rn) << 8) | *imm)
-        }
+        Instr::MovImm { rd, imm } if rd.is_low() && *imm < 256 => narrow(0xC, (r(*rd) << 8) | *imm),
+        Instr::CmpImm { rn, imm } if rn.is_low() && *imm < 256 => narrow(0xD, (r(*rn) << 8) | *imm),
 
         // Misc narrow.
         Instr::Nop => narrow(0xE, 0x000),
@@ -175,12 +169,14 @@ pub fn encode(instr: &Instr, addr: u32) -> Result<Vec<u8>, EncodeError> {
         // Wide forms.
         Instr::MovImm { rd, imm } => wide(W_MOVW, (*imm as u32) << 4 | r(*rd) as u32),
         Instr::MovTop { rd, imm } => wide(W_MOVT, (*imm as u32) << 4 | r(*rd) as u32),
-        Instr::AddImm { rd, rn, imm } => {
-            wide(W_ADD, (*imm as u32) << 8 | (r(*rn) as u32) << 4 | r(*rd) as u32)
-        }
-        Instr::SubImm { rd, rn, imm } => {
-            wide(W_SUB, (*imm as u32) << 8 | (r(*rn) as u32) << 4 | r(*rd) as u32)
-        }
+        Instr::AddImm { rd, rn, imm } => wide(
+            W_ADD,
+            (*imm as u32) << 8 | (r(*rn) as u32) << 4 | r(*rd) as u32,
+        ),
+        Instr::SubImm { rd, rn, imm } => wide(
+            W_SUB,
+            (*imm as u32) << 8 | (r(*rn) as u32) << 4 | r(*rd) as u32,
+        ),
         Instr::CmpImm { rn, imm } => wide(W_CMP, (*imm as u32) << 4 | r(*rn) as u32),
         Instr::UdivReg { rd, rn, rm } => wide(
             W_UDIV,
@@ -439,33 +435,119 @@ mod tests {
         let cases = vec![
             Instr::MovImm { rd: R0, imm: 42 },
             Instr::MovImm { rd: R9, imm: 42 },
-            Instr::MovImm { rd: R3, imm: 0xBEEF },
-            Instr::MovTop { rd: R3, imm: 0x2000 },
+            Instr::MovImm {
+                rd: R3,
+                imm: 0xBEEF,
+            },
+            Instr::MovTop {
+                rd: R3,
+                imm: 0x2000,
+            },
             Instr::MovReg { rd: R8, rm: Sp },
-            Instr::AddImm { rd: R1, rn: R1, imm: 4 },
-            Instr::AddImm { rd: R1, rn: R2, imm: 400 },
-            Instr::SubImm { rd: Sp, rn: Sp, imm: 16 },
-            Instr::AddReg { rd: R1, rn: R2, rm: R3 },
-            Instr::SubReg { rd: R11, rn: R2, rm: R3 },
-            Instr::MulReg { rd: R1, rn: R1, rm: R4 },
-            Instr::UdivReg { rd: R0, rn: R1, rm: R2 },
-            Instr::AndReg { rd: R0, rn: R0, rm: R1 },
-            Instr::OrrReg { rd: R0, rn: R0, rm: R1 },
-            Instr::EorReg { rd: R5, rn: R5, rm: R6 },
-            Instr::LslImm { rd: R0, rm: R1, shift: 2 },
-            Instr::LsrImm { rd: R0, rm: R1, shift: 31 },
-            Instr::AsrImm { rd: R7, rm: R7, shift: 8 },
+            Instr::AddImm {
+                rd: R1,
+                rn: R1,
+                imm: 4,
+            },
+            Instr::AddImm {
+                rd: R1,
+                rn: R2,
+                imm: 400,
+            },
+            Instr::SubImm {
+                rd: Sp,
+                rn: Sp,
+                imm: 16,
+            },
+            Instr::AddReg {
+                rd: R1,
+                rn: R2,
+                rm: R3,
+            },
+            Instr::SubReg {
+                rd: R11,
+                rn: R2,
+                rm: R3,
+            },
+            Instr::MulReg {
+                rd: R1,
+                rn: R1,
+                rm: R4,
+            },
+            Instr::UdivReg {
+                rd: R0,
+                rn: R1,
+                rm: R2,
+            },
+            Instr::AndReg {
+                rd: R0,
+                rn: R0,
+                rm: R1,
+            },
+            Instr::OrrReg {
+                rd: R0,
+                rn: R0,
+                rm: R1,
+            },
+            Instr::EorReg {
+                rd: R5,
+                rn: R5,
+                rm: R6,
+            },
+            Instr::LslImm {
+                rd: R0,
+                rm: R1,
+                shift: 2,
+            },
+            Instr::LsrImm {
+                rd: R0,
+                rm: R1,
+                shift: 31,
+            },
+            Instr::AsrImm {
+                rd: R7,
+                rm: R7,
+                shift: 8,
+            },
             Instr::CmpImm { rn: R0, imm: 0 },
             Instr::CmpImm { rn: R0, imm: 1000 },
             Instr::CmpImm { rn: R10, imm: 3 },
             Instr::CmpReg { rn: R4, rm: R5 },
-            Instr::LdrImm { rt: R0, rn: R1, offset: 8 },
-            Instr::LdrImm { rt: Pc, rn: R2, offset: 0 },
-            Instr::LdrReg { rt: R0, rn: R1, rm: R2 },
-            Instr::StrImm { rt: R0, rn: Sp, offset: 4 },
-            Instr::LdrbImm { rt: R3, rn: R4, offset: 1 },
-            Instr::LdrbReg { rt: R3, rn: R4, rm: R5 },
-            Instr::StrbImm { rt: R3, rn: R4, offset: 255 },
+            Instr::LdrImm {
+                rt: R0,
+                rn: R1,
+                offset: 8,
+            },
+            Instr::LdrImm {
+                rt: Pc,
+                rn: R2,
+                offset: 0,
+            },
+            Instr::LdrReg {
+                rt: R0,
+                rn: R1,
+                rm: R2,
+            },
+            Instr::StrImm {
+                rt: R0,
+                rn: Sp,
+                offset: 4,
+            },
+            Instr::LdrbImm {
+                rt: R3,
+                rn: R4,
+                offset: 1,
+            },
+            Instr::LdrbReg {
+                rt: R3,
+                rn: R4,
+                rm: R5,
+            },
+            Instr::StrbImm {
+                rt: R3,
+                rn: R4,
+                offset: 255,
+            },
             Instr::Push {
                 list: RegList::new().with(R4).with(R5).with(Lr),
             },
@@ -493,8 +575,18 @@ mod tests {
         for addr in [0u32, 0x400, 0x10_000] {
             for delta in [-1024i32, -2, 0, 2, 4096] {
                 let to = addr.wrapping_add(delta as u32);
-                roundtrip(Instr::B { target: Target::Abs(to) }, addr);
-                roundtrip(Instr::Bl { target: Target::Abs(to) }, addr);
+                roundtrip(
+                    Instr::B {
+                        target: Target::Abs(to),
+                    },
+                    addr,
+                );
+                roundtrip(
+                    Instr::Bl {
+                        target: Target::Abs(to),
+                    },
+                    addr,
+                );
                 for cond in Cond::ALL {
                     roundtrip(
                         Instr::BCond {

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use crate::{DecodeError, Instr, decode};
+use crate::{decode, DecodeError, Instr};
 
 /// An assembled, address-resolved code image.
 ///
@@ -140,7 +140,9 @@ impl Image {
                 let mut names = names.clone();
                 names.sort_unstable();
                 for name in names {
-                    if func_addrs.contains(addr) && self.funcs.iter().any(|(n, a)| n == name && a == addr) {
+                    if func_addrs.contains(addr)
+                        && self.funcs.iter().any(|(n, a)| n == name && a == addr)
+                    {
                         let _ = writeln!(out, ".func {name}");
                     } else {
                         let _ = writeln!(out, "{name}:");

@@ -432,7 +432,10 @@ mod tests {
             .branch_kind(),
             BranchKind::Direct
         );
-        assert_eq!(Instr::Bx { rm: Reg::Lr }.branch_kind(), BranchKind::ReturnBx);
+        assert_eq!(
+            Instr::Bx { rm: Reg::Lr }.branch_kind(),
+            BranchKind::ReturnBx
+        );
         assert_eq!(
             Instr::Bx { rm: Reg::R3 }.branch_kind(),
             BranchKind::IndirectJump
@@ -466,8 +469,22 @@ mod tests {
     #[test]
     fn narrow_wide_sizes() {
         assert_eq!(Instr::Nop.size(), 2);
-        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 5 }.size(), 2);
-        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 500 }.size(), 4);
+        assert_eq!(
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 5
+            }
+            .size(),
+            2
+        );
+        assert_eq!(
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 500
+            }
+            .size(),
+            4
+        );
         assert_eq!(
             Instr::AddImm {
                 rd: Reg::R0,

@@ -43,6 +43,6 @@ pub use cond::{Cond, Flags};
 pub use encode::{decode, encode};
 pub use error::{AsmError, DecodeError, EncodeError};
 pub use image::Image;
-pub use instr::{BranchKind, Instr, Target, service};
-pub use parse::{ParseError, parse_instr, parse_module};
+pub use instr::{service, BranchKind, Instr, Target};
+pub use parse::{parse_instr, parse_module, ParseError};
 pub use reg::{Reg, RegList};

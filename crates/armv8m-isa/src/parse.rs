@@ -204,7 +204,10 @@ pub fn parse_instr(line: &str, line_no: usize) -> Result<Instr, ParseError> {
                 ("ldrb", Mem::Reg(rn, rm)) => Instr::LdrbReg { rt, rn, rm },
                 ("strb", Mem::Imm(rn, offset)) => Instr::StrbImm { rt, rn, offset },
                 (m, _) => {
-                    return Err(err(line_no, format!("`{m}` does not support this addressing form")));
+                    return Err(err(
+                        line_no,
+                        format!("`{m}` does not support this addressing form"),
+                    ));
                 }
             }
         }
@@ -343,9 +346,7 @@ fn parse_mem(token: &str, line_no: usize) -> Result<Mem, ParseError> {
     let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
     match parts.as_slice() {
         [rn] => Ok(Mem::Imm(reg(rn, line_no)?, 0)),
-        [rn, off] if off.starts_with('#') => {
-            Ok(Mem::Imm(reg(rn, line_no)?, imm16(off, line_no)?))
-        }
+        [rn, off] if off.starts_with('#') => Ok(Mem::Imm(reg(rn, line_no)?, imm16(off, line_no)?)),
         [rn, rm] => Ok(Mem::Reg(reg(rn, line_no)?, reg(rm, line_no)?)),
         [rn, rm, lsl] if lsl.to_ascii_lowercase().starts_with("lsl") => {
             Ok(Mem::Reg(reg(rn, line_no)?, reg(rm, line_no)?))
@@ -489,8 +490,8 @@ loop:
         for item in &module.items {
             let Item::Instr(instr) = item else { continue };
             let text = instr.to_string();
-            let parsed = parse_instr(&text, 1)
-                .unwrap_or_else(|e| panic!("`{text}` fails to parse: {e}"));
+            let parsed =
+                parse_instr(&text, 1).unwrap_or_else(|e| panic!("`{text}` fails to parse: {e}"));
             assert_eq!(&parsed, instr, "`{text}`");
         }
     }
@@ -564,8 +565,7 @@ loop:
         // targets).
         for (_, instr) in image.instrs() {
             let text = instr.to_string();
-            let reparsed = parse_instr(&text, 1)
-                .unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            let reparsed = parse_instr(&text, 1).unwrap_or_else(|e| panic!("`{text}`: {e}"));
             assert_eq!(&reparsed, instr);
         }
     }

@@ -1,47 +1,39 @@
 //! Crypto-substrate benches: the RoT's hash/MAC primitives as used for
 //! `H_MEM` measurement and report authentication.
 
-use criterion::{Criterion, Throughput, criterion_group, criterion_main};
 use std::hint::black_box;
 
-use rap_crypto::{HmacSha256, hmac_sha256, sha256};
+use rap_bench::harness::BenchGroup;
+use rap_crypto::{hmac_sha256, sha256, HmacSha256};
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn bench_sha256() {
+    let group = BenchGroup::new("sha256");
     for size in [64usize, 1024, 16 * 1024] {
         let data = vec![0xA5u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("{size}B"), |b| {
-            b.iter(|| black_box(sha256(&data)))
-        });
+        group.bench(&format!("{size}B"), || black_box(sha256(&data)));
     }
-    group.finish();
 }
 
-fn bench_hmac(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hmac_sha256");
+fn bench_hmac() {
+    let group = BenchGroup::new("hmac_sha256");
     let key = b"device-key";
     for size in [64usize, 4096] {
         let data = vec![0x5Au8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("{size}B"), |b| {
-            b.iter(|| black_box(hmac_sha256(key, &data)))
-        });
+        group.bench(&format!("{size}B"), || black_box(hmac_sha256(key, &data)));
     }
     // Incremental report-style MAC (header + many small log chunks).
-    group.bench_function("incremental_report", |b| {
+    group.bench("incremental_report", || {
         let chunk = [0xEEu8; 8];
-        b.iter(|| {
-            let mut mac = HmacSha256::new(key);
-            mac.update(b"RAP-TRACK-REPORT-V1");
-            for _ in 0..512 {
-                mac.update(&chunk);
-            }
-            black_box(mac.finalize())
-        })
+        let mut mac = HmacSha256::new(key);
+        mac.update(b"RAP-TRACK-REPORT-V1");
+        for _ in 0..512 {
+            mac.update(&chunk);
+        }
+        black_box(mac.finalize())
     });
-    group.finish();
 }
 
-criterion_group!(crypto, bench_sha256, bench_hmac);
-criterion_main!(crypto);
+fn main() {
+    bench_sha256();
+    bench_hmac();
+}

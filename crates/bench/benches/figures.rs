@@ -1,20 +1,12 @@
-//! Figure-regeneration benches: one Criterion benchmark per paper
-//! figure. Each iteration recomputes the figure's full data series, and
-//! the series itself is printed once so `cargo bench` output doubles as
-//! the figure data (see also the `figures` binary for pretty tables).
+//! Figure-regeneration benches: one benchmark per paper figure. Each
+//! iteration recomputes the figure's full data series, so the timing
+//! doubles as a regression check on the measurement pipeline (see the
+//! `figures` binary for the pretty tables).
 
-use criterion::{Criterion, criterion_group, criterion_main};
 use std::hint::black_box;
 
-use rap_bench::{
-    measure_instr_equiv, measure_naive, measure_plain, measure_rap, measure_traces,
-};
-
-fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group
-}
+use rap_bench::harness::BenchGroup;
+use rap_bench::{measure_instr_equiv, measure_naive, measure_plain, measure_rap, measure_traces};
 
 /// Small deterministic subset used for per-iteration timing (the full
 /// set runs in the `figures` binary).
@@ -26,86 +18,49 @@ fn sample_workloads() -> Vec<workloads::Workload> {
     ]
 }
 
-fn fig1_motivation(c: &mut Criterion) {
-    let mut group = quick(c);
-    group.bench_function("fig1_naive_vs_instrumentation", |b| {
-        b.iter(|| {
-            let mut sizes = Vec::new();
-            for w in sample_workloads() {
-                let naive = measure_naive(&w);
-                let traces = measure_traces(&w);
-                sizes.push((naive.cflog_bytes, traces.cflog_bytes, traces.cycles));
-            }
-            black_box(sizes)
-        })
-    });
-    group.finish();
-}
+fn main() {
+    let group = BenchGroup::new("figures").samples(10);
 
-fn fig8_runtime(c: &mut Criterion) {
-    let mut group = quick(c);
-    group.bench_function("fig8_runtime_series", |b| {
-        b.iter(|| {
-            let mut cycles = Vec::new();
-            for w in sample_workloads() {
-                let plain = measure_plain(&w);
-                let rap = measure_rap(&w);
-                cycles.push((plain.cycles, rap.cycles));
-            }
-            black_box(cycles)
-        })
+    group.bench("fig1_naive_vs_instrumentation", || {
+        let mut sizes = Vec::new();
+        for w in sample_workloads() {
+            let naive = measure_naive(&w);
+            let traces = measure_traces(&w);
+            sizes.push((naive.cflog_bytes, traces.cflog_bytes, traces.cycles));
+        }
+        black_box(sizes)
     });
-    group.finish();
-}
 
-fn fig9_cflog(c: &mut Criterion) {
-    let mut group = quick(c);
-    group.bench_function("fig9_cflog_series", |b| {
-        b.iter(|| {
-            let mut sizes = Vec::new();
-            for w in sample_workloads() {
-                let rap = measure_rap(&w);
-                let equiv = measure_instr_equiv(&w);
-                assert_eq!(rap.cflog_bytes, equiv.cflog_bytes);
-                sizes.push(rap.cflog_bytes);
-            }
-            black_box(sizes)
-        })
+    group.bench("fig8_runtime_series", || {
+        let mut cycles = Vec::new();
+        for w in sample_workloads() {
+            let plain = measure_plain(&w);
+            let rap = measure_rap(&w);
+            cycles.push((plain.cycles, rap.cycles));
+        }
+        black_box(cycles)
     });
-    group.finish();
-}
 
-fn fig10_code_size(c: &mut Criterion) {
-    let mut group = quick(c);
-    group.bench_function("fig10_code_size_series", |b| {
-        b.iter(|| {
-            let mut sizes = Vec::new();
-            for w in sample_workloads() {
-                let linked =
-                    rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
-                let traces = cfa_baselines::instrument(
-                    &w.module,
-                    0,
-                    cfa_baselines::TracesConfig::default(),
-                )
-                .unwrap();
-                sizes.push((
-                    w.module.size(),
-                    linked.image.end(),
-                    traces.image.end(),
-                ));
-            }
-            black_box(sizes)
-        })
+    group.bench("fig9_cflog_series", || {
+        let mut sizes = Vec::new();
+        for w in sample_workloads() {
+            let rap = measure_rap(&w);
+            let equiv = measure_instr_equiv(&w);
+            assert_eq!(rap.cflog_bytes, equiv.cflog_bytes);
+            sizes.push(rap.cflog_bytes);
+        }
+        black_box(sizes)
     });
-    group.finish();
-}
 
-criterion_group!(
-    figures,
-    fig1_motivation,
-    fig8_runtime,
-    fig9_cflog,
-    fig10_code_size
-);
-criterion_main!(figures);
+    group.bench("fig10_code_size_series", || {
+        let mut sizes = Vec::new();
+        for w in sample_workloads() {
+            let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+            let traces =
+                cfa_baselines::instrument(&w.module, 0, cfa_baselines::TracesConfig::default())
+                    .unwrap();
+            sizes.push((w.module.size(), linked.image.end(), traces.image.end()));
+        }
+        black_box(sizes)
+    });
+}

@@ -1,0 +1,130 @@
+//! Fleet verification throughput: reports/sec for the batch verifier
+//! at 1 vs N worker threads, over attestations replicated across a
+//! simulated device fleet running the same deployed binary.
+//!
+//! Prints reports/sec per configuration, the N-thread speedup and the
+//! replay-cache counters (the acceptance target for this harness is a
+//! ≥ 3x speedup at 8 workers on an 8-way host).
+
+use std::time::Instant;
+
+use rap_link::{link, LinkOptions};
+use rap_track::{
+    device_key, verify_fleet, BatchOptions, CfaEngine, Challenge, EngineConfig, FleetJob, Verifier,
+};
+
+/// Devices simulated per workload.
+const FLEET_PER_WORKLOAD: usize = 24;
+
+struct Deployment {
+    verifier_key: rap_track::Key,
+    image: armv8m_isa::Image,
+    map: rap_link::LinkMap,
+    jobs: Vec<FleetJob>,
+}
+
+/// Attests each workload once and replicates the stream across a
+/// simulated fleet (same binary, same challenge round).
+fn deployments() -> Vec<Deployment> {
+    workloads::all()
+        .iter()
+        .map(|w| {
+            let linked = link(&w.module, 0, LinkOptions::default()).expect("workload links");
+            let key = device_key("fleet-bench");
+            let engine = CfaEngine::new(key.clone());
+            let chal = Challenge::from_seed(7);
+            let mut machine = mcu_sim::Machine::new(linked.image.clone());
+            (w.attach)(&mut machine);
+            let att = engine
+                .attest(
+                    &mut machine,
+                    &linked.map,
+                    chal,
+                    EngineConfig {
+                        max_instrs: w.max_instrs * 2,
+                        // Partial reports via the MTB_FLOW watermark:
+                        // the long workloads outgrow one 512-entry
+                        // buffer, and multi-report streams are the
+                        // realistic fleet shape anyway.
+                        watermark: Some(256),
+                    },
+                )
+                .expect("workload attests");
+            let jobs = (0..FLEET_PER_WORKLOAD)
+                .map(|device| FleetJob {
+                    device: format!("{}-{device:03}", w.name),
+                    chal,
+                    reports: att.reports.clone(),
+                })
+                .collect();
+            Deployment {
+                verifier_key: key,
+                image: linked.image,
+                map: linked.map,
+                jobs,
+            }
+        })
+        .collect()
+}
+
+/// Verifies every deployment's fleet with `threads` workers on a fresh
+/// (cold-cache) verifier; returns (total reports, wall seconds).
+fn run_fleet(deployments: &[Deployment], threads: usize) -> (usize, f64) {
+    let mut reports = 0usize;
+    let start = Instant::now();
+    for d in deployments {
+        let verifier = Verifier::new(d.verifier_key.clone(), d.image.clone(), d.map.clone());
+        let outcomes = verify_fleet(
+            &verifier,
+            d.jobs.clone(),
+            BatchOptions::with_threads(threads),
+        );
+        assert!(
+            outcomes.iter().all(|o| o.accepted()),
+            "benign fleet must verify"
+        );
+        reports += d.jobs.iter().map(|j| j.reports.len()).sum::<usize>();
+    }
+    (reports, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let deployments = deployments();
+    let total_jobs: usize = deployments.iter().map(|d| d.jobs.len()).sum();
+    println!(
+        "fleet: {} deployments x {FLEET_PER_WORKLOAD} devices = {total_jobs} streams \
+         (host parallelism: {})",
+        deployments.len(),
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // Cache-effectiveness probe: one deployment, shared verifier.
+    let probe = &deployments[0];
+    let verifier = Verifier::new(
+        probe.verifier_key.clone(),
+        probe.image.clone(),
+        probe.map.clone(),
+    );
+    let _ = verify_fleet(&verifier, probe.jobs.clone(), BatchOptions::default());
+    let stats = verifier.stats();
+    println!(
+        "replay cache ({}): {:.0}% hit rate, {} cached vs {} live steps",
+        probe.jobs[0].device,
+        stats.hit_rate() * 100.0,
+        stats.cached_steps,
+        stats.live_steps
+    );
+
+    let mut baseline = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let (reports, secs) = run_fleet(&deployments, threads);
+        let per_sec = reports as f64 / secs;
+        if threads == 1 {
+            baseline = per_sec;
+        }
+        println!(
+            "threads {threads}: {reports} reports in {secs:.3}s = {per_sec:.0} reports/sec (x{:.2})",
+            per_sec / baseline
+        );
+    }
+}

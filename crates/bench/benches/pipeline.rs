@@ -2,75 +2,60 @@
 //! attestation (simulated execution) and verification (lossless
 //! replay), per workload.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
 use std::hint::black_box;
 
-use rap_link::{LinkOptions, link};
-use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+use rap_bench::harness::BenchGroup;
+use rap_link::{link, LinkOptions};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, Verifier};
 
-fn bench_link(c: &mut Criterion) {
-    let mut group = c.benchmark_group("offline_link");
-    group.sample_size(20);
+fn bench_link() {
+    let group = BenchGroup::new("offline_link").samples(20);
     for w in workloads::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
-            b.iter(|| black_box(link(&w.module, 0, LinkOptions::default()).unwrap()))
+        group.bench(w.name, || {
+            black_box(link(&w.module, 0, LinkOptions::default()).unwrap())
         });
     }
-    group.finish();
 }
 
-fn bench_instrument(c: &mut Criterion) {
-    let mut group = c.benchmark_group("traces_instrument");
-    group.sample_size(20);
+fn bench_instrument() {
+    let group = BenchGroup::new("traces_instrument").samples(20);
     for w in workloads::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
-            b.iter(|| {
-                black_box(
-                    cfa_baselines::instrument(
-                        &w.module,
-                        0,
-                        cfa_baselines::TracesConfig::default(),
-                    )
+        group.bench(w.name, || {
+            black_box(
+                cfa_baselines::instrument(&w.module, 0, cfa_baselines::TracesConfig::default())
                     .unwrap(),
-                )
-            })
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_attest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("attest");
-    group.sample_size(10);
+fn bench_attest() {
+    let group = BenchGroup::new("attest").samples(10);
     for w in workloads::all() {
         let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
         let engine = CfaEngine::new(device_key("bench"));
-        group.bench_function(BenchmarkId::from_parameter(w.name), |b| {
-            b.iter(|| {
-                let mut machine = mcu_sim::Machine::new(linked.image.clone());
-                (w.attach)(&mut machine);
-                black_box(
-                    engine
-                        .attest(
-                            &mut machine,
-                            &linked.map,
-                            Challenge::from_seed(0),
-                            EngineConfig {
-                                max_instrs: w.max_instrs * 2,
-                                watermark: Some(448),
-                            },
-                        )
-                        .unwrap(),
-                )
-            })
+        group.bench(w.name, || {
+            let mut machine = mcu_sim::Machine::new(linked.image.clone());
+            (w.attach)(&mut machine);
+            black_box(
+                engine
+                    .attest(
+                        &mut machine,
+                        &linked.map,
+                        Challenge::from_seed(0),
+                        EngineConfig {
+                            max_instrs: w.max_instrs * 2,
+                            watermark: Some(448),
+                        },
+                    )
+                    .unwrap(),
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_verify(c: &mut Criterion) {
-    let mut group = c.benchmark_group("verify");
-    group.sample_size(10);
+fn bench_verify() {
+    let group = BenchGroup::new("verify").samples(10);
     for w in workloads::all() {
         let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
         let key = device_key("bench");
@@ -89,13 +74,16 @@ fn bench_verify(c: &mut Criterion) {
                 },
             )
             .unwrap();
-        let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
-        group.bench_function(BenchmarkId::from_parameter(w.name), |b| {
-            b.iter(|| black_box(verifier.verify(chal, &att.reports).unwrap()))
+        let verifier = Verifier::new(key.clone(), linked.image.clone(), linked.map.clone());
+        group.bench(w.name, || {
+            black_box(verifier.verify(chal, &att.reports).unwrap())
         });
     }
-    group.finish();
 }
 
-criterion_group!(pipeline, bench_link, bench_instrument, bench_attest, bench_verify);
-criterion_main!(pipeline);
+fn main() {
+    bench_link();
+    bench_instrument();
+    bench_attest();
+    bench_verify();
+}

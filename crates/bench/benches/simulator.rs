@@ -3,11 +3,11 @@
 //! simulated instruction — the host-side analogue of the paper's claim
 //! that MTB tracing is free for the target.
 
-use armv8m_isa::{Asm, Reg};
-use criterion::{Criterion, Throughput, criterion_group, criterion_main};
 use std::hint::black_box;
 
+use armv8m_isa::{Asm, Reg};
 use mcu_sim::{Machine, NullSecureWorld};
+use rap_bench::harness::BenchGroup;
 use trace_units::{PcRange, RangeAction};
 
 const LOOP_ITERS: u16 = 10_000;
@@ -26,68 +26,54 @@ fn spin_image() -> armv8m_isa::Image {
     a.into_module().assemble(0).unwrap()
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let image = spin_image();
-    let mut group = c.benchmark_group("interpreter");
-    let instrs = 2 + LOOP_ITERS as u64 * 5;
-    group.throughput(Throughput::Elements(instrs));
+    let group = BenchGroup::new("interpreter");
 
-    group.bench_function("no_tracing", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(image.clone());
-            black_box(m.run(&mut NullSecureWorld, 10_000_000).unwrap())
-        })
+    group.bench("no_tracing", || {
+        let mut m = Machine::new(image.clone());
+        black_box(m.run(&mut NullSecureWorld, 10_000_000).unwrap())
     });
 
-    group.bench_function("master_trace", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(image.clone());
-            m.fabric.mtb_mut().set_master_trace(true);
-            black_box(m.run(&mut NullSecureWorld, 10_000_000).unwrap())
-        })
+    group.bench("master_trace", || {
+        let mut m = Machine::new(image.clone());
+        m.fabric.mtb_mut().set_master_trace(true);
+        black_box(m.run(&mut NullSecureWorld, 10_000_000).unwrap())
     });
 
-    group.bench_function("dwt_ranges_armed", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(image.clone());
-            m.fabric
-                .dwt_mut()
-                .watch_range(PcRange {
-                    base: 0,
-                    limit: 0x100,
-                    action: RangeAction::StopMtb,
-                })
-                .unwrap();
-            m.fabric
-                .dwt_mut()
-                .watch_range(PcRange {
-                    base: 0x100,
-                    limit: 0x200,
-                    action: RangeAction::StartMtb,
-                })
-                .unwrap();
-            black_box(m.run(&mut NullSecureWorld, 10_000_000).unwrap())
-        })
+    group.bench("dwt_ranges_armed", || {
+        let mut m = Machine::new(image.clone());
+        m.fabric
+            .dwt_mut()
+            .watch_range(PcRange {
+                base: 0,
+                limit: 0x100,
+                action: RangeAction::StopMtb,
+            })
+            .unwrap();
+        m.fabric
+            .dwt_mut()
+            .watch_range(PcRange {
+                base: 0x100,
+                limit: 0x200,
+                action: RangeAction::StartMtb,
+            })
+            .unwrap();
+        black_box(m.run(&mut NullSecureWorld, 10_000_000).unwrap())
     });
-    group.finish();
 }
 
-fn bench_assembler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("assembler");
+fn bench_assembler() {
+    let group = BenchGroup::new("assembler");
     let module = workloads::gps::workload().module;
-    group.bench_function("assemble_gps", |b| {
-        b.iter(|| black_box(module.assemble(0).unwrap()))
-    });
+    group.bench("assemble_gps", || black_box(module.assemble(0).unwrap()));
     let image = module.assemble(0).unwrap();
-    group.bench_function("decode_gps_image", |b| {
-        b.iter(|| {
-            black_box(
-                armv8m_isa::Image::from_bytes(image.base(), image.bytes().to_vec()).unwrap(),
-            )
-        })
+    group.bench("decode_gps_image", || {
+        black_box(armv8m_isa::Image::from_bytes(image.base(), image.bytes().to_vec()).unwrap())
     });
-    group.finish();
 }
 
-criterion_group!(simulator, bench_interpreter, bench_assembler);
-criterion_main!(simulator);
+fn main() {
+    bench_interpreter();
+    bench_assembler();
+}

@@ -9,8 +9,8 @@
 //! `partials`, `ablate-loopopt`, `ablate-sg`, `ablate-padding`, `all`.
 
 use rap_bench::{
-    MTB_SRAM_BYTES, WorkloadReport, measure_all, measure_rap, measure_rap_with,
-    options_no_loop_opt, render_table,
+    measure_all, measure_rap, measure_rap_with, options_no_loop_opt, render_table, WorkloadReport,
+    MTB_SRAM_BYTES,
 };
 
 fn pct(new: u64, base: u64) -> String {
@@ -273,12 +273,9 @@ fn ablate_sg() {
         let rap_cycles = att.outcome.cycles;
 
         // TRACES under this cost model.
-        let program = cfa_baselines::instrument(
-            &w.module,
-            0,
-            cfa_baselines::TracesConfig::default(),
-        )
-        .unwrap();
+        let program =
+            cfa_baselines::instrument(&w.module, 0, cfa_baselines::TracesConfig::default())
+                .unwrap();
         let mut traced = mcu_sim::Machine::new(program.image.clone());
         traced.set_cost_model(model);
         (w.attach)(&mut traced);
@@ -356,7 +353,13 @@ fn sweep_volume() {
     println!(
         "{}",
         render_table(
-            &["sentences", "baseline cyc", "RAP cyc", "RAP log (B)", "transmissions"],
+            &[
+                "sentences",
+                "baseline cyc",
+                "RAP cyc",
+                "RAP log (B)",
+                "transmissions"
+            ],
             &rows
         )
     );
@@ -368,7 +371,11 @@ fn main() {
         selector.as_str(),
         "all" | "fig1a" | "fig1b" | "fig8" | "fig9" | "fig10" | "partials"
     );
-    let reports = if needs_reports { measure_all() } else { Vec::new() };
+    let reports = if needs_reports {
+        measure_all()
+    } else {
+        Vec::new()
+    };
 
     match selector.as_str() {
         "fig1a" => fig1a(&reports),

@@ -1,0 +1,134 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The evaluation machines are air-gapped, so the Criterion dependency
+//! was replaced with this minimal wall-clock harness: each benchmark
+//! runs a warmup pass, then a fixed number of timed samples, and the
+//! report prints the median, minimum and mean time per iteration.
+//! Output is line-oriented (`group/name  median  min  mean  iters`) so
+//! it can be diffed and grepped in CI.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark sample set, reduced to summary statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Fastest sample's time per iteration.
+    pub min: Duration,
+    /// Mean time per iteration over all samples.
+    pub mean: Duration,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+impl Stats {
+    /// Iterations per second implied by the median sample.
+    pub fn per_sec(&self) -> f64 {
+        if self.median.is_zero() {
+            f64::INFINITY
+        } else {
+            1.0 / self.median.as_secs_f64()
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of benchmarks sharing sample configuration.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    target_sample_time: Duration,
+}
+
+impl BenchGroup {
+    /// Creates a group with default sampling (10 samples of ~50ms).
+    pub fn new(name: &str) -> BenchGroup {
+        BenchGroup {
+            name: name.to_owned(),
+            samples: 10,
+            target_sample_time: Duration::from_millis(50),
+        }
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn samples(mut self, samples: usize) -> BenchGroup {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark: times `f`, prints a report line and returns
+    /// the statistics for programmatic use (e.g. speedup assertions).
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Stats {
+        // Warmup + iteration-count calibration: run once, then size the
+        // per-sample iteration count to hit the target sample time.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (self.target_sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed() / iters as u32);
+        }
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        let stats = Stats {
+            median,
+            min,
+            mean,
+            iters,
+        };
+        println!(
+            "{}/{:<32} median {:>9}  min {:>9}  mean {:>9}  ({} it/sample)",
+            self.name,
+            name,
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(mean),
+            iters
+        );
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_stats() {
+        let stats = BenchGroup::new("t").samples(3).bench("noop", || 1 + 1);
+        assert!(stats.min <= stats.median);
+        assert!(stats.iters >= 1);
+        assert!(stats.per_sec() > 0.0);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5ns");
+        assert!(fmt_duration(Duration::from_micros(500)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(20)).ends_with('s'));
+    }
+}

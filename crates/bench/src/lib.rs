@@ -12,14 +12,16 @@
 //! | Fig. 10 | code size: original / RAP-Track / TRACES |
 //! | §V-B | partial-report transmissions with the 4 KiB MTB SRAM |
 //!
-//! Used by the `figures` binary, the Criterion benches and the
-//! integration tests.
+//! Used by the `figures` binary, the dependency-free benches under
+//! `benches/` (see [`harness`]) and the integration tests.
 
 #![warn(missing_docs)]
 
-use cfa_baselines::{TracesConfig, instrument, run_naive_mtb, run_plain};
-use rap_link::{ClassifyOptions, LinkOptions, TransformOptions, link};
-use rap_track::{CfaEngine, Challenge, EngineConfig, Metrics, device_key};
+pub mod harness;
+
+use cfa_baselines::{instrument, run_naive_mtb, run_plain, TracesConfig};
+use rap_link::{link, ClassifyOptions, LinkOptions, TransformOptions};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, Metrics};
 use workloads::Workload;
 
 /// The MTB trace-SRAM capacity of the paper's prototype (4 KiB).

@@ -20,17 +20,17 @@
 mod naive;
 mod traces;
 
-pub use naive::{NaiveMtbRun, PlainRun, run_naive_mtb, run_plain};
+pub use naive::{run_naive_mtb, run_plain, NaiveMtbRun, PlainRun};
 pub use traces::{
-    InstrumentError, TracesConfig, TracesProgram, TracesRun, TracesWorld, instrument, run,
+    instrument, run, InstrumentError, TracesConfig, TracesProgram, TracesRun, TracesWorld,
 };
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use armv8m_isa::{Asm, Reg};
-    use rap_link::{LinkOptions, link};
-    use rap_track::{CfaEngine, Challenge, EngineConfig, device_key};
+    use rap_link::{link, LinkOptions};
+    use rap_track::{device_key, CfaEngine, Challenge, EngineConfig};
 
     /// The headline comparison on one synthetic workload: RAP-Track
     /// beats TRACES on runtime while staying close on log size, and

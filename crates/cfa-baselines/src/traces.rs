@@ -17,9 +17,9 @@
 //! | entry size | 8-byte MTB packet | 4-byte software record |
 //! | compression | none (hardware writes raw) | RLE on repeated records |
 
-use armv8m_isa::{AsmError, Image, Instr, Item, Module, Reg, Target, service};
-use mcu_sim::{ExecError, Machine, SecureEnv, SecureWorld, cycles};
-use rap_link::{Cfg, CfgError, ClassifyOptions, Disposition, LoopPlanKind, classify};
+use armv8m_isa::{service, AsmError, Image, Instr, Item, Module, Reg, Target};
+use mcu_sim::{cycles, ExecError, Machine, SecureEnv, SecureWorld};
+use rap_link::{classify, Cfg, CfgError, ClassifyOptions, Disposition, LoopPlanKind};
 
 /// Instrumentation/logging configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -373,12 +373,7 @@ impl TracesWorld {
 }
 
 impl SecureWorld for TracesWorld {
-    fn on_gateway(
-        &mut self,
-        svc: u8,
-        arg: u32,
-        env: &mut SecureEnv<'_>,
-    ) -> Result<u64, ExecError> {
+    fn on_gateway(&mut self, svc: u8, arg: u32, env: &mut SecureEnv<'_>) -> Result<u64, ExecError> {
         let cost = match svc {
             service::LOG_LOOP_COND | service::LOG_RETURN | service::LOG_INDIRECT => self.push(arg),
             // Conditional outcomes are identified by the gateway's own

@@ -17,10 +17,11 @@
 
 use std::fmt;
 
-use armv8m_isa::{Image, parse_module};
-use rap_link::{ClassifyOptions, LinkOptions, TransformOptions, link, read_map, write_map};
+use armv8m_isa::{parse_module, Image};
+use rap_link::{link, read_map, write_map, ClassifyOptions, LinkOptions, TransformOptions};
 use rap_track::{
-    CfaEngine, Challenge, EngineConfig, Verifier, decode_stream, device_key, encode_stream,
+    decode_stream, device_key, encode_stream, verify_fleet, BatchOptions, CfaEngine, Challenge,
+    EngineConfig, FleetJob, Verifier,
 };
 
 /// A CLI-level failure, already formatted for the user.
@@ -55,7 +56,6 @@ from_error!(
     mcu_sim::ExecError,
     std::io::Error,
 );
-
 
 /// Options for [`cmd_link`].
 #[derive(Debug, Clone, Copy)]
@@ -228,6 +228,94 @@ pub fn cmd_verify(
     }
 }
 
+/// `rap verify-fleet`: authenticates many report streams for one
+/// deployed binary concurrently, one stream per input file. Returns
+/// `(all accepted, human-readable per-device verdicts + totals)`.
+///
+/// All streams answer the same challenge round (one broadcast `--chal`)
+/// and share the verifier's replay cache, so straight-line stretches
+/// common to the fleet are decoded once.
+///
+/// # Errors
+///
+/// Only I/O-shaped failures (bad image, map or stream encodings) error
+/// out; per-device verification failures are reported in the verdict
+/// text with `ok == false`.
+pub fn cmd_verify_fleet(
+    image_bytes: &[u8],
+    map_text: &str,
+    named_streams: &[(String, Vec<u8>)],
+    base: u32,
+    chal_seed: u64,
+    key_seed: &str,
+    threads: usize,
+) -> Result<(bool, String), CliError> {
+    use std::fmt::Write as _;
+
+    let image = Image::from_bytes(base, image_bytes.to_vec())?;
+    let map = read_map(map_text)?;
+    let chal = Challenge::from_seed(chal_seed);
+    let mut jobs = Vec::with_capacity(named_streams.len());
+    for (name, bytes) in named_streams {
+        jobs.push(FleetJob {
+            device: name.clone(),
+            chal,
+            reports: decode_stream(bytes)?,
+        });
+    }
+
+    let verifier = Verifier::new(device_key(key_seed), image, map);
+    let start = std::time::Instant::now();
+    let outcomes = verify_fleet(&verifier, jobs, BatchOptions::with_threads(threads));
+    let wall = start.elapsed();
+
+    let mut out = String::new();
+    let mut accepted = 0usize;
+    for outcome in &outcomes {
+        match &outcome.result {
+            Ok(path) => {
+                accepted += 1;
+                let _ = writeln!(
+                    out,
+                    "OK       {}: {} events, {} replay steps ({:.1?})",
+                    outcome.device,
+                    path.events.len(),
+                    path.steps,
+                    outcome.wall
+                );
+            }
+            Err(v) => {
+                let _ = writeln!(
+                    out,
+                    "REJECTED {}: {v} ({:.1?})",
+                    outcome.device, outcome.wall
+                );
+            }
+        }
+    }
+    let stats = verifier.stats();
+    let per_sec = if wall.as_secs_f64() > 0.0 {
+        outcomes.len() as f64 / wall.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    let _ = writeln!(
+        out,
+        "{accepted}/{} accepted in {wall:.1?} ({per_sec:.0} streams/sec, {threads} threads)",
+        outcomes.len()
+    );
+    let _ = writeln!(
+        out,
+        "replay cache: {} hits, {} misses ({:.0}% hit), {} cached + {} live steps",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0,
+        stats.cached_steps,
+        stats.live_steps
+    );
+    Ok((accepted == outcomes.len(), out))
+}
+
 /// `rap explain`: reports the offline phase's classification decisions
 /// for a text-assembly program, including loop-rejection reasons.
 ///
@@ -249,8 +337,7 @@ pub fn cmd_explain(source: &str, options: LinkCmdOptions) -> Result<String, CliE
             nop_padding: options.padding,
         },
     };
-    let report = rap_link::explain(&module, link_options)
-        .map_err(|e| CliError(e.to_string()))?;
+    let report = rap_link::explain(&module, link_options).map_err(|e| CliError(e.to_string()))?;
     Ok(report.to_string())
 }
 
@@ -335,6 +422,30 @@ mod tests {
     }
 
     #[test]
+    fn verify_fleet_reports_per_device_verdicts() {
+        let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let (good, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
+        let (bad, _) = cmd_attest(&img, &map_text, 0, 8, "cli-test", None).unwrap();
+
+        let streams = vec![
+            ("alpha.rpt".to_owned(), good.clone()),
+            ("bravo.rpt".to_owned(), good),
+        ];
+        let (ok, verdict) =
+            cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 2).expect("runs");
+        assert!(ok, "{verdict}");
+        assert!(verdict.contains("alpha.rpt"));
+        assert!(verdict.contains("2/2 accepted"));
+        assert!(verdict.contains("replay cache"));
+
+        let streams = vec![("charlie.rpt".to_owned(), bad)];
+        let (ok, verdict) =
+            cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 1).expect("runs");
+        assert!(!ok);
+        assert!(verdict.contains("REJECTED"));
+    }
+
+    #[test]
     fn wrong_challenge_rejected() {
         let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
         let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
@@ -377,7 +488,11 @@ mod tests {
         assert!(raw_reports.len() > opt_reports.len());
 
         // Both verify against their own artifacts.
-        assert!(cmd_verify(&img, &map_text, &opt_reports, 0, 7, "k").unwrap().0);
+        assert!(
+            cmd_verify(&img, &map_text, &opt_reports, 0, 7, "k")
+                .unwrap()
+                .0
+        );
         assert!(cmd_verify(&img2, &map2, &raw_reports, 0, 7, "k").unwrap().0);
     }
 

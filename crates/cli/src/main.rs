@@ -18,6 +18,8 @@ USAGE:
   rap attest  <img> <map> --chal N -o <out.rpt>
               [--base ADDR] [--key SEED] [--watermark N]
   rap verify  <img> <map> <rpt> --chal N [--base ADDR] [--key SEED]
+  rap verify-fleet <img> <map> <rpt>... --chal N [--base ADDR]
+              [--key SEED] [--threads T]
   rap inspect <map>
   rap explain <in.tasm> [--no-loop-opt]
   rap demo    # print a sample .tasm program
@@ -37,7 +39,7 @@ impl Args {
             if let Some(name) = a.strip_prefix("--") {
                 let takes_value = matches!(
                     name,
-                    "base" | "pad" | "chal" | "key" | "watermark"
+                    "base" | "pad" | "chal" | "key" | "watermark" | "threads"
                 ) || name == "o"
                     || name == "m";
                 let value = if takes_value {
@@ -149,8 +151,7 @@ fn run() -> Result<(), CliError> {
                         .map_err(|_| CliError(format!("bad --watermark `{w}`")))
                 })
                 .transpose()?;
-            let (stream, summary) =
-                rap_cli::cmd_attest(&img, &map, base, chal, key, watermark)?;
+            let (stream, summary) = rap_cli::cmd_attest(&img, &map, base, chal, key, watermark)?;
             let out = args
                 .flag("o")
                 .ok_or_else(|| CliError("missing -o <out.rpt>".into()))?;
@@ -166,6 +167,29 @@ fn run() -> Result<(), CliError> {
             let key = args.flag("key").unwrap_or("default-device");
             let (ok, verdict) = rap_cli::cmd_verify(&img, &map, &rpt, base, chal, key)?;
             println!("{verdict}");
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        "verify-fleet" => {
+            need(3)?;
+            let img = fs::read(&args.positional[0])?;
+            let map = fs::read_to_string(&args.positional[1])?;
+            let mut streams = Vec::new();
+            for path in &args.positional[2..] {
+                streams.push((path.clone(), fs::read(path)?));
+            }
+            let chal = args.num("chal", 0)?;
+            let key = args.flag("key").unwrap_or("default-device");
+            let threads = match args.num("threads", 0)? as usize {
+                0 => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+                t => t,
+            };
+            let (ok, verdict) =
+                rap_cli::cmd_verify_fleet(&img, &map, &streams, base, chal, key, threads)?;
+            print!("{verdict}");
             if !ok {
                 std::process::exit(1);
             }

@@ -9,12 +9,12 @@
 //! report stream.
 
 use armv8m_isa::service;
-use mcu_sim::{ExecError, Machine, ProtectedRegion, RunOutcome, SecureEnv, SecureWorld, cycles};
-use rap_crypto::{Digest, sha256};
+use mcu_sim::{cycles, ExecError, Machine, ProtectedRegion, RunOutcome, SecureEnv, SecureWorld};
+use rap_crypto::{sha256, Digest};
 use rap_link::LinkMap;
 use trace_units::{PcRange, RangeAction};
 
-use crate::report::{Challenge, CfLog, Key, Report};
+use crate::report::{CfLog, Challenge, Key, Report};
 
 /// Engine tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,12 +97,7 @@ impl EngineSecureWorld<'_> {
 }
 
 impl SecureWorld for EngineSecureWorld<'_> {
-    fn on_gateway(
-        &mut self,
-        svc: u8,
-        arg: u32,
-        env: &mut SecureEnv<'_>,
-    ) -> Result<u64, ExecError> {
+    fn on_gateway(&mut self, svc: u8, arg: u32, env: &mut SecureEnv<'_>) -> Result<u64, ExecError> {
         match svc {
             service::LOG_LOOP_COND => {
                 self.current.loop_records.push(arg);
@@ -186,7 +181,10 @@ impl CfaEngine {
                 })
                 .map_err(|e| ExecError::SecureWorld(e.to_string()))?;
         }
-        machine.fabric.mtb_mut().set_flow_watermark(config.watermark);
+        machine
+            .fabric
+            .mtb_mut()
+            .set_flow_watermark(config.watermark);
 
         // 4. Execute the application with the engine installed.
         let mut secure = EngineSecureWorld {
@@ -225,7 +223,7 @@ mod tests {
     use super::*;
     use crate::report::device_key;
     use armv8m_isa::{Asm, Reg};
-    use rap_link::{LinkOptions, link};
+    use rap_link::{link, LinkOptions};
     use trace_units::MtbConfig;
 
     fn linked_countdown(n: u16) -> rap_link::LinkedProgram {

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod engine;
 mod metrics;
 mod policy;
@@ -55,20 +56,21 @@ mod report;
 mod verifier;
 mod wire;
 
+pub use batch::{verify_fleet, verify_sequential, BatchOptions, FleetJob, JobOutcome};
 pub use engine::{Attestation, CfaEngine, EngineConfig};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, VerifierStats};
 pub use policy::{PathPolicy, PathStats, PolicyFinding};
 pub use protocol::{SessionError, VerifierSession};
-pub use report::{CfLog, Challenge, Key, Report, device_key};
-pub use verifier::{PathEvent, VerifiedPath, Verifier, Violation};
-pub use wire::{WireError, decode_stream, encode_report, encode_stream};
+pub use report::{device_key, CfLog, Challenge, Key, Report};
+pub use verifier::{PathEvent, ReplaySession, VerifiedPath, Verifier, Violation};
+pub use wire::{decode_stream, encode_report, encode_stream, WireError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use armv8m_isa::{Asm, Reg};
     use mcu_sim::{ExecError, InjectedWrite, Machine, RAM_BASE, RAM_SIZE};
-    use rap_link::{LinkOptions, LinkedProgram, link};
+    use rap_link::{link, LinkOptions, LinkedProgram};
 
     fn attest_and_verify(
         linked: &LinkedProgram,
@@ -122,9 +124,10 @@ mod tests {
         assert!(has(&|e| matches!(e, PathEvent::Call { .. })));
         assert!(has(&|e| matches!(e, PathEvent::IndirectCall { .. })));
         assert!(has(&|e| matches!(e, PathEvent::Return { .. })));
-        assert!(has(
-            &|e| matches!(e, PathEvent::LoopIterations { count: 6, .. })
-        ));
+        assert!(has(&|e| matches!(
+            e,
+            PathEvent::LoopIterations { count: 6, .. }
+        )));
         assert!(has(&|e| matches!(e, PathEvent::Halt(_))));
         assert!(att.cflog_bytes() > 0);
     }
@@ -349,11 +352,10 @@ mod tests {
             .filter(|e| matches!(e, PathEvent::LoopContinue { .. }))
             .count();
         assert_eq!(continues, 3);
-        assert!(
-            path.events
-                .iter()
-                .any(|e| matches!(e, PathEvent::CondTaken { .. }))
-        );
+        assert!(path
+            .events
+            .iter()
+            .any(|e| matches!(e, PathEvent::CondTaken { .. })));
     }
 
     #[test]
@@ -394,8 +396,9 @@ mod tests {
         let (result, att) = attest_and_verify(&linked, |_| {});
         let path = result.expect("verifies");
         assert_eq!(att.cflog_bytes(), 0);
-        assert!(path.events.iter().any(
-            |e| matches!(e, PathEvent::LoopIterations { count: 12, .. })
-        ));
+        assert!(path
+            .events
+            .iter()
+            .any(|e| matches!(e, PathEvent::LoopIterations { count: 12, .. })));
     }
 }

@@ -34,9 +34,65 @@ impl Metrics {
     /// other log is empty and this one is not).
     pub fn cflog_ratio(&self, other: &Metrics) -> f64 {
         if other.cflog_bytes == 0 {
-            if self.cflog_bytes == 0 { 1.0 } else { f64::INFINITY }
+            if self.cflog_bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.cflog_bytes as f64 / other.cflog_bytes as f64
+        }
+    }
+}
+
+/// Verifier-side operational counters, snapshotted from a
+/// [`Verifier`](crate::Verifier) (shared across all clones of it).
+///
+/// Replay work splits into *cached* steps (bulk-applied from the
+/// straight-line replay cache) and *live* steps (instruction-by-
+/// instruction decode at log-consuming sites); the hit rate says how
+/// often a deterministic stretch was already memoized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifierStats {
+    /// Replay-cache lookups that found a memoized segment.
+    pub cache_hits: u64,
+    /// Replay-cache lookups that had to build the segment.
+    pub cache_misses: u64,
+    /// Instructions replayed by bulk-applying cached segments.
+    pub cached_steps: u64,
+    /// Instructions replayed live (non-deterministic sites).
+    pub live_steps: u64,
+    /// Completed verification jobs (successful or violated).
+    pub jobs: u64,
+    /// Total wall-clock nanoseconds spent inside `verify`.
+    pub wall_ns: u64,
+}
+
+impl VerifierStats {
+    /// Fraction of cache lookups that hit, in `[0, 1]`; 0 when no
+    /// lookup has happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean wall-clock time per job in nanoseconds (0 with no jobs).
+    pub fn mean_job_ns(&self) -> u64 {
+        self.wall_ns.checked_div(self.jobs).unwrap_or(0)
+    }
+
+    /// Verification throughput implied by the counters, in jobs per
+    /// second of *accumulated* verify time (not wall time — concurrent
+    /// jobs overlap).
+    pub fn jobs_per_busy_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.jobs as f64 / (self.wall_ns as f64 / 1e9)
         }
     }
 }
@@ -44,6 +100,23 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn verifier_stats_rates() {
+        let stats = VerifierStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            cached_steps: 400,
+            live_steps: 100,
+            jobs: 2,
+            wall_ns: 2_000_000,
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(stats.mean_job_ns(), 1_000_000);
+        assert!((stats.jobs_per_busy_sec() - 1000.0).abs() < 1e-6);
+        assert_eq!(VerifierStats::default().hit_rate(), 0.0);
+        assert_eq!(VerifierStats::default().mean_job_ns(), 0);
+    }
 
     #[test]
     fn overhead_computation() {

@@ -379,12 +379,10 @@ mod tests {
             PathEvent::IndirectJump { site: 0, dest: 4 },
             PathEvent::IndirectJump { site: 8, dest: 12 },
         ]);
-        assert!(
-            PathPolicy::new()
-                .bound_indirect_jumps(2)
-                .check(&p)
-                .is_empty()
-        );
+        assert!(PathPolicy::new()
+            .bound_indirect_jumps(2)
+            .check(&p)
+            .is_empty());
         assert_eq!(
             PathPolicy::new().bound_indirect_jumps(1).check(&p),
             vec![PolicyFinding::TooManyIndirectJumps {
@@ -399,7 +397,7 @@ mod tests {
         // The Geiger workload: its alarm callback must be permitted, a
         // made-up "firmware_update" function must not run, and the
         // history-sum loop is bounded.
-        use rap_link::{LinkOptions, link};
+        use rap_link::{link, LinkOptions};
         let w = workloads::geiger::workload();
         let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
         let key = crate::device_key("policy");
@@ -408,7 +406,12 @@ mod tests {
         (w.attach)(&mut machine);
         let chal = crate::Challenge::from_seed(1);
         let att = engine
-            .attest(&mut machine, &linked.map, chal, crate::EngineConfig::default())
+            .attest(
+                &mut machine,
+                &linked.map,
+                chal,
+                crate::EngineConfig::default(),
+            )
             .unwrap();
         let verifier = crate::Verifier::new(key, linked.image.clone(), linked.map.clone());
         let path = verifier.verify(chal, &att.reports).unwrap();

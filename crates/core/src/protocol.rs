@@ -118,9 +118,9 @@ impl VerifierSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CfaEngine, EngineConfig, device_key};
+    use crate::{device_key, CfaEngine, EngineConfig};
     use armv8m_isa::{Asm, Reg};
-    use rap_link::{LinkOptions, link};
+    use rap_link::{link, LinkOptions};
 
     fn linked() -> rap_link::LinkedProgram {
         let mut a = Asm::new();

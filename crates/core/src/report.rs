@@ -1,6 +1,6 @@
 //! CFA report format: `CF_Log`, challenges and authenticated reports.
 
-use rap_crypto::{Digest, HmacSha256, hmac_sha256, verify_tag};
+use rap_crypto::{hmac_sha256, verify_tag, Digest, HmacSha256};
 use trace_units::TraceEntry;
 
 /// A fresh verifier challenge (nonce).

@@ -9,10 +9,13 @@
 //! address, a hijacked indirect call, a forged or truncated log —
 //! surfaces as a typed [`Violation`].
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
-use armv8m_isa::{BranchKind, Image, Instr, Reg, Target, service};
-use rap_crypto::{Digest, sha256};
+use armv8m_isa::{service, BranchKind, Image, Instr, Reg, Target};
+use rap_crypto::{sha256, Digest};
 use rap_link::{LinkMap, LoopPlanKind, SiteKind};
 
 use crate::report::{Challenge, Key, Report};
@@ -242,7 +245,7 @@ impl std::fmt::Display for Violation {
 impl std::error::Error for Violation {}
 
 /// A successfully reconstructed execution path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifiedPath {
     /// Control-flow events in execution order.
     pub events: Vec<PathEvent>,
@@ -319,6 +322,11 @@ impl VerifiedPath {
 }
 
 /// The Verifier for one deployed application.
+///
+/// Cloning is cheap where it matters: clones share the straight-line
+/// [replay cache](Verifier::stats) and its counters, so a fleet of
+/// worker threads (or repeated sessions for many devices running the
+/// same binary) all benefit from stretches decoded once.
 #[derive(Debug, Clone)]
 pub struct Verifier {
     key: Key,
@@ -328,7 +336,47 @@ pub struct Verifier {
     entry: u32,
     /// Replay step budget.
     pub max_steps: u64,
+    shared: Arc<Shared>,
 }
+
+/// Cache + counters shared by all clones of one [`Verifier`].
+#[derive(Debug, Default)]
+struct Shared {
+    /// Straight-line replay cache: entry PC → memoized deterministic
+    /// stretch. Contents depend only on the image and map, never on a
+    /// particular log, so the cache is safely shared across sessions,
+    /// threads and devices.
+    segments: RwLock<HashMap<u32, Arc<Segment>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    cached_steps: AtomicU64,
+    live_steps: AtomicU64,
+    jobs: AtomicU64,
+    wall_ns: AtomicU64,
+}
+
+/// A memoized deterministic stretch of replay: the instruction walk
+/// from one entry PC up to (excluding) the next instruction whose
+/// outcome depends on the `CF_Log`, the shadow stack or termination.
+/// Replaying it is a bulk append instead of an instruction-by-
+/// instruction decode.
+#[derive(Debug)]
+struct Segment {
+    /// Instructions covered.
+    steps: u64,
+    /// Path events produced along the stretch (direct calls, statically
+    /// elided loops).
+    events: Vec<PathEvent>,
+    /// Return addresses pushed by direct calls, in push order.
+    shadow_pushes: Vec<u32>,
+    /// PC of the first non-deterministic (or terminal) instruction.
+    end_pc: u32,
+}
+
+/// Bound on the instructions a single cached segment may cover. Keeps
+/// segment construction O(1)-ish and preserves the step-budget verdict
+/// on images containing deterministic infinite loops (`b .`).
+const SEGMENT_CAP: u64 = 4096;
 
 impl Verifier {
     /// Creates a Verifier for the given deployed binary and link map.
@@ -343,12 +391,27 @@ impl Verifier {
             h_mem,
             entry,
             max_steps: 100_000_000,
+            shared: Arc::new(Shared::default()),
         }
     }
 
     /// The expected `H_MEM` of the deployed binary.
     pub fn expected_h_mem(&self) -> Digest {
         self.h_mem
+    }
+
+    /// A snapshot of the verifier-side counters: replay-cache
+    /// effectiveness and verification work done so far (across all
+    /// clones sharing this verifier's cache).
+    pub fn stats(&self) -> crate::VerifierStats {
+        crate::VerifierStats {
+            cache_hits: self.shared.hits.load(Ordering::Relaxed),
+            cache_misses: self.shared.misses.load(Ordering::Relaxed),
+            cached_steps: self.shared.cached_steps.load(Ordering::Relaxed),
+            live_steps: self.shared.live_steps.load(Ordering::Relaxed),
+            jobs: self.shared.jobs.load(Ordering::Relaxed),
+            wall_ns: self.shared.wall_ns.load(Ordering::Relaxed),
+        }
     }
 
     /// Authenticates a report stream and reconstructs the execution
@@ -359,6 +422,35 @@ impl Verifier {
     /// Returns the first [`Violation`] encountered — authentication
     /// failures first, then replay divergences.
     pub fn verify(&self, chal: Challenge, reports: &[Report]) -> Result<VerifiedPath, Violation> {
+        let start = Instant::now();
+        let result = match self.begin(chal, reports) {
+            Ok(session) => session.run(),
+            Err(v) => Err(v),
+        };
+        self.shared.jobs.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .wall_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
+    }
+
+    /// Authenticates a report stream and returns a resumable
+    /// [`ReplaySession`] positioned at the entry point. [`verify`]
+    /// (which drives the session to completion) is the common path;
+    /// `begin` lets a scheduler interleave many sessions or bound the
+    /// work done per scheduling quantum.
+    ///
+    /// [`verify`]: Verifier::verify
+    ///
+    /// # Errors
+    ///
+    /// Stream-level violations (authentication, sequencing, challenge,
+    /// `H_MEM`, overflow) are rejected before a session is created.
+    pub fn begin(
+        &self,
+        chal: Challenge,
+        reports: &[Report],
+    ) -> Result<ReplaySession<'_>, Violation> {
         // --- Stream validation -----------------------------------------
         if reports.is_empty() {
             return Err(Violation::BadReportStream("no reports".into()));
@@ -398,64 +490,116 @@ impl Verifier {
             loops.extend(r.log.loop_records.iter().copied());
         }
 
-        self.replay(&mtb, &loops)
+        Ok(ReplaySession {
+            verifier: self,
+            mtb,
+            loops,
+            state: ReplayState::new(self.entry),
+            checkpoints: Vec::new(),
+            first_violation: None,
+            global_steps: 0,
+        })
     }
 
-    /// Replays the binary against the spliced log.
-    ///
-    /// Taken-conditional packets are ambiguous when the *next* logged
-    /// event comes from the same stub but a later dynamic instance of
-    /// the site (e.g. a recursive call whose inner conditional is taken
-    /// while the outer one falls through). Replay therefore runs as a
-    /// backtracking parse: at each ambiguous decision it prefers the
-    /// "taken/continue" reading and records a checkpoint with the
-    /// alternative applied; any later violation rewinds to the most
-    /// recent checkpoint. A benign log always admits a consistent
-    /// parse; an attack log admits none and the *first* violation is
-    /// reported.
-    fn replay(&self, mtb: &[trace_units::TraceEntry], loops: &[u32]) -> Result<VerifiedPath, Violation> {
-        let mut state = ReplayState::new(self.entry);
-        let mut checkpoints: Vec<Checkpoint> = Vec::new();
-        let mut first_violation: Option<Violation> = None;
-        let mut global_steps: u64 = 0;
+    /// Looks up (or builds and caches) the deterministic segment
+    /// starting at `pc`.
+    fn segment_at(&self, pc: u32) -> Arc<Segment> {
+        if let Some(seg) = self.shared.segments.read().expect("cache lock").get(&pc) {
+            self.shared.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(seg);
+        }
+        self.shared.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(self.build_segment(pc));
+        Arc::clone(
+            self.shared
+                .segments
+                .write()
+                .expect("cache lock")
+                .entry(pc)
+                .or_insert(built),
+        )
+    }
 
-        loop {
-            global_steps += 1;
-            if global_steps > self.max_steps {
-                return Err(first_violation.unwrap_or(Violation::BudgetExceeded));
-            }
-            let outcome = self.step(&mut state, mtb, loops, &mut checkpoints);
-            match outcome {
-                Ok(true) => {
-                    // Halted: the whole log must be consumed.
-                    if state.mtb_idx == mtb.len()
-                        && state.loop_idx == loops.len()
-                        && state.pending_inits.is_empty()
-                    {
-                        return Ok(VerifiedPath {
-                            events: state.events,
-                            steps: state.steps,
-                        });
+    /// Walks instructions from `pc` while their outcome is a pure
+    /// function of the PC — no log element consumed, no shadow-stack
+    /// pop, no termination — and records the walk as a [`Segment`].
+    /// The instruction the walk stops at is replayed live.
+    fn build_segment(&self, entry: u32) -> Segment {
+        let mut pc = entry;
+        let mut steps = 0u64;
+        let mut events = Vec::new();
+        let mut shadow_pushes = Vec::new();
+
+        while steps < SEGMENT_CAP {
+            let Some(instr) = self.image.instr_at(pc) else {
+                break; // invalid PC: the live stepper reports it
+            };
+            let size = instr.size();
+            match instr {
+                Instr::Halt => break,
+                Instr::SecureGateway { service: svc, .. } => {
+                    if *svc == service::LOG_LOOP_COND {
+                        break; // consumes a loop record
                     }
-                    let v = Violation::TrailingLog {
-                        mtb_left: mtb.len() - state.mtb_idx,
-                        loops_left: loops.len() - state.loop_idx + state.pending_inits.len(),
+                    steps += 1;
+                    pc += size;
+                }
+                Instr::B { target } => {
+                    let Some(dest) = target.abs() else { break };
+                    if self.map.site_at_entry(dest).is_some() {
+                        break; // trampoline: consumes an MTB packet
+                    }
+                    steps += 1;
+                    pc = dest;
+                }
+                Instr::BCond { target, .. } => {
+                    let Some(dest) = target.abs() else { break };
+                    if self.map.site_at_entry(dest).is_some() {
+                        break; // tracked conditional
+                    }
+                    let Some(meta) = self.map.loops_by_latch.get(&pc) else {
+                        break; // Fig. 7 forward-exit layout peeks at the log
                     };
-                    first_violation.get_or_insert(v.clone());
-                    match checkpoints.pop() {
-                        Some(alt) => alt.restore(&mut state),
-                        None => return Err(first_violation.unwrap_or(v)),
-                    }
+                    let LoopPlanKind::Static { init } = meta.kind else {
+                        break; // logged init: consumes a loop record
+                    };
+                    let Some(count) = meta.iterations(init, LOOP_CAP) else {
+                        break; // diverging plan: the live stepper reports it
+                    };
+                    events.push(PathEvent::LoopIterations {
+                        header: meta.header,
+                        count,
+                    });
+                    steps += 1;
+                    pc = meta.exit;
                 }
-                Ok(false) => {}
-                Err(v) => {
-                    first_violation.get_or_insert(v.clone());
-                    match checkpoints.pop() {
-                        Some(alt) => alt.restore(&mut state),
-                        None => return Err(first_violation.unwrap_or(v)),
+                Instr::Bl { target } => {
+                    let Some(dest) = target.abs() else { break };
+                    if self.map.site_at_entry(dest).is_some() {
+                        break; // rewritten indirect call
                     }
+                    shadow_pushes.push(pc + size);
+                    events.push(PathEvent::Call { site: pc, dest });
+                    steps += 1;
+                    pc = dest;
                 }
+                other => match other.branch_kind() {
+                    BranchKind::None | BranchKind::Gateway => {
+                        steps += 1;
+                        pc += size;
+                    }
+                    // BX LR pops the shadow stack; anything else is an
+                    // untracked indirect the live stepper must reject.
+                    _ => break,
+                },
             }
+        }
+
+        Segment {
+            steps,
+            events,
+            shadow_pushes,
+            end_pc: pc,
         }
     }
 
@@ -469,10 +613,7 @@ impl Verifier {
     ) -> Result<bool, Violation> {
         let pc = state.pc;
         state.steps += 1;
-        let instr = self
-            .image
-            .instr_at(pc)
-            .ok_or(Violation::InvalidPc { pc })?;
+        let instr = self.image.instr_at(pc).ok_or(Violation::InvalidPc { pc })?;
         let size = instr.size();
 
         match instr {
@@ -555,9 +696,8 @@ impl Verifier {
                     let SiteKind::CondTaken { taken } = site.kind else {
                         return Err(Violation::UntrackedConditional { addr: pc });
                     };
-                    let front_matches = mtb
-                        .get(state.mtb_idx)
-                        .is_some_and(|e| e.source == site.src);
+                    let front_matches =
+                        mtb.get(state.mtb_idx).is_some_and(|e| e.source == site.src);
                     // With CondBoth instrumentation the very next
                     // instruction is a fall-through-logging branch, and
                     // the decision is fully determined by the log.
@@ -671,8 +811,8 @@ impl Verifier {
                     }
                     let e = state.take_mtb(mtb, pc)?;
                     expect_src(pc, e.source, site.src)?;
-                    let is_entry = self.image.is_func_entry(e.dest)
-                        || self.map.funcs.contains_key(&e.dest);
+                    let is_entry =
+                        self.image.is_func_entry(e.dest) || self.map.funcs.contains_key(&e.dest);
                     if !is_entry {
                         return Err(Violation::InvalidCallTarget {
                             site: pc,
@@ -712,6 +852,130 @@ impl Verifier {
     }
 }
 
+/// A resumable replay in progress: the stream has been authenticated
+/// and spliced, and the binary is being replayed against it one
+/// scheduling quantum at a time.
+///
+/// Replay semantics — why this is a *backtracking* parse: taken-
+/// conditional packets are ambiguous when the *next* logged event comes
+/// from the same stub but a later dynamic instance of the site (e.g. a
+/// recursive call whose inner conditional is taken while the outer one
+/// falls through). At each ambiguous decision the session prefers the
+/// "taken/continue" reading and records a checkpoint with the
+/// alternative applied; any later violation rewinds to the most recent
+/// checkpoint. A benign log always admits a consistent parse; an attack
+/// log admits none and the *first* violation is reported.
+///
+/// Deterministic stretches between log-consuming sites are bulk-applied
+/// from the verifier's shared replay cache, so repeated loop iterations
+/// and repeated devices skip re-decoding identical straight-line code.
+#[derive(Debug)]
+pub struct ReplaySession<'v> {
+    verifier: &'v Verifier,
+    mtb: Vec<trace_units::TraceEntry>,
+    loops: Vec<u32>,
+    state: ReplayState,
+    checkpoints: Vec<Checkpoint>,
+    first_violation: Option<Violation>,
+    global_steps: u64,
+}
+
+impl ReplaySession<'_> {
+    /// The current replay position.
+    pub fn pc(&self) -> u32 {
+        self.state.pc
+    }
+
+    /// Instructions replayed so far on the current parse.
+    pub fn steps(&self) -> u64 {
+        self.state.steps
+    }
+
+    /// Advances replay by one quantum: one bulk-applied deterministic
+    /// stretch (if cached or cacheable) plus one live instruction.
+    /// Returns `None` while the session is still running, or the final
+    /// verdict once replay terminates.
+    pub fn advance(&mut self) -> Option<Result<VerifiedPath, Violation>> {
+        let shared = &self.verifier.shared;
+
+        // Bulk-apply the deterministic stretch starting here.
+        let segment = self.verifier.segment_at(self.state.pc);
+        if segment.steps > 0 {
+            self.state.apply(&segment);
+            self.global_steps += segment.steps;
+            shared
+                .cached_steps
+                .fetch_add(segment.steps, Ordering::Relaxed);
+            if self.global_steps > self.verifier.max_steps {
+                return Some(Err(self
+                    .first_violation
+                    .take()
+                    .unwrap_or(Violation::BudgetExceeded)));
+            }
+        }
+
+        // Replay the non-deterministic (or terminal) head live.
+        self.global_steps += 1;
+        shared.live_steps.fetch_add(1, Ordering::Relaxed);
+        if self.global_steps > self.verifier.max_steps {
+            return Some(Err(self
+                .first_violation
+                .take()
+                .unwrap_or(Violation::BudgetExceeded)));
+        }
+        let outcome = self.verifier.step(
+            &mut self.state,
+            &self.mtb,
+            &self.loops,
+            &mut self.checkpoints,
+        );
+        match outcome {
+            Ok(true) => {
+                // Halted: the whole log must be consumed.
+                if self.state.mtb_idx == self.mtb.len()
+                    && self.state.loop_idx == self.loops.len()
+                    && self.state.pending_inits.is_empty()
+                {
+                    return Some(Ok(VerifiedPath {
+                        events: std::mem::take(&mut self.state.events),
+                        steps: self.state.steps,
+                    }));
+                }
+                let v = Violation::TrailingLog {
+                    mtb_left: self.mtb.len() - self.state.mtb_idx,
+                    loops_left: self.loops.len() - self.state.loop_idx
+                        + self.state.pending_inits.len(),
+                };
+                self.backtrack(v)
+            }
+            Ok(false) => None,
+            Err(v) => self.backtrack(v),
+        }
+    }
+
+    /// Rewinds to the most recent checkpoint, or finishes with the
+    /// first violation when no alternative reading remains.
+    fn backtrack(&mut self, v: Violation) -> Option<Result<VerifiedPath, Violation>> {
+        self.first_violation.get_or_insert(v.clone());
+        match self.checkpoints.pop() {
+            Some(alt) => {
+                alt.restore(&mut self.state);
+                None
+            }
+            None => Some(Err(self.first_violation.take().unwrap_or(v))),
+        }
+    }
+
+    /// Drives the session to completion.
+    pub fn run(mut self) -> Result<VerifiedPath, Violation> {
+        loop {
+            if let Some(verdict) = self.advance() {
+                return verdict;
+            }
+        }
+    }
+}
+
 /// Snapshot-able replay state (checkpointed at ambiguous decisions).
 #[derive(Debug, Clone)]
 struct ReplayState {
@@ -735,6 +999,14 @@ impl ReplayState {
             events: vec![PathEvent::Enter(entry)],
             steps: 0,
         }
+    }
+
+    /// Bulk-applies a cached deterministic stretch.
+    fn apply(&mut self, segment: &Segment) {
+        self.events.extend_from_slice(&segment.events);
+        self.shadow.extend_from_slice(&segment.shadow_pushes);
+        self.steps += segment.steps;
+        self.pc = segment.end_pc;
     }
 
     fn take_mtb(

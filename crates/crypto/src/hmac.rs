@@ -1,6 +1,6 @@
 //! HMAC-SHA256 (RFC 2104 / FIPS 198-1) for report authentication.
 
-use crate::sha256::{DIGEST_LEN, Digest, Sha256};
+use crate::sha256::{Digest, Sha256, DIGEST_LEN};
 
 /// Computes `HMAC-SHA256(key, message)`.
 ///

@@ -20,5 +20,5 @@
 mod hmac;
 mod sha256;
 
-pub use hmac::{HmacSha256, hmac_sha256, verify_tag};
-pub use sha256::{DIGEST_LEN, Digest, Sha256, sha256};
+pub use hmac::{hmac_sha256, verify_tag, HmacSha256};
+pub use sha256::{sha256, Digest, Sha256, DIGEST_LEN};

@@ -41,6 +41,11 @@ pub enum ExecError {
     /// The Secure World refused the request (e.g. CF_Log storage
     /// exhausted with partial reports disabled).
     SecureWorld(String),
+    /// An entry symbol was not found in the executing image.
+    UnknownSymbol {
+        /// The missing symbol name.
+        symbol: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -57,9 +62,15 @@ impl fmt::Display for ExecError {
                 write!(f, "instruction budget of {max_instrs} exceeded")
             }
             ExecError::UnknownService { service, pc } => {
-                write!(f, "unknown secure service {service} requested at {pc:#010x}")
+                write!(
+                    f,
+                    "unknown secure service {service} requested at {pc:#010x}"
+                )
             }
             ExecError::SecureWorld(msg) => write!(f, "secure world fault: {msg}"),
+            ExecError::UnknownSymbol { symbol } => {
+                write!(f, "unknown entry symbol `{symbol}`")
+            }
         }
     }
 }

@@ -40,6 +40,8 @@ mod mem;
 mod mpu;
 
 pub use error::ExecError;
-pub use machine::{Cpu, InjectedWrite, Machine, NullSecureWorld, RunOutcome, SecureEnv, SecureWorld};
-pub use mem::{BusDevice, CODE_BASE, Memory, PERIPH_BASE, RAM_BASE, RAM_SIZE};
+pub use machine::{
+    Cpu, InjectedWrite, Machine, NullSecureWorld, RunOutcome, SecureEnv, SecureWorld,
+};
+pub use mem::{BusDevice, Memory, CODE_BASE, PERIPH_BASE, RAM_BASE, RAM_SIZE};
 pub use mpu::{Mpu, ProtectedRegion};

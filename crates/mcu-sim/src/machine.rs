@@ -6,11 +6,10 @@ use trace_units::{MtbConfig, TraceFabric};
 
 use crate::mem::{Memory, RAM_BASE, RAM_SIZE};
 use crate::mpu::Mpu;
-use crate::{ExecError, cycles};
+use crate::{cycles, ExecError};
 
 /// Architectural CPU state.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Cpu {
     /// `R0`–`R12`, `SP`, `LR`, `PC`.
     pub regs: [u32; 16],
@@ -23,7 +22,6 @@ pub struct Cpu {
     /// Set by `HALT`.
     pub halted: bool,
 }
-
 
 impl Cpu {
     /// Reads a register. `PC` reads return the current instruction
@@ -73,8 +71,12 @@ pub trait SecureWorld {
     ///
     /// Implementations may reject unknown services or signal internal
     /// faults; the machine surfaces these as [`ExecError`].
-    fn on_gateway(&mut self, service: u8, arg: u32, env: &mut SecureEnv<'_>)
-    -> Result<u64, ExecError>;
+    fn on_gateway(
+        &mut self,
+        service: u8,
+        arg: u32,
+        env: &mut SecureEnv<'_>,
+    ) -> Result<u64, ExecError>;
 
     /// Handles the MTB `MTB_FLOW` watermark debug event (partial
     /// reports, §IV-E). The default ignores it.
@@ -192,15 +194,20 @@ impl Machine {
 
     /// Sets the entry point (by symbol).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the symbol does not exist — a test-setup error.
-    pub fn set_entry(&mut self, symbol: &str) {
+    /// Returns [`ExecError::UnknownSymbol`] when the image defines no
+    /// symbol with that name, so callers (e.g. the CLI) can report the
+    /// bad name instead of crashing.
+    pub fn set_entry(&mut self, symbol: &str) -> Result<(), ExecError> {
         let addr = self
             .image
             .symbol(symbol)
-            .unwrap_or_else(|| panic!("unknown entry symbol `{symbol}`"));
+            .ok_or_else(|| ExecError::UnknownSymbol {
+                symbol: symbol.to_owned(),
+            })?;
         self.cpu.set_reg(Reg::Pc, addr);
+        Ok(())
     }
 
     /// Schedules an adversarial memory write (see [`InjectedWrite`]).
@@ -639,6 +646,20 @@ mod tests {
         });
         assert_eq!(m.cpu.reg(Reg::R2), 123);
         assert_eq!(m.cpu.reg(Reg::R3), 123);
+    }
+
+    #[test]
+    fn unknown_entry_symbol_is_a_typed_error() {
+        let mut a = Asm::new();
+        a.func("main");
+        a.halt();
+        let image = a.into_module().assemble(0).unwrap();
+        let mut m = Machine::new(image);
+        m.set_entry("main").expect("known symbol resolves");
+        match m.set_entry("no_such_func") {
+            Err(ExecError::UnknownSymbol { symbol }) => assert_eq!(symbol, "no_such_func"),
+            other => panic!("expected UnknownSymbol, got {other:?}"),
+        }
     }
 
     #[test]

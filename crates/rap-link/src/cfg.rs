@@ -208,7 +208,9 @@ impl Cfg {
 
     /// The function range containing `node`.
     pub fn function_of(&self, node: usize) -> Option<&(String, usize, usize)> {
-        self.functions.iter().find(|(_, s, e)| node >= *s && node < *e)
+        self.functions
+            .iter()
+            .find(|(_, s, e)| node >= *s && node < *e)
     }
 
     /// Immediate-dominator computation (Cooper–Harvey–Kennedy) over one

@@ -328,16 +328,12 @@ fn upgrade_ambiguous_sites(cfg: &Cfg, dispositions: &mut [Disposition]) {
     // Quiet successor edges under the *current* dispositions.
     let mut quiet: Vec<Vec<usize>> = vec![Vec::new(); n];
     // Entry node of each function, for direct-call edges.
-    let entry_of = |target: &Instr| -> Option<usize> {
-        direct_target_index(cfg, target)
-    };
+    let entry_of = |target: &Instr| -> Option<usize> { direct_target_index(cfg, target) };
     // Leaf `BX LR` return linkage: return-site → after every BL that
     // targets the containing function (pairwise edges suffice).
     let mut leaf_returns: Vec<(usize, usize)> = Vec::new(); // (ret node, fstart)
     for (i, node) in cfg.nodes.iter().enumerate() {
-        if dispositions[i] == Disposition::Keep
-            && node.branch_kind() == BranchKind::ReturnBx
-        {
+        if dispositions[i] == Disposition::Keep && node.branch_kind() == BranchKind::ReturnBx {
             if let Some(&(_, fstart, _)) = cfg.function_of(i) {
                 leaf_returns.push((i, fstart));
             }
@@ -348,15 +344,16 @@ fn upgrade_ambiguous_sites(cfg: &Cfg, dispositions: &mut [Disposition]) {
         let succs: Vec<usize> = match dispositions[i] {
             Disposition::CondTaken | Disposition::CondBoth => {
                 // Taken edge is logged; fall-through is quiet.
-                if i + 1 < n { vec![i + 1] } else { vec![] }
+                if i + 1 < n {
+                    vec![i + 1]
+                } else {
+                    vec![]
+                }
             }
             Disposition::LoopForward => {
                 // The continue path hits the inserted logged branch;
                 // only the (exit) taken edge is quiet.
-                node.instr()
-                    .and_then(&entry_of)
-                    .into_iter()
-                    .collect()
+                node.instr().and_then(&entry_of).into_iter().collect()
             }
             Disposition::SimpleLoopLatch { .. } | Disposition::StaticLoopLatch { .. } => {
                 // Neither direction of an optimized latch produces an
@@ -376,13 +373,15 @@ fn upgrade_ambiguous_sites(cfg: &Cfg, dispositions: &mut [Disposition]) {
             | Disposition::IndirectJump => Vec::new(),
             Disposition::Keep => match node.branch_kind() {
                 BranchKind::None | BranchKind::Gateway => {
-                    if i + 1 < n { vec![i + 1] } else { vec![] }
+                    if i + 1 < n {
+                        vec![i + 1]
+                    } else {
+                        vec![]
+                    }
                 }
-                BranchKind::Direct | BranchKind::DirectCall => node
-                    .instr()
-                    .and_then(&entry_of)
-                    .into_iter()
-                    .collect(),
+                BranchKind::Direct | BranchKind::DirectCall => {
+                    node.instr().and_then(&entry_of).into_iter().collect()
+                }
                 BranchKind::ReturnBx => {
                     // Edges added below (needs the BL sites).
                     Vec::new()
@@ -449,7 +448,10 @@ fn writes_lr(op: &FlatOp) -> bool {
         FlatOp::Instr(i) => {
             i.dest_reg() == Some(Reg::Lr)
                 || matches!(i, Instr::Pop { list } if list.contains(Reg::Lr))
-                || matches!(i.branch_kind(), BranchKind::DirectCall | BranchKind::IndirectCall)
+                || matches!(
+                    i.branch_kind(),
+                    BranchKind::DirectCall | BranchKind::IndirectCall
+                )
         }
         FlatOp::LoadAddr { rd, .. } => *rd == Reg::Lr,
     }
@@ -484,10 +486,7 @@ fn is_forward_exit_of_untracked_loop(cfg: &Cfg, node: usize, latch_plan: &[Optio
         return false;
     }
     // Untracked back edge = unconditional direct branch.
-    matches!(
-        cfg.nodes[l.latch].branch_kind(),
-        BranchKind::Direct
-    )
+    matches!(cfg.nodes[l.latch].branch_kind(), BranchKind::Direct)
 }
 
 fn direct_target_index(cfg: &Cfg, instr: &Instr) -> Option<usize> {
@@ -548,7 +547,10 @@ pub(crate) fn plan_simple_loop(
     }
 
     // The compare must immediately precede the latch: CMP iter, #bound.
-    let cmp_idx = l.latch.checked_sub(1).ok_or(LoopReject::NoConstCompareAtLatch)?;
+    let cmp_idx = l
+        .latch
+        .checked_sub(1)
+        .ok_or(LoopReject::NoConstCompareAtLatch)?;
     if !l.contains(cmp_idx) {
         return Err(LoopReject::NoConstCompareAtLatch);
     }
@@ -867,10 +869,7 @@ mod tests {
         assert_eq!(simulate_loop_count(&plan, 1, 100), Some(1));
         assert_eq!(simulate_loop_count(&plan, 10, 100), Some(10));
         // Non-terminating within cap.
-        let bad = LoopPlan {
-            step: 0,
-            ..plan
-        };
+        let bad = LoopPlan { step: 0, ..plan };
         assert_eq!(simulate_loop_count(&bad, 10, 100), None);
 
         let up = LoopPlan {

@@ -10,8 +10,8 @@ use std::fmt;
 
 use crate::cfg::Cfg;
 use crate::classify::{
-    Classification, ClassifyOptions, Disposition, LoopPlanKind, LoopReject, classify,
-    plan_simple_loop,
+    classify, plan_simple_loop, Classification, ClassifyOptions, Disposition, LoopPlanKind,
+    LoopReject,
 };
 use crate::{CfgError, LinkOptions};
 use armv8m_isa::Module;

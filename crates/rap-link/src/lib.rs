@@ -37,13 +37,13 @@ mod transform;
 
 pub use cfg::{Cfg, CfgError, FlatNode, FlatOp, NaturalLoop};
 pub use classify::{
-    Classification, ClassifyOptions, Disposition, LoopPlan, LoopPlanKind, LoopReject, classify,
-    simulate_loop_count,
+    classify, simulate_loop_count, Classification, ClassifyOptions, Disposition, LoopPlan,
+    LoopPlanKind, LoopReject,
 };
-pub use explain::{FunctionSummary, LinkReport, LoopDecision, LoopOutcome, explain};
+pub use explain::{explain, FunctionSummary, LinkReport, LoopDecision, LoopOutcome};
 pub use map::{AddrRange, LinkMap, LoopMeta, Site, SiteKind};
-pub use serialize::{MapFormatError, read_map, write_map};
-pub use transform::{LinkError, TransformOptions, Transformed, transform};
+pub use serialize::{read_map, write_map, MapFormatError};
+pub use transform::{transform, LinkError, TransformOptions, Transformed};
 
 use armv8m_isa::{Image, Module};
 

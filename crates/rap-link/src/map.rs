@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use armv8m_isa::{Cond, Reg};
 
-use crate::classify::{LoopPlanKind, simulate_loop_count};
+use crate::classify::{simulate_loop_count, LoopPlanKind};
 
 /// A half-open address range `[start, end)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -187,13 +187,11 @@ mod tests {
         assert!(!r.contains(0x200));
         assert_eq!(r.len(), 0x100);
         assert!(!r.is_empty());
-        assert!(
-            AddrRange {
-                start: 0x10,
-                end: 0x10
-            }
-            .is_empty()
-        );
+        assert!(AddrRange {
+            start: 0x10,
+            end: 0x10
+        }
+        .is_empty());
     }
 
     #[test]

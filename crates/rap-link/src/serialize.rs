@@ -93,9 +93,7 @@ pub fn write_map(map: &LinkMap) -> String {
             SiteKind::IndirectJump => ("indirect-jump", String::new()),
             SiteKind::CondTaken { taken } => ("cond-taken", format!(" taken={taken:#x}")),
             SiteKind::LoopForward { cont } => ("loop-forward", format!(" cont={cont:#x}")),
-            SiteKind::CondFallthrough { cont } => {
-                ("cond-fallthrough", format!(" cont={cont:#x}"))
-            }
+            SiteKind::CondFallthrough { cont } => ("cond-fallthrough", format!(" cont={cont:#x}")),
         };
         let _ = writeln!(
             out,
@@ -156,9 +154,7 @@ fn kv<'a>(token: &'a str, key: &str, line: usize) -> Result<&'a str, MapFormatEr
 /// Returns a [`MapFormatError`] on version mismatch or malformed lines.
 pub fn read_map(text: &str) -> Result<LinkMap, MapFormatError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ferr(1, "empty map file"))?;
+    let (_, header) = lines.next().ok_or_else(|| ferr(1, "empty map file"))?;
     if header.trim() != "rap-track-map v1" {
         return Err(ferr(1, format!("bad header `{header}`")));
     }
@@ -194,8 +190,7 @@ pub fn read_map(text: &str) -> Result<LinkMap, MapFormatError> {
                 if rest.len() != 2 {
                     return Err(ferr(line_no, "expected `func ADDR NAME`"));
                 }
-                map.funcs
-                    .insert(num(rest[0], line_no)?, rest[1].to_owned());
+                map.funcs.insert(num(rest[0], line_no)?, rest[1].to_owned());
             }
             "origsize" => {
                 if rest.len() != 1 {
@@ -218,13 +213,22 @@ pub fn read_map(text: &str) -> Result<LinkMap, MapFormatError> {
                     "load-jump" => SiteKind::LoadJump,
                     "indirect-jump" => SiteKind::IndirectJump,
                     "cond-taken" => SiteKind::CondTaken {
-                        taken: num(kv(rest.get(5).copied().unwrap_or(""), "taken", line_no)?, line_no)?,
+                        taken: num(
+                            kv(rest.get(5).copied().unwrap_or(""), "taken", line_no)?,
+                            line_no,
+                        )?,
                     },
                     "loop-forward" => SiteKind::LoopForward {
-                        cont: num(kv(rest.get(5).copied().unwrap_or(""), "cont", line_no)?, line_no)?,
+                        cont: num(
+                            kv(rest.get(5).copied().unwrap_or(""), "cont", line_no)?,
+                            line_no,
+                        )?,
                     },
                     "cond-fallthrough" => SiteKind::CondFallthrough {
-                        cont: num(kv(rest.get(5).copied().unwrap_or(""), "cont", line_no)?, line_no)?,
+                        cont: num(
+                            kv(rest.get(5).copied().unwrap_or(""), "cont", line_no)?,
+                            line_no,
+                        )?,
                     },
                     other => return Err(ferr(line_no, format!("bad site kind `{other}`"))),
                 };
@@ -298,7 +302,7 @@ pub fn read_map(text: &str) -> Result<LinkMap, MapFormatError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{LinkOptions, link};
+    use crate::{link, LinkOptions};
     use armv8m_isa::{Asm, Instr, Reg};
 
     fn rich_map() -> LinkMap {
@@ -380,11 +384,16 @@ mod tests {
         assert!(kinds.iter().any(|k| matches!(k, SiteKind::IndirectCall)));
         assert!(kinds.iter().any(|k| matches!(k, SiteKind::ReturnPop)));
         assert!(kinds.iter().any(|k| matches!(k, SiteKind::LoadJump)));
-        assert!(kinds.iter().any(|k| matches!(k, SiteKind::CondTaken { .. })));
-        assert!(kinds.iter().any(|k| matches!(k, SiteKind::LoopForward { .. })));
-        let loop_kinds: Vec<LoopPlanKind> =
-            map.loops_by_latch.values().map(|l| l.kind).collect();
-        assert!(loop_kinds.iter().any(|k| matches!(k, LoopPlanKind::Static { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, SiteKind::CondTaken { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, SiteKind::LoopForward { .. })));
+        let loop_kinds: Vec<LoopPlanKind> = map.loops_by_latch.values().map(|l| l.kind).collect();
+        assert!(loop_kinds
+            .iter()
+            .any(|k| matches!(k, LoopPlanKind::Static { .. })));
         assert!(loop_kinds.contains(&LoopPlanKind::Logged));
     }
 

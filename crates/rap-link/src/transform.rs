@@ -5,7 +5,7 @@
 //! region (MTBAR), with synthetic labels tying the two together and the
 //! address-resolved [`LinkMap`] extracted after assembly.
 
-use armv8m_isa::{AsmError, Image, Instr, Item, Module, Reg, RegList, Target, service};
+use armv8m_isa::{service, AsmError, Image, Instr, Item, Module, Reg, RegList, Target};
 
 use crate::cfg::{Cfg, FlatOp};
 use crate::classify::{Classification, Disposition, LoopPlanKind};
@@ -373,11 +373,7 @@ impl Transformed {
     ///
     /// Propagates assembly failures and reports internal inconsistencies
     /// as [`LinkError::Internal`].
-    pub fn assemble(
-        &self,
-        base: u32,
-        cls: &Classification,
-    ) -> Result<(Image, LinkMap), LinkError> {
+    pub fn assemble(&self, base: u32, cls: &Classification) -> Result<(Image, LinkMap), LinkError> {
         let image = self.module.assemble(base)?;
         let sym = |name: &str| -> Result<u32, LinkError> {
             image
@@ -411,8 +407,8 @@ impl Transformed {
         for p in &self.pending {
             let (entry, src, kind) = match &p.kind {
                 PendingKind::ReturnPop => {
-                    let (entry, src) = pop_entry
-                        .ok_or_else(|| LinkError::Internal("pop stub missing".into()))?;
+                    let (entry, src) =
+                        pop_entry.ok_or_else(|| LinkError::Internal("pop stub missing".into()))?;
                     (entry, src, SiteKind::ReturnPop)
                 }
                 PendingKind::IndirectCall => (

@@ -21,7 +21,7 @@ mod dwt;
 mod mtb;
 pub mod regs;
 
-pub use dwt::{Dwt, DwtError, DwtSignals, NUM_COMPARATORS, PcRange, RangeAction};
+pub use dwt::{Dwt, DwtError, DwtSignals, PcRange, RangeAction, NUM_COMPARATORS};
 pub use mtb::{Mtb, MtbConfig, TraceEntry};
 pub use regs::{ProgramError, TraceRegFile};
 

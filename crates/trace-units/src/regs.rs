@@ -150,9 +150,7 @@ impl TraceRegFile {
     /// [`ProgramError::UnknownRegister`] for unmapped offsets.
     pub fn read(&self, offset: u32, mtb: &Mtb) -> Result<u32, ProgramError> {
         match offset {
-            o if o == offset::MTB_POSITION => {
-                Ok((mtb.entries().len() * TraceEntry::BYTES) as u32)
-            }
+            o if o == offset::MTB_POSITION => Ok((mtb.entries().len() * TraceEntry::BYTES) as u32),
             o if o == offset::MTB_MASTER => Ok(self.master),
             o if o == offset::MTB_FLOW => Ok(self.flow),
             _ => {
@@ -177,9 +175,7 @@ impl TraceRegFile {
     /// See [`ProgramError`].
     pub fn program(&self, dwt: &mut Dwt, mtb: &mut Mtb) -> Result<(), ProgramError> {
         // MTB master control.
-        mtb.set_master_trace(
-            self.master & MASTER_EN != 0 && self.master & MASTER_TSTARTEN != 0,
-        );
+        mtb.set_master_trace(self.master & MASTER_EN != 0 && self.master & MASTER_TSTARTEN != 0);
         // Watermark: byte offset → entries; bit 0 enables.
         if self.flow & 1 != 0 {
             let bytes = (self.flow & !7) as usize;

@@ -16,7 +16,7 @@ use armv8m_isa::{Asm, Module, Reg};
 use mcu_sim::Machine;
 
 use crate::devices::Lcg;
-use crate::{SCRATCH_BUF, Workload};
+use crate::{Workload, SCRATCH_BUF};
 
 fn no_devices(_machine: &mut Machine) {}
 
@@ -71,7 +71,7 @@ fn prime_module() -> Module {
     a.mul(R3, R2, R2); // d*d
     a.cmp(R3, R1);
     a.bhi("prime_yes"); // d*d > n → prime
-    // n % d == 0 ?
+                        // n % d == 0 ?
     a.udiv(R3, R1, R2);
     a.mul(R3, R3, R2);
     a.cmp(R3, R1);
@@ -341,7 +341,11 @@ pub const FIB_N: u16 = 13;
 /// Host-side oracle.
 pub fn fib_oracle() -> u32 {
     fn f(n: u32) -> u32 {
-        if n < 2 { n } else { f(n - 1) + f(n - 2) }
+        if n < 2 {
+            n
+        } else {
+            f(n - 1) + f(n - 2)
+        }
     }
     f(FIB_N as u32)
 }

@@ -15,7 +15,7 @@ use armv8m_isa::{Asm, Module, Reg};
 use mcu_sim::Machine;
 
 use crate::devices::Lcg;
-use crate::{SCRATCH_BUF, Workload};
+use crate::{Workload, SCRATCH_BUF};
 
 fn no_devices(_machine: &mut Machine) {}
 

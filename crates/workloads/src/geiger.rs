@@ -13,8 +13,8 @@
 use armv8m_isa::{Asm, Module, Reg};
 use mcu_sim::Machine;
 
-use crate::devices::{Lcg, StreamSensor, bases};
-use crate::{SCRATCH_BUF, Workload};
+use crate::devices::{bases, Lcg, StreamSensor};
+use crate::{Workload, SCRATCH_BUF};
 
 /// Sampling windows processed.
 pub const WINDOWS: u16 = 30;
@@ -34,7 +34,7 @@ fn module() -> Module {
     a.func("main");
     a.movi(R7, 0); // checksum
     a.movi(R5, 0); // alarms fired
-    // Register the alarm callback (function pointer in RAM).
+                   // Register the alarm callback (function pointer in RAM).
     a.mov32(R6, CALLBACK_PTR);
     a.load_addr(R0, "alarm_blink");
     a.str_(R0, R6, 0);
@@ -177,12 +177,10 @@ mod tests {
     fn indirect_call_site_present_after_linking() {
         let w = workload();
         let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
-        assert!(
-            linked
-                .map
-                .sites_by_entry
-                .values()
-                .any(|s| s.kind == rap_link::SiteKind::IndirectCall)
-        );
+        assert!(linked
+            .map
+            .sites_by_entry
+            .values()
+            .any(|s| s.kind == rap_link::SiteKind::IndirectCall));
     }
 }

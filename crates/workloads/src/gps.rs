@@ -15,8 +15,8 @@
 use armv8m_isa::{Asm, Instr, Module, Reg};
 use mcu_sim::Machine;
 
-use crate::devices::{ByteUart, Lcg, bases};
-use crate::{SCRATCH_BUF, Workload};
+use crate::devices::{bases, ByteUart, Lcg};
+use crate::{Workload, SCRATCH_BUF};
 
 /// Number of synthetic sentences in the stream.
 pub const SENTENCES: usize = 8;

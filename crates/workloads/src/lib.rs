@@ -33,8 +33,6 @@ pub mod syringe;
 pub mod temperature;
 pub mod ultrasonic;
 
-
-
 use armv8m_isa::{Module, Reg};
 use mcu_sim::{Machine, RAM_BASE};
 
@@ -222,8 +220,7 @@ mod tests {
                     },
                 )
                 .unwrap_or_else(|e| panic!("{}: attest: {e}", w.name));
-            let verifier =
-                rap_track::Verifier::new(key, linked.image.clone(), linked.map.clone());
+            let verifier = rap_track::Verifier::new(key, linked.image.clone(), linked.map.clone());
             let path = verifier
                 .verify(chal, &att.reports)
                 .unwrap_or_else(|e| panic!("{}: verify: {e}", w.name));

@@ -8,8 +8,8 @@
 use armv8m_isa::{Asm, Module, Reg};
 use mcu_sim::Machine;
 
-use crate::devices::{ByteUart, Lcg, bases};
-use crate::{Workload, gps};
+use crate::devices::{bases, ByteUart, Lcg};
+use crate::{gps, Workload};
 
 /// Parameters of the synthetic kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

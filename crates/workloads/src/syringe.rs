@@ -13,8 +13,8 @@
 use armv8m_isa::{Asm, Instr, Module, Reg};
 use mcu_sim::Machine;
 
-use crate::devices::{StreamSensor, bases};
-use crate::{SCRATCH_BUF, Workload};
+use crate::devices::{bases, StreamSensor};
+use crate::{Workload, SCRATCH_BUF};
 
 /// Command opcodes on the wire (arg byte follows each).
 pub const CMD_PUSH: u32 = 1;
@@ -28,15 +28,24 @@ const JUMP_TABLE: u32 = SCRATCH_BUF;
 /// The command script fed to the pump (opcode, argument pairs).
 pub fn command_script() -> Vec<u32> {
     vec![
-        CMD_PUSH, 40, // prime the line
-        CMD_PUSH, 25, // first dose
-        CMD_STATUS, 0,
-        CMD_RETRACT, 10, // anti-drip pull-back
-        CMD_PUSH, 55, // second dose
-        CMD_STATUS, 0,
-        CMD_RETRACT, 30,
-        CMD_PUSH, 15,
-        CMD_STATUS, 0,
+        CMD_PUSH,
+        40, // prime the line
+        CMD_PUSH,
+        25, // first dose
+        CMD_STATUS,
+        0,
+        CMD_RETRACT,
+        10, // anti-drip pull-back
+        CMD_PUSH,
+        55, // second dose
+        CMD_STATUS,
+        0,
+        CMD_RETRACT,
+        30,
+        CMD_PUSH,
+        15,
+        CMD_STATUS,
+        0,
         0, // end of stream
     ]
 }
@@ -48,7 +57,7 @@ fn module() -> Module {
     a.func("main");
     a.movi(R7, 0); // checksum (status reports)
     a.movi(R5, 0); // plunger position
-    // Build the dispatch table: [push, retract, status].
+                   // Build the dispatch table: [push, retract, status].
     a.mov32(R6, JUMP_TABLE);
     a.load_addr(R0, "case_push");
     a.str_(R0, R6, 0);
@@ -175,20 +184,16 @@ mod tests {
     fn dispatch_is_a_load_jump_site() {
         let w = workload();
         let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
-        assert!(
-            linked
-                .map
-                .sites_by_entry
-                .values()
-                .any(|s| s.kind == rap_link::SiteKind::LoadJump)
-        );
+        assert!(linked
+            .map
+            .sites_by_entry
+            .values()
+            .any(|s| s.kind == rap_link::SiteKind::LoadJump));
         // And the stepping loop is §IV-D optimized.
-        assert!(
-            linked
-                .map
-                .loops_by_latch
-                .values()
-                .any(|l| l.kind == rap_link::LoopPlanKind::Logged)
-        );
+        assert!(linked
+            .map
+            .loops_by_latch
+            .values()
+            .any(|l| l.kind == rap_link::LoopPlanKind::Logged));
     }
 }

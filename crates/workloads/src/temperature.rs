@@ -11,8 +11,8 @@
 use armv8m_isa::{Asm, Module, Reg};
 use mcu_sim::Machine;
 
-use crate::devices::{Lcg, StreamSensor, bases};
-use crate::{SCRATCH_BUF, Workload};
+use crate::devices::{bases, Lcg, StreamSensor};
+use crate::{Workload, SCRATCH_BUF};
 
 /// Samples taken.
 pub const SAMPLES: u16 = 24;
@@ -84,7 +84,7 @@ fn module() -> Module {
     a.cmpi(R2, 0);
     a.bne("shift_loop");
     a.str_(R0, R1, 0); // newest sample in the last slot
-    // Average.
+                       // Average.
     a.mov32(R1, WINDOW);
     a.movi(R0, 0);
     a.movi(R2, 8); // static sum counter

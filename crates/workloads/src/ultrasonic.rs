@@ -14,9 +14,8 @@
 use armv8m_isa::{Asm, Module, Reg};
 use mcu_sim::Machine;
 
-use crate::devices::{Lcg, StreamSensor, bases};
-use crate::{RESULT_BUF, Workload};
-
+use crate::devices::{bases, Lcg, StreamSensor};
+use crate::{Workload, RESULT_BUF};
 
 /// Number of distance measurements taken.
 pub const MEASUREMENTS: u16 = 16;
@@ -33,7 +32,7 @@ fn module() -> Module {
     a.label("measure_loop");
     a.bl("measure"); // r0 = echo ticks
     a.bl("to_distance"); // r0 = centimetres
-    // Proximity classification.
+                         // Proximity classification.
     a.cmpi(R0, 50);
     a.bge("far_enough");
     a.addi(R5, R5, 1); // near-object alarm
@@ -56,8 +55,8 @@ fn module() -> Module {
     a.str_(R0, R1, 4); // trigger pulse
     a.ldr(R0, R1, 0); // expected echo ticks (runtime-variable)
     a.mov(R2, R0); // keep the measurement
-    // Timed wait: variable-count, register-only countdown — a §IV-D
-    // simple loop whose condition is logged once.
+                   // Timed wait: variable-count, register-only countdown — a §IV-D
+                   // simple loop whose condition is logged once.
     a.label("echo_wait");
     a.subi(R0, R0, 1);
     a.cmpi(R0, 0);
@@ -144,5 +143,4 @@ mod tests {
             "echo wait should be §IV-D optimized"
         );
     }
-
 }

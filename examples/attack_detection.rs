@@ -15,8 +15,8 @@
 
 use armv8m_isa::{Asm, Reg};
 use mcu_sim::{InjectedWrite, Machine, RAM_BASE, RAM_SIZE};
-use rap_link::{LinkOptions, link};
-use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+use rap_link::{link, LinkOptions};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, Verifier};
 
 fn victim() -> rap_link::LinkedProgram {
     let mut a = Asm::new();

@@ -7,10 +7,10 @@
 //! ```
 
 use mcu_sim::{InjectedWrite, Machine};
-use rap_link::{LinkOptions, link};
+use rap_link::{link, LinkOptions};
 use rap_track::{
-    CfaEngine, EngineConfig, PathPolicy, PathStats, Report, SessionError, VerifierSession,
-    device_key,
+    device_key, CfaEngine, EngineConfig, PathPolicy, PathStats, Report, SessionError,
+    VerifierSession,
 };
 
 /// One simulated device in the fleet.

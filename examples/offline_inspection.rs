@@ -5,7 +5,7 @@
 //! cargo run --example offline_inspection [workload]
 //! ```
 
-use rap_link::{LinkOptions, link};
+use rap_link::{link, LinkOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "geiger".into());

@@ -6,8 +6,8 @@
 //! cargo run --example partial_reports
 //! ```
 
-use rap_link::{LinkOptions, link};
-use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+use rap_link::{link, LinkOptions};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, Verifier};
 use trace_units::MtbConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -10,8 +10,8 @@
 //! 4. Verifier: authenticate the report and reconstruct the path.
 
 use armv8m_isa::{Asm, Reg};
-use rap_link::{LinkOptions, link};
-use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+use rap_link::{link, LinkOptions};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small sensing-style application: a runtime-variable loop, a
@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Verifier side.
     let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
     let path = verifier.verify(chal, &att.reports)?;
-    println!("\nreconstructed control-flow path ({} events):", path.events.len());
+    println!(
+        "\nreconstructed control-flow path ({} events):",
+        path.events.len()
+    );
     print!("{}", path.render(&linked.image));
     println!("\nverification: OK (lossless path accepted)");
     Ok(())

@@ -6,13 +6,16 @@
 //! cargo run --example syringe_audit
 //! ```
 
-use rap_link::{LinkOptions, link};
-use rap_track::{CfaEngine, Challenge, EngineConfig, PathEvent, Verifier, device_key};
+use rap_link::{link, LinkOptions};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, PathEvent, Verifier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = workloads::syringe::workload();
     println!("workload: {} — {}", w.name, w.description);
-    println!("command script: {:?}\n", workloads::syringe::command_script());
+    println!(
+        "command script: {:?}\n",
+        workloads::syringe::command_script()
+    );
 
     let linked = link(&w.module, 0, LinkOptions::default())?;
     let key = device_key("infusion-pump-17");
@@ -41,12 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = verifier.verify(chal, &att.reports)?;
 
     // Audit: every jump-table dispatch is one executed pump command.
-    let step_loop_header = linked
-        .map
-        .loops_by_latch
-        .values()
-        .next()
-        .map(|l| l.header);
+    let step_loop_header = linked.map.loops_by_latch.values().next().map(|l| l.header);
     let mut commands = 0;
     let mut motor_steps: u32 = 0;
     for event in &path.events {
@@ -55,9 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 commands += 1;
                 println!("  command #{commands}: dispatched to {dest:#06x}");
             }
-            PathEvent::LoopIterations { header, count }
-                if Some(*header) == step_loop_header =>
-            {
+            PathEvent::LoopIterations { header, count } if Some(*header) == step_loop_header => {
                 motor_steps += count;
                 println!("    motor stepped {count} times");
             }
@@ -65,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\naudit summary: {commands} commands, {motor_steps} motor steps");
-    println!("final plunger position register: {}", machine.cpu.reg(w.result_reg()));
+    println!(
+        "final plunger position register: {}",
+        machine.cpu.reg(w.result_reg())
+    );
     println!("verification: OK — the session matched the deployed firmware");
     Ok(())
 }

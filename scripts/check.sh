@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI runs, in the order a developer
+# wants failures reported (cheap formatting first would hide build
+# breakage behind style noise, so build comes first).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace
+run cargo test -q --workspace
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

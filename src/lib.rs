@@ -1,1 +1,8 @@
-pub use armv8m_isa; pub use cfa_baselines; pub use mcu_sim; pub use rap_crypto; pub use rap_link; pub use rap_track; pub use trace_units; pub use workloads;
+pub use armv8m_isa;
+pub use cfa_baselines;
+pub use mcu_sim;
+pub use rap_crypto;
+pub use rap_link;
+pub use rap_track;
+pub use trace_units;
+pub use workloads;

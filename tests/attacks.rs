@@ -3,8 +3,8 @@
 
 use armv8m_isa::{Asm, Reg};
 use mcu_sim::{ExecError, InjectedWrite, Machine, RAM_BASE, RAM_SIZE};
-use rap_link::{LinkOptions, LinkedProgram, link};
-use rap_track::{CfaEngine, Challenge, EngineConfig, Report, Verifier, Violation, device_key};
+use rap_link::{link, LinkOptions, LinkedProgram};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, Report, Verifier, Violation};
 
 const KEY_SEED: &str = "attack-tests";
 
@@ -234,9 +234,8 @@ fn mtb_cannot_be_disabled_by_ns_world() {
         .attest(&mut machine, &linked.map, chal, EngineConfig::default())
         .unwrap();
     assert!(machine.mpu.is_locked());
-    assert!(!machine.mpu.protect(mcu_sim::ProtectedRegion {
-        base: 0,
-        limit: 4
-    }));
+    assert!(!machine
+        .mpu
+        .protect(mcu_sim::ProtectedRegion { base: 0, limit: 4 }));
     assert!(!machine.mpu.clear());
 }

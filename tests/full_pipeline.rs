@@ -2,9 +2,9 @@
 //! pipeline over every evaluation workload, plus the figure-shape
 //! invariants the paper's evaluation rests on.
 
-use rap_bench::{WorkloadReport, measure_all};
-use rap_link::{LinkOptions, link};
-use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+use rap_bench::{measure_all, WorkloadReport};
+use rap_link::{link, LinkOptions};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, Verifier};
 
 fn reports() -> Vec<WorkloadReport> {
     measure_all()
@@ -56,9 +56,8 @@ fn fig9_rap_log_bounded_by_naive() {
         );
     }
     // The loop-optimization stars from the paper's discussion.
-    let by_name = |reports: &[WorkloadReport], n: &str| {
-        reports.iter().find(|r| r.name == n).unwrap().clone()
-    };
+    let by_name =
+        |reports: &[WorkloadReport], n: &str| reports.iter().find(|r| r.name == n).unwrap().clone();
     let all = reports();
     for star in ["ultrasonic", "syringe"] {
         let r = by_name(&all, star);
@@ -202,5 +201,8 @@ fn ablation_loop_opt_shrinks_logs_globally() {
             wins += 1;
         }
     }
-    assert!(wins >= 5, "loop opt should matter for most workloads: {wins}");
+    assert!(
+        wins >= 5,
+        "loop opt should matter for most workloads: {wins}"
+    );
 }

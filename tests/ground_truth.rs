@@ -5,15 +5,17 @@
 
 use std::collections::HashMap;
 
-use rap_link::{LinkOptions, SiteKind, link};
-use rap_track::{CfaEngine, Challenge, EngineConfig, PathEvent, Verifier, device_key};
+use rap_link::{link, LinkOptions, SiteKind};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, PathEvent, Verifier};
 
 struct GroundTruth {
     /// Dynamic executions of each MTBAR stub (by stub source address).
     stub_executions: HashMap<u32, usize>,
 }
 
-fn run_with_oracle(w: &workloads::Workload) -> (rap_link::LinkedProgram, GroundTruth, Vec<PathEvent>) {
+fn run_with_oracle(
+    w: &workloads::Workload,
+) -> (rap_link::LinkedProgram, GroundTruth, Vec<PathEvent>) {
     let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
     let key = device_key("oracle");
     let engine = CfaEngine::new(key.clone());
@@ -69,7 +71,9 @@ fn reconstructed_event_counts_match_execution() {
                 PathEvent::CondNotTaken { site } => (Some(*site), true),
                 _ => (None, false),
             };
-            let Some(mtbdr_addr) = site_addr else { continue };
+            let Some(mtbdr_addr) = site_addr else {
+                continue;
+            };
             // Map the MTBDR-side event site to the stub it targets.
             let Some(instr) = linked.image.instr_at(mtbdr_addr) else {
                 continue;

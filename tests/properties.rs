@@ -6,168 +6,304 @@
 //! * and the headline property: **any** structured random program,
 //!   linked by RAP-Track, attests and verifies losslessly, with the
 //!   rewritten binary computing the same result as the original.
+//!
+//! The generators run on a self-contained deterministic PRNG (the
+//! evaluation machines are air-gapped, so the external `proptest`
+//! dependency was replaced). Every case is reproducible from its case
+//! index; failures print the seed so a case can be replayed in
+//! isolation.
 
-use proptest::prelude::*;
+use armv8m_isa::{decode, encode, Asm, Cond, Instr, Reg, RegList, Target};
+use rap_link::{link, LinkOptions};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, Report, Verifier};
 
-use armv8m_isa::{Asm, Cond, Instr, Reg, RegList, Target, decode, encode};
-use rap_link::{LinkOptions, link};
-use rap_track::{CfaEngine, Challenge, EngineConfig, Verifier, device_key};
+// ---------------------------------------------------------------------
+// Deterministic generator substrate
+// ---------------------------------------------------------------------
+
+/// SplitMix64: tiny, statistically solid, and fully deterministic.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u16(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+
+    fn next_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn usize_below(&mut self, n: usize) -> usize {
+        self.range(0, n as u64) as usize
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u8()).collect()
+    }
+}
+
+/// Runs `f` across `cases` deterministic seeds, labelling any panic
+/// with the failing seed so it can be replayed.
+fn for_each_case(property: &str, cases: u64, mut f: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        // Seed mixes the property name so different properties don't
+        // see correlated streams.
+        let mut seed = 0xCAFE_F00D_u64.wrapping_mul(case + 1);
+        for b in property.bytes() {
+            seed = seed.wrapping_mul(31).wrapping_add(u64::from(b));
+        }
+        let mut rng = Rng::new(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!("property `{property}` failed at case {case} (seed {seed:#x})");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // ISA round-trip
 // ---------------------------------------------------------------------
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
+fn any_reg(rng: &mut Rng) -> Reg {
+    Reg::from_index(rng.range(0, 16) as u8).unwrap()
 }
 
-fn low_reg() -> impl Strategy<Value = Reg> {
-    (0u8..8).prop_map(|i| Reg::from_index(i).unwrap())
+fn low_reg(rng: &mut Rng) -> Reg {
+    Reg::from_index(rng.range(0, 8) as u8).unwrap()
 }
 
-fn any_cond() -> impl Strategy<Value = Cond> {
-    (0u8..14).prop_map(|i| Cond::from_index(i).unwrap())
+fn any_cond(rng: &mut Rng) -> Cond {
+    Cond::from_index(rng.range(0, 14) as u8).unwrap()
 }
 
-prop_compose! {
-    fn aligned_addr()(a in 0u32..0x2_0000) -> u32 { a & !1 }
+fn aligned_addr(rng: &mut Rng) -> u32 {
+    (rng.range(0, 0x2_0000) as u32) & !1
 }
 
-fn any_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::MovImm { rd, imm }),
-        (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::MovTop { rd, imm }),
-        (any_reg(), any_reg()).prop_map(|(rd, rm)| Instr::MovReg { rd, rm }),
-        (any_reg(), any_reg(), any::<u16>())
-            .prop_map(|(rd, rn, imm)| Instr::AddImm { rd, rn, imm }),
-        (any_reg(), any_reg(), any::<u16>())
-            .prop_map(|(rd, rn, imm)| Instr::SubImm { rd, rn, imm }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rn, rm)| Instr::AddReg { rd, rn, rm }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rn, rm)| Instr::MulReg { rd, rn, rm }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rn, rm)| Instr::UdivReg { rd, rn, rm }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rn, rm)| Instr::EorReg { rd, rn, rm }),
-        (low_reg(), low_reg(), 0u8..32).prop_map(|(rd, rm, shift)| Instr::LslImm {
-            rd,
-            rm,
-            shift
-        }),
-        (low_reg(), low_reg(), 0u8..32).prop_map(|(rd, rm, shift)| Instr::AsrImm {
-            rd,
-            rm,
-            shift
-        }),
-        (any_reg(), any::<u16>()).prop_map(|(rn, imm)| Instr::CmpImm { rn, imm }),
-        (any_reg(), any_reg(), any::<u16>())
-            .prop_map(|(rt, rn, offset)| Instr::LdrImm { rt, rn, offset }),
-        (any_reg(), any_reg(), any::<u16>())
-            .prop_map(|(rt, rn, offset)| Instr::StrImm { rt, rn, offset }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rt, rn, rm)| Instr::LdrReg { rt, rn, rm }),
-        (0u16..256, any::<bool>()).prop_map(|(mask, lr)| {
-            let mut list = RegList::from_mask(mask);
-            if lr {
+fn any_instr(rng: &mut Rng) -> Instr {
+    match rng.range(0, 25) {
+        0 => Instr::MovImm {
+            rd: any_reg(rng),
+            imm: rng.next_u16(),
+        },
+        1 => Instr::MovTop {
+            rd: any_reg(rng),
+            imm: rng.next_u16(),
+        },
+        2 => Instr::MovReg {
+            rd: any_reg(rng),
+            rm: any_reg(rng),
+        },
+        3 => Instr::AddImm {
+            rd: any_reg(rng),
+            rn: any_reg(rng),
+            imm: rng.next_u16(),
+        },
+        4 => Instr::SubImm {
+            rd: any_reg(rng),
+            rn: any_reg(rng),
+            imm: rng.next_u16(),
+        },
+        5 => Instr::AddReg {
+            rd: any_reg(rng),
+            rn: any_reg(rng),
+            rm: any_reg(rng),
+        },
+        6 => Instr::MulReg {
+            rd: any_reg(rng),
+            rn: any_reg(rng),
+            rm: any_reg(rng),
+        },
+        7 => Instr::UdivReg {
+            rd: any_reg(rng),
+            rn: any_reg(rng),
+            rm: any_reg(rng),
+        },
+        8 => Instr::EorReg {
+            rd: any_reg(rng),
+            rn: any_reg(rng),
+            rm: any_reg(rng),
+        },
+        9 => Instr::LslImm {
+            rd: low_reg(rng),
+            rm: low_reg(rng),
+            shift: rng.range(0, 32) as u8,
+        },
+        10 => Instr::AsrImm {
+            rd: low_reg(rng),
+            rm: low_reg(rng),
+            shift: rng.range(0, 32) as u8,
+        },
+        11 => Instr::CmpImm {
+            rn: any_reg(rng),
+            imm: rng.next_u16(),
+        },
+        12 => Instr::LdrImm {
+            rt: any_reg(rng),
+            rn: any_reg(rng),
+            offset: rng.next_u16(),
+        },
+        13 => Instr::StrImm {
+            rt: any_reg(rng),
+            rn: any_reg(rng),
+            offset: rng.next_u16(),
+        },
+        14 => Instr::LdrReg {
+            rt: any_reg(rng),
+            rn: any_reg(rng),
+            rm: any_reg(rng),
+        },
+        15 => {
+            let mut list = RegList::from_mask(rng.range(0, 256) as u16);
+            if rng.next_bool() {
                 list = list.with(Reg::Lr);
             }
             Instr::Push { list }
-        }),
-        (0u16..256, any::<bool>()).prop_map(|(mask, pc)| {
-            let mut list = RegList::from_mask(mask);
-            if pc {
+        }
+        16 => {
+            let mut list = RegList::from_mask(rng.range(0, 256) as u16);
+            if rng.next_bool() {
                 list = list.with(Reg::Pc);
             }
             Instr::Pop { list }
-        }),
-        aligned_addr().prop_map(|a| Instr::B {
-            target: Target::Abs(a)
-        }),
-        (any_cond(), aligned_addr()).prop_map(|(cond, a)| Instr::BCond {
-            cond,
-            target: Target::Abs(a)
-        }),
-        aligned_addr().prop_map(|a| Instr::Bl {
-            target: Target::Abs(a)
-        }),
-        any_reg().prop_map(|rm| Instr::Blx { rm }),
-        any_reg().prop_map(|rm| Instr::Bx { rm }),
-        Just(Instr::Nop),
-        Just(Instr::Halt),
-        (any::<u8>(), any_reg()).prop_map(|(service, arg)| Instr::SecureGateway {
-            service,
-            arg
-        }),
-    ]
+        }
+        17 => Instr::B {
+            target: Target::Abs(aligned_addr(rng)),
+        },
+        18 => Instr::BCond {
+            cond: any_cond(rng),
+            target: Target::Abs(aligned_addr(rng)),
+        },
+        19 => Instr::Bl {
+            target: Target::Abs(aligned_addr(rng)),
+        },
+        20 => Instr::Blx { rm: any_reg(rng) },
+        21 => Instr::Bx { rm: any_reg(rng) },
+        22 => Instr::Nop,
+        23 => Instr::Halt,
+        _ => Instr::SecureGateway {
+            service: rng.next_u8(),
+            arg: any_reg(rng),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(instr in any_instr(), base in 0u32..0x1_0000) {
-        let addr = base & !1;
+#[test]
+fn encode_decode_roundtrip() {
+    for_each_case("encode_decode_roundtrip", 512, |rng| {
+        let instr = any_instr(rng);
+        let addr = rng.range(0, 0x1_0000) as u32 & !1;
         let bytes = encode(&instr, addr).expect("arbitrary instructions encode");
-        prop_assert_eq!(bytes.len() as u32, instr.size());
+        assert_eq!(bytes.len() as u32, instr.size());
         let (decoded, size) = decode(&bytes, addr).expect("decodes");
-        prop_assert_eq!(size, instr.size());
-        prop_assert_eq!(decoded, instr);
-    }
+        assert_eq!(size, instr.size());
+        assert_eq!(decoded, instr);
+    });
+}
 
-    #[test]
-    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 2..8),
-                            addr in 0u32..0x1000) {
+#[test]
+fn decoder_never_panics() {
+    for_each_case("decoder_never_panics", 2048, |rng| {
+        let len = rng.range(2, 8) as usize;
+        let bytes = rng.bytes(len);
+        let addr = rng.range(0, 0x1000) as u32 & !1;
         // Arbitrary bytes either decode or produce a typed error.
-        let _ = decode(&bytes, addr & !1);
-    }
+        let _ = decode(&bytes, addr);
+    });
+}
 
-    #[test]
-    fn display_parse_roundtrip(instr in any_instr()) {
+#[test]
+fn display_parse_roundtrip() {
+    for_each_case("display_parse_roundtrip", 512, |rng| {
         // Every instruction's assembly text reparses to itself.
+        let instr = any_instr(rng);
         let text = instr.to_string();
         let parsed = armv8m_isa::parse_instr(&text, 1)
             .unwrap_or_else(|e| panic!("`{text}` fails to parse: {e}"));
-        prop_assert_eq!(parsed, instr);
-    }
+        assert_eq!(parsed, instr);
+    });
+}
 
-    #[test]
-    fn parser_never_panics(line in "[ -~]{0,60}") {
+#[test]
+fn parser_never_panics() {
+    for_each_case("parser_never_panics", 2048, |rng| {
+        let len = rng.usize_below(61);
+        let line: String = (0..len)
+            .map(|_| char::from(rng.range(0x20, 0x7F) as u8))
+            .collect();
         // Arbitrary printable input either parses or errors cleanly.
         let _ = armv8m_isa::parse_instr(&line, 1);
         let _ = armv8m_isa::parse_module(&line);
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Crypto
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn sha256_incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..600),
-                                          split in 0usize..600) {
-        let split = split.min(data.len());
+#[test]
+fn sha256_incremental_matches_oneshot() {
+    for_each_case("sha256_incremental_matches_oneshot", 256, |rng| {
+        let len = rng.usize_below(600);
+        let data = rng.bytes(len);
+        let split = rng.usize_below(600).min(data.len());
         let mut h = rap_crypto::Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), rap_crypto::sha256(&data));
-    }
+        assert_eq!(h.finalize(), rap_crypto::sha256(&data));
+    });
+}
 
-    #[test]
-    fn hmac_detects_any_single_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..64),
-                                        byte in 0usize..64, bit in 0u8..8) {
-        let byte = byte % data.len();
+#[test]
+fn hmac_detects_any_single_bit_flip() {
+    for_each_case("hmac_detects_any_single_bit_flip", 256, |rng| {
+        let len = rng.range(1, 64) as usize;
+        let data = rng.bytes(len);
+        let byte = rng.usize_below(data.len());
+        let bit = rng.range(0, 8) as u8;
         let tag = rap_crypto::hmac_sha256(b"k", &data);
         let mut tampered = data.clone();
         tampered[byte] ^= 1 << bit;
-        prop_assert_ne!(tag, rap_crypto::hmac_sha256(b"k", &tampered));
-    }
+        assert_ne!(tag, rap_crypto::hmac_sha256(b"k", &tampered));
+    });
 }
 
 // ---------------------------------------------------------------------
 // MTB invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn mtb_never_exceeds_capacity_and_counts_all(
-        capacity in 1usize..64,
-        ops in proptest::collection::vec(any::<bool>(), 0..200)
-    ) {
+#[test]
+fn mtb_never_exceeds_capacity_and_counts_all() {
+    for_each_case("mtb_never_exceeds_capacity_and_counts_all", 256, |rng| {
+        let capacity = rng.range(1, 64) as usize;
+        let ops: Vec<bool> = (0..rng.usize_below(200)).map(|_| rng.next_bool()).collect();
         let mut mtb = trace_units::Mtb::new(trace_units::MtbConfig {
             capacity,
             activation_delay: 0,
@@ -182,16 +318,16 @@ proptest! {
             } else {
                 drained += mtb.drain().len();
             }
-            prop_assert!(mtb.entries().len() <= capacity);
+            assert!(mtb.entries().len() <= capacity);
         }
-        prop_assert_eq!(mtb.total_recorded(), recorded);
+        assert_eq!(mtb.total_recorded(), recorded);
         // Whatever was drained plus what remains never exceeds the
         // total (equality iff no overflow).
-        prop_assert!(drained + mtb.entries().len() <= recorded as usize);
+        assert!(drained + mtb.entries().len() <= recorded as usize);
         if !mtb.overflowed() && drained == 0 {
-            prop_assert!(mtb.entries().len() == (recorded as usize).min(capacity));
+            assert!(mtb.entries().len() == (recorded as usize).min(capacity));
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -214,24 +350,28 @@ enum Stmt {
     Call(bool),
 }
 
-fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (1u8..20).prop_map(Stmt::Add),
-        (0u8..255).prop_map(Stmt::Stir),
-        any::<bool>().prop_map(Stmt::Call),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            (
-                any::<bool>(),
-                proptest::collection::vec(inner.clone(), 0..3),
-                proptest::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(p, t, e)| Stmt::If(p, t, e)),
-            ((1u8..5), proptest::collection::vec(inner, 1..3))
-                .prop_map(|(n, b)| Stmt::Loop(n, b)),
-        ]
-    })
+fn gen_stmt(rng: &mut Rng, depth: u32) -> Stmt {
+    // Leaves get likelier as the tree deepens; depth 0 forces a leaf.
+    if depth == 0 || rng.range(0, 3) == 0 {
+        return match rng.range(0, 3) {
+            0 => Stmt::Add(rng.range(1, 20) as u8),
+            1 => Stmt::Stir(rng.range(0, 255) as u8),
+            _ => Stmt::Call(rng.next_bool()),
+        };
+    }
+    if rng.next_bool() {
+        let then_b = gen_block(rng, depth - 1, 0, 3);
+        let else_b = gen_block(rng, depth - 1, 0, 3);
+        Stmt::If(rng.next_bool(), then_b, else_b)
+    } else {
+        let body = gen_block(rng, depth - 1, 1, 3);
+        Stmt::Loop(rng.range(1, 5) as u8, body)
+    }
+}
+
+fn gen_block(rng: &mut Rng, depth: u32, min: usize, max: usize) -> Vec<Stmt> {
+    let n = rng.range(min as u64, max as u64) as usize;
+    (0..n).map(|_| gen_stmt(rng, depth)).collect()
 }
 
 struct Lowering {
@@ -330,58 +470,52 @@ fn lower(stmts: &[Stmt]) -> armv8m_isa::Module {
     l.asm.into_module()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Robustness: an adversary who somehow *could* re-sign reports
+/// (worst case) still cannot crash the Verifier or make it loop —
+/// arbitrary log mutations produce a clean verdict.
+#[test]
+fn mutated_logs_never_panic_the_verifier() {
+    let mut a = Asm::new();
+    a.func("main");
+    a.movi(Reg::R0, 6);
+    a.movi(Reg::R1, 0);
+    a.label("loop");
+    a.cmpi(Reg::R1, 3);
+    a.beq("skip");
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.label("skip");
+    a.bl("leaf");
+    a.subi(Reg::R0, Reg::R0, 1);
+    a.cmpi(Reg::R0, 0);
+    a.bne("loop");
+    a.halt();
+    a.func("leaf");
+    a.push(&[Reg::Lr]);
+    a.nop();
+    a.pop(&[Reg::Pc]);
+    let linked = link(&a.into_module(), 0, LinkOptions::default()).expect("links");
+    let key = device_key("fuzz");
+    let engine = CfaEngine::new(key.clone());
+    let mut machine = mcu_sim::Machine::new(linked.image.clone());
+    let chal = Challenge::from_seed(1);
+    let att = engine
+        .attest(&mut machine, &linked.map, chal, EngineConfig::default())
+        .expect("attests");
+    let verifier = Verifier::new(key.clone(), linked.image.clone(), linked.map.clone());
 
-    /// Robustness: an adversary who somehow *could* re-sign reports
-    /// (worst case) still cannot crash the Verifier or make it loop —
-    /// arbitrary log mutations produce a clean verdict.
-    #[test]
-    fn mutated_logs_never_panic_the_verifier(
-        mutations in proptest::collection::vec(
-            (0usize..64, any::<u32>(), any::<u32>()), 1..6),
-        drop_loops in any::<bool>(),
-    ) {
-        use rap_track::{CfaEngine, Challenge, EngineConfig, Report, Verifier, device_key};
-        let mut a = Asm::new();
-        a.func("main");
-        a.movi(Reg::R0, 6);
-        a.movi(Reg::R1, 0);
-        a.label("loop");
-        a.cmpi(Reg::R1, 3);
-        a.beq("skip");
-        a.addi(Reg::R1, Reg::R1, 1);
-        a.label("skip");
-        a.bl("leaf");
-        a.subi(Reg::R0, Reg::R0, 1);
-        a.cmpi(Reg::R0, 0);
-        a.bne("loop");
-        a.halt();
-        a.func("leaf");
-        a.push(&[Reg::Lr]);
-        a.nop();
-        a.pop(&[Reg::Pc]);
-        let linked = link(&a.into_module(), 0, LinkOptions::default()).expect("links");
-        let key = device_key("fuzz");
-        let engine = CfaEngine::new(key.clone());
-        let mut machine = mcu_sim::Machine::new(linked.image.clone());
-        let chal = Challenge::from_seed(1);
-        let att = engine
-            .attest(&mut machine, &linked.map, chal, EngineConfig::default())
-            .expect("attests");
-
+    for_each_case("mutated_logs_never_panic_the_verifier", 64, |rng| {
         // Mutate the log, then re-sign with the device key (the
         // strongest adversary assumption).
         let mut log = att.reports[0].log.clone();
-        for (idx, src, dst) in mutations {
+        for _ in 0..rng.range(1, 6) {
             if log.mtb.is_empty() {
                 break;
             }
-            let i = idx % log.mtb.len();
-            log.mtb[i].source = src & !1;
-            log.mtb[i].dest = dst & !1;
+            let i = rng.usize_below(log.mtb.len());
+            log.mtb[i].source = rng.next_u32() & !1;
+            log.mtb[i].dest = rng.next_u32() & !1;
         }
-        if drop_loops {
+        if rng.next_bool() {
             log.loop_records.clear();
         }
         let forged = vec![Report::new(
@@ -393,16 +527,18 @@ proptest! {
             true,
             false,
         )];
-        let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
         // Must terminate with a verdict, never panic or hang.
         let _ = verifier.verify(chal, &forged);
-    }
+    });
+}
 
-    /// The crown-jewel property: any structured random program
-    /// (1) keeps its semantics after RAP-Track rewriting and
-    /// (2) attests and verifies losslessly.
-    #[test]
-    fn random_programs_attest_and_verify(stmts in proptest::collection::vec(stmt_strategy(3), 1..6)) {
+/// The crown-jewel property: any structured random program
+/// (1) keeps its semantics after RAP-Track rewriting and
+/// (2) attests and verifies losslessly.
+#[test]
+fn random_programs_attest_and_verify() {
+    for_each_case("random_programs_attest_and_verify", 48, |rng| {
+        let stmts = gen_block(rng, 3, 1, 6);
         let module = lower(&stmts);
 
         // Plain semantics.
@@ -430,7 +566,7 @@ proptest! {
                 },
             )
             .expect("attests");
-        prop_assert_eq!(
+        assert_eq!(
             (machine.cpu.reg(Reg::R0), machine.cpu.reg(Reg::R1)),
             expected,
             "rewriting changed program semantics"
@@ -439,6 +575,6 @@ proptest! {
         // Lossless verification.
         let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
         let path = verifier.verify(chal, &att.reports).expect("verifies");
-        prop_assert!(!path.events.is_empty());
-    }
+        assert!(!path.events.is_empty());
+    });
 }
