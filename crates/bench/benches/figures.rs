@@ -2,10 +2,13 @@
 //! iteration recomputes the figure's full data series, so the timing
 //! doubles as a regression check on the measurement pipeline (see the
 //! `figures` binary for the pretty tables).
+//!
+//! `--quick` reduces the sample count for CI smoke runs; `--json
+//! <path>` writes median/p95 per figure (`BENCH_figures.json`).
 
 use std::hint::black_box;
 
-use rap_bench::harness::BenchGroup;
+use rap_bench::harness::{BenchArgs, BenchGroup, BenchReport};
 use rap_bench::{measure_instr_equiv, measure_naive, measure_plain, measure_rap, measure_traces};
 
 /// Small deterministic subset used for per-iteration timing (the full
@@ -19,9 +22,11 @@ fn sample_workloads() -> Vec<workloads::Workload> {
 }
 
 fn main() {
-    let group = BenchGroup::new("figures").samples(10);
+    let args = BenchArgs::parse();
+    let group = BenchGroup::new("figures").samples(if args.quick { 3 } else { 10 });
+    let mut report = BenchReport::default();
 
-    group.bench("fig1_naive_vs_instrumentation", || {
+    let stats = group.bench("fig1_naive_vs_instrumentation", || {
         let mut sizes = Vec::new();
         for w in sample_workloads() {
             let naive = measure_naive(&w);
@@ -30,8 +35,9 @@ fn main() {
         }
         black_box(sizes)
     });
+    report.record("figures/fig1_naive_vs_instrumentation", stats);
 
-    group.bench("fig8_runtime_series", || {
+    let stats = group.bench("fig8_runtime_series", || {
         let mut cycles = Vec::new();
         for w in sample_workloads() {
             let plain = measure_plain(&w);
@@ -40,8 +46,9 @@ fn main() {
         }
         black_box(cycles)
     });
+    report.record("figures/fig8_runtime_series", stats);
 
-    group.bench("fig9_cflog_series", || {
+    let stats = group.bench("fig9_cflog_series", || {
         let mut sizes = Vec::new();
         for w in sample_workloads() {
             let rap = measure_rap(&w);
@@ -51,8 +58,9 @@ fn main() {
         }
         black_box(sizes)
     });
+    report.record("figures/fig9_cflog_series", stats);
 
-    group.bench("fig10_code_size_series", || {
+    let stats = group.bench("fig10_code_size_series", || {
         let mut sizes = Vec::new();
         for w in sample_workloads() {
             let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
@@ -63,4 +71,10 @@ fn main() {
         }
         black_box(sizes)
     });
+    report.record("figures/fig10_code_size_series", stats);
+
+    if let Some(path) = &args.json_out {
+        report.write(path).expect("write bench json");
+        println!("wrote {path}");
+    }
 }

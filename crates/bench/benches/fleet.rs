@@ -5,9 +5,11 @@
 //! Prints reports/sec per configuration, the N-thread speedup and the
 //! replay-cache counters (the acceptance target for this harness is a
 //! ≥ 3x speedup at 8 workers on an 8-way host).
+//!
+//! `--quick` shrinks the fleet for CI smoke runs; `--json <path>`
+//! writes median/p95 per thread configuration (`BENCH_fleet.json`).
 
-use std::time::Instant;
-
+use rap_bench::harness::{BenchArgs, BenchGroup, BenchReport};
 use rap_link::{link, LinkOptions};
 use rap_track::{
     device_key, verify_fleet, BatchOptions, CfaEngine, Challenge, EngineConfig, FleetJob, Verifier,
@@ -24,8 +26,9 @@ struct Deployment {
 }
 
 /// Attests each workload once and replicates the stream across a
-/// simulated fleet (same binary, same challenge round).
-fn deployments() -> Vec<Deployment> {
+/// simulated fleet of `per_workload` devices (same binary, same
+/// challenge round).
+fn deployments(per_workload: usize) -> Vec<Deployment> {
     workloads::all()
         .iter()
         .map(|w| {
@@ -50,7 +53,7 @@ fn deployments() -> Vec<Deployment> {
                     },
                 )
                 .expect("workload attests");
-            let jobs = (0..FLEET_PER_WORKLOAD)
+            let jobs = (0..per_workload)
                 .map(|device| FleetJob {
                     device: format!("{}-{device:03}", w.name),
                     chal,
@@ -68,10 +71,9 @@ fn deployments() -> Vec<Deployment> {
 }
 
 /// Verifies every deployment's fleet with `threads` workers on a fresh
-/// (cold-cache) verifier; returns (total reports, wall seconds).
-fn run_fleet(deployments: &[Deployment], threads: usize) -> (usize, f64) {
+/// (cold-cache) verifier; returns the total report count.
+fn run_fleet(deployments: &[Deployment], threads: usize) -> usize {
     let mut reports = 0usize;
-    let start = Instant::now();
     for d in deployments {
         let verifier = Verifier::new(d.verifier_key.clone(), d.image.clone(), d.map.clone());
         let outcomes = verify_fleet(
@@ -85,14 +87,24 @@ fn run_fleet(deployments: &[Deployment], threads: usize) -> (usize, f64) {
         );
         reports += d.jobs.iter().map(|j| j.reports.len()).sum::<usize>();
     }
-    (reports, start.elapsed().as_secs_f64())
+    reports
 }
 
 fn main() {
-    let deployments = deployments();
+    let args = BenchArgs::parse();
+    let per_workload = if args.quick { 4 } else { FLEET_PER_WORKLOAD };
+    let mut deployments = deployments(per_workload);
+    if args.quick {
+        deployments.truncate(2);
+    }
     let total_jobs: usize = deployments.iter().map(|d| d.jobs.len()).sum();
+    let total_reports: usize = deployments
+        .iter()
+        .flat_map(|d| d.jobs.iter())
+        .map(|j| j.reports.len())
+        .sum();
     println!(
-        "fleet: {} deployments x {FLEET_PER_WORKLOAD} devices = {total_jobs} streams \
+        "fleet: {} deployments x {per_workload} devices = {total_jobs} streams \
          (host parallelism: {})",
         deployments.len(),
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -115,16 +127,25 @@ fn main() {
         stats.live_steps
     );
 
+    let group = BenchGroup::new("fleet").samples(if args.quick { 3 } else { 5 });
+    let mut report = BenchReport::default();
+    let thread_counts: &[usize] = if args.quick { &[1, 4] } else { &[1, 2, 4, 8] };
     let mut baseline = 0.0f64;
-    for threads in [1usize, 2, 4, 8] {
-        let (reports, secs) = run_fleet(&deployments, threads);
-        let per_sec = reports as f64 / secs;
+    for &threads in thread_counts {
+        let case = format!("threads_{threads}");
+        let stats = group.bench(&case, || run_fleet(&deployments, threads));
+        let per_sec = total_reports as f64 / stats.median.as_secs_f64();
         if threads == 1 {
             baseline = per_sec;
         }
         println!(
-            "threads {threads}: {reports} reports in {secs:.3}s = {per_sec:.0} reports/sec (x{:.2})",
+            "threads {threads}: {total_reports} reports, median {per_sec:.0} reports/sec (x{:.2})",
             per_sec / baseline
         );
+        report.record(&format!("fleet/{case}"), stats);
+    }
+    if let Some(path) = &args.json_out {
+        report.write(path).expect("write bench json");
+        println!("wrote {path}");
     }
 }

@@ -7,14 +7,29 @@
 //!
 //! Available selectors: `fig1a`, `fig1b`, `fig8`, `fig9`, `fig10`,
 //! `partials`, `ablate-loopopt`, `ablate-sg`, `ablate-padding`, `all`.
+//! `--json <path>` additionally writes the measured series (every
+//! workload × configuration) through the in-repo JSON writer.
 
 use rap_bench::{
-    measure_all, measure_rap, measure_rap_with, options_no_loop_opt, render_table, WorkloadReport,
-    MTB_SRAM_BYTES,
+    measure_all, measure_rap, measure_rap_with, options_no_loop_opt, render_table, reports_to_json,
+    WorkloadReport, MTB_SRAM_BYTES,
 };
+use rap_track::Metrics;
 
 fn pct(new: u64, base: u64) -> String {
+    if base == 0 {
+        return "n/a".to_owned();
+    }
     format!("{:+.1}%", (new as f64 / base as f64 - 1.0) * 100.0)
+}
+
+/// Runtime overhead of `m` over `base` (`Metrics::overhead_pct`),
+/// rendered as `n/a` for a zero-cycle baseline.
+fn ovh(m: &Metrics, base: &Metrics) -> String {
+    match m.overhead_pct(base) {
+        Some(p) => format!("{p:+.1}%"),
+        None => "n/a".to_owned(),
+    }
 }
 
 fn ratio(a: usize, b: usize) -> String {
@@ -83,8 +98,8 @@ fn fig8(reports: &[WorkloadReport]) {
                 r.naive.cycles.to_string(),
                 r.rap.cycles.to_string(),
                 r.traces.cycles.to_string(),
-                pct(r.rap.cycles, r.naive.cycles),
-                pct(r.traces.cycles, r.naive.cycles),
+                ovh(&r.rap, &r.naive),
+                ovh(&r.traces, &r.naive),
             ]
         })
         .collect();
@@ -312,8 +327,8 @@ fn sweep_density() {
         let traces = rap_bench::measure_traces(&w);
         rows.push(vec![
             conds.to_string(),
-            pct(rap.cycles, plain.cycles),
-            pct(traces.cycles, plain.cycles),
+            ovh(&rap, &plain),
+            ovh(&traces, &plain),
             rap.cflog_bytes.to_string(),
             traces.cflog_bytes.to_string(),
         ]);
@@ -366,16 +381,31 @@ fn sweep_volume() {
 }
 
 fn main() {
-    let selector = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
-    let needs_reports = matches!(
-        selector.as_str(),
-        "all" | "fig1a" | "fig1b" | "fig8" | "fig9" | "fig10" | "partials"
-    );
+    let mut selector: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_out = it.next();
+        } else if selector.is_none() {
+            selector = Some(a);
+        }
+    }
+    let selector = selector.unwrap_or_else(|| "all".to_owned());
+    let needs_reports = json_out.is_some()
+        || matches!(
+            selector.as_str(),
+            "all" | "fig1a" | "fig1b" | "fig8" | "fig9" | "fig10" | "partials"
+        );
     let reports = if needs_reports {
         measure_all()
     } else {
         Vec::new()
     };
+    if let Some(path) = &json_out {
+        std::fs::write(path, reports_to_json(&reports).to_pretty()).expect("write series json");
+        eprintln!("series -> {path}");
+    }
 
     match selector.as_str() {
         "fig1a" => fig1a(&reports),

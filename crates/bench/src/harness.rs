@@ -10,6 +10,8 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use rap_obs::Json;
+
 /// One benchmark sample set, reduced to summary statistics.
 #[derive(Debug, Clone, Copy)]
 pub struct Stats {
@@ -19,6 +21,8 @@ pub struct Stats {
     pub min: Duration,
     /// Mean time per iteration over all samples.
     pub mean: Duration,
+    /// 95th-percentile (nearest-rank) time per iteration.
+    pub p95: Duration,
     /// Iterations per sample.
     pub iters: u64,
 }
@@ -31,6 +35,101 @@ impl Stats {
         } else {
             1.0 / self.median.as_secs_f64()
         }
+    }
+
+    /// Reduces raw per-iteration sample times to summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set — a harness bug.
+    pub fn from_samples(mut per_iter: Vec<Duration>, iters: u64) -> Stats {
+        assert!(!per_iter.is_empty(), "no samples");
+        per_iter.sort();
+        // Nearest-rank p95: with few samples this degrades to the max,
+        // which is the conservative tail estimate we want.
+        Stats {
+            median: per_iter[per_iter.len() / 2],
+            min: per_iter[0],
+            mean: per_iter.iter().sum::<Duration>() / per_iter.len() as u32,
+            p95: per_iter[(per_iter.len() * 95).div_ceil(100).saturating_sub(1)],
+            iters,
+        }
+    }
+
+    /// Serializes the summary for the `BENCH_*.json` artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("median_ns", Json::Uint(self.median.as_nanos() as u64)),
+            ("min_ns", Json::Uint(self.min.as_nanos() as u64)),
+            ("mean_ns", Json::Uint(self.mean.as_nanos() as u64)),
+            ("p95_ns", Json::Uint(self.p95.as_nanos() as u64)),
+            ("iters", Json::Uint(self.iters)),
+        ])
+    }
+}
+
+/// Arguments shared by the `harness = false` bench binaries:
+/// `--quick` shrinks the workload for CI smoke runs, `--json <path>`
+/// writes the per-case summaries as a `BENCH_*.json` artifact. Unknown
+/// arguments (e.g. cargo's own) are ignored.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// Run a reduced configuration (fewer samples/devices).
+    pub quick: bool,
+    /// Where to write the JSON summary, if anywhere.
+    pub json_out: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> BenchArgs {
+        let mut args = BenchArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                "--json" => args.json_out = it.next(),
+                _ => {}
+            }
+        }
+        args
+    }
+}
+
+/// Accumulates named [`Stats`] and writes them as one JSON document
+/// (`{ "cases": { "<group>/<name>": { median_ns, p95_ns, ... } } }`).
+#[derive(Debug, Default)]
+pub struct BenchReport {
+    cases: Vec<(String, Stats)>,
+}
+
+impl BenchReport {
+    /// Records one case's summary under `id` (conventionally
+    /// `group/name`).
+    pub fn record(&mut self, id: &str, stats: Stats) {
+        self.cases.push((id.to_owned(), stats));
+    }
+
+    /// Serializes every recorded case.
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "cases",
+            Json::Obj(
+                self.cases
+                    .iter()
+                    .map(|(id, stats)| (id.clone(), stats.to_json()))
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// Writes the report to `path` as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the filesystem error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty())
     }
 }
 
@@ -89,23 +188,14 @@ impl BenchGroup {
             }
             per_iter.push(start.elapsed() / iters as u32);
         }
-        per_iter.sort();
-        let median = per_iter[per_iter.len() / 2];
-        let min = per_iter[0];
-        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
-        let stats = Stats {
-            median,
-            min,
-            mean,
-            iters,
-        };
+        let stats = Stats::from_samples(per_iter, iters);
         println!(
             "{}/{:<32} median {:>9}  min {:>9}  mean {:>9}  ({} it/sample)",
             self.name,
             name,
-            fmt_duration(median),
-            fmt_duration(min),
-            fmt_duration(mean),
+            fmt_duration(stats.median),
+            fmt_duration(stats.min),
+            fmt_duration(stats.mean),
             iters
         );
         stats
@@ -120,8 +210,21 @@ mod tests {
     fn bench_reports_sane_stats() {
         let stats = BenchGroup::new("t").samples(3).bench("noop", || 1 + 1);
         assert!(stats.min <= stats.median);
+        assert!(stats.median <= stats.p95);
         assert!(stats.iters >= 1);
         assert!(stats.per_sec() > 0.0);
+    }
+
+    #[test]
+    fn report_serializes_cases() {
+        let stats = BenchGroup::new("t").samples(2).bench("noop", || ());
+        let mut report = BenchReport::default();
+        report.record("t/noop", stats);
+        let json = report.to_json().to_compact();
+        let doc = rap_obs::json::parse(&json).unwrap();
+        let case = doc.get("cases").and_then(|c| c.get("t/noop")).unwrap();
+        assert_eq!(case.get("iters").and_then(Json::as_u64), Some(stats.iters));
+        assert!(case.get("p95_ns").and_then(Json::as_u64).is_some());
     }
 
     #[test]

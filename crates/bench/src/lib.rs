@@ -176,6 +176,42 @@ pub fn options_no_loop_opt() -> LinkOptions {
     }
 }
 
+/// Serializes one [`Metrics`] record via the in-repo JSON writer.
+pub fn metrics_to_json(m: &Metrics) -> rap_obs::Json {
+    use rap_obs::Json;
+    Json::obj([
+        ("cycles", Json::Uint(m.cycles)),
+        ("instrs", Json::Uint(m.instrs)),
+        ("cflog_bytes", Json::Uint(m.cflog_bytes as u64)),
+        ("code_bytes", Json::Uint(u64::from(m.code_bytes))),
+        ("transmissions", Json::Uint(m.transmissions as u64)),
+    ])
+}
+
+/// Serializes the full figure series (every workload × configuration)
+/// for the `figures --json` artifact.
+pub fn reports_to_json(reports: &[WorkloadReport]) -> rap_obs::Json {
+    use rap_obs::Json;
+    Json::obj([(
+        "workloads",
+        Json::Arr(
+            reports
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("name", Json::Str(r.name.to_string())),
+                        ("plain", metrics_to_json(&r.plain)),
+                        ("naive", metrics_to_json(&r.naive)),
+                        ("rap", metrics_to_json(&r.rap)),
+                        ("traces", metrics_to_json(&r.traces)),
+                        ("instr_equiv", metrics_to_json(&r.instr_equiv)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
 /// Renders one figure row set as an aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -238,6 +274,22 @@ mod tests {
             with.cflog_bytes
         );
         assert!(without.cycles >= with.cycles);
+    }
+
+    #[test]
+    fn metrics_serialize_via_repo_json() {
+        let m = Metrics {
+            cycles: 5,
+            cflog_bytes: 64,
+            ..Metrics::default()
+        };
+        let text = metrics_to_json(&m).to_compact();
+        let doc = rap_obs::json::parse(&text).unwrap();
+        assert_eq!(doc.get("cycles").and_then(rap_obs::Json::as_u64), Some(5));
+        assert_eq!(
+            doc.get("cflog_bytes").and_then(rap_obs::Json::as_u64),
+            Some(64)
+        );
     }
 
     #[test]

@@ -19,9 +19,10 @@ use std::fmt;
 
 use armv8m_isa::{parse_module, Image};
 use rap_link::{link, read_map, write_map, ClassifyOptions, LinkOptions, TransformOptions};
+use rap_obs::Json;
 use rap_track::{
     decode_stream, device_key, encode_stream, verify_fleet, BatchOptions, CfaEngine, Challenge,
-    EngineConfig, FleetJob, Verifier,
+    EngineConfig, FleetJob, Verifier, VerifierStats,
 };
 
 /// A CLI-level failure, already formatted for the user.
@@ -54,6 +55,7 @@ from_error!(
     rap_link::MapFormatError,
     rap_track::WireError,
     mcu_sim::ExecError,
+    rap_obs::JsonError,
     std::io::Error,
 );
 
@@ -196,7 +198,9 @@ pub fn cmd_attest(
 }
 
 /// `rap verify`: authenticates a report stream and reconstructs the
-/// path; returns a human-readable verdict.
+/// path; returns a human-readable verdict plus the verifier's
+/// operational counters for the run (the command builds a fresh
+/// [`Verifier`], so the stats cover exactly this verification).
 ///
 /// # Errors
 ///
@@ -210,27 +214,29 @@ pub fn cmd_verify(
     base: u32,
     chal_seed: u64,
     key_seed: &str,
-) -> Result<(bool, String), CliError> {
+) -> Result<(bool, String, VerifierStats), CliError> {
     let image = Image::from_bytes(base, image_bytes.to_vec())?;
     let map = read_map(map_text)?;
     let reports = decode_stream(report_bytes)?;
     let verifier = Verifier::new(device_key(key_seed), image, map);
-    match verifier.verify(Challenge::from_seed(chal_seed), &reports) {
-        Ok(path) => Ok((
+    let (ok, verdict) = match verifier.verify(Challenge::from_seed(chal_seed), &reports) {
+        Ok(path) => (
             true,
             format!(
                 "OK: lossless path accepted ({} events, {} replay steps)",
                 path.events.len(),
                 path.steps
             ),
-        )),
-        Err(v) => Ok((false, format!("REJECTED: {v}"))),
-    }
+        ),
+        Err(v) => (false, format!("REJECTED: {v}")),
+    };
+    Ok((ok, verdict, verifier.stats()))
 }
 
 /// `rap verify-fleet`: authenticates many report streams for one
 /// deployed binary concurrently, one stream per input file. Returns
-/// `(all accepted, human-readable per-device verdicts + totals)`.
+/// `(all accepted, human-readable per-device verdicts + totals,
+/// verifier stats for the run)`.
 ///
 /// All streams answer the same challenge round (one broadcast `--chal`)
 /// and share the verifier's replay cache, so straight-line stretches
@@ -249,7 +255,7 @@ pub fn cmd_verify_fleet(
     chal_seed: u64,
     key_seed: &str,
     threads: usize,
-) -> Result<(bool, String), CliError> {
+) -> Result<(bool, String, VerifierStats), CliError> {
     use std::fmt::Write as _;
 
     let image = Image::from_bytes(base, image_bytes.to_vec())?;
@@ -313,7 +319,75 @@ pub fn cmd_verify_fleet(
         stats.cached_steps,
         stats.live_steps
     );
-    Ok((accepted == outcomes.len(), out))
+    Ok((accepted == outcomes.len(), out, stats))
+}
+
+/// Builds the `--metrics` artifact: the global registry's movement
+/// since `baseline` (so concurrent history outside the command does not
+/// leak in) plus the run's [`VerifierStats`], as pretty-printed JSON.
+///
+/// The top-level shape is `{ "metrics": <snapshot>, "verifier_stats":
+/// {...} }`; [`cmd_stats`] renders it back for humans.
+pub fn metrics_json(baseline: &rap_obs::Snapshot, stats: &VerifierStats) -> String {
+    let delta = rap_obs::global().snapshot().diff(baseline);
+    Json::obj([
+        ("metrics", delta.to_json()),
+        (
+            "verifier_stats",
+            Json::obj([
+                ("cache_hits", Json::Uint(stats.cache_hits)),
+                ("cache_misses", Json::Uint(stats.cache_misses)),
+                ("cached_steps", Json::Uint(stats.cached_steps)),
+                ("live_steps", Json::Uint(stats.live_steps)),
+                ("jobs", Json::Uint(stats.jobs)),
+                ("wall_ns", Json::Uint(stats.wall_ns)),
+            ]),
+        ),
+    ])
+    .to_pretty()
+}
+
+/// `rap stats`: renders a previously written `--metrics` JSON file (or
+/// a bare registry snapshot) as a human-readable table.
+///
+/// # Errors
+///
+/// Malformed JSON or a snapshot with the wrong shape.
+pub fn cmd_stats(json_text: &str) -> Result<String, CliError> {
+    let doc = rap_obs::json::parse(json_text)?;
+    let snap_json = doc.get("metrics").unwrap_or(&doc);
+    let snap = rap_obs::Snapshot::from_json(snap_json)?;
+    let mut out = snap.render();
+    if let Some(vs) = doc.get("verifier_stats") {
+        use std::fmt::Write as _;
+        let field = |name: &str| vs.get(name).and_then(Json::as_u64).unwrap_or(0);
+        let stats = VerifierStats {
+            cache_hits: field("cache_hits"),
+            cache_misses: field("cache_misses"),
+            cached_steps: field("cached_steps"),
+            live_steps: field("live_steps"),
+            jobs: field("jobs"),
+            wall_ns: field("wall_ns"),
+        };
+        let _ = writeln!(out, "verifier:");
+        let _ = writeln!(
+            out,
+            "  {} job(s), mean {} ns/job ({:.0} jobs/busy-sec)",
+            stats.jobs,
+            stats.mean_job_ns(),
+            stats.jobs_per_busy_sec()
+        );
+        let _ = writeln!(
+            out,
+            "  cache: {} hits, {} misses ({:.0}% hit), {} cached + {} live steps",
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.hit_rate() * 100.0,
+            stats.cached_steps,
+            stats.live_steps
+        );
+    }
+    Ok(out)
 }
 
 /// `rap explain`: reports the offline phase's classification decisions
@@ -415,10 +489,12 @@ mod tests {
             cmd_attest(&img, &map_text, 0, 7, "cli-test", None).expect("attests");
         assert!(att_summary.contains("report(s)"));
 
-        let (ok, verdict) =
+        let (ok, verdict, stats) =
             cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test").expect("verifies");
         assert!(ok, "{verdict}");
         assert!(verdict.contains("OK"));
+        assert_eq!(stats.jobs, 1);
+        assert!(stats.cached_steps + stats.live_steps > 0);
     }
 
     #[test]
@@ -431,25 +507,60 @@ mod tests {
             ("alpha.rpt".to_owned(), good.clone()),
             ("bravo.rpt".to_owned(), good),
         ];
-        let (ok, verdict) =
+        let (ok, verdict, stats) =
             cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 2).expect("runs");
         assert!(ok, "{verdict}");
         assert!(verdict.contains("alpha.rpt"));
         assert!(verdict.contains("2/2 accepted"));
         assert!(verdict.contains("replay cache"));
+        assert_eq!(stats.jobs, 2);
 
         let streams = vec![("charlie.rpt".to_owned(), bad)];
-        let (ok, verdict) =
+        let (ok, verdict, _) =
             cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 1).expect("runs");
         assert!(!ok);
         assert!(verdict.contains("REJECTED"));
     }
 
     #[test]
+    fn metrics_json_round_trips_through_stats() {
+        let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
+
+        let baseline = rap_obs::global().snapshot();
+        let (ok, _, stats) = cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test").unwrap();
+        assert!(ok);
+        let json = metrics_json(&baseline, &stats);
+
+        // The artifact embeds the run's VerifierStats verbatim.
+        let doc = rap_obs::json::parse(&json).expect("parses");
+        let vs = doc.get("verifier_stats").expect("has verifier_stats");
+        assert_eq!(
+            vs.get("jobs").and_then(rap_obs::Json::as_u64),
+            Some(stats.jobs)
+        );
+        assert_eq!(
+            vs.get("live_steps").and_then(rap_obs::Json::as_u64),
+            Some(stats.live_steps)
+        );
+
+        // And `rap stats` renders it back for humans.
+        let rendered = cmd_stats(&json).expect("renders");
+        assert!(rendered.contains("verifier:"), "{rendered}");
+        assert!(rendered.contains("cache:"), "{rendered}");
+    }
+
+    #[test]
+    fn stats_rejects_malformed_json() {
+        assert!(cmd_stats("{ not json").is_err());
+        assert!(cmd_stats("[1, 2, 3]").is_err());
+    }
+
+    #[test]
     fn wrong_challenge_rejected() {
         let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
         let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
-        let (ok, verdict) = cmd_verify(&img, &map_text, &reports, 0, 8, "cli-test").unwrap();
+        let (ok, verdict, _) = cmd_verify(&img, &map_text, &reports, 0, 8, "cli-test").unwrap();
         assert!(!ok);
         assert!(verdict.contains("REJECTED"));
     }
@@ -458,7 +569,7 @@ mod tests {
     fn wrong_key_rejected() {
         let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
         let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "device-a", None).unwrap();
-        let (ok, verdict) = cmd_verify(&img, &map_text, &reports, 0, 7, "device-b").unwrap();
+        let (ok, verdict, _) = cmd_verify(&img, &map_text, &reports, 0, 7, "device-b").unwrap();
         assert!(!ok);
         assert!(verdict.contains("authentication"));
     }
@@ -469,7 +580,7 @@ mod tests {
         let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
         // The verifier is handed a doctored binary.
         img[0] ^= 0x01;
-        if let Ok((ok, _)) = cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test") {
+        if let Ok((ok, _, _)) = cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test") {
             assert!(!ok);
         } // (a decode error is an acceptable rejection too)
     }

@@ -18,8 +18,11 @@ USAGE:
   rap attest  <img> <map> --chal N -o <out.rpt>
               [--base ADDR] [--key SEED] [--watermark N]
   rap verify  <img> <map> <rpt> --chal N [--base ADDR] [--key SEED]
+              [--metrics OUT.json] [--trace OUT]
   rap verify-fleet <img> <map> <rpt>... --chal N [--base ADDR]
-              [--key SEED] [--threads T]
+              [--key SEED] [--threads T] [--metrics OUT.json]
+              [--trace OUT]
+  rap stats   <metrics.json>          # render a --metrics artifact
   rap inspect <map>
   rap explain <in.tasm> [--no-loop-opt]
   rap demo    # print a sample .tasm program
@@ -39,7 +42,7 @@ impl Args {
             if let Some(name) = a.strip_prefix("--") {
                 let takes_value = matches!(
                     name,
-                    "base" | "pad" | "chal" | "key" | "watermark" | "threads"
+                    "base" | "pad" | "chal" | "key" | "watermark" | "threads" | "metrics" | "trace"
                 ) || name == "o"
                     || name == "m";
                 let value = if takes_value {
@@ -80,6 +83,49 @@ impl Args {
                 parsed.map_err(|_| CliError(format!("bad --{name} value `{v}`")))
             }
         }
+    }
+}
+
+/// The `--metrics` / `--trace` outputs of a verify command: captured
+/// before the run (registry baseline, collector enablement), written
+/// after it — including on rejection, which is exactly when an operator
+/// wants the numbers.
+struct ObsOutputs {
+    metrics_path: Option<String>,
+    trace_path: Option<String>,
+    baseline: rap_obs::Snapshot,
+}
+
+impl ObsOutputs {
+    fn begin(args: &Args) -> ObsOutputs {
+        let trace_path = args.flag("trace").map(str::to_owned);
+        if trace_path.is_some() {
+            rap_obs::enable_tracing(0);
+        }
+        ObsOutputs {
+            metrics_path: args.flag("metrics").map(str::to_owned),
+            trace_path,
+            baseline: rap_obs::global().snapshot(),
+        }
+    }
+
+    fn finish(self, stats: &rap_track::VerifierStats) -> Result<(), CliError> {
+        if let Some(path) = &self.metrics_path {
+            fs::write(path, rap_cli::metrics_json(&self.baseline, stats))?;
+            eprintln!("metrics -> {path}");
+        }
+        if let Some(path) = &self.trace_path {
+            rap_obs::disable_tracing();
+            let events = rap_obs::drain_events();
+            let body = if path.ends_with(".json") {
+                rap_obs::trace::to_json(&events).to_pretty()
+            } else {
+                rap_obs::trace::render_text(&events)
+            };
+            fs::write(path, body)?;
+            eprintln!("trace   -> {path} ({} events)", events.len());
+        }
+        Ok(())
     }
 }
 
@@ -165,7 +211,9 @@ fn run() -> Result<(), CliError> {
             let rpt = fs::read(&args.positional[2])?;
             let chal = args.num("chal", 0)?;
             let key = args.flag("key").unwrap_or("default-device");
-            let (ok, verdict) = rap_cli::cmd_verify(&img, &map, &rpt, base, chal, key)?;
+            let obs = ObsOutputs::begin(&args);
+            let (ok, verdict, stats) = rap_cli::cmd_verify(&img, &map, &rpt, base, chal, key)?;
+            obs.finish(&stats)?;
             println!("{verdict}");
             if !ok {
                 std::process::exit(1);
@@ -187,12 +235,19 @@ fn run() -> Result<(), CliError> {
                     .unwrap_or(1),
                 t => t,
             };
-            let (ok, verdict) =
+            let obs = ObsOutputs::begin(&args);
+            let (ok, verdict, stats) =
                 rap_cli::cmd_verify_fleet(&img, &map, &streams, base, chal, key, threads)?;
+            obs.finish(&stats)?;
             print!("{verdict}");
             if !ok {
                 std::process::exit(1);
             }
+        }
+        "stats" => {
+            need(1)?;
+            let text = fs::read_to_string(&args.positional[0])?;
+            print!("{}", rap_cli::cmd_stats(&text)?);
         }
         "inspect" => {
             need(1)?;

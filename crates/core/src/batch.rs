@@ -101,13 +101,32 @@ pub fn verify_fleet(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                while let Some((index, job)) = queue.pop() {
+                loop {
+                    // Time spent blocked on the queue is idle; time
+                    // spent verifying is busy. Both accumulate once per
+                    // job, so the worker loop stays free of atomics
+                    // while a job is replaying.
+                    let idle_from = Instant::now();
+                    let Some((index, job)) = queue.pop() else {
+                        // Flush this worker's trace ring *inside* the
+                        // closure: scoped threads signal completion
+                        // before their TLS destructors run, so a
+                        // drain right after `verify_fleet` returns
+                        // would otherwise race the implicit flush.
+                        rap_obs::flush_thread();
+                        break;
+                    };
+                    rap_obs::counter!("batch_worker_idle_ns_total")
+                        .add(idle_from.elapsed().as_nanos() as u64);
                     let start = Instant::now();
                     let result = verifier.verify(job.chal, &job.reports);
+                    let wall = start.elapsed();
+                    rap_obs::counter!("batch_worker_busy_ns_total").add(wall.as_nanos() as u64);
+                    observe_job(wall);
                     let outcome = JobOutcome {
                         device: job.device,
                         result,
-                        wall: start.elapsed(),
+                        wall,
                     };
                     done.lock().expect("result lock").push((index, outcome));
                 }
@@ -132,13 +151,24 @@ pub fn verify_sequential(verifier: &Verifier, jobs: Vec<FleetJob>) -> Vec<JobOut
         .map(|job| {
             let start = Instant::now();
             let result = verifier.verify(job.chal, &job.reports);
+            let wall = start.elapsed();
+            observe_job(wall);
             JobOutcome {
                 device: job.device,
                 result,
-                wall: start.elapsed(),
+                wall,
             }
         })
         .collect()
+}
+
+/// Records one completed job into the shared per-job latency histogram
+/// and job counter (the same metrics for batch and sequential paths, so
+/// their totals are directly comparable).
+fn observe_job(wall: Duration) {
+    rap_obs::counter!("batch_jobs_total").inc();
+    rap_obs::histogram!("batch_job_latency_ns", &rap_obs::LATENCY_NS_BOUNDS)
+        .observe(wall.as_nanos() as u64);
 }
 
 /// A minimal bounded MPMC queue: `push` blocks while full, `pop` blocks
@@ -181,6 +211,7 @@ impl<T> BoundedQueue<T> {
         }
         assert!(!inner.closed, "push after close");
         inner.items.push_back(item);
+        rap_obs::gauge!("batch_queue_depth").set(inner.items.len() as i64);
         drop(inner);
         self.not_empty.notify_one();
     }
@@ -191,6 +222,7 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
             if let Some(item) = inner.items.pop_front() {
+                rap_obs::gauge!("batch_queue_depth").set(inner.items.len() as i64);
                 drop(inner);
                 self.not_full.notify_one();
                 return Some(item);

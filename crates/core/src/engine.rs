@@ -92,6 +92,12 @@ impl EngineSecureWorld<'_> {
         self.reports.push(Report::new(
             self.key, self.chal, self.h_mem, log, seq, is_final, overflow,
         ));
+        rap_obs::counter!("engine_reports_total").inc();
+        if !is_final {
+            rap_obs::counter!("engine_partial_reports_total").inc();
+        }
+        rap_obs::counter!("engine_cflog_bytes_total").add(bytes as u64);
+        rap_obs::event("report_flush", seq as u64, bytes as u64);
         cycles::REPORT_FIXED + cycles::REPORT_PER_BYTE * bytes as u64
     }
 }

@@ -22,12 +22,14 @@ pub struct Metrics {
 impl Metrics {
     /// Runtime overhead of `self` relative to `baseline`, in percent.
     ///
-    /// # Panics
-    ///
-    /// Panics when the baseline ran for zero cycles (a setup error).
-    pub fn overhead_pct(&self, baseline: &Metrics) -> f64 {
-        assert!(baseline.cycles > 0, "baseline must have run");
-        (self.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0
+    /// Returns `None` when the baseline ran for zero cycles (a
+    /// zero-length workload or a misconfigured run) — the ratio is
+    /// undefined, and callers render it as `n/a` instead of panicking.
+    pub fn overhead_pct(&self, baseline: &Metrics) -> Option<f64> {
+        if baseline.cycles == 0 {
+            return None;
+        }
+        Some((self.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0)
     }
 
     /// Ratio of this run's `CF_Log` size to `other`'s (∞ when the
@@ -128,8 +130,10 @@ mod tests {
             cycles: 1500,
             ..Metrics::default()
         };
-        assert!((slow.overhead_pct(&base) - 50.0).abs() < 1e-9);
-        assert!((base.overhead_pct(&base)).abs() < 1e-9);
+        assert!((slow.overhead_pct(&base).unwrap() - 50.0).abs() < 1e-9);
+        assert!((base.overhead_pct(&base).unwrap()).abs() < 1e-9);
+        // Zero-cycle baseline: undefined, not a panic.
+        assert_eq!(slow.overhead_pct(&Metrics::default()), None);
     }
 
     #[test]

@@ -184,6 +184,32 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// A stable, static name for the violation kind — the label used by
+    /// the per-violation-kind observability counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::BadTag { .. } => "BadTag",
+            Violation::BadReportStream(_) => "BadReportStream",
+            Violation::HMemMismatch => "HMemMismatch",
+            Violation::ChallengeMismatch => "ChallengeMismatch",
+            Violation::InvalidPc { .. } => "InvalidPc",
+            Violation::LogExhausted { .. } => "LogExhausted",
+            Violation::TrailingLog { .. } => "TrailingLog",
+            Violation::UnexpectedSource { .. } => "UnexpectedSource",
+            Violation::UnexpectedDest { .. } => "UnexpectedDest",
+            Violation::ReturnMismatch { .. } => "ReturnMismatch",
+            Violation::ShadowStackUnderflow { .. } => "ShadowStackUnderflow",
+            Violation::InvalidCallTarget { .. } => "InvalidCallTarget",
+            Violation::UntrackedConditional { .. } => "UntrackedConditional",
+            Violation::UntrackedIndirect { .. } => "UntrackedIndirect",
+            Violation::LoopDiverged { .. } => "LoopDiverged",
+            Violation::BudgetExceeded => "BudgetExceeded",
+            Violation::EvidenceLost { .. } => "EvidenceLost",
+        }
+    }
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -423,6 +449,7 @@ impl Verifier {
     /// failures first, then replay divergences.
     pub fn verify(&self, chal: Challenge, reports: &[Report]) -> Result<VerifiedPath, Violation> {
         let start = Instant::now();
+        let _job_span = rap_obs::span("verify_job");
         let result = match self.begin(chal, reports) {
             Ok(session) => session.run(),
             Err(v) => Err(v),
@@ -431,6 +458,21 @@ impl Verifier {
         self.shared
             .wall_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        rap_obs::counter!("verifier_jobs_total").inc();
+        match &result {
+            Ok(_) => rap_obs::counter!("verifier_jobs_accepted_total").inc(),
+            Err(v) => {
+                rap_obs::counter!("verifier_jobs_rejected_total").inc();
+                // Dynamic (labelled) name: resolved through the registry
+                // directly, not the caching macro — rejection is rare.
+                rap_obs::global()
+                    .counter(&format!(
+                        "verifier_violations_total{{kind=\"{}\"}}",
+                        v.kind()
+                    ))
+                    .inc();
+            }
+        }
         result
     }
 
@@ -498,6 +540,7 @@ impl Verifier {
             checkpoints: Vec::new(),
             first_violation: None,
             global_steps: 0,
+            obs: SessionObs::default(),
         })
     }
 
@@ -506,10 +549,14 @@ impl Verifier {
     fn segment_at(&self, pc: u32) -> Arc<Segment> {
         if let Some(seg) = self.shared.segments.read().expect("cache lock").get(&pc) {
             self.shared.hits.fetch_add(1, Ordering::Relaxed);
+            rap_obs::counter!("verifier_cache_hits_total").inc();
             return Arc::clone(seg);
         }
         self.shared.misses.fetch_add(1, Ordering::Relaxed);
+        rap_obs::counter!("verifier_cache_misses_total").inc();
+        rap_obs::counter!("verifier_segment_builds_total").inc();
         let built = Arc::new(self.build_segment(pc));
+        rap_obs::event("segment_build", pc as u64, built.steps);
         Arc::clone(
             self.shared
                 .segments
@@ -878,6 +925,27 @@ pub struct ReplaySession<'v> {
     checkpoints: Vec<Checkpoint>,
     first_violation: Option<Violation>,
     global_steps: u64,
+    obs: SessionObs,
+}
+
+/// Observability tallies accumulated as plain integers on the session
+/// (zero atomics in the replay loop) and flushed to the global metric
+/// counters once, when the session drops.
+#[derive(Debug, Default)]
+struct SessionObs {
+    live_steps: u64,
+    cached_steps: u64,
+    rewinds: u64,
+    checkpoints: u64,
+}
+
+impl Drop for ReplaySession<'_> {
+    fn drop(&mut self) {
+        rap_obs::counter!("verifier_replay_live_steps_total").add(self.obs.live_steps);
+        rap_obs::counter!("verifier_replay_cached_steps_total").add(self.obs.cached_steps);
+        rap_obs::counter!("verifier_rewinds_total").add(self.obs.rewinds);
+        rap_obs::counter!("verifier_checkpoints_total").add(self.obs.checkpoints);
+    }
 }
 
 impl ReplaySession<'_> {
@@ -903,6 +971,7 @@ impl ReplaySession<'_> {
         if segment.steps > 0 {
             self.state.apply(&segment);
             self.global_steps += segment.steps;
+            self.obs.cached_steps += segment.steps;
             shared
                 .cached_steps
                 .fetch_add(segment.steps, Ordering::Relaxed);
@@ -916,6 +985,7 @@ impl ReplaySession<'_> {
 
         // Replay the non-deterministic (or terminal) head live.
         self.global_steps += 1;
+        self.obs.live_steps += 1;
         shared.live_steps.fetch_add(1, Ordering::Relaxed);
         if self.global_steps > self.verifier.max_steps {
             return Some(Err(self
@@ -923,12 +993,14 @@ impl ReplaySession<'_> {
                 .take()
                 .unwrap_or(Violation::BudgetExceeded)));
         }
+        let checkpoints_before = self.checkpoints.len();
         let outcome = self.verifier.step(
             &mut self.state,
             &self.mtb,
             &self.loops,
             &mut self.checkpoints,
         );
+        self.obs.checkpoints += self.checkpoints.len().saturating_sub(checkpoints_before) as u64;
         match outcome {
             Ok(true) => {
                 // Halted: the whole log must be consumed.
@@ -959,6 +1031,8 @@ impl ReplaySession<'_> {
         self.first_violation.get_or_insert(v.clone());
         match self.checkpoints.pop() {
             Some(alt) => {
+                self.obs.rewinds += 1;
+                rap_obs::event("rewind", alt.alt_pc as u64, self.checkpoints.len() as u64);
                 alt.restore(&mut self.state);
                 None
             }

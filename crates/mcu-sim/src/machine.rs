@@ -251,16 +251,26 @@ impl Machine {
         secure: &mut dyn SecureWorld,
         max_instrs: u64,
     ) -> Result<RunOutcome, ExecError> {
-        while !self.cpu.halted {
-            if self.cpu.instr_count >= max_instrs {
-                return Err(ExecError::InstructionBudgetExceeded { max_instrs });
+        // Instrument at the run boundary (one delta, not one atomic per
+        // instruction) so the interpreter's hot loop stays untouched.
+        let retired_at_entry = self.cpu.instr_count;
+        let result = (|| {
+            while !self.cpu.halted {
+                if self.cpu.instr_count >= max_instrs {
+                    return Err(ExecError::InstructionBudgetExceeded { max_instrs });
+                }
+                self.step(secure)?;
             }
-            self.step(secure)?;
+            Ok(RunOutcome {
+                cycles: self.cpu.cycles,
+                instrs: self.cpu.instr_count,
+            })
+        })();
+        rap_obs::counter!("sim_instrs_retired_total").add(self.cpu.instr_count - retired_at_entry);
+        if result.is_err() {
+            rap_obs::counter!("sim_exceptions_total").inc();
         }
-        Ok(RunOutcome {
-            cycles: self.cpu.cycles,
-            instrs: self.cpu.instr_count,
-        })
+        result
     }
 
     /// Executes one instruction.
@@ -455,6 +465,7 @@ impl Machine {
             Instr::Nop => {}
             Instr::SecureGateway { service, arg } => {
                 let arg_value = self.cpu.reg(*arg);
+                rap_obs::counter!("sim_sg_crossings_total").inc();
                 let mut env = SecureEnv {
                     fabric: &mut self.fabric,
                     pc,
@@ -483,6 +494,7 @@ impl Machine {
 
         // MTB watermark: debug event into the Secure World (§IV-E).
         if self.fabric.mtb().watermark_hit() {
+            rap_obs::counter!("sim_watermark_events_total").inc();
             let mut env = SecureEnv {
                 fabric: &mut self.fabric,
                 pc: next_pc,

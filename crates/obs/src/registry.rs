@@ -1,0 +1,663 @@
+//! The metrics registry: named atomic counters, gauges and
+//! fixed-bucket histograms, with diffable snapshots.
+//!
+//! Hot-path discipline: once a handle (an `Arc<Counter>` etc.) has been
+//! obtained, every update is a single relaxed atomic RMW — no locks, no
+//! allocation, no formatting. The registry's `Mutex` is touched only at
+//! registration (once per metric name per process, cached by the
+//! [`counter!`](crate::counter) family of macros) and at snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::{Json, JsonError};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous-value metric (e.g. queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-boundary histogram of `u64` observations.
+///
+/// Bucket `i` counts observations `<= bounds[i]`; one extra overflow
+/// bucket counts everything larger. Observation is lock-free: two
+/// relaxed RMWs plus a branch-free bucket scan over a handful of
+/// boundaries.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: sorted,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The configured bucket boundaries.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Nanosecond boundaries suitable for latency histograms: 1 µs .. 10 s
+/// in decades.
+pub const LATENCY_NS_BOUNDS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A collection of named metrics.
+///
+/// Most code uses the process-wide [`global()`] registry through the
+/// [`counter!`](crate::counter) / [`gauge!`](crate::gauge) /
+/// [`histogram!`](crate::histogram) macros; a private `Registry` is
+/// still useful in tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns (registering on first use) the counter called `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) the histogram called `name`.
+    ///
+    /// The boundaries of the *first* registration win; later callers
+    /// get the existing instance regardless of the bounds they pass.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .clone()
+    }
+
+    /// Captures a point-in-time copy of every registered metric.
+    ///
+    /// Concurrent updates may land between individual loads — each
+    /// counter is itself exact, but cross-metric invariants only hold
+    /// once the instrumented activity has quiesced.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name: name.clone(),
+                    bounds: h.bounds.clone(),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
+                    sum: h.sum.load(Ordering::Relaxed),
+                    count: h.count.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every instrumentation site reports into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Bucket boundaries (bucket `i` counts observations `<= bounds[i]`).
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; `buckets.len() == bounds.len()+1`
+    /// (the last bucket is the overflow bucket).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 with no observations).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], suitable for diffing,
+/// rendering and serialization.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// Every histogram, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The named counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The named gauge's value (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Sum of the values of every counter whose name starts with
+    /// `prefix` (labelled families like `verifier_violations_total{…}`).
+    pub fn counter_family(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Activity between `baseline` and `self`: counters and histogram
+    /// buckets subtract (saturating, in case `baseline` is newer);
+    /// gauges keep their current (instantaneous) value.
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, v)| (name.clone(), v.saturating_sub(baseline.counter(name))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| {
+                    let base = baseline.histogram(&h.name);
+                    HistogramSnapshot {
+                        name: h.name.clone(),
+                        bounds: h.bounds.clone(),
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .map(|(i, v)| {
+                                v.saturating_sub(
+                                    base.and_then(|b| b.buckets.get(i).copied()).unwrap_or(0),
+                                )
+                            })
+                            .collect(),
+                        sum: h.sum.saturating_sub(base.map_or(0, |b| b.sum)),
+                        count: h.count.saturating_sub(base.map_or(0, |b| b.count)),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders in the Prometheus text exposition style.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed = std::collections::BTreeSet::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let base = name.split('{').next().unwrap_or(name);
+            if typed.insert(base.to_string()) {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+            }
+        };
+        for (name, value) in &self.counters {
+            type_line(&mut out, name, "counter");
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            type_line(&mut out, name, "gauge");
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for h in &self.histograms {
+            type_line(&mut out, &h.name, "histogram");
+            let mut cumulative = 0u64;
+            for (i, bucket) in h.buckets.iter().enumerate() {
+                cumulative += bucket;
+                let le = h
+                    .bounds
+                    .get(i)
+                    .map_or("+Inf".to_string(), |b| b.to_string());
+                out.push_str(&format!("{}_bucket{{le=\"{le}\"}} {cumulative}\n", h.name));
+            }
+            out.push_str(&format!("{}_sum {}\n", h.name, h.sum));
+            out.push_str(&format!("{}_count {}\n", h.name, h.count));
+        }
+        out
+    }
+
+    /// Serializes as a JSON tree (see [`Snapshot::from_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Json::Uint(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Json::Int(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            (
+                                h.name.clone(),
+                                Json::obj([
+                                    (
+                                        "bounds",
+                                        Json::Arr(
+                                            h.bounds.iter().map(|b| Json::Uint(*b)).collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "buckets",
+                                        Json::Arr(
+                                            h.buckets.iter().map(|b| Json::Uint(*b)).collect(),
+                                        ),
+                                    ),
+                                    ("sum", Json::Uint(h.sum)),
+                                    ("count", Json::Uint(h.count)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reconstructs a snapshot from [`Snapshot::to_json`] output.
+    pub fn from_json(json: &Json) -> Result<Snapshot, JsonError> {
+        let bad = |message: &str| JsonError {
+            offset: 0,
+            message: message.to_string(),
+        };
+        if !matches!(json, Json::Obj(_)) {
+            return Err(bad("snapshot must be a JSON object"));
+        }
+        let mut snap = Snapshot::default();
+        if let Some(counters) = json.get("counters").and_then(Json::entries) {
+            for (name, v) in counters {
+                snap.counters
+                    .push((name.clone(), v.as_u64().ok_or_else(|| bad("bad counter"))?));
+            }
+        }
+        if let Some(gauges) = json.get("gauges").and_then(Json::entries) {
+            for (name, v) in gauges {
+                snap.gauges
+                    .push((name.clone(), v.as_i64().ok_or_else(|| bad("bad gauge"))?));
+            }
+        }
+        if let Some(histograms) = json.get("histograms").and_then(Json::entries) {
+            for (name, h) in histograms {
+                let nums = |key: &str| -> Result<Vec<u64>, JsonError> {
+                    h.get(key)
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| bad("bad histogram"))?
+                        .iter()
+                        .map(|v| v.as_u64().ok_or_else(|| bad("bad histogram entry")))
+                        .collect()
+                };
+                snap.histograms.push(HistogramSnapshot {
+                    name: name.clone(),
+                    bounds: nums("bounds")?,
+                    buckets: nums("buckets")?,
+                    sum: h
+                        .get("sum")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("bad histogram sum"))?,
+                    count: h
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("bad histogram count"))?,
+                });
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Renders a human-readable table (the `rap stats` view).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0);
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = self.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "histogram {} (count {}, sum {}, mean {:.1}):\n",
+                h.name,
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+            for (i, bucket) in h.buckets.iter().enumerate() {
+                if *bucket == 0 {
+                    continue;
+                }
+                let le = h
+                    .bounds
+                    .get(i)
+                    .map_or("+Inf".to_string(), |b| b.to_string());
+                out.push_str(&format!("  le {le:>12}  {bucket}\n"));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let reg = Registry::new();
+        let a = reg.counter("a_total");
+        let a2 = reg.counter("a_total");
+        a.inc();
+        a2.add(2);
+        assert_eq!(reg.counter("a_total").get(), 3);
+
+        let g = reg.gauge("depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(reg.gauge("depth").get(), 1);
+        g.set(-5);
+        assert_eq!(g.get(), -5);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert_eq!(hs.buckets, vec![2, 2, 0, 1]);
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.sum, 5122);
+        assert_eq!(hs.buckets.iter().sum::<u64>(), hs.count);
+        // First registration's bounds win.
+        let same = reg.histogram("lat", &[1, 2]);
+        assert_eq!(same.bounds(), &[10, 100, 1000]);
+        assert_eq!(same.count(), 5);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_keeps_gauges() {
+        let reg = Registry::new();
+        let c = reg.counter("jobs_total");
+        let g = reg.gauge("depth");
+        let h = reg.histogram("lat", &[10]);
+        c.add(5);
+        g.set(3);
+        h.observe(4);
+        let before = reg.snapshot();
+        c.add(7);
+        g.set(9);
+        h.observe(40);
+        let delta = reg.snapshot().diff(&before);
+        assert_eq!(delta.counter("jobs_total"), 7);
+        assert_eq!(delta.gauge("depth"), 9);
+        let hd = delta.histogram("lat").unwrap();
+        assert_eq!(hd.buckets, vec![0, 1]);
+        assert_eq!(hd.count, 1);
+        assert_eq!(hd.sum, 40);
+    }
+
+    #[test]
+    fn counter_family_sums_labels() {
+        let reg = Registry::new();
+        reg.counter("violations_total{kind=\"BadTag\"}").add(2);
+        reg.counter("violations_total{kind=\"InvalidPc\"}").inc();
+        reg.counter("other").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_family("violations_total"), 3);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let reg = Registry::new();
+        reg.counter("a_total").add(7);
+        reg.gauge("g").set(-2);
+        reg.histogram("h", &[5, 50]).observe(9);
+        let snap = reg.snapshot();
+        let text = snap.to_json().to_pretty();
+        let back = Snapshot::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let reg = Registry::new();
+        reg.counter("jobs_total").add(3);
+        reg.counter("violations_total{kind=\"BadTag\"}").inc();
+        reg.counter("violations_total{kind=\"InvalidPc\"}").inc();
+        reg.gauge("depth").set(2);
+        reg.histogram("lat", &[10, 100]).observe(7);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total 3"));
+        // One TYPE line for the whole labelled family.
+        assert_eq!(text.matches("# TYPE violations_total").count(), 1);
+        assert!(text.contains("violations_total{kind=\"BadTag\"} 1"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("lat_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_sum 7"));
+        assert!(text.contains("lat_count 1"));
+    }
+
+    #[test]
+    fn concurrent_updates_are_exact() {
+        let reg = Registry::new();
+        let c = reg.counter("n");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let reg = Registry::new();
+        reg.counter("steps_total").add(12);
+        reg.histogram("lat", &[10]).observe(3);
+        let text = reg.snapshot().render();
+        assert!(text.contains("steps_total"));
+        assert!(text.contains("histogram lat"));
+        assert_eq!(
+            Registry::new().snapshot().render(),
+            "(no metrics recorded)\n"
+        );
+    }
+}

@@ -43,6 +43,10 @@ pub use regs::{ProgramError, TraceRegFile};
 pub struct TraceFabric {
     dwt: Dwt,
     mtb: Mtb,
+    /// Signals asserted on the previous step, for edge-triggered
+    /// comparator-match counting (the DWT asserts level signals; a
+    /// "match" observability event is the rising edge).
+    last_signals: DwtSignals,
 }
 
 impl TraceFabric {
@@ -52,6 +56,7 @@ impl TraceFabric {
         TraceFabric {
             dwt: Dwt::new(),
             mtb: Mtb::new(config),
+            last_signals: DwtSignals::default(),
         }
     }
 
@@ -79,6 +84,16 @@ impl TraceFabric {
     /// evaluates the DWT comparators and advances the MTB state machine.
     pub fn pre_step(&mut self, pc: u32) {
         let signals = self.dwt.evaluate(pc);
+        // Count comparator matches on edges only: asserting `start`
+        // across a whole MTBAR region is one match, not one per
+        // instruction executed inside it.
+        if signals.start && !self.last_signals.start {
+            rap_obs::counter!("trace_dwt_start_matches_total").inc();
+        }
+        if signals.stop && !self.last_signals.stop {
+            rap_obs::counter!("trace_dwt_stop_matches_total").inc();
+        }
+        self.last_signals = signals;
         self.mtb.tick(signals);
     }
 

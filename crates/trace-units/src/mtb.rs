@@ -199,13 +199,17 @@ impl Mtb {
             // Overwriting the oldest packet: data is being lost.
             self.buffer[self.position] = entry;
             self.wrapped = true;
+            rap_obs::counter!("trace_mtb_overwrites_total").inc();
         }
         self.position = (self.position + 1) % self.config.capacity;
         self.since_drain += 1;
         self.total_recorded += 1;
+        rap_obs::counter!("trace_mtb_packets_total").inc();
         if let Some(mark) = self.watermark {
-            if self.since_drain >= mark {
+            if self.since_drain >= mark && !self.watermark_hit {
                 self.watermark_hit = true;
+                rap_obs::counter!("trace_mtb_watermark_hits_total").inc();
+                rap_obs::event("mtb_watermark", source as u64, self.since_drain as u64);
             }
         }
         true
@@ -241,6 +245,8 @@ impl Mtb {
     /// paper's partial-report handler does (§IV-E).
     pub fn drain(&mut self) -> Vec<TraceEntry> {
         let out = self.entries();
+        rap_obs::counter!("trace_mtb_drains_total").inc();
+        rap_obs::counter!("trace_mtb_drained_packets_total").add(out.len() as u64);
         self.buffer.clear();
         self.position = 0;
         self.wrapped = false;

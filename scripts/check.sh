@@ -14,5 +14,12 @@ run cargo build --release --workspace
 run cargo test -q --workspace
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
+
+# Bench smoke: reduced configurations, but they still exercise the
+# speedup/overhead assertions and regenerate the JSON artifacts.
+run cargo bench -p rap-bench --bench fleet -- --quick --json "$PWD/BENCH_fleet.json"
+run cargo bench -p rap-bench --bench figures -- --quick --json "$PWD/BENCH_figures.json"
+run cargo bench -p rap-bench --bench obs -- --quick
 
 echo "==> all checks passed"
