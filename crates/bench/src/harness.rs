@@ -70,14 +70,18 @@ impl Stats {
 
 /// Arguments shared by the `harness = false` bench binaries:
 /// `--quick` shrinks the workload for CI smoke runs, `--json <path>`
-/// writes the per-case summaries as a `BENCH_*.json` artifact. Unknown
-/// arguments (e.g. cargo's own) are ignored.
+/// writes the per-case summaries as a `BENCH_*.json` artifact, and
+/// `--enforce` turns a bench's built-in regression thresholds (if it
+/// has any) into a non-zero exit. Unknown arguments (e.g. cargo's own)
+/// are ignored.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// Run a reduced configuration (fewer samples/devices).
     pub quick: bool,
     /// Where to write the JSON summary, if anywhere.
     pub json_out: Option<String>,
+    /// Fail (exit non-zero) when the bench's thresholds are missed.
+    pub enforce: bool,
 }
 
 impl BenchArgs {
@@ -89,6 +93,7 @@ impl BenchArgs {
             match a.as_str() {
                 "--quick" => args.quick = true,
                 "--json" => args.json_out = it.next(),
+                "--enforce" => args.enforce = true,
                 _ => {}
             }
         }
@@ -100,14 +105,33 @@ impl BenchArgs {
 /// (`{ "cases": { "<group>/<name>": { median_ns, p95_ns, ... } } }`).
 #[derive(Debug, Default)]
 pub struct BenchReport {
-    cases: Vec<(String, Stats)>,
+    cases: Vec<ReportCase>,
 }
+
+/// One recorded case: id, summary stats, and extra JSON fields merged
+/// into the serialized object.
+type ReportCase = (String, Stats, Vec<(String, Json)>);
 
 impl BenchReport {
     /// Records one case's summary under `id` (conventionally
     /// `group/name`).
     pub fn record(&mut self, id: &str, stats: Stats) {
-        self.cases.push((id.to_owned(), stats));
+        self.cases.push((id.to_owned(), stats, Vec::new()));
+    }
+
+    /// Like [`record`](Self::record), with extra JSON fields merged
+    /// into the case object — e.g. a derived `speedup_vs_1` ratio.
+    pub fn record_with(
+        &mut self,
+        id: &str,
+        stats: Stats,
+        extras: impl IntoIterator<Item = (&'static str, Json)>,
+    ) {
+        self.cases.push((
+            id.to_owned(),
+            stats,
+            extras.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        ));
     }
 
     /// Serializes every recorded case.
@@ -117,7 +141,14 @@ impl BenchReport {
             Json::Obj(
                 self.cases
                     .iter()
-                    .map(|(id, stats)| (id.clone(), stats.to_json()))
+                    .map(|(id, stats, extras)| {
+                        let mut case = match stats.to_json() {
+                            Json::Obj(entries) => entries,
+                            _ => unreachable!("Stats::to_json returns an object"),
+                        };
+                        case.extend(extras.iter().cloned());
+                        (id.clone(), Json::Obj(case))
+                    })
                     .collect(),
             ),
         )])
@@ -225,6 +256,18 @@ mod tests {
         let case = doc.get("cases").and_then(|c| c.get("t/noop")).unwrap();
         assert_eq!(case.get("iters").and_then(Json::as_u64), Some(stats.iters));
         assert!(case.get("p95_ns").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn record_with_merges_extra_fields() {
+        let stats = BenchGroup::new("t").samples(2).bench("noop", || ());
+        let mut report = BenchReport::default();
+        report.record_with("t/extra", stats, [("speedup_vs_1", Json::Num(2.5))]);
+        let json = report.to_json().to_compact();
+        let doc = rap_obs::json::parse(&json).unwrap();
+        let case = doc.get("cases").and_then(|c| c.get("t/extra")).unwrap();
+        assert!(case.get("median_ns").is_some());
+        assert_eq!(case.get("speedup_vs_1").and_then(Json::as_f64), Some(2.5));
     }
 
     #[test]

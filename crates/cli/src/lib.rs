@@ -258,6 +258,11 @@ pub fn cmd_verify_fleet(
 ) -> Result<(bool, String, VerifierStats), CliError> {
     use std::fmt::Write as _;
 
+    if threads == 0 {
+        return Err(CliError(
+            "--threads must be >= 1 (omit the flag to use all cores)".into(),
+        ));
+    }
     let image = Image::from_bytes(base, image_bytes.to_vec())?;
     let map = read_map(map_text)?;
     let chal = Challenge::from_seed(chal_seed);
@@ -271,6 +276,11 @@ pub fn cmd_verify_fleet(
     }
 
     let verifier = Verifier::new(device_key(key_seed), image, map);
+    // What the pool will actually run with (threads clamp to the job
+    // count) — reported in the verdict, and recorded by `verify_fleet`
+    // itself in the `fleet_effective_threads` / `fleet_chunk_size`
+    // gauges so a `--metrics` capture carries it too.
+    let (eff_threads, chunk) = rap_track::effective_batch_config(jobs.len(), threads);
     let start = std::time::Instant::now();
     let outcomes = verify_fleet(&verifier, jobs, BatchOptions::with_threads(threads));
     let wall = start.elapsed();
@@ -307,7 +317,7 @@ pub fn cmd_verify_fleet(
     };
     let _ = writeln!(
         out,
-        "{accepted}/{} accepted in {wall:.1?} ({per_sec:.0} streams/sec, {threads} threads)",
+        "{accepted}/{} accepted in {wall:.1?} ({per_sec:.0} streams/sec, {eff_threads} threads, chunk {chunk})",
         outcomes.len()
     );
     let _ = writeln!(
@@ -520,6 +530,27 @@ mod tests {
             cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 1).expect("runs");
         assert!(!ok);
         assert!(verdict.contains("REJECTED"));
+    }
+
+    #[test]
+    fn verify_fleet_rejects_zero_threads_and_reports_effective_config() {
+        let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let (good, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
+        let streams = vec![("alpha.rpt".to_owned(), good)];
+
+        let err = cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 0)
+            .expect_err("--threads 0 must be rejected, not clamped");
+        assert!(err.0.contains("--threads"), "unclear error: {}", err.0);
+
+        // One job, 8 requested threads: the verdict reports the pool
+        // the batch layer actually ran (clamped to the job count).
+        let (ok, verdict, _) =
+            cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 8).expect("runs");
+        assert!(ok, "{verdict}");
+        assert!(verdict.contains("1 threads, chunk 1"), "{verdict}");
+        let snap = rap_obs::global().snapshot();
+        assert_eq!(snap.gauge("fleet_effective_threads"), 1);
+        assert_eq!(snap.gauge("fleet_chunk_size"), 1);
     }
 
     #[test]

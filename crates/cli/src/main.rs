@@ -229,11 +229,15 @@ fn run() -> Result<(), CliError> {
             }
             let chal = args.num("chal", 0)?;
             let key = args.flag("key").unwrap_or("default-device");
-            let threads = match args.num("threads", 0)? as usize {
-                0 => std::thread::available_parallelism()
+            // Absent flag means "use every core"; an explicit value is
+            // passed through verbatim so `--threads 0` is *rejected*
+            // downstream instead of silently clamped.
+            let threads = if args.has("threads") {
+                args.num("threads", 0)? as usize
+            } else {
+                std::thread::available_parallelism()
                     .map(|n| n.get())
-                    .unwrap_or(1),
-                t => t,
+                    .unwrap_or(1)
             };
             let obs = ObsOutputs::begin(&args);
             let (ok, verdict, stats) =

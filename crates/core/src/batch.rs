@@ -3,21 +3,37 @@
 //! TRACES and ACFA both frame the Verifier as an always-on auditing
 //! service for device *fleets*; a single-threaded replay loop cannot
 //! serve that workload. This module verifies many `(Challenge,
-//! report stream)` jobs concurrently: a bounded work queue feeds a
-//! [`std::thread::scope`] worker pool, every worker replays against the
-//! same shared [`Verifier`] (and therefore the same straight-line
-//! replay cache), and results come back in submission order.
+//! report stream)` jobs concurrently across a [`std::thread::scope`]
+//! worker pool sharing one [`Verifier`] (and therefore one replay
+//! cache), with results returned in submission order.
+//!
+//! Work distribution is shaped to the input:
+//!
+//! * [`verify_fleet`] owns the whole job slice up front, so workers
+//!   claim index ranges from an **atomic-ticket dispenser** — one
+//!   `fetch_add` per chunk, no mutex, no condvar, no per-job handoff.
+//!   Chunks shrink as the slice drains (guided self-scheduling) so the
+//!   tail stays balanced without paying per-job dispatch up front.
+//! * [`verify_fleet_stream`] consumes jobs from an iterator whose
+//!   length is unknown (a socket, a directory walk), so it keeps the
+//!   bounded [`BoundedQueue`] + condvar handoff: backpressure is the
+//!   point there, not raw dispatch throughput.
+//!
+//! Workers accumulate their verification stats in plain per-worker
+//! tallies merged once at join (see `Verifier::commit_tally`), so the
+//! replay hot loop never touches a shared cache line.
 //!
 //! Batch verification is observationally identical to calling
 //! [`Verifier::verify`] per job in sequence — same [`VerifiedPath`]s,
 //! same [`Violation`]s — it only overlaps the wall-clock time.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::report::{Challenge, Report};
-use crate::verifier::{VerifiedPath, Verifier, Violation};
+use crate::verifier::{StatsTally, VerifiedPath, Verifier, Violation};
 
 /// One fleet verification job: a device's report stream for one
 /// attestation round.
@@ -49,14 +65,16 @@ impl JobOutcome {
     }
 }
 
-/// Worker-pool configuration for [`verify_fleet`].
+/// Worker-pool configuration for [`verify_fleet`] /
+/// [`verify_fleet_stream`].
 #[derive(Debug, Clone, Copy)]
 pub struct BatchOptions {
-    /// Worker threads. Clamped to at least 1.
+    /// Worker threads. Clamped to at least 1 (and, for the slice path,
+    /// to the job count — idle workers would only add spawn cost).
     pub threads: usize,
-    /// Bound on jobs buffered between the submitting thread and the
-    /// workers; submission blocks when full (backpressure). Clamped to
-    /// at least 1.
+    /// Streaming path only: bound on jobs buffered between the
+    /// submitting thread and the workers; submission blocks when full
+    /// (backpressure). Clamped to at least 1.
     pub queue_depth: usize,
 }
 
@@ -82,6 +100,44 @@ impl BatchOptions {
     }
 }
 
+/// Largest index range one dispenser claim may cover. Caps the damage
+/// when one early chunk happens to hold all the slow jobs.
+const MAX_CHUNK: usize = 64;
+
+/// The worker pool and chunking [`verify_fleet`] will actually use for
+/// `jobs` jobs at `requested` threads: `(effective threads, initial
+/// chunk size)`. Public so the CLI can report the effective
+/// configuration instead of the requested one.
+pub fn effective_batch_config(jobs: usize, requested: usize) -> (usize, usize) {
+    let threads = requested.max(1).min(jobs.max(1));
+    (threads, chunk_for(jobs, 0, threads))
+}
+
+/// Guided self-scheduling chunk size: claim `remaining / (4 * threads)`
+/// jobs, so early claims amortize the dispenser `fetch_add` while the
+/// tail degrades to per-job claims and no worker is left holding a
+/// large chunk while the others idle.
+fn chunk_for(total: usize, claimed: usize, threads: usize) -> usize {
+    (total.saturating_sub(claimed) / (threads * 4)).clamp(1, MAX_CHUNK)
+}
+
+/// Claims the next chunk of job indices, or `None` once the slice is
+/// exhausted. Lock-free: one relaxed load to size the chunk (staleness
+/// only perturbs the chunk size, never correctness) and one `fetch_add`
+/// to claim it. Every index in `0..total` is claimed exactly once.
+fn claim_chunk(cursor: &AtomicUsize, total: usize, threads: usize) -> Option<(usize, usize)> {
+    let seen = cursor.load(Ordering::Relaxed);
+    if seen >= total {
+        return None;
+    }
+    let chunk = chunk_for(total, seen, threads);
+    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+    if start >= total {
+        return None;
+    }
+    Some((start, (start + chunk).min(total)))
+}
+
 /// Verifies a batch of fleet jobs concurrently against one deployed
 /// binary. Returns one [`JobOutcome`] per job, in submission order.
 ///
@@ -93,55 +149,135 @@ pub fn verify_fleet(
     jobs: Vec<FleetJob>,
     options: BatchOptions,
 ) -> Vec<JobOutcome> {
-    let threads = options.threads.max(1);
     let total = jobs.len();
-    let queue: BoundedQueue<(usize, FleetJob)> = BoundedQueue::new(options.queue_depth.max(1));
-    let done: Mutex<Vec<(usize, JobOutcome)>> = Mutex::new(Vec::with_capacity(total));
+    if total == 0 {
+        return Vec::new();
+    }
+    let (threads, initial_chunk) = effective_batch_config(total, options.threads);
+    rap_obs::gauge!("fleet_effective_threads").set(threads as i64);
+    rap_obs::gauge!("fleet_chunk_size").set(initial_chunk as i64);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                loop {
-                    // Time spent blocked on the queue is idle; time
-                    // spent verifying is busy. Both accumulate once per
-                    // job, so the worker loop stays free of atomics
-                    // while a job is replaying.
-                    let idle_from = Instant::now();
-                    let Some((index, job)) = queue.pop() else {
-                        // Flush this worker's trace ring *inside* the
-                        // closure: scoped threads signal completion
-                        // before their TLS destructors run, so a
-                        // drain right after `verify_fleet` returns
-                        // would otherwise race the implicit flush.
-                        rap_obs::flush_thread();
-                        break;
-                    };
-                    rap_obs::counter!("batch_worker_idle_ns_total")
-                        .add(idle_from.elapsed().as_nanos() as u64);
-                    let start = Instant::now();
-                    let result = verifier.verify(job.chal, &job.reports);
-                    let wall = start.elapsed();
-                    rap_obs::counter!("batch_worker_busy_ns_total").add(wall.as_nanos() as u64);
-                    observe_job(wall);
-                    let outcome = JobOutcome {
-                        device: job.device,
-                        result,
-                        wall,
-                    };
-                    done.lock().expect("result lock").push((index, outcome));
-                }
-            });
-        }
-        for (index, job) in jobs.into_iter().enumerate() {
-            queue.push((index, job));
-        }
-        queue.close();
+    let cursor = AtomicUsize::new(0);
+    let jobs = &jobs;
+    let per_worker: Vec<Vec<(usize, JobOutcome)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut outcomes: Vec<(usize, JobOutcome)> = Vec::new();
+                    let mut tally = StatsTally::default();
+                    let mut busy_ns = 0u64;
+                    let mut idle_ns = 0u64;
+                    loop {
+                        let idle_from = Instant::now();
+                        let Some((start, end)) = claim_chunk(&cursor, total, threads) else {
+                            break;
+                        };
+                        idle_ns += idle_from.elapsed().as_nanos() as u64;
+                        for (index, job) in jobs[start..end].iter().enumerate() {
+                            let index = start + index;
+                            let from = Instant::now();
+                            let result =
+                                verifier.verify_tallied(job.chal, &job.reports, &mut tally);
+                            let wall = from.elapsed();
+                            busy_ns += wall.as_nanos() as u64;
+                            outcomes.push((
+                                index,
+                                JobOutcome {
+                                    device: job.device.clone(),
+                                    result,
+                                    wall,
+                                },
+                            ));
+                        }
+                    }
+                    // One merge per worker: the only writes this worker
+                    // ever makes to shared counters.
+                    verifier.commit_tally(&tally);
+                    rap_obs::counter!("batch_worker_busy_ns_total").add(busy_ns);
+                    rap_obs::counter!("batch_worker_idle_ns_total").add(idle_ns);
+                    // Flush this worker's trace ring *inside* the
+                    // closure: scoped threads signal completion before
+                    // their TLS destructors run, so a drain right after
+                    // `verify_fleet` returns would otherwise race the
+                    // implicit flush.
+                    rap_obs::flush_thread();
+                    outcomes
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet worker panicked"))
+            .collect()
     });
 
-    let mut outcomes = done.into_inner().expect("result lock");
-    outcomes.sort_by_key(|(index, _)| *index);
-    debug_assert_eq!(outcomes.len(), total);
-    outcomes.into_iter().map(|(_, outcome)| outcome).collect()
+    collect_in_order(total, per_worker)
+}
+
+/// Verifies a *stream* of fleet jobs whose length is not known up
+/// front (a socket, a directory walk): jobs flow through a bounded
+/// queue so the producer is backpressured once `queue_depth` jobs are
+/// in flight. Returns outcomes in submission order, like
+/// [`verify_fleet`] — which is the better choice whenever the jobs
+/// already sit in memory.
+pub fn verify_fleet_stream(
+    verifier: &Verifier,
+    jobs: impl IntoIterator<Item = FleetJob>,
+    options: BatchOptions,
+) -> Vec<JobOutcome> {
+    let threads = options.threads.max(1);
+    let queue: BoundedQueue<(usize, FleetJob)> = BoundedQueue::new(options.queue_depth.max(1));
+    let (per_worker, total): (Vec<Vec<(usize, JobOutcome)>>, usize) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut outcomes: Vec<(usize, JobOutcome)> = Vec::new();
+                    let mut tally = StatsTally::default();
+                    let mut busy_ns = 0u64;
+                    let mut idle_ns = 0u64;
+                    loop {
+                        let idle_from = Instant::now();
+                        let Some((index, job)) = queue.pop() else {
+                            break;
+                        };
+                        idle_ns += idle_from.elapsed().as_nanos() as u64;
+                        let from = Instant::now();
+                        let result = verifier.verify_tallied(job.chal, &job.reports, &mut tally);
+                        let wall = from.elapsed();
+                        busy_ns += wall.as_nanos() as u64;
+                        outcomes.push((
+                            index,
+                            JobOutcome {
+                                device: job.device,
+                                result,
+                                wall,
+                            },
+                        ));
+                    }
+                    verifier.commit_tally(&tally);
+                    rap_obs::counter!("batch_worker_busy_ns_total").add(busy_ns);
+                    rap_obs::counter!("batch_worker_idle_ns_total").add(idle_ns);
+                    rap_obs::flush_thread();
+                    outcomes
+                })
+            })
+            .collect();
+        let mut submitted = 0usize;
+        for job in jobs {
+            queue.push((submitted, job));
+            submitted += 1;
+        }
+        queue.close();
+        (
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet worker panicked"))
+                .collect(),
+            submitted,
+        )
+    });
+
+    collect_in_order(total, per_worker)
 }
 
 /// Reference implementation for equivalence testing and 1-thread
@@ -162,6 +298,23 @@ pub fn verify_sequential(verifier: &Verifier, jobs: Vec<FleetJob>) -> Vec<JobOut
         .collect()
 }
 
+/// Merges per-worker `(index, outcome)` piles back into submission
+/// order and records the per-job metrics — once, from the joining
+/// thread, after all workers are done.
+fn collect_in_order(total: usize, per_worker: Vec<Vec<(usize, JobOutcome)>>) -> Vec<JobOutcome> {
+    let mut slots: Vec<Option<JobOutcome>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    for (index, outcome) in per_worker.into_iter().flatten() {
+        observe_job(outcome.wall);
+        debug_assert!(slots[index].is_none(), "job {index} claimed twice");
+        slots[index] = Some(outcome);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job claimed exactly once"))
+        .collect()
+}
+
 /// Records one completed job into the shared per-job latency histogram
 /// and job counter (the same metrics for batch and sequential paths, so
 /// their totals are directly comparable).
@@ -174,6 +327,9 @@ fn observe_job(wall: Duration) {
 /// A minimal bounded MPMC queue: `push` blocks while full, `pop` blocks
 /// while empty, and `close` wakes all poppers once drained. Built on
 /// std only (the registry is unreachable on the evaluation machines).
+/// Used by the streaming path, where backpressure — not dispatch
+/// throughput — is the requirement; the slice path uses the atomic
+/// dispenser instead.
 struct BoundedQueue<T> {
     inner: Mutex<QueueInner<T>>,
     not_empty: Condvar,
@@ -246,7 +402,7 @@ impl<T> BoundedQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn queue_delivers_everything_once() {
@@ -288,5 +444,47 @@ mod tests {
         let defaults = BatchOptions::default();
         assert!(defaults.threads >= 1);
         assert!(defaults.queue_depth >= 2);
+    }
+
+    #[test]
+    fn dispenser_claims_every_index_exactly_once() {
+        for (total, threads) in [(1usize, 8usize), (7, 3), (100, 4), (1000, 8)] {
+            let cursor = AtomicUsize::new(0);
+            let claims: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        while let Some(range) = claim_chunk(&cursor, total, threads) {
+                            claims.lock().unwrap().push(range);
+                        }
+                    });
+                }
+            });
+            let mut covered = vec![0u32; total];
+            for (start, end) in claims.into_inner().unwrap() {
+                assert!(start < end && end <= total);
+                for slot in &mut covered[start..end] {
+                    *slot += 1;
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "total={total} threads={threads}: {covered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_shrink_toward_the_tail() {
+        // Guided self-scheduling: a fresh slice hands out larger chunks
+        // than a nearly-drained one, and never zero.
+        assert!(chunk_for(1000, 0, 4) > chunk_for(1000, 990, 4));
+        assert_eq!(chunk_for(1000, 999, 4), 1);
+        assert_eq!(chunk_for(10, 10, 4), 1);
+        assert!(chunk_for(1_000_000, 0, 1) <= MAX_CHUNK);
+        let (threads, chunk) = effective_batch_config(6, 32);
+        assert_eq!(threads, 6, "threads clamp to the job count");
+        assert!(chunk >= 1);
+        assert_eq!(effective_batch_config(0, 0), (1, 1));
     }
 }

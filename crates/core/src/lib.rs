@@ -56,7 +56,10 @@ mod report;
 mod verifier;
 mod wire;
 
-pub use batch::{verify_fleet, verify_sequential, BatchOptions, FleetJob, JobOutcome};
+pub use batch::{
+    effective_batch_config, verify_fleet, verify_fleet_stream, verify_sequential, BatchOptions,
+    FleetJob, JobOutcome,
+};
 pub use engine::{Attestation, CfaEngine, EngineConfig};
 pub use metrics::{Metrics, VerifierStats};
 pub use policy::{PathPolicy, PathStats, PolicyFinding};

@@ -9,10 +9,13 @@
 //! address, a hijacked indirect call, a forged or truncated log —
 //! surfaces as a typed [`Violation`].
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
+
+use rap_obs::CachePadded;
 
 use armv8m_isa::{service, BranchKind, Image, Instr, Reg, Target};
 use rap_crypto::{sha256, Digest};
@@ -365,20 +368,136 @@ pub struct Verifier {
     shared: Arc<Shared>,
 }
 
+/// Number of L2 replay-cache shards. A power of two so shard selection
+/// is a multiply + shift; 16 shards keep the worst-case miss contention
+/// per shard at 1/16th of a global lock while staying small enough that
+/// a snapshot walk is trivial.
+const SHARD_COUNT: usize = 16;
+
+/// Shard index for an entry PC: Fibonacci hashing spreads the (4-byte
+/// aligned, clustered) instruction addresses across shards.
+fn shard_of(pc: u32) -> usize {
+    (pc.wrapping_mul(0x9E37_79B9) >> 28) as usize & (SHARD_COUNT - 1)
+}
+
 /// Cache + counters shared by all clones of one [`Verifier`].
-#[derive(Debug, Default)]
+///
+/// Layout is driven by the fleet worker pool: the shards and every
+/// counter are cache-line padded so a worker updating one never
+/// invalidates its neighbours' lines, and the counters are only touched
+/// by [`Verifier::commit_tally`] — once per job (or once per worker in
+/// the batch layer), never from inside the replay loop.
+/// One L2 lock stripe, padded so adjacent shards' lock words never
+/// share a cache line.
+type Shard = CachePadded<RwLock<HashMap<u32, Arc<Segment>>>>;
+
+#[derive(Debug)]
 struct Shared {
-    /// Straight-line replay cache: entry PC → memoized deterministic
-    /// stretch. Contents depend only on the image and map, never on a
-    /// particular log, so the cache is safely shared across sessions,
-    /// threads and devices.
-    segments: RwLock<HashMap<u32, Arc<Segment>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    cached_steps: AtomicU64,
-    live_steps: AtomicU64,
-    jobs: AtomicU64,
-    wall_ns: AtomicU64,
+    /// Identity of this cache, used as the ownership key for the
+    /// thread-local L1 (see [`L1_SEGMENTS`]). Unique per `Shared`.
+    id: u64,
+    /// Straight-line replay cache (L2): entry PC → memoized
+    /// deterministic stretch, lock-striped by [`shard_of`]. Contents
+    /// depend only on the image and map, never on a particular log, so
+    /// the cache is safely shared across sessions, threads and devices.
+    shards: Vec<Shard>,
+    hits: CachePadded<AtomicU64>,
+    misses: CachePadded<AtomicU64>,
+    cached_steps: CachePadded<AtomicU64>,
+    live_steps: CachePadded<AtomicU64>,
+    jobs: CachePadded<AtomicU64>,
+    wall_ns: CachePadded<AtomicU64>,
+}
+
+impl Default for Shared {
+    fn default() -> Shared {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        Shared {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            shards: (0..SHARD_COUNT)
+                .map(|_| CachePadded::new(RwLock::new(HashMap::new())))
+                .collect(),
+            hits: CachePadded::default(),
+            misses: CachePadded::default(),
+            cached_steps: CachePadded::default(),
+            live_steps: CachePadded::default(),
+            jobs: CachePadded::default(),
+            wall_ns: CachePadded::default(),
+        }
+    }
+}
+
+thread_local! {
+    /// Replay-cache L1: this thread's private view of one verifier's
+    /// segment cache. A steady-state cache hit in the replay loop is a
+    /// plain `HashMap` probe — no lock, no atomic, no shared line. The
+    /// map belongs to the [`Shared`] whose `id` it records and is
+    /// cleared when the thread switches to a different verifier (the
+    /// common shapes — a worker pool over one verifier, or sequential
+    /// tests each with their own — never thrash).
+    static L1_SEGMENTS: RefCell<L1Cache> = RefCell::new(L1Cache {
+        owner: 0,
+        segments: HashMap::new(),
+    });
+}
+
+struct L1Cache {
+    owner: u64,
+    segments: HashMap<u32, Arc<Segment>>,
+}
+
+/// Plain-integer verification tallies, accumulated lock-free on the
+/// stack of whoever drives the replay and published to the shared
+/// [`VerifierStats`](crate::VerifierStats) atomics and the `rap-obs`
+/// registry in one [`Verifier::commit_tally`] call. `verify` commits
+/// per job; the batch worker pool accumulates one tally per *worker*
+/// and commits at join, so the replay hot loop touches no shared
+/// cache line at all.
+#[derive(Debug, Default)]
+pub(crate) struct StatsTally {
+    cache_hits: u64,
+    cache_misses: u64,
+    segment_builds: u64,
+    cached_steps: u64,
+    live_steps: u64,
+    rewinds: u64,
+    checkpoints: u64,
+    jobs: u64,
+    wall_ns: u64,
+    accepted: u64,
+    rejected: u64,
+    /// Violation counts by kind; at most a handful of kinds per tally,
+    /// so a linear-scan vec beats a map.
+    violations: Vec<(&'static str, u64)>,
+}
+
+impl StatsTally {
+    fn note_violation(&mut self, kind: &'static str) {
+        match self.violations.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => self.violations.push((kind, 1)),
+        }
+    }
+
+    fn merge(&mut self, other: StatsTally) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.segment_builds += other.segment_builds;
+        self.cached_steps += other.cached_steps;
+        self.live_steps += other.live_steps;
+        self.rewinds += other.rewinds;
+        self.checkpoints += other.checkpoints;
+        self.jobs += other.jobs;
+        self.wall_ns += other.wall_ns;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        for (kind, n) in other.violations {
+            match self.violations.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, have)) => *have += n,
+                None => self.violations.push((kind, n)),
+            }
+        }
+    }
 }
 
 /// A memoized deterministic stretch of replay: the instruction walk
@@ -448,32 +567,77 @@ impl Verifier {
     /// Returns the first [`Violation`] encountered — authentication
     /// failures first, then replay divergences.
     pub fn verify(&self, chal: Challenge, reports: &[Report]) -> Result<VerifiedPath, Violation> {
+        let mut tally = StatsTally::default();
+        let result = self.verify_tallied(chal, reports, &mut tally);
+        self.commit_tally(&tally);
+        result
+    }
+
+    /// [`verify`](Verifier::verify) with deferred accounting: every
+    /// counter the job would have bumped lands in `tally` instead of
+    /// the shared atomics / the global registry. The caller owns the
+    /// publication schedule — the batch worker pool passes one tally
+    /// through all of a worker's jobs and commits once at join, so
+    /// workers never write a shared cache line while jobs are live.
+    pub(crate) fn verify_tallied(
+        &self,
+        chal: Challenge,
+        reports: &[Report],
+        tally: &mut StatsTally,
+    ) -> Result<VerifiedPath, Violation> {
         let start = Instant::now();
         let _job_span = rap_obs::span("verify_job");
         let result = match self.begin(chal, reports) {
-            Ok(session) => session.run(),
+            Ok(session) => session.run_into(tally),
             Err(v) => Err(v),
         };
-        self.shared.jobs.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .wall_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        rap_obs::counter!("verifier_jobs_total").inc();
+        tally.jobs += 1;
+        tally.wall_ns += start.elapsed().as_nanos() as u64;
         match &result {
-            Ok(_) => rap_obs::counter!("verifier_jobs_accepted_total").inc(),
+            Ok(_) => tally.accepted += 1,
             Err(v) => {
-                rap_obs::counter!("verifier_jobs_rejected_total").inc();
-                // Dynamic (labelled) name: resolved through the registry
-                // directly, not the caching macro — rejection is rare.
-                rap_obs::global()
-                    .counter(&format!(
-                        "verifier_violations_total{{kind=\"{}\"}}",
-                        v.kind()
-                    ))
-                    .inc();
+                tally.rejected += 1;
+                tally.note_violation(v.kind());
             }
         }
         result
+    }
+
+    /// Publishes an accumulated [`StatsTally`]: one relaxed add per
+    /// shared counter and per registry metric, regardless of how many
+    /// jobs or replay steps the tally covers.
+    pub(crate) fn commit_tally(&self, tally: &StatsTally) {
+        let shared = &self.shared;
+        shared.hits.fetch_add(tally.cache_hits, Ordering::Relaxed);
+        shared
+            .misses
+            .fetch_add(tally.cache_misses, Ordering::Relaxed);
+        shared
+            .cached_steps
+            .fetch_add(tally.cached_steps, Ordering::Relaxed);
+        shared
+            .live_steps
+            .fetch_add(tally.live_steps, Ordering::Relaxed);
+        shared.jobs.fetch_add(tally.jobs, Ordering::Relaxed);
+        shared.wall_ns.fetch_add(tally.wall_ns, Ordering::Relaxed);
+
+        rap_obs::counter!("verifier_jobs_total").add(tally.jobs);
+        rap_obs::counter!("verifier_jobs_accepted_total").add(tally.accepted);
+        rap_obs::counter!("verifier_jobs_rejected_total").add(tally.rejected);
+        rap_obs::counter!("verifier_cache_hits_total").add(tally.cache_hits);
+        rap_obs::counter!("verifier_cache_misses_total").add(tally.cache_misses);
+        rap_obs::counter!("verifier_segment_builds_total").add(tally.segment_builds);
+        rap_obs::counter!("verifier_replay_live_steps_total").add(tally.live_steps);
+        rap_obs::counter!("verifier_replay_cached_steps_total").add(tally.cached_steps);
+        rap_obs::counter!("verifier_rewinds_total").add(tally.rewinds);
+        rap_obs::counter!("verifier_checkpoints_total").add(tally.checkpoints);
+        // Dynamic (labelled) names: resolved through the registry
+        // directly, not the caching macro — rejection is rare.
+        for (kind, n) in &tally.violations {
+            rap_obs::global()
+                .counter(&format!("verifier_violations_total{{kind=\"{kind}\"}}"))
+                .add(*n);
+        }
     }
 
     /// Authenticates a report stream and returns a resumable
@@ -540,31 +704,54 @@ impl Verifier {
             checkpoints: Vec::new(),
             first_violation: None,
             global_steps: 0,
-            obs: SessionObs::default(),
+            tally: Some(StatsTally::default()),
         })
     }
 
     /// Looks up (or builds and caches) the deterministic segment
     /// starting at `pc`.
-    fn segment_at(&self, pc: u32) -> Arc<Segment> {
-        if let Some(seg) = self.shared.segments.read().expect("cache lock").get(&pc) {
-            self.shared.hits.fetch_add(1, Ordering::Relaxed);
-            rap_obs::counter!("verifier_cache_hits_total").inc();
-            return Arc::clone(seg);
-        }
-        self.shared.misses.fetch_add(1, Ordering::Relaxed);
-        rap_obs::counter!("verifier_cache_misses_total").inc();
-        rap_obs::counter!("verifier_segment_builds_total").inc();
-        let built = Arc::new(self.build_segment(pc));
-        rap_obs::event("segment_build", pc as u64, built.steps);
-        Arc::clone(
-            self.shared
-                .segments
-                .write()
-                .expect("cache lock")
-                .entry(pc)
-                .or_insert(built),
-        )
+    ///
+    /// Lookup order is L1 (this thread's private map — no shared state
+    /// touched) then the L2 shard for `pc` (a read lock contended only
+    /// by lookups hashing to the same shard), and only a genuine miss
+    /// builds the segment and takes the shard's write lock. The build
+    /// happens *outside* the lock: two workers racing on the same cold
+    /// PC may both build, and `or_insert` keeps the first — duplicate
+    /// work on a cold cache beats serializing every miss. Exactly one
+    /// of `cache_hits`/`cache_misses` is tallied per call, so lookup
+    /// totals are deterministic regardless of thread count.
+    fn segment_at(&self, pc: u32, tally: &mut StatsTally) -> Arc<Segment> {
+        L1_SEGMENTS.with(|cell| {
+            let mut l1 = cell.borrow_mut();
+            if l1.owner != self.shared.id {
+                l1.segments.clear();
+                l1.owner = self.shared.id;
+            }
+            if let Some(seg) = l1.segments.get(&pc) {
+                tally.cache_hits += 1;
+                return Arc::clone(seg);
+            }
+            let shard = &self.shared.shards[shard_of(pc)];
+            if let Some(seg) = shard.read().expect("cache lock").get(&pc) {
+                tally.cache_hits += 1;
+                let seg = Arc::clone(seg);
+                l1.segments.insert(pc, Arc::clone(&seg));
+                return seg;
+            }
+            tally.cache_misses += 1;
+            tally.segment_builds += 1;
+            let built = Arc::new(self.build_segment(pc));
+            rap_obs::event("segment_build", pc as u64, built.steps);
+            let seg = Arc::clone(
+                shard
+                    .write()
+                    .expect("cache lock")
+                    .entry(pc)
+                    .or_insert(built),
+            );
+            l1.segments.insert(pc, Arc::clone(&seg));
+            seg
+        })
     }
 
     /// Walks instructions from `pc` while their outcome is a pure
@@ -925,26 +1112,20 @@ pub struct ReplaySession<'v> {
     checkpoints: Vec<Checkpoint>,
     first_violation: Option<Violation>,
     global_steps: u64,
-    obs: SessionObs,
-}
-
-/// Observability tallies accumulated as plain integers on the session
-/// (zero atomics in the replay loop) and flushed to the global metric
-/// counters once, when the session drops.
-#[derive(Debug, Default)]
-struct SessionObs {
-    live_steps: u64,
-    cached_steps: u64,
-    rewinds: u64,
-    checkpoints: u64,
+    /// Plain-integer tallies for everything this session does (zero
+    /// atomics in the replay loop). `Some` until drained: either
+    /// [`run_into`](ReplaySession::run_into) hands it to the caller's
+    /// accumulator, or `Drop` commits it — so a session driven
+    /// externally via [`advance`](ReplaySession::advance) still lands
+    /// in the verifier's stats when it goes out of scope.
+    tally: Option<StatsTally>,
 }
 
 impl Drop for ReplaySession<'_> {
     fn drop(&mut self) {
-        rap_obs::counter!("verifier_replay_live_steps_total").add(self.obs.live_steps);
-        rap_obs::counter!("verifier_replay_cached_steps_total").add(self.obs.cached_steps);
-        rap_obs::counter!("verifier_rewinds_total").add(self.obs.rewinds);
-        rap_obs::counter!("verifier_checkpoints_total").add(self.obs.checkpoints);
+        if let Some(tally) = self.tally.take() {
+            self.verifier.commit_tally(&tally);
+        }
     }
 }
 
@@ -964,17 +1145,15 @@ impl ReplaySession<'_> {
     /// Returns `None` while the session is still running, or the final
     /// verdict once replay terminates.
     pub fn advance(&mut self) -> Option<Result<VerifiedPath, Violation>> {
-        let shared = &self.verifier.shared;
-
-        // Bulk-apply the deterministic stretch starting here.
-        let segment = self.verifier.segment_at(self.state.pc);
+        // Bulk-apply the deterministic stretch starting here. All
+        // tallies are plain integers on the session — the replay loop
+        // touches no shared cache line.
+        let tally = self.tally.as_mut().expect("session tally present");
+        let segment = self.verifier.segment_at(self.state.pc, tally);
         if segment.steps > 0 {
             self.state.apply(&segment);
             self.global_steps += segment.steps;
-            self.obs.cached_steps += segment.steps;
-            shared
-                .cached_steps
-                .fetch_add(segment.steps, Ordering::Relaxed);
+            tally.cached_steps += segment.steps;
             if self.global_steps > self.verifier.max_steps {
                 return Some(Err(self
                     .first_violation
@@ -985,8 +1164,7 @@ impl ReplaySession<'_> {
 
         // Replay the non-deterministic (or terminal) head live.
         self.global_steps += 1;
-        self.obs.live_steps += 1;
-        shared.live_steps.fetch_add(1, Ordering::Relaxed);
+        tally.live_steps += 1;
         if self.global_steps > self.verifier.max_steps {
             return Some(Err(self
                 .first_violation
@@ -1000,7 +1178,10 @@ impl ReplaySession<'_> {
             &self.loops,
             &mut self.checkpoints,
         );
-        self.obs.checkpoints += self.checkpoints.len().saturating_sub(checkpoints_before) as u64;
+        let new_checkpoints = self.checkpoints.len().saturating_sub(checkpoints_before) as u64;
+        if let Some(tally) = self.tally.as_mut() {
+            tally.checkpoints += new_checkpoints;
+        }
         match outcome {
             Ok(true) => {
                 // Halted: the whole log must be consumed.
@@ -1031,7 +1212,9 @@ impl ReplaySession<'_> {
         self.first_violation.get_or_insert(v.clone());
         match self.checkpoints.pop() {
             Some(alt) => {
-                self.obs.rewinds += 1;
+                if let Some(tally) = self.tally.as_mut() {
+                    tally.rewinds += 1;
+                }
                 rap_obs::event("rewind", alt.alt_pc as u64, self.checkpoints.len() as u64);
                 alt.restore(&mut self.state);
                 None
@@ -1040,13 +1223,27 @@ impl ReplaySession<'_> {
         }
     }
 
-    /// Drives the session to completion.
+    /// Drives the session to completion; the session's tallies are
+    /// committed to the verifier's stats when it drops.
     pub fn run(mut self) -> Result<VerifiedPath, Violation> {
         loop {
             if let Some(verdict) = self.advance() {
                 return verdict;
             }
         }
+    }
+
+    /// Drives the session to completion, draining its tallies into
+    /// `sink` instead of committing them — the batch layer's deferred-
+    /// accounting path.
+    pub(crate) fn run_into(mut self, sink: &mut StatsTally) -> Result<VerifiedPath, Violation> {
+        let verdict = loop {
+            if let Some(verdict) = self.advance() {
+                break verdict;
+            }
+        };
+        sink.merge(self.tally.take().expect("session tally present"));
+        verdict
     }
 }
 

@@ -32,7 +32,8 @@ pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use registry::{
-    global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, LATENCY_NS_BOUNDS,
+    global, CachePadded, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
+    LATENCY_NS_BOUNDS,
 };
 pub use trace::{
     disable as disable_tracing, drain as drain_events, dropped as dropped_events,

@@ -13,10 +13,44 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::json::{Json, JsonError};
 
+/// Pads (and aligns) `T` to a full cache line so two adjacent hot cells
+/// never share one.
+///
+/// Handle-cached counters and gauges are 8-byte atomics; separate
+/// `Arc` allocations can land on the same 64-byte line, and every
+/// `fetch_add` then invalidates the *other* metric's line on every
+/// other core ("false sharing"). 64 bytes covers x86-64 and most
+/// aarch64 parts; on 128-byte-line hosts two cells per line is still a
+/// 8x improvement over eight. In-repo because the workspace is
+/// air-gapped (no `crossbeam-utils`).
+#[derive(Debug, Default, Clone, Copy)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> CachePadded<T> {
+    /// Wraps a value, padding it to a cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded(value)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
 /// A monotonically increasing `u64` metric.
 #[derive(Debug, Default)]
 pub struct Counter {
-    value: AtomicU64,
+    value: CachePadded<AtomicU64>,
 }
 
 impl Counter {
@@ -41,7 +75,7 @@ impl Counter {
 /// A signed instantaneous-value metric (e.g. queue depth).
 #[derive(Debug, Default)]
 pub struct Gauge {
-    value: AtomicI64,
+    value: CachePadded<AtomicI64>,
 }
 
 impl Gauge {
@@ -527,6 +561,17 @@ impl Snapshot {
 mod tests {
     use super::*;
     use crate::json;
+
+    #[test]
+    fn hot_cells_are_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+        assert!(std::mem::size_of::<CachePadded<AtomicU64>>() >= 64);
+        assert_eq!(std::mem::align_of::<Counter>(), 64);
+        assert_eq!(std::mem::align_of::<Gauge>(), 64);
+        let padded = CachePadded::new(AtomicU64::new(3));
+        padded.fetch_add(4, Ordering::Relaxed);
+        assert_eq!(padded.load(Ordering::Relaxed), 7);
+    }
 
     #[test]
     fn counters_and_gauges_register_once() {

@@ -21,5 +21,9 @@ RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
 run cargo bench -p rap-bench --bench fleet -- --quick --json "$PWD/BENCH_fleet.json"
 run cargo bench -p rap-bench --bench figures -- --quick --json "$PWD/BENCH_figures.json"
 run cargo bench -p rap-bench --bench obs -- --quick
+# Scaling gate: --enforce fails the run if the 4-thread fleet speedup
+# drops below 1.5x (the bench itself skips the gate, with a note, on
+# hosts with fewer than 4 cores — the pool cannot scale there).
+run cargo bench -p rap-bench --bench scaling -- --quick --json "$PWD/BENCH_scaling.json" --enforce
 
 echo "==> all checks passed"

@@ -5,8 +5,8 @@
 use armv8m_isa::{Asm, Reg};
 use rap_link::{link, LinkOptions};
 use rap_track::{
-    device_key, verify_fleet, verify_sequential, BatchOptions, CfaEngine, Challenge, EngineConfig,
-    FleetJob, Report, Verifier, Violation,
+    device_key, verify_fleet, verify_fleet_stream, verify_sequential, BatchOptions, CfaEngine,
+    Challenge, EngineConfig, FleetJob, Report, Verifier, Violation,
 };
 
 /// Attests one workload and returns everything needed to build jobs.
@@ -97,23 +97,18 @@ fn batch_matches_sequential_over_workloads() {
         // Replicate so the batch actually exercises the worker pool.
         let jobs: Vec<FleetJob> = (0..4).flat_map(|_| jobs.clone()).collect();
 
-        let sequential = verify_sequential(
-            &Verifier::new(
-                attested.key.clone(),
-                attested.image.clone(),
-                attested.map.clone(),
-            ),
-            jobs.clone(),
+        let seq_verifier = Verifier::new(
+            attested.key.clone(),
+            attested.image.clone(),
+            attested.map.clone(),
         );
-        let batched = verify_fleet(
-            &Verifier::new(
-                attested.key.clone(),
-                attested.image.clone(),
-                attested.map.clone(),
-            ),
-            jobs,
-            BatchOptions::with_threads(8),
+        let batch_verifier = Verifier::new(
+            attested.key.clone(),
+            attested.image.clone(),
+            attested.map.clone(),
         );
+        let sequential = verify_sequential(&seq_verifier, jobs.clone());
+        let batched = verify_fleet(&batch_verifier, jobs, BatchOptions::with_threads(8));
 
         assert_eq!(sequential.len(), batched.len());
         for (s, b) in sequential.iter().zip(&batched) {
@@ -135,7 +130,143 @@ fn batch_matches_sequential_over_workloads() {
                 outcome.result
             );
         }
+
+        // The two-level cache (thread-local L1 over sharded L2) must be
+        // accounting-equivalent to the sequential path: every replayed
+        // step is attributed to exactly one cache probe, so the probe
+        // *total* is thread-count independent even though the hit/miss
+        // split can shift (two workers may race to build one segment).
+        let seq = seq_verifier.stats();
+        let par = batch_verifier.stats();
+        assert_eq!(seq.jobs, par.jobs, "{}: job totals diverge", w.name);
+        assert_eq!(
+            seq.cache_hits + seq.cache_misses,
+            par.cache_hits + par.cache_misses,
+            "{}: cache probe totals diverge (seq {seq:?} vs batch {par:?})",
+            w.name
+        );
+        assert_eq!(
+            seq.cached_steps, par.cached_steps,
+            "{}: cached step totals diverge",
+            w.name
+        );
+        assert_eq!(
+            seq.live_steps, par.live_steps,
+            "{}: live step totals diverge",
+            w.name
+        );
     }
+}
+
+/// Streaming (bounded-queue) and slice (atomic-dispenser) distribution
+/// produce identical outcomes in identical order.
+#[test]
+fn streaming_path_matches_slice_path() {
+    let w = &workloads::all()[0];
+    let attested = attest_workload(w, 23);
+    let jobs: Vec<FleetJob> = (0..12)
+        .map(|i| FleetJob {
+            device: format!("dev-{i:02}"),
+            chal: attested.chal,
+            reports: attested.reports.clone(),
+        })
+        .collect();
+    let verifier = Verifier::new(
+        attested.key.clone(),
+        attested.image.clone(),
+        attested.map.clone(),
+    );
+    let sliced = verify_fleet(&verifier, jobs.clone(), BatchOptions::with_threads(4));
+    let streamed = verify_fleet_stream(&verifier, jobs, BatchOptions::with_threads(4));
+    assert_eq!(sliced.len(), streamed.len());
+    for (a, b) in sliced.iter().zip(&streamed) {
+        assert_eq!(a.device, b.device, "submission order must be preserved");
+        assert_eq!(a.result, b.result);
+    }
+}
+
+/// Eight workers chewing through an interleave of benign, truncated,
+/// wrong-challenge, cut and trailing-forgery streams: outcomes come
+/// back in submission order with the right verdict class per stream —
+/// and nothing panics, poisons a shard lock, or deadlocks the pool.
+#[test]
+fn stress_interleaved_failures_across_8_workers() {
+    let attested = mtb_heavy_attested();
+    let full = &attested.reports[0];
+
+    let resign = |log: rap_track::CfLog, is_final: bool| {
+        vec![Report::new(
+            &attested.key,
+            attested.chal,
+            full.h_mem,
+            log,
+            0,
+            is_final,
+            false,
+        )]
+    };
+    let truncated = {
+        let mut log = full.log.clone();
+        log.mtb.truncate(log.mtb.len() / 2);
+        resign(log, true)
+    };
+    let trailing = {
+        let mut log = full.log.clone();
+        let extra = log.mtb[0];
+        log.mtb.push(extra);
+        resign(log, true)
+    };
+    let cut = resign(full.log.clone(), false);
+
+    // 40 jobs cycling through the five stream shapes.
+    let jobs: Vec<FleetJob> = (0..40)
+        .map(|i| {
+            let (kind, chal, reports) = match i % 5 {
+                0 => ("benign", attested.chal, attested.reports.clone()),
+                1 => ("truncated", attested.chal, truncated.clone()),
+                2 => (
+                    "wrong-chal",
+                    Challenge::from_seed(1234),
+                    attested.reports.clone(),
+                ),
+                3 => ("cut", attested.chal, cut.clone()),
+                _ => ("trailing", attested.chal, trailing.clone()),
+            };
+            FleetJob {
+                device: format!("{i:02}-{kind}"),
+                chal,
+                reports,
+            }
+        })
+        .collect();
+
+    let verifier = Verifier::new(
+        attested.key.clone(),
+        attested.image.clone(),
+        attested.map.clone(),
+    );
+    let outcomes = verify_fleet(&verifier, jobs, BatchOptions::with_threads(8));
+
+    assert_eq!(outcomes.len(), 40);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert!(
+            outcome.device.starts_with(&format!("{i:02}-")),
+            "slot {i} holds {} — submission order violated",
+            outcome.device
+        );
+        let kind = outcome.device.split('-').nth(1).unwrap();
+        match (kind, &outcome.result) {
+            ("benign", Ok(_)) => {}
+            ("truncated", Err(Violation::LogExhausted { .. })) => {}
+            ("wrong", Err(Violation::BadTag { .. }))
+            | ("wrong", Err(Violation::ChallengeMismatch)) => {}
+            ("cut", Err(Violation::BadReportStream(_))) => {}
+            ("trailing", Err(Violation::TrailingLog { .. }))
+            | ("trailing", Err(Violation::UnexpectedSource { .. })) => {}
+            (kind, other) => panic!("{}: {kind} stream got {other:?}", outcome.device),
+        }
+    }
+    assert_eq!(verifier.stats().jobs, 40);
 }
 
 /// A program whose log carries MTB packets: a forward-exit loop over a
