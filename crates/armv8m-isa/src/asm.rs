@@ -442,6 +442,14 @@ impl Asm {
         self.instr(Instr::Blx { rm })
     }
 
+    /// Materializes `target`'s address in `scratch` and calls through it
+    /// (`LoadAddr` + `BLX`) — the canonical indirect-call emission used
+    /// by tests and the fuzzing generator.
+    pub fn call_indirect(&mut self, scratch: Reg, target: impl Into<Target>) -> &mut Asm {
+        self.load_addr(scratch, target);
+        self.blx(scratch)
+    }
+
     /// `BX rm`.
     pub fn bx(&mut self, rm: Reg) -> &mut Asm {
         self.instr(Instr::Bx { rm })

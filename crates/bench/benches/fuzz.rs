@@ -1,0 +1,59 @@
+//! Fuzz-throughput bench: how many full differential cases (generate →
+//! run plain → link → attest → verify ×3 paths → mutate) the harness
+//! pushes through per second. This is the number that decides how much
+//! coverage a CI minute buys, so regressions here directly shrink the
+//! fuzzing budget.
+//!
+//! `--quick` shrinks iteration counts for CI smoke runs; `--json
+//! <path>` writes the machine-readable stats.
+
+use std::hint::black_box;
+
+use rap_bench::harness::{BenchArgs, BenchGroup, BenchReport};
+use rap_fuzz::gen::Program;
+use rap_fuzz::rng::Rng;
+use rap_fuzz::{run, FuzzConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let group = BenchGroup::new("fuzz").samples(if args.quick { 3 } else { 5 });
+    let mut report = BenchReport::default();
+
+    // Generation + lowering alone: the cost floor of a case.
+    let stats = group.bench("generate_lower", || {
+        let mut rng = Rng::new(0xBEEF);
+        let mut bytes = 0usize;
+        for _ in 0..32 {
+            let p = Program::generate(&mut rng);
+            bytes += p.lower().assemble(0).expect("assembles").bytes().len();
+        }
+        black_box(bytes)
+    });
+    println!(
+        "generate+lower: median {:.0} programs/sec",
+        32.0 / stats.median.as_secs_f64()
+    );
+    report.record("fuzz/generate_lower", stats);
+
+    // Full campaign cases, the headline throughput.
+    let iters = if args.quick { 10 } else { 50 };
+    let stats = group.bench("full_case", || {
+        let summary = run(&FuzzConfig {
+            seed: 0xBE7C,
+            iters,
+            ..FuzzConfig::default()
+        });
+        assert!(summary.failures.is_empty(), "bench campaign must pass");
+        black_box(summary.cases_run)
+    });
+    println!(
+        "full differential case: median {:.0} cases/sec",
+        iters as f64 / stats.median.as_secs_f64()
+    );
+    report.record("fuzz/full_case", stats);
+
+    if let Some(path) = &args.json_out {
+        report.write(path).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

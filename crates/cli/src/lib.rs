@@ -456,6 +456,57 @@ pub fn cmd_inspect(map_text: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Options for `rap fuzz` (the argv-level mirror of
+/// [`rap_fuzz::FuzzConfig`]).
+#[derive(Debug, Clone)]
+pub struct FuzzCmdOptions {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Number of generated programs.
+    pub iters: u64,
+    /// Arm the inverted sabotage oracle (self-test: the injected fault
+    /// must be detected).
+    pub sabotage: bool,
+    /// Replay a single case from its printed case seed.
+    pub replay: Option<u64>,
+}
+
+impl Default for FuzzCmdOptions {
+    fn default() -> FuzzCmdOptions {
+        let d = rap_fuzz::FuzzConfig::default();
+        FuzzCmdOptions {
+            seed: d.seed,
+            iters: d.iters,
+            sabotage: d.sabotage,
+            replay: d.replay,
+        }
+    }
+}
+
+/// `rap fuzz`: runs a deterministic differential fuzzing campaign over
+/// the transform/trace/verify pipeline (or replays one case).
+///
+/// Returns `(ok, human summary, JSON summary)`. Both renderings are
+/// pure functions of the options — no timestamps, no wall-clock — so
+/// two invocations with equal arguments produce byte-identical output
+/// (the repro contract). Under `--sabotage` the success sense inverts:
+/// `ok` means the injected fault *was* detected.
+pub fn cmd_fuzz(options: &FuzzCmdOptions) -> (bool, String, String) {
+    let cfg = rap_fuzz::FuzzConfig {
+        seed: options.seed,
+        iters: options.iters,
+        sabotage: options.sabotage,
+        replay: options.replay,
+        ..rap_fuzz::FuzzConfig::default()
+    };
+    let summary = rap_fuzz::run(&cfg);
+    (
+        summary.ok(),
+        summary.render(),
+        summary.to_json().to_pretty(),
+    )
+}
+
 /// A demonstration program used by tests and `rap demo`.
 pub const DEMO_PROGRAM: &str = r"
 ; RAP-Track demo: a variable loop, a conditional and a call.
@@ -585,6 +636,50 @@ mod tests {
     fn stats_rejects_malformed_json() {
         assert!(cmd_stats("{ not json").is_err());
         assert!(cmd_stats("[1, 2, 3]").is_err());
+    }
+
+    #[test]
+    fn fuzz_is_deterministic_and_passes() {
+        let options = FuzzCmdOptions {
+            seed: 1,
+            iters: 10,
+            ..FuzzCmdOptions::default()
+        };
+        let (ok_a, text_a, json_a) = cmd_fuzz(&options);
+        let (ok_b, text_b, json_b) = cmd_fuzz(&options);
+        assert!(ok_a, "{text_a}");
+        assert_eq!(ok_a, ok_b);
+        assert_eq!(text_a, text_b, "summaries must be byte-identical");
+        assert_eq!(json_a, json_b);
+        assert!(text_a.contains("verdict: OK"));
+        let doc = rap_obs::json::parse(&json_a).expect("valid JSON");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("cases_run").and_then(Json::as_u64), Some(10));
+    }
+
+    #[test]
+    fn fuzz_sabotage_fails_detectably_and_replays() {
+        let (ok, text, json) = cmd_fuzz(&FuzzCmdOptions {
+            seed: 3,
+            iters: 20,
+            sabotage: true,
+            ..FuzzCmdOptions::default()
+        });
+        assert!(ok, "sabotage must be detected: {text}");
+        assert!(text.contains("FAIL [sabotage]"), "{text}");
+        assert!(text.contains("repro: rap fuzz --replay"), "{text}");
+
+        // Pull the printed case seed out of the JSON and replay it.
+        let doc = rap_obs::json::parse(&json).expect("valid JSON");
+        let failures = doc.get("failures").and_then(Json::as_array).unwrap();
+        let case_seed = failures[0].get("case_seed").and_then(Json::as_u64).unwrap();
+        let (ok, text, _) = cmd_fuzz(&FuzzCmdOptions {
+            replay: Some(case_seed),
+            sabotage: true,
+            ..FuzzCmdOptions::default()
+        });
+        assert!(ok, "replayed sabotage case must fail again: {text}");
+        assert!(text.contains("FAIL [sabotage]"), "{text}");
     }
 
     #[test]

@@ -22,6 +22,8 @@ USAGE:
   rap verify-fleet <img> <map> <rpt>... --chal N [--base ADDR]
               [--key SEED] [--threads T] [--metrics OUT.json]
               [--trace OUT]
+  rap fuzz    [--seed N] [--iters K] [--json OUT.json] [--sabotage]
+              [--replay CASE_SEED]    # differential fuzzing campaign
   rap stats   <metrics.json>          # render a --metrics artifact
   rap inspect <map>
   rap explain <in.tasm> [--no-loop-opt]
@@ -42,7 +44,18 @@ impl Args {
             if let Some(name) = a.strip_prefix("--") {
                 let takes_value = matches!(
                     name,
-                    "base" | "pad" | "chal" | "key" | "watermark" | "threads" | "metrics" | "trace"
+                    "base"
+                        | "pad"
+                        | "chal"
+                        | "key"
+                        | "watermark"
+                        | "threads"
+                        | "metrics"
+                        | "trace"
+                        | "seed"
+                        | "iters"
+                        | "replay"
+                        | "json"
                 ) || name == "o"
                     || name == "m";
                 let value = if takes_value {
@@ -244,6 +257,29 @@ fn run() -> Result<(), CliError> {
                 rap_cli::cmd_verify_fleet(&img, &map, &streams, base, chal, key, threads)?;
             obs.finish(&stats)?;
             print!("{verdict}");
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        "fuzz" => {
+            let defaults = rap_cli::FuzzCmdOptions::default();
+            let options = rap_cli::FuzzCmdOptions {
+                seed: args.num("seed", defaults.seed)?,
+                iters: args.num("iters", defaults.iters)?,
+                sabotage: args.has("sabotage"),
+                replay: if args.has("replay") {
+                    Some(args.num("replay", 0)?)
+                } else {
+                    None
+                },
+            };
+            let (ok, summary, json) = rap_cli::cmd_fuzz(&options);
+            if let Some(path) = args.flag("json") {
+                fs::write(path, json)?;
+                // stderr, so stdout stays byte-identical across runs.
+                eprintln!("summary -> {path}");
+            }
+            print!("{summary}");
             if !ok {
                 std::process::exit(1);
             }

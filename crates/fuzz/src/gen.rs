@@ -1,0 +1,388 @@
+//! The structured random-program generator.
+//!
+//! Programs are statement trees over a fixed register discipline —
+//! R0 accumulator, R1 entropy, R2–R4 loop counters by nesting depth,
+//! R5/R6 scratch, R7 scratch-RAM base — so that any generated tree
+//! lowers to a terminating, deterministic T-lite program. The grammar
+//! deliberately spans every control-transfer class the RAP-Track
+//! pipeline instruments: straight-line arithmetic, conditional
+//! branches over four condition codes, direct and indirect calls into
+//! a small library (including a nested call), static-count loops,
+//! *hidden*-count loops (the trip count flows through a register move,
+//! defeating the linker's static analysis and forcing DWT loop
+//! logging), and loops with a conditional forward exit.
+
+use crate::rng::Rng;
+use armv8m_isa::{Asm, Cond, Module, Reg};
+use mcu_sim::RAM_BASE;
+
+/// The library function a call statement targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lib {
+    /// `R0 += R0; ret` — a leaf returning via POP-free `bx lr`.
+    Double,
+    /// Saves R4, perturbs R0, calls [`Lib::Double`], returns via
+    /// `pop {r4, pc}` — exercises nested calls and the POP return.
+    Mix,
+    /// `R0 += 1; bx lr` — the indirect-call target of choice.
+    Inc,
+}
+
+impl Lib {
+    fn name(self) -> &'static str {
+        match self {
+            Lib::Double => "lib_double",
+            Lib::Mix => "lib_mix",
+            Lib::Inc => "lib_inc",
+        }
+    }
+}
+
+/// The comparison a conditional branch tests (signed, on small
+/// non-negative operands, so signed vs unsigned never matters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Branch on equal.
+    Eq,
+    /// Branch on not-equal.
+    Ne,
+    /// Branch on less-than.
+    Lt,
+    /// Branch on greater-or-equal.
+    Ge,
+}
+
+/// One statement of a generated program.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `R0 += k`.
+    Add(u8),
+    /// `R1 = R1 * 31 + k` — drives branch-condition variety.
+    Stir(u8),
+    /// Spill R1 to scratch RAM, reload, fold into R0 — exercises the
+    /// data bus and makes the RAM digest in the end-state comparison
+    /// meaningful.
+    Store(u8),
+    /// `if ((R1 & 7) cmp k) { then } else { else }`.
+    If {
+        /// The comparison relating `R1 & 7` to `k`.
+        cmp: Cmp,
+        /// The immediate compared against.
+        k: u8,
+        /// Statements on the taken path.
+        then_b: Vec<Stmt>,
+        /// Statements on the fall-through path.
+        else_b: Vec<Stmt>,
+    },
+    /// A countdown loop of `n` iterations. When `hidden` is set the
+    /// trip count reaches the counter through a register move, which
+    /// the linker cannot constant-fold — the loop becomes a
+    /// DWT-logged (non-deterministic) loop instead of a replayed one.
+    Loop {
+        /// The trip count (1..=5).
+        n: u8,
+        /// Whether the count is hidden from static analysis.
+        hidden: bool,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// A countdown loop of at most `n` iterations with a conditional
+    /// forward exit once the counter reaches `k` — a forward branch
+    /// out of a loop region.
+    LoopBreak {
+        /// The maximum trip count.
+        n: u8,
+        /// The counter value that triggers the early exit.
+        k: u8,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// A direct `bl` to a library function.
+    Call(Lib),
+    /// An indirect `blx` through R6 to a library function.
+    CallIndirect(Lib),
+}
+
+/// A generated program: a top-level statement list. Kept as a tree
+/// (not text) so the minimizer can shrink structurally.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The top-level statements of `main`.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Generates a random program from the RNG stream. Same stream
+    /// position, same program.
+    pub fn generate(rng: &mut Rng) -> Program {
+        let n = rng.range(1, 8) as usize;
+        Program {
+            stmts: (0..n).map(|_| gen_stmt(rng, 3)).collect(),
+        }
+    }
+
+    /// Counts statements recursively — the size metric the minimizer
+    /// reports shrinkage against.
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If { then_b, else_b, .. } => 1 + count(then_b) + count(else_b),
+                    Stmt::Loop { body, .. } | Stmt::LoopBreak { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+
+    /// Lowers the program to an assembly module with the three library
+    /// functions appended. Label numbering is a deterministic counter,
+    /// so equal programs lower to byte-identical modules.
+    pub fn lower(&self) -> Module {
+        let mut l = Lowering {
+            asm: Asm::new(),
+            label: 0,
+            depth: 0,
+        };
+        l.asm.func("main");
+        l.asm.movi(Reg::R0, 0);
+        l.asm.movi(Reg::R1, 7);
+        // Scratch RAM window well below the stack (which starts at the
+        // top of RAM and grows down).
+        l.asm.mov32(Reg::R7, RAM_BASE + 0x100);
+        for s in &self.stmts {
+            l.stmt(s);
+        }
+        l.asm.halt();
+
+        l.asm.func("lib_double");
+        l.asm.add(Reg::R0, Reg::R0, Reg::R0);
+        l.asm.ret();
+
+        l.asm.func("lib_mix");
+        l.asm.push(&[Reg::R4, Reg::Lr]);
+        l.asm.movi(Reg::R4, 3);
+        l.asm.add(Reg::R0, Reg::R0, Reg::R4);
+        l.asm.bl("lib_double");
+        l.asm.pop(&[Reg::R4, Reg::Pc]);
+
+        l.asm.func("lib_inc");
+        l.asm.addi(Reg::R0, Reg::R0, 1);
+        l.asm.ret();
+
+        l.asm.into_module()
+    }
+}
+
+fn gen_stmt(rng: &mut Rng, depth: u32) -> Stmt {
+    // Leaves get likelier as the tree deepens; depth 0 forces a leaf.
+    if depth == 0 || rng.range(0, 3) == 0 {
+        return match rng.range(0, 6) {
+            0 => Stmt::Add(rng.range(1, 20) as u8),
+            1 => Stmt::Stir(rng.range(0, 255) as u8),
+            2 => Stmt::Store(rng.range(0, 16) as u8),
+            3 => Stmt::Call(gen_lib(rng)),
+            _ => Stmt::CallIndirect(gen_lib(rng)),
+        };
+    }
+    match rng.range(0, 3) {
+        0 => Stmt::If {
+            cmp: gen_cmp(rng),
+            k: rng.range(0, 8) as u8,
+            then_b: gen_block(rng, depth - 1),
+            else_b: gen_block(rng, depth - 1),
+        },
+        1 => Stmt::Loop {
+            n: rng.range(1, 6) as u8,
+            hidden: rng.next_bool(),
+            body: gen_block(rng, depth - 1),
+        },
+        _ => {
+            let n = rng.range(1, 6) as u8;
+            Stmt::LoopBreak {
+                n,
+                k: rng.range(0, u64::from(n) + 1) as u8,
+                body: gen_block(rng, depth - 1),
+            }
+        }
+    }
+}
+
+fn gen_block(rng: &mut Rng, depth: u32) -> Vec<Stmt> {
+    let n = rng.range(1, 4) as usize;
+    (0..n).map(|_| gen_stmt(rng, depth)).collect()
+}
+
+fn gen_lib(rng: &mut Rng) -> Lib {
+    match rng.range(0, 3) {
+        0 => Lib::Double,
+        1 => Lib::Mix,
+        _ => Lib::Inc,
+    }
+}
+
+fn gen_cmp(rng: &mut Rng) -> Cmp {
+    match rng.range(0, 4) {
+        0 => Cmp::Eq,
+        1 => Cmp::Ne,
+        2 => Cmp::Lt,
+        _ => Cmp::Ge,
+    }
+}
+
+struct Lowering {
+    asm: Asm,
+    label: usize,
+    depth: usize,
+}
+
+impl Lowering {
+    fn fresh(&mut self, tag: &str) -> String {
+        self.label += 1;
+        format!("__f_{tag}_{}", self.label)
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Add(k) => {
+                self.asm.addi(Reg::R0, Reg::R0, u16::from(*k));
+            }
+            Stmt::Stir(k) => {
+                self.asm.movi(Reg::R5, 31);
+                self.asm.mul(Reg::R1, Reg::R1, Reg::R5);
+                self.asm.addi(Reg::R1, Reg::R1, u16::from(*k));
+            }
+            Stmt::Store(slot) => {
+                let off = u16::from(*slot) * 4;
+                self.asm.str_(Reg::R1, Reg::R7, off);
+                self.asm.ldr(Reg::R5, Reg::R7, off);
+                self.asm.add(Reg::R0, Reg::R0, Reg::R5);
+            }
+            Stmt::If {
+                cmp,
+                k,
+                then_b,
+                else_b,
+            } => {
+                let else_l = self.fresh("else");
+                let join_l = self.fresh("join");
+                self.asm.movi(Reg::R5, 7);
+                self.asm.and(Reg::R5, Reg::R1, Reg::R5);
+                self.asm.cmpi(Reg::R5, u16::from(*k));
+                // Branch to the else arm when the condition does NOT
+                // hold, i.e. on the inverse of `cmp`.
+                let inverse = match cmp {
+                    Cmp::Eq => Cond::Ne,
+                    Cmp::Ne => Cond::Eq,
+                    Cmp::Lt => Cond::Ge,
+                    Cmp::Ge => Cond::Lt,
+                };
+                self.asm.bcond(inverse, else_l.as_str());
+                for s in then_b {
+                    self.stmt(s);
+                }
+                self.asm.b(join_l.as_str());
+                self.asm.label(else_l);
+                for s in else_b {
+                    self.stmt(s);
+                }
+                self.asm.label(join_l);
+            }
+            Stmt::Loop { n, hidden, body } => {
+                // Loop counters nest on R2..R4; deeper nesting
+                // degrades to a single straight-line pass.
+                if self.depth >= 3 {
+                    for s in body {
+                        self.stmt(s);
+                    }
+                    return;
+                }
+                let reg = [Reg::R2, Reg::R3, Reg::R4][self.depth];
+                self.depth += 1;
+                let head = self.fresh("loop");
+                if *hidden {
+                    // The move launders the constant: the linker sees
+                    // a data-dependent trip count and must emit DWT
+                    // loop logging for this back-edge.
+                    self.asm.movi(Reg::R5, u16::from(*n));
+                    self.asm.mov(reg, Reg::R5);
+                } else {
+                    self.asm.movi(reg, u16::from(*n));
+                }
+                self.asm.label(head.clone());
+                for s in body {
+                    self.stmt(s);
+                }
+                self.asm.subi(reg, reg, 1);
+                self.asm.cmpi(reg, 0);
+                self.asm.bne(head.as_str());
+                self.depth -= 1;
+            }
+            Stmt::LoopBreak { n, k, body } => {
+                if self.depth >= 3 {
+                    for s in body {
+                        self.stmt(s);
+                    }
+                    return;
+                }
+                let reg = [Reg::R2, Reg::R3, Reg::R4][self.depth];
+                self.depth += 1;
+                let head = self.fresh("loop");
+                let exit = self.fresh("exit");
+                self.asm.movi(reg, u16::from(*n));
+                self.asm.label(head.clone());
+                for s in body {
+                    self.stmt(s);
+                }
+                // Forward exit once the counter reaches k; otherwise
+                // count down and loop. Terminates either way because
+                // the counter strictly decreases towards 0.
+                self.asm.cmpi(reg, u16::from(*k));
+                self.asm.beq(exit.as_str());
+                self.asm.subi(reg, reg, 1);
+                self.asm.cmpi(reg, 0);
+                self.asm.bne(head.as_str());
+                self.asm.label(exit);
+                self.depth -= 1;
+            }
+            Stmt::Call(lib) => {
+                self.asm.bl(lib.name());
+            }
+            Stmt::CallIndirect(lib) => {
+                self.asm.call_indirect(Reg::R6, lib.name());
+                // R6 now holds the callee's address, which is
+                // layout-dependent (original vs transformed image);
+                // clear it so the end-state comparison stays exact.
+                self.asm.movi(Reg::R6, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Program::generate(&mut Rng::new(11));
+        let b = Program::generate(&mut Rng::new(11));
+        let ma = a.lower().assemble(0).expect("assembles");
+        let mb = b.lower().assemble(0).expect("assembles");
+        assert_eq!(ma.bytes(), mb.bytes());
+    }
+
+    #[test]
+    fn generated_programs_assemble_and_terminate() {
+        for seed in 0..32 {
+            let p = Program::generate(&mut Rng::new(seed));
+            let image = p.lower().assemble(0).expect("assembles");
+            let mut m = mcu_sim::Machine::new(image);
+            m.run(&mut mcu_sim::NullSecureWorld, 2_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(m.cpu.halted, "seed {seed} did not halt");
+        }
+    }
+}

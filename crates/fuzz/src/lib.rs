@@ -1,0 +1,387 @@
+//! # rap-fuzz — deterministic differential fuzzing of the RAP-Track pipeline
+//!
+//! A zero-dependency fuzzing harness for the transform/trace/verify
+//! pipeline (DESIGN.md §11). A SplitMix64-seeded generator produces
+//! structured random programs spanning every control-transfer class
+//! the linker instruments; each program is pushed through three
+//! differential oracles:
+//!
+//! 1. [transform equivalence](oracle) — rewriting preserves semantics
+//!    and cost accounting, and re-attests byte-identically,
+//! 2. replay fidelity — the verifier reconstructs the exact path the
+//!    simulator executed, cold cache, warm cache and through the
+//!    fleet dispatcher alike,
+//! 3. stream safety — structure-aware mutation of wire streams and
+//!    re-signed logs always ends in a typed verdict.
+//!
+//! **Determinism is the contract.** A campaign is a pure function of
+//! its `(seed, iters, options)`; summaries contain no wall-clock data,
+//! so two runs with the same arguments are byte-identical. Every case
+//! derives its own seed, printed on failure and replayable in
+//! isolation:
+//!
+//! ```text
+//! rap fuzz --replay 0x1234abcd
+//! ```
+//!
+//! Failing programs are shrunk by a greedy structural
+//! [minimizer](minimize) before being reported.
+//!
+//! ```
+//! let summary = rap_fuzz::run(&rap_fuzz::FuzzConfig {
+//!     iters: 3,
+//!     ..rap_fuzz::FuzzConfig::default()
+//! });
+//! assert!(summary.ok());
+//! assert_eq!(summary.cases_run, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod minimize;
+pub mod mutate;
+pub mod oracle;
+pub mod rng;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use gen::Program;
+use oracle::{CaseFailure, OracleConfig};
+use rap_obs::Json;
+use rng::{case_seed, Rng};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Campaign seed; every case seed derives from it.
+    pub seed: u64,
+    /// Number of generated programs.
+    pub iters: u64,
+    /// Mutation rounds per level (byte / record) per case.
+    pub mutation_rounds: usize,
+    /// Enable the deliberately inverted sabotage oracle (corrupts one
+    /// MTB packet, asserts acceptance): a guaranteed failure used to
+    /// demonstrate reporting and minimization.
+    pub sabotage: bool,
+    /// Replay exactly one case from its printed case seed instead of
+    /// running a campaign.
+    pub replay: Option<u64>,
+    /// Stop the campaign after this many failures.
+    pub max_failures: usize,
+    /// Predicate-evaluation budget per minimization.
+    pub minimize_budget: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 1,
+            iters: 100,
+            mutation_rounds: 12,
+            sabotage: false,
+            replay: None,
+            max_failures: 5,
+            minimize_budget: 120,
+        }
+    }
+}
+
+/// One oracle failure, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    /// Campaign iteration index (`None` when replaying a single case).
+    pub index: Option<u64>,
+    /// The case seed — feed to `--replay` to reproduce in isolation.
+    pub case_seed: u64,
+    /// Which oracle failed.
+    pub oracle: String,
+    /// Why it failed.
+    pub detail: String,
+    /// Statement count of the original failing program.
+    pub stmt_count: usize,
+    /// Statement count after minimization.
+    pub minimized_stmt_count: usize,
+    /// Predicate evaluations the minimizer spent.
+    pub minimize_evals: usize,
+    /// Copy-paste reproduction command.
+    pub repro: String,
+}
+
+/// Aggregate counters across all passing cases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Totals {
+    /// Statements generated (pre-minimization).
+    pub stmts: u64,
+    /// Attestation reports produced.
+    pub reports: u64,
+    /// MTB packets logged.
+    pub mtb_packets: u64,
+    /// DWT loop records logged.
+    pub loop_records: u64,
+    /// Path events reconstructed by the verifier.
+    pub path_events: u64,
+    /// Instructions retired by attested runs.
+    pub attested_instrs: u64,
+}
+
+/// The campaign result. Contains no wall-clock data by design: equal
+/// configurations render and serialize byte-identically.
+#[derive(Debug, Clone)]
+pub struct FuzzSummary {
+    /// Echo of the campaign seed.
+    pub seed: u64,
+    /// Echo of the requested iteration count.
+    pub iters: u64,
+    /// Whether the sabotage oracle was armed.
+    pub sabotage: bool,
+    /// Cases actually executed (≤ `iters` if failures stopped the run).
+    pub cases_run: u64,
+    /// All recorded failures, minimized.
+    pub failures: Vec<FailureRecord>,
+    /// Mutation verdict histogram, keyed `level:mutation:verdict`.
+    pub verdicts: BTreeMap<String, u64>,
+    /// Aggregate counters.
+    pub totals: Totals,
+}
+
+impl FuzzSummary {
+    /// Whether the campaign should be considered a success. Under
+    /// sabotage the semantics invert: the injected fault *must* be
+    /// caught, so at least one sabotage failure is the passing state.
+    pub fn ok(&self) -> bool {
+        if self.sabotage {
+            self.failures.iter().any(|f| f.oracle == "sabotage")
+                && self.failures.iter().all(|f| f.oracle == "sabotage")
+        } else {
+            self.failures.is_empty()
+        }
+    }
+
+    /// Renders the deterministic human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "rap-fuzz campaign: seed={} iters={} sabotage={}",
+            self.seed,
+            self.iters,
+            if self.sabotage { "on" } else { "off" }
+        );
+        let _ = writeln!(
+            out,
+            "cases: {} run, {} failed",
+            self.cases_run,
+            self.failures.len()
+        );
+        let t = &self.totals;
+        let _ = writeln!(
+            out,
+            "totals: stmts={} reports={} mtb-packets={} loop-records={} path-events={} attested-instrs={}",
+            t.stmts, t.reports, t.mtb_packets, t.loop_records, t.path_events, t.attested_instrs
+        );
+        if !self.verdicts.is_empty() {
+            let _ = writeln!(out, "mutation verdicts:");
+            for (key, count) in &self.verdicts {
+                let _ = writeln!(out, "  {key:<44} {count}");
+            }
+        }
+        for f in &self.failures {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "FAIL [{}] case_seed={:#x}{}",
+                f.oracle,
+                f.case_seed,
+                match f.index {
+                    Some(i) => format!(" (iteration {i})"),
+                    None => String::new(),
+                }
+            );
+            for line in f.detail.lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+            let _ = writeln!(
+                out,
+                "  minimized: {} -> {} stmts ({} evals)",
+                f.stmt_count, f.minimized_stmt_count, f.minimize_evals
+            );
+            let _ = writeln!(out, "  repro: {}", f.repro);
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.ok() {
+                if self.sabotage {
+                    "OK (injected fault detected)"
+                } else {
+                    "OK"
+                }
+            } else {
+                "FAILURES FOUND"
+            }
+        );
+        out
+    }
+
+    /// Serializes the summary as a JSON document (the CI artifact).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::Uint(self.seed)),
+            ("iters", Json::Uint(self.iters)),
+            ("sabotage", Json::Bool(self.sabotage)),
+            ("cases_run", Json::Uint(self.cases_run)),
+            ("ok", Json::Bool(self.ok())),
+            (
+                "totals",
+                Json::obj([
+                    ("stmts", Json::Uint(self.totals.stmts)),
+                    ("reports", Json::Uint(self.totals.reports)),
+                    ("mtb_packets", Json::Uint(self.totals.mtb_packets)),
+                    ("loop_records", Json::Uint(self.totals.loop_records)),
+                    ("path_events", Json::Uint(self.totals.path_events)),
+                    ("attested_instrs", Json::Uint(self.totals.attested_instrs)),
+                ]),
+            ),
+            (
+                "verdicts",
+                Json::Obj(
+                    self.verdicts
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Uint(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "failures",
+                Json::Arr(
+                    self.failures
+                        .iter()
+                        .map(|f| {
+                            Json::obj([
+                                (
+                                    "index",
+                                    match f.index {
+                                        Some(i) => Json::Uint(i),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                ("case_seed", Json::Uint(f.case_seed)),
+                                ("oracle", Json::Str(f.oracle.clone())),
+                                ("detail", Json::Str(f.detail.clone())),
+                                ("stmt_count", Json::Uint(f.stmt_count as u64)),
+                                (
+                                    "minimized_stmt_count",
+                                    Json::Uint(f.minimized_stmt_count as u64),
+                                ),
+                                ("minimize_evals", Json::Uint(f.minimize_evals as u64)),
+                                ("repro", Json::Str(f.repro.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Generates the program and oracle configuration for one case seed.
+/// Shared by the campaign loop and `--replay` so a replayed case sees
+/// exactly what the campaign saw.
+fn case_setup(cs: u64, cfg: &FuzzConfig) -> (Program, OracleConfig) {
+    let mut rng = Rng::new(cs);
+    // Always attest with a watermark — the default MTB holds 512
+    // entries and a generated program's packet count is unbounded, so
+    // running undrained would make honest evidence overflow (which the
+    // verifier rightly rejects). Varying the watermark exercises
+    // everything from aggressive partial-report splicing (16) to the
+    // single-final-report path (448, rarely reached by small cases).
+    let watermark = Some([16usize, 64, 448][rng.usize_below(3)]);
+    let program = Program::generate(&mut rng);
+    (
+        program,
+        OracleConfig {
+            watermark,
+            mutation_rounds: cfg.mutation_rounds,
+            sabotage: cfg.sabotage,
+        },
+    )
+}
+
+fn record_failure(
+    cfg: &FuzzConfig,
+    index: Option<u64>,
+    cs: u64,
+    program: &Program,
+    ocfg: &OracleConfig,
+    failure: CaseFailure,
+) -> FailureRecord {
+    // Shrink while the same oracle keeps failing.
+    let minimized = minimize::minimize(
+        program,
+        cfg.minimize_budget,
+        |candidate| matches!(oracle::run_case(candidate, cs, ocfg), Err(f) if f.oracle == failure.oracle),
+    );
+    let mut repro = format!("rap fuzz --replay {cs:#x}");
+    if cfg.sabotage {
+        repro.push_str(" --sabotage");
+    }
+    FailureRecord {
+        index,
+        case_seed: cs,
+        oracle: failure.oracle.to_string(),
+        detail: failure.detail,
+        stmt_count: program.stmt_count(),
+        minimized_stmt_count: minimized.program.stmt_count(),
+        minimize_evals: minimized.evals,
+        repro,
+    }
+}
+
+/// Runs a campaign (or a single `--replay` case) to completion.
+pub fn run(cfg: &FuzzConfig) -> FuzzSummary {
+    let mut summary = FuzzSummary {
+        seed: cfg.seed,
+        iters: cfg.iters,
+        sabotage: cfg.sabotage,
+        cases_run: 0,
+        failures: Vec::new(),
+        verdicts: BTreeMap::new(),
+        totals: Totals::default(),
+    };
+
+    let cases: Vec<(Option<u64>, u64)> = match cfg.replay {
+        Some(cs) => vec![(None, cs)],
+        None => (0..cfg.iters)
+            .map(|i| (Some(i), case_seed(cfg.seed, i)))
+            .collect(),
+    };
+
+    for (index, cs) in cases {
+        if summary.failures.len() >= cfg.max_failures {
+            break;
+        }
+        let (program, ocfg) = case_setup(cs, cfg);
+        summary.cases_run += 1;
+        summary.totals.stmts += program.stmt_count() as u64;
+        match oracle::run_case(&program, cs, &ocfg) {
+            Ok(result) => {
+                summary.totals.reports += result.reports;
+                summary.totals.mtb_packets += result.mtb_packets;
+                summary.totals.loop_records += result.loop_records;
+                summary.totals.path_events += result.path_events;
+                summary.totals.attested_instrs += result.attested_instrs;
+                for (key, count) in result.verdicts {
+                    *summary.verdicts.entry(key).or_default() += count;
+                }
+            }
+            Err(failure) => {
+                summary
+                    .failures
+                    .push(record_failure(cfg, index, cs, &program, &ocfg, failure));
+            }
+        }
+    }
+    summary
+}

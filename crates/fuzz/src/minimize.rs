@@ -1,0 +1,187 @@
+//! Greedy structural minimization of failing programs.
+//!
+//! Works on the statement tree, not on bytes: candidate reductions
+//! are (a) deleting any single statement anywhere in the tree and
+//! (b) hoisting a compound statement's body in place of the compound
+//! (unwrapping an `if`/loop). A reduction is kept iff the failure
+//! predicate still fires, so the result fails for the same reason the
+//! original did. Predicate evaluations are bounded — minimization is
+//! best-effort, never the expensive part of a campaign.
+
+use crate::gen::{Program, Stmt};
+
+/// Where a reduction applies: descend `steps` (statement index, child
+/// slot) from the top level, then act on `index` in that block.
+#[derive(Debug, Clone)]
+struct Loc {
+    steps: Vec<(usize, usize)>,
+    index: usize,
+}
+
+fn child_blocks(s: &Stmt) -> Vec<&Vec<Stmt>> {
+    match s {
+        Stmt::If { then_b, else_b, .. } => vec![then_b, else_b],
+        Stmt::Loop { body, .. } | Stmt::LoopBreak { body, .. } => vec![body],
+        _ => vec![],
+    }
+}
+
+fn child_block_mut(s: &mut Stmt, slot: usize) -> Option<&mut Vec<Stmt>> {
+    match s {
+        Stmt::If { then_b, else_b, .. } => match slot {
+            0 => Some(then_b),
+            1 => Some(else_b),
+            _ => None,
+        },
+        Stmt::Loop { body, .. } | Stmt::LoopBreak { body, .. } if slot == 0 => Some(body),
+        _ => None,
+    }
+}
+
+fn collect(stmts: &[Stmt], steps: &mut Vec<(usize, usize)>, out: &mut Vec<Loc>) {
+    for (i, s) in stmts.iter().enumerate() {
+        out.push(Loc {
+            steps: steps.clone(),
+            index: i,
+        });
+        for (slot, block) in child_blocks(s).into_iter().enumerate() {
+            steps.push((i, slot));
+            collect(block, steps, out);
+            steps.pop();
+        }
+    }
+}
+
+fn block_at_mut<'a>(
+    program: &'a mut Program,
+    steps: &[(usize, usize)],
+) -> Option<&'a mut Vec<Stmt>> {
+    let mut cur = &mut program.stmts;
+    for (i, slot) in steps {
+        cur = child_block_mut(cur.get_mut(*i)?, *slot)?;
+    }
+    Some(cur)
+}
+
+/// Deletes the statement at `loc`.
+fn delete(program: &Program, loc: &Loc) -> Option<Program> {
+    let mut p = program.clone();
+    let block = block_at_mut(&mut p, &loc.steps)?;
+    if loc.index >= block.len() {
+        return None;
+    }
+    block.remove(loc.index);
+    Some(p)
+}
+
+/// Replaces the compound statement at `loc` with its own body
+/// (then+else for an `if`), stripping one level of control structure.
+fn hoist(program: &Program, loc: &Loc) -> Option<Program> {
+    let mut p = program.clone();
+    let block = block_at_mut(&mut p, &loc.steps)?;
+    let body = match block.get(loc.index)? {
+        Stmt::If { then_b, else_b, .. } => {
+            let mut b = then_b.clone();
+            b.extend(else_b.iter().cloned());
+            b
+        }
+        Stmt::Loop { body, .. } | Stmt::LoopBreak { body, .. } => body.clone(),
+        _ => return None,
+    };
+    block.splice(loc.index..=loc.index, body);
+    Some(p)
+}
+
+/// The minimization outcome: the smallest failing program found and
+/// how many predicate evaluations it took.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The reduced program (still failing).
+    pub program: Program,
+    /// Predicate evaluations spent.
+    pub evals: usize,
+}
+
+/// Greedily shrinks `program`, keeping any reduction for which
+/// `still_fails` returns true, until a fixed point or `budget`
+/// predicate evaluations.
+pub fn minimize(
+    program: &Program,
+    budget: usize,
+    mut still_fails: impl FnMut(&Program) -> bool,
+) -> Minimized {
+    let mut current = program.clone();
+    let mut evals = 0usize;
+    loop {
+        let mut locs = Vec::new();
+        collect(&current.stmts, &mut Vec::new(), &mut locs);
+        // Try larger indices first so sibling locations stay valid
+        // across the re-enumeration boundary less often (pure
+        // heuristic; correctness comes from re-enumerating).
+        locs.reverse();
+        let mut reduced = false;
+        'pass: for loc in &locs {
+            for candidate in [delete(&current, loc), hoist(&current, loc)] {
+                let Some(candidate) = candidate else { continue };
+                if evals >= budget {
+                    return Minimized {
+                        program: current,
+                        evals,
+                    };
+                }
+                evals += 1;
+                if still_fails(&candidate) {
+                    current = candidate;
+                    reduced = true;
+                    break 'pass;
+                }
+            }
+        }
+        if !reduced {
+            return Minimized {
+                program: current,
+                evals,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn minimizes_to_the_single_guilty_statement() {
+        // Failure predicate: "contains at least one Call(Mix)".
+        let mut rng = Rng::new(99);
+        let mut program = Program::generate(&mut rng);
+        program.stmts.push(Stmt::Call(crate::gen::Lib::Mix));
+        fn guilty(s: &Stmt) -> bool {
+            match s {
+                Stmt::Call(crate::gen::Lib::Mix) => true,
+                Stmt::If { then_b, else_b, .. } => {
+                    then_b.iter().any(guilty) || else_b.iter().any(guilty)
+                }
+                Stmt::Loop { body, .. } | Stmt::LoopBreak { body, .. } => body.iter().any(guilty),
+                _ => false,
+            }
+        }
+        let m = minimize(&program, 10_000, |p| p.stmts.iter().any(guilty));
+        assert_eq!(m.program.stmt_count(), 1, "{:?}", m.program);
+        assert!(m.program.stmts.iter().any(guilty));
+    }
+
+    #[test]
+    fn respects_the_eval_budget() {
+        let mut rng = Rng::new(7);
+        let program = Program::generate(&mut rng);
+        let mut calls = 0usize;
+        let m = minimize(&program, 3, |_| {
+            calls += 1;
+            false
+        });
+        assert!(m.evals <= 3);
+        assert_eq!(calls, m.evals);
+    }
+}

@@ -1,0 +1,186 @@
+//! Structure-aware mutation of attestation evidence.
+//!
+//! Two adversary models, in increasing strength:
+//!
+//! * **Byte-level** ([`mutate_bytes`]): an on-path attacker corrupting
+//!   the wire stream without the device key. The decoder and verifier
+//!   must survive anything here; almost everything is rejected at the
+//!   framing or MAC layer.
+//! * **Record-level** ([`mutate_reports`]): the worst-case adversary
+//!   who can re-sign arbitrary logs with the device key (e.g. an
+//!   extracted key). The verifier must still terminate with a typed
+//!   verdict — replay may reject or, for semantically neutral edits,
+//!   accept — but never panic, hang, or allocate unboundedly.
+
+use crate::rng::Rng;
+use rap_track::{Challenge, Report};
+use trace_units::TraceEntry;
+
+/// Applies one random byte-level mutation, returning the mutated
+/// stream and the mutation's name (for the campaign histogram).
+pub fn mutate_bytes(rng: &mut Rng, bytes: &[u8]) -> (Vec<u8>, &'static str) {
+    let mut out = bytes.to_vec();
+    match rng.range(0, 5) {
+        0 => {
+            // Truncate to a random prefix (possibly empty).
+            let keep = rng.usize_below(out.len() + 1);
+            out.truncate(keep);
+            (out, "truncate")
+        }
+        1 => {
+            // Flip 1..8 random bits.
+            for _ in 0..rng.range(1, 9) {
+                if out.is_empty() {
+                    break;
+                }
+                let i = rng.usize_below(out.len());
+                out[i] ^= 1 << rng.range(0, 8);
+            }
+            (out, "bit_flip")
+        }
+        2 => {
+            // Splice: overwrite a window with a copy from elsewhere in
+            // the same stream (keeps plausible framing bytes around).
+            if out.len() >= 2 {
+                let len = rng.range(1, 1 + (out.len() as u64 / 2).max(1)) as usize;
+                let src = rng.usize_below(out.len() - len + 1);
+                let dst = rng.usize_below(out.len() - len + 1);
+                let window: Vec<u8> = out[src..src + len].to_vec();
+                out[dst..dst + len].copy_from_slice(&window);
+            }
+            (out, "splice")
+        }
+        3 => {
+            // Duplicate a chunk, growing the stream.
+            if !out.is_empty() {
+                let len = rng.range(1, 1 + out.len().min(64) as u64) as usize;
+                let src = rng.usize_below(out.len() - len + 1);
+                let at = rng.usize_below(out.len() + 1);
+                let chunk: Vec<u8> = out[src..src + len].to_vec();
+                out.splice(at..at, chunk);
+            }
+            (out, "duplicate")
+        }
+        _ => {
+            // Insert random garbage at a random point.
+            let len = rng.range(1, 33) as usize;
+            let at = rng.usize_below(out.len() + 1);
+            let garbage = rng.bytes(len);
+            out.splice(at..at, garbage);
+            (out, "garbage")
+        }
+    }
+}
+
+/// Applies one random record-level mutation to a report stream and
+/// re-signs every report with the device key, returning the forged
+/// stream and the mutation's name.
+pub fn mutate_reports(
+    rng: &mut Rng,
+    key: &[u8],
+    chal: Challenge,
+    reports: &[Report],
+) -> (Vec<Report>, &'static str) {
+    let mut logs: Vec<_> = reports.iter().map(|r| r.log.clone()).collect();
+    let h_mem = reports[0].h_mem;
+    let which = rng.usize_below(logs.len());
+    let name = match rng.range(0, 7) {
+        0 => {
+            // Corrupt an MTB packet's destination (classic CFA attack
+            // shape: claim a different transfer than executed).
+            if let Some(i) = pick(rng, logs[which].mtb.len()) {
+                logs[which].mtb[i].dest = rng.next_u32() & !1;
+            }
+            "mtb_dest"
+        }
+        1 => {
+            // Corrupt an MTB packet's source.
+            if let Some(i) = pick(rng, logs[which].mtb.len()) {
+                logs[which].mtb[i].source = rng.next_u32() & !1;
+            }
+            "mtb_source"
+        }
+        2 => {
+            // Reorder: swap two MTB packets (replayed path diverges).
+            let n = logs[which].mtb.len();
+            if n >= 2 {
+                let i = rng.usize_below(n);
+                let j = rng.usize_below(n);
+                logs[which].mtb.swap(i, j);
+            }
+            "mtb_swap"
+        }
+        3 => {
+            // Duplicate an MTB packet in place.
+            if let Some(i) = pick(rng, logs[which].mtb.len()) {
+                let e = logs[which].mtb[i];
+                logs[which].mtb.insert(i, TraceEntry::new(e.source, e.dest));
+            }
+            "mtb_dup"
+        }
+        4 => {
+            // Drop an MTB packet.
+            if let Some(i) = pick(rng, logs[which].mtb.len()) {
+                logs[which].mtb.remove(i);
+            }
+            "mtb_drop"
+        }
+        5 => {
+            // Tamper with the DWT loop-count records.
+            if logs[which].loop_records.is_empty() || rng.next_bool() {
+                logs[which].loop_records.push(rng.next_u32());
+            } else {
+                logs[which].loop_records.clear();
+            }
+            "loop_records"
+        }
+        _ => "flags",
+    };
+    let flip_flags = name == "flags";
+    let last = logs.len() - 1;
+    let forged = logs
+        .into_iter()
+        .enumerate()
+        .map(|(i, log)| {
+            let mut is_final = i == last;
+            let mut overflow = reports[i].overflow;
+            if flip_flags && i == which {
+                // Flip the framing flags (lost finality / fake
+                // overflow claims).
+                is_final = !is_final;
+                overflow = !overflow;
+            }
+            Report::new(key, chal, h_mem, log, i as u32, is_final, overflow)
+        })
+        .collect();
+    (forged, name)
+}
+
+fn pick(rng: &mut Rng, len: usize) -> Option<usize> {
+    if len == 0 {
+        None
+    } else {
+        Some(rng.usize_below(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_mutation_is_deterministic() {
+        let base: Vec<u8> = (0..200u8).collect();
+        let (a, na) = mutate_bytes(&mut Rng::new(5), &base);
+        let (b, nb) = mutate_bytes(&mut Rng::new(5), &base);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn byte_mutation_handles_empty_input() {
+        for seed in 0..32 {
+            let (_, _) = mutate_bytes(&mut Rng::new(seed), &[]);
+        }
+    }
+}

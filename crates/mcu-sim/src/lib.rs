@@ -41,7 +41,7 @@ mod mpu;
 
 pub use error::ExecError;
 pub use machine::{
-    Cpu, InjectedWrite, Machine, NullSecureWorld, RunOutcome, SecureEnv, SecureWorld,
+    ArchState, Cpu, InjectedWrite, Machine, NullSecureWorld, RunOutcome, SecureEnv, SecureWorld,
 };
 pub use mem::{BusDevice, Memory, CODE_BASE, PERIPH_BASE, RAM_BASE, RAM_SIZE};
 pub use mpu::{Mpu, ProtectedRegion};

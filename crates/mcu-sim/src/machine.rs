@@ -125,6 +125,26 @@ pub struct InjectedWrite {
     pub value: u32,
 }
 
+/// A comparable snapshot of the *program-visible* architectural end
+/// state: the low (data) registers, the APSR flags, the halt status and
+/// a digest of RAM. High registers, `SP`/`LR`/`PC` and the cycle count
+/// are deliberately excluded — they are layout- and instrumentation-
+/// dependent, so they legitimately differ between an original binary
+/// and its RAP-Track-relocated twin. Used by differential testing
+/// (`rap-fuzz`) to assert transform equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchState {
+    /// `R0`–`R7`.
+    pub low_regs: [u32; 8],
+    /// APSR condition flags.
+    pub flags: Flags,
+    /// Whether the CPU reached `HALT`.
+    pub halted: bool,
+    /// FNV-1a digest over the lower half of RAM (the half that cannot
+    /// contain layout-dependent stack residue).
+    pub ram_digest: u64,
+}
+
 /// Outcome of a completed (halted) run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOutcome {
@@ -238,6 +258,36 @@ impl Machine {
     /// The ground-truth transfer trace, if recording was enabled.
     pub fn transfer_trace(&self) -> Option<&[(u32, u32)]> {
         self.transfer_trace.as_deref()
+    }
+
+    /// Snapshots the program-visible architectural end state (see
+    /// [`ArchState`] for what is included and why).
+    pub fn arch_state(&mut self) -> ArchState {
+        let mut low_regs = [0u32; 8];
+        for (i, slot) in low_regs.iter_mut().enumerate() {
+            *slot = self.cpu.regs[i];
+        }
+        // FNV-1a over the lower half of RAM; `read_bytes` cannot fail
+        // for the machine's own zero-mapped RAM segment. The upper
+        // half is excluded: the stack descends from the top, and its
+        // residue below SP holds pushed return addresses — which are
+        // layout-dependent and legitimately differ between an original
+        // image and its relocated twin.
+        let ram = self
+            .mem
+            .read_bytes(RAM_BASE, RAM_SIZE / 2, self.cpu.pc())
+            .expect("RAM segment is always mapped");
+        let mut digest = 0xCBF2_9CE4_8422_2325u64;
+        for b in ram {
+            digest ^= u64::from(b);
+            digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        ArchState {
+            low_regs,
+            flags: self.cpu.flags,
+            halted: self.cpu.halted,
+            ram_digest: digest,
+        }
     }
 
     /// Runs until `HALT`, a fault, or `max_instrs` retired instructions.

@@ -25,6 +25,12 @@ impl TraceEntry {
     /// Size of one encoded packet in the trace SRAM, in bytes
     /// (source word + destination word, as in the real MTB).
     pub const BYTES: usize = 8;
+
+    /// Builds a packet — used by tests and the fuzzing mutator when
+    /// synthesizing adversarial logs.
+    pub fn new(source: u32, dest: u32) -> TraceEntry {
+        TraceEntry { source, dest }
+    }
 }
 
 impl fmt::Display for TraceEntry {

@@ -16,6 +16,19 @@ run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
 
+# The examples are living documentation — they must keep running, not
+# just keep compiling.
+run cargo run --release -q --example quickstart
+run cargo run --release -q --example attack_detection
+run cargo run --release -q --example partial_reports
+
+# Fuzz smoke: a fixed-seed differential campaign (deterministic, so
+# any failure here reproduces locally from the printed case seed), and
+# the sabotage self-test proving the harness catches an injected MTB
+# corruption (inverted semantics: exit 0 means the fault WAS caught).
+run cargo run --release -q -p rap-cli --bin rap -- fuzz --seed 1 --iters 200 --json "$PWD/FUZZ_summary.json"
+run cargo run --release -q -p rap-cli --bin rap -- fuzz --seed 2 --iters 20 --sabotage
+
 # Bench smoke: reduced configurations, but they still exercise the
 # speedup/overhead assertions and regenerate the JSON artifacts.
 run cargo bench -p rap-bench --bench fleet -- --quick --json "$PWD/BENCH_fleet.json"

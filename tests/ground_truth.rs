@@ -123,11 +123,7 @@ fn reconstructed_event_counts_match_execution() {
 /// executed transfer — the trace unit never invents packets.
 #[test]
 fn mtb_packets_are_a_subsequence_of_truth() {
-    for w in [
-        workloads::gps::workload(),
-        workloads::beebs::fibcall(),
-        workloads::syringe::workload(),
-    ] {
+    for w in workloads::all() {
         let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
         let key = device_key("oracle2");
         let engine = CfaEngine::new(key);
@@ -162,6 +158,68 @@ fn mtb_packets_are_a_subsequence_of_truth() {
             );
             ti += 1;
         }
+    }
+}
+
+/// Transform equivalence and verifier acceptance on every shipped
+/// workload: the rewritten image computes the same checksum as the
+/// original (by the R7 convention), costs no fewer cycles, and its
+/// honest evidence is accepted with a replay that reaches `HALT`.
+#[test]
+fn transform_preserves_results_and_verifier_accepts_every_workload() {
+    for w in workloads::all() {
+        // Plain semantics.
+        let plain_image = w.module.assemble(0).unwrap();
+        let mut plain = mcu_sim::Machine::new(plain_image);
+        (w.attach)(&mut plain);
+        let plain_out = plain
+            .run(&mut mcu_sim::NullSecureWorld, w.max_instrs)
+            .unwrap_or_else(|e| panic!("{}: plain run: {e}", w.name));
+        assert!(plain.cpu.halted, "{}: plain run did not halt", w.name);
+        let expected = plain.cpu.reg(w.result_reg());
+
+        // Transformed semantics under attestation.
+        let linked = link(&w.module, 0, LinkOptions::default()).unwrap();
+        let key = device_key("gt-equiv");
+        let engine = CfaEngine::new(key.clone());
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        (w.attach)(&mut machine);
+        let chal = Challenge::from_seed(11);
+        let att = engine
+            .attest(
+                &mut machine,
+                &linked.map,
+                chal,
+                EngineConfig {
+                    watermark: Some(448),
+                    max_instrs: w.max_instrs * 2,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: attest: {e}", w.name));
+        assert_eq!(
+            machine.cpu.reg(w.result_reg()),
+            expected,
+            "{}: transformation changed the workload checksum",
+            w.name
+        );
+        assert!(
+            att.outcome.cycles >= plain_out.cycles,
+            "{}: instrumented run was cheaper than the original ({} < {})",
+            w.name,
+            att.outcome.cycles,
+            plain_out.cycles
+        );
+
+        // Verifier acceptance, ending in a reconstructed HALT.
+        let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+        let path = verifier
+            .verify(chal, &att.reports)
+            .unwrap_or_else(|e| panic!("{}: verify: {e}", w.name));
+        assert!(
+            matches!(path.events.last(), Some(PathEvent::Halt(_))),
+            "{}: replay did not reach HALT",
+            w.name
+        );
     }
 }
 

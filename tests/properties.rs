@@ -69,8 +69,20 @@ impl Rng {
 }
 
 /// Runs `f` across `cases` deterministic seeds, labelling any panic
-/// with the failing seed so it can be replayed.
+/// with the failing seed and iteration index so it can be replayed in
+/// isolation: `RAP_PROP_SEED=<seed> cargo test --test properties
+/// <property>` re-runs exactly the failing case.
 fn for_each_case(property: &str, cases: u64, mut f: impl FnMut(&mut Rng)) {
+    if let Ok(v) = std::env::var("RAP_PROP_SEED") {
+        let seed = v
+            .strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16))
+            .unwrap_or_else(|| v.parse())
+            .unwrap_or_else(|_| panic!("bad RAP_PROP_SEED value `{v}`"));
+        eprintln!("property `{property}`: replaying single case from RAP_PROP_SEED={seed:#x}");
+        f(&mut Rng::new(seed));
+        return;
+    }
     for case in 0..cases {
         // Seed mixes the property name so different properties don't
         // see correlated streams.
@@ -81,7 +93,10 @@ fn for_each_case(property: &str, cases: u64, mut f: impl FnMut(&mut Rng)) {
         let mut rng = Rng::new(seed);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
         if let Err(panic) = result {
-            eprintln!("property `{property}` failed at case {case} (seed {seed:#x})");
+            eprintln!(
+                "property `{property}` failed at case {case}/{cases} (seed {seed:#x}) — replay \
+                 with: RAP_PROP_SEED={seed:#x} cargo test --test properties {property}"
+            );
             std::panic::resume_unwind(panic);
         }
     }
