@@ -11,9 +11,7 @@
 
 use rap_bench::harness::{BenchArgs, BenchGroup, BenchReport};
 use rap_link::{link, LinkOptions};
-use rap_track::{
-    device_key, verify_fleet, BatchOptions, CfaEngine, Challenge, EngineConfig, FleetJob, Verifier,
-};
+use rap_track::{device_key, BatchOptions, CfaEngine, Challenge, EngineConfig, FleetJob, Verifier};
 
 /// Devices simulated per workload.
 const FLEET_PER_WORKLOAD: usize = 24;
@@ -75,12 +73,15 @@ fn deployments(per_workload: usize) -> Vec<Deployment> {
 fn run_fleet(deployments: &[Deployment], threads: usize) -> usize {
     let mut reports = 0usize;
     for d in deployments {
-        let verifier = Verifier::new(d.verifier_key.clone(), d.image.clone(), d.map.clone());
-        let outcomes = verify_fleet(
-            &verifier,
-            d.jobs.clone(),
-            BatchOptions::with_threads(threads),
-        );
+        let verifier = Verifier::builder()
+            .key(d.verifier_key.clone())
+            .image(d.image.clone())
+            .map(d.map.clone())
+            .build()
+            .expect("key/image/map are all set");
+        let outcomes = verifier
+            .fleet(BatchOptions::with_threads(threads))
+            .run(d.jobs.clone());
         assert!(
             outcomes.iter().all(|o| o.accepted()),
             "benign fleet must verify"
@@ -112,12 +113,15 @@ fn main() {
 
     // Cache-effectiveness probe: one deployment, shared verifier.
     let probe = &deployments[0];
-    let verifier = Verifier::new(
-        probe.verifier_key.clone(),
-        probe.image.clone(),
-        probe.map.clone(),
-    );
-    let _ = verify_fleet(&verifier, probe.jobs.clone(), BatchOptions::default());
+    let verifier = Verifier::builder()
+        .key(probe.verifier_key.clone())
+        .image(probe.image.clone())
+        .map(probe.map.clone())
+        .build()
+        .expect("key/image/map are all set");
+    let _ = verifier
+        .fleet(BatchOptions::default())
+        .run(probe.jobs.clone());
     let stats = verifier.stats();
     println!(
         "replay cache ({}): {:.0}% hit rate, {} cached vs {} live steps",

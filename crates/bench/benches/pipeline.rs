@@ -74,7 +74,12 @@ fn bench_verify() {
                 },
             )
             .unwrap();
-        let verifier = Verifier::new(key.clone(), linked.image.clone(), linked.map.clone());
+        let verifier = Verifier::builder()
+            .key(key.clone())
+            .image(linked.image.clone())
+            .map(linked.map.clone())
+            .build()
+            .expect("key/image/map are all set");
         group.bench(w.name, || {
             black_box(verifier.verify(chal, &att.reports).unwrap())
         });

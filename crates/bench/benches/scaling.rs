@@ -19,9 +19,7 @@
 use rap_bench::harness::{BenchArgs, BenchGroup, BenchReport};
 use rap_link::{link, LinkOptions};
 use rap_obs::Json;
-use rap_track::{
-    device_key, verify_fleet, BatchOptions, CfaEngine, Challenge, EngineConfig, FleetJob, Verifier,
-};
+use rap_track::{device_key, BatchOptions, CfaEngine, Challenge, EngineConfig, FleetJob, Verifier};
 
 /// Devices simulated per workload (full mode).
 const FLEET_PER_WORKLOAD: usize = 16;
@@ -81,12 +79,15 @@ fn deployments(per_workload: usize) -> Vec<Deployment> {
 /// (cold-cache) verifier per deployment.
 fn run_fleet(deployments: &[Deployment], threads: usize) {
     for d in deployments {
-        let verifier = Verifier::new(d.verifier_key.clone(), d.image.clone(), d.map.clone());
-        let outcomes = verify_fleet(
-            &verifier,
-            d.jobs.clone(),
-            BatchOptions::with_threads(threads),
-        );
+        let verifier = Verifier::builder()
+            .key(d.verifier_key.clone())
+            .image(d.image.clone())
+            .map(d.map.clone())
+            .build()
+            .expect("key/image/map are all set");
+        let outcomes = verifier
+            .fleet(BatchOptions::with_threads(threads))
+            .run(d.jobs.clone());
         assert!(
             outcomes.iter().all(|o| o.accepted()),
             "benign fleet must verify"

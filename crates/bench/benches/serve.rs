@@ -1,0 +1,170 @@
+//! Loopback service throughput: full challenge/attest/verdict rounds
+//! per second through `rap-serve` at 1..=8 concurrent clients, each
+//! holding one persistent connection against a shared server.
+//!
+//! Every round is end-to-end: the server issues a fresh nonce, the
+//! client re-attests the `fibcall` workload under that challenge (the
+//! prover side is part of the measured loop, exactly as deployed), and
+//! the server replays the evidence through the shared-cache verifier.
+//!
+//! * `--quick` runs clients {1, 4} with fewer rounds;
+//! * `--json <path>` writes `BENCH_serve.json` with
+//!   `verifications_per_sec` per case.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rap_bench::harness::{BenchArgs, BenchGroup, BenchReport};
+use rap_link::{link, LinkOptions, LinkedProgram};
+use rap_obs::Json;
+use rap_serve::{AttestClient, ClientConfig, Server, ServerConfig};
+use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, Key, Report, Verifier};
+
+/// Rounds per client per sample (full mode).
+const ROUNDS_PER_CLIENT: usize = 4;
+
+fn bench_key() -> Key {
+    device_key("serve-bench")
+}
+
+fn deployed() -> (LinkedProgram, workloads::Workload) {
+    let w = workloads::by_name("fibcall").expect("fibcall workload exists");
+    let linked = link(&w.module, 0, LinkOptions::default()).expect("workload links");
+    (linked, w)
+}
+
+fn bench_verifier(linked: &LinkedProgram) -> Verifier {
+    Verifier::builder()
+        .key(bench_key())
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("key/image/map are all set")
+}
+
+/// Benign responder: re-runs the prover under the server's challenge.
+fn respond(linked: &LinkedProgram, w: &workloads::Workload) -> impl Fn(Challenge) -> Vec<Report> {
+    let linked = linked.clone();
+    let attach = w.attach;
+    let max_instrs = w.max_instrs;
+    move |chal| {
+        let engine = CfaEngine::new(bench_key());
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        attach(&mut machine);
+        engine
+            .attest(
+                &mut machine,
+                &linked.map,
+                chal,
+                EngineConfig {
+                    max_instrs: max_instrs * 2,
+                    watermark: Some(256),
+                },
+            )
+            .expect("benign attestation runs")
+            .reports
+    }
+}
+
+/// One sample: `clients` threads, each opening one connection and
+/// driving `rounds` challenge/attest/verdict rounds to completion.
+fn drive(
+    addr: std::net::SocketAddr,
+    linked: &LinkedProgram,
+    w: &workloads::Workload,
+    clients: usize,
+    rounds: usize,
+) {
+    let completed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for i in 0..clients {
+            let completed = &completed;
+            let linked = &linked;
+            let w = &w;
+            scope.spawn(move || {
+                let client = AttestClient::new(
+                    addr.to_string(),
+                    ClientConfig {
+                        read_timeout: std::time::Duration::from_secs(30),
+                        ..ClientConfig::default()
+                    },
+                );
+                let respond = respond(linked, w);
+                let mut conn = client
+                    .open(&format!("bench-{i}"))
+                    .expect("connection opens");
+                for _ in 0..rounds {
+                    let verdict = conn.round(&respond).expect("round completes");
+                    assert!(verdict.accepted, "benign round must verify: {verdict:?}");
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(completed.load(Ordering::Relaxed) as usize, clients * rounds);
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (linked, w) = deployed();
+    let rounds = if args.quick { 2 } else { ROUNDS_PER_CLIENT };
+    let client_counts: &[usize] = if args.quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
+
+    let group = BenchGroup::new("serve").samples(if args.quick { 2 } else { 3 });
+    let mut report = BenchReport::default();
+    let mut rows: Vec<(usize, rap_bench::harness::Stats, f64)> = Vec::new();
+    for &clients in client_counts {
+        // A fresh server per case: cold replay cache, clean stats.
+        let server = Server::start(
+            bench_verifier(&linked),
+            "127.0.0.1:0",
+            ServerConfig {
+                threads: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server binds");
+        let addr = server.local_addr();
+
+        let case = format!("clients_{clients}");
+        let stats = group.bench(&case, || drive(addr, &linked, &w, clients, rounds));
+        let median = stats.median.as_secs_f64();
+        let per_sec = if median > 0.0 {
+            (clients * rounds) as f64 / median
+        } else {
+            f64::INFINITY
+        };
+        report.record_with(
+            &format!("serve/{case}"),
+            stats,
+            [
+                ("clients", Json::Uint(clients as u64)),
+                ("rounds_per_client", Json::Uint(rounds as u64)),
+                ("verifications_per_sec", Json::Num(per_sec)),
+            ],
+        );
+        rows.push((clients, stats, per_sec));
+
+        let server_stats = server.shutdown();
+        assert_eq!(server_stats.verdicts_rejected, 0, "{server_stats:?}");
+    }
+
+    // Markdown table for README §"Remote attestation service".
+    println!("\n| clients | median sample | p95 | verifications/s |");
+    println!("|---:|---:|---:|---:|");
+    for (clients, stats, per_sec) in &rows {
+        println!(
+            "| {clients} | {:.1}ms | {:.1}ms | {per_sec:.0} |",
+            stats.median.as_nanos() as f64 / 1_000_000.0,
+            stats.p95.as_nanos() as f64 / 1_000_000.0,
+        );
+    }
+
+    if let Some(path) = &args.json_out {
+        report.write(path).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

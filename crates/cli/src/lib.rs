@@ -20,9 +20,10 @@ use std::fmt;
 use armv8m_isa::{parse_module, Image};
 use rap_link::{link, read_map, write_map, ClassifyOptions, LinkOptions, TransformOptions};
 use rap_obs::Json;
+use rap_serve::{AttestClient, ClientConfig, Server, ServerConfig};
 use rap_track::{
-    decode_stream, device_key, encode_stream, verify_fleet, BatchOptions, CfaEngine, Challenge,
-    EngineConfig, FleetJob, Verifier, VerifierStats,
+    decode_stream, device_key, encode_stream, BatchOptions, CfaEngine, Challenge, EngineConfig,
+    FleetJob, Verifier, VerifierStats,
 };
 
 /// A CLI-level failure, already formatted for the user.
@@ -54,6 +55,8 @@ from_error!(
     rap_link::LinkError,
     rap_link::MapFormatError,
     rap_track::WireError,
+    rap_track::BuildError,
+    rap_serve::ClientError,
     mcu_sim::ExecError,
     rap_obs::JsonError,
     std::io::Error,
@@ -218,7 +221,11 @@ pub fn cmd_verify(
     let image = Image::from_bytes(base, image_bytes.to_vec())?;
     let map = read_map(map_text)?;
     let reports = decode_stream(report_bytes)?;
-    let verifier = Verifier::new(device_key(key_seed), image, map);
+    let verifier = Verifier::builder()
+        .key(device_key(key_seed))
+        .image(image)
+        .map(map)
+        .build()?;
     let (ok, verdict) = match verifier.verify(Challenge::from_seed(chal_seed), &reports) {
         Ok(path) => (
             true,
@@ -275,14 +282,20 @@ pub fn cmd_verify_fleet(
         });
     }
 
-    let verifier = Verifier::new(device_key(key_seed), image, map);
+    let verifier = Verifier::builder()
+        .key(device_key(key_seed))
+        .image(image)
+        .map(map)
+        .build()?;
     // What the pool will actually run with (threads clamp to the job
-    // count) — reported in the verdict, and recorded by `verify_fleet`
+    // count) — reported in the verdict, and recorded by `Fleet::run`
     // itself in the `fleet_effective_threads` / `fleet_chunk_size`
     // gauges so a `--metrics` capture carries it too.
     let (eff_threads, chunk) = rap_track::effective_batch_config(jobs.len(), threads);
     let start = std::time::Instant::now();
-    let outcomes = verify_fleet(&verifier, jobs, BatchOptions::with_threads(threads));
+    let outcomes = verifier
+        .fleet(BatchOptions::with_threads(threads))
+        .run(jobs);
     let wall = start.elapsed();
 
     let mut out = String::new();
@@ -507,6 +520,173 @@ pub fn cmd_fuzz(options: &FuzzCmdOptions) -> (bool, String, String) {
     )
 }
 
+/// Options for [`cmd_serve`].
+#[derive(Debug, Clone)]
+pub struct ServeCmdOptions {
+    /// Load/link base address of the deployed image.
+    pub base: u32,
+    /// Device-key seed the fleet attests under.
+    pub key_seed: String,
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Verification worker threads.
+    pub threads: usize,
+    /// Stop accepting and drain after this many connections (smoke
+    /// tests); `None` serves until shutdown.
+    pub limit: Option<u64>,
+}
+
+impl Default for ServeCmdOptions {
+    fn default() -> ServeCmdOptions {
+        ServeCmdOptions {
+            base: 0,
+            key_seed: "default-device".to_owned(),
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            limit: None,
+        }
+    }
+}
+
+/// `rap serve`: starts the networked attestation service for one
+/// deployed binary. Returns the running [`Server`] (the caller prints
+/// the bound address and joins or shuts it down) plus the shared
+/// [`Verifier`] for end-of-run stats.
+///
+/// # Errors
+///
+/// Image/map decode failures and the bind failure, formatted.
+pub fn cmd_serve(
+    image_bytes: &[u8],
+    map_text: &str,
+    options: &ServeCmdOptions,
+) -> Result<(Server, Verifier), CliError> {
+    let image = Image::from_bytes(options.base, image_bytes.to_vec())?;
+    let map = read_map(map_text)?;
+    let verifier = Verifier::builder()
+        .key(device_key(&options.key_seed))
+        .image(image)
+        .map(map)
+        .build()?;
+    let server = Server::start(
+        verifier.clone(),
+        options.addr.as_str(),
+        ServerConfig {
+            threads: options.threads.max(1),
+            conn_limit: options.limit,
+            ..ServerConfig::default()
+        },
+    )?;
+    Ok((server, verifier))
+}
+
+/// Options for [`cmd_attest_remote`].
+#[derive(Debug, Clone)]
+pub struct AttestRemoteCmdOptions {
+    /// Load/link base address of the deployed image.
+    pub base: u32,
+    /// Device-key seed to sign evidence with.
+    pub key_seed: String,
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Device name sent in `HELLO`.
+    pub device: String,
+    /// Challenge–response rounds to run on one connection.
+    pub rounds: u32,
+    /// Connect/busy retries before giving up.
+    pub retries: u32,
+    /// Partial-report watermark for the attested execution.
+    pub watermark: Option<usize>,
+}
+
+impl Default for AttestRemoteCmdOptions {
+    fn default() -> AttestRemoteCmdOptions {
+        AttestRemoteCmdOptions {
+            base: 0,
+            key_seed: "default-device".to_owned(),
+            addr: String::new(),
+            device: "device-0".to_owned(),
+            rounds: 1,
+            retries: 4,
+            watermark: None,
+        }
+    }
+}
+
+/// `rap attest-remote`: runs attested executions against a remote
+/// `rap serve` instance — for each server challenge, executes the
+/// application locally, signs the evidence, and reports the server's
+/// verdict. Returns `(all rounds accepted, human summary)`.
+///
+/// # Errors
+///
+/// Image/map decode failures, transport failures, and protocol
+/// violations, formatted. A *rejected verdict* is not an error — it is
+/// reported in the summary with `ok == false`.
+pub fn cmd_attest_remote(
+    image_bytes: &[u8],
+    map_text: &str,
+    options: &AttestRemoteCmdOptions,
+) -> Result<(bool, String), CliError> {
+    use std::fmt::Write as _;
+
+    let image = Image::from_bytes(options.base, image_bytes.to_vec())?;
+    let map = read_map(map_text)?;
+    let key = device_key(&options.key_seed);
+
+    let client = AttestClient::new(
+        options.addr.clone(),
+        ClientConfig {
+            retries: options.retries,
+            ..ClientConfig::default()
+        },
+    );
+    let mut conn = client.open(&options.device)?;
+
+    let mut out = String::new();
+    let mut accepted = 0u32;
+    for round in 0..options.rounds.max(1) {
+        let mut attest_err = None;
+        let verdict = conn.round(|chal| {
+            let engine = CfaEngine::new(key.clone());
+            let mut machine = mcu_sim::Machine::new(image.clone());
+            match engine.attest(
+                &mut machine,
+                &map,
+                chal,
+                EngineConfig {
+                    watermark: options.watermark,
+                    ..EngineConfig::default()
+                },
+            ) {
+                Ok(att) => att.reports,
+                Err(e) => {
+                    // An empty stream is always rejected server-side;
+                    // surface the local execution failure to the user.
+                    attest_err = Some(e);
+                    Vec::new()
+                }
+            }
+        })?;
+        if let Some(e) = attest_err {
+            return Err(CliError(format!("attested execution failed: {e}")));
+        }
+        if verdict.accepted {
+            accepted += 1;
+            let _ = writeln!(
+                out,
+                "round {round}: OK ({} events, {} replay steps)",
+                verdict.events, verdict.steps
+            );
+        } else {
+            let _ = writeln!(out, "round {round}: REJECTED: {}", verdict.detail);
+        }
+    }
+    let rounds = options.rounds.max(1);
+    let _ = writeln!(out, "{accepted}/{rounds} round(s) accepted");
+    Ok((accepted == rounds, out))
+}
+
 /// A demonstration program used by tests and `rap demo`.
 pub const DEMO_PROGRAM: &str = r"
 ; RAP-Track demo: a variable loop, a conditional and a call.
@@ -680,6 +860,73 @@ mod tests {
         });
         assert!(ok, "replayed sabotage case must fail again: {text}");
         assert!(text.contains("FAIL [sabotage]"), "{text}");
+    }
+
+    #[test]
+    fn serve_and_attest_remote_loopback() {
+        let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+
+        // Two connections: one benign device, one signing with the
+        // wrong key — then the server drains on its own (--limit 2).
+        let options = ServeCmdOptions {
+            key_seed: "cli-serve".to_owned(),
+            threads: 2,
+            limit: Some(2),
+            ..ServeCmdOptions::default()
+        };
+        let (server, verifier) = cmd_serve(&img, &map_text, &options).expect("server starts");
+        let addr = server.local_addr().to_string();
+
+        let (ok, summary) = cmd_attest_remote(
+            &img,
+            &map_text,
+            &AttestRemoteCmdOptions {
+                key_seed: "cli-serve".to_owned(),
+                addr: addr.clone(),
+                device: "benign".to_owned(),
+                rounds: 2,
+                ..AttestRemoteCmdOptions::default()
+            },
+        )
+        .expect("benign rounds complete");
+        assert!(ok, "{summary}");
+        assert!(summary.contains("2/2 round(s) accepted"), "{summary}");
+
+        let (ok, summary) = cmd_attest_remote(
+            &img,
+            &map_text,
+            &AttestRemoteCmdOptions {
+                key_seed: "wrong-key".to_owned(),
+                addr,
+                device: "imposter".to_owned(),
+                ..AttestRemoteCmdOptions::default()
+            },
+        )
+        .expect("attack round completes (rejection is a verdict)");
+        assert!(!ok, "{summary}");
+        assert!(summary.contains("REJECTED"), "{summary}");
+
+        let stats = server.join();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.verdicts_accepted, 2);
+        assert_eq!(stats.verdicts_rejected, 1);
+        assert!(verifier.stats().jobs >= 3);
+    }
+
+    #[test]
+    fn attest_remote_reports_transport_failure() {
+        let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let err = cmd_attest_remote(
+            &img,
+            &map_text,
+            &AttestRemoteCmdOptions {
+                addr: "127.0.0.1:1".to_owned(), // nothing listens here
+                retries: 0,
+                ..AttestRemoteCmdOptions::default()
+            },
+        )
+        .expect_err("refused connection is an error, not a verdict");
+        assert!(!err.0.is_empty());
     }
 
     #[test]

@@ -24,6 +24,11 @@ USAGE:
               [--trace OUT]
   rap fuzz    [--seed N] [--iters K] [--json OUT.json] [--sabotage]
               [--replay CASE_SEED]    # differential fuzzing campaign
+  rap serve   <img> <map> [--addr HOST:PORT] [--threads T] [--key SEED]
+              [--limit N] [--metrics OUT.json] [--base ADDR]
+  rap attest-remote <img> <map> --addr HOST:PORT [--device NAME]
+              [--key SEED] [--rounds N] [--retries R] [--watermark N]
+              [--base ADDR]
   rap stats   <metrics.json>          # render a --metrics artifact
   rap inspect <map>
   rap explain <in.tasm> [--no-loop-opt]
@@ -56,6 +61,11 @@ impl Args {
                         | "iters"
                         | "replay"
                         | "json"
+                        | "addr"
+                        | "device"
+                        | "limit"
+                        | "rounds"
+                        | "retries"
                 ) || name == "o"
                     || name == "m";
                 let value = if takes_value {
@@ -279,6 +289,68 @@ fn run() -> Result<(), CliError> {
                 // stderr, so stdout stays byte-identical across runs.
                 eprintln!("summary -> {path}");
             }
+            print!("{summary}");
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        "serve" => {
+            need(2)?;
+            let img = fs::read(&args.positional[0])?;
+            let map = fs::read_to_string(&args.positional[1])?;
+            let options = rap_cli::ServeCmdOptions {
+                base,
+                key_seed: args.flag("key").unwrap_or("default-device").to_owned(),
+                addr: args.flag("addr").unwrap_or("127.0.0.1:0").to_owned(),
+                threads: args.num("threads", 4)?.max(1) as usize,
+                limit: if args.has("limit") {
+                    Some(args.num("limit", 0)?)
+                } else {
+                    None
+                },
+            };
+            let obs = ObsOutputs::begin(&args);
+            let (server, verifier) = rap_cli::cmd_serve(&img, &map, &options)?;
+            // Scripts parse this line to learn the ephemeral port.
+            println!("listening on {}", server.local_addr());
+            use std::io::Write as _;
+            std::io::stdout().flush()?;
+            // With --limit the accept loop drains on its own; without,
+            // this joins until the process is killed.
+            let stats = server.join();
+            println!(
+                "served {} connection(s): {} accepted, {} rejected, {} shed, {} error(s)",
+                stats.accepted,
+                stats.verdicts_accepted,
+                stats.verdicts_rejected,
+                stats.shed,
+                stats.errors_sent
+            );
+            obs.finish(&verifier.stats())?;
+        }
+        "attest-remote" => {
+            need(2)?;
+            let img = fs::read(&args.positional[0])?;
+            let map = fs::read_to_string(&args.positional[1])?;
+            let options = rap_cli::AttestRemoteCmdOptions {
+                base,
+                key_seed: args.flag("key").unwrap_or("default-device").to_owned(),
+                addr: args
+                    .flag("addr")
+                    .ok_or_else(|| CliError("missing --addr HOST:PORT".into()))?
+                    .to_owned(),
+                device: args.flag("device").unwrap_or("device-0").to_owned(),
+                rounds: args.num("rounds", 1)? as u32,
+                retries: args.num("retries", 4)? as u32,
+                watermark: args
+                    .flag("watermark")
+                    .map(|w| {
+                        w.parse::<usize>()
+                            .map_err(|_| CliError(format!("bad --watermark `{w}`")))
+                    })
+                    .transpose()?,
+            };
+            let (ok, summary) = rap_cli::cmd_attest_remote(&img, &map, &options)?;
             print!("{summary}");
             if !ok {
                 std::process::exit(1);

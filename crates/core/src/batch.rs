@@ -7,17 +7,25 @@
 //! worker pool sharing one [`Verifier`] (and therefore one replay
 //! cache), with results returned in submission order.
 //!
-//! Work distribution is shaped to the input:
+//! The entry point is [`Verifier::fleet`], which returns a [`Fleet`]
+//! handle bound to one verifier and one [`BatchOptions`]. Work
+//! distribution is shaped to the input:
 //!
-//! * [`verify_fleet`] owns the whole job slice up front, so workers
+//! * [`Fleet::run`] owns the whole job slice up front, so workers
 //!   claim index ranges from an **atomic-ticket dispenser** — one
 //!   `fetch_add` per chunk, no mutex, no condvar, no per-job handoff.
 //!   Chunks shrink as the slice drains (guided self-scheduling) so the
 //!   tail stays balanced without paying per-job dispatch up front.
-//! * [`verify_fleet_stream`] consumes jobs from an iterator whose
+//! * [`Fleet::stream`] consumes jobs from an iterator whose
 //!   length is unknown (a socket, a directory walk), so it keeps the
 //!   bounded [`BoundedQueue`] + condvar handoff: backpressure is the
 //!   point there, not raw dispatch throughput.
+//! * [`Fleet::sequential`] is the calling-thread reference
+//!   implementation for equivalence tests and 1-thread baselines.
+//!
+//! The pre-redesign free functions (`verify_fleet`,
+//! `verify_fleet_stream`, `verify_sequential`) remain as deprecated
+//! shims over the handle.
 //!
 //! Workers accumulate their verification stats in plain per-worker
 //! tallies merged once at join (see `Verifier::commit_tally`), so the
@@ -104,7 +112,7 @@ impl BatchOptions {
 /// when one early chunk happens to hold all the slow jobs.
 const MAX_CHUNK: usize = 64;
 
-/// The worker pool and chunking [`verify_fleet`] will actually use for
+/// The worker pool and chunking [`Fleet::run`] will actually use for
 /// `jobs` jobs at `requested` threads: `(effective threads, initial
 /// chunk size)`. Public so the CLI can report the effective
 /// configuration instead of the requested one.
@@ -138,164 +146,220 @@ fn claim_chunk(cursor: &AtomicUsize, total: usize, threads: usize) -> Option<(us
     Some((start, (start + chunk).min(total)))
 }
 
-/// Verifies a batch of fleet jobs concurrently against one deployed
-/// binary. Returns one [`JobOutcome`] per job, in submission order.
+/// The fleet-verification surface of one [`Verifier`]: a lightweight
+/// handle binding the verifier to a [`BatchOptions`], created by
+/// [`Verifier::fleet`].
 ///
-/// All workers share `verifier`'s replay cache, so identical
+/// All workers share the verifier's replay cache, so identical
 /// deterministic stretches — across loop iterations *and* across
 /// devices running the same binary — are decoded once.
+#[derive(Debug, Clone, Copy)]
+pub struct Fleet<'v> {
+    verifier: &'v Verifier,
+    options: BatchOptions,
+}
+
+impl Verifier {
+    /// Opens the fleet-verification surface with the given worker-pool
+    /// options; see [`Fleet`].
+    pub fn fleet(&self, options: BatchOptions) -> Fleet<'_> {
+        Fleet {
+            verifier: self,
+            options,
+        }
+    }
+}
+
+impl Fleet<'_> {
+    /// The options this handle was opened with.
+    pub fn options(&self) -> BatchOptions {
+        self.options
+    }
+
+    /// Verifies a batch of fleet jobs concurrently against one deployed
+    /// binary. Returns one [`JobOutcome`] per job, in submission order.
+    pub fn run(&self, jobs: Vec<FleetJob>) -> Vec<JobOutcome> {
+        let verifier = self.verifier;
+        let total = jobs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let (threads, initial_chunk) = effective_batch_config(total, self.options.threads);
+        rap_obs::gauge!("fleet_effective_threads").set(threads as i64);
+        rap_obs::gauge!("fleet_chunk_size").set(initial_chunk as i64);
+
+        let cursor = AtomicUsize::new(0);
+        let jobs = &jobs;
+        let per_worker: Vec<Vec<(usize, JobOutcome)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut outcomes: Vec<(usize, JobOutcome)> = Vec::new();
+                        let mut tally = StatsTally::default();
+                        let mut busy_ns = 0u64;
+                        let mut idle_ns = 0u64;
+                        loop {
+                            let idle_from = Instant::now();
+                            let Some((start, end)) = claim_chunk(&cursor, total, threads) else {
+                                break;
+                            };
+                            idle_ns += idle_from.elapsed().as_nanos() as u64;
+                            for (index, job) in jobs[start..end].iter().enumerate() {
+                                let index = start + index;
+                                let from = Instant::now();
+                                let result =
+                                    verifier.verify_tallied(job.chal, &job.reports, &mut tally);
+                                let wall = from.elapsed();
+                                busy_ns += wall.as_nanos() as u64;
+                                outcomes.push((
+                                    index,
+                                    JobOutcome {
+                                        device: job.device.clone(),
+                                        result,
+                                        wall,
+                                    },
+                                ));
+                            }
+                        }
+                        // One merge per worker: the only writes this
+                        // worker ever makes to shared counters.
+                        verifier.commit_tally(&tally);
+                        rap_obs::counter!("batch_worker_busy_ns_total").add(busy_ns);
+                        rap_obs::counter!("batch_worker_idle_ns_total").add(idle_ns);
+                        // Flush this worker's trace ring *inside* the
+                        // closure: scoped threads signal completion
+                        // before their TLS destructors run, so a drain
+                        // right after `run` returns would otherwise
+                        // race the implicit flush.
+                        rap_obs::flush_thread();
+                        outcomes
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet worker panicked"))
+                .collect()
+        });
+
+        collect_in_order(total, per_worker)
+    }
+
+    /// Verifies a *stream* of fleet jobs whose length is not known up
+    /// front (a socket, a directory walk): jobs flow through a bounded
+    /// queue so the producer is backpressured once `queue_depth` jobs
+    /// are in flight. Returns outcomes in submission order, like
+    /// [`Fleet::run`] — which is the better choice whenever the jobs
+    /// already sit in memory.
+    pub fn stream(&self, jobs: impl IntoIterator<Item = FleetJob>) -> Vec<JobOutcome> {
+        let verifier = self.verifier;
+        let threads = self.options.threads.max(1);
+        let queue: BoundedQueue<(usize, FleetJob)> =
+            BoundedQueue::new(self.options.queue_depth.max(1));
+        let (per_worker, total): (Vec<Vec<(usize, JobOutcome)>>, usize) =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut outcomes: Vec<(usize, JobOutcome)> = Vec::new();
+                            let mut tally = StatsTally::default();
+                            let mut busy_ns = 0u64;
+                            let mut idle_ns = 0u64;
+                            loop {
+                                let idle_from = Instant::now();
+                                let Some((index, job)) = queue.pop() else {
+                                    break;
+                                };
+                                idle_ns += idle_from.elapsed().as_nanos() as u64;
+                                let from = Instant::now();
+                                let result =
+                                    verifier.verify_tallied(job.chal, &job.reports, &mut tally);
+                                let wall = from.elapsed();
+                                busy_ns += wall.as_nanos() as u64;
+                                outcomes.push((
+                                    index,
+                                    JobOutcome {
+                                        device: job.device,
+                                        result,
+                                        wall,
+                                    },
+                                ));
+                            }
+                            verifier.commit_tally(&tally);
+                            rap_obs::counter!("batch_worker_busy_ns_total").add(busy_ns);
+                            rap_obs::counter!("batch_worker_idle_ns_total").add(idle_ns);
+                            rap_obs::flush_thread();
+                            outcomes
+                        })
+                    })
+                    .collect();
+                let mut submitted = 0usize;
+                for job in jobs {
+                    queue.push((submitted, job));
+                    submitted += 1;
+                }
+                queue.close();
+                (
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fleet worker panicked"))
+                        .collect(),
+                    submitted,
+                )
+            });
+
+        collect_in_order(total, per_worker)
+    }
+
+    /// Reference implementation for equivalence testing and 1-thread
+    /// baselines: the same jobs, verified on the calling thread (the
+    /// handle's thread options are ignored).
+    pub fn sequential(&self, jobs: Vec<FleetJob>) -> Vec<JobOutcome> {
+        jobs.into_iter()
+            .map(|job| {
+                let start = Instant::now();
+                let result = self.verifier.verify(job.chal, &job.reports);
+                let wall = start.elapsed();
+                observe_job(wall);
+                JobOutcome {
+                    device: job.device,
+                    result,
+                    wall,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Deprecated shim over [`Fleet::run`]; behavior is identical.
+#[deprecated(since = "0.1.0", note = "use `verifier.fleet(options).run(jobs)`")]
 pub fn verify_fleet(
     verifier: &Verifier,
     jobs: Vec<FleetJob>,
     options: BatchOptions,
 ) -> Vec<JobOutcome> {
-    let total = jobs.len();
-    if total == 0 {
-        return Vec::new();
-    }
-    let (threads, initial_chunk) = effective_batch_config(total, options.threads);
-    rap_obs::gauge!("fleet_effective_threads").set(threads as i64);
-    rap_obs::gauge!("fleet_chunk_size").set(initial_chunk as i64);
-
-    let cursor = AtomicUsize::new(0);
-    let jobs = &jobs;
-    let per_worker: Vec<Vec<(usize, JobOutcome)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut outcomes: Vec<(usize, JobOutcome)> = Vec::new();
-                    let mut tally = StatsTally::default();
-                    let mut busy_ns = 0u64;
-                    let mut idle_ns = 0u64;
-                    loop {
-                        let idle_from = Instant::now();
-                        let Some((start, end)) = claim_chunk(&cursor, total, threads) else {
-                            break;
-                        };
-                        idle_ns += idle_from.elapsed().as_nanos() as u64;
-                        for (index, job) in jobs[start..end].iter().enumerate() {
-                            let index = start + index;
-                            let from = Instant::now();
-                            let result =
-                                verifier.verify_tallied(job.chal, &job.reports, &mut tally);
-                            let wall = from.elapsed();
-                            busy_ns += wall.as_nanos() as u64;
-                            outcomes.push((
-                                index,
-                                JobOutcome {
-                                    device: job.device.clone(),
-                                    result,
-                                    wall,
-                                },
-                            ));
-                        }
-                    }
-                    // One merge per worker: the only writes this worker
-                    // ever makes to shared counters.
-                    verifier.commit_tally(&tally);
-                    rap_obs::counter!("batch_worker_busy_ns_total").add(busy_ns);
-                    rap_obs::counter!("batch_worker_idle_ns_total").add(idle_ns);
-                    // Flush this worker's trace ring *inside* the
-                    // closure: scoped threads signal completion before
-                    // their TLS destructors run, so a drain right after
-                    // `verify_fleet` returns would otherwise race the
-                    // implicit flush.
-                    rap_obs::flush_thread();
-                    outcomes
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fleet worker panicked"))
-            .collect()
-    });
-
-    collect_in_order(total, per_worker)
+    verifier.fleet(options).run(jobs)
 }
 
-/// Verifies a *stream* of fleet jobs whose length is not known up
-/// front (a socket, a directory walk): jobs flow through a bounded
-/// queue so the producer is backpressured once `queue_depth` jobs are
-/// in flight. Returns outcomes in submission order, like
-/// [`verify_fleet`] — which is the better choice whenever the jobs
-/// already sit in memory.
+/// Deprecated shim over [`Fleet::stream`]; behavior is identical.
+#[deprecated(since = "0.1.0", note = "use `verifier.fleet(options).stream(jobs)`")]
 pub fn verify_fleet_stream(
     verifier: &Verifier,
     jobs: impl IntoIterator<Item = FleetJob>,
     options: BatchOptions,
 ) -> Vec<JobOutcome> {
-    let threads = options.threads.max(1);
-    let queue: BoundedQueue<(usize, FleetJob)> = BoundedQueue::new(options.queue_depth.max(1));
-    let (per_worker, total): (Vec<Vec<(usize, JobOutcome)>>, usize) = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut outcomes: Vec<(usize, JobOutcome)> = Vec::new();
-                    let mut tally = StatsTally::default();
-                    let mut busy_ns = 0u64;
-                    let mut idle_ns = 0u64;
-                    loop {
-                        let idle_from = Instant::now();
-                        let Some((index, job)) = queue.pop() else {
-                            break;
-                        };
-                        idle_ns += idle_from.elapsed().as_nanos() as u64;
-                        let from = Instant::now();
-                        let result = verifier.verify_tallied(job.chal, &job.reports, &mut tally);
-                        let wall = from.elapsed();
-                        busy_ns += wall.as_nanos() as u64;
-                        outcomes.push((
-                            index,
-                            JobOutcome {
-                                device: job.device,
-                                result,
-                                wall,
-                            },
-                        ));
-                    }
-                    verifier.commit_tally(&tally);
-                    rap_obs::counter!("batch_worker_busy_ns_total").add(busy_ns);
-                    rap_obs::counter!("batch_worker_idle_ns_total").add(idle_ns);
-                    rap_obs::flush_thread();
-                    outcomes
-                })
-            })
-            .collect();
-        let mut submitted = 0usize;
-        for job in jobs {
-            queue.push((submitted, job));
-            submitted += 1;
-        }
-        queue.close();
-        (
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fleet worker panicked"))
-                .collect(),
-            submitted,
-        )
-    });
-
-    collect_in_order(total, per_worker)
+    verifier.fleet(options).stream(jobs)
 }
 
-/// Reference implementation for equivalence testing and 1-thread
-/// baselines: the same jobs, verified on the calling thread.
+/// Deprecated shim over [`Fleet::sequential`]; behavior is identical.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `verifier.fleet(options).sequential(jobs)`"
+)]
 pub fn verify_sequential(verifier: &Verifier, jobs: Vec<FleetJob>) -> Vec<JobOutcome> {
-    jobs.into_iter()
-        .map(|job| {
-            let start = Instant::now();
-            let result = verifier.verify(job.chal, &job.reports);
-            let wall = start.elapsed();
-            observe_job(wall);
-            JobOutcome {
-                device: job.device,
-                result,
-                wall,
-            }
-        })
-        .collect()
+    verifier
+        .fleet(BatchOptions::with_threads(1))
+        .sequential(jobs)
 }
 
 /// Merges per-worker `(index, outcome)` piles back into submission

@@ -49,6 +49,7 @@
 
 mod batch;
 mod engine;
+mod error;
 mod metrics;
 mod policy;
 mod protocol;
@@ -56,17 +57,34 @@ mod report;
 mod verifier;
 mod wire;
 
-pub use batch::{
-    effective_batch_config, verify_fleet, verify_fleet_stream, verify_sequential, BatchOptions,
-    FleetJob, JobOutcome,
-};
+pub use batch::{effective_batch_config, BatchOptions, Fleet, FleetJob, JobOutcome};
+#[allow(deprecated)]
+pub use batch::{verify_fleet, verify_fleet_stream, verify_sequential};
 pub use engine::{Attestation, CfaEngine, EngineConfig};
+pub use error::Error;
 pub use metrics::{Metrics, VerifierStats};
 pub use policy::{PathPolicy, PathStats, PolicyFinding};
 pub use protocol::{SessionError, VerifierSession};
 pub use report::{device_key, CfLog, Challenge, Key, Report};
-pub use verifier::{PathEvent, ReplaySession, VerifiedPath, Verifier, Violation};
+pub use verifier::{
+    BuildError, PathEvent, ReplaySession, VerifiedPath, Verifier, VerifierBuilder, Violation,
+};
 pub use wire::{decode_stream, encode_report, encode_stream, WireError};
+
+/// The types almost every caller needs, importable in one line:
+///
+/// ```
+/// use rap_track::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::batch::{BatchOptions, Fleet, FleetJob, JobOutcome};
+    pub use crate::engine::{Attestation, CfaEngine, EngineConfig};
+    pub use crate::error::Error;
+    pub use crate::protocol::{SessionError, VerifierSession};
+    pub use crate::report::{device_key, Challenge, Key, Report};
+    pub use crate::verifier::{PathEvent, VerifiedPath, Verifier, VerifierBuilder, Violation};
+    pub use crate::wire::{decode_stream, encode_stream, WireError};
+}
 
 #[cfg(test)]
 mod tests {

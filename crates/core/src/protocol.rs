@@ -32,7 +32,11 @@ pub struct VerifierSession {
 }
 
 /// A session-level protocol failure.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm
+/// so new protocol failures can be added without a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SessionError {
     /// A response arrived with no outstanding request.
     NoOutstandingChallenge,
@@ -62,13 +66,28 @@ impl VerifierSession {
     /// `session_secret` seeds nonce derivation (a real deployment uses
     /// an OS RNG; determinism keeps tests and benches reproducible).
     pub fn new(key: Key, image: Image, map: LinkMap, session_secret: &[u8]) -> VerifierSession {
+        VerifierSession::from_verifier(Verifier::new(key, image, map), session_secret)
+    }
+
+    /// Opens a session around an existing [`Verifier`].
+    ///
+    /// Because verifier clones share one replay cache, sessions built
+    /// from clones of the same verifier (one per connection, say) all
+    /// benefit from each other's decoded stretches while keeping
+    /// challenge freshness strictly per-session.
+    pub fn from_verifier(verifier: Verifier, session_secret: &[u8]) -> VerifierSession {
         VerifierSession {
-            verifier: Verifier::new(key, image, map),
+            verifier,
             session_secret: session_secret.to_vec(),
             counter: 0,
             outstanding: None,
             used: HashSet::new(),
         }
+    }
+
+    /// The verifier this session drives.
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
     }
 
     /// Step 1: issues a fresh challenge. Any previously outstanding

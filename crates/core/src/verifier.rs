@@ -21,6 +21,7 @@ use armv8m_isa::{service, BranchKind, Image, Instr, Reg, Target};
 use rap_crypto::{sha256, Digest};
 use rap_link::{LinkMap, LoopPlanKind, SiteKind};
 
+use crate::policy::{PathPolicy, PolicyFinding};
 use crate::report::{Challenge, Key, Report};
 
 /// Iteration cap for replayed simple loops (anti-DoS bound on forged
@@ -89,7 +90,11 @@ pub enum PathEvent {
 }
 
 /// Why verification failed.
+///
+/// Non-exhaustive: future verifier layers may add violation kinds, so
+/// downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Violation {
     /// A report failed MAC authentication.
     BadTag {
@@ -365,20 +370,19 @@ pub struct Verifier {
     entry: u32,
     /// Replay step budget.
     pub max_steps: u64,
+    policy: Option<Arc<PathPolicy>>,
     shared: Arc<Shared>,
 }
 
-/// Number of L2 replay-cache shards. A power of two so shard selection
-/// is a multiply + shift; 16 shards keep the worst-case miss contention
-/// per shard at 1/16th of a global lock while staying small enough that
-/// a snapshot walk is trivial.
-const SHARD_COUNT: usize = 16;
+/// Default number of L2 replay-cache shards (overridable through
+/// [`VerifierBuilder::cache_shards`]). 16 shards keep the worst-case
+/// miss contention per shard at 1/16th of a global lock while staying
+/// small enough that a snapshot walk is trivial.
+const DEFAULT_SHARD_COUNT: usize = 16;
 
-/// Shard index for an entry PC: Fibonacci hashing spreads the (4-byte
-/// aligned, clustered) instruction addresses across shards.
-fn shard_of(pc: u32) -> usize {
-    (pc.wrapping_mul(0x9E37_79B9) >> 28) as usize & (SHARD_COUNT - 1)
-}
+/// Upper bound on configurable shard counts — beyond this the per-shard
+/// fixed cost dwarfs any contention win.
+const MAX_SHARD_COUNT: usize = 1024;
 
 /// Cache + counters shared by all clones of one [`Verifier`].
 ///
@@ -397,7 +401,8 @@ struct Shared {
     /// thread-local L1 (see [`L1_SEGMENTS`]). Unique per `Shared`.
     id: u64,
     /// Straight-line replay cache (L2): entry PC → memoized
-    /// deterministic stretch, lock-striped by [`shard_of`]. Contents
+    /// deterministic stretch, lock-striped by [`Shared::shard_for`].
+    /// Contents
     /// depend only on the image and map, never on a particular log, so
     /// the cache is safely shared across sessions, threads and devices.
     shards: Vec<Shard>,
@@ -409,12 +414,12 @@ struct Shared {
     wall_ns: CachePadded<AtomicU64>,
 }
 
-impl Default for Shared {
-    fn default() -> Shared {
+impl Shared {
+    fn new(shard_count: usize) -> Shared {
         static NEXT_ID: AtomicU64 = AtomicU64::new(1);
         Shared {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
-            shards: (0..SHARD_COUNT)
+            shards: (0..shard_count.clamp(1, MAX_SHARD_COUNT))
                 .map(|_| CachePadded::new(RwLock::new(HashMap::new())))
                 .collect(),
             hits: CachePadded::default(),
@@ -424,6 +429,21 @@ impl Default for Shared {
             jobs: CachePadded::default(),
             wall_ns: CachePadded::default(),
         }
+    }
+
+    /// Shard index for an entry PC: Fibonacci hashing followed by a
+    /// multiply-shift range reduction spreads the (4-byte aligned,
+    /// clustered) instruction addresses across any shard count.
+    fn shard_for(&self, pc: u32) -> &Shard {
+        let n = self.shards.len() as u64;
+        let index = (u64::from(pc.wrapping_mul(0x9E37_79B9)) * n) >> 32;
+        &self.shards[index as usize]
+    }
+}
+
+impl Default for Shared {
+    fn default() -> Shared {
+        Shared::new(DEFAULT_SHARD_COUNT)
     }
 }
 
@@ -523,26 +543,166 @@ struct Segment {
 /// on images containing deterministic infinite loops (`b .`).
 const SEGMENT_CAP: u64 = 4096;
 
-impl Verifier {
-    /// Creates a Verifier for the given deployed binary and link map.
-    /// Replay starts at the image base.
-    pub fn new(key: Key, image: Image, map: LinkMap) -> Verifier {
+/// Staged construction of a [`Verifier`] — the one entry point every
+/// consumer (CLI, `rap-serve`, examples, tests) goes through.
+///
+/// `key`, `image` and `map` are required; everything else has the
+/// defaults [`Verifier::new`] always used:
+///
+/// ```no_run
+/// # use rap_track::Verifier;
+/// # let (key, image, map): (rap_track::Key, armv8m_isa::Image, rap_link::LinkMap) = todo!();
+/// let verifier = Verifier::builder()
+///     .key(key)
+///     .image(image)
+///     .map(map)
+///     .cache_shards(32)
+///     .max_steps(10_000_000)
+///     .build()?;
+/// # Ok::<(), rap_track::BuildError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct VerifierBuilder {
+    key: Option<Key>,
+    image: Option<Image>,
+    map: Option<LinkMap>,
+    policy: Option<PathPolicy>,
+    cache_shards: usize,
+    max_steps: u64,
+}
+
+/// A [`VerifierBuilder::build`] call was missing a required component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BuildError {
+    /// The missing builder field (`"key"`, `"image"` or `"map"`).
+    pub missing: &'static str,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verifier builder is missing `{}`", self.missing)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl VerifierBuilder {
+    /// The device MAC key (required).
+    #[must_use]
+    pub fn key(mut self, key: Key) -> Self {
+        self.key = Some(key);
+        self
+    }
+
+    /// The deployed binary image (required).
+    #[must_use]
+    pub fn image(mut self, image: Image) -> Self {
+        self.image = Some(image);
+        self
+    }
+
+    /// The offline-phase link map (required).
+    #[must_use]
+    pub fn map(mut self, map: LinkMap) -> Self {
+        self.map = Some(map);
+        self
+    }
+
+    /// A declarative [`PathPolicy`] evaluated over accepted paths via
+    /// [`Verifier::check_policy`]. No policy (the default) means
+    /// allow-everything.
+    #[must_use]
+    pub fn policy(mut self, policy: PathPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// L2 replay-cache shard count (clamped to `1..=1024`; default 16).
+    /// More shards trade memory for lower miss-path lock contention.
+    #[must_use]
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
+        self
+    }
+
+    /// Replay step budget (default 100 million) — the anti-DoS bound on
+    /// forged logs driving replay forever.
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] when `key`, `image` or `map` was never supplied.
+    pub fn build(self) -> Result<Verifier, BuildError> {
+        let key = self.key.ok_or(BuildError { missing: "key" })?;
+        let image = self.image.ok_or(BuildError { missing: "image" })?;
+        let map = self.map.ok_or(BuildError { missing: "map" })?;
         let h_mem = sha256(image.bytes());
         let entry = image.base();
-        Verifier {
+        let shard_count = if self.cache_shards == 0 {
+            DEFAULT_SHARD_COUNT
+        } else {
+            self.cache_shards
+        };
+        Ok(Verifier {
             key,
             image,
             map,
             h_mem,
             entry,
-            max_steps: 100_000_000,
-            shared: Arc::new(Shared::default()),
-        }
+            max_steps: if self.max_steps == 0 {
+                100_000_000
+            } else {
+                self.max_steps
+            },
+            policy: self.policy.map(Arc::new),
+            shared: Arc::new(Shared::new(shard_count)),
+        })
+    }
+}
+
+impl Verifier {
+    /// Starts building a Verifier; see [`VerifierBuilder`].
+    pub fn builder() -> VerifierBuilder {
+        VerifierBuilder::default()
+    }
+
+    /// Creates a Verifier for the given deployed binary and link map
+    /// with default policy, cache and budget settings — a thin wrapper
+    /// over [`Verifier::builder`]. Replay starts at the image base.
+    pub fn new(key: Key, image: Image, map: LinkMap) -> Verifier {
+        Verifier::builder()
+            .key(key)
+            .image(image)
+            .map(map)
+            .build()
+            .expect("all required builder fields supplied")
     }
 
     /// The expected `H_MEM` of the deployed binary.
     pub fn expected_h_mem(&self) -> Digest {
         self.h_mem
+    }
+
+    /// The [`PathPolicy`] configured at build time, if any.
+    pub fn policy(&self) -> Option<&PathPolicy> {
+        self.policy.as_deref()
+    }
+
+    /// Evaluates the configured policy over an accepted path; an empty
+    /// result means compliance (and is always returned when no policy
+    /// was configured).
+    pub fn check_policy(&self, path: &VerifiedPath) -> Vec<PolicyFinding> {
+        self.policy
+            .as_deref()
+            .map(|p| p.check(path))
+            .unwrap_or_default()
     }
 
     /// A snapshot of the verifier-side counters: replay-cache
@@ -731,7 +891,7 @@ impl Verifier {
                 tally.cache_hits += 1;
                 return Arc::clone(seg);
             }
-            let shard = &self.shared.shards[shard_of(pc)];
+            let shard = self.shared.shard_for(pc);
             if let Some(seg) = shard.read().expect("cache lock").get(&pc) {
                 tally.cache_hits += 1;
                 let seg = Arc::clone(seg);

@@ -26,7 +26,11 @@ const MAGIC: &[u8; 4] = b"RAPR";
 const VERSION: u8 = 1;
 
 /// A failure while decoding a wire stream.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm
+/// so new decode failures can be added without a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum WireError {
     /// The buffer ended mid-frame.
     Truncated {

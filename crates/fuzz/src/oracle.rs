@@ -12,7 +12,7 @@
 //! 2. **Replay fidelity** — the verifier's reconstructed path must
 //!    match the simulator's ground-truth transfer trace stub-for-stub,
 //!    survive a warm-cache re-verification unchanged, and come back
-//!    identical through the fleet (`verify_fleet`) path.
+//!    identical through the fleet (`verifier.fleet(..).run(..)`) path.
 //! 3. **Stream safety** — structure-aware mutation of the wire stream
 //!    (without the key) and of re-signed logs (worst-case adversary
 //!    with the key) must always terminate in a typed verdict: no
@@ -33,8 +33,8 @@ use crate::rng::{mix, Rng};
 use mcu_sim::{ArchState, Machine, RunOutcome};
 use rap_link::{link, LinkOptions, LinkedProgram, SiteKind};
 use rap_track::{
-    decode_stream, device_key, encode_stream, verify_fleet, BatchOptions, CfaEngine, Challenge,
-    EngineConfig, FleetJob, Key, PathEvent, Report, Verifier, WireError,
+    decode_stream, device_key, encode_stream, BatchOptions, CfaEngine, Challenge, EngineConfig,
+    FleetJob, Key, PathEvent, Report, Verifier, WireError,
 };
 
 /// Per-case oracle configuration, fully determined by the campaign
@@ -135,7 +135,12 @@ fn build(program: &Program, case_seed: u64, cfg: &OracleConfig) -> Result<Pipeli
         .transfer_trace()
         .expect("transfer trace was enabled")
         .to_vec();
-    let verifier = Verifier::new(key.clone(), linked.image.clone(), linked.map.clone());
+    let verifier = Verifier::builder()
+        .key(key.clone())
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("key/image/map are all set");
 
     Ok(Pipeline {
         linked,
@@ -307,7 +312,7 @@ fn replay_fidelity(p: &Pipeline) -> Result<Vec<PathEvent>, CaseFailure> {
             reports: p.reports.clone(),
         })
         .collect();
-    for outcome in verify_fleet(&p.verifier, jobs, BatchOptions::with_threads(2)) {
+    for outcome in p.verifier.fleet(BatchOptions::with_threads(2)).run(jobs) {
         match outcome.result {
             Ok(fleet_path) => {
                 if fleet_path.events != path.events {
@@ -341,6 +346,8 @@ fn wire_error_name(e: &WireError) -> &'static str {
         WireError::BadMagic { .. } => "bad_magic",
         WireError::BadVersion { .. } => "bad_version",
         WireError::BadCount { .. } => "bad_count",
+        // `WireError` is `#[non_exhaustive]` upstream.
+        _ => "other",
     }
 }
 

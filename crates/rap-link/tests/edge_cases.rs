@@ -40,7 +40,12 @@ fn attest_and_verify(linked: &rap_link::LinkedProgram, label: &str) -> Vec<PathE
         .attest(&mut machine, &linked.map, chal, EngineConfig::default())
         .unwrap_or_else(|e| panic!("{label}: attest: {e}"));
     assert!(machine.cpu.halted, "{label}: did not halt");
-    let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+    let verifier = Verifier::builder()
+        .key(key)
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("key/image/map are all set");
     let path = verifier
         .verify(chal, &att.reports)
         .unwrap_or_else(|e| panic!("{label}: verify: {e}"));
@@ -155,7 +160,12 @@ fn empty_mtbar() {
         att.combined_log().is_empty(),
         "straight-line code must log nothing"
     );
-    let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+    let verifier = Verifier::builder()
+        .key(key)
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("key/image/map are all set");
     verifier.verify(chal, &att.reports).expect("verifies");
     assert_map_roundtrip(&linked.map);
 }

@@ -1,0 +1,365 @@
+//! The Prover-side client: connects, answers challenges with signed
+//! report streams, and returns the server's typed verdicts.
+//!
+//! Transient failures (connection refused, `ERROR busy`) retry with
+//! bounded exponential backoff; the jitter is drawn from SplitMix64
+//! seeded by [`ClientConfig::jitter_seed`], so a test or bench replays
+//! the exact same timing.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rap_track::{encode_stream, Challenge, Report};
+
+use crate::frame::{
+    decode_challenge, decode_error, read_frame, write_frame, ErrorCode, FrameError, FrameType,
+    ReadFrameError, Verdict, DEFAULT_MAX_FRAME_LEN,
+};
+
+/// Tunables for [`AttestClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for each frame read.
+    pub read_timeout: Duration,
+    /// Deadline for each frame write.
+    pub write_timeout: Duration,
+    /// Retries after the first attempt (connect failures and
+    /// `ERROR busy` only — verdicts are never retried).
+    pub retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// SplitMix64 seed for deterministic backoff jitter.
+    pub jitter_seed: u64,
+    /// Payload-size cap for received frames.
+    pub max_frame_len: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retries: 4,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            jitter_seed: 0x5EED,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// A client-side failure.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm
+/// so new failure modes can be added without a breaking change.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The transport failed (connect, read, or write).
+    Io(std::io::Error),
+    /// The server sent bytes that were not a valid frame.
+    Frame(FrameError),
+    /// The server closed the connection with a typed error.
+    Server {
+        /// Why the server refused.
+        code: ErrorCode,
+        /// The server's message.
+        msg: String,
+    },
+    /// The server broke the protocol (unexpected frame type, or closed
+    /// mid-round).
+    Protocol(&'static str),
+    /// Every attempt failed; holds the final attempt's error.
+    Exhausted {
+        /// Attempts made (first try + retries).
+        attempts: u32,
+        /// The error from the last attempt.
+        last: Box<ClientError>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e}"),
+            ClientError::Server { code, msg } => write!(f, "server error ({code}): {msg}"),
+            ClientError::Protocol(what) => write!(f, "protocol: {what}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<ReadFrameError> for ClientError {
+    fn from(e: ReadFrameError) -> ClientError {
+        match e {
+            ReadFrameError::Frame(e) => ClientError::Frame(e),
+            ReadFrameError::Io(e) => ClientError::Io(e),
+        }
+    }
+}
+
+impl ClientError {
+    /// Whether a fresh attempt could plausibly succeed — connect
+    /// failures and server `busy` shedding, nothing else.
+    fn transient(&self) -> bool {
+        match self {
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ),
+            ClientError::Server { code, .. } => *code == ErrorCode::Busy,
+            _ => false,
+        }
+    }
+}
+
+/// A client for one attestation server address.
+#[derive(Debug, Clone)]
+pub struct AttestClient {
+    addr: String,
+    config: ClientConfig,
+}
+
+/// One open connection: `HELLO` sent, rounds available via
+/// [`Connection::round`].
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    max_frame_len: u32,
+}
+
+impl AttestClient {
+    /// Creates a client for `addr` (e.g. `"127.0.0.1:7207"`).
+    pub fn new(addr: impl Into<String>, config: ClientConfig) -> AttestClient {
+        AttestClient {
+            addr: addr.into(),
+            config,
+        }
+    }
+
+    /// Opens a connection and sends `HELLO`, retrying transient
+    /// failures with backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] once the retry budget is spent; any
+    /// non-transient [`ClientError`] immediately.
+    pub fn open(&self, device: &str) -> Result<Connection, ClientError> {
+        let attempts = self.config.retries + 1;
+        let mut rng = SplitMix64::new(self.config.jitter_seed);
+        for attempt in 0..attempts {
+            match self.open_once(device) {
+                Ok(conn) => return Ok(conn),
+                Err(e) if e.transient() && attempt + 1 < attempts => {
+                    rap_obs::counter!("serve_client_retries_total").inc();
+                    std::thread::sleep(self.backoff(attempt, &mut rng));
+                }
+                Err(e) if e.transient() => {
+                    return Err(ClientError::Exhausted {
+                        attempts,
+                        last: Box::new(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on the final attempt");
+    }
+
+    /// One full attestation round on a fresh connection: open, receive
+    /// the challenge, call `respond` to produce the signed report
+    /// stream, return the server's verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AttestClient::open`] and [`Connection::round`]
+    /// failures.
+    pub fn attest_once(
+        &self,
+        device: &str,
+        respond: impl FnOnce(Challenge) -> Vec<Report>,
+    ) -> Result<Verdict, ClientError> {
+        let mut conn = self.open(device)?;
+        conn.round(respond)
+    }
+
+    fn open_once(&self, device: &str) -> Result<Connection, ClientError> {
+        let addr = self
+            .addr
+            .parse()
+            .map_err(|_| ClientError::Protocol("unparseable server address"))?;
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = Connection {
+            stream,
+            max_frame_len: self.config.max_frame_len,
+        };
+        write_frame(&mut conn.stream, FrameType::Hello, device.as_bytes())?;
+        Ok(conn)
+    }
+
+    fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        let base = self.config.backoff_base.as_millis() as u64;
+        let cap = self.config.backoff_cap.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(16)).min(cap.max(1));
+        let jitter = rng.next() % exp.max(1);
+        Duration::from_millis(exp + jitter / 2)
+    }
+}
+
+impl Connection {
+    /// Runs one challenge–response round: reads the server's
+    /// `CHALLENGE`, answers with the reports `respond` produces, and
+    /// returns the `VERDICT`. Call again for another round on the same
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the server closes with a typed
+    /// error (e.g. draining), [`ClientError::Protocol`] on unexpected
+    /// frames, [`ClientError::Io`]/[`ClientError::Frame`] on transport
+    /// or decode failures.
+    pub fn round(
+        &mut self,
+        respond: impl FnOnce(Challenge) -> Vec<Report>,
+    ) -> Result<Verdict, ClientError> {
+        let chal = match self.expect_frame()? {
+            (FrameType::Challenge, payload) => decode_challenge(&payload)?,
+            (FrameType::Error, payload) => return Err(server_error(&payload)),
+            _ => return Err(ClientError::Protocol("expected CHALLENGE")),
+        };
+        let reports = respond(chal);
+        write_frame(
+            &mut self.stream,
+            FrameType::Attest,
+            &encode_stream(&reports),
+        )?;
+        match self.expect_frame()? {
+            (FrameType::Verdict, payload) => Ok(Verdict::decode(&payload)?),
+            (FrameType::Error, payload) => Err(server_error(&payload)),
+            _ => Err(ClientError::Protocol("expected VERDICT")),
+        }
+    }
+
+    /// Sends raw bytes on the open connection — test aid for malformed
+    /// and slow-loris inputs; not part of the protocol.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads the next frame — test aid for driving the protocol
+    /// manually after [`Connection::send_raw`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on clean EOF; transport and decode
+    /// failures as their own variants.
+    pub fn read_next(&mut self) -> Result<(FrameType, Vec<u8>), ClientError> {
+        self.expect_frame()
+    }
+
+    fn expect_frame(&mut self) -> Result<(FrameType, Vec<u8>), ClientError> {
+        match read_frame(&mut self.stream, self.max_frame_len)? {
+            Some(frame) => Ok((frame.frame_type, frame.payload)),
+            None => Err(ClientError::Protocol("server closed the connection")),
+        }
+    }
+}
+
+fn server_error(payload: &[u8]) -> ClientError {
+    match decode_error(payload) {
+        Ok((code, msg)) => ClientError::Server { code, msg },
+        Err(e) => ClientError::Frame(e),
+    }
+}
+
+/// SplitMix64 — the repo's standard deterministic generator (see
+/// `rap-fuzz`), re-implemented locally so the runtime crate does not
+/// depend on the fuzzing crate.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let client = AttestClient::new("127.0.0.1:1", ClientConfig::default());
+        let delays: Vec<Duration> = {
+            let mut rng = SplitMix64::new(7);
+            (0..6).map(|a| client.backoff(a, &mut rng)).collect()
+        };
+        let again: Vec<Duration> = {
+            let mut rng = SplitMix64::new(7);
+            (0..6).map(|a| client.backoff(a, &mut rng)).collect()
+        };
+        assert_eq!(delays, again, "jitter must be deterministic");
+        let cap = ClientConfig::default().backoff_cap.as_millis() as u64;
+        for d in delays {
+            assert!(
+                d.as_millis() as u64 <= cap + cap / 2,
+                "delay {d:?} over cap"
+            );
+        }
+    }
+
+    #[test]
+    fn refused_connection_exhausts_retries() {
+        // Port 1 on loopback is essentially never listening.
+        let config = ClientConfig {
+            retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            connect_timeout: Duration::from_millis(200),
+            ..ClientConfig::default()
+        };
+        let client = AttestClient::new("127.0.0.1:1", config);
+        match client.open("dev") {
+            Err(ClientError::Exhausted { attempts: 3, .. }) => {}
+            Err(ClientError::Io(_)) => {} // some kernels time out instead
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! The service frame protocol: length-prefixed frames carrying the
+//! challenge–response messages between [`AttestClient`] and the
+//! server.
+//!
+//! Every frame starts with a 10-byte little-endian header:
+//!
+//! ```text
+//! magic  "RAPS"        4 bytes
+//! ver    u8 = 1        1
+//! type   u8            1       Hello | Challenge | Attest | Verdict | Error
+//! len    u32           4       payload length in bytes
+//! ```
+//!
+//! followed by `len` payload bytes. Payloads:
+//!
+//! | frame       | direction | payload                                          |
+//! |-------------|-----------|--------------------------------------------------|
+//! | `Hello`     | C → S     | device name, UTF-8                               |
+//! | `Challenge` | S → C     | 32-byte nonce                                    |
+//! | `Attest`    | C → S     | a [`rap_track::encode_stream`] report stream     |
+//! | `Verdict`   | S → C     | accepted `u8`, events `u32`, steps `u64`, detail |
+//! | `Error`     | S → C     | code `u8`, message UTF-8                         |
+//!
+//! [`AttestClient`]: crate::AttestClient
+
+use std::io::{Read, Write};
+
+use rap_track::Challenge;
+
+/// The frame magic, distinct from the report-stream magic (`RAPR`) so
+/// a report stream pasted onto the socket is rejected at the first
+/// header.
+pub const FRAME_MAGIC: &[u8; 4] = b"RAPS";
+/// The service protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 10;
+/// Default cap on payload length; larger frames are rejected before
+/// any allocation.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 4 * 1024 * 1024;
+
+/// The kind of one service frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client opener: names the device about to attest.
+    Hello = 1,
+    /// Server nonce for the next attestation round.
+    Challenge = 2,
+    /// Client evidence: an encoded report stream.
+    Attest = 3,
+    /// Server decision for one round.
+    Verdict = 4,
+    /// Server-side failure; the connection closes after this frame.
+    Error = 5,
+}
+
+impl FrameType {
+    /// All frame types, for exhaustive protocol tests.
+    pub const ALL: [FrameType; 5] = [
+        FrameType::Hello,
+        FrameType::Challenge,
+        FrameType::Attest,
+        FrameType::Verdict,
+        FrameType::Error,
+    ];
+
+    fn from_u8(v: u8) -> Option<FrameType> {
+        match v {
+            1 => Some(FrameType::Hello),
+            2 => Some(FrameType::Challenge),
+            3 => Some(FrameType::Attest),
+            4 => Some(FrameType::Verdict),
+            5 => Some(FrameType::Error),
+            _ => None,
+        }
+    }
+}
+
+/// Why the server is closing the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Connection cap reached; retry after a backoff.
+    Busy = 1,
+    /// The client violated the frame protocol.
+    Protocol = 2,
+    /// A frame exceeded the server's size cap.
+    Oversized = 3,
+    /// The client went silent past the read deadline.
+    Timeout = 4,
+    /// The server is draining for shutdown.
+    Draining = 5,
+    /// Unexpected server-side failure.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::Busy),
+            2 => Some(ErrorCode::Protocol),
+            3 => Some(ErrorCode::Oversized),
+            4 => Some(ErrorCode::Timeout),
+            5 => Some(ErrorCode::Draining),
+            6 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One decoded frame: its type plus the raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type from the header.
+    pub frame_type: FrameType,
+    /// The payload bytes (interpretation depends on `frame_type`).
+    pub payload: Vec<u8>,
+}
+
+/// A failure while decoding a frame (header or payload).
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm
+/// so new decode failures can be added without a breaking change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The buffer ended mid-frame.
+    Truncated {
+        /// Byte offset at which more data was needed.
+        offset: usize,
+    },
+    /// The frame did not start with `RAPS`.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// Unknown frame type byte.
+    BadType {
+        /// The type byte found.
+        found: u8,
+    },
+    /// The declared payload length exceeds the receiver's cap.
+    Oversized {
+        /// The declared payload length.
+        len: u32,
+        /// The receiver's cap.
+        max: u32,
+    },
+    /// The payload did not parse as its frame type demands.
+    BadPayload {
+        /// What the payload failed to provide.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { offset } => write!(f, "frame truncated at byte {offset}"),
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion { found } => {
+                write!(f, "unsupported protocol version {found}")
+            }
+            FrameError::BadType { found } => write!(f, "unknown frame type {found}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds cap of {max}")
+            }
+            FrameError::BadPayload { what } => write!(f, "bad frame payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one frame (header + payload) into a fresh buffer.
+pub fn encode_frame(frame_type: FrameType, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(FRAME_MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(frame_type as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one frame from the front of `buf`, returning the frame and
+/// the number of bytes consumed.
+///
+/// # Errors
+///
+/// Every malformed prefix yields a typed [`FrameError`]; no input
+/// panics. `max_len` bounds the declared payload length *before* the
+/// payload is touched, so an adversarial length field cannot force an
+/// allocation.
+pub fn decode_frame(buf: &[u8], max_len: u32) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated { offset: buf.len() });
+    }
+    if &buf[..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if buf[4] != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion { found: buf[4] });
+    }
+    let frame_type = FrameType::from_u8(buf[5]).ok_or(FrameError::BadType { found: buf[5] })?;
+    let len = u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]);
+    if len > max_len {
+        return Err(FrameError::Oversized { len, max: max_len });
+    }
+    let end = HEADER_LEN + len as usize;
+    if buf.len() < end {
+        return Err(FrameError::Truncated { offset: buf.len() });
+    }
+    Ok((
+        Frame {
+            frame_type,
+            payload: buf[HEADER_LEN..end].to_vec(),
+        },
+        end,
+    ))
+}
+
+/// Reads one frame from a blocking stream.
+///
+/// Returns `Ok(None)` on a clean EOF *before any header byte* — the
+/// peer closed between frames. EOF mid-frame is
+/// [`FrameError::Truncated`]; read timeouts surface as the underlying
+/// [`std::io::Error`] (kind `WouldBlock`/`TimedOut`).
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Frame>, ReadFrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated { offset: got }.into()),
+            Ok(n) => got += n,
+            Err(e) => return Err(ReadFrameError::Io(e)),
+        }
+    }
+    if &header[..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic.into());
+    }
+    if header[4] != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion { found: header[4] }.into());
+    }
+    let frame_type =
+        FrameType::from_u8(header[5]).ok_or(FrameError::BadType { found: header[5] })?;
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if len > max_len {
+        return Err(FrameError::Oversized { len, max: max_len }.into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    offset: HEADER_LEN + got,
+                }
+                .into())
+            }
+            Ok(n) => got += n,
+            Err(e) => return Err(ReadFrameError::Io(e)),
+        }
+    }
+    Ok(Some(Frame {
+        frame_type,
+        payload,
+    }))
+}
+
+/// Writes one frame to a blocking stream and flushes it.
+pub fn write_frame(
+    w: &mut impl Write,
+    frame_type: FrameType,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    w.write_all(&encode_frame(frame_type, payload))?;
+    w.flush()
+}
+
+/// A failure while reading a frame from a stream: either the bytes
+/// were malformed or the transport failed.
+#[derive(Debug)]
+pub enum ReadFrameError {
+    /// The bytes received were not a valid frame.
+    Frame(FrameError),
+    /// The transport failed (including read deadline expiry).
+    Io(std::io::Error),
+}
+
+impl From<FrameError> for ReadFrameError {
+    fn from(e: FrameError) -> ReadFrameError {
+        ReadFrameError::Frame(e)
+    }
+}
+
+impl std::fmt::Display for ReadFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadFrameError::Frame(e) => write!(f, "{e}"),
+            ReadFrameError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadFrameError {}
+
+/// The server's decision for one attestation round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether the evidence verified.
+    pub accepted: bool,
+    /// Path events reconstructed (0 when rejected).
+    pub events: u32,
+    /// Instructions replayed (0 when rejected).
+    pub steps: u64,
+    /// Human-readable detail (the violation, when rejected).
+    pub detail: String,
+}
+
+impl Verdict {
+    /// Encodes this verdict as a `Verdict` frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(13 + self.detail.len());
+        out.push(u8::from(self.accepted));
+        out.extend_from_slice(&self.events.to_le_bytes());
+        out.extend_from_slice(&self.steps.to_le_bytes());
+        out.extend_from_slice(self.detail.as_bytes());
+        out
+    }
+
+    /// Decodes a `Verdict` frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadPayload`] when the payload is shorter than the
+    /// fixed fields or the detail is not UTF-8.
+    pub fn decode(payload: &[u8]) -> Result<Verdict, FrameError> {
+        if payload.len() < 13 {
+            return Err(FrameError::BadPayload {
+                what: "verdict shorter than fixed fields",
+            });
+        }
+        let accepted = payload[0] != 0;
+        let events = u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]);
+        let steps = u64::from_le_bytes([
+            payload[5],
+            payload[6],
+            payload[7],
+            payload[8],
+            payload[9],
+            payload[10],
+            payload[11],
+            payload[12],
+        ]);
+        let detail = std::str::from_utf8(&payload[13..])
+            .map_err(|_| FrameError::BadPayload {
+                what: "verdict detail not UTF-8",
+            })?
+            .to_string();
+        Ok(Verdict {
+            accepted,
+            events,
+            steps,
+            detail,
+        })
+    }
+}
+
+/// Encodes an `Error` frame payload.
+pub fn encode_error(code: ErrorCode, msg: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + msg.len());
+    out.push(code as u8);
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// Decodes an `Error` frame payload into `(code, message)`.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] when the payload is empty, carries an
+/// unknown code, or the message is not UTF-8.
+pub fn decode_error(payload: &[u8]) -> Result<(ErrorCode, String), FrameError> {
+    let (&code, msg) = payload.split_first().ok_or(FrameError::BadPayload {
+        what: "empty error payload",
+    })?;
+    let code = ErrorCode::from_u8(code).ok_or(FrameError::BadPayload {
+        what: "unknown error code",
+    })?;
+    let msg = std::str::from_utf8(msg)
+        .map_err(|_| FrameError::BadPayload {
+            what: "error message not UTF-8",
+        })?
+        .to_string();
+    Ok((code, msg))
+}
+
+/// Decodes a `Challenge` frame payload.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] unless the payload is exactly 32 bytes.
+pub fn decode_challenge(payload: &[u8]) -> Result<Challenge, FrameError> {
+    let bytes: [u8; 32] = payload.try_into().map_err(|_| FrameError::BadPayload {
+        what: "challenge must be exactly 32 bytes",
+    })?;
+    Ok(Challenge(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        for ft in FrameType::ALL {
+            let payload = vec![0xAB; 17];
+            let bytes = encode_frame(ft, &payload);
+            let (frame, used) = decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(frame.frame_type, ft);
+            assert_eq!(frame.payload, payload);
+        }
+    }
+
+    #[test]
+    fn verdict_roundtrip() {
+        let v = Verdict {
+            accepted: true,
+            events: 42,
+            steps: 1_000_000_007,
+            detail: "ok — path reconstructed".to_string(),
+        };
+        assert_eq!(Verdict::decode(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        let payload = encode_error(ErrorCode::Busy, "try later");
+        assert_eq!(
+            decode_error(&payload).unwrap(),
+            (ErrorCode::Busy, "try later".to_string())
+        );
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_payload() {
+        let mut bytes = encode_frame(FrameType::Attest, &[]);
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes, 1024),
+            Err(FrameError::Oversized {
+                len: u32::MAX,
+                max: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn read_frame_clean_eof_is_none() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut empty, DEFAULT_MAX_FRAME_LEN),
+            Ok(None)
+        ));
+    }
+
+    #[test]
+    fn read_frame_mid_frame_eof_is_truncated() {
+        let bytes = encode_frame(FrameType::Hello, b"dev");
+        let mut cut: &[u8] = &bytes[..bytes.len() - 1];
+        assert!(matches!(
+            read_frame(&mut cut, DEFAULT_MAX_FRAME_LEN),
+            Err(ReadFrameError::Frame(FrameError::Truncated { .. }))
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! # rap-serve — the networked attestation service
+//!
+//! RAP-Track's verifier is the Ver endpoint of a remote-attestation
+//! protocol (paper §II-C: Prv sends `(CF_Log, auth)` to a remote Ver);
+//! this crate puts an actual wire between them. Std-only TCP, no
+//! external dependencies, same as the rest of the workspace.
+//!
+//! * [`Server`] — bounded accept loop + worker pool, every connection
+//!   a [`rap_track::VerifierSession`] over clones of one shared
+//!   [`rap_track::Verifier`] (one replay cache for the whole fleet).
+//!   Overload is shed with `ERROR busy`; shutdown drains in-flight
+//!   rounds and flushes `rap-obs`.
+//! * [`AttestClient`] — connect/read deadlines and bounded
+//!   exponential-backoff retry with deterministic SplitMix64 jitter.
+//! * [`frame`] — the length-prefixed frame protocol
+//!   (`HELLO`/`CHALLENGE`/`ATTEST`/`VERDICT`/`ERROR`); report payloads
+//!   reuse [`rap_track::encode_stream`].
+//!
+//! ```no_run
+//! use rap_serve::{AttestClient, ClientConfig, Server, ServerConfig};
+//! use rap_track::Verifier;
+//! # fn verifier() -> Verifier { unimplemented!() }
+//! # fn respond(_: rap_track::Challenge) -> Vec<rap_track::Report> { unimplemented!() }
+//!
+//! let server = Server::start(verifier(), "127.0.0.1:0", ServerConfig::default())?;
+//! let client = AttestClient::new(server.local_addr().to_string(), ClientConfig::default());
+//! let verdict = client.attest_once("device-0", respond)?;
+//! assert!(verdict.accepted);
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod frame;
+
+mod client;
+mod server;
+
+pub use client::{AttestClient, ClientConfig, ClientError, Connection};
+pub use frame::{ErrorCode, Frame, FrameError, FrameType, ReadFrameError, Verdict};
+pub use server::{Server, ServerConfig, ServerStats};

@@ -1,0 +1,477 @@
+//! The attestation server: a bounded accept loop feeding a worker pool
+//! that drives one [`VerifierSession`] per connection.
+//!
+//! All workers clone one [`Verifier`], so every connection shares the
+//! two-level replay cache — a fleet of devices running the same binary
+//! decodes each deterministic stretch once, no matter which connection
+//! saw it first. Session state (nonces, used-challenge set) stays
+//! strictly per-connection: each session is seeded with the server
+//! secret *plus a unique connection id*, so a nonce can never repeat
+//! across connections.
+//!
+//! Overload is shed, not queued: when `max_pending` connections are
+//! already waiting, the accept loop answers `ERROR busy` and closes
+//! instead of growing an unbounded backlog. Shutdown drains: the
+//! listener stops accepting, queued and in-flight rounds finish
+//! (bounded by the per-connection read deadline), and every worker
+//! flushes its `rap-obs` trace ring before joining.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use rap_track::{decode_stream, SessionError, Verifier, VerifierSession};
+
+use crate::frame::{
+    encode_error, read_frame, write_frame, ErrorCode, FrameType, ReadFrameError, Verdict,
+    DEFAULT_MAX_FRAME_LEN,
+};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (each handles one connection at a time).
+    pub threads: usize,
+    /// Connections that may wait for a worker before new arrivals are
+    /// shed with `ERROR busy`.
+    pub max_pending: usize,
+    /// Payload-size cap applied before any allocation.
+    pub max_frame_len: u32,
+    /// Per-connection read deadline; also bounds how long a drain can
+    /// wait on an in-flight round.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// Seed for per-connection nonce derivation (a deployment uses an
+    /// OS RNG; determinism keeps tests reproducible).
+    pub session_secret: Vec<u8>,
+    /// When set, stop accepting and drain after this many connections
+    /// have been accepted — lets scripts run a bounded smoke test
+    /// without signal handling.
+    pub conn_limit: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 4,
+            max_pending: 64,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            session_secret: b"rap-serve-session".to_vec(),
+            conn_limit: None,
+        }
+    }
+}
+
+/// Counters reported by [`Server::shutdown`]/[`Server::join`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted and handed to a worker.
+    pub accepted: u64,
+    /// Connections shed with `ERROR busy`.
+    pub shed: u64,
+    /// Rounds whose evidence verified.
+    pub verdicts_accepted: u64,
+    /// Rounds whose evidence was rejected (wire or session failure).
+    pub verdicts_rejected: u64,
+    /// `Error` frames sent (busy, timeout, protocol, draining …).
+    pub errors_sent: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    verdicts_accepted: AtomicU64,
+    verdicts_rejected: AtomicU64,
+    errors_sent: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            verdicts_accepted: self.verdicts_accepted.load(Ordering::Relaxed),
+            verdicts_rejected: self.verdicts_rejected.load(Ordering::Relaxed),
+            errors_sent: self.errors_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bounded handoff between the accept loop and the workers.
+/// `try_push` refuses instead of blocking — that refusal is the load
+/// shed. `pop` blocks until a connection arrives or the queue closes.
+struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+struct QueueInner {
+    items: VecDeque<(u64, TcpStream)>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> ConnQueue {
+        ConnQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Returns the item on refusal (queue full or closed) so the
+    /// caller can still talk to the connection it failed to enqueue.
+    fn try_push(&self, item: (u64, TcpStream)) -> Result<(), (u64, TcpStream)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.items.len() >= self.cap {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<(u64, TcpStream)> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A running attestation server; dropping it without calling
+/// [`Server::shutdown`] aborts the drain (threads are detached).
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    queue: Arc<ConnQueue>,
+}
+
+impl Server {
+    /// Binds `addr` (`"127.0.0.1:0"` picks an ephemeral port) and
+    /// starts the accept loop plus `config.threads` workers, all
+    /// verifying through clones of `verifier`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(
+        verifier: Verifier,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let queue = Arc::new(ConnQueue::new(config.max_pending));
+        let config = Arc::new(config);
+
+        let worker_handles = (0..config.threads.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let counters = Arc::clone(&counters);
+                let config = Arc::clone(&config);
+                let verifier = verifier.clone();
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    while let Some((conn_id, stream)) = queue.pop() {
+                        rap_obs::gauge!("serve_active_connections").inc();
+                        serve_connection(conn_id, stream, &verifier, &config, &counters, &shutdown);
+                        rap_obs::gauge!("serve_active_connections").dec();
+                    }
+                    // Scoped-thread rule from the fleet layer applies
+                    // here too: flush the trace ring before join.
+                    rap_obs::flush_thread();
+                })
+            })
+            .collect();
+
+        let accept_handle = {
+            let queue = Arc::clone(&queue);
+            let counters = Arc::clone(&counters);
+            let config = Arc::clone(&config);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                accept_loop(listener, &queue, &counters, &config, &shutdown);
+                queue.close();
+            })
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            counters,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            queue,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stats so far (the server keeps running).
+    pub fn stats(&self) -> ServerStats {
+        self.counters.snapshot()
+    }
+
+    /// Graceful drain: stop accepting, let queued and in-flight rounds
+    /// finish (bounded by the read deadline), join every thread, and
+    /// return the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads();
+        self.counters.snapshot()
+    }
+
+    /// Waits for the server to drain on its own — only meaningful with
+    /// [`ServerConfig::conn_limit`], after which the accept loop exits
+    /// and the queue closes without an explicit [`Server::shutdown`].
+    pub fn join(mut self) -> ServerStats {
+        self.join_threads();
+        self.counters.snapshot()
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        self.queue.close();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: &ConnQueue,
+    counters: &Counters,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    let mut next_conn_id = 0u64;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(limit) = config.conn_limit {
+            if next_conn_id >= limit {
+                return;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                let _ = stream.set_write_timeout(Some(config.write_timeout));
+                match queue.try_push((conn_id, stream)) {
+                    Ok(()) => {
+                        counters.accepted.fetch_add(1, Ordering::Relaxed);
+                        rap_obs::counter!("serve_conns_accepted_total").inc();
+                    }
+                    Err((_, mut stream)) => {
+                        // Shed, don't queue: an explicit busy error
+                        // lets the client back off and retry.
+                        counters.shed.fetch_add(1, Ordering::Relaxed);
+                        rap_obs::counter!("serve_conns_shed_total").inc();
+                        counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                        rap_obs::counter!("serve_errors_tx_total").inc();
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+                        let _ = write_frame(
+                            &mut stream,
+                            FrameType::Error,
+                            &encode_error(ErrorCode::Busy, "connection queue full"),
+                        );
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    conn_id: u64,
+    mut stream: TcpStream,
+    verifier: &Verifier,
+    config: &ServerConfig,
+    counters: &Counters,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    // Per-connection secret: server secret ⊕ connection id, so nonces
+    // are unique across connections by construction.
+    let mut secret = config.session_secret.clone();
+    secret.extend_from_slice(&conn_id.to_le_bytes());
+    let mut session = VerifierSession::from_verifier(verifier.clone(), &secret);
+
+    // The opener must be HELLO.
+    match read_frame(&mut stream, config.max_frame_len) {
+        Ok(Some(frame)) if frame.frame_type == FrameType::Hello => {
+            rap_obs::counter!("serve_frames_rx_total").inc();
+            if std::str::from_utf8(&frame.payload).is_err() {
+                send_error(
+                    &mut stream,
+                    counters,
+                    ErrorCode::Protocol,
+                    "hello not UTF-8",
+                );
+                return;
+            }
+        }
+        Ok(Some(_)) => {
+            send_error(&mut stream, counters, ErrorCode::Protocol, "expected HELLO");
+            return;
+        }
+        Ok(None) => return,
+        Err(e) => {
+            send_read_error(&mut stream, counters, &e);
+            return;
+        }
+    }
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            send_error(
+                &mut stream,
+                counters,
+                ErrorCode::Draining,
+                "server draining",
+            );
+            return;
+        }
+
+        let chal = session.issue_challenge();
+        if write_frame(&mut stream, FrameType::Challenge, &chal.0).is_err() {
+            return;
+        }
+        rap_obs::counter!("serve_frames_tx_total").inc();
+
+        let frame = match read_frame(&mut stream, config.max_frame_len) {
+            Ok(Some(frame)) if frame.frame_type == FrameType::Attest => frame,
+            Ok(Some(_)) => {
+                send_error(
+                    &mut stream,
+                    counters,
+                    ErrorCode::Protocol,
+                    "expected ATTEST",
+                );
+                return;
+            }
+            Ok(None) => return, // client closed between rounds
+            Err(e) => {
+                send_read_error(&mut stream, counters, &e);
+                return;
+            }
+        };
+        rap_obs::counter!("serve_frames_rx_total").inc();
+
+        let started = Instant::now();
+        let verdict = match decode_stream(&frame.payload) {
+            Err(wire) => Verdict {
+                accepted: false,
+                events: 0,
+                steps: 0,
+                detail: format!("wire: {wire}"),
+            },
+            Ok(reports) => match session.check_response(&reports) {
+                Ok(path) => Verdict {
+                    accepted: true,
+                    events: path.events.len() as u32,
+                    steps: path.steps,
+                    detail: String::new(),
+                },
+                Err(SessionError::Verification(v)) => Verdict {
+                    accepted: false,
+                    events: 0,
+                    steps: 0,
+                    detail: format!("violation: {v}"),
+                },
+                Err(e) => Verdict {
+                    accepted: false,
+                    events: 0,
+                    steps: 0,
+                    detail: format!("session: {e}"),
+                },
+            },
+        };
+        rap_obs::histogram!("serve_verify_latency_ns", &rap_obs::LATENCY_NS_BOUNDS)
+            .observe(started.elapsed().as_nanos() as u64);
+        if verdict.accepted {
+            counters.verdicts_accepted.fetch_add(1, Ordering::Relaxed);
+            rap_obs::counter!("serve_verdicts_accepted_total").inc();
+        } else {
+            counters.verdicts_rejected.fetch_add(1, Ordering::Relaxed);
+            rap_obs::counter!("serve_verdicts_rejected_total").inc();
+        }
+
+        if write_frame(&mut stream, FrameType::Verdict, &verdict.encode()).is_err() {
+            return;
+        }
+        rap_obs::counter!("serve_frames_tx_total").inc();
+    }
+}
+
+fn send_error(stream: &mut TcpStream, counters: &Counters, code: ErrorCode, msg: &str) {
+    counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+    rap_obs::counter!("serve_errors_tx_total").inc();
+    let _ = write_frame(stream, FrameType::Error, &encode_error(code, msg));
+    let _ = stream.flush();
+}
+
+fn send_read_error(stream: &mut TcpStream, counters: &Counters, err: &ReadFrameError) {
+    let (code, msg) = match err {
+        ReadFrameError::Frame(crate::frame::FrameError::Oversized { .. }) => {
+            (ErrorCode::Oversized, err.to_string())
+        }
+        ReadFrameError::Frame(_) => (ErrorCode::Protocol, err.to_string()),
+        ReadFrameError::Io(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            (ErrorCode::Timeout, "read deadline expired".to_string())
+        }
+        ReadFrameError::Io(_) => (ErrorCode::Internal, err.to_string()),
+    };
+    send_error(stream, counters, code, &msg);
+}

@@ -1,0 +1,555 @@
+//! Loopback integration tests: real TCP connections on 127.0.0.1
+//! against a real [`Server`], covering benign devices, attack
+//! workloads, malformed and oversized frames, slow-loris partial
+//! writes, busy shedding, concurrent mixed clients, and
+//! drain-during-load. Every failure mode must surface as a typed
+//! verdict or error — no connection ever observes a panic or an
+//! unbounded hang.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rap_serve::frame::{decode_error, encode_frame};
+use rap_serve::{
+    AttestClient, ClientConfig, ClientError, ErrorCode, FrameType, Server, ServerConfig,
+};
+use rap_track::{CfaEngine, Challenge, EngineConfig, Key, Report, Verifier};
+
+/// The deployed application every test device runs: the `fibcall`
+/// evaluation workload (calls + a runtime-variable loop, so the
+/// CF_Log is non-trivial but verification stays fast).
+fn deployed() -> (rap_link::LinkedProgram, workloads::Workload) {
+    let w = workloads::by_name("fibcall").expect("fibcall workload exists");
+    let linked =
+        rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).expect("workload links");
+    (linked, w)
+}
+
+fn test_key() -> Key {
+    rap_track::device_key("loopback")
+}
+
+fn test_verifier(linked: &rap_link::LinkedProgram) -> Verifier {
+    Verifier::builder()
+        .key(test_key())
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("all builder fields set")
+}
+
+/// Produces a benign signed report stream for `chal`.
+fn respond_benign(
+    linked: &rap_link::LinkedProgram,
+    w: &workloads::Workload,
+) -> impl Fn(Challenge) -> Vec<Report> {
+    let linked = linked.clone();
+    let attach = w.attach;
+    let max_instrs = w.max_instrs;
+    move |chal| {
+        let engine = CfaEngine::new(test_key());
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        attach(&mut machine);
+        engine
+            .attest(
+                &mut machine,
+                &linked.map,
+                chal,
+                EngineConfig {
+                    max_instrs: max_instrs * 2,
+                    watermark: Some(256),
+                },
+            )
+            .expect("benign attestation runs")
+            .reports
+    }
+}
+
+/// Produces a forged stream: the strongest adversary (holds the key)
+/// redirects one MTB packet and re-signs — authentication passes,
+/// replay must reject.
+fn respond_forged(
+    linked: &rap_link::LinkedProgram,
+    w: &workloads::Workload,
+) -> impl Fn(Challenge) -> Vec<Report> {
+    let benign = respond_benign(linked, w);
+    move |chal| {
+        let mut reports = benign(chal);
+        let seq = reports
+            .iter()
+            .position(|r| !r.log.mtb.is_empty())
+            .expect("some report has MTB packets");
+        let mut log = reports[seq].log.clone();
+        log.mtb[0].dest ^= 0x40;
+        reports[seq] = Report::new(
+            &test_key(),
+            chal,
+            reports[seq].h_mem,
+            log,
+            seq as u32,
+            reports[seq].is_final,
+            reports[seq].overflow,
+        );
+        reports
+    }
+}
+
+fn quick_client(addr: std::net::SocketAddr) -> AttestClient {
+    AttestClient::new(
+        addr.to_string(),
+        ClientConfig {
+            retries: 2,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(50),
+            read_timeout: Duration::from_secs(10),
+            ..ClientConfig::default()
+        },
+    )
+}
+
+#[test]
+fn benign_round_is_accepted() {
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("binds");
+    let client = quick_client(server.local_addr());
+
+    let verdict = client
+        .attest_once("device-0", respond_benign(&linked, &w))
+        .expect("round completes");
+    assert!(verdict.accepted, "benign evidence accepted: {verdict:?}");
+    assert!(verdict.events > 0, "path has events");
+    assert!(verdict.steps > 0, "path has steps");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.verdicts_accepted, 1);
+    assert_eq!(stats.verdicts_rejected, 0);
+}
+
+#[test]
+fn attack_round_is_rejected_with_typed_detail() {
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("binds");
+    let client = quick_client(server.local_addr());
+
+    let verdict = client
+        .attest_once("attacker-0", respond_forged(&linked, &w))
+        .expect("round completes (rejection is a verdict, not an error)");
+    assert!(!verdict.accepted);
+    assert!(
+        verdict.detail.starts_with("violation: "),
+        "typed violation detail, got {:?}",
+        verdict.detail
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.verdicts_rejected, 1);
+}
+
+#[test]
+fn rounds_reuse_one_connection_with_fresh_nonces() {
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("binds");
+    let client = quick_client(server.local_addr());
+
+    let mut conn = client.open("device-0").expect("opens");
+    let respond = respond_benign(&linked, &w);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..3 {
+        let mut captured = None;
+        let verdict = conn
+            .round(|chal| {
+                captured = Some(chal);
+                respond(chal)
+            })
+            .expect("round completes");
+        assert!(verdict.accepted);
+        assert!(
+            seen.insert(captured.expect("challenge captured").0),
+            "nonce repeated across rounds"
+        );
+    }
+    drop(conn);
+    let stats = server.shutdown();
+    assert_eq!(stats.verdicts_accepted, 3);
+    assert_eq!(stats.accepted, 1, "one connection served all rounds");
+}
+
+#[test]
+fn nonces_are_unique_across_connections() {
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("binds");
+    let client = quick_client(server.local_addr());
+    let respond = respond_benign(&linked, &w);
+
+    let mut seen = std::collections::HashSet::new();
+    for device in 0..4 {
+        let mut captured = None;
+        let verdict = client
+            .attest_once(&format!("device-{device}"), |chal| {
+                captured = Some(chal);
+                respond(chal)
+            })
+            .expect("round completes");
+        assert!(verdict.accepted);
+        assert!(
+            seen.insert(captured.expect("challenge captured").0),
+            "nonce repeated across connections"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_attest_payload_gets_rejected_verdict() {
+    let (linked, _w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("binds");
+    let client = quick_client(server.local_addr());
+
+    let mut conn = client.open("garbler").expect("opens");
+    let (ft, _chal) = conn.read_next().expect("challenge arrives");
+    assert_eq!(ft, FrameType::Challenge);
+    // A well-formed frame whose payload is not a report stream.
+    conn.send_raw(&encode_frame(FrameType::Attest, b"not a report stream"))
+        .expect("writes");
+    match conn.read_next().expect("verdict arrives") {
+        (FrameType::Verdict, payload) => {
+            let v = rap_serve::Verdict::decode(&payload).expect("verdict decodes");
+            assert!(!v.accepted);
+            assert!(v.detail.starts_with("wire: "), "got {:?}", v.detail);
+        }
+        other => panic!("expected verdict, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bad_magic_and_oversized_frames_get_typed_errors() {
+    let (linked, _w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_frame_len: 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds");
+    let client = quick_client(server.local_addr());
+
+    // Bad magic after HELLO → protocol error, close.
+    let mut conn = client.open("mangler").expect("opens");
+    let _ = conn.read_next().expect("challenge arrives");
+    conn.send_raw(b"XXXXXXXXXXXXXXXXXXXX").expect("writes");
+    match conn.read_next().expect("error frame arrives") {
+        (FrameType::Error, payload) => {
+            let (code, _) = decode_error(&payload).expect("error decodes");
+            assert_eq!(code, ErrorCode::Protocol);
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Oversized declared length → oversized error, close, before any
+    // payload allocation.
+    let mut conn = client.open("bloater").expect("opens");
+    let _ = conn.read_next().expect("challenge arrives");
+    let mut huge = encode_frame(FrameType::Attest, &[]);
+    huge[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+    conn.send_raw(&huge).expect("writes");
+    match conn.read_next().expect("error frame arrives") {
+        (FrameType::Error, payload) => {
+            let (code, _) = decode_error(&payload).expect("error decodes");
+            assert_eq!(code, ErrorCode::Oversized);
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_write_is_deadline_bounded() {
+    let (linked, _w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds");
+    let client = quick_client(server.local_addr());
+
+    let started = Instant::now();
+    let mut conn = client.open("loris").expect("opens");
+    let _ = conn.read_next().expect("challenge arrives");
+    // Half a header, then silence: the server must not wait forever.
+    conn.send_raw(b"RAPS\x01").expect("writes");
+    match conn.read_next().expect("error frame arrives") {
+        (FrameType::Error, payload) => {
+            let (code, _) = decode_error(&payload).expect("error decodes");
+            assert_eq!(code, ErrorCode::Timeout);
+        }
+        other => panic!("expected timeout error, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout path must be deadline-bounded"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn overload_is_shed_with_busy() {
+    let (linked, _w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 1,
+            max_pending: 1,
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds");
+    let client = AttestClient::new(
+        server.local_addr().to_string(),
+        ClientConfig {
+            retries: 0,
+            ..ClientConfig::default()
+        },
+    );
+
+    // Occupy the single worker (it blocks reading our ATTEST)...
+    let mut held = client.open("holder").expect("opens");
+    let _ = held.read_next().expect("challenge arrives");
+    std::thread::sleep(Duration::from_millis(50));
+    // ...fill the queue with a second connection...
+    let queued = client.open("waiter").expect("opens");
+    std::thread::sleep(Duration::from_millis(50));
+    // ...so a third is shed.
+    let mut shed = client.open("shed").expect("TCP connect still succeeds");
+    match shed.read_next() {
+        Ok((FrameType::Error, payload)) => {
+            let (code, _) = decode_error(&payload).expect("error decodes");
+            assert_eq!(code, ErrorCode::Busy);
+        }
+        // The busy frame may race the close; a reset is also a shed.
+        Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {}
+        other => panic!("expected busy shed, got {other:?}"),
+    }
+
+    // Close both held connections so the drain doesn't wait out the
+    // read deadline.
+    drop(queued);
+    drop(held);
+    let stats = server.shutdown();
+    assert!(stats.shed >= 1, "at least one connection shed: {stats:?}");
+}
+
+/// The acceptance-criteria test: 8 concurrent clients mixing benign,
+/// attack, and malformed traffic; every client gets the correct typed
+/// verdict, the server drains cleanly, and the whole thing is
+/// deadline-bounded.
+#[test]
+fn eight_concurrent_mixed_clients_then_clean_drain() {
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds");
+    let addr = server.local_addr();
+
+    let benign_ok = AtomicU64::new(0);
+    let attacks_rejected = AtomicU64::new(0);
+    let malformed_rejected = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for i in 0..8u64 {
+            let linked = &linked;
+            let w = &w;
+            let benign_ok = &benign_ok;
+            let attacks_rejected = &attacks_rejected;
+            let malformed_rejected = &malformed_rejected;
+            scope.spawn(move || {
+                let client = quick_client(addr);
+                match i % 3 {
+                    0 => {
+                        let v = client
+                            .attest_once(&format!("benign-{i}"), respond_benign(linked, w))
+                            .expect("benign round completes");
+                        assert!(v.accepted, "client {i}: {v:?}");
+                        benign_ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    1 => {
+                        let v = client
+                            .attest_once(&format!("attacker-{i}"), respond_forged(linked, w))
+                            .expect("attack round completes");
+                        assert!(!v.accepted, "client {i}: forged evidence must reject");
+                        assert!(v.detail.starts_with("violation: "), "client {i}: {v:?}");
+                        attacks_rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        let mut conn = client.open(&format!("garbler-{i}")).expect("opens");
+                        let (ft, _) = conn.read_next().expect("challenge arrives");
+                        assert_eq!(ft, FrameType::Challenge);
+                        conn.send_raw(&encode_frame(FrameType::Attest, &[0xEE; 40]))
+                            .expect("writes");
+                        match conn.read_next().expect("verdict arrives") {
+                            (FrameType::Verdict, payload) => {
+                                let v = rap_serve::Verdict::decode(&payload).unwrap();
+                                assert!(!v.accepted, "client {i}: garbage must reject");
+                                assert!(v.detail.starts_with("wire: "), "client {i}: {v:?}");
+                            }
+                            other => panic!("client {i}: expected verdict, got {other:?}"),
+                        }
+                        malformed_rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let started = Instant::now();
+    let stats = server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drain must be deadline-bounded"
+    );
+    assert_eq!(benign_ok.load(Ordering::Relaxed), 3);
+    assert_eq!(attacks_rejected.load(Ordering::Relaxed), 3);
+    assert_eq!(malformed_rejected.load(Ordering::Relaxed), 2);
+    assert_eq!(stats.accepted, 8);
+    assert_eq!(stats.verdicts_accepted, 3);
+    assert_eq!(stats.verdicts_rejected, 5);
+}
+
+#[test]
+fn drain_during_load_finishes_inflight_rounds() {
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            read_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds");
+    let addr = server.local_addr();
+
+    let completed = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for i in 0..3u64 {
+            let linked = &linked;
+            let w = &w;
+            let completed = &completed;
+            scope.spawn(move || {
+                let client = AttestClient::new(
+                    addr.to_string(),
+                    ClientConfig {
+                        retries: 0,
+                        read_timeout: Duration::from_secs(5),
+                        ..ClientConfig::default()
+                    },
+                );
+                let respond = respond_benign(linked, w);
+                // Keep attesting until the server goes away.
+                for _ in 0..200 {
+                    match client.attest_once(&format!("load-{i}"), &respond) {
+                        Ok(v) => {
+                            assert!(v.accepted);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Server { code, .. }) => {
+                            assert!(
+                                code == ErrorCode::Draining || code == ErrorCode::Busy,
+                                "unexpected server error {code}"
+                            );
+                            break;
+                        }
+                        Err(_) => break, // refused/reset after drain
+                    }
+                }
+            });
+        }
+
+        // Let some rounds complete, then drain under load.
+        while completed.load(Ordering::Relaxed) < 2 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let started = Instant::now();
+        let stats = server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "drain under load must be deadline-bounded"
+        );
+        // Rounds finished before and during the drain — nothing was
+        // dropped mid-verification.
+        assert!(
+            stats.verdicts_accepted >= 2,
+            "rounds completed before and during drain: {stats:?}"
+        );
+    });
+
+    assert!(completed.load(Ordering::Relaxed) >= 2);
+}
+
+#[test]
+fn conn_limit_drains_automatically() {
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig {
+            conn_limit: Some(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds");
+    let addr = server.local_addr();
+    let client = quick_client(addr);
+
+    for i in 0..2 {
+        let v = client
+            .attest_once(&format!("device-{i}"), respond_benign(&linked, &w))
+            .expect("round completes");
+        assert!(v.accepted);
+    }
+    let stats = server.join();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.verdicts_accepted, 2);
+}

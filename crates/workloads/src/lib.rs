@@ -220,7 +220,12 @@ mod tests {
                     },
                 )
                 .unwrap_or_else(|e| panic!("{}: attest: {e}", w.name));
-            let verifier = rap_track::Verifier::new(key, linked.image.clone(), linked.map.clone());
+            let verifier = rap_track::Verifier::builder()
+                .key(key)
+                .image(linked.image.clone())
+                .map(linked.map.clone())
+                .build()
+                .expect("key/image/map are all set");
             let path = verifier
                 .verify(chal, &att.reports)
                 .unwrap_or_else(|e| panic!("{}: verify: {e}", w.name));

@@ -61,7 +61,12 @@ fn attest_and_verify(
     let att = engine
         .attest(&mut machine, &linked.map, chal, EngineConfig::default())
         .map_err(|e| format!("execution fault: {e}"))?;
-    let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+    let verifier = Verifier::builder()
+        .key(key)
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .map_err(|e| format!("building verifier: {e}"))?;
     verifier
         .verify(chal, &att.reports)
         .map(|_| ())

@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         machine.fabric.mtb().total_recorded(),
         att.combined_log().mtb.len()
     );
-    let verifier = Verifier::new(key.clone(), linked.image.clone(), linked.map.clone());
+    let verifier = Verifier::builder()
+        .key(key.clone())
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("key/image/map are all set");
     match verifier.verify(chal, &att.reports) {
         Ok(_) => println!("  UNEXPECTED: truncated evidence verified"),
         Err(v) => println!("  rejected as expected — {v}"),

@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Verifier side.
-    let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+    let verifier = Verifier::builder()
+        .key(key)
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()?;
     let path = verifier.verify(chal, &att.reports)?;
     println!(
         "\nreconstructed control-flow path ({} events):",

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         att.cflog_bytes()
     );
 
-    let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+    let verifier = Verifier::builder()
+        .key(key)
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()?;
     let path = verifier.verify(chal, &att.reports)?;
 
     // Audit: every jump-table dispatch is one executed pump command.

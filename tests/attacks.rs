@@ -21,13 +21,14 @@ fn attest(
 }
 
 fn verify(linked: &LinkedProgram, chal: Challenge, reports: &[Report]) -> Result<(), Violation> {
-    Verifier::new(
-        device_key(KEY_SEED),
-        linked.image.clone(),
-        linked.map.clone(),
-    )
-    .verify(chal, reports)
-    .map(|_| ())
+    Verifier::builder()
+        .key(device_key(KEY_SEED))
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("key/image/map are all set")
+        .verify(chal, reports)
+        .map(|_| ())
 }
 
 fn rop_victim() -> LinkedProgram {
@@ -113,11 +114,12 @@ fn jop_via_jump_table_corruption_is_reported() {
     // is visible evidence. Depending on downstream control flow the
     // replay either diverges (violation) or surfaces the anomalous
     // dispatch target in the path.
-    let verifier = Verifier::new(
-        device_key(KEY_SEED),
-        linked.image.clone(),
-        linked.map.clone(),
-    );
+    let verifier = Verifier::builder()
+        .key(device_key(KEY_SEED))
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("key/image/map are all set");
     match verifier.verify(chal, &att.reports) {
         Err(_) => {} // diverged: detected
         Ok(path) => {

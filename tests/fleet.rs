@@ -5,8 +5,8 @@
 use armv8m_isa::{Asm, Reg};
 use rap_link::{link, LinkOptions};
 use rap_track::{
-    device_key, verify_fleet, verify_fleet_stream, verify_sequential, BatchOptions, CfaEngine,
-    Challenge, EngineConfig, FleetJob, Report, Verifier, Violation,
+    device_key, BatchOptions, CfaEngine, Challenge, EngineConfig, FleetJob, Report, Verifier,
+    Violation,
 };
 
 /// Attests one workload and returns everything needed to build jobs.
@@ -46,6 +46,16 @@ fn attest_workload(w: &workloads::Workload, seed: u64) -> Attested {
         chal,
         reports: att.reports,
     }
+}
+
+/// Builds a verifier for an attested workload through the builder API.
+fn verifier_for(attested: &Attested) -> Verifier {
+    Verifier::builder()
+        .key(attested.key.clone())
+        .image(attested.image.clone())
+        .map(attested.map.clone())
+        .build()
+        .expect("key/image/map are all set")
 }
 
 /// Batch verification must be observationally identical to sequential
@@ -97,18 +107,14 @@ fn batch_matches_sequential_over_workloads() {
         // Replicate so the batch actually exercises the worker pool.
         let jobs: Vec<FleetJob> = (0..4).flat_map(|_| jobs.clone()).collect();
 
-        let seq_verifier = Verifier::new(
-            attested.key.clone(),
-            attested.image.clone(),
-            attested.map.clone(),
-        );
-        let batch_verifier = Verifier::new(
-            attested.key.clone(),
-            attested.image.clone(),
-            attested.map.clone(),
-        );
-        let sequential = verify_sequential(&seq_verifier, jobs.clone());
-        let batched = verify_fleet(&batch_verifier, jobs, BatchOptions::with_threads(8));
+        let seq_verifier = verifier_for(&attested);
+        let batch_verifier = verifier_for(&attested);
+        let sequential = seq_verifier
+            .fleet(BatchOptions::with_threads(1))
+            .sequential(jobs.clone());
+        let batched = batch_verifier
+            .fleet(BatchOptions::with_threads(8))
+            .run(jobs);
 
         assert_eq!(sequential.len(), batched.len());
         for (s, b) in sequential.iter().zip(&batched) {
@@ -171,17 +177,46 @@ fn streaming_path_matches_slice_path() {
             reports: attested.reports.clone(),
         })
         .collect();
-    let verifier = Verifier::new(
-        attested.key.clone(),
-        attested.image.clone(),
-        attested.map.clone(),
-    );
-    let sliced = verify_fleet(&verifier, jobs.clone(), BatchOptions::with_threads(4));
-    let streamed = verify_fleet_stream(&verifier, jobs, BatchOptions::with_threads(4));
+    let verifier = verifier_for(&attested);
+    let fleet = verifier.fleet(BatchOptions::with_threads(4));
+    let sliced = fleet.run(jobs.clone());
+    let streamed = fleet.stream(jobs);
     assert_eq!(sliced.len(), streamed.len());
     for (a, b) in sliced.iter().zip(&streamed) {
         assert_eq!(a.device, b.device, "submission order must be preserved");
         assert_eq!(a.result, b.result);
+    }
+}
+
+/// The deprecated free functions remain exact shims over the handle:
+/// one release of overlap so downstream callers can migrate.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_fleet_handle() {
+    let w = &workloads::all()[0];
+    let attested = attest_workload(w, 29);
+    let jobs: Vec<FleetJob> = (0..6)
+        .map(|i| FleetJob {
+            device: format!("shim-{i}"),
+            chal: attested.chal,
+            reports: attested.reports.clone(),
+        })
+        .collect();
+    let verifier = verifier_for(&attested);
+    let opts = BatchOptions::with_threads(4);
+
+    let via_shim = rap_track::verify_fleet(&verifier, jobs.clone(), opts);
+    let via_handle = verifier.fleet(opts).run(jobs.clone());
+    assert_eq!(via_shim.len(), via_handle.len());
+    for (a, b) in via_shim.iter().zip(&via_handle) {
+        assert_eq!((&a.device, &a.result), (&b.device, &b.result));
+    }
+
+    let via_stream_shim = rap_track::verify_fleet_stream(&verifier, jobs.clone(), opts);
+    let via_seq_shim = rap_track::verify_sequential(&verifier, jobs);
+    assert_eq!(via_stream_shim.len(), via_seq_shim.len());
+    for (a, b) in via_stream_shim.iter().zip(&via_seq_shim) {
+        assert_eq!((&a.device, &a.result), (&b.device, &b.result));
     }
 }
 
@@ -240,12 +275,8 @@ fn stress_interleaved_failures_across_8_workers() {
         })
         .collect();
 
-    let verifier = Verifier::new(
-        attested.key.clone(),
-        attested.image.clone(),
-        attested.map.clone(),
-    );
-    let outcomes = verify_fleet(&verifier, jobs, BatchOptions::with_threads(8));
+    let verifier = verifier_for(&attested);
+    let outcomes = verifier.fleet(BatchOptions::with_threads(8)).run(jobs);
 
     assert_eq!(outcomes.len(), 40);
     for (i, outcome) in outcomes.iter().enumerate() {
@@ -326,11 +357,7 @@ fn truncated_log_yields_log_exhausted() {
         true,
         false,
     )];
-    let verifier = Verifier::new(
-        attested.key.clone(),
-        attested.image.clone(),
-        attested.map.clone(),
-    );
+    let verifier = verifier_for(&attested);
     match verifier.verify(attested.chal, &truncated) {
         Err(Violation::LogExhausted { .. }) => {}
         other => panic!("expected LogExhausted, got {other:?}"),
@@ -357,11 +384,7 @@ fn trailing_and_cut_streams_are_typed() {
         true,
         false,
     )];
-    let verifier = Verifier::new(
-        attested.key.clone(),
-        attested.image.clone(),
-        attested.map.clone(),
-    );
+    let verifier = verifier_for(&attested);
     match verifier.verify(attested.chal, &trailing) {
         Err(Violation::TrailingLog { .. }) | Err(Violation::UnexpectedSource { .. }) => {}
         other => panic!("expected TrailingLog/UnexpectedSource, got {other:?}"),
@@ -388,11 +411,7 @@ fn trailing_and_cut_streams_are_typed() {
 #[test]
 fn replay_cache_shared_across_jobs() {
     let attested = mtb_heavy_attested();
-    let verifier = Verifier::new(
-        attested.key.clone(),
-        attested.image.clone(),
-        attested.map.clone(),
-    );
+    let verifier = verifier_for(&attested);
 
     let first = verifier
         .verify(attested.chal, &attested.reports)
@@ -433,11 +452,7 @@ fn replay_cache_shared_across_jobs() {
 #[test]
 fn stepper_quanta_match_one_shot_verify() {
     let attested = mtb_heavy_attested();
-    let verifier = Verifier::new(
-        attested.key.clone(),
-        attested.image.clone(),
-        attested.map.clone(),
-    );
+    let verifier = verifier_for(&attested);
     let oneshot = verifier.verify(attested.chal, &attested.reports);
 
     let mut session = verifier

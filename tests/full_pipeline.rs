@@ -179,7 +179,12 @@ fn verifier_accepts_only_matching_binary() {
     // A verifier expecting a *different* binary rejects on H_MEM.
     let other = workloads::geiger::workload();
     let other_linked = link(&other.module, 0, LinkOptions::default()).unwrap();
-    let wrong_verifier = Verifier::new(key, other_linked.image.clone(), other_linked.map.clone());
+    let wrong_verifier = Verifier::builder()
+        .key(key)
+        .image(other_linked.image.clone())
+        .map(other_linked.map.clone())
+        .build()
+        .expect("key/image/map are all set");
     assert!(matches!(
         wrong_verifier.verify(chal, &att.reports),
         Err(rap_track::Violation::HMemMismatch)

@@ -34,7 +34,12 @@ fn run_with_oracle(
             },
         )
         .unwrap_or_else(|e| panic!("{}: attest: {e}", w.name));
-    let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+    let verifier = Verifier::builder()
+        .key(key)
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("key/image/map are all set");
     let path = verifier
         .verify(chal, &att.reports)
         .unwrap_or_else(|e| panic!("{}: verify: {e}", w.name));
@@ -211,7 +216,12 @@ fn transform_preserves_results_and_verifier_accepts_every_workload() {
         );
 
         // Verifier acceptance, ending in a reconstructed HALT.
-        let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+        let verifier = Verifier::builder()
+            .key(key)
+            .image(linked.image.clone())
+            .map(linked.map.clone())
+            .build()
+            .expect("key/image/map are all set");
         let path = verifier
             .verify(chal, &att.reports)
             .unwrap_or_else(|e| panic!("{}: verify: {e}", w.name));

@@ -13,8 +13,8 @@ use std::sync::Mutex;
 use rap_link::{link, LinkOptions};
 use rap_obs::Snapshot;
 use rap_track::{
-    device_key, verify_fleet, verify_sequential, BatchOptions, CfaEngine, Challenge, EngineConfig,
-    FleetJob, Report, Verifier, VerifierStats,
+    device_key, BatchOptions, CfaEngine, Challenge, EngineConfig, FleetJob, Report, Verifier,
+    VerifierStats,
 };
 
 static OBS_LOCK: Mutex<()> = Mutex::new(());
@@ -69,11 +69,12 @@ fn fleet_jobs(attested: &Attested, copies: usize) -> Vec<FleetJob> {
 }
 
 fn fresh_verifier(attested: &Attested) -> Verifier {
-    Verifier::new(
-        attested.key.clone(),
-        attested.image.clone(),
-        attested.map.clone(),
-    )
+    Verifier::builder()
+        .key(attested.key.clone())
+        .image(attested.image.clone())
+        .map(attested.map.clone())
+        .build()
+        .expect("key/image/map are all set")
 }
 
 /// The registry movement attributable to one verification run.
@@ -119,14 +120,18 @@ fn fleet_counters_match_sequential_totals() {
 
     let seq_verifier = fresh_verifier(&attested);
     let seq_delta = delta_of(|| {
-        let outcomes = verify_sequential(&seq_verifier, jobs.clone());
+        let outcomes = seq_verifier
+            .fleet(BatchOptions::with_threads(1))
+            .sequential(jobs.clone());
         assert!(outcomes.iter().all(|o| o.accepted()));
     });
     let seq_stats = seq_verifier.stats();
 
     let fleet_verifier = fresh_verifier(&attested);
     let fleet_delta = delta_of(|| {
-        let outcomes = verify_fleet(&fleet_verifier, jobs.clone(), BatchOptions::with_threads(4));
+        let outcomes = fleet_verifier
+            .fleet(BatchOptions::with_threads(4))
+            .run(jobs.clone());
         assert!(outcomes.iter().all(|o| o.accepted()));
     });
     let fleet_stats = fleet_verifier.stats();
@@ -196,7 +201,7 @@ fn histogram_bucket_sums_equal_counts() {
     let jobs = fleet_jobs(&attested, 8);
     let verifier = fresh_verifier(&attested);
     let delta = delta_of(|| {
-        let outcomes = verify_fleet(&verifier, jobs, BatchOptions::with_threads(4));
+        let outcomes = verifier.fleet(BatchOptions::with_threads(4)).run(jobs);
         assert!(outcomes.iter().all(|o| o.accepted()));
     });
 
@@ -282,7 +287,9 @@ fn trace_collector_records_only_when_enabled() {
     rap_obs::disable_tracing();
     let _ = rap_obs::drain_events();
     let verifier = fresh_verifier(&attested);
-    let outcomes = verify_fleet(&verifier, jobs.clone(), BatchOptions::with_threads(4));
+    let outcomes = verifier
+        .fleet(BatchOptions::with_threads(4))
+        .run(jobs.clone());
     assert!(outcomes.iter().all(|o| o.accepted()));
     assert!(
         rap_obs::drain_events().is_empty(),
@@ -291,7 +298,7 @@ fn trace_collector_records_only_when_enabled() {
 
     rap_obs::enable_tracing(0);
     let verifier = fresh_verifier(&attested);
-    let outcomes = verify_fleet(&verifier, jobs, BatchOptions::with_threads(4));
+    let outcomes = verifier.fleet(BatchOptions::with_threads(4)).run(jobs);
     assert!(outcomes.iter().all(|o| o.accepted()));
     rap_obs::disable_tracing();
     let events = rap_obs::drain_events();

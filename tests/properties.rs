@@ -516,7 +516,12 @@ fn mutated_logs_never_panic_the_verifier() {
     let att = engine
         .attest(&mut machine, &linked.map, chal, EngineConfig::default())
         .expect("attests");
-    let verifier = Verifier::new(key.clone(), linked.image.clone(), linked.map.clone());
+    let verifier = Verifier::builder()
+        .key(key.clone())
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("key/image/map are all set");
 
     for_each_case("mutated_logs_never_panic_the_verifier", 64, |rng| {
         // Mutate the log, then re-sign with the device key (the
@@ -588,7 +593,12 @@ fn random_programs_attest_and_verify() {
         );
 
         // Lossless verification.
-        let verifier = Verifier::new(key, linked.image.clone(), linked.map.clone());
+        let verifier = Verifier::builder()
+            .key(key)
+            .image(linked.image.clone())
+            .map(linked.map.clone())
+            .build()
+            .expect("key/image/map are all set");
         let path = verifier.verify(chal, &att.reports).expect("verifies");
         assert!(!path.events.is_empty());
     });
