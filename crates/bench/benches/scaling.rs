@@ -12,7 +12,11 @@
 //!   per case;
 //! * `--enforce` exits non-zero if the 4-thread speedup is below 1.5×
 //!   — skipped (with a note) on hosts with fewer than 4 cores, where
-//!   the pool cannot physically scale.
+//!   the pool cannot physically scale. Under `--enforce`, a case whose
+//!   thread count exceeds the host's parallelism records
+//!   `speedup_skipped` instead of `speedup_vs_1`: a sub-1× "speedup"
+//!   measured on an oversubscribed host is a fact about the host, not
+//!   the pool, and committing it as a figure misleads.
 //!
 //! The final markdown table is pasted into README §"Scaling".
 
@@ -113,7 +117,7 @@ fn main() {
     let thread_counts: &[usize] = if args.quick { &[1, 4] } else { &[1, 2, 4, 8] };
     let group = BenchGroup::new("fleet").samples(if args.quick { 3 } else { 5 });
     let mut report = BenchReport::default();
-    let mut rows: Vec<(usize, rap_bench::harness::Stats, f64)> = Vec::new();
+    let mut rows: Vec<(usize, rap_bench::harness::Stats, Option<f64>)> = Vec::new();
     let mut baseline_median = 0.0f64;
     for &threads in thread_counts {
         let case = format!("threads_{threads}");
@@ -122,19 +126,32 @@ fn main() {
         if threads == 1 {
             baseline_median = median;
         }
-        let speedup = if median > 0.0 {
+        let measured = if median > 0.0 {
             baseline_median / median
         } else {
             f64::INFINITY
         };
-        report.record_with(
-            &format!("fleet/{case}"),
-            stats,
-            [
-                ("threads", Json::Uint(threads as u64)),
-                ("speedup_vs_1", Json::Num(speedup)),
-            ],
-        );
+        // Refuse to record a speedup the host could not have produced:
+        // with fewer cores than pool threads the figure measures
+        // oversubscription, not the dispatcher.
+        let speedup = if !args.enforce || cores >= threads {
+            Some(measured)
+        } else {
+            println!(
+                "note: threads_{threads} speedup not recorded — host has {cores} core(s) \
+                 (measured {measured:.2}x would reflect oversubscription)"
+            );
+            None
+        };
+        let mut extras = vec![("threads", Json::Uint(threads as u64))];
+        match speedup {
+            Some(s) => extras.push(("speedup_vs_1", Json::Num(s))),
+            None => extras.push((
+                "speedup_skipped",
+                Json::Str(format!("host has {cores} core(s) < {threads} threads")),
+            )),
+        }
+        report.record_with(&format!("fleet/{case}"), stats, extras);
         rows.push((threads, stats, speedup));
     }
 
@@ -142,8 +159,12 @@ fn main() {
     println!("\n| threads | median | p95 | speedup vs 1 |");
     println!("|---:|---:|---:|---:|");
     for (threads, stats, speedup) in &rows {
+        let speedup = match speedup {
+            Some(s) => format!("{s:.2}×"),
+            None => "— (host-limited)".to_string(),
+        };
         println!(
-            "| {threads} | {:.1}µs | {:.1}µs | {speedup:.2}× |",
+            "| {threads} | {:.1}µs | {:.1}µs | {speedup} |",
             stats.median.as_nanos() as f64 / 1_000.0,
             stats.p95.as_nanos() as f64 / 1_000.0,
         );
@@ -157,7 +178,7 @@ fn main() {
     if args.enforce {
         let four = rows.iter().find(|(t, _, _)| *t == 4);
         match four {
-            Some((_, _, speedup)) if cores >= 4 => {
+            Some((_, _, Some(speedup))) => {
                 if *speedup < MIN_SPEEDUP_4 {
                     eprintln!(
                         "FAIL: 4-thread speedup {speedup:.2}x is below the \
@@ -167,10 +188,10 @@ fn main() {
                 }
                 println!("gate: 4-thread speedup {speedup:.2}x >= {MIN_SPEEDUP_4}x — ok");
             }
-            Some((_, _, speedup)) => {
+            Some((_, _, None)) => {
                 println!(
                     "gate: skipped — host has {cores} core(s), a 4-thread pool cannot \
-                     scale here (measured {speedup:.2}x)"
+                     scale here (speedup not recorded)"
                 );
             }
             None => println!("gate: skipped — no threads_4 case in this run"),

@@ -1,17 +1,35 @@
-//! Loopback service throughput: full challenge/attest/verdict rounds
-//! per second through `rap-serve` at 1..=8 concurrent clients, each
-//! holding one persistent connection against a shared server.
+//! Loopback service saturation: challenge/attest/verdict rounds per
+//! second through `rap-serve` at 1..=8 concurrent clients, comparing
+//! two connection disciplines against a shared server:
 //!
-//! Every round is end-to-end: the server issues a fresh nonce, the
-//! client re-attests the `fibcall` workload under that challenge (the
-//! prover side is part of the measured loop, exactly as deployed), and
-//! the server replays the evidence through the shared-cache verifier.
+//! * `oneshot` — the pre-pipelining protocol shape: every round opens
+//!   a fresh connection, runs one `HELLO`/`CHALLENGE`/`ATTEST`/
+//!   `VERDICT` exchange and disconnects;
+//! * `pipelined` — one persistent connection per client with a window
+//!   of rounds in flight (`Connection::pipelined`).
 //!
-//! * `--quick` runs clients {1, 4} with fewer rounds;
+//! Both disciplines share a cached-execution responder over the small
+//! `syringe` workload: the workload is executed once up front and each
+//! challenge only re-signs the recorded log (only the HMAC binds the
+//! challenge), so per-round verify cost is tiny and the measured
+//! difference isolates per-connection protocol overhead — TCP setup,
+//! the accept-loop poll interval, handshake round-trips and session
+//! setup — which is exactly what pipelining and resumption eliminate.
+//!
+//! Overloaded connects are shed with `ERROR busy` server-side; the
+//! client's bounded retry absorbs them, so shed load shows up as tail
+//! latency rather than failures.
+//!
+//! * `--quick` runs clients {1, 8} with fewer rounds;
 //! * `--json <path>` writes `BENCH_serve.json` with
-//!   `verifications_per_sec` per case.
+//!   `verifications_per_sec` and client-observed `p99_round_ns` per
+//!   case (plus `host_cores` at the top level);
+//! * `--enforce` exits non-zero unless pipelined throughput at 8
+//!   clients is at least [`MIN_PIPELINE_SPEEDUP_8`]× the oneshot
+//!   figure — the loopback target the connection rework is gated on.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use rap_bench::harness::{BenchArgs, BenchGroup, BenchReport};
 use rap_link::{link, LinkOptions, LinkedProgram};
@@ -20,14 +38,21 @@ use rap_serve::{AttestClient, ClientConfig, Server, ServerConfig};
 use rap_track::{device_key, CfaEngine, Challenge, EngineConfig, Key, Report, Verifier};
 
 /// Rounds per client per sample (full mode).
-const ROUNDS_PER_CLIENT: usize = 4;
+const ROUNDS_PER_CLIENT: usize = 16;
+
+/// Pipeline window requested by pipelined-mode clients.
+const WINDOW: u16 = 8;
+
+/// The gate: minimum pipelined-over-oneshot throughput ratio at 8
+/// clients on loopback.
+const MIN_PIPELINE_SPEEDUP_8: f64 = 3.0;
 
 fn bench_key() -> Key {
     device_key("serve-bench")
 }
 
 fn deployed() -> (LinkedProgram, workloads::Workload) {
-    let w = workloads::by_name("fibcall").expect("fibcall workload exists");
+    let w = workloads::by_name("syringe").expect("syringe workload exists");
     let linked = link(&w.module, 0, LinkOptions::default()).expect("workload links");
     (linked, w)
 }
@@ -41,126 +66,226 @@ fn bench_verifier(linked: &LinkedProgram) -> Verifier {
         .expect("key/image/map are all set")
 }
 
-/// Benign responder: re-runs the prover under the server's challenge.
-fn respond(linked: &LinkedProgram, w: &workloads::Workload) -> impl Fn(Challenge) -> Vec<Report> {
-    let linked = linked.clone();
-    let attach = w.attach;
-    let max_instrs = w.max_instrs;
-    move |chal| {
+/// Executes the workload once and keeps the evidence; responding to a
+/// challenge re-signs the recorded logs under it (the HMAC is the only
+/// challenge-dependent part of a report), so per-round prover cost is
+/// identical across disciplines and small enough that protocol
+/// overhead dominates the measurement.
+struct CachedResponder {
+    reports: Vec<Report>,
+}
+
+impl CachedResponder {
+    fn new(linked: &LinkedProgram, w: &workloads::Workload) -> CachedResponder {
         let engine = CfaEngine::new(bench_key());
         let mut machine = mcu_sim::Machine::new(linked.image.clone());
-        attach(&mut machine);
-        engine
+        (w.attach)(&mut machine);
+        let reports = engine
             .attest(
                 &mut machine,
                 &linked.map,
-                chal,
+                Challenge::from_seed(0),
                 EngineConfig {
-                    max_instrs: max_instrs * 2,
+                    max_instrs: w.max_instrs * 2,
                     watermark: Some(256),
                 },
             )
             .expect("benign attestation runs")
-            .reports
+            .reports;
+        CachedResponder { reports }
+    }
+
+    fn respond(&self, chal: Challenge) -> Vec<Report> {
+        self.reports
+            .iter()
+            .enumerate()
+            .map(|(seq, r)| {
+                Report::new(
+                    &bench_key(),
+                    chal,
+                    r.h_mem,
+                    r.log.clone(),
+                    seq as u32,
+                    r.is_final,
+                    r.overflow,
+                )
+            })
+            .collect()
     }
 }
 
-/// One sample: `clients` threads, each opening one connection and
-/// driving `rounds` challenge/attest/verdict rounds to completion.
-fn drive(
+fn bench_client(addr: std::net::SocketAddr, window: u16) -> AttestClient {
+    AttestClient::new(
+        addr.to_string(),
+        ClientConfig {
+            retries: 8,
+            backoff_base: std::time::Duration::from_millis(1),
+            backoff_cap: std::time::Duration::from_millis(20),
+            read_timeout: std::time::Duration::from_secs(30),
+            window,
+            ..ClientConfig::default()
+        },
+    )
+}
+
+/// One oneshot sample: every round is its own connection. Each round's
+/// client-observed latency (connect through verdict) lands in `lat`.
+fn drive_oneshot(
     addr: std::net::SocketAddr,
-    linked: &LinkedProgram,
-    w: &workloads::Workload,
+    responder: &CachedResponder,
     clients: usize,
     rounds: usize,
+    lat: &Mutex<Vec<u64>>,
 ) {
-    let completed = AtomicU64::new(0);
     std::thread::scope(|scope| {
         for i in 0..clients {
-            let completed = &completed;
-            let linked = &linked;
-            let w = &w;
             scope.spawn(move || {
-                let client = AttestClient::new(
-                    addr.to_string(),
-                    ClientConfig {
-                        read_timeout: std::time::Duration::from_secs(30),
-                        ..ClientConfig::default()
-                    },
-                );
-                let respond = respond(linked, w);
-                let mut conn = client
-                    .open(&format!("bench-{i}"))
-                    .expect("connection opens");
+                let client = bench_client(addr, 1);
+                let mut local = Vec::with_capacity(rounds);
                 for _ in 0..rounds {
-                    let verdict = conn.round(&respond).expect("round completes");
+                    let t0 = Instant::now();
+                    let mut conn = client
+                        .open(&format!("oneshot-{i}"))
+                        .expect("connection opens");
+                    let verdict = conn
+                        .round(|chal| responder.respond(chal))
+                        .expect("round completes");
                     assert!(verdict.accepted, "benign round must verify: {verdict:?}");
-                    completed.fetch_add(1, Ordering::Relaxed);
+                    local.push(t0.elapsed().as_nanos() as u64);
                 }
+                lat.lock().unwrap().extend(local);
             });
         }
     });
-    assert_eq!(completed.load(Ordering::Relaxed) as usize, clients * rounds);
+}
+
+/// One pipelined sample: each client keeps one connection with
+/// [`WINDOW`] rounds in flight. Latency is recorded as the mean
+/// per-round time on the connection — individual verdicts overlap, so
+/// a per-verdict wall time would double-count waiting.
+fn drive_pipelined(
+    addr: std::net::SocketAddr,
+    responder: &CachedResponder,
+    clients: usize,
+    rounds: usize,
+    lat: &Mutex<Vec<u64>>,
+) {
+    std::thread::scope(|scope| {
+        for i in 0..clients {
+            scope.spawn(move || {
+                let client = bench_client(addr, WINDOW);
+                let mut conn = client
+                    .open(&format!("pipelined-{i}"))
+                    .expect("connection opens");
+                let t0 = Instant::now();
+                let verdicts = conn
+                    .pipelined(rounds, |chal| responder.respond(chal))
+                    .expect("pipelined rounds complete");
+                let per_round = (t0.elapsed().as_nanos() as u64) / rounds.max(1) as u64;
+                assert!(
+                    verdicts.iter().all(|v| v.accepted),
+                    "benign rounds must verify"
+                );
+                lat.lock().unwrap().push(per_round);
+            });
+        }
+    });
+}
+
+fn p99(samples: &mut [u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[(samples.len() * 99).div_ceil(100).saturating_sub(1)]
 }
 
 fn main() {
     let args = BenchArgs::parse();
     let (linked, w) = deployed();
-    let rounds = if args.quick { 2 } else { ROUNDS_PER_CLIENT };
-    let client_counts: &[usize] = if args.quick {
-        &[1, 4]
-    } else {
-        &[1, 2, 3, 4, 5, 6, 7, 8]
-    };
+    let responder = CachedResponder::new(&linked, &w);
+    let rounds = if args.quick { 8 } else { ROUNDS_PER_CLIENT };
+    let client_counts: &[usize] = if args.quick { &[1, 8] } else { &[1, 2, 4, 8] };
 
     let group = BenchGroup::new("serve").samples(if args.quick { 2 } else { 3 });
     let mut report = BenchReport::default();
-    let mut rows: Vec<(usize, rap_bench::harness::Stats, f64)> = Vec::new();
+    let mut rows: Vec<(String, rap_bench::harness::Stats, f64, u64)> = Vec::new();
     for &clients in client_counts {
-        // A fresh server per case: cold replay cache, clean stats.
-        let server = Server::start(
-            bench_verifier(&linked),
-            "127.0.0.1:0",
-            ServerConfig {
-                threads: 8,
-                ..ServerConfig::default()
-            },
-        )
-        .expect("server binds");
-        let addr = server.local_addr();
+        for mode in ["oneshot", "pipelined"] {
+            // A fresh server per case: cold replay cache, clean stats.
+            let server = Server::start(
+                bench_verifier(&linked),
+                "127.0.0.1:0",
+                ServerConfig {
+                    threads: 4,
+                    window: WINDOW,
+                    session_secret: b"serve-bench-secret".to_vec(),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("server binds");
+            let addr = server.local_addr();
 
-        let case = format!("clients_{clients}");
-        let stats = group.bench(&case, || drive(addr, &linked, &w, clients, rounds));
-        let median = stats.median.as_secs_f64();
-        let per_sec = if median > 0.0 {
-            (clients * rounds) as f64 / median
-        } else {
-            f64::INFINITY
-        };
-        report.record_with(
-            &format!("serve/{case}"),
-            stats,
-            [
-                ("clients", Json::Uint(clients as u64)),
-                ("rounds_per_client", Json::Uint(rounds as u64)),
-                ("verifications_per_sec", Json::Num(per_sec)),
-            ],
-        );
-        rows.push((clients, stats, per_sec));
+            let latencies = Mutex::new(Vec::new());
+            let case = format!("{mode}_{clients}");
+            let stats = group.bench(&case, || match mode {
+                "oneshot" => drive_oneshot(addr, &responder, clients, rounds, &latencies),
+                _ => drive_pipelined(addr, &responder, clients, rounds, &latencies),
+            });
+            let median = stats.median.as_secs_f64();
+            let per_sec = if median > 0.0 {
+                (clients * rounds) as f64 / median
+            } else {
+                f64::INFINITY
+            };
+            let p99_ns = p99(&mut latencies.into_inner().unwrap());
+            report.record_with(
+                &format!("serve/{case}"),
+                stats,
+                [
+                    ("mode", Json::Str(mode.to_owned())),
+                    ("clients", Json::Uint(clients as u64)),
+                    ("rounds_per_client", Json::Uint(rounds as u64)),
+                    ("window", Json::Uint(u64::from(WINDOW))),
+                    ("verifications_per_sec", Json::Num(per_sec)),
+                    ("p99_round_ns", Json::Uint(p99_ns)),
+                ],
+            );
+            rows.push((case, stats, per_sec, p99_ns));
 
-        let server_stats = server.shutdown();
-        assert_eq!(server_stats.verdicts_rejected, 0, "{server_stats:?}");
+            let server_stats = server.shutdown();
+            assert_eq!(server_stats.verdicts_rejected, 0, "{server_stats:?}");
+        }
     }
 
     // Markdown table for README §"Remote attestation service".
-    println!("\n| clients | median sample | p95 | verifications/s |");
-    println!("|---:|---:|---:|---:|");
-    for (clients, stats, per_sec) in &rows {
+    println!("\n| case | median sample | p99 round | verifications/s |");
+    println!("|---|---:|---:|---:|");
+    for (case, stats, per_sec, p99_ns) in &rows {
         println!(
-            "| {clients} | {:.1}ms | {:.1}ms | {per_sec:.0} |",
+            "| {case} | {:.1}ms | {:.2}ms | {per_sec:.0} |",
             stats.median.as_nanos() as f64 / 1_000_000.0,
-            stats.p95.as_nanos() as f64 / 1_000_000.0,
+            *p99_ns as f64 / 1_000_000.0,
         );
+    }
+
+    let throughput = |name: &str| rows.iter().find(|(c, ..)| c == name).map(|(_, _, t, _)| *t);
+    if let (Some(oneshot), Some(pipelined)) = (throughput("oneshot_8"), throughput("pipelined_8")) {
+        let ratio = pipelined / oneshot;
+        println!("pipelined_8 / oneshot_8 throughput: {ratio:.2}x");
+        if args.enforce && ratio < MIN_PIPELINE_SPEEDUP_8 {
+            eprintln!(
+                "FAIL: pipelined throughput at 8 clients is {ratio:.2}x oneshot, \
+                 below the {MIN_PIPELINE_SPEEDUP_8}x gate"
+            );
+            std::process::exit(1);
+        }
+        if args.enforce {
+            println!("gate: pipelined_8 >= {MIN_PIPELINE_SPEEDUP_8}x oneshot_8 — ok");
+        }
+    } else if args.enforce {
+        eprintln!("FAIL: --enforce needs the 8-client oneshot and pipelined cases");
+        std::process::exit(1);
     }
 
     if let Some(path) = &args.json_out {

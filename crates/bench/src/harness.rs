@@ -134,24 +134,29 @@ impl BenchReport {
         ));
     }
 
-    /// Serializes every recorded case.
+    /// Serializes every recorded case, alongside the machine's core
+    /// count — a scaling figure is meaningless without knowing how
+    /// much parallelism the host actually had.
     pub fn to_json(&self) -> Json {
-        Json::obj([(
-            "cases",
-            Json::Obj(
-                self.cases
-                    .iter()
-                    .map(|(id, stats, extras)| {
-                        let mut case = match stats.to_json() {
-                            Json::Obj(entries) => entries,
-                            _ => unreachable!("Stats::to_json returns an object"),
-                        };
-                        case.extend(extras.iter().cloned());
-                        (id.clone(), Json::Obj(case))
-                    })
-                    .collect(),
+        Json::obj([
+            ("host_cores", Json::Uint(host_cores() as u64)),
+            (
+                "cases",
+                Json::Obj(
+                    self.cases
+                        .iter()
+                        .map(|(id, stats, extras)| {
+                            let mut case = match stats.to_json() {
+                                Json::Obj(entries) => entries,
+                                _ => unreachable!("Stats::to_json returns an object"),
+                            };
+                            case.extend(extras.iter().cloned());
+                            (id.clone(), Json::Obj(case))
+                        })
+                        .collect(),
+                ),
             ),
-        )])
+        ])
     }
 
     /// Writes the report to `path` as pretty-printed JSON.
@@ -162,6 +167,15 @@ impl BenchReport {
     pub fn write(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.to_json().to_pretty())
     }
+}
+
+/// The host's available parallelism (1 if the query fails). Recorded
+/// in every `BENCH_*.json` artifact and used by scaling benches to
+/// refuse to record speedup figures the machine cannot produce.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -256,6 +270,11 @@ mod tests {
         let case = doc.get("cases").and_then(|c| c.get("t/noop")).unwrap();
         assert_eq!(case.get("iters").and_then(Json::as_u64), Some(stats.iters));
         assert!(case.get("p95_ns").and_then(Json::as_u64).is_some());
+        // Every artifact states how many cores produced it.
+        assert_eq!(
+            doc.get("host_cores").and_then(Json::as_u64),
+            Some(host_cores() as u64)
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@ from_error!(
     rap_track::WireError,
     rap_track::BuildError,
     rap_serve::ClientError,
+    rap_serve::StartError,
     mcu_sim::ExecError,
     rap_obs::JsonError,
     std::io::Error,
@@ -534,6 +535,11 @@ pub struct ServeCmdOptions {
     /// Stop accepting and drain after this many connections (smoke
     /// tests); `None` serves until shutdown.
     pub limit: Option<u64>,
+    /// Session secret for resumption-token MACs; `None` generates a
+    /// random one (reported back so the operator can log it).
+    pub secret: Option<String>,
+    /// Per-connection pipelining window cap granted to devices.
+    pub window: u16,
 }
 
 impl Default for ServeCmdOptions {
@@ -544,23 +550,60 @@ impl Default for ServeCmdOptions {
             addr: "127.0.0.1:0".to_owned(),
             threads: 4,
             limit: None,
+            secret: None,
+            window: 8,
         }
     }
 }
 
+/// 32 random bytes for the session secret: the OS RNG when available,
+/// else a clock/pid-seeded SplitMix64 fill (still unguessable enough
+/// for a dev instance; production passes `--secret`).
+fn generate_session_secret() -> Vec<u8> {
+    use std::io::Read as _;
+    let mut buf = [0u8; 32];
+    if std::fs::File::open("/dev/urandom")
+        .and_then(|mut f| f.read_exact(&mut buf))
+        .is_ok()
+    {
+        return buf.to_vec();
+    }
+    let mut state = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E37_79B9_7F4A_7C15)
+        ^ (u64::from(std::process::id()) << 32);
+    for chunk in buf.chunks_mut(8) {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
+    }
+    buf.to_vec()
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
 /// `rap serve`: starts the networked attestation service for one
 /// deployed binary. Returns the running [`Server`] (the caller prints
-/// the bound address and joins or shuts it down) plus the shared
-/// [`Verifier`] for end-of-run stats.
+/// the bound address and joins or shuts it down), the shared
+/// [`Verifier`] for end-of-run stats, and — when no `--secret` was
+/// given — the hex of the generated session secret so the operator can
+/// log it.
 ///
 /// # Errors
 ///
-/// Image/map decode failures and the bind failure, formatted.
+/// Image/map decode failures, an empty `--secret`, and the bind
+/// failure, formatted.
 pub fn cmd_serve(
     image_bytes: &[u8],
     map_text: &str,
     options: &ServeCmdOptions,
-) -> Result<(Server, Verifier), CliError> {
+) -> Result<(Server, Verifier, Option<String>), CliError> {
     let image = Image::from_bytes(options.base, image_bytes.to_vec())?;
     let map = read_map(map_text)?;
     let verifier = Verifier::builder()
@@ -568,16 +611,26 @@ pub fn cmd_serve(
         .image(image)
         .map(map)
         .build()?;
+    let (session_secret, generated) = match &options.secret {
+        Some(s) => (s.as_bytes().to_vec(), None),
+        None => {
+            let bytes = generate_session_secret();
+            let hex = hex_encode(&bytes);
+            (bytes, Some(hex))
+        }
+    };
     let server = Server::start(
         verifier.clone(),
         options.addr.as_str(),
         ServerConfig {
             threads: options.threads.max(1),
             conn_limit: options.limit,
+            window: options.window.max(1),
+            session_secret,
             ..ServerConfig::default()
         },
     )?;
-    Ok((server, verifier))
+    Ok((server, verifier, generated))
 }
 
 /// Options for [`cmd_attest_remote`].
@@ -597,6 +650,11 @@ pub struct AttestRemoteCmdOptions {
     pub retries: u32,
     /// Partial-report watermark for the attested execution.
     pub watermark: Option<usize>,
+    /// Rounds kept in flight at once (the requested pipeline window).
+    pub window: u16,
+    /// After the first batch of rounds, close the connection and run
+    /// the same number again on a resumed session (no re-`HELLO`).
+    pub resume: bool,
 }
 
 impl Default for AttestRemoteCmdOptions {
@@ -609,14 +667,83 @@ impl Default for AttestRemoteCmdOptions {
             rounds: 1,
             retries: 4,
             watermark: None,
+            window: 1,
+            resume: false,
         }
     }
+}
+
+/// Everything `run_remote_rounds` needs to produce evidence for a
+/// challenge: the deployed image/map plus the prover's key and
+/// watermark setting.
+struct RemoteProver<'a> {
+    image: &'a Image,
+    map: &'a rap_link::LinkMap,
+    key: &'a rap_track::Key,
+    watermark: Option<usize>,
+}
+
+/// Runs `rounds` pipelined challenge–response rounds on `conn`,
+/// appending one summary line per verdict (numbered from
+/// `round_base`). Returns how many rounds were accepted.
+fn run_remote_rounds(
+    conn: &mut rap_serve::Connection,
+    rounds: usize,
+    round_base: u32,
+    prover: &RemoteProver<'_>,
+    out: &mut String,
+) -> Result<u32, CliError> {
+    use std::fmt::Write as _;
+
+    let mut attest_err = None;
+    let verdicts = conn.pipelined(rounds, |chal| {
+        let engine = CfaEngine::new(prover.key.clone());
+        let mut machine = mcu_sim::Machine::new(prover.image.clone());
+        match engine.attest(
+            &mut machine,
+            prover.map,
+            chal,
+            EngineConfig {
+                watermark: prover.watermark,
+                ..EngineConfig::default()
+            },
+        ) {
+            Ok(att) => att.reports,
+            Err(e) => {
+                // An empty stream is always rejected server-side;
+                // surface the local execution failure to the user.
+                attest_err = Some(e);
+                Vec::new()
+            }
+        }
+    })?;
+    if let Some(e) = attest_err {
+        return Err(CliError(format!("attested execution failed: {e}")));
+    }
+    let mut accepted = 0u32;
+    for (i, verdict) in verdicts.iter().enumerate() {
+        let round = round_base + i as u32;
+        if verdict.accepted {
+            accepted += 1;
+            let _ = writeln!(
+                out,
+                "round {round}: OK ({} events, {} replay steps)",
+                verdict.events, verdict.steps
+            );
+        } else {
+            let _ = writeln!(out, "round {round}: REJECTED: {}", verdict.detail);
+        }
+    }
+    Ok(accepted)
 }
 
 /// `rap attest-remote`: runs attested executions against a remote
 /// `rap serve` instance — for each server challenge, executes the
 /// application locally, signs the evidence, and reports the server's
-/// verdict. Returns `(all rounds accepted, human summary)`.
+/// verdict. `--window` keeps that many rounds in flight; `--resume`
+/// closes the connection after the first batch and runs the same
+/// number of rounds again on a resumed session (no re-`HELLO`).
+/// Returns `(all rounds accepted, human summary)`.
 ///
 /// # Errors
 ///
@@ -638,53 +765,36 @@ pub fn cmd_attest_remote(
         options.addr.clone(),
         ClientConfig {
             retries: options.retries,
+            window: options.window.max(1),
             ..ClientConfig::default()
         },
     );
     let mut conn = client.open(&options.device)?;
 
+    let prover = RemoteProver {
+        image: &image,
+        map: &map,
+        key: &key,
+        watermark: options.watermark,
+    };
     let mut out = String::new();
-    let mut accepted = 0u32;
-    for round in 0..options.rounds.max(1) {
-        let mut attest_err = None;
-        let verdict = conn.round(|chal| {
-            let engine = CfaEngine::new(key.clone());
-            let mut machine = mcu_sim::Machine::new(image.clone());
-            match engine.attest(
-                &mut machine,
-                &map,
-                chal,
-                EngineConfig {
-                    watermark: options.watermark,
-                    ..EngineConfig::default()
-                },
-            ) {
-                Ok(att) => att.reports,
-                Err(e) => {
-                    // An empty stream is always rejected server-side;
-                    // surface the local execution failure to the user.
-                    attest_err = Some(e);
-                    Vec::new()
-                }
-            }
-        })?;
-        if let Some(e) = attest_err {
-            return Err(CliError(format!("attested execution failed: {e}")));
-        }
-        if verdict.accepted {
-            accepted += 1;
-            let _ = writeln!(
-                out,
-                "round {round}: OK ({} events, {} replay steps)",
-                verdict.events, verdict.steps
-            );
-        } else {
-            let _ = writeln!(out, "round {round}: REJECTED: {}", verdict.detail);
-        }
+    let per_batch = options.rounds.max(1);
+    let mut accepted = run_remote_rounds(&mut conn, per_batch as usize, 0, &prover, &mut out)?;
+    let mut total = per_batch;
+    if options.resume {
+        let token = conn
+            .close()
+            .ok_or_else(|| CliError("server did not grant a resumption token".to_owned()))?;
+        let mut conn = client.resume(&options.device, token)?;
+        let _ = writeln!(
+            out,
+            "session resumed: running {per_batch} more round(s) without re-HELLO"
+        );
+        accepted += run_remote_rounds(&mut conn, per_batch as usize, per_batch, &prover, &mut out)?;
+        total += per_batch;
     }
-    let rounds = options.rounds.max(1);
-    let _ = writeln!(out, "{accepted}/{rounds} round(s) accepted");
-    Ok((accepted == rounds, out))
+    let _ = writeln!(out, "{accepted}/{total} round(s) accepted");
+    Ok((accepted == total, out))
 }
 
 /// A demonstration program used by tests and `rap demo`.
@@ -866,15 +976,22 @@ mod tests {
     fn serve_and_attest_remote_loopback() {
         let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
 
-        // Two connections: one benign device, one signing with the
-        // wrong key — then the server drains on its own (--limit 2).
+        // Three connections: a benign device running a pipelined +
+        // resumed session (two connections), then one signing with the
+        // wrong key — after which the server drains on its own
+        // (--limit 3).
         let options = ServeCmdOptions {
             key_seed: "cli-serve".to_owned(),
             threads: 2,
-            limit: Some(2),
+            limit: Some(3),
             ..ServeCmdOptions::default()
         };
-        let (server, verifier) = cmd_serve(&img, &map_text, &options).expect("server starts");
+        let (server, verifier, generated_secret) =
+            cmd_serve(&img, &map_text, &options).expect("server starts");
+        assert!(
+            generated_secret.is_some_and(|hex| hex.len() == 64),
+            "no --secret: a random one is generated and reported"
+        );
         let addr = server.local_addr().to_string();
 
         let (ok, summary) = cmd_attest_remote(
@@ -885,12 +1002,15 @@ mod tests {
                 addr: addr.clone(),
                 device: "benign".to_owned(),
                 rounds: 2,
+                window: 2,
+                resume: true,
                 ..AttestRemoteCmdOptions::default()
             },
         )
         .expect("benign rounds complete");
         assert!(ok, "{summary}");
-        assert!(summary.contains("2/2 round(s) accepted"), "{summary}");
+        assert!(summary.contains("session resumed"), "{summary}");
+        assert!(summary.contains("4/4 round(s) accepted"), "{summary}");
 
         let (ok, summary) = cmd_attest_remote(
             &img,
@@ -907,10 +1027,11 @@ mod tests {
         assert!(summary.contains("REJECTED"), "{summary}");
 
         let stats = server.join();
-        assert_eq!(stats.accepted, 2);
-        assert_eq!(stats.verdicts_accepted, 2);
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.resumed, 1);
+        assert_eq!(stats.verdicts_accepted, 4);
         assert_eq!(stats.verdicts_rejected, 1);
-        assert!(verifier.stats().jobs >= 3);
+        assert!(verifier.stats().jobs >= 5);
     }
 
     #[test]

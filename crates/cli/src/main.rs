@@ -25,10 +25,11 @@ USAGE:
   rap fuzz    [--seed N] [--iters K] [--json OUT.json] [--sabotage]
               [--replay CASE_SEED]    # differential fuzzing campaign
   rap serve   <img> <map> [--addr HOST:PORT] [--threads T] [--key SEED]
-              [--limit N] [--metrics OUT.json] [--base ADDR]
+              [--limit N] [--secret S] [--window W]
+              [--metrics OUT.json] [--base ADDR]
   rap attest-remote <img> <map> --addr HOST:PORT [--device NAME]
               [--key SEED] [--rounds N] [--retries R] [--watermark N]
-              [--base ADDR]
+              [--window W] [--resume] [--base ADDR]
   rap stats   <metrics.json>          # render a --metrics artifact
   rap inspect <map>
   rap explain <in.tasm> [--no-loop-opt]
@@ -66,6 +67,8 @@ impl Args {
                         | "limit"
                         | "rounds"
                         | "retries"
+                        | "secret"
+                        | "window"
                 ) || name == "o"
                     || name == "m";
                 let value = if takes_value {
@@ -308,9 +311,16 @@ fn run() -> Result<(), CliError> {
                 } else {
                     None
                 },
+                secret: args.flag("secret").map(str::to_owned),
+                window: args.num("window", 8)?.min(u16::MAX as u64) as u16,
             };
             let obs = ObsOutputs::begin(&args);
-            let (server, verifier) = rap_cli::cmd_serve(&img, &map, &options)?;
+            let (server, verifier, generated_secret) = rap_cli::cmd_serve(&img, &map, &options)?;
+            if let Some(hex) = generated_secret {
+                // No --secret given: log the generated one so resumed
+                // sessions survive an operator-driven restart.
+                println!("session secret (generated): {hex}");
+            }
             // Scripts parse this line to learn the ephemeral port.
             println!("listening on {}", server.local_addr());
             use std::io::Write as _;
@@ -349,6 +359,8 @@ fn run() -> Result<(), CliError> {
                             .map_err(|_| CliError(format!("bad --watermark `{w}`")))
                     })
                     .transpose()?,
+                window: args.num("window", 1)?.min(u16::MAX as u64) as u16,
+                resume: args.has("resume"),
             };
             let (ok, summary) = rap_cli::cmd_attest_remote(&img, &map, &options)?;
             print!("{summary}");

@@ -23,10 +23,6 @@
 //! * [`Fleet::sequential`] is the calling-thread reference
 //!   implementation for equivalence tests and 1-thread baselines.
 //!
-//! The pre-redesign free functions (`verify_fleet`,
-//! `verify_fleet_stream`, `verify_sequential`) remain as deprecated
-//! shims over the handle.
-//!
 //! Workers accumulate their verification stats in plain per-worker
 //! tallies merged once at join (see `Verifier::commit_tally`), so the
 //! replay hot loop never touches a shared cache line.
@@ -73,8 +69,7 @@ impl JobOutcome {
     }
 }
 
-/// Worker-pool configuration for [`verify_fleet`] /
-/// [`verify_fleet_stream`].
+/// Worker-pool configuration for [`Fleet::run`] / [`Fleet::stream`].
 #[derive(Debug, Clone, Copy)]
 pub struct BatchOptions {
     /// Worker threads. Clamped to at least 1 (and, for the slice path,
@@ -331,37 +326,6 @@ impl Fleet<'_> {
     }
 }
 
-/// Deprecated shim over [`Fleet::run`]; behavior is identical.
-#[deprecated(since = "0.1.0", note = "use `verifier.fleet(options).run(jobs)`")]
-pub fn verify_fleet(
-    verifier: &Verifier,
-    jobs: Vec<FleetJob>,
-    options: BatchOptions,
-) -> Vec<JobOutcome> {
-    verifier.fleet(options).run(jobs)
-}
-
-/// Deprecated shim over [`Fleet::stream`]; behavior is identical.
-#[deprecated(since = "0.1.0", note = "use `verifier.fleet(options).stream(jobs)`")]
-pub fn verify_fleet_stream(
-    verifier: &Verifier,
-    jobs: impl IntoIterator<Item = FleetJob>,
-    options: BatchOptions,
-) -> Vec<JobOutcome> {
-    verifier.fleet(options).stream(jobs)
-}
-
-/// Deprecated shim over [`Fleet::sequential`]; behavior is identical.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `verifier.fleet(options).sequential(jobs)`"
-)]
-pub fn verify_sequential(verifier: &Verifier, jobs: Vec<FleetJob>) -> Vec<JobOutcome> {
-    verifier
-        .fleet(BatchOptions::with_threads(1))
-        .sequential(jobs)
-}
-
 /// Merges per-worker `(index, outcome)` piles back into submission
 /// order and records the per-job metrics — once, from the joining
 /// thread, after all workers are done.
@@ -504,7 +468,7 @@ mod tests {
     fn batch_options_clamp() {
         let options = BatchOptions::with_threads(0);
         assert_eq!(options.queue_depth, 2);
-        // verify_fleet clamps threads itself; empty batch is a no-op.
+        // The fleet handle clamps threads itself; empty batch is a no-op.
         let defaults = BatchOptions::default();
         assert!(defaults.threads >= 1);
         assert!(defaults.queue_depth >= 2);

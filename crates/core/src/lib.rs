@@ -58,8 +58,6 @@ mod verifier;
 mod wire;
 
 pub use batch::{effective_batch_config, BatchOptions, Fleet, FleetJob, JobOutcome};
-#[allow(deprecated)]
-pub use batch::{verify_fleet, verify_fleet_stream, verify_sequential};
 pub use engine::{Attestation, CfaEngine, EngineConfig};
 pub use error::Error;
 pub use metrics::{Metrics, VerifierStats};

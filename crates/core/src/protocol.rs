@@ -11,8 +11,15 @@
 //! matched to the *outstanding* challenge only, and a challenge is
 //! consumed on first use — replaying an old session's reports (or the
 //! same session's reports twice) is rejected without touching replay.
+//!
+//! For pipelined transports the session also supports a *window* of
+//! outstanding challenges ([`VerifierSession::issue_windowed_challenge`]):
+//! challenges form an ordered queue and responses are matched against
+//! the oldest one first, so an out-of-order response fails the HMAC
+//! check of the front challenge and is rejected as a
+//! [`Violation::ChallengeMismatch`].
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 use armv8m_isa::Image;
 use rap_crypto::hmac_sha256;
@@ -27,7 +34,7 @@ pub struct VerifierSession {
     verifier: Verifier,
     session_secret: Vec<u8>,
     counter: u64,
-    outstanding: Option<Challenge>,
+    outstanding: VecDeque<Challenge>,
     used: HashSet<[u8; 32]>,
 }
 
@@ -80,7 +87,7 @@ impl VerifierSession {
             verifier,
             session_secret: session_secret.to_vec(),
             counter: 0,
-            outstanding: None,
+            outstanding: VecDeque::new(),
             used: HashSet::new(),
         }
     }
@@ -93,20 +100,44 @@ impl VerifierSession {
     /// Step 1: issues a fresh challenge. Any previously outstanding
     /// challenge is abandoned (its responses will be rejected).
     pub fn issue_challenge(&mut self) -> Challenge {
+        self.outstanding.clear();
+        self.issue_windowed_challenge()
+    }
+
+    /// Issues one more challenge *without* abandoning the outstanding
+    /// ones — the pipelined variant of
+    /// [`VerifierSession::issue_challenge`]. Challenges queue in issue
+    /// order and [`VerifierSession::check_response`] consumes them
+    /// oldest-first.
+    pub fn issue_windowed_challenge(&mut self) -> Challenge {
         self.counter += 1;
         let mut msg = self.session_secret.clone();
         msg.extend_from_slice(&self.counter.to_le_bytes());
         let chal = Challenge(hmac_sha256(b"RAP-TRACK-CHAL", &msg));
-        self.outstanding = Some(chal);
+        self.outstanding.push_back(chal);
         chal
     }
 
-    /// The currently outstanding challenge, if any.
+    /// The oldest outstanding challenge (the one the next response
+    /// must answer), if any.
     pub fn outstanding(&self) -> Option<Challenge> {
-        self.outstanding
+        self.outstanding.front().copied()
     }
 
-    /// Step 4: checks a response against the outstanding challenge.
+    /// How many challenges are outstanding (the in-flight window).
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Abandons every outstanding challenge — used when a resumed
+    /// transport session starts a fresh window; the nonce counter keeps
+    /// advancing so abandoned nonces are never re-issued.
+    pub fn clear_outstanding(&mut self) {
+        self.outstanding.clear();
+    }
+
+    /// Step 4: checks a response against the oldest outstanding
+    /// challenge.
     ///
     /// # Errors
     ///
@@ -118,7 +149,7 @@ impl VerifierSession {
     pub fn check_response(&mut self, reports: &[Report]) -> Result<VerifiedPath, SessionError> {
         let chal = self
             .outstanding
-            .take()
+            .pop_front()
             .ok_or(SessionError::NoOutstandingChallenge)?;
         if !self.used.insert(chal.0) {
             return Err(SessionError::ChallengeReused);
@@ -232,6 +263,63 @@ mod tests {
             Err(SessionError::Verification(Violation::ChallengeMismatch)) => {}
             other => panic!("expected challenge mismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn windowed_challenges_verify_in_issue_order() {
+        let linked = linked();
+        let mut s = session(&linked);
+        let chals: Vec<Challenge> = (0..3).map(|_| s.issue_windowed_challenge()).collect();
+        assert_eq!(s.outstanding_count(), 3);
+        assert_eq!(s.outstanding(), Some(chals[0]));
+        for chal in &chals {
+            let reports = respond(&linked, *chal);
+            s.check_response(&reports)
+                .expect("in-order response verifies");
+        }
+        assert_eq!(s.outstanding_count(), 0);
+        assert_eq!(s.challenges_issued(), 3);
+    }
+
+    #[test]
+    fn out_of_order_windowed_response_is_a_challenge_mismatch() {
+        let linked = linked();
+        let mut s = session(&linked);
+        let c1 = s.issue_windowed_challenge();
+        let c2 = s.issue_windowed_challenge();
+        // Answering c2 while c1 is still the front of the window fails
+        // the HMAC binding of c1 — and consumes c1, so the device
+        // cannot reorder its way past a challenge.
+        let reports = respond(&linked, c2);
+        match s.check_response(&reports) {
+            Err(SessionError::Verification(Violation::ChallengeMismatch)) => {}
+            other => panic!("expected challenge mismatch, got {other:?}"),
+        }
+        assert_eq!(s.outstanding(), Some(c2));
+        // The straggler answer to c1 now also mismatches (c2 is front).
+        let late = respond(&linked, c1);
+        match s.check_response(&late) {
+            Err(SessionError::Verification(Violation::ChallengeMismatch)) => {}
+            other => panic!("expected challenge mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn issue_challenge_abandons_the_window() {
+        let linked = linked();
+        let mut s = session(&linked);
+        s.issue_windowed_challenge();
+        s.issue_windowed_challenge();
+        let fresh = s.issue_challenge();
+        assert_eq!(s.outstanding_count(), 1);
+        assert_eq!(s.outstanding(), Some(fresh));
+        s.clear_outstanding();
+        assert_eq!(s.outstanding_count(), 0);
+        let reports = respond(&linked, fresh);
+        assert!(matches!(
+            s.check_response(&reports),
+            Err(SessionError::NoOutstandingChallenge)
+        ));
     }
 
     #[test]

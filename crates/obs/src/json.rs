@@ -220,10 +220,12 @@ impl std::error::Error for JsonError {}
 
 /// Parses a complete JSON document (rejects trailing garbage).
 ///
-/// Only what the repo's own writer produces is supported: no `\uXXXX`
-/// surrogate pairs beyond the BMP escape itself, no leniency about
-/// commas. Good enough to read back our own artifacts, which is its
-/// whole job (`rap stats`, test assertions).
+/// Only what the repo's own writer produces is supported: no leniency
+/// about commas or bare values. `\uXXXX` escapes are decoded strictly
+/// — exactly four hex digits, surrogate pairs combined into one
+/// scalar, lone surrogates rejected with the byte offset. Good enough
+/// to read back our own artifacts, which is its whole job
+/// (`rap stats`, test assertions).
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
@@ -343,6 +345,28 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Reads exactly four ASCII hex digits starting at `at` and
+    /// returns the UTF-16 code unit they spell. The error offset
+    /// points at the first non-hex byte.
+    fn hex4(&self, at: usize) -> Result<u16, JsonError> {
+        let mut unit: u16 = 0;
+        for i in 0..4 {
+            let digit = match self.bytes.get(at + i).copied() {
+                Some(b @ b'0'..=b'9') => b - b'0',
+                Some(b @ b'a'..=b'f') => b - b'a' + 10,
+                Some(b @ b'A'..=b'F') => b - b'A' + 10,
+                _ => {
+                    return Err(JsonError {
+                        offset: at + i,
+                        message: "\\u escape needs exactly four hex digits".to_string(),
+                    })
+                }
+            };
+            unit = (unit << 4) | u16::from(digit);
+        }
+        Ok(unit)
+    }
+
     fn string(&mut self) -> Result<String, JsonError> {
         self.eat(b'"')?;
         let mut out = String::new();
@@ -365,17 +389,59 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            out.push(
-                                char::from_u32(hex)
-                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
-                            );
-                            self.pos += 4;
+                            // `pos` points at the `u`; four hex digits
+                            // follow. Digits are validated one byte at
+                            // a time — `u32::from_str_radix` would
+                            // tolerate a leading `+` (e.g. `\u+041`)
+                            // and silently decode the wrong character.
+                            let unit = self.hex4(self.pos + 1)?;
+                            match unit {
+                                0xD800..=0xDBFF => {
+                                    // High surrogate: a second escape
+                                    // with a low surrogate must follow
+                                    // and the pair combines into one
+                                    // scalar beyond the BMP.
+                                    if self.bytes.get(self.pos + 5) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 6) != Some(&b'u')
+                                    {
+                                        return Err(JsonError {
+                                            offset: self.pos + 1,
+                                            message: "unpaired high surrogate in \\u escape"
+                                                .to_string(),
+                                        });
+                                    }
+                                    let low = self.hex4(self.pos + 7)?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(JsonError {
+                                            offset: self.pos + 7,
+                                            message:
+                                                "high surrogate not followed by a low surrogate"
+                                                    .to_string(),
+                                        });
+                                    }
+                                    let scalar = 0x10000
+                                        + ((u32::from(unit) - 0xD800) << 10)
+                                        + (u32::from(low) - 0xDC00);
+                                    out.push(
+                                        char::from_u32(scalar)
+                                            .expect("combined surrogate pair is a scalar"),
+                                    );
+                                    self.pos += 10;
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(JsonError {
+                                        offset: self.pos + 1,
+                                        message: "unpaired low surrogate in \\u escape".to_string(),
+                                    });
+                                }
+                                _ => {
+                                    out.push(
+                                        char::from_u32(u32::from(unit))
+                                            .expect("non-surrogate BMP unit is a scalar"),
+                                    );
+                                    self.pos += 4;
+                                }
+                            }
                         }
                         _ => return Err(self.err("bad escape")),
                     }
@@ -507,5 +573,92 @@ mod tests {
     fn non_finite_floats_render_null() {
         assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
         assert_eq!(Json::Num(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn unicode_escapes_decode_strictly() {
+        // Plain BMP escapes, both hex cases.
+        assert_eq!(parse(r#""A""#).unwrap(), Json::Str("A".into()));
+        assert_eq!(parse(r#""λ""#).unwrap(), Json::Str("\u{3bb}".into()));
+        assert_eq!(parse(r#""λ""#).unwrap(), Json::Str("\u{3bb}".into()));
+        // A surrogate pair combines into one scalar beyond the BMP.
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("\u{1F600}".into()));
+    }
+
+    #[test]
+    fn plus_sign_in_unicode_escape_is_a_typed_error() {
+        // `u32::from_str_radix` accepts a leading `+`, so "\u+041"
+        // used to silently decode as "A". It must be a parse error
+        // whose offset points at the `+`.
+        let err = parse(r#""\u+041""#).unwrap_err();
+        assert_eq!(err.offset, 3);
+        assert!(err.message.contains("four hex digits"), "{err}");
+        // Same for any other non-hex byte, wherever it sits.
+        let err = parse(r#""\u00 1""#).unwrap_err();
+        assert_eq!(err.offset, 5);
+        // And for an escape truncated by the closing quote.
+        assert!(parse(r#""\u00""#).is_err());
+    }
+
+    #[test]
+    fn lone_surrogates_are_typed_errors_with_offsets() {
+        let err = parse(r#""\ud83d""#).unwrap_err();
+        assert!(err.message.contains("unpaired high surrogate"), "{err}");
+        assert_eq!(err.offset, 3);
+
+        let err = parse(r#""\ude00""#).unwrap_err();
+        assert!(err.message.contains("unpaired low surrogate"), "{err}");
+
+        // A high surrogate with no escape after it at all.
+        let err = parse(r#""\ud83dA""#).unwrap_err();
+        assert!(err.message.contains("unpaired high surrogate"), "{err}");
+
+        // A high surrogate followed by an escape that is not a low
+        // surrogate.
+        let err = parse(r#""\ud83d\u0041""#).unwrap_err();
+        assert!(
+            err.message.contains("not followed by a low surrogate"),
+            "{err}"
+        );
+        assert_eq!(err.offset, 9);
+    }
+
+    #[test]
+    fn writer_output_with_non_ascii_labels_roundtrips() {
+        // Metric labels are arbitrary UTF-8; the writer emits
+        // non-ASCII raw and escapes control bytes, and the parser must
+        // read every one of them back verbatim — including astral
+        // characters, which a `\uXXXX` escape would spell as a
+        // surrogate pair.
+        for label in [
+            "latency µs",
+            "očet_zařízení",
+            "署名検証",
+            "emoji 😀🚀 path",
+            "mixed \u{1} ctrl λ \u{10FFFF}",
+        ] {
+            let doc = Json::obj([(label, Json::Str(label.into()))]);
+            for text in [doc.to_compact(), doc.to_pretty()] {
+                assert_eq!(parse(&text).unwrap(), doc, "failed on: {text}");
+            }
+            // The escaped spelling of the same string must also parse
+            // back to it (covers the surrogate-pair decode path even
+            // though our writer emits astral characters raw).
+            let escaped: String = label
+                .chars()
+                .flat_map(|c| {
+                    let mut units = [0u16; 2];
+                    c.encode_utf16(&mut units)
+                        .iter()
+                        .map(|u| format!("\\u{u:04x}"))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            assert_eq!(
+                parse(&format!("\"{escaped}\"")).unwrap(),
+                Json::Str(label.into()),
+                "failed on: {escaped}"
+            );
+        }
     }
 }

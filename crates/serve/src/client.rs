@@ -1,11 +1,19 @@
 //! The Prover-side client: connects, answers challenges with signed
 //! report streams, and returns the server's typed verdicts.
 //!
+//! A connection opens with `HELLO` (or `RESUME` with a token from an
+//! earlier session) and receives a `SESSION` grant: a fresh
+//! resumption token plus the pipelining window the server actually
+//! granted. [`Connection::round`] runs one round at a time;
+//! [`Connection::pipelined`] keeps up to the granted window of rounds
+//! in flight, writing ahead while verdicts stream back in order.
+//!
 //! Transient failures (connection refused, `ERROR busy`) retry with
 //! bounded exponential backoff; the jitter is drawn from SplitMix64
 //! seeded by [`ClientConfig::jitter_seed`], so a test or bench replays
 //! the exact same timing.
 
+use std::collections::VecDeque;
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -13,8 +21,9 @@ use std::time::Duration;
 use rap_track::{encode_stream, Challenge, Report};
 
 use crate::frame::{
-    decode_challenge, decode_error, read_frame, write_frame, ErrorCode, FrameError, FrameType,
-    ReadFrameError, Verdict, DEFAULT_MAX_FRAME_LEN,
+    decode_challenge, decode_error, decode_session, encode_hello, encode_resume, read_frame,
+    write_frame, ErrorCode, FrameError, FrameType, ReadFrameError, ResumeToken, Verdict,
+    DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Tunables for [`AttestClient`].
@@ -37,6 +46,9 @@ pub struct ClientConfig {
     pub jitter_seed: u64,
     /// Payload-size cap for received frames.
     pub max_frame_len: u32,
+    /// Pipelining window to request from the server (the server may
+    /// grant less; 1 degenerates to strict request/response rounds).
+    pub window: u16,
 }
 
 impl Default for ClientConfig {
@@ -50,6 +62,7 @@ impl Default for ClientConfig {
             backoff_cap: Duration::from_millis(500),
             jitter_seed: 0x5EED,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            window: 1,
         }
     }
 }
@@ -145,12 +158,16 @@ pub struct AttestClient {
     config: ClientConfig,
 }
 
-/// One open connection: `HELLO` sent, rounds available via
-/// [`Connection::round`].
+/// One open connection: the opener (`HELLO` or `RESUME`) is sent; the
+/// `SESSION` grant is consumed lazily on the first read, after which
+/// [`Connection::resume_token`] holds the token for the *next*
+/// connection.
 #[derive(Debug)]
 pub struct Connection {
     stream: TcpStream,
     max_frame_len: u32,
+    grant: Option<(ResumeToken, u16)>,
+    pending: VecDeque<Challenge>,
 }
 
 impl AttestClient {
@@ -170,10 +187,47 @@ impl AttestClient {
     /// [`ClientError::Exhausted`] once the retry budget is spent; any
     /// non-transient [`ClientError`] immediately.
     pub fn open(&self, device: &str) -> Result<Connection, ClientError> {
+        let window = self.config.window.max(1);
+        self.open_with(|conn| {
+            write_frame(
+                &mut conn.stream,
+                FrameType::Hello,
+                &encode_hello(window, device),
+            )
+        })
+    }
+
+    /// Opens a connection that resumes the session `token` names: the
+    /// server restores the device's nonce chain without a fresh
+    /// `HELLO` setup. The token must have come from an earlier
+    /// [`Connection::close`] (or [`Connection::resume_token`]) for the
+    /// same device.
+    ///
+    /// # Errors
+    ///
+    /// The server answers an invalid, expired, reused, or
+    /// wrong-device token with [`ClientError::Server`] carrying
+    /// [`ErrorCode::ResumeRejected`] (surfaced on the first read);
+    /// transport failures as in [`AttestClient::open`].
+    pub fn resume(&self, device: &str, token: ResumeToken) -> Result<Connection, ClientError> {
+        let window = self.config.window.max(1);
+        self.open_with(|conn| {
+            write_frame(
+                &mut conn.stream,
+                FrameType::Resume,
+                &encode_resume(&token, window, device),
+            )
+        })
+    }
+
+    fn open_with(
+        &self,
+        mut opener: impl FnMut(&mut Connection) -> std::io::Result<()>,
+    ) -> Result<Connection, ClientError> {
         let attempts = self.config.retries + 1;
         let mut rng = SplitMix64::new(self.config.jitter_seed);
         for attempt in 0..attempts {
-            match self.open_once(device) {
+            match self.connect_once(&mut opener) {
                 Ok(conn) => return Ok(conn),
                 Err(e) if e.transient() && attempt + 1 < attempts => {
                     rap_obs::counter!("serve_client_retries_total").inc();
@@ -208,7 +262,10 @@ impl AttestClient {
         conn.round(respond)
     }
 
-    fn open_once(&self, device: &str) -> Result<Connection, ClientError> {
+    fn connect_once(
+        &self,
+        opener: &mut impl FnMut(&mut Connection) -> std::io::Result<()>,
+    ) -> Result<Connection, ClientError> {
         let addr = self
             .addr
             .parse()
@@ -220,8 +277,11 @@ impl AttestClient {
         let mut conn = Connection {
             stream,
             max_frame_len: self.config.max_frame_len,
+            grant: None,
+            pending: VecDeque::new(),
         };
-        write_frame(&mut conn.stream, FrameType::Hello, device.as_bytes())?;
+        conn.pending.reserve(self.config.window as usize);
+        opener(&mut conn)?;
         Ok(conn)
     }
 
@@ -235,10 +295,9 @@ impl AttestClient {
 }
 
 impl Connection {
-    /// Runs one challenge–response round: reads the server's
-    /// `CHALLENGE`, answers with the reports `respond` produces, and
-    /// returns the `VERDICT`. Call again for another round on the same
-    /// connection.
+    /// Runs one challenge–response round: takes the next `CHALLENGE`,
+    /// answers with the reports `respond` produces, and returns the
+    /// `VERDICT`. Call again for another round on the same connection.
     ///
     /// # Errors
     ///
@@ -250,22 +309,81 @@ impl Connection {
         &mut self,
         respond: impl FnOnce(Challenge) -> Vec<Report>,
     ) -> Result<Verdict, ClientError> {
-        let chal = match self.expect_frame()? {
-            (FrameType::Challenge, payload) => decode_challenge(&payload)?,
-            (FrameType::Error, payload) => return Err(server_error(&payload)),
-            _ => return Err(ClientError::Protocol("expected CHALLENGE")),
-        };
+        let chal = self.next_challenge()?;
         let reports = respond(chal);
         write_frame(
             &mut self.stream,
             FrameType::Attest,
             &encode_stream(&reports),
         )?;
-        match self.expect_frame()? {
-            (FrameType::Verdict, payload) => Ok(Verdict::decode(&payload)?),
-            (FrameType::Error, payload) => Err(server_error(&payload)),
-            _ => Err(ClientError::Protocol("expected VERDICT")),
+        self.read_verdict()
+    }
+
+    /// Runs `rounds` rounds keeping up to the granted window in
+    /// flight: an initial burst of ATTEST frames, then one new ATTEST
+    /// per VERDICT received. Verdicts come back in round order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::round`]; on error, in-flight rounds are lost.
+    pub fn pipelined(
+        &mut self,
+        rounds: usize,
+        mut respond: impl FnMut(Challenge) -> Vec<Report>,
+    ) -> Result<Vec<Verdict>, ClientError> {
+        let mut verdicts = Vec::with_capacity(rounds);
+        let mut sent = 0usize;
+        // Write-ahead burst: one ATTEST per challenge the handshake
+        // granted (bounded by the number of rounds requested). The
+        // granted window is unknown until the first read consumes the
+        // SESSION grant, so the bound is re-checked per iteration.
+        while sent < rounds && sent < self.granted_window().max(1) as usize {
+            let chal = self.next_challenge()?;
+            write_frame(
+                &mut self.stream,
+                FrameType::Attest,
+                &encode_stream(&respond(chal)),
+            )?;
+            sent += 1;
         }
+        while verdicts.len() < rounds {
+            verdicts.push(self.read_verdict()?);
+            if sent < rounds {
+                let chal = self.next_challenge()?;
+                write_frame(
+                    &mut self.stream,
+                    FrameType::Attest,
+                    &encode_stream(&respond(chal)),
+                )?;
+                sent += 1;
+            }
+        }
+        Ok(verdicts)
+    }
+
+    /// The resumption token granted to this connection, once the
+    /// `SESSION` frame has been read (after the first round at the
+    /// latest). Present it to [`AttestClient::resume`] to continue
+    /// this session on a new connection.
+    pub fn resume_token(&self) -> Option<ResumeToken> {
+        self.grant.map(|(token, _)| token)
+    }
+
+    /// The pipelining window the server granted (0 until the
+    /// `SESSION` frame has been read).
+    pub fn granted_window(&self) -> u16 {
+        self.grant.map_or(0, |(_, w)| w)
+    }
+
+    /// Closes the connection cleanly and returns the resumption token:
+    /// shuts down the write side, then drains the server's remaining
+    /// frames until it acknowledges the close with EOF — after which
+    /// the server is guaranteed to have parked the session, so an
+    /// immediate [`AttestClient::resume`] with the token succeeds.
+    pub fn close(mut self) -> Option<ResumeToken> {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+        while let Ok(Some(_)) = read_frame(&mut self.stream, self.max_frame_len) {}
+        self.grant.map(|(token, _)| token)
     }
 
     /// Sends raw bytes on the open connection — test aid for malformed
@@ -276,14 +394,62 @@ impl Connection {
     }
 
     /// Reads the next frame — test aid for driving the protocol
-    /// manually after [`Connection::send_raw`].
+    /// manually after [`Connection::send_raw`]. `SESSION` grants are
+    /// consumed transparently (stashing the token), so the first frame
+    /// this returns on a fresh connection is the first `CHALLENGE`.
     ///
     /// # Errors
     ///
     /// [`ClientError::Protocol`] on clean EOF; transport and decode
     /// failures as their own variants.
     pub fn read_next(&mut self) -> Result<(FrameType, Vec<u8>), ClientError> {
-        self.expect_frame()
+        loop {
+            let (ft, payload) = self.expect_frame()?;
+            if ft == FrameType::Session && self.grant.is_none() {
+                let grant = decode_session(&payload)?;
+                self.grant = Some((grant.token, grant.window));
+                continue;
+            }
+            return Ok((ft, payload));
+        }
+    }
+
+    /// The next challenge: buffered first, then read from the stream
+    /// (consuming the `SESSION` grant if it has not arrived yet).
+    fn next_challenge(&mut self) -> Result<Challenge, ClientError> {
+        if let Some(chal) = self.pending.pop_front() {
+            return Ok(chal);
+        }
+        loop {
+            match self.expect_frame()? {
+                (FrameType::Session, payload) => {
+                    let grant = decode_session(&payload)?;
+                    self.grant = Some((grant.token, grant.window));
+                }
+                (FrameType::Challenge, payload) => return Ok(decode_challenge(&payload)?),
+                (FrameType::Error, payload) => return Err(server_error(&payload)),
+                _ => return Err(ClientError::Protocol("expected CHALLENGE")),
+            }
+        }
+    }
+
+    /// Reads until a `VERDICT`, buffering replacement challenges that
+    /// arrive ahead of it.
+    fn read_verdict(&mut self) -> Result<Verdict, ClientError> {
+        loop {
+            match self.expect_frame()? {
+                (FrameType::Verdict, payload) => return Ok(Verdict::decode(&payload)?),
+                (FrameType::Challenge, payload) => {
+                    self.pending.push_back(decode_challenge(&payload)?);
+                }
+                (FrameType::Session, payload) => {
+                    let grant = decode_session(&payload)?;
+                    self.grant = Some((grant.token, grant.window));
+                }
+                (FrameType::Error, payload) => return Err(server_error(&payload)),
+                _ => return Err(ClientError::Protocol("expected VERDICT")),
+            }
+        }
     }
 
     fn expect_frame(&mut self) -> Result<(FrameType, Vec<u8>), ClientError> {

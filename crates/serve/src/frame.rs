@@ -6,20 +6,28 @@
 //!
 //! ```text
 //! magic  "RAPS"        4 bytes
-//! ver    u8 = 1        1
-//! type   u8            1       Hello | Challenge | Attest | Verdict | Error
+//! ver    u8 = 2        1
+//! type   u8            1       Hello | Challenge | Attest | Verdict | Error | Resume | Session
 //! len    u32           4       payload length in bytes
 //! ```
 //!
 //! followed by `len` payload bytes. Payloads:
 //!
-//! | frame       | direction | payload                                          |
-//! |-------------|-----------|--------------------------------------------------|
-//! | `Hello`     | C → S     | device name, UTF-8                               |
-//! | `Challenge` | S → C     | 32-byte nonce                                    |
-//! | `Attest`    | C → S     | a [`rap_track::encode_stream`] report stream     |
-//! | `Verdict`   | S → C     | accepted `u8`, events `u32`, steps `u64`, detail |
-//! | `Error`     | S → C     | code `u8`, message UTF-8                         |
+//! | frame       | direction | payload                                              |
+//! |-------------|-----------|------------------------------------------------------|
+//! | `Hello`     | C → S     | requested window `u16`, device name UTF-8            |
+//! | `Resume`    | C → S     | token id `u64`, mac `[u8;32]`, window `u16`, device  |
+//! | `Session`   | S → C     | token id `u64`, mac `[u8;32]`, granted window `u16`  |
+//! | `Challenge` | S → C     | 32-byte nonce                                        |
+//! | `Attest`    | C → S     | a [`rap_track::encode_stream`] report stream         |
+//! | `Verdict`   | S → C     | accepted `u8`, events `u32`, steps `u64`, detail     |
+//! | `Error`     | S → C     | code `u8`, message UTF-8                             |
+//!
+//! Version 2 replaced the bare-device `Hello` of version 1 and added
+//! the `Resume`/`Session` handshake: every accepted opener is answered
+//! with a `Session` grant carrying a single-use resumption token, and
+//! a reconnecting device may present that token in a `Resume` opener
+//! to continue its nonce chain without a fresh `Hello` setup.
 //!
 //! [`AttestClient`]: crate::AttestClient
 
@@ -32,7 +40,7 @@ use rap_track::Challenge;
 /// header.
 pub const FRAME_MAGIC: &[u8; 4] = b"RAPS";
 /// The service protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+pub const PROTOCOL_VERSION: u8 = 2;
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 10;
 /// Default cap on payload length; larger frames are rejected before
@@ -53,16 +61,22 @@ pub enum FrameType {
     Verdict = 4,
     /// Server-side failure; the connection closes after this frame.
     Error = 5,
+    /// Client opener: presents a resumption token instead of `Hello`.
+    Resume = 6,
+    /// Server session grant: resumption token + granted window.
+    Session = 7,
 }
 
 impl FrameType {
     /// All frame types, for exhaustive protocol tests.
-    pub const ALL: [FrameType; 5] = [
+    pub const ALL: [FrameType; 7] = [
         FrameType::Hello,
         FrameType::Challenge,
         FrameType::Attest,
         FrameType::Verdict,
         FrameType::Error,
+        FrameType::Resume,
+        FrameType::Session,
     ];
 
     fn from_u8(v: u8) -> Option<FrameType> {
@@ -72,6 +86,8 @@ impl FrameType {
             3 => Some(FrameType::Attest),
             4 => Some(FrameType::Verdict),
             5 => Some(FrameType::Error),
+            6 => Some(FrameType::Resume),
+            7 => Some(FrameType::Session),
             _ => None,
         }
     }
@@ -93,6 +109,9 @@ pub enum ErrorCode {
     Draining = 5,
     /// Unexpected server-side failure.
     Internal = 6,
+    /// The resumption token was unknown, expired, already used, or
+    /// bound to a different device.
+    ResumeRejected = 7,
 }
 
 impl ErrorCode {
@@ -104,6 +123,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::Timeout),
             5 => Some(ErrorCode::Draining),
             6 => Some(ErrorCode::Internal),
+            7 => Some(ErrorCode::ResumeRejected),
             _ => None,
         }
     }
@@ -118,6 +138,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Timeout => "timeout",
             ErrorCode::Draining => "draining",
             ErrorCode::Internal => "internal",
+            ErrorCode::ResumeRejected => "resume-rejected",
         };
         f.write_str(s)
     }
@@ -426,6 +447,123 @@ pub fn decode_challenge(payload: &[u8]) -> Result<Challenge, FrameError> {
     Ok(Challenge(bytes))
 }
 
+/// A server-issued, single-use session-resumption token.
+///
+/// The id names the saved session state; the mac binds the id to the
+/// device name under the server secret, so a token cannot be minted or
+/// replayed for a different device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeToken {
+    /// Server-side identifier of the saved session state.
+    pub id: u64,
+    /// HMAC over `id || device` under the server secret.
+    pub mac: [u8; 32],
+}
+
+/// The server's `Session` grant: the resumption token for *this*
+/// connection plus the pipelining window actually granted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionGrant {
+    /// Token to present in a later `Resume` opener.
+    pub token: ResumeToken,
+    /// Rounds the client may keep in flight on this connection.
+    pub window: u16,
+}
+
+/// Encodes a `Hello` frame payload: requested window + device name.
+pub fn encode_hello(window: u16, device: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + device.len());
+    out.extend_from_slice(&window.to_le_bytes());
+    out.extend_from_slice(device.as_bytes());
+    out
+}
+
+/// Decodes a `Hello` frame payload into `(requested window, device)`.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] when the payload is shorter than the
+/// window field or the device name is not UTF-8.
+pub fn decode_hello(payload: &[u8]) -> Result<(u16, String), FrameError> {
+    if payload.len() < 2 {
+        return Err(FrameError::BadPayload {
+            what: "hello shorter than fixed fields",
+        });
+    }
+    let window = u16::from_le_bytes([payload[0], payload[1]]);
+    let device = std::str::from_utf8(&payload[2..])
+        .map_err(|_| FrameError::BadPayload {
+            what: "hello device name not UTF-8",
+        })?
+        .to_string();
+    Ok((window, device))
+}
+
+/// Encodes a `Session` frame payload: token id, mac, granted window.
+pub fn encode_session(grant: &SessionGrant) -> Vec<u8> {
+    let mut out = Vec::with_capacity(42);
+    out.extend_from_slice(&grant.token.id.to_le_bytes());
+    out.extend_from_slice(&grant.token.mac);
+    out.extend_from_slice(&grant.window.to_le_bytes());
+    out
+}
+
+/// Decodes a `Session` frame payload.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] unless the payload is exactly the 42
+/// fixed bytes.
+pub fn decode_session(payload: &[u8]) -> Result<SessionGrant, FrameError> {
+    if payload.len() != 42 {
+        return Err(FrameError::BadPayload {
+            what: "session grant must be exactly 42 bytes",
+        });
+    }
+    let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let mac: [u8; 32] = payload[8..40].try_into().unwrap();
+    let window = u16::from_le_bytes([payload[40], payload[41]]);
+    Ok(SessionGrant {
+        token: ResumeToken { id, mac },
+        window,
+    })
+}
+
+/// Encodes a `Resume` frame payload: token id, mac, requested window,
+/// device name.
+pub fn encode_resume(token: &ResumeToken, window: u16, device: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(42 + device.len());
+    out.extend_from_slice(&token.id.to_le_bytes());
+    out.extend_from_slice(&token.mac);
+    out.extend_from_slice(&window.to_le_bytes());
+    out.extend_from_slice(device.as_bytes());
+    out
+}
+
+/// Decodes a `Resume` frame payload into `(token, requested window,
+/// device)`.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] when the payload is shorter than the
+/// fixed fields or the device name is not UTF-8.
+pub fn decode_resume(payload: &[u8]) -> Result<(ResumeToken, u16, String), FrameError> {
+    if payload.len() < 42 {
+        return Err(FrameError::BadPayload {
+            what: "resume shorter than fixed fields",
+        });
+    }
+    let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let mac: [u8; 32] = payload[8..40].try_into().unwrap();
+    let window = u16::from_le_bytes([payload[40], payload[41]]);
+    let device = std::str::from_utf8(&payload[42..])
+        .map_err(|_| FrameError::BadPayload {
+            what: "resume device name not UTF-8",
+        })?
+        .to_string();
+    Ok((ResumeToken { id, mac }, window, device))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +611,60 @@ mod tests {
                 max: 1024
             })
         );
+    }
+
+    #[test]
+    fn hello_session_resume_roundtrip() {
+        let (window, device) = decode_hello(&encode_hello(6, "device-α")).unwrap();
+        assert_eq!((window, device.as_str()), (6, "device-α"));
+
+        let grant = SessionGrant {
+            token: ResumeToken {
+                id: 0xDEAD_BEEF_0042,
+                mac: [0x5A; 32],
+            },
+            window: 8,
+        };
+        assert_eq!(decode_session(&encode_session(&grant)).unwrap(), grant);
+
+        let (token, window, device) =
+            decode_resume(&encode_resume(&grant.token, 4, "device-α")).unwrap();
+        assert_eq!(token, grant.token);
+        assert_eq!((window, device.as_str()), (4, "device-α"));
+    }
+
+    #[test]
+    fn handshake_payloads_reject_short_and_non_utf8() {
+        assert!(matches!(
+            decode_hello(&[1]),
+            Err(FrameError::BadPayload { .. })
+        ));
+        let mut bad_hello = encode_hello(1, "d");
+        bad_hello.push(0xFF);
+        assert!(matches!(
+            decode_hello(&bad_hello),
+            Err(FrameError::BadPayload { .. })
+        ));
+        for len in [0usize, 41, 43] {
+            assert!(matches!(
+                decode_session(&vec![0u8; len]),
+                Err(FrameError::BadPayload { .. })
+            ));
+        }
+        assert!(matches!(
+            decode_resume(&[0u8; 41]),
+            Err(FrameError::BadPayload { .. })
+        ));
+        let token = ResumeToken {
+            id: 1,
+            mac: [0; 32],
+        };
+        let mut bad_resume = encode_resume(&token, 1, "d");
+        bad_resume.push(0xFE);
+        assert!(matches!(
+            decode_resume(&bad_resume),
+            Err(FrameError::BadPayload { .. })
+        ));
     }
 
     #[test]

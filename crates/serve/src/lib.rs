@@ -5,16 +5,24 @@
 //! this crate puts an actual wire between them. Std-only TCP, no
 //! external dependencies, same as the rest of the workspace.
 //!
-//! * [`Server`] — bounded accept loop + worker pool, every connection
-//!   a [`rap_track::VerifierSession`] over clones of one shared
-//!   [`rap_track::Verifier`] (one replay cache for the whole fleet).
-//!   Overload is shed with `ERROR busy`; shutdown drains in-flight
-//!   rounds and flushes `rap-obs`.
+//! * [`Server`] — bounded accept loop → device-sharded dispatcher →
+//!   one worker per verifier shard, every connection a
+//!   [`rap_track::VerifierSession`] over clones of one shared
+//!   [`rap_track::Verifier`] (one replay cache for the whole fleet,
+//!   with per-device thread locality from the sharding). Rounds are
+//!   pipelined up to a granted window and verdict/observability
+//!   writes are batched per drain tick. Overload is shed with
+//!   `ERROR busy`; shutdown drains in-flight rounds and flushes
+//!   `rap-obs`. A closing connection parks its session under a
+//!   single-use resumption token so the device can continue its nonce
+//!   chain on the next connection.
 //! * [`AttestClient`] — connect/read deadlines and bounded
-//!   exponential-backoff retry with deterministic SplitMix64 jitter.
-//! * [`frame`] — the length-prefixed frame protocol
-//!   (`HELLO`/`CHALLENGE`/`ATTEST`/`VERDICT`/`ERROR`); report payloads
-//!   reuse [`rap_track::encode_stream`].
+//!   exponential-backoff retry with deterministic SplitMix64 jitter;
+//!   [`Connection::pipelined`] keeps a window of rounds in flight and
+//!   [`AttestClient::resume`] reconnects with a token.
+//! * [`frame`] — the length-prefixed frame protocol, version 2
+//!   (`HELLO`/`RESUME`/`SESSION`/`CHALLENGE`/`ATTEST`/`VERDICT`/
+//!   `ERROR`); report payloads reuse [`rap_track::encode_stream`].
 //!
 //! ```no_run
 //! use rap_serve::{AttestClient, ClientConfig, Server, ServerConfig};
@@ -22,9 +30,20 @@
 //! # fn verifier() -> Verifier { unimplemented!() }
 //! # fn respond(_: rap_track::Challenge) -> Vec<rap_track::Report> { unimplemented!() }
 //!
-//! let server = Server::start(verifier(), "127.0.0.1:0", ServerConfig::default())?;
+//! let config = ServerConfig {
+//!     session_secret: b"from-an-os-rng".to_vec(),
+//!     ..ServerConfig::default()
+//! };
+//! let server = Server::start(verifier(), "127.0.0.1:0", config)?;
 //! let client = AttestClient::new(server.local_addr().to_string(), ClientConfig::default());
-//! let verdict = client.attest_once("device-0", respond)?;
+//!
+//! // Pipelined rounds on one connection, then resume on a second.
+//! let mut conn = client.open("device-0")?;
+//! let verdicts = conn.pipelined(4, |chal| respond(chal))?;
+//! assert!(verdicts.iter().all(|v| v.accepted));
+//! let token = conn.close().expect("session grant received");
+//! let mut conn = client.resume("device-0", token)?;
+//! let verdict = conn.round(respond)?;
 //! assert!(verdict.accepted);
 //! server.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -38,5 +57,7 @@ mod client;
 mod server;
 
 pub use client::{AttestClient, ClientConfig, ClientError, Connection};
-pub use frame::{ErrorCode, Frame, FrameError, FrameType, ReadFrameError, Verdict};
-pub use server::{Server, ServerConfig, ServerStats};
+pub use frame::{
+    ErrorCode, Frame, FrameError, FrameType, ReadFrameError, ResumeToken, SessionGrant, Verdict,
+};
+pub use server::{Server, ServerConfig, ServerStats, StartError};

@@ -1,42 +1,59 @@
-//! The attestation server: a bounded accept loop feeding a worker pool
-//! that drives one [`VerifierSession`] per connection.
+//! The attestation server: a bounded accept loop feeding a dispatcher
+//! that routes each connection to a verifier shard by device id, where
+//! a shard worker drives one [`VerifierSession`] per connection
+//! through pipelined CHALLENGE/ATTEST/VERDICT rounds.
 //!
-//! All workers clone one [`Verifier`], so every connection shares the
-//! two-level replay cache — a fleet of devices running the same binary
-//! decodes each deterministic stretch once, no matter which connection
-//! saw it first. Session state (nonces, used-challenge set) stays
-//! strictly per-connection: each session is seeded with the server
-//! secret *plus a unique connection id*, so a nonce can never repeat
-//! across connections.
+//! All shard workers clone one [`Verifier`], so every connection
+//! shares the two-level replay cache — a fleet of devices running the
+//! same binary decodes each deterministic stretch once, no matter
+//! which connection saw it first. Routing by device id additionally
+//! keeps each device's rounds on one worker thread, so the per-thread
+//! L1 of the replay cache stays warm for that device. Session state
+//! (nonces, used-challenge set) stays strictly per-connection: each
+//! fresh session is seeded with the server secret *plus a unique
+//! connection id*, so a nonce can never repeat across connections.
 //!
-//! Overload is shed, not queued: when `max_pending` connections are
-//! already waiting, the accept loop answers `ERROR busy` and closes
-//! instead of growing an unbounded backlog. Shutdown drains: the
-//! listener stops accepting, queued and in-flight rounds finish
+//! Rounds are pipelined: the handshake grants a window of `W`
+//! challenges up front, the client writes ahead up to `W` ATTEST
+//! frames, and the server verifies every buffered frame per *drain
+//! tick*, batching the verdicts, replacement challenges, and
+//! observability updates into one flush per tick instead of one per
+//! round. When a connection ends cleanly its session is parked under
+//! a single-use resumption token (granted in the handshake), and a
+//! reconnecting device presents that token in a `RESUME` opener to
+//! continue its nonce chain without a fresh `HELLO` setup.
+//!
+//! Overload is shed, not queued: when the accept backlog or a shard's
+//! queue is full, the connection is answered with `ERROR busy` and
+//! closed instead of growing an unbounded backlog. Shutdown drains:
+//! the listener stops accepting, queued and in-flight rounds finish
 //! (bounded by the per-connection read deadline), and every worker
 //! flushes its `rap-obs` trace ring before joining.
 
-use std::collections::VecDeque;
-use std::io::Write;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use rap_crypto::hmac_sha256;
 use rap_track::{decode_stream, SessionError, Verifier, VerifierSession};
 
 use crate::frame::{
-    encode_error, read_frame, write_frame, ErrorCode, FrameType, ReadFrameError, Verdict,
-    DEFAULT_MAX_FRAME_LEN,
+    decode_frame, decode_hello, decode_resume, encode_error, encode_frame, encode_session,
+    read_frame, ErrorCode, Frame, FrameError, FrameType, ReadFrameError, ResumeToken, SessionGrant,
+    Verdict, DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads (each handles one connection at a time).
+    /// Verifier shards (one worker thread per shard; connections are
+    /// routed to shards by device id).
     pub threads: usize,
-    /// Connections that may wait for a worker before new arrivals are
-    /// shed with `ERROR busy`.
+    /// Connections that may wait for the dispatcher or a shard worker
+    /// before new arrivals are shed with `ERROR busy`.
     pub max_pending: usize,
     /// Payload-size cap applied before any allocation.
     pub max_frame_len: u32,
@@ -45,9 +62,19 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Per-connection write deadline.
     pub write_timeout: Duration,
-    /// Seed for per-connection nonce derivation (a deployment uses an
-    /// OS RNG; determinism keeps tests reproducible).
+    /// Seed for per-connection nonce derivation and resumption-token
+    /// authentication. Must be non-empty — [`Server::start`] rejects
+    /// an empty secret with [`StartError::EmptySecret`].
     pub session_secret: Vec<u8>,
+    /// Cap on the pipelining window granted per connection; client
+    /// requests are clamped into `1..=window`.
+    pub window: u16,
+    /// How long a parked session stays resumable after its connection
+    /// closes.
+    pub resume_ttl: Duration,
+    /// Cap on parked sessions; once full, closing connections simply
+    /// lose resumability (their tokens are rejected).
+    pub resume_capacity: usize,
     /// When set, stop accepting and drain after this many connections
     /// have been accepted — lets scripts run a bounded smoke test
     /// without signal handling.
@@ -62,34 +89,83 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
-            session_secret: b"rap-serve-session".to_vec(),
+            // Deliberately empty: there is no safe default secret. The
+            // caller must supply one (Server::start rejects this
+            // default), and `rap serve` generates a random one.
+            session_secret: Vec::new(),
+            window: 8,
+            resume_ttl: Duration::from_secs(60),
+            resume_capacity: 1024,
             conn_limit: None,
         }
+    }
+}
+
+/// A failure starting the server.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StartError {
+    /// [`ServerConfig::session_secret`] was empty — an empty secret
+    /// would make every nonce chain and resumption token forgeable.
+    EmptySecret,
+    /// Binding the listener failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::EmptySecret => {
+                write!(
+                    f,
+                    "session secret must not be empty (nonces would be forgeable)"
+                )
+            }
+            StartError::Io(e) => write!(f, "bind failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl From<std::io::Error> for StartError {
+    fn from(e: std::io::Error) -> StartError {
+        StartError::Io(e)
     }
 }
 
 /// Counters reported by [`Server::shutdown`]/[`Server::join`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Connections accepted and handed to a worker.
+    /// Connections accepted and handed to the dispatcher.
     pub accepted: u64,
     /// Connections shed with `ERROR busy`.
     pub shed: u64,
+    /// Connections that resumed a parked session via a token.
+    pub resumed: u64,
+    /// `RESUME` openers rejected (unknown/used/expired/wrong-device).
+    pub resume_rejected: u64,
     /// Rounds whose evidence verified.
     pub verdicts_accepted: u64,
     /// Rounds whose evidence was rejected (wire or session failure).
     pub verdicts_rejected: u64,
-    /// `Error` frames sent (busy, timeout, protocol, draining …).
+    /// `Error` frames successfully flushed to the peer.
     pub errors_sent: u64,
+    /// `Error` frames the server tried to send but could not deliver
+    /// (the peer was already gone).
+    pub error_send_failed: u64,
 }
 
 #[derive(Default)]
 struct Counters {
     accepted: AtomicU64,
     shed: AtomicU64,
+    resumed: AtomicU64,
+    resume_rejected: AtomicU64,
     verdicts_accepted: AtomicU64,
     verdicts_rejected: AtomicU64,
     errors_sent: AtomicU64,
+    error_send_failed: AtomicU64,
 }
 
 impl Counters {
@@ -97,30 +173,34 @@ impl Counters {
         ServerStats {
             accepted: self.accepted.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
+            resume_rejected: self.resume_rejected.load(Ordering::Relaxed),
             verdicts_accepted: self.verdicts_accepted.load(Ordering::Relaxed),
             verdicts_rejected: self.verdicts_rejected.load(Ordering::Relaxed),
             errors_sent: self.errors_sent.load(Ordering::Relaxed),
+            error_send_failed: self.error_send_failed.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Bounded handoff between the accept loop and the workers.
-/// `try_push` refuses instead of blocking — that refusal is the load
-/// shed. `pop` blocks until a connection arrives or the queue closes.
-struct ConnQueue {
-    inner: Mutex<QueueInner>,
+/// Bounded handoff between pipeline stages (accept → dispatch →
+/// shard). `try_push` refuses instead of blocking — that refusal is
+/// the load shed. `pop` blocks until an item arrives or the queue
+/// closes.
+struct HandoffQueue<T> {
+    inner: Mutex<QueueInner<T>>,
     ready: Condvar,
     cap: usize,
 }
 
-struct QueueInner {
-    items: VecDeque<(u64, TcpStream)>,
+struct QueueInner<T> {
+    items: VecDeque<T>,
     closed: bool,
 }
 
-impl ConnQueue {
-    fn new(cap: usize) -> ConnQueue {
-        ConnQueue {
+impl<T> HandoffQueue<T> {
+    fn new(cap: usize) -> HandoffQueue<T> {
+        HandoffQueue {
             inner: Mutex::new(QueueInner {
                 items: VecDeque::new(),
                 closed: false,
@@ -132,7 +212,7 @@ impl ConnQueue {
 
     /// Returns the item on refusal (queue full or closed) so the
     /// caller can still talk to the connection it failed to enqueue.
-    fn try_push(&self, item: (u64, TcpStream)) -> Result<(), (u64, TcpStream)> {
+    fn try_push(&self, item: T) -> Result<(), T> {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed || inner.items.len() >= self.cap {
             return Err(item);
@@ -143,7 +223,7 @@ impl ConnQueue {
         Ok(())
     }
 
-    fn pop(&self) -> Option<(u64, TcpStream)> {
+    fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(item) = inner.items.pop_front() {
@@ -162,50 +242,118 @@ impl ConnQueue {
     }
 }
 
+/// A connection whose opener has been read and routed: everything a
+/// shard worker needs to run the session.
+struct PendingConn {
+    conn_id: u64,
+    stream: TcpStream,
+    device: String,
+    requested_window: u16,
+    /// `Some` when the opener was a valid `RESUME` — the parked
+    /// session whose nonce chain continues.
+    restored: Option<VerifierSession>,
+}
+
+/// A session parked at connection close, waiting for a `RESUME`.
+struct ResumeEntry {
+    session: VerifierSession,
+    device: String,
+    expires_at: Instant,
+}
+
+type ResumeTable = Mutex<HashMap<u64, ResumeEntry>>;
+
+/// Everything the dispatcher and shard workers share.
+struct Shared {
+    config: ServerConfig,
+    counters: Counters,
+    shutdown: AtomicBool,
+    resume: ResumeTable,
+    token_seq: AtomicU64,
+}
+
+/// Derives the resumption token for `(id, device)` under the server
+/// secret. The mac binds both, so a token presented with a different
+/// device name (or minted without the secret) fails validation.
+fn mint_token(secret: &[u8], id: u64, device: &str) -> ResumeToken {
+    let mut msg = secret.to_vec();
+    msg.extend_from_slice(&id.to_le_bytes());
+    msg.extend_from_slice(device.as_bytes());
+    ResumeToken {
+        id,
+        mac: hmac_sha256(b"RAP-SERVE-RESUME", &msg),
+    }
+}
+
+/// FNV-1a, the shard router. Stable across runs so a device always
+/// lands on the same shard for a given thread count.
+fn shard_of(device: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in device.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
 /// A running attestation server; dropping it without calling
 /// [`Server::shutdown`] aborts the drain (threads are detached).
 pub struct Server {
     local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    counters: Arc<Counters>,
+    shared: Arc<Shared>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
+    dispatch_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
-    queue: Arc<ConnQueue>,
+    accept_queue: Arc<HandoffQueue<(u64, TcpStream)>>,
+    shard_queues: Vec<Arc<HandoffQueue<PendingConn>>>,
 }
 
 impl Server {
     /// Binds `addr` (`"127.0.0.1:0"` picks an ephemeral port) and
-    /// starts the accept loop plus `config.threads` workers, all
-    /// verifying through clones of `verifier`.
+    /// starts the accept loop, the dispatcher, and one worker per
+    /// verifier shard, all verifying through clones of `verifier`.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// [`StartError::EmptySecret`] when
+    /// [`ServerConfig::session_secret`] is empty;
+    /// [`StartError::Io`] for bind failures.
     pub fn start(
         verifier: Verifier,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
-    ) -> std::io::Result<Server> {
+    ) -> Result<Server, StartError> {
+        if config.session_secret.is_empty() {
+            return Err(StartError::EmptySecret);
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(Counters::default());
-        let queue = Arc::new(ConnQueue::new(config.max_pending));
-        let config = Arc::new(config);
+        let shards = config.threads.max(1);
+        let max_pending = config.max_pending;
+        let shared = Arc::new(Shared {
+            config,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            resume: Mutex::new(HashMap::new()),
+            token_seq: AtomicU64::new(1),
+        });
+        let accept_queue = Arc::new(HandoffQueue::new(max_pending));
+        let shard_queues: Vec<Arc<HandoffQueue<PendingConn>>> = (0..shards)
+            .map(|_| Arc::new(HandoffQueue::new(max_pending)))
+            .collect();
 
-        let worker_handles = (0..config.threads.max(1))
-            .map(|_| {
-                let queue = Arc::clone(&queue);
-                let counters = Arc::clone(&counters);
-                let config = Arc::clone(&config);
+        let worker_handles = shard_queues
+            .iter()
+            .map(|queue| {
+                let queue = Arc::clone(queue);
+                let shared = Arc::clone(&shared);
                 let verifier = verifier.clone();
-                let shutdown = Arc::clone(&shutdown);
                 std::thread::spawn(move || {
-                    while let Some((conn_id, stream)) = queue.pop() {
+                    while let Some(pending) = queue.pop() {
                         rap_obs::gauge!("serve_active_connections").inc();
-                        serve_connection(conn_id, stream, &verifier, &config, &counters, &shutdown);
+                        serve_connection(&shared, &verifier, pending);
                         rap_obs::gauge!("serve_active_connections").dec();
                     }
                     // Scoped-thread rule from the fleet layer applies
@@ -215,24 +363,36 @@ impl Server {
             })
             .collect();
 
-        let accept_handle = {
-            let queue = Arc::clone(&queue);
-            let counters = Arc::clone(&counters);
-            let config = Arc::clone(&config);
-            let shutdown = Arc::clone(&shutdown);
+        let dispatch_handle = {
+            let accept_queue = Arc::clone(&accept_queue);
+            let shard_queues = shard_queues.clone();
+            let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
-                accept_loop(listener, &queue, &counters, &config, &shutdown);
-                queue.close();
+                dispatch_loop(&accept_queue, &shard_queues, &shared);
+                for q in &shard_queues {
+                    q.close();
+                }
+                rap_obs::flush_thread();
+            })
+        };
+
+        let accept_handle = {
+            let accept_queue = Arc::clone(&accept_queue);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                accept_loop(listener, &accept_queue, &shared);
+                accept_queue.close();
             })
         };
 
         Ok(Server {
             local_addr,
-            shutdown,
-            counters,
+            shared,
             accept_handle: Some(accept_handle),
+            dispatch_handle: Some(dispatch_handle),
             worker_handles,
-            queue,
+            accept_queue,
+            shard_queues,
         })
     }
 
@@ -243,47 +403,49 @@ impl Server {
 
     /// Stats so far (the server keeps running).
     pub fn stats(&self) -> ServerStats {
-        self.counters.snapshot()
+        self.shared.counters.snapshot()
     }
 
     /// Graceful drain: stop accepting, let queued and in-flight rounds
     /// finish (bounded by the read deadline), join every thread, and
     /// return the final stats.
     pub fn shutdown(mut self) -> ServerStats {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         self.join_threads();
-        self.counters.snapshot()
+        self.shared.counters.snapshot()
     }
 
     /// Waits for the server to drain on its own — only meaningful with
     /// [`ServerConfig::conn_limit`], after which the accept loop exits
-    /// and the queue closes without an explicit [`Server::shutdown`].
+    /// and the queues close without an explicit [`Server::shutdown`].
     pub fn join(mut self) -> ServerStats {
         self.join_threads();
-        self.counters.snapshot()
+        self.shared.counters.snapshot()
     }
 
     fn join_threads(&mut self) {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        self.queue.close();
+        self.accept_queue.close();
+        if let Some(h) = self.dispatch_handle.take() {
+            let _ = h.join();
+        }
+        for q in &self.shard_queues {
+            q.close();
+        }
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    queue: &ConnQueue,
-    counters: &Counters,
-    config: &ServerConfig,
-    shutdown: &AtomicBool,
-) {
+fn accept_loop(listener: TcpListener, queue: &HandoffQueue<(u64, TcpStream)>, shared: &Shared) {
+    let config = &shared.config;
+    let counters = &shared.counters;
     let mut next_conn_id = 0u64;
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         if let Some(limit) = config.conn_limit {
@@ -306,13 +468,12 @@ fn accept_loop(
                         // lets the client back off and retry.
                         counters.shed.fetch_add(1, Ordering::Relaxed);
                         rap_obs::counter!("serve_conns_shed_total").inc();
-                        counters.errors_sent.fetch_add(1, Ordering::Relaxed);
-                        rap_obs::counter!("serve_errors_tx_total").inc();
                         let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-                        let _ = write_frame(
+                        send_error(
                             &mut stream,
-                            FrameType::Error,
-                            &encode_error(ErrorCode::Busy, "connection queue full"),
+                            counters,
+                            ErrorCode::Busy,
+                            "connection queue full",
                         );
                     }
                 }
@@ -327,51 +488,365 @@ fn accept_loop(
     }
 }
 
-fn serve_connection(
-    conn_id: u64,
-    mut stream: TcpStream,
-    verifier: &Verifier,
-    config: &ServerConfig,
-    counters: &Counters,
-    shutdown: &AtomicBool,
+/// Reads each queued connection's opener (`HELLO` or `RESUME`),
+/// validates resumption tokens, and routes the connection to its
+/// device's shard.
+fn dispatch_loop(
+    accept_queue: &HandoffQueue<(u64, TcpStream)>,
+    shard_queues: &[Arc<HandoffQueue<PendingConn>>],
+    shared: &Shared,
 ) {
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let _ = stream.set_nodelay(true);
-
-    // Per-connection secret: server secret ⊕ connection id, so nonces
-    // are unique across connections by construction.
-    let mut secret = config.session_secret.clone();
-    secret.extend_from_slice(&conn_id.to_le_bytes());
-    let mut session = VerifierSession::from_verifier(verifier.clone(), &secret);
-
-    // The opener must be HELLO.
-    match read_frame(&mut stream, config.max_frame_len) {
-        Ok(Some(frame)) if frame.frame_type == FrameType::Hello => {
-            rap_obs::counter!("serve_frames_rx_total").inc();
-            if std::str::from_utf8(&frame.payload).is_err() {
+    let config = &shared.config;
+    let counters = &shared.counters;
+    while let Some((conn_id, mut stream)) = accept_queue.pop() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            send_error(
+                &mut stream,
+                counters,
+                ErrorCode::Draining,
+                "server draining",
+            );
+            continue;
+        }
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let frame = match read_frame(&mut stream, config.max_frame_len) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue, // closed before the opener
+            Err(e) => {
+                send_read_error(&mut stream, counters, &e);
+                continue;
+            }
+        };
+        rap_obs::counter!("serve_frames_rx_total").inc();
+        let pending = match frame.frame_type {
+            FrameType::Hello => match decode_hello(&frame.payload) {
+                Ok((requested_window, device)) => PendingConn {
+                    conn_id,
+                    stream,
+                    device,
+                    requested_window,
+                    restored: None,
+                },
+                Err(e) => {
+                    send_error(&mut stream, counters, ErrorCode::Protocol, &e.to_string());
+                    continue;
+                }
+            },
+            FrameType::Resume => match decode_resume(&frame.payload) {
+                Ok((token, requested_window, device)) => {
+                    match take_resume_entry(shared, &token, &device) {
+                        Ok(session) => {
+                            counters.resumed.fetch_add(1, Ordering::Relaxed);
+                            rap_obs::counter!("serve_sessions_resumed_total").inc();
+                            PendingConn {
+                                conn_id,
+                                stream,
+                                device,
+                                requested_window,
+                                restored: Some(session),
+                            }
+                        }
+                        Err(why) => {
+                            counters.resume_rejected.fetch_add(1, Ordering::Relaxed);
+                            rap_obs::counter!("serve_resume_rejected_total").inc();
+                            send_error(&mut stream, counters, ErrorCode::ResumeRejected, why);
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => {
+                    send_error(&mut stream, counters, ErrorCode::Protocol, &e.to_string());
+                    continue;
+                }
+            },
+            _ => {
                 send_error(
                     &mut stream,
                     counters,
                     ErrorCode::Protocol,
-                    "hello not UTF-8",
+                    "expected HELLO or RESUME",
                 );
-                return;
+                continue;
             }
+        };
+        let shard = shard_of(&pending.device, shard_queues.len());
+        if let Err(mut refused) = shard_queues[shard].try_push(pending) {
+            counters.shed.fetch_add(1, Ordering::Relaxed);
+            rap_obs::counter!("serve_conns_shed_total").inc();
+            send_error(
+                &mut refused.stream,
+                counters,
+                ErrorCode::Busy,
+                "verifier shard queue full",
+            );
         }
-        Ok(Some(_)) => {
-            send_error(&mut stream, counters, ErrorCode::Protocol, "expected HELLO");
-            return;
+    }
+}
+
+/// Validates and consumes a resumption token. The mac check binds the
+/// token to the device; the table remove makes it single-use; the TTL
+/// bounds how long a parked session stays alive.
+fn take_resume_entry(
+    shared: &Shared,
+    token: &ResumeToken,
+    device: &str,
+) -> Result<VerifierSession, &'static str> {
+    let expected = mint_token(&shared.config.session_secret, token.id, device);
+    if expected.mac != token.mac {
+        return Err("token not valid for this device");
+    }
+    let entry = shared
+        .resume
+        .lock()
+        .unwrap()
+        .remove(&token.id)
+        .ok_or("unknown or already-used token")?;
+    if entry.device != device {
+        return Err("token bound to a different device");
+    }
+    if entry.expires_at <= Instant::now() {
+        return Err("token expired");
+    }
+    Ok(entry.session)
+}
+
+/// Parks a finished connection's session for resumption, purging
+/// expired entries and respecting the capacity cap.
+fn park_session(shared: &Shared, token_id: u64, device: String, mut session: VerifierSession) {
+    // Unanswered challenges die with the connection; a resumed window
+    // starts fresh (the nonce counter keeps advancing, so nothing is
+    // ever re-issued).
+    session.clear_outstanding();
+    let now = Instant::now();
+    let mut table = shared.resume.lock().unwrap();
+    table.retain(|_, e| e.expires_at > now);
+    if table.len() >= shared.config.resume_capacity.max(1) {
+        return;
+    }
+    table.insert(
+        token_id,
+        ResumeEntry {
+            session,
+            device,
+            expires_at: now + shared.config.resume_ttl,
+        },
+    );
+}
+
+/// Per-tick observability and counter deltas, committed once per
+/// drain tick instead of once per round.
+#[derive(Default)]
+struct TickTally {
+    frames_rx: u64,
+    frames_tx: u64,
+    accepted: u64,
+    rejected: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl TickTally {
+    fn commit(&mut self, counters: &Counters) {
+        if self.frames_rx > 0 {
+            rap_obs::counter!("serve_frames_rx_total").add(self.frames_rx);
         }
-        Ok(None) => return,
-        Err(e) => {
-            send_read_error(&mut stream, counters, &e);
-            return;
+        if self.frames_tx > 0 {
+            rap_obs::counter!("serve_frames_tx_total").add(self.frames_tx);
+        }
+        if self.accepted > 0 {
+            counters
+                .verdicts_accepted
+                .fetch_add(self.accepted, Ordering::Relaxed);
+            rap_obs::counter!("serve_verdicts_accepted_total").add(self.accepted);
+        }
+        if self.rejected > 0 {
+            counters
+                .verdicts_rejected
+                .fetch_add(self.rejected, Ordering::Relaxed);
+            rap_obs::counter!("serve_verdicts_rejected_total").add(self.rejected);
+        }
+        let h = rap_obs::histogram!("serve_verify_latency_ns", &rap_obs::LATENCY_NS_BOUNDS);
+        for ns in self.latencies_ns.drain(..) {
+            h.observe(ns);
+        }
+        *self = TickTally::default();
+    }
+}
+
+/// A growable receive buffer that yields complete frames and refills
+/// with one `read` syscall per drain tick.
+struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+const FILL_CHUNK: usize = 64 * 1024;
+
+impl FrameBuf {
+    fn new() -> FrameBuf {
+        FrameBuf {
+            buf: Vec::with_capacity(FILL_CHUNK),
+            start: 0,
         }
     }
 
+    /// Decodes the next complete frame from the buffer; `Ok(None)`
+    /// means more bytes are needed.
+    fn next_frame(&mut self, max_len: u32) -> Result<Option<Frame>, FrameError> {
+        match decode_frame(&self.buf[self.start..], max_len) {
+            Ok((frame, used)) => {
+                self.start += used;
+                Ok(Some(frame))
+            }
+            Err(FrameError::Truncated { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One blocking read into the buffer tail; compacts first so the
+    /// buffer does not grow with consumed frames.
+    fn fill(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let old = self.buf.len();
+        self.buf.resize(old + FILL_CHUNK, 0);
+        match r.read(&mut self.buf[old..]) {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) {
+    let PendingConn {
+        conn_id,
+        mut stream,
+        device,
+        requested_window,
+        restored,
+    } = pending;
+    let config = &shared.config;
+    let counters = &shared.counters;
+
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    if shared.shutdown.load(Ordering::SeqCst) {
+        send_error(
+            &mut stream,
+            counters,
+            ErrorCode::Draining,
+            "server draining",
+        );
+        return;
+    }
+
+    let resumed = restored.is_some();
+    let mut session = restored.unwrap_or_else(|| {
+        // Per-connection secret: server secret ‖ connection id, so
+        // nonces are unique across connections by construction.
+        let mut secret = config.session_secret.clone();
+        secret.extend_from_slice(&conn_id.to_le_bytes());
+        VerifierSession::from_verifier(verifier.clone(), &secret)
+    });
+    if resumed {
+        session.clear_outstanding();
+    }
+    let window = requested_window.clamp(1, config.window.max(1));
+
+    // Mint this connection's own resumption token — tokens rotate on
+    // every handshake, resumed or not.
+    let token_id = shared.token_seq.fetch_add(1, Ordering::Relaxed);
+    let token = mint_token(&config.session_secret, token_id, &device);
+
+    // Handshake reply: the SESSION grant plus the initial challenge
+    // window, flushed as one write.
+    let mut outbuf = encode_frame(
+        FrameType::Session,
+        &encode_session(&SessionGrant { token, window }),
+    );
+    for _ in 0..window {
+        let chal = session.issue_windowed_challenge();
+        outbuf.extend_from_slice(&encode_frame(FrameType::Challenge, &chal.0));
+    }
+    if stream
+        .write_all(&outbuf)
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        return;
+    }
+    rap_obs::counter!("serve_frames_tx_total").add(1 + u64::from(window));
+    outbuf.clear();
+
+    let mut inbuf = FrameBuf::new();
+    let mut tick = TickTally::default();
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        // Drain tick: verify every complete frame already buffered,
+        // accumulating verdicts + replacement challenges in `outbuf`
+        // and observability deltas in `tick`.
+        loop {
+            match inbuf.next_frame(config.max_frame_len) {
+                Ok(None) => break,
+                Ok(Some(frame)) if frame.frame_type == FrameType::Attest => {
+                    tick.frames_rx += 1;
+                    if session.outstanding_count() == 0 {
+                        // The client wrote past its granted window.
+                        flush_tick(&mut stream, &mut outbuf, &mut tick, counters);
+                        send_error(
+                            &mut stream,
+                            counters,
+                            ErrorCode::Protocol,
+                            "attest with no outstanding challenge (window overrun)",
+                        );
+                        return;
+                    }
+                    let started = Instant::now();
+                    let verdict = verify_one(&mut session, &frame.payload);
+                    tick.latencies_ns.push(started.elapsed().as_nanos() as u64);
+                    if verdict.accepted {
+                        tick.accepted += 1;
+                    } else {
+                        tick.rejected += 1;
+                    }
+                    outbuf.extend_from_slice(&encode_frame(FrameType::Verdict, &verdict.encode()));
+                    let chal = session.issue_windowed_challenge();
+                    outbuf.extend_from_slice(&encode_frame(FrameType::Challenge, &chal.0));
+                    tick.frames_tx += 2;
+                }
+                Ok(Some(_)) => {
+                    flush_tick(&mut stream, &mut outbuf, &mut tick, counters);
+                    send_error(
+                        &mut stream,
+                        counters,
+                        ErrorCode::Protocol,
+                        "expected ATTEST",
+                    );
+                    return;
+                }
+                Err(e) => {
+                    flush_tick(&mut stream, &mut outbuf, &mut tick, counters);
+                    let code = match e {
+                        FrameError::Oversized { .. } => ErrorCode::Oversized,
+                        _ => ErrorCode::Protocol,
+                    };
+                    send_error(&mut stream, counters, code, &e.to_string());
+                    return;
+                }
+            }
+        }
+        if !flush_tick(&mut stream, &mut outbuf, &mut tick, counters) {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
             send_error(
                 &mut stream,
                 counters,
@@ -380,88 +855,124 @@ fn serve_connection(
             );
             return;
         }
-
-        let chal = session.issue_challenge();
-        if write_frame(&mut stream, FrameType::Challenge, &chal.0).is_err() {
-            return;
+        match inbuf.fill(&mut stream) {
+            // Clean close between frames: park the session so the
+            // device can resume its nonce chain.
+            Ok(0) => {
+                park_session(shared, token_id, device, session);
+                return;
+            }
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    send_error(
+                        &mut stream,
+                        counters,
+                        ErrorCode::Draining,
+                        "server draining",
+                    );
+                } else {
+                    send_error(
+                        &mut stream,
+                        counters,
+                        ErrorCode::Timeout,
+                        "read deadline expired",
+                    );
+                }
+                return;
+            }
+            // An abrupt close (unread challenges force a reset) still
+            // parks the session — the device likely wants to resume.
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {
+                park_session(shared, token_id, device, session);
+                return;
+            }
+            Err(_) => return,
         }
-        rap_obs::counter!("serve_frames_tx_total").inc();
+    }
+}
 
-        let frame = match read_frame(&mut stream, config.max_frame_len) {
-            Ok(Some(frame)) if frame.frame_type == FrameType::Attest => frame,
-            Ok(Some(_)) => {
-                send_error(
-                    &mut stream,
-                    counters,
-                    ErrorCode::Protocol,
-                    "expected ATTEST",
-                );
-                return;
-            }
-            Ok(None) => return, // client closed between rounds
-            Err(e) => {
-                send_read_error(&mut stream, counters, &e);
-                return;
-            }
-        };
-        rap_obs::counter!("serve_frames_rx_total").inc();
-
-        let started = Instant::now();
-        let verdict = match decode_stream(&frame.payload) {
-            Err(wire) => Verdict {
+fn verify_one(session: &mut VerifierSession, payload: &[u8]) -> Verdict {
+    match decode_stream(payload) {
+        Err(wire) => {
+            // A malformed stream still consumes the front challenge —
+            // a device does not get a second try against a nonce by
+            // sending garbage first.
+            let _ = session.check_response(&[]);
+            Verdict {
                 accepted: false,
                 events: 0,
                 steps: 0,
                 detail: format!("wire: {wire}"),
-            },
-            Ok(reports) => match session.check_response(&reports) {
-                Ok(path) => Verdict {
-                    accepted: true,
-                    events: path.events.len() as u32,
-                    steps: path.steps,
-                    detail: String::new(),
-                },
-                Err(SessionError::Verification(v)) => Verdict {
-                    accepted: false,
-                    events: 0,
-                    steps: 0,
-                    detail: format!("violation: {v}"),
-                },
-                Err(e) => Verdict {
-                    accepted: false,
-                    events: 0,
-                    steps: 0,
-                    detail: format!("session: {e}"),
-                },
-            },
-        };
-        rap_obs::histogram!("serve_verify_latency_ns", &rap_obs::LATENCY_NS_BOUNDS)
-            .observe(started.elapsed().as_nanos() as u64);
-        if verdict.accepted {
-            counters.verdicts_accepted.fetch_add(1, Ordering::Relaxed);
-            rap_obs::counter!("serve_verdicts_accepted_total").inc();
-        } else {
-            counters.verdicts_rejected.fetch_add(1, Ordering::Relaxed);
-            rap_obs::counter!("serve_verdicts_rejected_total").inc();
+            }
         }
-
-        if write_frame(&mut stream, FrameType::Verdict, &verdict.encode()).is_err() {
-            return;
-        }
-        rap_obs::counter!("serve_frames_tx_total").inc();
+        Ok(reports) => match session.check_response(&reports) {
+            Ok(path) => Verdict {
+                accepted: true,
+                events: path.events.len() as u32,
+                steps: path.steps,
+                detail: String::new(),
+            },
+            Err(SessionError::Verification(v)) => Verdict {
+                accepted: false,
+                events: 0,
+                steps: 0,
+                detail: format!("violation: {v}"),
+            },
+            Err(e) => Verdict {
+                accepted: false,
+                events: 0,
+                steps: 0,
+                detail: format!("session: {e}"),
+            },
+        },
     }
 }
 
-fn send_error(stream: &mut TcpStream, counters: &Counters, code: ErrorCode, msg: &str) {
-    counters.errors_sent.fetch_add(1, Ordering::Relaxed);
-    rap_obs::counter!("serve_errors_tx_total").inc();
-    let _ = write_frame(stream, FrameType::Error, &encode_error(code, msg));
-    let _ = stream.flush();
+/// Commits the tick's observability deltas and flushes the batched
+/// verdict/challenge frames in one write. Returns `false` when the
+/// write failed (the connection is gone).
+fn flush_tick(
+    stream: &mut TcpStream,
+    outbuf: &mut Vec<u8>,
+    tick: &mut TickTally,
+    counters: &Counters,
+) -> bool {
+    tick.commit(counters);
+    if outbuf.is_empty() {
+        return true;
+    }
+    let ok = stream
+        .write_all(outbuf)
+        .and_then(|()| stream.flush())
+        .is_ok();
+    outbuf.clear();
+    ok
+}
+
+/// Sends one `ERROR` frame, counting it in `errors_sent` only when the
+/// write actually flushed; failures (the peer is already gone) are
+/// counted separately in `error_send_failed`.
+fn send_error(w: &mut impl Write, counters: &Counters, code: ErrorCode, msg: &str) {
+    let bytes = encode_frame(FrameType::Error, &encode_error(code, msg));
+    match w.write_all(&bytes).and_then(|()| w.flush()) {
+        Ok(()) => {
+            counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+            rap_obs::counter!("serve_errors_tx_total").inc();
+        }
+        Err(_) => {
+            counters.error_send_failed.fetch_add(1, Ordering::Relaxed);
+            rap_obs::counter!("serve_errors_tx_failed_total").inc();
+        }
+    }
 }
 
 fn send_read_error(stream: &mut TcpStream, counters: &Counters, err: &ReadFrameError) {
     let (code, msg) = match err {
-        ReadFrameError::Frame(crate::frame::FrameError::Oversized { .. }) => {
+        ReadFrameError::Frame(FrameError::Oversized { .. }) => {
             (ErrorCode::Oversized, err.to_string())
         }
         ReadFrameError::Frame(_) => (ErrorCode::Protocol, err.to_string()),
@@ -474,4 +985,93 @@ fn send_read_error(stream: &mut TcpStream, counters: &Counters, err: &ReadFrameE
         ReadFrameError::Io(_) => (ErrorCode::Internal, err.to_string()),
     };
     send_error(stream, counters, code, &msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink whose writes always fail — exercises the send_error
+    /// accounting deterministically, without a socket.
+    struct BrokenPipe;
+
+    impl Write for BrokenPipe {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "peer gone",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn send_error_counts_only_flushed_frames() {
+        let counters = Counters::default();
+        let mut ok_sink = Vec::new();
+        send_error(&mut ok_sink, &counters, ErrorCode::Busy, "later");
+        assert_eq!(counters.errors_sent.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.error_send_failed.load(Ordering::Relaxed), 0);
+        assert!(!ok_sink.is_empty(), "the frame reached the sink");
+
+        send_error(&mut BrokenPipe, &counters, ErrorCode::Busy, "later");
+        assert_eq!(
+            counters.errors_sent.load(Ordering::Relaxed),
+            1,
+            "a failed write must not count as sent"
+        );
+        assert_eq!(counters.error_send_failed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn resume_token_macs_bind_id_and_device() {
+        let t = mint_token(b"secret", 7, "device-a");
+        assert_eq!(t, mint_token(b"secret", 7, "device-a"));
+        assert_ne!(t.mac, mint_token(b"secret", 8, "device-a").mac);
+        assert_ne!(t.mac, mint_token(b"secret", 7, "device-b").mac);
+        assert_ne!(t.mac, mint_token(b"other", 7, "device-a").mac);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in 1..=8usize {
+            for device in ["a", "device-1", "device-2", "αβγ"] {
+                let s = shard_of(device, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(device, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_secret_is_rejected_before_binding() {
+        // ServerConfig::default() deliberately ships no secret; the
+        // typed error fires before any socket work. A full Verifier is
+        // not needed to hit the check, but start() takes one — so this
+        // lives here with a minimal image via the test-only helper in
+        // loopback tests; instead we just assert on the config shape.
+        assert!(ServerConfig::default().session_secret.is_empty());
+    }
+
+    #[test]
+    fn frame_buf_yields_frames_across_split_reads() {
+        let mut fb = FrameBuf::new();
+        let a = encode_frame(FrameType::Attest, &[1, 2, 3]);
+        let b = encode_frame(FrameType::Attest, &[4; 100]);
+        let mut stream: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        // Feed in two arbitrary halves through the Read impl.
+        let half = stream.split_off(a.len() + 3);
+        let mut r1: &[u8] = &stream;
+        fb.fill(&mut r1).unwrap();
+        let f1 = fb.next_frame(DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(f1.payload, vec![1, 2, 3]);
+        assert!(fb.next_frame(DEFAULT_MAX_FRAME_LEN).unwrap().is_none());
+        let mut r2: &[u8] = &half;
+        fb.fill(&mut r2).unwrap();
+        let f2 = fb.next_frame(DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(f2.payload, vec![4; 100]);
+        assert!(fb.next_frame(DEFAULT_MAX_FRAME_LEN).unwrap().is_none());
+    }
 }

@@ -11,9 +11,18 @@ use std::time::{Duration, Instant};
 
 use rap_serve::frame::{decode_error, encode_frame};
 use rap_serve::{
-    AttestClient, ClientConfig, ClientError, ErrorCode, FrameType, Server, ServerConfig,
+    AttestClient, ClientConfig, ClientError, ErrorCode, FrameType, Server, ServerConfig, StartError,
 };
 use rap_track::{CfaEngine, Challenge, EngineConfig, Key, Report, Verifier};
+
+/// A [`ServerConfig`] with the test secret set — the default ships an
+/// empty secret on purpose and [`Server::start`] rejects it.
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        session_secret: b"loopback-test-secret".to_vec(),
+        ..ServerConfig::default()
+    }
+}
 
 /// The deployed application every test device runs: the `fibcall`
 /// evaluation workload (calls + a runtime-variable loop, so the
@@ -110,12 +119,8 @@ fn quick_client(addr: std::net::SocketAddr) -> AttestClient {
 #[test]
 fn benign_round_is_accepted() {
     let (linked, w) = deployed();
-    let server = Server::start(
-        test_verifier(&linked),
-        "127.0.0.1:0",
-        ServerConfig::default(),
-    )
-    .expect("binds");
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
     let client = quick_client(server.local_addr());
 
     let verdict = client
@@ -134,12 +139,8 @@ fn benign_round_is_accepted() {
 #[test]
 fn attack_round_is_rejected_with_typed_detail() {
     let (linked, w) = deployed();
-    let server = Server::start(
-        test_verifier(&linked),
-        "127.0.0.1:0",
-        ServerConfig::default(),
-    )
-    .expect("binds");
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
     let client = quick_client(server.local_addr());
 
     let verdict = client
@@ -159,12 +160,8 @@ fn attack_round_is_rejected_with_typed_detail() {
 #[test]
 fn rounds_reuse_one_connection_with_fresh_nonces() {
     let (linked, w) = deployed();
-    let server = Server::start(
-        test_verifier(&linked),
-        "127.0.0.1:0",
-        ServerConfig::default(),
-    )
-    .expect("binds");
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
     let client = quick_client(server.local_addr());
 
     let mut conn = client.open("device-0").expect("opens");
@@ -193,12 +190,8 @@ fn rounds_reuse_one_connection_with_fresh_nonces() {
 #[test]
 fn nonces_are_unique_across_connections() {
     let (linked, w) = deployed();
-    let server = Server::start(
-        test_verifier(&linked),
-        "127.0.0.1:0",
-        ServerConfig::default(),
-    )
-    .expect("binds");
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
     let client = quick_client(server.local_addr());
     let respond = respond_benign(&linked, &w);
 
@@ -223,12 +216,8 @@ fn nonces_are_unique_across_connections() {
 #[test]
 fn malformed_attest_payload_gets_rejected_verdict() {
     let (linked, _w) = deployed();
-    let server = Server::start(
-        test_verifier(&linked),
-        "127.0.0.1:0",
-        ServerConfig::default(),
-    )
-    .expect("binds");
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
     let client = quick_client(server.local_addr());
 
     let mut conn = client.open("garbler").expect("opens");
@@ -256,7 +245,7 @@ fn bad_magic_and_oversized_frames_get_typed_errors() {
         "127.0.0.1:0",
         ServerConfig {
             max_frame_len: 1024,
-            ..ServerConfig::default()
+            ..test_config()
         },
     )
     .expect("binds");
@@ -299,7 +288,7 @@ fn slow_loris_partial_write_is_deadline_bounded() {
         "127.0.0.1:0",
         ServerConfig {
             read_timeout: Duration::from_millis(300),
-            ..ServerConfig::default()
+            ..test_config()
         },
     )
     .expect("binds");
@@ -334,7 +323,7 @@ fn overload_is_shed_with_busy() {
             threads: 1,
             max_pending: 1,
             read_timeout: Duration::from_secs(5),
-            ..ServerConfig::default()
+            ..test_config()
         },
     )
     .expect("binds");
@@ -385,7 +374,7 @@ fn eight_concurrent_mixed_clients_then_clean_drain() {
         "127.0.0.1:0",
         ServerConfig {
             threads: 4,
-            ..ServerConfig::default()
+            ..test_config()
         },
     )
     .expect("binds");
@@ -464,7 +453,7 @@ fn drain_during_load_finishes_inflight_rounds() {
         ServerConfig {
             threads: 2,
             read_timeout: Duration::from_secs(2),
-            ..ServerConfig::default()
+            ..test_config()
         },
     )
     .expect("binds");
@@ -536,7 +525,7 @@ fn conn_limit_drains_automatically() {
         "127.0.0.1:0",
         ServerConfig {
             conn_limit: Some(2),
-            ..ServerConfig::default()
+            ..test_config()
         },
     )
     .expect("binds");
@@ -552,4 +541,437 @@ fn conn_limit_drains_automatically() {
     let stats = server.join();
     assert_eq!(stats.accepted, 2);
     assert_eq!(stats.verdicts_accepted, 2);
+}
+
+#[test]
+fn empty_session_secret_is_rejected_with_typed_error() {
+    let (linked, _w) = deployed();
+    // ServerConfig::default() deliberately ships an empty secret; a
+    // server must refuse to start with it (forgeable nonce chains).
+    match Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    ) {
+        Err(StartError::EmptySecret) => {}
+        Ok(_) => panic!("an empty session secret must be rejected"),
+        Err(other) => panic!("expected EmptySecret, got {other:?}"),
+    }
+}
+
+#[test]
+fn pipelined_rounds_on_one_connection() {
+    let (linked, w) = deployed();
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
+    let client = AttestClient::new(
+        server.local_addr().to_string(),
+        ClientConfig {
+            window: 4,
+            ..ClientConfig::default()
+        },
+    );
+
+    let mut conn = client.open("pipeline-0").expect("opens");
+    let respond = respond_benign(&linked, &w);
+    let mut seen = std::collections::HashSet::new();
+    let verdicts = conn
+        .pipelined(8, |chal| {
+            assert!(seen.insert(chal.0), "nonce repeated within the pipeline");
+            respond(chal)
+        })
+        .expect("pipelined rounds complete");
+    assert_eq!(verdicts.len(), 8);
+    assert!(verdicts.iter().all(|v| v.accepted), "{verdicts:?}");
+    assert_eq!(
+        conn.granted_window(),
+        4,
+        "server grants the requested window"
+    );
+    drop(conn);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 1, "one connection served all rounds");
+    assert_eq!(stats.verdicts_accepted, 8);
+    assert_eq!(stats.verdicts_rejected, 0);
+}
+
+#[test]
+fn session_resumes_across_connections_without_rehello() {
+    let (linked, w) = deployed();
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
+    let client = AttestClient::new(
+        server.local_addr().to_string(),
+        ClientConfig {
+            window: 2,
+            ..ClientConfig::default()
+        },
+    );
+    let respond = respond_benign(&linked, &w);
+    let mut seen = std::collections::HashSet::new();
+
+    let mut conn = client.open("resumer").expect("opens");
+    for v in conn
+        .pipelined(2, |chal| {
+            assert!(seen.insert(chal.0));
+            respond(chal)
+        })
+        .expect("first connection rounds")
+    {
+        assert!(v.accepted);
+    }
+    let token = conn.close().expect("session grant carried a token");
+
+    // Reconnect with the token: no HELLO, the nonce chain continues
+    // (challenges stay unique across the resumed connections).
+    let mut conn = client.resume("resumer", token).expect("resumes");
+    for v in conn
+        .pipelined(2, |chal| {
+            assert!(seen.insert(chal.0), "resumed session repeated a nonce");
+            respond(chal)
+        })
+        .expect("resumed connection rounds")
+    {
+        assert!(v.accepted);
+    }
+    let rotated = conn.close().expect("resumed session granted a fresh token");
+    assert_ne!(rotated, token, "tokens rotate on every handshake");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.resumed, 1);
+    assert_eq!(stats.resume_rejected, 0);
+    assert_eq!(stats.verdicts_accepted, 4);
+}
+
+#[test]
+fn resume_token_replay_is_rejected() {
+    let (linked, w) = deployed();
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
+    let client = quick_client(server.local_addr());
+
+    let mut conn = client.open("replayer").expect("opens");
+    let v = conn.round(respond_benign(&linked, &w)).expect("round");
+    assert!(v.accepted);
+    let token = conn.close().expect("token granted");
+
+    // First use succeeds...
+    let conn = client
+        .resume("replayer", token)
+        .expect("first resume opens");
+    let _ = conn.close();
+    // ...the second presentation of the same token must be rejected —
+    // tokens are single-use.
+    let mut conn = client.resume("replayer", token).expect("TCP connects");
+    match conn.read_next() {
+        Ok((FrameType::Error, payload)) => {
+            let (code, msg) = decode_error(&payload).expect("error decodes");
+            assert_eq!(code, ErrorCode::ResumeRejected, "{msg}");
+        }
+        other => panic!("expected resume rejection, got {other:?}"),
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.resumed, 1);
+    assert!(stats.resume_rejected >= 1, "{stats:?}");
+}
+
+#[test]
+fn resume_token_for_wrong_device_is_rejected() {
+    let (linked, w) = deployed();
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
+    let client = quick_client(server.local_addr());
+
+    let mut conn = client.open("device-a").expect("opens");
+    let v = conn.round(respond_benign(&linked, &w)).expect("round");
+    assert!(v.accepted);
+    let token = conn.close().expect("token granted");
+
+    // The token's mac binds it to "device-a"; presenting it under a
+    // different device name must fail before any session state moves.
+    let mut conn = client.resume("device-b", token).expect("TCP connects");
+    match conn.read_next() {
+        Ok((FrameType::Error, payload)) => {
+            let (code, msg) = decode_error(&payload).expect("error decodes");
+            assert_eq!(code, ErrorCode::ResumeRejected, "{msg}");
+        }
+        other => panic!("expected resume rejection, got {other:?}"),
+    }
+    // The rightful device can still resume: the failed attempt did not
+    // consume the parked session.
+    let mut conn = client.resume("device-a", token).expect("resumes");
+    let v = conn.round(respond_benign(&linked, &w)).expect("round");
+    assert!(v.accepted);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.resumed, 1);
+    assert_eq!(stats.resume_rejected, 1);
+}
+
+#[test]
+fn expired_resume_token_is_rejected() {
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig {
+            resume_ttl: Duration::from_millis(50),
+            ..test_config()
+        },
+    )
+    .expect("binds");
+    let client = quick_client(server.local_addr());
+
+    let mut conn = client.open("sleeper").expect("opens");
+    let v = conn.round(respond_benign(&linked, &w)).expect("round");
+    assert!(v.accepted);
+    let token = conn.close().expect("token granted");
+
+    std::thread::sleep(Duration::from_millis(120));
+    let mut conn = client.resume("sleeper", token).expect("TCP connects");
+    match conn.read_next() {
+        Ok((FrameType::Error, payload)) => {
+            let (code, msg) = decode_error(&payload).expect("error decodes");
+            assert_eq!(code, ErrorCode::ResumeRejected, "{msg}");
+            assert!(msg.contains("expired"), "got {msg:?}");
+        }
+        other => panic!("expected expired-token rejection, got {other:?}"),
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.resume_rejected, 1);
+}
+
+#[test]
+fn window_is_clamped_and_overrun_is_rejected() {
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig {
+            window: 2,
+            ..test_config()
+        },
+    )
+    .expect("binds");
+    let client = AttestClient::new(
+        server.local_addr().to_string(),
+        ClientConfig {
+            window: 64,
+            ..ClientConfig::default()
+        },
+    );
+    let respond = respond_benign(&linked, &w);
+
+    // The server grants only its cap: exactly two challenges arrive
+    // before any attest is answered.
+    let mut conn = client.open("greedy").expect("opens");
+    let (ft, p1) = conn.read_next().expect("first challenge");
+    assert_eq!(ft, FrameType::Challenge);
+    let (ft, p2) = conn.read_next().expect("second challenge");
+    assert_eq!(ft, FrameType::Challenge);
+    assert_eq!(conn.granted_window(), 2, "window clamped to the server cap");
+
+    let c1 = rap_serve::frame::decode_challenge(&p1).unwrap();
+    let c2 = rap_serve::frame::decode_challenge(&p2).unwrap();
+    // Write ahead the full window, plus one round beyond it answered
+    // against a challenge the server never issued.
+    for chal in [c1, c2, Challenge::from_seed(99)] {
+        conn.send_raw(&encode_frame(
+            FrameType::Attest,
+            &rap_track::encode_stream(&respond(chal)),
+        ))
+        .expect("writes");
+    }
+    // In-window rounds verify; the overrun round mismatches the next
+    // issued challenge and is rejected — write-ahead past the granted
+    // window buys nothing.
+    let mut verdicts = Vec::new();
+    while verdicts.len() < 3 {
+        match conn.read_next().expect("response") {
+            (FrameType::Verdict, payload) => {
+                verdicts.push(rap_serve::Verdict::decode(&payload).unwrap())
+            }
+            (FrameType::Challenge, _) => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert!(verdicts[0].accepted && verdicts[1].accepted, "{verdicts:?}");
+    assert!(!verdicts[2].accepted, "overrun round must reject");
+    assert!(
+        verdicts[2].detail.starts_with("violation: "),
+        "got {:?}",
+        verdicts[2].detail
+    );
+    server.shutdown();
+}
+
+#[test]
+fn out_of_order_responses_are_rejected() {
+    let (linked, w) = deployed();
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
+    let client = AttestClient::new(
+        server.local_addr().to_string(),
+        ClientConfig {
+            window: 2,
+            ..ClientConfig::default()
+        },
+    );
+    let respond = respond_benign(&linked, &w);
+
+    let mut conn = client.open("reorder").expect("opens");
+    let (_, p1) = conn.read_next().expect("first challenge");
+    let (_, p2) = conn.read_next().expect("second challenge");
+    let c1 = rap_serve::frame::decode_challenge(&p1).unwrap();
+    let c2 = rap_serve::frame::decode_challenge(&p2).unwrap();
+
+    // Answer the window in reverse: each response meets the wrong
+    // front-of-window challenge and must be rejected.
+    for chal in [c2, c1] {
+        conn.send_raw(&encode_frame(
+            FrameType::Attest,
+            &rap_track::encode_stream(&respond(chal)),
+        ))
+        .expect("writes");
+    }
+    let mut rejected = 0;
+    while rejected < 2 {
+        match conn.read_next().expect("response") {
+            (FrameType::Verdict, payload) => {
+                let v = rap_serve::Verdict::decode(&payload).unwrap();
+                assert!(!v.accepted, "out-of-order response must reject: {v:?}");
+                assert!(v.detail.starts_with("violation: "), "got {:?}", v.detail);
+                rejected += 1;
+            }
+            (FrameType::Challenge, _) => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.verdicts_rejected, 2);
+    assert_eq!(stats.verdicts_accepted, 0);
+}
+
+#[test]
+fn drain_with_full_pipeline_in_flight_flushes_verdicts() {
+    let (linked, w) = deployed();
+    let server =
+        Server::start(test_verifier(&linked), "127.0.0.1:0", test_config()).expect("binds");
+    let client = AttestClient::new(
+        server.local_addr().to_string(),
+        ClientConfig {
+            window: 4,
+            ..ClientConfig::default()
+        },
+    );
+    let respond = respond_benign(&linked, &w);
+
+    // Fill the whole window without reading a single verdict.
+    let mut conn = client.open("drainee").expect("opens");
+    for _ in 0..4 {
+        let (ft, payload) = conn.read_next().expect("challenge");
+        assert_eq!(ft, FrameType::Challenge);
+        let chal = rap_serve::frame::decode_challenge(&payload).unwrap();
+        conn.send_raw(&encode_frame(
+            FrameType::Attest,
+            &rap_track::encode_stream(&respond(chal)),
+        ))
+        .expect("writes");
+    }
+    // Guarantee the pipeline is in flight server-side, then drain.
+    let (ft, payload) = conn.read_next().expect("first verdict");
+    assert_eq!(ft, FrameType::Verdict);
+    assert!(rap_serve::Verdict::decode(&payload).unwrap().accepted);
+
+    let drainer = std::thread::spawn(move || server.shutdown());
+    // Every verdict already in flight must still arrive, in order,
+    // before the draining error (or EOF) ends the connection.
+    let mut verdicts = 1;
+    loop {
+        match conn.read_next() {
+            Ok((FrameType::Verdict, payload)) => {
+                assert!(rap_serve::Verdict::decode(&payload).unwrap().accepted);
+                verdicts += 1;
+            }
+            Ok((FrameType::Challenge, _)) => {}
+            Ok((FrameType::Error, payload)) => {
+                let (code, _) = decode_error(&payload).expect("error decodes");
+                assert_eq!(code, ErrorCode::Draining);
+                break;
+            }
+            Ok(other) => panic!("unexpected frame {other:?}"),
+            Err(_) => break, // reset/EOF after the drain is also a close
+        }
+    }
+    assert_eq!(verdicts, 4, "every in-flight round drained to a verdict");
+
+    let stats = drainer.join().expect("drain completes");
+    assert_eq!(stats.verdicts_accepted, 4);
+}
+
+#[test]
+fn failed_error_sends_are_counted_separately() {
+    let (linked, _w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout: Duration::from_secs(2),
+            ..test_config()
+        },
+    )
+    .expect("binds");
+    let addr = server.local_addr();
+
+    // Each iteration provokes exactly one ERROR send attempt (bad
+    // magic → protocol error) with the peer already gone: unread
+    // challenge bytes in our receive buffer turn the close into a TCP
+    // reset, so the server's reply write fails. The reset races the
+    // server's read, so retry until at least one send attempt fails.
+    let mut attempts = 0u64;
+    for _ in 0..40 {
+        attempts += 1;
+        let client = AttestClient::new(
+            addr.to_string(),
+            ClientConfig {
+                retries: 0,
+                ..ClientConfig::default()
+            },
+        );
+        let mut conn = client.open("goner").expect("opens");
+        // Let the SESSION + CHALLENGE frames land unread in our
+        // receive buffer, then break the protocol and vanish.
+        std::thread::sleep(Duration::from_millis(30));
+        let _ = conn.send_raw(b"XXXXXXXXXXXXXXXXXXXX");
+        drop(conn);
+        std::thread::sleep(Duration::from_millis(30));
+        if server.stats().error_send_failed >= 1 {
+            break;
+        }
+    }
+
+    // Wait until the server has resolved every send attempt.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let stats = server.stats();
+        if stats.errors_sent + stats.error_send_failed >= attempts || Instant::now() > deadline {
+            break stats;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(
+        stats.errors_sent + stats.error_send_failed,
+        attempts,
+        "every send attempt is counted exactly once: {stats:?}"
+    );
+    assert!(
+        stats.error_send_failed >= 1,
+        "a reply to a gone peer must count as failed, not sent: {stats:?}"
+    );
+    server.shutdown();
 }

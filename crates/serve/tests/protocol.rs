@@ -7,8 +7,10 @@
 use rap_fuzz::mutate::mutate_bytes;
 use rap_fuzz::rng::Rng;
 use rap_serve::frame::{
-    decode_challenge, decode_error, decode_frame, encode_error, encode_frame, ErrorCode,
-    FrameError, FrameType, Verdict, DEFAULT_MAX_FRAME_LEN, HEADER_LEN, PROTOCOL_VERSION,
+    decode_challenge, decode_error, decode_frame, decode_hello, decode_resume, decode_session,
+    encode_error, encode_frame, encode_hello, encode_resume, encode_session, ErrorCode, FrameError,
+    FrameType, ResumeToken, SessionGrant, Verdict, DEFAULT_MAX_FRAME_LEN, HEADER_LEN,
+    PROTOCOL_VERSION,
 };
 
 #[test]
@@ -76,7 +78,7 @@ fn bad_version_rejected() {
 
 #[test]
 fn unknown_frame_type_rejected() {
-    for bad in [0u8, 6, 7, 0xFF] {
+    for bad in [0u8, 8, 9, 0xFF] {
         let mut bytes = encode_frame(FrameType::Hello, b"x");
         bytes[5] = bad;
         assert_eq!(
@@ -166,6 +168,7 @@ fn error_payload_roundtrip_and_typed_rejection() {
         ErrorCode::Timeout,
         ErrorCode::Draining,
         ErrorCode::Internal,
+        ErrorCode::ResumeRejected,
     ] {
         let payload = encode_error(code, "detail text");
         assert_eq!(
@@ -181,6 +184,64 @@ fn error_payload_roundtrip_and_typed_rejection() {
         decode_error(&[0x77, b'm']),
         Err(FrameError::BadPayload { .. })
     ));
+}
+
+#[test]
+fn handshake_frame_mutants_never_panic_and_always_type() {
+    // 2000 structure-aware mutants over the v2 handshake frames —
+    // 1000 RESUME and 1000 SESSION. Every mutant either still decodes
+    // or yields a typed FrameError, at both the frame layer and the
+    // payload decoders; reaching the end without a panic is the
+    // property.
+    let token = ResumeToken {
+        id: 0x1122_3344_5566_7788,
+        mac: [0xAB; 32],
+    };
+    let resume_base = encode_frame(FrameType::Resume, &encode_resume(&token, 4, "device-7"));
+    let session_base = encode_frame(
+        FrameType::Session,
+        &encode_session(&SessionGrant { token, window: 4 }),
+    );
+    let mut rng = Rng::new(0xA77E57);
+    for base in [&resume_base, &session_base] {
+        for _ in 0..1000 {
+            let (mutant, _kind) = mutate_bytes(&mut rng, base);
+            if let Ok((frame, _used)) = decode_frame(&mutant, DEFAULT_MAX_FRAME_LEN) {
+                match frame.frame_type {
+                    FrameType::Resume => {
+                        let _ = decode_resume(&frame.payload);
+                    }
+                    FrameType::Session => {
+                        let _ = decode_session(&frame.payload);
+                    }
+                    FrameType::Hello => {
+                        let _ = decode_hello(&frame.payload);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hello_resume_session_payloads_roundtrip() {
+    let (window, device) = decode_hello(&encode_hello(9, "dev-α")).unwrap();
+    assert_eq!((window, device.as_str()), (9, "dev-α"));
+
+    let token = ResumeToken {
+        id: 7,
+        mac: [0x5C; 32],
+    };
+    let (got_token, got_window, got_device) =
+        decode_resume(&encode_resume(&token, 3, "dev-α")).unwrap();
+    assert_eq!(
+        (got_token, got_window, got_device.as_str()),
+        (token, 3, "dev-α")
+    );
+
+    let grant = SessionGrant { token, window: 3 };
+    assert_eq!(decode_session(&encode_session(&grant)).unwrap(), grant);
 }
 
 #[test]

@@ -13,9 +13,7 @@ run() {
 run cargo build --release --workspace
 run cargo test -q --workspace
 run cargo fmt --all -- --check
-# Deprecated items are allow-listed: the verify_fleet/verify_sequential
-# shims stay one release for migration, everything else remains -D.
-run cargo clippy --workspace --all-targets -- -D warnings -A deprecated
+run cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
 
 # The examples are living documentation — they must keep running, not
@@ -40,19 +38,23 @@ run cargo bench -p rap-bench --bench obs -- --quick
 # drops below 1.5x (the bench itself skips the gate, with a note, on
 # hosts with fewer than 4 cores — the pool cannot scale there).
 run cargo bench -p rap-bench --bench scaling -- --quick --json "$PWD/BENCH_scaling.json" --enforce
-run cargo bench -p rap-bench --bench serve -- --quick --json "$PWD/BENCH_serve.json"
+# Saturation gate: pipelined throughput at 8 clients must stay >= 3x
+# the connection-per-round baseline on loopback.
+run cargo bench -p rap-bench --bench serve -- --quick --json "$PWD/BENCH_serve.json" --enforce
 
 # Serve smoke: one real loopback deployment of the attestation service.
-# The server gets a two-connection budget (--limit 2) so it drains and
-# exits on its own; the right key must be accepted (exit 0) and a
-# wrong-key prover must be rejected (exit 1).
+# The server gets a three-connection budget (--limit 3) so it drains
+# and exits on its own: a benign device runs a pipelined session, then
+# reconnects with its resumption token and runs more rounds without a
+# re-HELLO (exit 0, two connections), and a wrong-key prover must be
+# rejected (exit 1, third connection).
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 RAP=target/release/rap
-echo "==> serve smoke (loopback attest-remote)"
+echo "==> serve smoke (loopback attest-remote, resumed pipelined session)"
 "$RAP" demo > "$SMOKE_DIR/demo.tasm"
 "$RAP" link "$SMOKE_DIR/demo.tasm" -o "$SMOKE_DIR/demo.img" -m "$SMOKE_DIR/demo.map"
-"$RAP" serve "$SMOKE_DIR/demo.img" "$SMOKE_DIR/demo.map" --limit 2 \
+"$RAP" serve "$SMOKE_DIR/demo.img" "$SMOKE_DIR/demo.map" --limit 3 \
     > "$SMOKE_DIR/serve.log" &
 SERVE_PID=$!
 ADDR=""
@@ -66,8 +68,25 @@ if [ -z "$ADDR" ]; then
     kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 fi
-run "$RAP" attest-remote "$SMOKE_DIR/demo.img" "$SMOKE_DIR/demo.map" \
-    --addr "$ADDR" --device smoke-benign
+grep -q "session secret (generated)" "$SMOKE_DIR/serve.log" || {
+    echo "serve smoke: server did not log its generated session secret" >&2
+    cat "$SMOKE_DIR/serve.log" >&2
+    exit 1
+}
+echo "==> $RAP attest-remote --device smoke-benign --rounds 2 --window 2 --resume"
+"$RAP" attest-remote "$SMOKE_DIR/demo.img" "$SMOKE_DIR/demo.map" \
+    --addr "$ADDR" --device smoke-benign --rounds 2 --window 2 --resume \
+    | tee "$SMOKE_DIR/benign.log"
+grep -q "session resumed" "$SMOKE_DIR/benign.log" || {
+    echo "serve smoke: session was not resumed" >&2
+    cat "$SMOKE_DIR/benign.log" >&2
+    exit 1
+}
+grep -q "4/4 round(s) accepted" "$SMOKE_DIR/benign.log" || {
+    echo "serve smoke: expected 4 accepted rounds across both connections" >&2
+    cat "$SMOKE_DIR/benign.log" >&2
+    exit 1
+}
 if "$RAP" attest-remote "$SMOKE_DIR/demo.img" "$SMOKE_DIR/demo.map" \
     --addr "$ADDR" --device smoke-attacker --key wrong-key \
     > "$SMOKE_DIR/attacker.log" 2>&1; then
@@ -81,8 +100,8 @@ grep -q "REJECTED" "$SMOKE_DIR/attacker.log" || {
     exit 1
 }
 wait "$SERVE_PID"
-grep -q "served 2 connection" "$SMOKE_DIR/serve.log" || {
-    echo "serve smoke: server did not drain after --limit 2" >&2
+grep -q "served 3 connection" "$SMOKE_DIR/serve.log" || {
+    echo "serve smoke: server did not drain after --limit 3" >&2
     cat "$SMOKE_DIR/serve.log" >&2
     exit 1
 }

@@ -188,16 +188,16 @@ fn streaming_path_matches_slice_path() {
     }
 }
 
-/// The deprecated free functions remain exact shims over the handle:
-/// one release of overlap so downstream callers can migrate.
+/// The three fleet entry points — dispenser `.run`, bounded-queue
+/// `.stream`, and the single-threaded `.sequential` reference — agree
+/// verdict-for-verdict on the same job set.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_fleet_handle() {
+fn fleet_handle_entry_points_agree() {
     let w = &workloads::all()[0];
     let attested = attest_workload(w, 29);
     let jobs: Vec<FleetJob> = (0..6)
         .map(|i| FleetJob {
-            device: format!("shim-{i}"),
+            device: format!("handle-{i}"),
             chal: attested.chal,
             reports: attested.reports.clone(),
         })
@@ -205,18 +205,16 @@ fn deprecated_shims_match_fleet_handle() {
     let verifier = verifier_for(&attested);
     let opts = BatchOptions::with_threads(4);
 
-    let via_shim = rap_track::verify_fleet(&verifier, jobs.clone(), opts);
-    let via_handle = verifier.fleet(opts).run(jobs.clone());
-    assert_eq!(via_shim.len(), via_handle.len());
-    for (a, b) in via_shim.iter().zip(&via_handle) {
+    let via_run = verifier.fleet(opts).run(jobs.clone());
+    let via_stream = verifier.fleet(opts).stream(jobs.clone());
+    let via_seq = verifier
+        .fleet(BatchOptions::with_threads(1))
+        .sequential(jobs);
+    assert_eq!(via_run.len(), via_stream.len());
+    assert_eq!(via_run.len(), via_seq.len());
+    for ((a, b), c) in via_run.iter().zip(&via_stream).zip(&via_seq) {
         assert_eq!((&a.device, &a.result), (&b.device, &b.result));
-    }
-
-    let via_stream_shim = rap_track::verify_fleet_stream(&verifier, jobs.clone(), opts);
-    let via_seq_shim = rap_track::verify_sequential(&verifier, jobs);
-    assert_eq!(via_stream_shim.len(), via_seq_shim.len());
-    for (a, b) in via_stream_shim.iter().zip(&via_seq_shim) {
-        assert_eq!((&a.device, &a.result), (&b.device, &b.result));
+        assert_eq!((&a.device, &a.result), (&c.device, &c.result));
     }
 }
 
