@@ -27,6 +27,12 @@
 //! * `--enforce` exits non-zero unless pipelined throughput at 8
 //!   clients is at least [`MIN_PIPELINE_SPEEDUP_8`]× the oneshot
 //!   figure — the loopback target the connection rework is gated on.
+//!
+//! A trailing pair of back-to-back pipelined_8 runs measures the
+//! telemetry plane: admin listener off vs. on with a 1/s scraper
+//! (JSON snapshot + exemplar ring). The throughput delta is recorded
+//! as `admin_scrape_overhead_pct` and gated at
+//! [`MAX_ADMIN_OVERHEAD_PCT`] under `--enforce` on multi-core hosts.
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -46,6 +52,10 @@ const WINDOW: u16 = 8;
 /// The gate: minimum pipelined-over-oneshot throughput ratio at 8
 /// clients on loopback.
 const MIN_PIPELINE_SPEEDUP_8: f64 = 3.0;
+
+/// The telemetry gate: maximum pipelined-throughput regression at 8
+/// clients with the admin plane bound and scraped once per second.
+const MAX_ADMIN_OVERHEAD_PCT: f64 = 2.0;
 
 fn bench_key() -> Key {
     device_key("serve-bench")
@@ -267,6 +277,109 @@ fn main() {
             stats.median.as_nanos() as f64 / 1_000_000.0,
             *p99_ns as f64 / 1_000_000.0,
         );
+    }
+
+    // Telemetry-plane overhead: two more back-to-back pipelined_8
+    // runs, the first with the admin plane off (the disabled-cost
+    // baseline), the second with the admin listener bound and a
+    // scraper pulling a JSON snapshot + the exemplar ring once per
+    // second — the deployment shape `rap top` creates. Throughput
+    // under scraping must stay within [`MAX_ADMIN_OVERHEAD_PCT`] of
+    // the baseline (enforced only on hosts with enough cores that the
+    // scraper thread is not stealing the load generator's CPU).
+    let mut admin_per_sec = Vec::new();
+    for (case, with_admin) in [("pipelined_8_base", false), ("pipelined_8_admin", true)] {
+        let server = Server::start(
+            bench_verifier(&linked),
+            "127.0.0.1:0",
+            ServerConfig {
+                threads: 4,
+                window: WINDOW,
+                session_secret: b"serve-bench-secret".to_vec(),
+                admin_addr: with_admin.then(|| "127.0.0.1:0".to_string()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server binds");
+        let addr = server.local_addr();
+
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let scraper = server.admin_addr().map(|admin_addr| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let client = rap_serve::AdminClient::new(admin_addr.to_string());
+                    loop {
+                        if let Ok(mut conn) = client.connect() {
+                            let _ = conn.stats(rap_serve::StatsFormat::Json);
+                            let _ = conn.exemplars();
+                        }
+                        // ~1 scrape/second, with a fast stop path.
+                        for _ in 0..100 {
+                            if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                                return;
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                    }
+                })
+            });
+
+            let latencies = Mutex::new(Vec::new());
+            let stats = group.bench(case, || {
+                drive_pipelined(addr, &responder, 8, rounds, &latencies)
+            });
+            let median = stats.median.as_secs_f64();
+            let per_sec = if median > 0.0 {
+                (8 * rounds) as f64 / median
+            } else {
+                f64::INFINITY
+            };
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            if let Some(handle) = scraper {
+                handle.join().expect("scraper joins");
+            }
+
+            let mut extras = vec![
+                ("mode", Json::Str("pipelined".to_owned())),
+                ("clients", Json::Uint(8)),
+                ("rounds_per_client", Json::Uint(rounds as u64)),
+                ("admin_scraped", Json::Bool(with_admin)),
+                ("verifications_per_sec", Json::Num(per_sec)),
+            ];
+            if with_admin {
+                let base = admin_per_sec[0];
+                let overhead_pct = if base > 0.0 {
+                    (1.0 - per_sec / base) * 100.0
+                } else {
+                    0.0
+                };
+                println!(
+                    "admin scrape overhead: {overhead_pct:.2}% \
+                     ({base:.0} -> {per_sec:.0} verifications/s)"
+                );
+                extras.push(("admin_scrape_overhead_pct", Json::Num(overhead_pct)));
+                // On small hosts the scraper competes with the load
+                // generator for cores and the comparison measures the
+                // scheduler, not the server; only gate where the
+                // signal is real.
+                if args.enforce
+                    && rap_bench::harness::host_cores() >= 4
+                    && overhead_pct > MAX_ADMIN_OVERHEAD_PCT
+                {
+                    eprintln!(
+                        "FAIL: admin scraping costs {overhead_pct:.2}% pipelined throughput, \
+                         above the {MAX_ADMIN_OVERHEAD_PCT}% gate"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            report.record_with(&format!("serve/{case}"), stats, extras);
+            admin_per_sec.push(per_sec);
+        });
+
+        let server_stats = server.shutdown();
+        assert_eq!(server_stats.verdicts_rejected, 0, "{server_stats:?}");
     }
 
     let throughput = |name: &str| rows.iter().find(|(c, ..)| c == name).map(|(_, _, t, _)| *t);

@@ -20,7 +20,7 @@ use std::fmt;
 use armv8m_isa::{parse_module, Image};
 use rap_link::{link, read_map, write_map, ClassifyOptions, LinkOptions, TransformOptions};
 use rap_obs::Json;
-use rap_serve::{AttestClient, ClientConfig, Server, ServerConfig};
+use rap_serve::{AdminClient, AttestClient, ClientConfig, Server, ServerConfig, StatsFormat};
 use rap_track::{
     decode_stream, device_key, encode_stream, BatchOptions, CfaEngine, Challenge, EngineConfig,
     FleetJob, Verifier, VerifierStats,
@@ -540,6 +540,13 @@ pub struct ServeCmdOptions {
     pub secret: Option<String>,
     /// Per-connection pipelining window cap granted to devices.
     pub window: u16,
+    /// Admin telemetry bind address (`--admin`); `None` leaves the
+    /// telemetry plane off.
+    pub admin: Option<String>,
+    /// Slow-round exemplar threshold in milliseconds (`--slow-ms`);
+    /// `None` keeps the server default. `0` retains every round —
+    /// useful for smoke tests and demos.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeCmdOptions {
@@ -552,6 +559,8 @@ impl Default for ServeCmdOptions {
             limit: None,
             secret: None,
             window: 8,
+            admin: None,
+            slow_ms: None,
         }
     }
 }
@@ -619,6 +628,7 @@ pub fn cmd_serve(
             (bytes, Some(hex))
         }
     };
+    let defaults = ServerConfig::default();
     let server = Server::start(
         verifier.clone(),
         options.addr.as_str(),
@@ -627,7 +637,12 @@ pub fn cmd_serve(
             conn_limit: options.limit,
             window: options.window.max(1),
             session_secret,
-            ..ServerConfig::default()
+            admin_addr: options.admin.clone(),
+            slow_round_threshold: options.slow_ms.map_or(
+                defaults.slow_round_threshold,
+                std::time::Duration::from_millis,
+            ),
+            ..defaults
         },
     )?;
     Ok((server, verifier, generated))
@@ -795,6 +810,411 @@ pub fn cmd_attest_remote(
     }
     let _ = writeln!(out, "{accepted}/{total} round(s) accepted");
     Ok((accepted == total, out))
+}
+
+/// Options for [`cmd_top`].
+#[derive(Debug, Clone)]
+pub struct TopOptions {
+    /// Admin telemetry address (the `admin on ADDR` line `rap serve
+    /// --admin` prints).
+    pub addr: String,
+    /// Poll interval between frames.
+    pub interval: std::time::Duration,
+    /// Number of frames to render; `0` runs until the process dies.
+    pub iters: u64,
+    /// Device-table rows shown (top-K slowest devices by p99).
+    pub top_k: usize,
+}
+
+impl Default for TopOptions {
+    fn default() -> TopOptions {
+        TopOptions {
+            addr: String::new(),
+            interval: std::time::Duration::from_secs(1),
+            iters: 0,
+            top_k: 8,
+        }
+    }
+}
+
+/// One scrape of the admin endpoint: the telemetry JSON document plus
+/// the slow-round exemplar document, both parsed.
+#[derive(Debug, Clone)]
+pub struct TopSample {
+    /// The `STATS` (JSON format) reply: uptime, server counters,
+    /// metrics snapshot, per-device table.
+    pub stats: Json,
+    /// The `EXEMPLARS` reply: the slow-round ring.
+    pub exemplars: Json,
+}
+
+/// Fetches one [`TopSample`] from a server's admin endpoint.
+///
+/// # Errors
+///
+/// Transport failures and malformed replies, formatted.
+pub fn scrape_admin(addr: &str) -> Result<TopSample, CliError> {
+    let mut conn = AdminClient::new(addr).connect()?;
+    let stats = rap_obs::json::parse(&conn.stats(StatsFormat::Json)?)?;
+    let exemplars = rap_obs::json::parse(&conn.exemplars()?)?;
+    Ok(TopSample { stats, exemplars })
+}
+
+/// Human-scale duration formatting for nanosecond values.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders one `rap top` dashboard frame: interval-diffed counter
+/// rates (when a previous sample and its age in seconds are given),
+/// windowed round-latency quantiles, queue-depth gauges, the top-K
+/// slowest devices by p99, and the most recent slow-round exemplars
+/// with their stage span chains. Pure — all state comes in through the
+/// samples, so tests can drive it directly.
+///
+/// # Errors
+///
+/// Samples missing the expected document shape, formatted.
+pub fn render_top_frame(
+    prev: Option<(&TopSample, f64)>,
+    cur: &TopSample,
+    top_k: usize,
+) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+
+    let uint = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let metrics_of = |sample: &TopSample| -> Result<rap_obs::Snapshot, CliError> {
+        let json = sample
+            .stats
+            .get("metrics")
+            .ok_or_else(|| CliError("telemetry JSON has no `metrics` field".into()))?;
+        Ok(rap_obs::Snapshot::from_json(json)?)
+    };
+    let snap = metrics_of(cur)?;
+    let server = cur
+        .stats
+        .get("server")
+        .ok_or_else(|| CliError("telemetry JSON has no `server` field".into()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "rap top — uptime {:.1}s",
+        uint(&cur.stats, "uptime_ns") as f64 / 1e9
+    );
+
+    // Counter totals, with interval rates once two samples exist.
+    let rated = |name: &str| -> String {
+        let now = uint(server, name);
+        match prev {
+            Some((p, dt)) if dt > 0.0 => {
+                let before = p.stats.get("server").map_or(0, |s| uint(s, name));
+                format!("{now} ({:.1}/s)", now.saturating_sub(before) as f64 / dt)
+            }
+            _ => now.to_string(),
+        }
+    };
+    let _ = writeln!(
+        out,
+        "rounds   {} ok, {} rejected",
+        rated("verdicts_accepted"),
+        rated("verdicts_rejected"),
+    );
+    let _ = writeln!(
+        out,
+        "conns    {} accepted, {} resumed, {} shed, {} error(s) sent",
+        rated("accepted"),
+        rated("resumed"),
+        rated("shed"),
+        rated("errors_sent"),
+    );
+
+    // Round latency over the window between the two samples (falls
+    // back to the lifetime histogram on the first frame).
+    let window = match prev {
+        Some((p, _)) => snap.diff(&metrics_of(p)?),
+        None => snap.clone(),
+    };
+    if let Some(h) = window.histogram("serve_round_latency_ns") {
+        if h.count > 0 {
+            let _ = writeln!(
+                out,
+                "latency  p50 {}, p99 {}, mean {} over {} round(s)",
+                fmt_ns(h.quantile(0.50)),
+                fmt_ns(h.quantile(0.99)),
+                fmt_ns(h.mean() as u64),
+                h.count
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "queues   accept {} / shard {}",
+        snap.gauge("serve_accept_queue_depth"),
+        snap.gauge("serve_shard_queue_depth"),
+    );
+
+    // Top-K slowest devices by bucket-estimated p99.
+    if let Some(devices) = cur.stats.get("devices").and_then(Json::entries) {
+        let mut rows: Vec<(&str, u64, u64, u64, u64)> = devices
+            .iter()
+            .map(|(name, d)| {
+                (
+                    name.as_str(),
+                    uint(d, "rounds"),
+                    uint(d, "rejects"),
+                    uint(d, "resumes"),
+                    uint(d, "p99_ns"),
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| b.4.cmp(&a.4).then(a.0.cmp(b.0)));
+        if !rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "devices  ({} total, top {} by p99)",
+                rows.len(),
+                top_k.min(rows.len())
+            );
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>8} {:>8} {:>8} {:>10}",
+                "device", "rounds", "rejects", "resumes", "p99"
+            );
+            for (name, rounds, rejects, resumes, p99) in rows.into_iter().take(top_k) {
+                let _ = writeln!(
+                    out,
+                    "  {name:<24} {rounds:>8} {rejects:>8} {resumes:>8} {:>10}",
+                    fmt_ns(p99)
+                );
+            }
+        }
+    }
+
+    // The most recent slow-round exemplars, newest first, with the
+    // accept→verdict span chain.
+    let retained = uint(&cur.exemplars, "retained");
+    let _ = writeln!(
+        out,
+        "slow     {} retained of {} round(s) seen (threshold {}, {} evicted)",
+        retained,
+        uint(&cur.exemplars, "rounds_seen"),
+        fmt_ns(uint(&cur.exemplars, "threshold_ns")),
+        uint(&cur.exemplars, "evicted"),
+    );
+    if let Some(exemplars) = cur.exemplars.get("exemplars").and_then(Json::as_array) {
+        for ex in exemplars.iter().rev().take(3) {
+            let spans = ex
+                .get("spans")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{} {}",
+                        s.get("stage").and_then(Json::as_str).unwrap_or("?"),
+                        fmt_ns(uint(s, "dur_ns"))
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" > ");
+            let _ = writeln!(
+                out,
+                "  #{} {} {} [{}]: {spans}",
+                uint(ex, "trace_id"),
+                ex.get("device").and_then(Json::as_str).unwrap_or("?"),
+                fmt_ns(uint(ex, "total_ns")),
+                if ex.get("accepted") == Some(&Json::Bool(true)) {
+                    "ok"
+                } else {
+                    "rejected"
+                },
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `rap top`: polls a server's admin endpoint and renders a dashboard
+/// frame per interval into `sink` (the binary clears the terminal
+/// between frames; tests collect the strings).
+///
+/// # Errors
+///
+/// Scrape or render failures, formatted.
+pub fn cmd_top(options: &TopOptions, mut sink: impl FnMut(&str)) -> Result<(), CliError> {
+    let mut prev: Option<(TopSample, std::time::Instant)> = None;
+    let mut frames = 0u64;
+    loop {
+        let cur = scrape_admin(&options.addr)?;
+        let now = std::time::Instant::now();
+        let age = prev
+            .as_ref()
+            .map(|(s, at)| (s, now.saturating_duration_since(*at).as_secs_f64()));
+        let frame = render_top_frame(age, &cur, options.top_k)?;
+        sink(&frame);
+        prev = Some((cur, now));
+        frames += 1;
+        if options.iters != 0 && frames >= options.iters {
+            return Ok(());
+        }
+        std::thread::sleep(options.interval);
+    }
+}
+
+/// Prometheus text → `name -> value` for every metric the exposition
+/// declares as `# TYPE ... counter` (histograms and gauges are
+/// skipped: only counters are monotonic, which is what the smoke
+/// check's sandwich relies on).
+fn parse_prometheus_counters(text: &str) -> std::collections::BTreeMap<String, u64> {
+    let mut declared = std::collections::BTreeSet::new();
+    let mut out = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, "counter")) = rest.rsplit_once(' ') {
+                declared.insert(name.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') || line.contains('{') {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            if declared.contains(name) {
+                if let Ok(v) = value.parse::<u64>() {
+                    out.insert(name.to_string(), v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `rap top ADDR --smoke OUT`: scrapes the admin endpoint four times —
+/// Prometheus, JSON, Prometheus again, exemplars — and checks that the
+/// two renderings agree: every counter present in both expositions
+/// must satisfy `prom_before <= json <= prom_after` (the JSON scrape
+/// happened between the two Prometheus ones, and counters are
+/// monotonic). Returns `(ok, human summary, JSON artifact)`; CI stores
+/// the artifact as `TELEMETRY_smoke.json`.
+///
+/// # Errors
+///
+/// Transport failures and malformed replies, formatted. A *failed
+/// check* is not an error — it is reported with `ok == false`.
+pub fn cmd_telemetry_smoke(addr: &str) -> Result<(bool, String, String), CliError> {
+    use std::fmt::Write as _;
+
+    let mut conn = AdminClient::new(addr).connect()?;
+    let prom_before = conn.stats(StatsFormat::Prometheus)?;
+    let json_body = conn.stats(StatsFormat::Json)?;
+    let prom_after = conn.stats(StatsFormat::Prometheus)?;
+    let exemplars = rap_obs::json::parse(&conn.exemplars()?)?;
+
+    let doc = rap_obs::json::parse(&json_body)?;
+    let snap = rap_obs::Snapshot::from_json(
+        doc.get("metrics")
+            .ok_or_else(|| CliError("telemetry JSON has no `metrics` field".into()))?,
+    )?;
+    let before = parse_prometheus_counters(&prom_before);
+    let after = parse_prometheus_counters(&prom_after);
+
+    let mut checked = 0u64;
+    let mut mismatches = Vec::new();
+    for (name, mid) in &snap.counters {
+        let (Some(&lo), Some(&hi)) = (before.get(name), after.get(name)) else {
+            continue;
+        };
+        checked += 1;
+        if !(lo <= *mid && *mid <= hi) {
+            mismatches.push(format!("{name}: prom {lo} / json {mid} / prom {hi}"));
+        }
+    }
+    let uint = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let devices = doc
+        .get("devices")
+        .and_then(Json::entries)
+        .map_or(0, <[_]>::len) as u64;
+    let ok = checked > 0 && mismatches.is_empty();
+
+    let artifact = Json::obj([
+        ("ok", Json::Bool(ok)),
+        ("scrapes", Json::Uint(4)),
+        ("counters_checked", Json::Uint(checked)),
+        (
+            "mismatches",
+            Json::Arr(mismatches.iter().cloned().map(Json::Str).collect()),
+        ),
+        ("rounds_seen", Json::Uint(uint(&exemplars, "rounds_seen"))),
+        (
+            "exemplars_retained",
+            Json::Uint(uint(&exemplars, "retained")),
+        ),
+        ("devices", Json::Uint(devices)),
+    ])
+    .to_pretty();
+
+    let mut summary = format!(
+        "telemetry smoke: {} counter(s) sandwich-checked across Prometheus/JSON, {} mismatch(es)\n",
+        checked,
+        mismatches.len()
+    );
+    for m in &mismatches {
+        let _ = writeln!(summary, "  MISMATCH {m}");
+    }
+    let _ = writeln!(
+        summary,
+        "{} device(s), {} round(s) seen, {} exemplar(s) retained",
+        devices,
+        uint(&exemplars, "rounds_seen"),
+        uint(&exemplars, "retained")
+    );
+    let _ = writeln!(summary, "verdict: {}", if ok { "OK" } else { "FAIL" });
+    Ok((ok, summary, artifact))
+}
+
+/// `rap stats --watch ADDR`: one live frame — the server's metrics
+/// snapshot rendered as the usual `rap stats` table, followed by the
+/// per-device aggregate table (the binary loops on the interval).
+///
+/// # Errors
+///
+/// Transport failures and malformed replies, formatted.
+pub fn cmd_stats_watch(addr: &str) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+
+    let mut conn = AdminClient::new(addr).connect()?;
+    let doc = rap_obs::json::parse(&conn.stats(StatsFormat::Json)?)?;
+    let snap = rap_obs::Snapshot::from_json(
+        doc.get("metrics")
+            .ok_or_else(|| CliError("telemetry JSON has no `metrics` field".into()))?,
+    )?;
+    let mut out = snap.render();
+    if let Some(devices) = doc.get("devices").and_then(Json::entries) {
+        if !devices.is_empty() {
+            let _ = writeln!(out, "devices:");
+            for (name, d) in devices {
+                let uint = |key: &str| d.get(key).and_then(Json::as_u64).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {name}: {} round(s), {} reject(s), {} resume(s), p99 {}",
+                    uint("rounds"),
+                    uint("rejects"),
+                    uint("resumes"),
+                    fmt_ns(uint("p99_ns"))
+                );
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// A demonstration program used by tests and `rap demo`.
@@ -1032,6 +1452,118 @@ mod tests {
         assert_eq!(stats.verdicts_accepted, 4);
         assert_eq!(stats.verdicts_rejected, 1);
         assert!(verifier.stats().jobs >= 5);
+    }
+
+    #[test]
+    fn top_and_telemetry_smoke_against_live_server() {
+        use std::time::{Duration, Instant};
+
+        let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let options = ServeCmdOptions {
+            key_seed: "cli-top".to_owned(),
+            threads: 2,
+            admin: Some("127.0.0.1:0".to_owned()),
+            slow_ms: Some(0), // every round qualifies as slow
+            ..ServeCmdOptions::default()
+        };
+        let (server, _verifier, _) = cmd_serve(&img, &map_text, &options).expect("server starts");
+        let addr = server.local_addr().to_string();
+        let admin = server
+            .admin_addr()
+            .expect("admin listener bound")
+            .to_string();
+
+        let (ok, summary) = cmd_attest_remote(
+            &img,
+            &map_text,
+            &AttestRemoteCmdOptions {
+                key_seed: "cli-top".to_owned(),
+                addr,
+                device: "top-device".to_owned(),
+                rounds: 3,
+                window: 2,
+                ..AttestRemoteCmdOptions::default()
+            },
+        )
+        .expect("rounds complete");
+        assert!(ok, "{summary}");
+
+        // Exemplar finalization lands just after the verdicts hit the
+        // wire, so poll the smoke until the collector saw all rounds.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let (ok, summary, artifact) = loop {
+            let result = cmd_telemetry_smoke(&admin).expect("smoke runs");
+            let doc = rap_obs::json::parse(&result.2).unwrap();
+            let seen = doc.get("rounds_seen").and_then(Json::as_u64).unwrap_or(0);
+            if seen >= 3 || Instant::now() > deadline {
+                break result;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(ok, "{summary}");
+        let doc = rap_obs::json::parse(&artifact).expect("artifact parses");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert!(doc.get("counters_checked").and_then(Json::as_u64).unwrap() > 0);
+        assert!(
+            doc.get("exemplars_retained")
+                .and_then(Json::as_u64)
+                .unwrap()
+                >= 3
+        );
+        assert_eq!(doc.get("devices").and_then(Json::as_u64), Some(1));
+
+        // Two dashboard frames; the second carries interval rates plus
+        // the device table and exemplar span chains.
+        let mut frames = Vec::new();
+        cmd_top(
+            &TopOptions {
+                addr: admin.clone(),
+                interval: Duration::from_millis(10),
+                iters: 2,
+                top_k: 4,
+            },
+            |frame| frames.push(frame.to_owned()),
+        )
+        .expect("top runs");
+        assert_eq!(frames.len(), 2);
+        let last = &frames[1];
+        assert!(last.contains("rap top"), "{last}");
+        assert!(last.contains("top-device"), "{last}");
+        assert!(last.contains("/s)"), "interval rates rendered: {last}");
+        assert!(last.contains("queues"), "{last}");
+        assert!(
+            last.contains("replay"),
+            "exemplar span chain rendered: {last}"
+        );
+
+        // `rap stats --watch` renders the same document for humans.
+        let watch = cmd_stats_watch(&admin).expect("watch frame renders");
+        assert!(watch.contains("top-device"), "{watch}");
+        assert!(watch.contains("counters:"), "{watch}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn prometheus_counter_parse_skips_gauges_and_histograms() {
+        let text = "\
+# TYPE requests counter
+requests 41
+# TYPE depth gauge
+depth 7
+# TYPE lat histogram
+lat_bucket{le=\"10\"} 3
+lat_sum 12
+lat_count 3
+";
+        let counters = parse_prometheus_counters(text);
+        assert_eq!(counters.get("requests"), Some(&41));
+        assert!(!counters.contains_key("depth"), "gauges are not monotonic");
+        assert!(
+            !counters.contains_key("lat_sum"),
+            "histogram series skipped"
+        );
+        assert!(!counters.contains_key("lat_count"));
     }
 
     #[test]

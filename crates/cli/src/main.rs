@@ -25,12 +25,15 @@ USAGE:
   rap fuzz    [--seed N] [--iters K] [--json OUT.json] [--sabotage]
               [--replay CASE_SEED]    # differential fuzzing campaign
   rap serve   <img> <map> [--addr HOST:PORT] [--threads T] [--key SEED]
-              [--limit N] [--secret S] [--window W]
-              [--metrics OUT.json] [--base ADDR]
+              [--limit N] [--secret S] [--window W] [--admin HOST:PORT]
+              [--slow-ms N] [--metrics OUT.json] [--base ADDR]
   rap attest-remote <img> <map> --addr HOST:PORT [--device NAME]
               [--key SEED] [--rounds N] [--retries R] [--watermark N]
               [--window W] [--resume] [--base ADDR]
+  rap top     <admin-addr> [--interval MS] [--iters N] [--k K]
+              [--no-clear] [--smoke OUT.json]   # live dashboard
   rap stats   <metrics.json>          # render a --metrics artifact
+  rap stats   --watch <admin-addr> [--interval MS] [--iters N]
   rap inspect <map>
   rap explain <in.tasm> [--no-loop-opt]
   rap demo    # print a sample .tasm program
@@ -69,6 +72,12 @@ impl Args {
                         | "retries"
                         | "secret"
                         | "window"
+                        | "admin"
+                        | "slow-ms"
+                        | "interval"
+                        | "k"
+                        | "smoke"
+                        | "watch"
                 ) || name == "o"
                     || name == "m";
                 let value = if takes_value {
@@ -313,6 +322,12 @@ fn run() -> Result<(), CliError> {
                 },
                 secret: args.flag("secret").map(str::to_owned),
                 window: args.num("window", 8)?.min(u16::MAX as u64) as u16,
+                admin: args.flag("admin").map(str::to_owned),
+                slow_ms: if args.has("slow-ms") {
+                    Some(args.num("slow-ms", 0)?)
+                } else {
+                    None
+                },
             };
             let obs = ObsOutputs::begin(&args);
             let (server, verifier, generated_secret) = rap_cli::cmd_serve(&img, &map, &options)?;
@@ -323,6 +338,10 @@ fn run() -> Result<(), CliError> {
             }
             // Scripts parse this line to learn the ephemeral port.
             println!("listening on {}", server.local_addr());
+            if let Some(admin) = server.admin_addr() {
+                // And this one for the telemetry plane (`rap top`).
+                println!("admin on {admin}");
+            }
             use std::io::Write as _;
             std::io::stdout().flush()?;
             // With --limit the accept loop drains on its own; without,
@@ -368,10 +387,58 @@ fn run() -> Result<(), CliError> {
                 std::process::exit(1);
             }
         }
-        "stats" => {
+        "top" => {
             need(1)?;
-            let text = fs::read_to_string(&args.positional[0])?;
-            print!("{}", rap_cli::cmd_stats(&text)?);
+            let addr = args.positional[0].clone();
+            if let Some(out_path) = args.flag("smoke") {
+                // One-shot CI mode: sandwich-check the Prometheus and
+                // JSON renderings, write the artifact, fail loudly.
+                let (ok, summary, artifact) = rap_cli::cmd_telemetry_smoke(&addr)?;
+                fs::write(out_path, artifact)?;
+                eprintln!("telemetry smoke -> {out_path}");
+                print!("{summary}");
+                if !ok {
+                    std::process::exit(1);
+                }
+            } else {
+                let options = rap_cli::TopOptions {
+                    addr,
+                    interval: std::time::Duration::from_millis(args.num("interval", 1000)?),
+                    iters: args.num("iters", 0)?,
+                    top_k: args.num("k", 8)?.max(1) as usize,
+                };
+                let clear = !args.has("no-clear");
+                rap_cli::cmd_top(&options, |frame| {
+                    use std::io::Write as _;
+                    if clear {
+                        // Clear screen + home, like top(1).
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    print!("{frame}");
+                    let _ = std::io::stdout().flush();
+                })?;
+            }
+        }
+        "stats" => {
+            if let Some(addr) = args.flag("watch") {
+                let iters = args.num("iters", 0)?;
+                let interval = std::time::Duration::from_millis(args.num("interval", 1000)?);
+                let mut frames = 0u64;
+                loop {
+                    use std::io::Write as _;
+                    print!("{}", rap_cli::cmd_stats_watch(addr)?);
+                    let _ = std::io::stdout().flush();
+                    frames += 1;
+                    if iters != 0 && frames >= iters {
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
+            } else {
+                need(1)?;
+                let text = fs::read_to_string(&args.positional[0])?;
+                print!("{}", rap_cli::cmd_stats(&text)?);
+            }
         }
         "inspect" => {
             need(1)?;

@@ -10,6 +10,9 @@
 //! * a [span/event API](trace) — per-thread ring-buffer sinks feeding a
 //!   global collector; a *disabled* collector costs one relaxed atomic
 //!   load plus a branch per site (measured in `benches/obs.rs`);
+//! * a [round tracker](rounds) — per-round trace ids plus a bounded
+//!   ring of slow-round [`RoundExemplar`]s with full stage-span trees,
+//!   the substrate behind rap-serve's admin telemetry endpoint;
 //! * a tiny [JSON](json) writer/parser used by the snapshots, the bench
 //!   harness (`BENCH_*.json`) and the `figures` binary.
 //!
@@ -28,13 +31,15 @@
 
 pub mod json;
 pub mod registry;
+pub mod rounds;
 pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use registry::{
-    global, CachePadded, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
-    LATENCY_NS_BOUNDS,
+    bucket_quantile, global, CachePadded, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    Snapshot, LATENCY_NS_BOUNDS, ROUND_LATENCY_NS_BOUNDS,
 };
+pub use rounds::{RoundCollector, RoundExemplar, StageSpan};
 pub use trace::{
     disable as disable_tracing, drain as drain_events, dropped as dropped_events,
     enable as enable_tracing, enabled as tracing_enabled, event, flush_thread, span, SpanGuard,

@@ -170,6 +170,60 @@ pub const LATENCY_NS_BOUNDS: [u64; 8] = [
     10_000_000_000,
 ];
 
+/// Nanosecond boundaries for *round*-scale serve latencies: a
+/// 1–2.5–5 ladder from 10 µs to 250 ms. The decade-wide
+/// [`LATENCY_NS_BOUNDS`] layout collapses the whole µs–ms band a
+/// loopback round lives in into two or three buckets, which makes
+/// bucket-derived quantiles (see [`bucket_quantile`]) meaningless
+/// there; this layout gives that band fourteen.
+pub const ROUND_LATENCY_NS_BOUNDS: [u64; 14] = [
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+];
+
+/// Estimates the `q`-quantile (`0.0..=1.0`) of a histogram from its
+/// bucket counts, interpolating linearly within the bucket the target
+/// rank falls into — the standard Prometheus `histogram_quantile`
+/// estimator. `buckets` holds non-cumulative counts with
+/// `buckets.len() == bounds.len() + 1` (final overflow bucket);
+/// observations in the overflow bucket clamp to the last boundary.
+/// Returns 0 when there are no observations.
+pub fn bucket_quantile(bounds: &[u64], buckets: &[u64], q: f64) -> u64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        let prev = cum;
+        cum += n;
+        if n > 0 && cum >= target {
+            let lo = if i == 0 { 0 } else { bounds[i - 1] };
+            let Some(&hi) = bounds.get(i) else {
+                // Overflow bucket: the true upper edge is unknown, so
+                // clamp to the last finite boundary.
+                return lo;
+            };
+            let frac = (target - prev) as f64 / n as f64;
+            return lo + ((hi - lo) as f64 * frac).round() as u64;
+        }
+    }
+    bounds.last().copied().unwrap_or(0)
+}
+
 #[derive(Debug, Default)]
 struct RegistryInner {
     counters: BTreeMap<String, Arc<Counter>>,
@@ -287,6 +341,13 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Bucket-interpolated `q`-quantile estimate (see
+    /// [`bucket_quantile`]); only as precise as the bucket layout, so
+    /// pair µs–ms data with [`ROUND_LATENCY_NS_BOUNDS`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        bucket_quantile(&self.bounds, &self.buckets, q)
     }
 }
 
@@ -690,6 +751,59 @@ mod tests {
             }
         });
         assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn bucket_quantile_interpolates_within_the_target_bucket() {
+        // 100 observations spread uniformly across (0, 100]: the p50
+        // rank lands mid-bucket and interpolates.
+        let bounds = [25u64, 50, 75, 100];
+        let buckets = [25u64, 25, 25, 25, 0];
+        assert_eq!(bucket_quantile(&bounds, &buckets, 0.5), 50);
+        assert_eq!(bucket_quantile(&bounds, &buckets, 0.99), 99);
+        assert_eq!(bucket_quantile(&bounds, &buckets, 1.0), 100);
+        // Rank 1 (q→0) interpolates from the bucket's lower edge.
+        assert_eq!(bucket_quantile(&bounds, &buckets, 0.0), 1);
+        // Mid-bucket interpolation: rank 30 is 5/25 into (25, 50].
+        assert_eq!(bucket_quantile(&bounds, &buckets, 0.3), 30);
+    }
+
+    #[test]
+    fn bucket_quantile_edge_cases() {
+        // Empty histogram.
+        assert_eq!(bucket_quantile(&[10, 20], &[0, 0, 0], 0.99), 0);
+        // Everything in the overflow bucket clamps to the last bound.
+        assert_eq!(bucket_quantile(&[10, 20], &[0, 0, 5], 0.5), 20);
+        // Sparse buckets: empty buckets are skipped, not interpolated.
+        assert_eq!(bucket_quantile(&[10, 20, 30], &[1, 0, 0, 0], 0.99), 10);
+        // Out-of-range q clamps.
+        assert_eq!(bucket_quantile(&[10], &[4, 0], 7.0), 10);
+        assert_eq!(bucket_quantile(&[10], &[4, 0], -1.0), 3);
+    }
+
+    #[test]
+    fn histogram_snapshot_quantile_uses_its_own_layout() {
+        let reg = Registry::new();
+        let h = reg.histogram("round_lat", &ROUND_LATENCY_NS_BOUNDS);
+        // 99 fast rounds at ~20µs, one slow at ~80ms: p50 stays in the
+        // 10–25µs bucket, p99 does not collapse into it.
+        for _ in 0..99 {
+            h.observe(20_000);
+        }
+        h.observe(80_000_000);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("round_lat").unwrap();
+        let p50 = hs.quantile(0.5);
+        let p99 = hs.quantile(0.99);
+        assert!((10_000..=25_000).contains(&p50), "p50 {p50}");
+        assert!(
+            (10_000..=25_000).contains(&p99),
+            "p99 {p99} (rank 99 of 100)"
+        );
+        assert!(
+            hs.quantile(1.0) > 50_000_000,
+            "max lands in the slow bucket"
+        );
     }
 
     #[test]

@@ -22,6 +22,16 @@
 //! | `Attest`    | C → S     | a [`rap_track::encode_stream`] report stream         |
 //! | `Verdict`   | S → C     | accepted `u8`, events `u32`, steps `u64`, detail     |
 //! | `Error`     | S → C     | code `u8`, message UTF-8                             |
+//! | `Stats`     | A → S     | request: format `u8` (0 Prometheus, 1 JSON)          |
+//! | `Stats`     | S → A     | response: rendered snapshot, UTF-8                   |
+//! | `Exemplars` | A → S     | request: empty                                       |
+//! | `Exemplars` | S → A     | response: slow-round exemplar JSON, UTF-8            |
+//!
+//! `A → S` rows are the admin telemetry plane: `Stats`/`Exemplars`
+//! travel only on the loopback admin listener (`rap serve --admin`),
+//! never on the attestation socket — an attestation connection that
+//! sends one gets a `Protocol` error, exactly like any other
+//! out-of-place frame.
 //!
 //! Version 2 replaced the bare-device `Hello` of version 1 and added
 //! the `Resume`/`Session` handshake: every accepted opener is answered
@@ -65,11 +75,16 @@ pub enum FrameType {
     Resume = 6,
     /// Server session grant: resumption token + granted window.
     Session = 7,
+    /// Admin request/response: a point-in-time metrics snapshot in the
+    /// requested [`StatsFormat`].
+    Stats = 8,
+    /// Admin request/response: the slow-round exemplar ring as JSON.
+    Exemplars = 9,
 }
 
 impl FrameType {
     /// All frame types, for exhaustive protocol tests.
-    pub const ALL: [FrameType; 7] = [
+    pub const ALL: [FrameType; 9] = [
         FrameType::Hello,
         FrameType::Challenge,
         FrameType::Attest,
@@ -77,6 +92,8 @@ impl FrameType {
         FrameType::Error,
         FrameType::Resume,
         FrameType::Session,
+        FrameType::Stats,
+        FrameType::Exemplars,
     ];
 
     fn from_u8(v: u8) -> Option<FrameType> {
@@ -88,9 +105,55 @@ impl FrameType {
             5 => Some(FrameType::Error),
             6 => Some(FrameType::Resume),
             7 => Some(FrameType::Session),
+            8 => Some(FrameType::Stats),
+            9 => Some(FrameType::Exemplars),
             _ => None,
         }
     }
+}
+
+/// The rendering a `Stats` admin request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StatsFormat {
+    /// Prometheus text exposition
+    /// ([`Snapshot::to_prometheus`](rap_obs::Snapshot::to_prometheus)).
+    Prometheus = 0,
+    /// The full telemetry JSON document: server counters, the metrics
+    /// snapshot and the per-device aggregate table.
+    Json = 1,
+}
+
+impl StatsFormat {
+    fn from_u8(v: u8) -> Option<StatsFormat> {
+        match v {
+            0 => Some(StatsFormat::Prometheus),
+            1 => Some(StatsFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a `Stats` request payload: one format byte.
+pub fn encode_stats_request(format: StatsFormat) -> Vec<u8> {
+    vec![format as u8]
+}
+
+/// Decodes a `Stats` request payload.
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] unless the payload is exactly one known
+/// format byte.
+pub fn decode_stats_request(payload: &[u8]) -> Result<StatsFormat, FrameError> {
+    let [byte] = payload else {
+        return Err(FrameError::BadPayload {
+            what: "stats request must be exactly one format byte",
+        });
+    };
+    StatsFormat::from_u8(*byte).ok_or(FrameError::BadPayload {
+        what: "unknown stats format",
+    })
 }
 
 /// Why the server is closing the connection.
@@ -665,6 +728,21 @@ mod tests {
             decode_resume(&bad_resume),
             Err(FrameError::BadPayload { .. })
         ));
+    }
+
+    #[test]
+    fn stats_request_roundtrip_and_typed_rejection() {
+        for format in [StatsFormat::Prometheus, StatsFormat::Json] {
+            let payload = encode_stats_request(format);
+            assert_eq!(payload.len(), 1);
+            assert_eq!(decode_stats_request(&payload).unwrap(), format);
+        }
+        for bad in [&[][..], &[2u8][..], &[0u8, 0][..], &[0xFFu8][..]] {
+            assert!(matches!(
+                decode_stats_request(bad),
+                Err(FrameError::BadPayload { .. })
+            ));
+        }
     }
 
     #[test]

@@ -22,7 +22,13 @@
 //!   [`AttestClient::resume`] reconnects with a token.
 //! * [`frame`] — the length-prefixed frame protocol, version 2
 //!   (`HELLO`/`RESUME`/`SESSION`/`CHALLENGE`/`ATTEST`/`VERDICT`/
-//!   `ERROR`); report payloads reuse [`rap_track::encode_stream`].
+//!   `ERROR`, plus the admin-only `STATS`/`EXEMPLARS`); report
+//!   payloads reuse [`rap_track::encode_stream`].
+//! * [`AdminClient`] — the telemetry plane's client. With
+//!   [`ServerConfig::admin_addr`] set the server runs a separate
+//!   loopback listener serving point-in-time Prometheus/JSON
+//!   snapshots, a per-device aggregate table, and slow-round
+//!   exemplars with per-stage span trees (`rap top` is built on it).
 //!
 //! ```no_run
 //! use rap_serve::{AttestClient, ClientConfig, Server, ServerConfig};
@@ -53,11 +59,14 @@
 
 pub mod frame;
 
+mod admin;
 mod client;
 mod server;
 
+pub use admin::{AdminClient, AdminConn};
 pub use client::{AttestClient, ClientConfig, ClientError, Connection};
 pub use frame::{
-    ErrorCode, Frame, FrameError, FrameType, ReadFrameError, ResumeToken, SessionGrant, Verdict,
+    ErrorCode, Frame, FrameError, FrameType, ReadFrameError, ResumeToken, SessionGrant,
+    StatsFormat, Verdict,
 };
 pub use server::{Server, ServerConfig, ServerStats, StartError};

@@ -29,6 +29,16 @@
 //! the listener stops accepting, queued and in-flight rounds finish
 //! (bounded by the per-connection read deadline), and every worker
 //! flushes its `rap-obs` trace ring before joining.
+//!
+//! With [`ServerConfig::admin_addr`] set, the server additionally
+//! runs a *telemetry plane*: every round gets a trace id minted at
+//! CHALLENGE issue and carried through accept → dispatch → shard
+//! queue → replay → flush, slow rounds retain their full span tree in
+//! a bounded [`RoundCollector`] ring, and a separate loopback admin
+//! listener answers `STATS`/`EXEMPLARS` frames with point-in-time
+//! snapshots plus a per-device aggregate table. With `admin_addr`
+//! unset none of this exists — the per-round cost is one `Option`
+//! check, preserving the disabled-cost guarantee.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -38,12 +48,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use rap_crypto::hmac_sha256;
+use rap_obs::{Json, RoundCollector, RoundExemplar, StageSpan};
 use rap_track::{decode_stream, SessionError, Verifier, VerifierSession};
 
 use crate::frame::{
-    decode_frame, decode_hello, decode_resume, encode_error, encode_frame, encode_session,
-    read_frame, ErrorCode, Frame, FrameError, FrameType, ReadFrameError, ResumeToken, SessionGrant,
-    Verdict, DEFAULT_MAX_FRAME_LEN,
+    decode_frame, decode_hello, decode_resume, decode_stats_request, encode_error, encode_frame,
+    encode_session, read_frame, write_frame, ErrorCode, Frame, FrameError, FrameType,
+    ReadFrameError, ResumeToken, SessionGrant, StatsFormat, Verdict, DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Tunables for [`Server::start`].
@@ -79,6 +90,18 @@ pub struct ServerConfig {
     /// have been accepted — lets scripts run a bounded smoke test
     /// without signal handling.
     pub conn_limit: Option<u64>,
+    /// When set, bind a second (loopback) listener at this address and
+    /// serve `STATS`/`EXEMPLARS` admin frames from it, and turn on
+    /// per-round trace-context tracking. `None` (the default) keeps
+    /// the whole telemetry plane compiled out of the hot path behind a
+    /// single `Option` check.
+    pub admin_addr: Option<String>,
+    /// Rounds slower than this (challenge issue → verdict flushed)
+    /// retain their full span tree as a [`RoundExemplar`]. Only
+    /// meaningful with [`ServerConfig::admin_addr`] set.
+    pub slow_round_threshold: Duration,
+    /// Cap on retained slow-round exemplars (oldest evicted first).
+    pub exemplar_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +120,9 @@ impl Default for ServerConfig {
             resume_ttl: Duration::from_secs(60),
             resume_capacity: 1024,
             conn_limit: None,
+            admin_addr: None,
+            slow_round_threshold: Duration::from_millis(5),
+            exemplar_capacity: 64,
         }
     }
 }
@@ -212,11 +238,17 @@ impl<T> HandoffQueue<T> {
 
     /// Returns the item on refusal (queue full or closed) so the
     /// caller can still talk to the connection it failed to enqueue.
-    fn try_push(&self, item: T) -> Result<(), T> {
+    ///
+    /// `stamp` runs under the queue lock with the depth the item is
+    /// entering at — the telemetry plane uses it to record enqueue-time
+    /// queue depths without a second lock acquisition; pass
+    /// `|_, _| {}` when the depth is not needed.
+    fn try_push(&self, mut item: T, stamp: impl FnOnce(&mut T, usize)) -> Result<(), T> {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed || inner.items.len() >= self.cap {
             return Err(item);
         }
+        stamp(&mut item, inner.items.len());
         inner.items.push_back(item);
         drop(inner);
         self.ready.notify_one();
@@ -242,6 +274,16 @@ impl<T> HandoffQueue<T> {
     }
 }
 
+/// A connection the accept loop has enqueued for the dispatcher.
+struct AcceptedConn {
+    conn_id: u64,
+    stream: TcpStream,
+    /// When the accept loop enqueued the connection.
+    accepted_at: Instant,
+    /// Accept-queue depth at enqueue time (stamped under the lock).
+    accept_depth: u32,
+}
+
 /// A connection whose opener has been read and routed: everything a
 /// shard worker needs to run the session.
 struct PendingConn {
@@ -252,6 +294,16 @@ struct PendingConn {
     /// `Some` when the opener was a valid `RESUME` — the parked
     /// session whose nonce chain continues.
     restored: Option<VerifierSession>,
+    /// When the accept loop enqueued the connection.
+    accepted_at: Instant,
+    /// When the dispatcher picked it up (opener read starts).
+    dispatch_started_at: Instant,
+    /// When the dispatcher enqueued it on its shard.
+    shard_enqueued_at: Instant,
+    /// Accept-queue depth at enqueue time.
+    accept_depth: u32,
+    /// Shard-queue depth at enqueue time (stamped under the lock).
+    shard_depth: u32,
 }
 
 /// A session parked at connection close, waiting for a `RESUME`.
@@ -263,6 +315,66 @@ struct ResumeEntry {
 
 type ResumeTable = Mutex<HashMap<u64, ResumeEntry>>;
 
+/// Per-device aggregate row of the admin telemetry table: volume,
+/// rejects, resumes, recency and a fixed-bucket latency distribution
+/// (same layout as `serve_round_latency_ns`) for a bucket-derived p99.
+struct DeviceAgg {
+    rounds: u64,
+    rejects: u64,
+    resumes: u64,
+    /// Last verdict-flush time, ns since the server epoch.
+    last_seen_ns: u64,
+    buckets: [u64; rap_obs::ROUND_LATENCY_NS_BOUNDS.len() + 1],
+}
+
+impl Default for DeviceAgg {
+    fn default() -> DeviceAgg {
+        DeviceAgg {
+            rounds: 0,
+            rejects: 0,
+            resumes: 0,
+            last_seen_ns: 0,
+            buckets: [0; rap_obs::ROUND_LATENCY_NS_BOUNDS.len() + 1],
+        }
+    }
+}
+
+impl DeviceAgg {
+    fn observe(&mut self, total_ns: u64) {
+        let idx = rap_obs::ROUND_LATENCY_NS_BOUNDS.partition_point(|&b| b < total_ns);
+        self.buckets[idx] += 1;
+    }
+
+    fn p99_ns(&self) -> u64 {
+        rap_obs::bucket_quantile(&rap_obs::ROUND_LATENCY_NS_BOUNDS, &self.buckets, 0.99)
+    }
+}
+
+/// The telemetry plane's shared state — exists only when
+/// [`ServerConfig::admin_addr`] is set, so the disabled cost of the
+/// whole plane is the `Option` check on [`Shared::telemetry`].
+struct Telemetry {
+    /// Trace-id mint + slow-round exemplar ring.
+    rounds: RoundCollector,
+    /// Per-device aggregates, updated once per drain tick (one lock
+    /// acquisition per verdict batch, not per round).
+    devices: Mutex<HashMap<String, DeviceAgg>>,
+}
+
+impl Telemetry {
+    fn new(config: &ServerConfig) -> Telemetry {
+        let rounds = RoundCollector::new(
+            config.slow_round_threshold.as_nanos() as u64,
+            config.exemplar_capacity,
+        );
+        rounds.set_enabled(true);
+        Telemetry {
+            rounds,
+            devices: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
 /// Everything the dispatcher and shard workers share.
 struct Shared {
     config: ServerConfig,
@@ -270,6 +382,10 @@ struct Shared {
     shutdown: AtomicBool,
     resume: ResumeTable,
     token_seq: AtomicU64,
+    /// The instant all span/round offsets are relative to.
+    epoch: Instant,
+    /// `Some` iff the admin endpoint is configured.
+    telemetry: Option<Telemetry>,
 }
 
 /// Derives the resumption token for `(id, device)` under the server
@@ -300,11 +416,13 @@ fn shard_of(device: &str, shards: usize) -> usize {
 /// [`Server::shutdown`] aborts the drain (threads are detached).
 pub struct Server {
     local_addr: SocketAddr,
+    admin_local: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
     dispatch_handle: Option<std::thread::JoinHandle<()>>,
+    admin_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
-    accept_queue: Arc<HandoffQueue<(u64, TcpStream)>>,
+    accept_queue: Arc<HandoffQueue<AcceptedConn>>,
     shard_queues: Vec<Arc<HandoffQueue<PendingConn>>>,
 }
 
@@ -330,14 +448,30 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        let admin_listener = match &config.admin_addr {
+            Some(admin_addr) => {
+                let l = TcpListener::bind(admin_addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let admin_local = match &admin_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+
         let shards = config.threads.max(1);
         let max_pending = config.max_pending;
+        let telemetry = admin_listener.as_ref().map(|_| Telemetry::new(&config));
         let shared = Arc::new(Shared {
             config,
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             resume: Mutex::new(HashMap::new()),
             token_seq: AtomicU64::new(1),
+            epoch: Instant::now(),
+            telemetry,
         });
         let accept_queue = Arc::new(HandoffQueue::new(max_pending));
         let shard_queues: Vec<Arc<HandoffQueue<PendingConn>>> = (0..shards)
@@ -352,6 +486,7 @@ impl Server {
                 let verifier = verifier.clone();
                 std::thread::spawn(move || {
                     while let Some(pending) = queue.pop() {
+                        rap_obs::gauge!("serve_shard_queue_depth").dec();
                         rap_obs::gauge!("serve_active_connections").inc();
                         serve_connection(&shared, &verifier, pending);
                         rap_obs::gauge!("serve_active_connections").dec();
@@ -382,14 +517,27 @@ impl Server {
             std::thread::spawn(move || {
                 accept_loop(listener, &accept_queue, &shared);
                 accept_queue.close();
+                // The accept loop records counters through per-thread
+                // rings too — flush them like every other stage thread.
+                rap_obs::flush_thread();
             })
         };
 
+        let admin_handle = admin_listener.map(|listener| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                admin_loop(listener, &shared);
+                rap_obs::flush_thread();
+            })
+        });
+
         Ok(Server {
             local_addr,
+            admin_local,
             shared,
             accept_handle: Some(accept_handle),
             dispatch_handle: Some(dispatch_handle),
+            admin_handle,
             worker_handles,
             accept_queue,
             shard_queues,
@@ -399,6 +547,12 @@ impl Server {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound admin telemetry address, when
+    /// [`ServerConfig::admin_addr`] was set (useful with port 0).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_local
     }
 
     /// Stats so far (the server keeps running).
@@ -437,10 +591,17 @@ impl Server {
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
+        // The admin loop only exits on the shutdown flag; set it here
+        // too so the conn-limit drain path (`join()` without
+        // `shutdown()`) does not deadlock on the admin thread.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.admin_handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
-fn accept_loop(listener: TcpListener, queue: &HandoffQueue<(u64, TcpStream)>, shared: &Shared) {
+fn accept_loop(listener: TcpListener, queue: &HandoffQueue<AcceptedConn>, shared: &Shared) {
     let config = &shared.config;
     let counters = &shared.counters;
     let mut next_conn_id = 0u64;
@@ -458,12 +619,19 @@ fn accept_loop(listener: TcpListener, queue: &HandoffQueue<(u64, TcpStream)>, sh
                 let conn_id = next_conn_id;
                 next_conn_id += 1;
                 let _ = stream.set_write_timeout(Some(config.write_timeout));
-                match queue.try_push((conn_id, stream)) {
+                let conn = AcceptedConn {
+                    conn_id,
+                    stream,
+                    accepted_at: Instant::now(),
+                    accept_depth: 0,
+                };
+                match queue.try_push(conn, |c, depth| c.accept_depth = depth as u32) {
                     Ok(()) => {
                         counters.accepted.fetch_add(1, Ordering::Relaxed);
                         rap_obs::counter!("serve_conns_accepted_total").inc();
+                        rap_obs::gauge!("serve_accept_queue_depth").inc();
                     }
-                    Err((_, mut stream)) => {
+                    Err(AcceptedConn { mut stream, .. }) => {
                         // Shed, don't queue: an explicit busy error
                         // lets the client back off and retry.
                         counters.shed.fetch_add(1, Ordering::Relaxed);
@@ -492,13 +660,21 @@ fn accept_loop(listener: TcpListener, queue: &HandoffQueue<(u64, TcpStream)>, sh
 /// validates resumption tokens, and routes the connection to its
 /// device's shard.
 fn dispatch_loop(
-    accept_queue: &HandoffQueue<(u64, TcpStream)>,
+    accept_queue: &HandoffQueue<AcceptedConn>,
     shard_queues: &[Arc<HandoffQueue<PendingConn>>],
     shared: &Shared,
 ) {
     let config = &shared.config;
     let counters = &shared.counters;
-    while let Some((conn_id, mut stream)) = accept_queue.pop() {
+    while let Some(conn) = accept_queue.pop() {
+        rap_obs::gauge!("serve_accept_queue_depth").dec();
+        let AcceptedConn {
+            conn_id,
+            mut stream,
+            accepted_at,
+            accept_depth,
+        } = conn;
+        let dispatch_started_at = Instant::now();
         if shared.shutdown.load(Ordering::SeqCst) {
             send_error(
                 &mut stream,
@@ -526,6 +702,11 @@ fn dispatch_loop(
                     device,
                     requested_window,
                     restored: None,
+                    accepted_at,
+                    dispatch_started_at,
+                    shard_enqueued_at: dispatch_started_at,
+                    accept_depth,
+                    shard_depth: 0,
                 },
                 Err(e) => {
                     send_error(&mut stream, counters, ErrorCode::Protocol, &e.to_string());
@@ -538,12 +719,25 @@ fn dispatch_loop(
                         Ok(session) => {
                             counters.resumed.fetch_add(1, Ordering::Relaxed);
                             rap_obs::counter!("serve_sessions_resumed_total").inc();
+                            if let Some(t) = &shared.telemetry {
+                                t.devices
+                                    .lock()
+                                    .unwrap()
+                                    .entry(device.clone())
+                                    .or_default()
+                                    .resumes += 1;
+                            }
                             PendingConn {
                                 conn_id,
                                 stream,
                                 device,
                                 requested_window,
                                 restored: Some(session),
+                                accepted_at,
+                                dispatch_started_at,
+                                shard_enqueued_at: dispatch_started_at,
+                                accept_depth,
+                                shard_depth: 0,
                             }
                         }
                         Err(why) => {
@@ -570,15 +764,22 @@ fn dispatch_loop(
             }
         };
         let shard = shard_of(&pending.device, shard_queues.len());
-        if let Err(mut refused) = shard_queues[shard].try_push(pending) {
-            counters.shed.fetch_add(1, Ordering::Relaxed);
-            rap_obs::counter!("serve_conns_shed_total").inc();
-            send_error(
-                &mut refused.stream,
-                counters,
-                ErrorCode::Busy,
-                "verifier shard queue full",
-            );
+        let stamp = |p: &mut PendingConn, depth: usize| {
+            p.shard_depth = depth as u32;
+            p.shard_enqueued_at = Instant::now();
+        };
+        match shard_queues[shard].try_push(pending, stamp) {
+            Ok(()) => rap_obs::gauge!("serve_shard_queue_depth").inc(),
+            Err(mut refused) => {
+                counters.shed.fetch_add(1, Ordering::Relaxed);
+                rap_obs::counter!("serve_conns_shed_total").inc();
+                send_error(
+                    &mut refused.stream,
+                    counters,
+                    ErrorCode::Busy,
+                    "verifier shard queue full",
+                );
+            }
         }
     }
 }
@@ -633,6 +834,20 @@ fn park_session(shared: &Shared, token_id: u64, device: String, mut session: Ver
     );
 }
 
+/// One verified round awaiting its tick's flush: finalized (end-to-end
+/// latency, device aggregate, exemplar) once the verdict batch has
+/// actually reached the wire.
+struct PendingRound {
+    trace_id: u64,
+    /// When the round's CHALLENGE was issued (the trace-id mint).
+    issued_at: Instant,
+    /// When the worker started replaying the evidence.
+    replay_start: Instant,
+    /// Replay duration in ns.
+    replay_ns: u64,
+    accepted: bool,
+}
+
 /// Per-tick observability and counter deltas, committed once per
 /// drain tick instead of once per round.
 #[derive(Default)]
@@ -642,6 +857,10 @@ struct TickTally {
     accepted: u64,
     rejected: u64,
     latencies_ns: Vec<u64>,
+    /// Rounds verified this tick, pending flush finalization. Taken
+    /// (`std::mem::take`) *before* [`TickTally::commit`] resets the
+    /// tally — only populated when the telemetry plane is on.
+    rounds: Vec<PendingRound>,
 }
 
 impl TickTally {
@@ -664,7 +883,10 @@ impl TickTally {
                 .fetch_add(self.rejected, Ordering::Relaxed);
             rap_obs::counter!("serve_verdicts_rejected_total").add(self.rejected);
         }
-        let h = rap_obs::histogram!("serve_verify_latency_ns", &rap_obs::LATENCY_NS_BOUNDS);
+        // Replay latencies live in the µs–ms band on loopback; the
+        // round-scale bucket ladder keeps the bucket-derived quantiles
+        // meaningful there (the decade layout collapsed the band).
+        let h = rap_obs::histogram!("serve_verify_latency_ns", &rap_obs::ROUND_LATENCY_NS_BOUNDS);
         for ns in self.latencies_ns.drain(..) {
             h.observe(ns);
         }
@@ -724,16 +946,65 @@ impl FrameBuf {
     }
 }
 
+/// Nanoseconds from `epoch` to `t` (0 when `t` precedes the epoch).
+fn rel_ns(epoch: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(epoch).as_nanos() as u64
+}
+
+/// Per-connection telemetry context: the connection-level stage spans
+/// (accept wait, dispatch, shard-queue wait) every round of this
+/// connection shares, plus the queue depths observed at enqueue time.
+/// Built once per connection, only when the telemetry plane is on.
+struct ConnObs<'a> {
+    telemetry: &'a Telemetry,
+    epoch: Instant,
+    device: String,
+    accept_start_ns: u64,
+    accept_dur_ns: u64,
+    dispatch_start_ns: u64,
+    dispatch_dur_ns: u64,
+    shardq_start_ns: u64,
+    shardq_dur_ns: u64,
+    accept_depth: u32,
+    shard_depth: u32,
+}
+
 fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) {
+    let replay_picked_at = Instant::now();
     let PendingConn {
         conn_id,
         mut stream,
         device,
         requested_window,
         restored,
+        accepted_at,
+        dispatch_started_at,
+        shard_enqueued_at,
+        accept_depth,
+        shard_depth,
     } = pending;
     let config = &shared.config;
     let counters = &shared.counters;
+
+    let obs = shared.telemetry.as_ref().map(|telemetry| ConnObs {
+        telemetry,
+        epoch: shared.epoch,
+        device: device.clone(),
+        accept_start_ns: rel_ns(shared.epoch, accepted_at),
+        accept_dur_ns: dispatch_started_at
+            .saturating_duration_since(accepted_at)
+            .as_nanos() as u64,
+        dispatch_start_ns: rel_ns(shared.epoch, dispatch_started_at),
+        dispatch_dur_ns: shard_enqueued_at
+            .saturating_duration_since(dispatch_started_at)
+            .as_nanos() as u64,
+        shardq_start_ns: rel_ns(shared.epoch, shard_enqueued_at),
+        shardq_dur_ns: replay_picked_at
+            .saturating_duration_since(shard_enqueued_at)
+            .as_nanos() as u64,
+        accept_depth,
+        shard_depth,
+    });
 
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
@@ -773,9 +1044,16 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
         FrameType::Session,
         &encode_session(&SessionGrant { token, window }),
     );
+    // Round trace ids are minted at CHALLENGE issue; `issued` mirrors
+    // the session's FIFO challenge queue (an ATTEST — even a garbage
+    // one — consumes the front challenge, so front-pop stays aligned).
+    let mut issued: VecDeque<(u64, Instant)> = VecDeque::new();
     for _ in 0..window {
         let chal = session.issue_windowed_challenge();
         outbuf.extend_from_slice(&encode_frame(FrameType::Challenge, &chal.0));
+        if let Some(obs) = &obs {
+            issued.push_back((obs.telemetry.rounds.mint(), Instant::now()));
+        }
     }
     if stream
         .write_all(&outbuf)
@@ -800,7 +1078,7 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                     tick.frames_rx += 1;
                     if session.outstanding_count() == 0 {
                         // The client wrote past its granted window.
-                        flush_tick(&mut stream, &mut outbuf, &mut tick, counters);
+                        flush_tick(&mut stream, &mut outbuf, &mut tick, counters, obs.as_ref());
                         send_error(
                             &mut stream,
                             counters,
@@ -811,7 +1089,8 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                     }
                     let started = Instant::now();
                     let verdict = verify_one(&mut session, &frame.payload);
-                    tick.latencies_ns.push(started.elapsed().as_nanos() as u64);
+                    let replay_ns = started.elapsed().as_nanos() as u64;
+                    tick.latencies_ns.push(replay_ns);
                     if verdict.accepted {
                         tick.accepted += 1;
                     } else {
@@ -821,9 +1100,22 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                     let chal = session.issue_windowed_challenge();
                     outbuf.extend_from_slice(&encode_frame(FrameType::Challenge, &chal.0));
                     tick.frames_tx += 2;
+                    if let Some(obs) = &obs {
+                        // This ATTEST consumed the front challenge; its
+                        // replacement challenge starts the next round.
+                        let (trace_id, issued_at) = issued.pop_front().unwrap_or((0, started));
+                        tick.rounds.push(PendingRound {
+                            trace_id,
+                            issued_at,
+                            replay_start: started,
+                            replay_ns,
+                            accepted: verdict.accepted,
+                        });
+                        issued.push_back((obs.telemetry.rounds.mint(), Instant::now()));
+                    }
                 }
                 Ok(Some(_)) => {
-                    flush_tick(&mut stream, &mut outbuf, &mut tick, counters);
+                    flush_tick(&mut stream, &mut outbuf, &mut tick, counters, obs.as_ref());
                     send_error(
                         &mut stream,
                         counters,
@@ -833,7 +1125,7 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                     return;
                 }
                 Err(e) => {
-                    flush_tick(&mut stream, &mut outbuf, &mut tick, counters);
+                    flush_tick(&mut stream, &mut outbuf, &mut tick, counters, obs.as_ref());
                     let code = match e {
                         FrameError::Oversized { .. } => ErrorCode::Oversized,
                         _ => ErrorCode::Protocol,
@@ -843,7 +1135,7 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                 }
             }
         }
-        if !flush_tick(&mut stream, &mut outbuf, &mut tick, counters) {
+        if !flush_tick(&mut stream, &mut outbuf, &mut tick, counters, obs.as_ref()) {
             return;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -935,22 +1227,250 @@ fn verify_one(session: &mut VerifierSession, payload: &[u8]) -> Verdict {
 /// Commits the tick's observability deltas and flushes the batched
 /// verdict/challenge frames in one write. Returns `false` when the
 /// write failed (the connection is gone).
+///
+/// With the telemetry plane on, the tick's verified rounds are
+/// finalized *after* the write lands: a round's end-to-end latency
+/// runs challenge issue → verdict on the wire, so the flush itself is
+/// the last span of every round in the batch.
 fn flush_tick(
     stream: &mut TcpStream,
     outbuf: &mut Vec<u8>,
     tick: &mut TickTally,
     counters: &Counters,
+    obs: Option<&ConnObs<'_>>,
 ) -> bool {
+    // Taken before commit — commit resets the whole tally.
+    let rounds = std::mem::take(&mut tick.rounds);
     tick.commit(counters);
-    if outbuf.is_empty() {
-        return true;
+    let finalize = match obs {
+        Some(o) if !rounds.is_empty() => Some((o, Instant::now())),
+        _ => None,
+    };
+    if !outbuf.is_empty() {
+        let ok = stream
+            .write_all(outbuf)
+            .and_then(|()| stream.flush())
+            .is_ok();
+        outbuf.clear();
+        if !ok {
+            // The rounds in this batch never reached the wire; their
+            // verdicts are lost with the connection, so no exemplars.
+            return false;
+        }
     }
-    let ok = stream
-        .write_all(outbuf)
-        .and_then(|()| stream.flush())
-        .is_ok();
-    outbuf.clear();
-    ok
+    if let Some((o, flush_start)) = finalize {
+        finalize_rounds(o, flush_start, &rounds);
+    }
+    true
+}
+
+/// Post-flush round finalization: observe end-to-end latencies, update
+/// the device aggregate row (one lock for the whole batch), and offer
+/// each round to the slow-round exemplar ring with its five-stage span
+/// tree.
+fn finalize_rounds(obs: &ConnObs<'_>, flush_start: Instant, rounds: &[PendingRound]) {
+    let flush_end = Instant::now();
+    let flush_start_ns = rel_ns(obs.epoch, flush_start);
+    let flush_dur_ns = flush_end.saturating_duration_since(flush_start).as_nanos() as u64;
+    let total_of = |r: &PendingRound| -> u64 {
+        flush_end.saturating_duration_since(r.issued_at).as_nanos() as u64
+    };
+    let hist = rap_obs::histogram!("serve_round_latency_ns", &rap_obs::ROUND_LATENCY_NS_BOUNDS);
+    {
+        let mut devices = obs.telemetry.devices.lock().unwrap();
+        let agg = devices.entry(obs.device.clone()).or_default();
+        for r in rounds {
+            agg.rounds += 1;
+            if !r.accepted {
+                agg.rejects += 1;
+            }
+            agg.observe(total_of(r));
+        }
+        agg.last_seen_ns = rel_ns(obs.epoch, flush_end);
+    }
+    for r in rounds {
+        let total_ns = total_of(r);
+        hist.observe(total_ns);
+        obs.telemetry.rounds.record(total_ns, || RoundExemplar {
+            trace_id: r.trace_id,
+            device: obs.device.clone(),
+            total_ns,
+            accepted: r.accepted,
+            accept_depth: obs.accept_depth,
+            shard_depth: obs.shard_depth,
+            spans: vec![
+                StageSpan {
+                    trace_id: r.trace_id,
+                    stage: "accept",
+                    start_ns: obs.accept_start_ns,
+                    dur_ns: obs.accept_dur_ns,
+                },
+                StageSpan {
+                    trace_id: r.trace_id,
+                    stage: "dispatch",
+                    start_ns: obs.dispatch_start_ns,
+                    dur_ns: obs.dispatch_dur_ns,
+                },
+                StageSpan {
+                    trace_id: r.trace_id,
+                    stage: "shard_queue",
+                    start_ns: obs.shardq_start_ns,
+                    dur_ns: obs.shardq_dur_ns,
+                },
+                StageSpan {
+                    trace_id: r.trace_id,
+                    stage: "replay",
+                    start_ns: rel_ns(obs.epoch, r.replay_start),
+                    dur_ns: r.replay_ns,
+                },
+                StageSpan {
+                    trace_id: r.trace_id,
+                    stage: "flush",
+                    start_ns: flush_start_ns,
+                    dur_ns: flush_dur_ns,
+                },
+            ],
+        });
+    }
+}
+
+/// Payload cap for admin requests — both request types are tiny, so a
+/// malformed or hostile scraper cannot make the admin thread allocate.
+const ADMIN_MAX_FRAME_LEN: u32 = 4096;
+
+/// Idle deadline per admin read: the single admin thread serves
+/// scrapers sequentially, so a scraper that connects and goes silent
+/// is dropped after one second to let the next one in (`rap top`
+/// reconnects on every poll anyway).
+const ADMIN_READ_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// The admin accept loop: same nonblocking 2 ms poll as the main
+/// accept loop, serving one scraper connection at a time.
+fn admin_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_admin_conn(shared, stream),
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Answers `STATS`/`EXEMPLARS` requests on one admin connection until
+/// the peer closes, goes idle past [`ADMIN_READ_TIMEOUT`], or sends
+/// anything else (answered with a `Protocol` error).
+fn serve_admin_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(ADMIN_READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut stream, ADMIN_MAX_FRAME_LEN) {
+            Ok(Some(frame)) => frame,
+            // Clean close, idle timeout, or garbage: drop the scraper
+            // and serve the next one.
+            Ok(None) | Err(_) => return,
+        };
+        let reply = match frame.frame_type {
+            FrameType::Stats => match decode_stats_request(&frame.payload) {
+                Ok(StatsFormat::Prometheus) => {
+                    rap_obs::global().snapshot().to_prometheus().into_bytes()
+                }
+                Ok(StatsFormat::Json) => telemetry_json(shared).to_compact().into_bytes(),
+                Err(e) => {
+                    send_error(
+                        &mut stream,
+                        &shared.counters,
+                        ErrorCode::Protocol,
+                        &e.to_string(),
+                    );
+                    return;
+                }
+            },
+            FrameType::Exemplars => exemplars_json(shared).to_compact().into_bytes(),
+            _ => {
+                send_error(
+                    &mut stream,
+                    &shared.counters,
+                    ErrorCode::Protocol,
+                    "expected STATS or EXEMPLARS",
+                );
+                return;
+            }
+        };
+        if write_frame(&mut stream, frame.frame_type, &reply).is_err() {
+            return;
+        }
+        rap_obs::counter!("serve_admin_scrapes_total").inc();
+    }
+}
+
+/// The `STATS` (JSON format) response: uptime, the server's own
+/// counters, the full metrics snapshot (same source as the Prometheus
+/// rendering, so the two renderings agree on any quiesced counter),
+/// and the per-device aggregate table, name-sorted.
+fn telemetry_json(shared: &Shared) -> Json {
+    let stats = shared.counters.snapshot();
+    let snap = rap_obs::global().snapshot();
+    let devices = match &shared.telemetry {
+        Some(t) => {
+            let map = t.devices.lock().unwrap();
+            let mut names: Vec<&String> = map.keys().collect();
+            names.sort();
+            Json::Obj(
+                names
+                    .into_iter()
+                    .map(|name| {
+                        let agg = &map[name];
+                        (
+                            name.clone(),
+                            Json::obj([
+                                ("rounds", Json::Uint(agg.rounds)),
+                                ("rejects", Json::Uint(agg.rejects)),
+                                ("resumes", Json::Uint(agg.resumes)),
+                                ("last_seen_ns", Json::Uint(agg.last_seen_ns)),
+                                ("p99_ns", Json::Uint(agg.p99_ns())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+        None => Json::Obj(Vec::new()),
+    };
+    Json::obj([
+        (
+            "uptime_ns",
+            Json::Uint(shared.epoch.elapsed().as_nanos() as u64),
+        ),
+        (
+            "server",
+            Json::obj([
+                ("accepted", Json::Uint(stats.accepted)),
+                ("shed", Json::Uint(stats.shed)),
+                ("resumed", Json::Uint(stats.resumed)),
+                ("resume_rejected", Json::Uint(stats.resume_rejected)),
+                ("verdicts_accepted", Json::Uint(stats.verdicts_accepted)),
+                ("verdicts_rejected", Json::Uint(stats.verdicts_rejected)),
+                ("errors_sent", Json::Uint(stats.errors_sent)),
+                ("error_send_failed", Json::Uint(stats.error_send_failed)),
+            ]),
+        ),
+        ("metrics", snap.to_json()),
+        ("devices", devices),
+    ])
+}
+
+/// The `EXEMPLARS` response: the slow-round ring as JSON.
+fn exemplars_json(shared: &Shared) -> Json {
+    match &shared.telemetry {
+        Some(t) => t.rounds.to_json(),
+        None => Json::Obj(Vec::new()),
+    }
 }
 
 /// Sends one `ERROR` frame, counting it in `errors_sent` only when the

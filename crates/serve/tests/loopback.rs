@@ -9,9 +9,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use rap_obs::Json;
 use rap_serve::frame::{decode_error, encode_frame};
 use rap_serve::{
-    AttestClient, ClientConfig, ClientError, ErrorCode, FrameType, Server, ServerConfig, StartError,
+    AdminClient, AttestClient, ClientConfig, ClientError, ErrorCode, FrameType, Server,
+    ServerConfig, StartError, StatsFormat,
 };
 use rap_track::{CfaEngine, Challenge, EngineConfig, Key, Report, Verifier};
 
@@ -973,5 +975,273 @@ fn failed_error_sends_are_counted_separately() {
         stats.error_send_failed >= 1,
         "a reply to a gone peer must count as failed, not sent: {stats:?}"
     );
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane: trace propagation, mid-load scraping, exemplar ring.
+// ---------------------------------------------------------------------------
+
+/// A [`ServerConfig`] with the admin telemetry listener enabled.
+fn admin_config(threshold: Duration) -> ServerConfig {
+    ServerConfig {
+        admin_addr: Some("127.0.0.1:0".to_string()),
+        slow_round_threshold: threshold,
+        ..test_config()
+    }
+}
+
+/// One fresh admin connection fetching the exemplar document.
+fn scrape_exemplars(addr: std::net::SocketAddr) -> Json {
+    let body = AdminClient::new(addr.to_string())
+        .connect()
+        .expect("admin connects")
+        .exemplars()
+        .expect("exemplars fetch");
+    rap_obs::json::parse(&body).expect("exemplars JSON parses")
+}
+
+/// One fresh admin connection fetching the telemetry JSON document.
+fn scrape_telemetry(addr: std::net::SocketAddr) -> Json {
+    let body = AdminClient::new(addr.to_string())
+        .connect()
+        .expect("admin connects")
+        .stats(StatsFormat::Json)
+        .expect("stats fetch");
+    rap_obs::json::parse(&body).expect("telemetry JSON parses")
+}
+
+/// Exemplar finalization lands just *after* the verdict batch hits the
+/// wire, so a client that has read its verdicts can race the server's
+/// bookkeeping by a few microseconds — poll until `pred` holds.
+fn wait_for(mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !pred() {
+        assert!(Instant::now() < deadline, "telemetry did not settle in 10s");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn every_stage_span_carries_the_round_trace_id() {
+    const ROUNDS: usize = 4;
+    let (linked, w) = deployed();
+    // Threshold zero: every round exceeds it (record uses a strict
+    // `>`), so the ring retains a full span tree per round.
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        admin_config(Duration::ZERO),
+    )
+    .expect("binds");
+    let admin = server.admin_addr().expect("admin listener bound");
+    let client = quick_client(server.local_addr());
+
+    let mut conn = client.open("traced-0").expect("opens");
+    let verdicts = conn
+        .pipelined(ROUNDS, respond_benign(&linked, &w))
+        .expect("rounds run");
+    assert!(verdicts.iter().all(|v| v.accepted));
+    let _ = conn.close();
+
+    wait_for(|| {
+        scrape_exemplars(admin)
+            .get("retained")
+            .and_then(Json::as_u64)
+            .expect("retained count")
+            >= ROUNDS as u64
+    });
+    let doc = scrape_exemplars(admin);
+    assert_eq!(doc.get("threshold_ns").and_then(Json::as_u64), Some(0));
+    let exemplars = doc
+        .get("exemplars")
+        .and_then(Json::as_array)
+        .expect("exemplars array");
+    assert_eq!(exemplars.len(), ROUNDS);
+
+    let mut seen_ids = std::collections::HashSet::new();
+    for ex in exemplars {
+        let trace_id = ex.get("trace_id").and_then(Json::as_u64).expect("trace_id");
+        assert!(trace_id > 0, "trace ids are minted from 1");
+        assert!(
+            seen_ids.insert(trace_id),
+            "trace ids are distinct across rounds"
+        );
+        assert_eq!(ex.get("device").and_then(Json::as_str), Some("traced-0"));
+        assert_eq!(ex.get("accepted"), Some(&Json::Bool(true)));
+        assert!(ex.get("total_ns").and_then(Json::as_u64).unwrap() > 0);
+
+        // The span tree covers the whole pipeline in stage order, and
+        // every span carries the round's trace id.
+        let spans = ex.get("spans").and_then(Json::as_array).expect("spans");
+        let stages: Vec<&str> = spans
+            .iter()
+            .map(|s| s.get("stage").and_then(Json::as_str).expect("stage name"))
+            .collect();
+        assert_eq!(
+            stages,
+            ["accept", "dispatch", "shard_queue", "replay", "flush"],
+            "complete accept→verdict span tree in pipeline order"
+        );
+        for span in spans {
+            assert_eq!(
+                span.get("trace_id").and_then(Json::as_u64),
+                Some(trace_id),
+                "every stage span carries the round's trace id"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn mid_load_admin_scrapes_are_monotonic_and_consistent() {
+    const DEVICES: [&str; 3] = ["scrape-a", "scrape-b", "scrape-c"];
+    const ROUNDS_EACH: usize = 4;
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        admin_config(Duration::from_millis(5)),
+    )
+    .expect("binds");
+    let admin = server.admin_addr().expect("admin listener bound");
+    let addr = server.local_addr();
+
+    let load = {
+        let linked = linked.clone();
+        std::thread::spawn(move || {
+            let client = quick_client(addr);
+            for device in DEVICES {
+                let mut conn = client.open(device).expect("opens");
+                let verdicts = conn
+                    .pipelined(ROUNDS_EACH, respond_benign(&linked, &w))
+                    .expect("rounds run");
+                assert!(verdicts.iter().all(|v| v.accepted));
+                let _ = conn.close();
+            }
+        })
+    };
+
+    // Scrape while the load runs: every counter in the `server` block
+    // (and the uptime clock) must be monotonic non-decreasing across
+    // consecutive snapshots.
+    let counters_of = |doc: &Json| -> Vec<(String, u64)> {
+        let mut out = vec![(
+            "uptime_ns".to_string(),
+            doc.get("uptime_ns").and_then(Json::as_u64).unwrap(),
+        )];
+        for (name, value) in doc.get("server").and_then(Json::entries).expect("server") {
+            out.push((name.clone(), value.as_u64().expect("counter is a uint")));
+        }
+        out
+    };
+    let mut snapshots = vec![counters_of(&scrape_telemetry(admin))];
+    while !load.is_finished() {
+        snapshots.push(counters_of(&scrape_telemetry(admin)));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    load.join().expect("load completes");
+    snapshots.push(counters_of(&scrape_telemetry(admin)));
+    assert!(snapshots.len() >= 2, "at least one mid-load scrape pair");
+    for pair in snapshots.windows(2) {
+        for ((name, prev), (_, cur)) in pair[0].iter().zip(pair[1].iter()) {
+            assert!(
+                cur >= prev,
+                "{name} went backwards across scrapes: {prev} -> {cur}"
+            );
+        }
+    }
+
+    // After the load quiesces the per-device table must agree with the
+    // verdicts the clients actually received: ROUNDS_EACH accepted
+    // rounds per device, nothing rejected, nothing resumed.
+    wait_for(|| {
+        let doc = scrape_telemetry(admin);
+        let devices = doc.get("devices").and_then(Json::entries).expect("devices");
+        devices
+            .iter()
+            .map(|(_, d)| d.get("rounds").and_then(Json::as_u64).unwrap())
+            .sum::<u64>()
+            >= (DEVICES.len() * ROUNDS_EACH) as u64
+    });
+    let doc = scrape_telemetry(admin);
+    let devices = doc.get("devices").and_then(Json::entries).expect("devices");
+    assert_eq!(devices.len(), DEVICES.len());
+    for device in DEVICES {
+        let row = doc
+            .get("devices")
+            .and_then(|d| d.get(device))
+            .unwrap_or_else(|| panic!("device {device} has a table row"));
+        assert_eq!(
+            row.get("rounds").and_then(Json::as_u64),
+            Some(ROUNDS_EACH as u64),
+            "{device} rounds match delivered verdicts"
+        );
+        assert_eq!(row.get("rejects").and_then(Json::as_u64), Some(0));
+        assert_eq!(row.get("resumes").and_then(Json::as_u64), Some(0));
+        assert!(row.get("last_seen_ns").and_then(Json::as_u64).unwrap() > 0);
+        assert!(
+            row.get("p99_ns").and_then(Json::as_u64).unwrap() > 0,
+            "{device} has a bucket-estimated p99"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn exemplar_ring_retains_only_rounds_above_threshold() {
+    let (linked, w) = deployed();
+
+    // An hour-long threshold: loopback rounds are all counted but none
+    // qualifies as slow, so the ring stays empty.
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        admin_config(Duration::from_secs(3600)),
+    )
+    .expect("binds");
+    let admin = server.admin_addr().expect("admin listener bound");
+    let client = quick_client(server.local_addr());
+    let verdict = client
+        .attest_once("fast-0", respond_benign(&linked, &w))
+        .expect("round completes");
+    assert!(verdict.accepted);
+    wait_for(|| {
+        scrape_exemplars(admin)
+            .get("rounds_seen")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    });
+    let doc = scrape_exemplars(admin);
+    assert_eq!(doc.get("retained").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        doc.get("exemplars").and_then(Json::as_array).unwrap().len(),
+        0,
+        "no round beats an hour-long threshold"
+    );
+    server.shutdown();
+
+    // Threshold zero: the same round qualifies and is retained.
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        admin_config(Duration::ZERO),
+    )
+    .expect("binds");
+    let admin = server.admin_addr().expect("admin listener bound");
+    let client = quick_client(server.local_addr());
+    let verdict = client
+        .attest_once("slow-0", respond_benign(&linked, &w))
+        .expect("round completes");
+    assert!(verdict.accepted);
+    wait_for(|| {
+        scrape_exemplars(admin)
+            .get("retained")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    });
     server.shutdown();
 }

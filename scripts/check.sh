@@ -42,19 +42,24 @@ run cargo bench -p rap-bench --bench scaling -- --quick --json "$PWD/BENCH_scali
 # the connection-per-round baseline on loopback.
 run cargo bench -p rap-bench --bench serve -- --quick --json "$PWD/BENCH_serve.json" --enforce
 
-# Serve smoke: one real loopback deployment of the attestation service.
-# The server gets a three-connection budget (--limit 3) so it drains
-# and exits on its own: a benign device runs a pipelined session, then
-# reconnects with its resumption token and runs more rounds without a
-# re-HELLO (exit 0, two connections), and a wrong-key prover must be
-# rejected (exit 1, third connection).
+# Serve smoke: one real loopback deployment of the attestation service
+# with the telemetry plane bound (--admin). The server gets a
+# three-connection budget (--limit 3) so it drains and exits on its
+# own: a benign device runs a pipelined session, then reconnects with
+# its resumption token and runs more rounds without a re-HELLO (exit 0,
+# two connections), and a wrong-key prover must be rejected (exit 1,
+# third connection). Between those, the admin endpoint is scraped live:
+# `rap top --smoke` sandwich-checks the Prometheus and JSON renderings
+# against each other and writes TELEMETRY_smoke.json (admin
+# connections do not count against --limit).
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 RAP=target/release/rap
-echo "==> serve smoke (loopback attest-remote, resumed pipelined session)"
+echo "==> serve smoke (loopback attest-remote, resumed pipelined session, admin scrape)"
 "$RAP" demo > "$SMOKE_DIR/demo.tasm"
 "$RAP" link "$SMOKE_DIR/demo.tasm" -o "$SMOKE_DIR/demo.img" -m "$SMOKE_DIR/demo.map"
 "$RAP" serve "$SMOKE_DIR/demo.img" "$SMOKE_DIR/demo.map" --limit 3 \
+    --admin 127.0.0.1:0 --slow-ms 0 \
     > "$SMOKE_DIR/serve.log" &
 SERVE_PID=$!
 ADDR=""
@@ -65,6 +70,12 @@ for _ in $(seq 1 100); do
 done
 if [ -z "$ADDR" ]; then
     echo "serve smoke: server never reported its listen address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+ADMIN_ADDR=$(sed -n 's/^admin on //p' "$SMOKE_DIR/serve.log")
+if [ -z "$ADMIN_ADDR" ]; then
+    echo "serve smoke: server did not report its admin address" >&2
     kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 fi
@@ -85,6 +96,17 @@ grep -q "session resumed" "$SMOKE_DIR/benign.log" || {
 grep -q "4/4 round(s) accepted" "$SMOKE_DIR/benign.log" || {
     echo "serve smoke: expected 4 accepted rounds across both connections" >&2
     cat "$SMOKE_DIR/benign.log" >&2
+    exit 1
+}
+# Scrape the admin plane while the server is still up (before the
+# third connection exhausts --limit): the smoke asserts every counter
+# satisfies prom <= json <= prom across the three snapshot scrapes,
+# and --slow-ms 0 guarantees the benign rounds left exemplars behind.
+run "$RAP" top "$ADMIN_ADDR" --smoke "$PWD/TELEMETRY_smoke.json"
+run "$RAP" stats --watch "$ADMIN_ADDR" --iters 1
+grep -q '"exemplars_retained": 4' "$PWD/TELEMETRY_smoke.json" || {
+    echo "serve smoke: expected all 4 rounds retained as exemplars" >&2
+    cat "$PWD/TELEMETRY_smoke.json" >&2
     exit 1
 }
 if "$RAP" attest-remote "$SMOKE_DIR/demo.img" "$SMOKE_DIR/demo.map" \
