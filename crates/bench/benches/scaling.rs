@@ -7,7 +7,8 @@
 //! size, and `speedup_vs_1` is the 1-thread median divided by the
 //! case's median.
 //!
-//! * `--quick` shrinks the fleet and runs threads {1, 4} only;
+//! * `--quick` shrinks the fleet and runs threads {1, 2, 4} only — the
+//!   `threads_2` row gives small hosts an attributable scaling point;
 //! * `--json <path>` writes `BENCH_scaling.json` with `speedup_vs_1`
 //!   per case;
 //! * `--enforce` exits non-zero if the 4-thread speedup is below 1.5×
@@ -114,7 +115,11 @@ fn main() {
         deployments.len()
     );
 
-    let thread_counts: &[usize] = if args.quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let thread_counts: &[usize] = if args.quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8]
+    };
     let group = BenchGroup::new("fleet").samples(if args.quick { 3 } else { 5 });
     let mut report = BenchReport::default();
     let mut rows: Vec<(usize, rap_bench::harness::Stats, Option<f64>)> = Vec::new();

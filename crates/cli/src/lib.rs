@@ -22,8 +22,8 @@ use rap_link::{link, read_map, write_map, ClassifyOptions, LinkOptions, Transfor
 use rap_obs::Json;
 use rap_serve::{AdminClient, AttestClient, ClientConfig, Server, ServerConfig, StatsFormat};
 use rap_track::{
-    decode_stream, device_key, encode_stream, BatchOptions, CfaEngine, Challenge, EngineConfig,
-    FleetJob, Verifier, VerifierStats,
+    decode_stream, device_key, encode_stream, BatchOptions, CfaEngine, Challenge, DictParams,
+    EngineConfig, FleetJob, SubPathDict, Verifier, VerifierStats,
 };
 
 /// A CLI-level failure, already formatted for the user.
@@ -56,6 +56,7 @@ from_error!(
     rap_link::MapFormatError,
     rap_track::WireError,
     rap_track::BuildError,
+    rap_track::DictFormatError,
     rap_serve::ClientError,
     rap_serve::StartError,
     mcu_sim::ExecError,
@@ -163,12 +164,19 @@ pub fn cmd_decompile(image_bytes: &[u8], base: u32) -> Result<String, CliError> 
     Ok(image.to_tasm())
 }
 
+/// Parses a `--dict` artifact, formatted for the user on failure.
+fn parse_dict(text: &str) -> Result<SubPathDict, CliError> {
+    SubPathDict::from_text(text).map_err(CliError::from)
+}
+
 /// `rap attest`: runs an attested execution and returns the encoded
-/// report stream plus a summary.
+/// report stream plus a summary. With `dict_text`, the device-side
+/// sub-path matcher compresses recurring transfer runs into
+/// dictionary-hit records before each report is signed.
 ///
 /// # Errors
 ///
-/// Decode, map or execution failures, formatted.
+/// Decode, map, dictionary-format or execution failures, formatted.
 pub fn cmd_attest(
     image_bytes: &[u8],
     map_text: &str,
@@ -176,10 +184,14 @@ pub fn cmd_attest(
     chal_seed: u64,
     key_seed: &str,
     watermark: Option<usize>,
+    dict_text: Option<&str>,
 ) -> Result<(Vec<u8>, String), CliError> {
     let image = Image::from_bytes(base, image_bytes.to_vec())?;
     let map = read_map(map_text)?;
-    let engine = CfaEngine::new(device_key(key_seed));
+    let mut engine = CfaEngine::new(device_key(key_seed));
+    if let Some(text) = dict_text {
+        engine = engine.with_dict(parse_dict(text)?.entries().to_vec());
+    }
     let mut machine = mcu_sim::Machine::new(image);
     let chal = Challenge::from_seed(chal_seed);
     let att = engine.attest(
@@ -191,13 +203,17 @@ pub fn cmd_attest(
             ..EngineConfig::default()
         },
     )?;
-    let summary = format!(
+    let dict_hits: usize = att.reports.iter().map(|r| r.log.dict_hits.len()).sum();
+    let mut summary = format!(
         "attested: {} instrs, {} cycles, {} report(s), CF_Log {} bytes",
         att.outcome.instrs,
         att.outcome.cycles,
         att.reports.len(),
         att.cflog_bytes()
     );
+    if dict_text.is_some() {
+        summary.push_str(&format!(" ({dict_hits} dictionary hits)"));
+    }
     Ok((encode_stream(&att.reports), summary))
 }
 
@@ -218,15 +234,19 @@ pub fn cmd_verify(
     base: u32,
     chal_seed: u64,
     key_seed: &str,
+    dict_text: Option<&str>,
 ) -> Result<(bool, String, VerifierStats), CliError> {
     let image = Image::from_bytes(base, image_bytes.to_vec())?;
     let map = read_map(map_text)?;
     let reports = decode_stream(report_bytes)?;
-    let verifier = Verifier::builder()
+    let mut builder = Verifier::builder()
         .key(device_key(key_seed))
         .image(image)
-        .map(map)
-        .build()?;
+        .map(map);
+    if let Some(text) = dict_text {
+        builder = builder.dict(parse_dict(text)?);
+    }
+    let verifier = builder.build()?;
     let (ok, verdict) = match verifier.verify(Challenge::from_seed(chal_seed), &reports) {
         Ok(path) => (
             true,
@@ -255,6 +275,7 @@ pub fn cmd_verify(
 /// Only I/O-shaped failures (bad image, map or stream encodings) error
 /// out; per-device verification failures are reported in the verdict
 /// text with `ok == false`.
+#[allow(clippy::too_many_arguments)] // flag-per-argument mirrors the CLI surface
 pub fn cmd_verify_fleet(
     image_bytes: &[u8],
     map_text: &str,
@@ -263,6 +284,7 @@ pub fn cmd_verify_fleet(
     chal_seed: u64,
     key_seed: &str,
     threads: usize,
+    dict_text: Option<&str>,
 ) -> Result<(bool, String, VerifierStats), CliError> {
     use std::fmt::Write as _;
 
@@ -283,11 +305,14 @@ pub fn cmd_verify_fleet(
         });
     }
 
-    let verifier = Verifier::builder()
+    let mut builder = Verifier::builder()
         .key(device_key(key_seed))
         .image(image)
-        .map(map)
-        .build()?;
+        .map(map);
+    if let Some(text) = dict_text {
+        builder = builder.dict(parse_dict(text)?);
+    }
+    let verifier = builder.build()?;
     // What the pool will actually run with (threads clamp to the job
     // count) — reported in the verdict, and recorded by `Fleet::run`
     // itself in the `fleet_effective_threads` / `fleet_chunk_size`
@@ -521,6 +546,102 @@ pub fn cmd_fuzz(options: &FuzzCmdOptions) -> (bool, String, String) {
     )
 }
 
+/// Options for [`cmd_profile`].
+#[derive(Debug, Clone)]
+pub struct ProfileCmdOptions {
+    /// Load/link base address.
+    pub base: u32,
+    /// Dictionary label (free text, recorded in the artifact).
+    pub label: String,
+    /// Keep at most this many entries (by wire bytes saved).
+    pub top_k: usize,
+    /// Minimum occurrences for a sub-path to qualify.
+    pub min_support: u32,
+    /// Longest sub-path considered (transfers).
+    pub max_len: usize,
+    /// Partial-report watermark for the profiling run.
+    pub watermark: Option<usize>,
+    /// Instruction budget for the profiling run; `None` keeps the
+    /// engine default.
+    pub max_instrs: Option<u64>,
+}
+
+impl Default for ProfileCmdOptions {
+    fn default() -> ProfileCmdOptions {
+        let params = DictParams::default();
+        ProfileCmdOptions {
+            base: 0,
+            label: "workload".to_owned(),
+            top_k: params.top_k,
+            min_support: params.min_support,
+            max_len: params.max_len,
+            watermark: None,
+            max_instrs: None,
+        }
+    }
+}
+
+/// `rap profile`: the offline profiling pass. Runs the deployed image
+/// once in `mcu-sim`, mines the top-K recurring transfer sub-paths
+/// from the resulting `CF_Log`, and returns the versioned dictionary
+/// artifact (keyed to the image hash) plus a human summary with the
+/// estimated compression.
+///
+/// The run is deterministic — fixed challenge, throwaway key — so the
+/// same image, workload devices and parameters always produce a
+/// byte-identical artifact.
+///
+/// # Errors
+///
+/// Decode, map or execution failures, formatted.
+pub fn cmd_profile(
+    image_bytes: &[u8],
+    map_text: &str,
+    options: &ProfileCmdOptions,
+) -> Result<(String, String), CliError> {
+    let image = Image::from_bytes(options.base, image_bytes.to_vec())?;
+    let map = read_map(map_text)?;
+    let engine = CfaEngine::new(device_key("rap-profile"));
+    let mut machine = mcu_sim::Machine::new(image);
+    let defaults = EngineConfig::default();
+    let att = engine.attest(
+        &mut machine,
+        &map,
+        Challenge::from_seed(0),
+        EngineConfig {
+            watermark: options.watermark,
+            max_instrs: options.max_instrs.unwrap_or(defaults.max_instrs),
+        },
+    )?;
+    let h_mem = att
+        .reports
+        .first()
+        .map(|r| r.h_mem)
+        .ok_or_else(|| CliError("profiling run produced no reports".into()))?;
+    let log = att.combined_log();
+    let params = DictParams {
+        top_k: options.top_k,
+        min_support: options.min_support,
+        max_len: options.max_len,
+    };
+    let dict = SubPathDict::mine(&log, h_mem, &options.label, params);
+    let (raw, compressed) = dict.estimate(&log.mtb);
+    let saved = if raw > 0 {
+        100.0 * (raw - compressed) as f64 / raw as f64
+    } else {
+        0.0
+    };
+    let summary = format!(
+        "profiled `{}`: {} transfers, {} dictionary entries; est. CF_Log {} -> {} bytes ({saved:.0}% saved)",
+        options.label,
+        log.mtb.len(),
+        dict.len(),
+        raw,
+        compressed,
+    );
+    Ok((dict.to_text(), summary))
+}
+
 /// Options for [`cmd_serve`].
 #[derive(Debug, Clone)]
 pub struct ServeCmdOptions {
@@ -547,6 +668,9 @@ pub struct ServeCmdOptions {
     /// `None` keeps the server default. `0` retains every round —
     /// useful for smoke tests and demos.
     pub slow_ms: Option<u64>,
+    /// Contents of a `--dict` artifact for this deployed image; devices
+    /// may then submit dictionary-compressed report streams.
+    pub dict: Option<String>,
 }
 
 impl Default for ServeCmdOptions {
@@ -561,6 +685,7 @@ impl Default for ServeCmdOptions {
             window: 8,
             admin: None,
             slow_ms: None,
+            dict: None,
         }
     }
 }
@@ -615,11 +740,14 @@ pub fn cmd_serve(
 ) -> Result<(Server, Verifier, Option<String>), CliError> {
     let image = Image::from_bytes(options.base, image_bytes.to_vec())?;
     let map = read_map(map_text)?;
-    let verifier = Verifier::builder()
+    let mut builder = Verifier::builder()
         .key(device_key(&options.key_seed))
         .image(image)
-        .map(map)
-        .build()?;
+        .map(map);
+    if let Some(text) = &options.dict {
+        builder = builder.dict(parse_dict(text)?);
+    }
+    let verifier = builder.build()?;
     let (session_secret, generated) = match &options.secret {
         Some(s) => (s.as_bytes().to_vec(), None),
         None => {
@@ -670,6 +798,10 @@ pub struct AttestRemoteCmdOptions {
     /// After the first batch of rounds, close the connection and run
     /// the same number again on a resumed session (no re-`HELLO`).
     pub resume: bool,
+    /// Contents of a `--dict` artifact: evidence is dictionary-
+    /// compressed before signing (the server must load the same
+    /// dictionary).
+    pub dict: Option<String>,
 }
 
 impl Default for AttestRemoteCmdOptions {
@@ -684,6 +816,7 @@ impl Default for AttestRemoteCmdOptions {
             watermark: None,
             window: 1,
             resume: false,
+            dict: None,
         }
     }
 }
@@ -696,6 +829,7 @@ struct RemoteProver<'a> {
     map: &'a rap_link::LinkMap,
     key: &'a rap_track::Key,
     watermark: Option<usize>,
+    dict_entries: Option<&'a [Vec<trace_units::TraceEntry>]>,
 }
 
 /// Runs `rounds` pipelined challenge–response rounds on `conn`,
@@ -712,7 +846,10 @@ fn run_remote_rounds(
 
     let mut attest_err = None;
     let verdicts = conn.pipelined(rounds, |chal| {
-        let engine = CfaEngine::new(prover.key.clone());
+        let mut engine = CfaEngine::new(prover.key.clone());
+        if let Some(entries) = prover.dict_entries {
+            engine = engine.with_dict(entries.to_vec());
+        }
         let mut machine = mcu_sim::Machine::new(prover.image.clone());
         match engine.attest(
             &mut machine,
@@ -784,6 +921,7 @@ pub fn cmd_attest_remote(
             ..ClientConfig::default()
         },
     );
+    let dict = options.dict.as_deref().map(parse_dict).transpose()?;
     let mut conn = client.open(&options.device)?;
 
     let prover = RemoteProver {
@@ -791,6 +929,7 @@ pub fn cmd_attest_remote(
         map: &map,
         key: &key,
         watermark: options.watermark,
+        dict_entries: dict.as_ref().map(|d| d.entries()),
     };
     let mut out = String::new();
     let per_batch = options.rounds.max(1);
@@ -1257,29 +1396,91 @@ mod tests {
         assert!(summary.contains("trampolines"));
 
         let (reports, att_summary) =
-            cmd_attest(&img, &map_text, 0, 7, "cli-test", None).expect("attests");
+            cmd_attest(&img, &map_text, 0, 7, "cli-test", None, None).expect("attests");
         assert!(att_summary.contains("report(s)"));
 
         let (ok, verdict, stats) =
-            cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test").expect("verifies");
+            cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test", None).expect("verifies");
         assert!(ok, "{verdict}");
         assert!(verdict.contains("OK"));
         assert_eq!(stats.jobs, 1);
         assert!(stats.cached_steps + stats.live_steps > 0);
     }
 
+    /// A general loop (internal conditional) logging one MTB entry per
+    /// iteration — the shape dictionaries compress.
+    const LOOPY_PROGRAM: &str = r"
+.func main
+    movw r0, #40
+    movw r1, #0
+loop:
+    cmp r1, #100
+    beq skip
+    adds r1, r1, #1
+skip:
+    subs r0, r0, #1
+    cmp r0, #0
+    bne loop
+    halt
+";
+
+    #[test]
+    fn profile_dict_compresses_and_verifies() {
+        let (img, map_text, _) = cmd_link(LOOPY_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let (dict_text, summary) =
+            cmd_profile(&img, &map_text, &ProfileCmdOptions::default()).expect("profiles");
+        assert!(summary.contains("dictionary entries"), "{summary}");
+
+        let (plain, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None, None).unwrap();
+        let (compressed, att_summary) =
+            cmd_attest(&img, &map_text, 0, 7, "cli-test", None, Some(&dict_text)).unwrap();
+        assert!(att_summary.contains("dictionary hits"), "{att_summary}");
+        assert!(
+            compressed.len() < plain.len(),
+            "compressed stream ({}) not smaller than plain ({})",
+            compressed.len(),
+            plain.len()
+        );
+
+        // Without the dictionary the stream must reject typed, not panic.
+        let (ok, verdict, _) =
+            cmd_verify(&img, &map_text, &compressed, 0, 7, "cli-test", None).unwrap();
+        assert!(!ok && verdict.contains("dictionary"), "{verdict}");
+        // With it, the compressed stream verifies.
+        let (ok, verdict, _) = cmd_verify(
+            &img,
+            &map_text,
+            &compressed,
+            0,
+            7,
+            "cli-test",
+            Some(&dict_text),
+        )
+        .unwrap();
+        assert!(ok, "{verdict}");
+    }
+
+    #[test]
+    fn profile_artifact_is_deterministic() {
+        let (img, map_text, _) = cmd_link(LOOPY_PROGRAM, LinkCmdOptions::default()).unwrap();
+        let options = ProfileCmdOptions::default();
+        let (a, _) = cmd_profile(&img, &map_text, &options).unwrap();
+        let (b, _) = cmd_profile(&img, &map_text, &options).unwrap();
+        assert_eq!(a, b);
+    }
+
     #[test]
     fn verify_fleet_reports_per_device_verdicts() {
         let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
-        let (good, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
-        let (bad, _) = cmd_attest(&img, &map_text, 0, 8, "cli-test", None).unwrap();
+        let (good, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None, None).unwrap();
+        let (bad, _) = cmd_attest(&img, &map_text, 0, 8, "cli-test", None, None).unwrap();
 
         let streams = vec![
             ("alpha.rpt".to_owned(), good.clone()),
             ("bravo.rpt".to_owned(), good),
         ];
         let (ok, verdict, stats) =
-            cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 2).expect("runs");
+            cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 2, None).expect("runs");
         assert!(ok, "{verdict}");
         assert!(verdict.contains("alpha.rpt"));
         assert!(verdict.contains("2/2 accepted"));
@@ -1288,7 +1489,7 @@ mod tests {
 
         let streams = vec![("charlie.rpt".to_owned(), bad)];
         let (ok, verdict, _) =
-            cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 1).expect("runs");
+            cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 1, None).expect("runs");
         assert!(!ok);
         assert!(verdict.contains("REJECTED"));
     }
@@ -1296,17 +1497,17 @@ mod tests {
     #[test]
     fn verify_fleet_rejects_zero_threads_and_reports_effective_config() {
         let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
-        let (good, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
+        let (good, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None, None).unwrap();
         let streams = vec![("alpha.rpt".to_owned(), good)];
 
-        let err = cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 0)
+        let err = cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 0, None)
             .expect_err("--threads 0 must be rejected, not clamped");
         assert!(err.0.contains("--threads"), "unclear error: {}", err.0);
 
         // One job, 8 requested threads: the verdict reports the pool
         // the batch layer actually ran (clamped to the job count).
         let (ok, verdict, _) =
-            cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 8).expect("runs");
+            cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "cli-test", 8, None).expect("runs");
         assert!(ok, "{verdict}");
         assert!(verdict.contains("1 threads, chunk 1"), "{verdict}");
         let snap = rap_obs::global().snapshot();
@@ -1317,10 +1518,10 @@ mod tests {
     #[test]
     fn metrics_json_round_trips_through_stats() {
         let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
-        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
+        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None, None).unwrap();
 
         let baseline = rap_obs::global().snapshot();
-        let (ok, _, stats) = cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test").unwrap();
+        let (ok, _, stats) = cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test", None).unwrap();
         assert!(ok);
         let json = metrics_json(&baseline, &stats);
 
@@ -1585,8 +1786,9 @@ lat_count 3
     #[test]
     fn wrong_challenge_rejected() {
         let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
-        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
-        let (ok, verdict, _) = cmd_verify(&img, &map_text, &reports, 0, 8, "cli-test").unwrap();
+        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None, None).unwrap();
+        let (ok, verdict, _) =
+            cmd_verify(&img, &map_text, &reports, 0, 8, "cli-test", None).unwrap();
         assert!(!ok);
         assert!(verdict.contains("REJECTED"));
     }
@@ -1594,8 +1796,9 @@ lat_count 3
     #[test]
     fn wrong_key_rejected() {
         let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
-        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "device-a", None).unwrap();
-        let (ok, verdict, _) = cmd_verify(&img, &map_text, &reports, 0, 7, "device-b").unwrap();
+        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "device-a", None, None).unwrap();
+        let (ok, verdict, _) =
+            cmd_verify(&img, &map_text, &reports, 0, 7, "device-b", None).unwrap();
         assert!(!ok);
         assert!(verdict.contains("authentication"));
     }
@@ -1603,10 +1806,10 @@ lat_count 3
     #[test]
     fn tampered_image_rejected_via_h_mem() {
         let (mut img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
-        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None).unwrap();
+        let (reports, _) = cmd_attest(&img, &map_text, 0, 7, "cli-test", None, None).unwrap();
         // The verifier is handed a doctored binary.
         img[0] ^= 0x01;
-        if let Ok((ok, _, _)) = cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test") {
+        if let Ok((ok, _, _)) = cmd_verify(&img, &map_text, &reports, 0, 7, "cli-test", None) {
             assert!(!ok);
         } // (a decode error is an acceptable rejection too)
     }
@@ -1614,23 +1817,27 @@ lat_count 3
     #[test]
     fn no_loop_opt_grows_the_log() {
         let (img, map_text, _) = cmd_link(DEMO_PROGRAM, LinkCmdOptions::default()).unwrap();
-        let (opt_reports, _) = cmd_attest(&img, &map_text, 0, 7, "k", None).unwrap();
+        let (opt_reports, _) = cmd_attest(&img, &map_text, 0, 7, "k", None, None).unwrap();
 
         let options = LinkCmdOptions {
             no_loop_opt: true,
             ..LinkCmdOptions::default()
         };
         let (img2, map2, _) = cmd_link(DEMO_PROGRAM, options).unwrap();
-        let (raw_reports, _) = cmd_attest(&img2, &map2, 0, 7, "k", None).unwrap();
+        let (raw_reports, _) = cmd_attest(&img2, &map2, 0, 7, "k", None, None).unwrap();
         assert!(raw_reports.len() > opt_reports.len());
 
         // Both verify against their own artifacts.
         assert!(
-            cmd_verify(&img, &map_text, &opt_reports, 0, 7, "k")
+            cmd_verify(&img, &map_text, &opt_reports, 0, 7, "k", None)
                 .unwrap()
                 .0
         );
-        assert!(cmd_verify(&img2, &map2, &raw_reports, 0, 7, "k").unwrap().0);
+        assert!(
+            cmd_verify(&img2, &map2, &raw_reports, 0, 7, "k", None)
+                .unwrap()
+                .0
+        );
     }
 
     #[test]

@@ -16,20 +16,24 @@ USAGE:
   rap disasm  <img> [--base ADDR]
   rap decompile <img> [--base ADDR]   # emit re-assemblable .tasm
   rap attest  <img> <map> --chal N -o <out.rpt>
-              [--base ADDR] [--key SEED] [--watermark N]
+              [--base ADDR] [--key SEED] [--watermark N] [--dict DICT]
   rap verify  <img> <map> <rpt> --chal N [--base ADDR] [--key SEED]
-              [--metrics OUT.json] [--trace OUT]
+              [--dict DICT] [--metrics OUT.json] [--trace OUT]
   rap verify-fleet <img> <map> <rpt>... --chal N [--base ADDR]
-              [--key SEED] [--threads T] [--metrics OUT.json]
-              [--trace OUT]
+              [--key SEED] [--threads T] [--dict DICT]
+              [--metrics OUT.json] [--trace OUT]
+  rap profile <img> <map> -o <out.dict> [--base ADDR] [--label NAME]
+              [--top-k K] [--min-support N] [--max-len L]
+              [--watermark N] [--max-instrs N]   # mine a sub-path dict
   rap fuzz    [--seed N] [--iters K] [--json OUT.json] [--sabotage]
               [--replay CASE_SEED]    # differential fuzzing campaign
   rap serve   <img> <map> [--addr HOST:PORT] [--threads T] [--key SEED]
               [--limit N] [--secret S] [--window W] [--admin HOST:PORT]
-              [--slow-ms N] [--metrics OUT.json] [--base ADDR]
+              [--slow-ms N] [--dict DICT] [--metrics OUT.json]
+              [--base ADDR]
   rap attest-remote <img> <map> --addr HOST:PORT [--device NAME]
               [--key SEED] [--rounds N] [--retries R] [--watermark N]
-              [--window W] [--resume] [--base ADDR]
+              [--window W] [--resume] [--dict DICT] [--base ADDR]
   rap top     <admin-addr> [--interval MS] [--iters N] [--k K]
               [--no-clear] [--smoke OUT.json]   # live dashboard
   rap stats   <metrics.json>          # render a --metrics artifact
@@ -78,6 +82,12 @@ impl Args {
                         | "k"
                         | "smoke"
                         | "watch"
+                        | "dict"
+                        | "label"
+                        | "top-k"
+                        | "min-support"
+                        | "max-len"
+                        | "max-instrs"
                 ) || name == "o"
                     || name == "m";
                 let value = if takes_value {
@@ -232,11 +242,47 @@ fn run() -> Result<(), CliError> {
                         .map_err(|_| CliError(format!("bad --watermark `{w}`")))
                 })
                 .transpose()?;
-            let (stream, summary) = rap_cli::cmd_attest(&img, &map, base, chal, key, watermark)?;
+            let dict = args.flag("dict").map(fs::read_to_string).transpose()?;
+            let (stream, summary) =
+                rap_cli::cmd_attest(&img, &map, base, chal, key, watermark, dict.as_deref())?;
             let out = args
                 .flag("o")
                 .ok_or_else(|| CliError("missing -o <out.rpt>".into()))?;
             fs::write(out, stream)?;
+            println!("{summary} -> {out}");
+        }
+        "profile" => {
+            need(2)?;
+            let img = fs::read(&args.positional[0])?;
+            let map = fs::read_to_string(&args.positional[1])?;
+            let defaults = rap_cli::ProfileCmdOptions::default();
+            let options = rap_cli::ProfileCmdOptions {
+                base,
+                label: args
+                    .flag("label")
+                    .unwrap_or(defaults.label.as_str())
+                    .to_owned(),
+                top_k: args.num("top-k", defaults.top_k as u64)? as usize,
+                min_support: args.num("min-support", u64::from(defaults.min_support))? as u32,
+                max_len: args.num("max-len", defaults.max_len as u64)? as usize,
+                watermark: args
+                    .flag("watermark")
+                    .map(|w| {
+                        w.parse::<usize>()
+                            .map_err(|_| CliError(format!("bad --watermark `{w}`")))
+                    })
+                    .transpose()?,
+                max_instrs: if args.has("max-instrs") {
+                    Some(args.num("max-instrs", 0)?)
+                } else {
+                    None
+                },
+            };
+            let (artifact, summary) = rap_cli::cmd_profile(&img, &map, &options)?;
+            let out = args
+                .flag("o")
+                .ok_or_else(|| CliError("missing -o <out.dict>".into()))?;
+            fs::write(out, artifact)?;
             println!("{summary} -> {out}");
         }
         "verify" => {
@@ -246,8 +292,10 @@ fn run() -> Result<(), CliError> {
             let rpt = fs::read(&args.positional[2])?;
             let chal = args.num("chal", 0)?;
             let key = args.flag("key").unwrap_or("default-device");
+            let dict = args.flag("dict").map(fs::read_to_string).transpose()?;
             let obs = ObsOutputs::begin(&args);
-            let (ok, verdict, stats) = rap_cli::cmd_verify(&img, &map, &rpt, base, chal, key)?;
+            let (ok, verdict, stats) =
+                rap_cli::cmd_verify(&img, &map, &rpt, base, chal, key, dict.as_deref())?;
             obs.finish(&stats)?;
             println!("{verdict}");
             if !ok {
@@ -274,9 +322,18 @@ fn run() -> Result<(), CliError> {
                     .map(|n| n.get())
                     .unwrap_or(1)
             };
+            let dict = args.flag("dict").map(fs::read_to_string).transpose()?;
             let obs = ObsOutputs::begin(&args);
-            let (ok, verdict, stats) =
-                rap_cli::cmd_verify_fleet(&img, &map, &streams, base, chal, key, threads)?;
+            let (ok, verdict, stats) = rap_cli::cmd_verify_fleet(
+                &img,
+                &map,
+                &streams,
+                base,
+                chal,
+                key,
+                threads,
+                dict.as_deref(),
+            )?;
             obs.finish(&stats)?;
             print!("{verdict}");
             if !ok {
@@ -328,6 +385,7 @@ fn run() -> Result<(), CliError> {
                 } else {
                     None
                 },
+                dict: args.flag("dict").map(fs::read_to_string).transpose()?,
             };
             let obs = ObsOutputs::begin(&args);
             let (server, verifier, generated_secret) = rap_cli::cmd_serve(&img, &map, &options)?;
@@ -380,6 +438,7 @@ fn run() -> Result<(), CliError> {
                     .transpose()?,
                 window: args.num("window", 1)?.min(u16::MAX as u64) as u16,
                 resume: args.has("resume"),
+                dict: args.flag("dict").map(fs::read_to_string).transpose()?,
             };
             let (ok, summary) = rap_cli::cmd_attest_remote(&img, &map, &options)?;
             print!("{summary}");

@@ -1,0 +1,410 @@
+//! Speculation dictionaries: offline-mined recurring transfer
+//! sub-paths (SpecCFA-style), bound to one application image.
+//!
+//! A [`SubPathDict`] is produced by an offline profiling pass
+//! ([`SubPathDict::mine`], driven by `rap profile`): it records the
+//! top-K recurring MTB sub-paths of a representative run, scored by
+//! the wire bytes they save. The Prover's Secure World streams
+//! outgoing transfers through a [`trace_units::SubPathMatcher`] built
+//! from the same entries and replaces each matched run with a 9-byte
+//! hit record; the Verifier expands hits back (after validating the id
+//! and the image binding) and bulk-replays them through a per-entry
+//! macro cache.
+//!
+//! The artifact is a deterministic, versioned text format in the same
+//! style as the rap-link map (`rap-track-map v1`):
+//!
+//! ```text
+//! rap-track-dict v1
+//! image <64 hex digits of H_MEM>
+//! label <free text>
+//! params top_k=64 min_support=3 max_len=16
+//! entry 0 3 1f4:200 204:1f0 1f8:204
+//! entry 1 2 ...
+//! ```
+//!
+//! Entry ids are their line order; transfers are `source:dest` in hex.
+//! Both sides of the protocol key the dictionary by the image hash:
+//! a dictionary mined for another binary is rejected at verify time
+//! with [`crate::Violation::DictImageMismatch`].
+
+use std::collections::BTreeMap;
+
+use rap_crypto::Digest;
+use trace_units::{SubPathMatcher, TraceEntry};
+
+use crate::report::CfLog;
+
+/// Mining bounds for [`SubPathDict::mine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DictParams {
+    /// Maximum number of dictionary entries kept.
+    pub top_k: usize,
+    /// Minimum number of occurrences for a sub-path to qualify.
+    pub min_support: u32,
+    /// Maximum sub-path length in transfers (entries shorter than 2
+    /// never compress and are never mined).
+    pub max_len: usize,
+}
+
+impl Default for DictParams {
+    fn default() -> DictParams {
+        DictParams {
+            top_k: 64,
+            min_support: 3,
+            max_len: 16,
+        }
+    }
+}
+
+/// A mined speculation dictionary, keyed by the image it profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubPathDict {
+    /// `H_MEM` of the image this dictionary was mined against.
+    pub image_hash: Digest,
+    /// Free-form workload label (recorded, not interpreted).
+    pub label: String,
+    /// The bounds the miner ran with.
+    pub params: DictParams,
+    entries: Vec<Vec<TraceEntry>>,
+}
+
+impl SubPathDict {
+    /// Wire size of one dictionary-hit record (kind byte + `at` +
+    /// `id`), the unit the §V-B compression analysis charges per hit.
+    pub const HIT_BYTES: usize = 9;
+
+    /// Creates a dictionary from explicit entries (test aid; real
+    /// dictionaries come from [`SubPathDict::mine`] or
+    /// [`SubPathDict::from_text`]). Entries shorter than 2 transfers
+    /// are dropped — they can never compress.
+    pub fn from_entries(
+        image_hash: Digest,
+        label: &str,
+        entries: Vec<Vec<TraceEntry>>,
+    ) -> SubPathDict {
+        SubPathDict {
+            image_hash,
+            label: label.to_string(),
+            params: DictParams::default(),
+            entries: entries.into_iter().filter(|e| e.len() >= 2).collect(),
+        }
+    }
+
+    /// Mines the top-K recurring sub-paths of `log`'s MTB stream.
+    ///
+    /// Deterministic: candidate sub-paths are counted in a `BTreeMap`
+    /// and ranked by (saved wire bytes, length, lexicographic order),
+    /// so the same log always yields the same artifact. Saved bytes
+    /// per hit are `len·8 − 9` (transfers replaced minus the hit
+    /// record), multiplied by the candidate's support.
+    pub fn mine(log: &CfLog, image_hash: Digest, label: &str, params: DictParams) -> SubPathDict {
+        let mtb = &log.mtb;
+        let mut support: BTreeMap<&[TraceEntry], u32> = BTreeMap::new();
+        for start in 0..mtb.len() {
+            let longest = params.max_len.min(mtb.len() - start);
+            for len in 2..=longest {
+                *support.entry(&mtb[start..start + len]).or_default() += 1;
+            }
+        }
+        let mut ranked: Vec<(&[TraceEntry], u32)> = support
+            .into_iter()
+            .filter(|&(_, count)| count >= params.min_support)
+            .collect();
+        // Highest saving first; BTreeMap iteration already fixed the
+        // lexicographic tie order, and sort_by is stable.
+        ranked.sort_by(|a, b| {
+            let save = |(path, count): &(&[TraceEntry], u32)| {
+                u64::from(*count) * (path.len() * TraceEntry::BYTES - SubPathDict::HIT_BYTES) as u64
+            };
+            save(b).cmp(&save(a)).then(b.0.len().cmp(&a.0.len()))
+        });
+        ranked.truncate(params.top_k);
+        SubPathDict {
+            image_hash,
+            label: label.to_string(),
+            params,
+            entries: ranked.into_iter().map(|(path, _)| path.to_vec()).collect(),
+        }
+    }
+
+    /// The dictionary entries, in id order.
+    pub fn entries(&self) -> &[Vec<TraceEntry>] {
+        &self.entries
+    }
+
+    /// The transfers of entry `id`, if it exists.
+    pub fn entry(&self, id: u32) -> Option<&[TraceEntry]> {
+        self.entries.get(id as usize).map(Vec::as_slice)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Simulates compression of `mtb` and returns
+    /// `(raw_bytes, compressed_bytes)` — the offline estimate printed
+    /// by `rap profile`.
+    pub fn estimate(&self, mtb: &[TraceEntry]) -> (usize, usize) {
+        let mut matcher = SubPathMatcher::new(self.entries.clone());
+        for &t in mtb {
+            matcher.feed(t);
+        }
+        let (residual, hits) = matcher.finish();
+        (
+            mtb.len() * TraceEntry::BYTES,
+            residual.len() * TraceEntry::BYTES + hits.len() * SubPathDict::HIT_BYTES,
+        )
+    }
+
+    /// Renders the versioned text artifact.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("rap-track-dict v1\n");
+        out.push_str("image ");
+        for b in self.image_hash {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("label {}\n", self.label));
+        out.push_str(&format!(
+            "params top_k={} min_support={} max_len={}\n",
+            self.params.top_k, self.params.min_support, self.params.max_len
+        ));
+        for (id, entry) in self.entries.iter().enumerate() {
+            out.push_str(&format!("entry {id} {}", entry.len()));
+            for t in entry {
+                out.push_str(&format!(" {:x}:{:x}", t.source, t.dest));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DictFormatError`] naming the offending line for any
+    /// structural problem: wrong header, malformed hex, duplicate or
+    /// out-of-order ids, undersized entries.
+    pub fn from_text(text: &str) -> Result<SubPathDict, DictFormatError> {
+        let fail = |line: usize, message: &str| DictFormatError {
+            line,
+            message: message.to_string(),
+        };
+        let mut lines = text.lines().enumerate();
+        let (n, header) = lines.next().ok_or_else(|| fail(1, "empty dictionary"))?;
+        if header.trim() != "rap-track-dict v1" {
+            return Err(fail(n + 1, "expected header `rap-track-dict v1`"));
+        }
+        let mut image_hash: Option<Digest> = None;
+        let mut label = String::new();
+        let mut params = DictParams::default();
+        let mut entries: Vec<Vec<TraceEntry>> = Vec::new();
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (keyword, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match keyword {
+                "image" => {
+                    let hex = rest.trim();
+                    if hex.len() != 64 {
+                        return Err(fail(line_no, "image hash must be 64 hex digits"));
+                    }
+                    let mut digest = [0u8; 32];
+                    for (i, byte) in digest.iter_mut().enumerate() {
+                        *byte = parse_hex_byte(&hex[2 * i..2 * i + 2])
+                            .ok_or_else(|| fail(line_no, "invalid hex in image hash"))?;
+                    }
+                    image_hash = Some(digest);
+                }
+                "label" => label = rest.trim().to_string(),
+                "params" => {
+                    for field in rest.split_whitespace() {
+                        let (key, value) = field
+                            .split_once('=')
+                            .ok_or_else(|| fail(line_no, "params fields must be key=value"))?;
+                        let value: u64 = value
+                            .parse()
+                            .map_err(|_| fail(line_no, "invalid params value"))?;
+                        match key {
+                            "top_k" => params.top_k = value as usize,
+                            "min_support" => params.min_support = value as u32,
+                            "max_len" => params.max_len = value as usize,
+                            _ => return Err(fail(line_no, "unknown params field")),
+                        }
+                    }
+                }
+                "entry" => {
+                    let mut fields = rest.split_whitespace();
+                    let id: usize = fields
+                        .next()
+                        .and_then(|f| f.parse().ok())
+                        .ok_or_else(|| fail(line_no, "entry needs a numeric id"))?;
+                    if id != entries.len() {
+                        return Err(fail(line_no, "entry ids must be dense and in order"));
+                    }
+                    let count: usize = fields
+                        .next()
+                        .and_then(|f| f.parse().ok())
+                        .ok_or_else(|| fail(line_no, "entry needs a transfer count"))?;
+                    let mut transfers = Vec::with_capacity(count);
+                    for field in fields {
+                        let (src, dst) = field
+                            .split_once(':')
+                            .ok_or_else(|| fail(line_no, "transfers are source:dest"))?;
+                        let source = u32::from_str_radix(src, 16)
+                            .map_err(|_| fail(line_no, "invalid transfer source"))?;
+                        let dest = u32::from_str_radix(dst, 16)
+                            .map_err(|_| fail(line_no, "invalid transfer dest"))?;
+                        transfers.push(TraceEntry { source, dest });
+                    }
+                    if transfers.len() != count {
+                        return Err(fail(line_no, "entry transfer count mismatch"));
+                    }
+                    if transfers.len() < 2 {
+                        return Err(fail(line_no, "entries need at least 2 transfers"));
+                    }
+                    entries.push(transfers);
+                }
+                _ => return Err(fail(line_no, "unknown keyword")),
+            }
+        }
+        Ok(SubPathDict {
+            image_hash: image_hash.ok_or_else(|| fail(1, "missing image line"))?,
+            label,
+            params,
+            entries,
+        })
+    }
+}
+
+fn parse_hex_byte(s: &str) -> Option<u8> {
+    if !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u8::from_str_radix(s, 16).ok()
+}
+
+/// A structural problem in a dictionary artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictFormatError {
+    /// 1-based line number of the problem.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DictFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dictionary line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DictFormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(source: u32, dest: u32) -> TraceEntry {
+        TraceEntry { source, dest }
+    }
+
+    fn repetitive_log() -> CfLog {
+        // (a b) ×4 interleaved with noise: `a b` is the clear winner.
+        let mut mtb = Vec::new();
+        for i in 0..4u32 {
+            mtb.push(t(0x100, 0x200));
+            mtb.push(t(0x204, 0x100));
+            mtb.push(t(0x300 + i, 0x400));
+        }
+        CfLog {
+            mtb,
+            ..CfLog::default()
+        }
+    }
+
+    #[test]
+    fn mining_is_deterministic_and_ranked_by_savings() {
+        let log = repetitive_log();
+        let params = DictParams {
+            top_k: 2,
+            min_support: 3,
+            max_len: 4,
+        };
+        let a = SubPathDict::mine(&log, [7; 32], "unit", params);
+        let b = SubPathDict::mine(&log, [7; 32], "unit", params);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a
+            .entries()
+            .iter()
+            .any(|e| e.starts_with(&[t(0x100, 0x200), t(0x204, 0x100)])));
+    }
+
+    #[test]
+    fn min_support_filters_rare_paths() {
+        let log = repetitive_log();
+        let dict = SubPathDict::mine(
+            &log,
+            [7; 32],
+            "unit",
+            DictParams {
+                top_k: 64,
+                min_support: 100,
+                max_len: 4,
+            },
+        );
+        assert!(dict.is_empty());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let dict = SubPathDict::mine(&repetitive_log(), [0xAB; 32], "round trip", {
+            DictParams::default()
+        });
+        let text = dict.to_text();
+        let back = SubPathDict::from_text(&text).expect("parses");
+        assert_eq!(back, dict);
+        assert_eq!(back.label, "round trip");
+    }
+
+    #[test]
+    fn malformed_artifacts_are_typed_errors() {
+        assert_eq!(SubPathDict::from_text("").unwrap_err().line, 1);
+        assert!(SubPathDict::from_text("rap-track-map v1\n").is_err());
+        let base = SubPathDict::from_entries([1; 32], "x", vec![vec![t(1, 2), t(3, 4)]]).to_text();
+        // Image hash with a non-hex digit.
+        let bad = base.replace("0101", "01zz");
+        assert!(SubPathDict::from_text(&bad).is_err());
+        // Out-of-order id.
+        let bad = base.replace("entry 0", "entry 5");
+        assert!(SubPathDict::from_text(&bad).is_err());
+        // Undersized entry.
+        let bad = base.replace("entry 0 2 1:2 3:4", "entry 0 1 1:2");
+        assert!(SubPathDict::from_text(&bad).is_err());
+        // Count mismatch.
+        let bad = base.replace("entry 0 2 1:2 3:4", "entry 0 3 1:2 3:4");
+        assert!(SubPathDict::from_text(&bad).is_err());
+    }
+
+    #[test]
+    fn estimate_reports_compression() {
+        let log = repetitive_log();
+        let dict = SubPathDict::mine(&log, [7; 32], "unit", DictParams::default());
+        let (raw, compressed) = dict.estimate(&log.mtb);
+        assert_eq!(raw, log.mtb.len() * TraceEntry::BYTES);
+        assert!(compressed < raw, "{compressed} !< {raw}");
+    }
+}

@@ -12,7 +12,7 @@ use armv8m_isa::service;
 use mcu_sim::{cycles, ExecError, Machine, ProtectedRegion, RunOutcome, SecureEnv, SecureWorld};
 use rap_crypto::{sha256, Digest};
 use rap_link::LinkMap;
-use trace_units::{PcRange, RangeAction};
+use trace_units::{PcRange, RangeAction, SubPathMatcher, TraceEntry};
 
 use crate::report::{CfLog, Challenge, Key, Report};
 
@@ -57,12 +57,19 @@ impl Attestation {
         self.reports.len()
     }
 
-    /// The spliced log streams, in order.
+    /// The spliced log streams, in order. Dictionary-hit `at` indices
+    /// are rebased from per-report to combined-stream positions.
     pub fn combined_log(&self) -> CfLog {
         let mut log = CfLog::new();
         for r in &self.reports {
+            let base = log.mtb.len() as u32;
             log.mtb.extend(r.log.mtb.iter().copied());
             log.loop_records.extend(r.log.loop_records.iter().copied());
+            log.dict_hits.extend(r.log.dict_hits.iter().map(|h| {
+                let mut h = *h;
+                h.at += base;
+                h
+            }));
         }
         log
     }
@@ -74,6 +81,7 @@ struct EngineSecureWorld<'a> {
     key: &'a [u8],
     chal: Challenge,
     h_mem: Digest,
+    dict: Option<&'a [Vec<TraceEntry>]>,
     current: CfLog,
     reports: Vec<Report>,
 }
@@ -86,6 +94,22 @@ impl EngineSecureWorld<'_> {
         drained: Vec<trace_units::TraceEntry>,
     ) -> u64 {
         self.current.mtb.extend(drained);
+        // §IV-E + speculation: the matcher runs per report, over the
+        // full chunk being signed, so hit `at` indices are local to
+        // this report's residual stream (matches never span a
+        // watermark drain).
+        if let Some(entries) = self.dict {
+            if !self.current.mtb.is_empty() {
+                let mut matcher = SubPathMatcher::new(entries.to_vec());
+                for &t in &self.current.mtb {
+                    matcher.feed(t);
+                }
+                let (residual, hits) = matcher.finish();
+                rap_obs::counter!("engine_dict_hits_total").add(hits.len() as u64);
+                self.current.mtb = residual;
+                self.current.dict_hits = hits;
+            }
+        }
         let log = std::mem::take(&mut self.current);
         let bytes = log.size_bytes();
         let seq = self.reports.len() as u32;
@@ -130,12 +154,23 @@ impl SecureWorld for EngineSecureWorld<'_> {
 #[derive(Debug, Clone)]
 pub struct CfaEngine {
     key: Key,
+    dict: Option<Vec<Vec<TraceEntry>>>,
 }
 
 impl CfaEngine {
     /// Creates an engine with the given device key.
     pub fn new(key: Key) -> CfaEngine {
-        CfaEngine { key }
+        CfaEngine { key, dict: None }
+    }
+
+    /// Installs speculation-dictionary entries: every signed report's
+    /// MTB stream is run through a [`SubPathMatcher`] and matched
+    /// sub-paths ship as compact dictionary-hit records. The entries
+    /// must come from a dictionary mined for the deployed image — the
+    /// Verifier checks that binding, not the device.
+    pub fn with_dict(mut self, entries: Vec<Vec<TraceEntry>>) -> CfaEngine {
+        self.dict = Some(entries);
+        self
     }
 
     /// Runs the full attested execution of the application already
@@ -197,6 +232,7 @@ impl CfaEngine {
             key: &self.key,
             chal,
             h_mem,
+            dict: self.dict.as_deref(),
             current: CfLog::new(),
             reports: Vec::new(),
         };

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod dict;
 mod engine;
 mod error;
 mod metrics;
@@ -58,6 +59,7 @@ mod verifier;
 mod wire;
 
 pub use batch::{effective_batch_config, BatchOptions, Fleet, FleetJob, JobOutcome};
+pub use dict::{DictFormatError, DictParams, SubPathDict};
 pub use engine::{Attestation, CfaEngine, EngineConfig};
 pub use error::Error;
 pub use metrics::{Metrics, VerifierStats};
@@ -76,6 +78,7 @@ pub use wire::{decode_stream, encode_report, encode_stream, WireError};
 /// ```
 pub mod prelude {
     pub use crate::batch::{BatchOptions, Fleet, FleetJob, JobOutcome};
+    pub use crate::dict::{DictParams, SubPathDict};
     pub use crate::engine::{Attestation, CfaEngine, EngineConfig};
     pub use crate::error::Error;
     pub use crate::protocol::{SessionError, VerifierSession};

@@ -1,7 +1,7 @@
 //! CFA report format: `CF_Log`, challenges and authenticated reports.
 
 use rap_crypto::{hmac_sha256, verify_tag, Digest, HmacSha256};
-use trace_units::TraceEntry;
+use trace_units::{SubPathHit, TraceEntry};
 
 /// A fresh verifier challenge (nonce).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,16 +26,28 @@ impl Challenge {
 /// is required.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CfLog {
-    /// MTB packets, oldest first.
+    /// MTB packets, oldest first. When the device runs a speculation
+    /// dictionary, matched sub-paths are removed from this vector and
+    /// stand in as `dict_hits` records instead.
     pub mtb: Vec<TraceEntry>,
     /// Loop-condition records, oldest first.
     pub loop_records: Vec<u32>,
+    /// Speculation-dictionary hits, oldest first. Each hit expands to
+    /// the dictionary entry's transfers immediately before residual
+    /// `mtb` index `at`; hits therefore carry non-decreasing `at`
+    /// values ≤ `mtb.len()`. Empty on devices without a dictionary —
+    /// such logs are wire- and MAC-identical to the v1 format.
+    pub dict_hits: Vec<SubPathHit>,
 }
 
 impl CfLog {
     /// Size of one loop-condition record as stored in Secure-World
     /// memory (marker word + value word).
     pub const LOOP_RECORD_BYTES: usize = 8;
+
+    /// Wire size of one dictionary-hit record (kind byte + `at` +
+    /// `id`).
+    pub const DICT_HIT_BYTES: usize = 9;
 
     /// Creates an empty log.
     pub fn new() -> CfLog {
@@ -44,12 +56,14 @@ impl CfLog {
 
     /// Transmission/storage size in bytes — the paper's Fig. 9 metric.
     pub fn size_bytes(&self) -> usize {
-        self.mtb.len() * TraceEntry::BYTES + self.loop_records.len() * CfLog::LOOP_RECORD_BYTES
+        self.mtb.len() * TraceEntry::BYTES
+            + self.loop_records.len() * CfLog::LOOP_RECORD_BYTES
+            + self.dict_hits.len() * CfLog::DICT_HIT_BYTES
     }
 
-    /// Whether both streams are empty.
+    /// Whether all streams are empty.
     pub fn is_empty(&self) -> bool {
-        self.mtb.is_empty() && self.loop_records.is_empty()
+        self.mtb.is_empty() && self.loop_records.is_empty() && self.dict_hits.is_empty()
     }
 }
 
@@ -144,6 +158,16 @@ impl Report {
         for r in &log.loop_records {
             mac.update(&r.to_le_bytes());
         }
+        // Dictionary hits are only covered when present, so v1 logs
+        // (no dictionary) keep their historical byte-identical MACs.
+        if !log.dict_hits.is_empty() {
+            mac.update(b"RAP-TRACK-DICT-V2");
+            mac.update(&(log.dict_hits.len() as u32).to_le_bytes());
+            for h in &log.dict_hits {
+                mac.update(&h.at.to_le_bytes());
+                mac.update(&h.id.to_le_bytes());
+            }
+        }
         mac.finalize()
     }
 }
@@ -173,6 +197,7 @@ mod tests {
                 },
             ],
             loop_records: vec![7],
+            dict_hits: vec![],
         }
     }
 
@@ -182,6 +207,66 @@ mod tests {
         assert_eq!(log.size_bytes(), 2 * 8 + 8);
         assert!(!log.is_empty());
         assert!(CfLog::new().is_empty());
+        let mut with_hits = log;
+        with_hits.dict_hits.push(SubPathHit { at: 0, id: 3 });
+        assert_eq!(with_hits.size_bytes(), 2 * 8 + 8 + 9);
+    }
+
+    #[test]
+    fn dict_hit_tamper_invalidates_tag() {
+        let key = device_key("unit");
+        let mut log = sample_log();
+        log.dict_hits.push(SubPathHit { at: 1, id: 0 });
+        let base = Report::new(
+            &key,
+            Challenge::from_seed(1),
+            rap_crypto::sha256(b"binary"),
+            log,
+            0,
+            true,
+            false,
+        );
+        assert!(base.authenticate(&key));
+
+        let mut r = base.clone();
+        r.log.dict_hits[0].id = 1;
+        assert!(!r.authenticate(&key));
+
+        let mut r = base.clone();
+        r.log.dict_hits[0].at = 0;
+        assert!(!r.authenticate(&key));
+
+        let mut r = base;
+        r.log.dict_hits.clear();
+        assert!(!r.authenticate(&key));
+    }
+
+    #[test]
+    fn dictless_mac_matches_v1_exactly() {
+        // A log without dictionary hits must authenticate under the
+        // historical v1 MAC computation, bit for bit.
+        let key = device_key("unit");
+        let chal = Challenge::from_seed(1);
+        let h_mem = rap_crypto::sha256(b"binary");
+        let log = sample_log();
+        let r = Report::new(&key, chal, h_mem, log.clone(), 4, false, true);
+
+        let mut mac = HmacSha256::new(&key);
+        mac.update(b"RAP-TRACK-REPORT-V1");
+        mac.update(&chal.0);
+        mac.update(&h_mem);
+        mac.update(&4u32.to_le_bytes());
+        mac.update(&[0u8, 1u8]);
+        mac.update(&(log.mtb.len() as u32).to_le_bytes());
+        for e in &log.mtb {
+            mac.update(&e.source.to_le_bytes());
+            mac.update(&e.dest.to_le_bytes());
+        }
+        mac.update(&(log.loop_records.len() as u32).to_le_bytes());
+        for rec in &log.loop_records {
+            mac.update(&rec.to_le_bytes());
+        }
+        assert_eq!(r.tag, mac.finalize());
     }
 
     #[test]
@@ -253,7 +338,7 @@ mod tests {
             [0; 32],
             CfLog {
                 mtb: vec![TraceEntry { source: 7, dest: 0 }],
-                loop_records: vec![],
+                ..CfLog::default()
             },
             0,
             true,
@@ -264,8 +349,8 @@ mod tests {
             Challenge::from_seed(1),
             [0; 32],
             CfLog {
-                mtb: vec![],
                 loop_records: vec![7, 0],
+                ..CfLog::default()
             },
             0,
             true,

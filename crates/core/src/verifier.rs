@@ -21,6 +21,7 @@ use armv8m_isa::{service, BranchKind, Image, Instr, Reg, Target};
 use rap_crypto::{sha256, Digest};
 use rap_link::{LinkMap, LoopPlanKind, SiteKind};
 
+use crate::dict::SubPathDict;
 use crate::policy::{PathPolicy, PolicyFinding};
 use crate::report::{Challenge, Key, Report};
 
@@ -190,6 +191,18 @@ pub enum Violation {
         /// Sequence number of the overflowed report.
         seq: u32,
     },
+    /// A report carries a dictionary-hit record whose id is not in the
+    /// loaded dictionary — a forged or stale id.
+    UnknownDictId {
+        /// The offending entry id.
+        id: u32,
+    },
+    /// The loaded dictionary was mined for a different binary than the
+    /// one this verifier replays; its ids cannot be trusted here.
+    DictImageMismatch,
+    /// A report carries dictionary-hit records but no dictionary is
+    /// loaded, so the compressed sub-paths cannot be expanded.
+    DictUnavailable,
 }
 
 impl Violation {
@@ -214,6 +227,9 @@ impl Violation {
             Violation::LoopDiverged { .. } => "LoopDiverged",
             Violation::BudgetExceeded => "BudgetExceeded",
             Violation::EvidenceLost { .. } => "EvidenceLost",
+            Violation::UnknownDictId { .. } => "UnknownDictId",
+            Violation::DictImageMismatch => "DictImageMismatch",
+            Violation::DictUnavailable => "DictUnavailable",
         }
     }
 }
@@ -271,6 +287,18 @@ impl std::fmt::Display for Violation {
             Violation::BudgetExceeded => write!(f, "replay step budget exceeded"),
             Violation::EvidenceLost { seq } => {
                 write!(f, "report {seq} flags an MTB overflow: evidence lost")
+            }
+            Violation::UnknownDictId { id } => {
+                write!(f, "report references unknown dictionary entry {id}")
+            }
+            Violation::DictImageMismatch => {
+                write!(f, "loaded dictionary was mined for a different binary")
+            }
+            Violation::DictUnavailable => {
+                write!(
+                    f,
+                    "report carries dictionary hits but no dictionary is loaded"
+                )
             }
         }
     }
@@ -371,6 +399,7 @@ pub struct Verifier {
     /// Replay step budget.
     pub max_steps: u64,
     policy: Option<Arc<PathPolicy>>,
+    dict: Option<Arc<SubPathDict>>,
     shared: Arc<Shared>,
 }
 
@@ -395,6 +424,9 @@ const MAX_SHARD_COUNT: usize = 1024;
 /// share a cache line.
 type Shard = CachePadded<RwLock<HashMap<u32, Arc<Segment>>>>;
 
+/// Macro-cache map: `(entry id, span entry PC)` → recorded variants.
+type MacroMap = RwLock<HashMap<(u32, u32), Vec<Arc<DictMacro>>>>;
+
 #[derive(Debug)]
 struct Shared {
     /// Identity of this cache, used as the ownership key for the
@@ -406,6 +438,12 @@ struct Shared {
     /// depend only on the image and map, never on a particular log, so
     /// the cache is safely shared across sessions, threads and devices.
     shards: Vec<Shard>,
+    /// Dictionary macro cache: `(entry id, span entry PC)` → replay
+    /// deltas recorded the first time that sub-path was replayed live
+    /// from that PC. Shared across sessions/threads like the segment
+    /// cache; touched at most once per dictionary hit, so a single lock
+    /// (not a stripe) is plenty.
+    dict_macros: MacroMap,
     hits: CachePadded<AtomicU64>,
     misses: CachePadded<AtomicU64>,
     cached_steps: CachePadded<AtomicU64>,
@@ -422,6 +460,7 @@ impl Shared {
             shards: (0..shard_count.clamp(1, MAX_SHARD_COUNT))
                 .map(|_| CachePadded::new(RwLock::new(HashMap::new())))
                 .collect(),
+            dict_macros: RwLock::new(HashMap::new()),
             hits: CachePadded::default(),
             misses: CachePadded::default(),
             cached_steps: CachePadded::default(),
@@ -482,6 +521,9 @@ pub(crate) struct StatsTally {
     live_steps: u64,
     rewinds: u64,
     checkpoints: u64,
+    /// Dictionary spans satisfied from the macro cache (bulk-applied
+    /// without re-replaying the sub-path).
+    dict_bulk_applies: u64,
     jobs: u64,
     wall_ns: u64,
     accepted: u64,
@@ -507,6 +549,7 @@ impl StatsTally {
         self.live_steps += other.live_steps;
         self.rewinds += other.rewinds;
         self.checkpoints += other.checkpoints;
+        self.dict_bulk_applies += other.dict_bulk_applies;
         self.jobs += other.jobs;
         self.wall_ns += other.wall_ns;
         self.accepted += other.accepted;
@@ -567,6 +610,7 @@ pub struct VerifierBuilder {
     image: Option<Image>,
     map: Option<LinkMap>,
     policy: Option<PathPolicy>,
+    dict: Option<SubPathDict>,
     cache_shards: usize,
     max_steps: u64,
 }
@@ -618,6 +662,16 @@ impl VerifierBuilder {
         self
     }
 
+    /// A [`SubPathDict`] for expanding dictionary-compressed report
+    /// streams. Without one, any report carrying dictionary hits is
+    /// rejected with [`Violation::DictUnavailable`]; with one mined for
+    /// a different binary, with [`Violation::DictImageMismatch`].
+    #[must_use]
+    pub fn dict(mut self, dict: SubPathDict) -> Self {
+        self.dict = Some(dict);
+        self
+    }
+
     /// L2 replay-cache shard count (clamped to `1..=1024`; default 16).
     /// More shards trade memory for lower miss-path lock contention.
     #[must_use]
@@ -662,6 +716,7 @@ impl VerifierBuilder {
                 self.max_steps
             },
             policy: self.policy.map(Arc::new),
+            dict: self.dict.map(Arc::new),
             shared: Arc::new(Shared::new(shard_count)),
         })
     }
@@ -693,6 +748,11 @@ impl Verifier {
     /// The [`PathPolicy`] configured at build time, if any.
     pub fn policy(&self) -> Option<&PathPolicy> {
         self.policy.as_deref()
+    }
+
+    /// The [`SubPathDict`] configured at build time, if any.
+    pub fn dict(&self) -> Option<&SubPathDict> {
+        self.dict.as_deref()
     }
 
     /// Evaluates the configured policy over an accepted path; an empty
@@ -791,6 +851,7 @@ impl Verifier {
         rap_obs::counter!("verifier_replay_cached_steps_total").add(tally.cached_steps);
         rap_obs::counter!("verifier_rewinds_total").add(tally.rewinds);
         rap_obs::counter!("verifier_checkpoints_total").add(tally.checkpoints);
+        rap_obs::counter!("verifier_dict_bulk_applies_total").add(tally.dict_bulk_applies);
         // Dynamic (labelled) names: resolved through the registry
         // directly, not the caching macro — rejection is rare.
         for (kind, n) in &tally.violations {
@@ -849,11 +910,54 @@ impl Verifier {
         }
 
         // --- Splice the log streams -------------------------------------
+        // Dictionary-hit records expand in place: the sub-path's
+        // transfers are re-inserted before the residual transfer they
+        // were matched at, so the spliced `mtb` is byte-for-byte what an
+        // uncompressed device would have sent. Each expansion is also
+        // remembered as a [`HitSpan`] so replay can bulk-apply a cached
+        // macro instead of re-walking the span live.
         let mut mtb: Vec<trace_units::TraceEntry> = Vec::new();
         let mut loops: Vec<u32> = Vec::new();
+        let mut spans: Vec<HitSpan> = Vec::new();
         for r in reports {
-            mtb.extend(r.log.mtb.iter().copied());
             loops.extend(r.log.loop_records.iter().copied());
+            if r.log.dict_hits.is_empty() {
+                mtb.extend(r.log.mtb.iter().copied());
+                continue;
+            }
+            let dict = self.dict.as_deref().ok_or(Violation::DictUnavailable)?;
+            if dict.image_hash != self.h_mem {
+                return Err(Violation::DictImageMismatch);
+            }
+            let mut next_hit = 0usize;
+            for i in 0..=r.log.mtb.len() {
+                while next_hit < r.log.dict_hits.len() && r.log.dict_hits[next_hit].at as usize == i
+                {
+                    let hit = r.log.dict_hits[next_hit];
+                    let entry = dict
+                        .entry(hit.id)
+                        .ok_or(Violation::UnknownDictId { id: hit.id })?;
+                    let start = mtb.len();
+                    mtb.extend_from_slice(entry);
+                    spans.push(HitSpan {
+                        start,
+                        end: mtb.len(),
+                        id: hit.id,
+                    });
+                    next_hit += 1;
+                }
+                if let Some(&t) = r.log.mtb.get(i) {
+                    mtb.push(t);
+                }
+            }
+            // Any hit not consumed by the in-order walk points past the
+            // residual transfers or runs backwards — a malformed record
+            // the matcher can never emit.
+            if next_hit != r.log.dict_hits.len() {
+                return Err(Violation::BadReportStream(
+                    "dictionary hit records out of order".into(),
+                ));
+            }
         }
 
         Ok(ReplaySession {
@@ -864,6 +968,9 @@ impl Verifier {
             checkpoints: Vec::new(),
             first_violation: None,
             global_steps: 0,
+            spans,
+            next_span: 0,
+            recording: None,
             tally: Some(StatsTally::default()),
         })
     }
@@ -1272,6 +1379,13 @@ pub struct ReplaySession<'v> {
     checkpoints: Vec<Checkpoint>,
     first_violation: Option<Violation>,
     global_steps: u64,
+    /// Dictionary-hit spans in the spliced `mtb`, in index order
+    /// (empty for uncompressed streams — the hot path stays zero-cost).
+    spans: Vec<HitSpan>,
+    /// First span not yet fully consumed by the current parse.
+    next_span: usize,
+    /// Live recording of the span currently being replayed, if any.
+    recording: Option<Recording>,
     /// Plain-integer tallies for everything this session does (zero
     /// atomics in the replay loop). `Some` until drained: either
     /// [`run_into`](ReplaySession::run_into) hands it to the caller's
@@ -1305,6 +1419,15 @@ impl ReplaySession<'_> {
     /// Returns `None` while the session is still running, or the final
     /// verdict once replay terminates.
     pub fn advance(&mut self) -> Option<Result<VerifiedPath, Violation>> {
+        // Dictionary fast path: settle any recording and bulk-apply
+        // cached sub-path macros whose span starts at the current log
+        // position. No-op (one branch) for uncompressed streams.
+        if !self.spans.is_empty() {
+            if let Some(verdict) = self.dict_prelude() {
+                return Some(verdict);
+            }
+        }
+
         // Bulk-apply the deterministic stretch starting here. All
         // tallies are plain integers on the session — the replay loop
         // touches no shared cache line.
@@ -1342,6 +1465,12 @@ impl ReplaySession<'_> {
         if let Some(tally) = self.tally.as_mut() {
             tally.checkpoints += new_checkpoints;
         }
+        if let Some(rec) = self.recording.as_mut() {
+            // Track the deepest shadow truncation inside the span: the
+            // macro's precondition pins exactly the frames a replay of
+            // the span can observe, and nothing below them.
+            rec.min_depth = rec.min_depth.min(self.state.shadow.len());
+        }
         match outcome {
             Ok(true) => {
                 // Halted: the whole log must be consumed.
@@ -1377,9 +1506,186 @@ impl ReplaySession<'_> {
                 }
                 rap_obs::event("rewind", alt.alt_pc as u64, self.checkpoints.len() as u64);
                 alt.restore(&mut self.state);
+                // The rewind may land before (or inside) dictionary
+                // spans: the in-flight recording's deltas are no longer
+                // contiguous, and the span cursor must follow the log
+                // position backwards.
+                self.recording = None;
+                self.next_span = self.spans.partition_point(|s| s.end <= self.state.mtb_idx);
                 None
             }
             None => Some(Err(self.first_violation.take().unwrap_or(v))),
+        }
+    }
+
+    /// Settles the dictionary machinery at the top of a quantum:
+    /// finishes a completed recording, bulk-applies cached macros for
+    /// spans starting exactly at the current log position, and
+    /// otherwise arms a recording so the span's live replay is captured
+    /// for next time. Returns a verdict only when a bulk application
+    /// exhausts the step budget.
+    fn dict_prelude(&mut self) -> Option<Result<VerifiedPath, Violation>> {
+        // Follow the log position forward past fully-consumed spans.
+        while self.next_span < self.spans.len()
+            && self.spans[self.next_span].end <= self.state.mtb_idx
+        {
+            self.next_span += 1;
+        }
+        // A recording is complete once its span's last transfer has
+        // been consumed on the current (never-rewound) parse.
+        if let Some(rec) = &self.recording {
+            if self.state.mtb_idx >= self.spans[rec.span].end {
+                self.finish_recording();
+            }
+        }
+        while self.recording.is_none() {
+            let Some(&span) = self.spans.get(self.next_span) else {
+                break;
+            };
+            if span.start != self.state.mtb_idx {
+                break; // not there yet, or mid-span after a rewind
+            }
+            let (cached, room) = self.probe_macros(span.id);
+            if let Some(m) = cached {
+                self.apply_macro(&m, span);
+                self.next_span += 1;
+                if self.global_steps > self.verifier.max_steps {
+                    return Some(Err(self
+                        .first_violation
+                        .take()
+                        .unwrap_or(Violation::BudgetExceeded)));
+                }
+                continue;
+            }
+            if room && self.state.pending_inits.is_empty() {
+                self.recording = Some(Recording {
+                    span: self.next_span,
+                    start_pc: self.state.pc,
+                    start_events: self.state.events.len(),
+                    start_steps: self.state.steps,
+                    start_shadow: self.state.shadow.clone(),
+                    min_depth: self.state.shadow.len(),
+                    start_loop_idx: self.state.loop_idx,
+                    start_checkpoints: self.checkpoints.len(),
+                });
+            }
+            break;
+        }
+        None
+    }
+
+    /// Looks up a cached macro for `(id, current PC)` whose
+    /// preconditions hold here, also reporting whether the variant slot
+    /// still has room (so a futile recording is never armed).
+    fn probe_macros(&self, id: u32) -> (Option<Arc<DictMacro>>, bool) {
+        let map = self
+            .verifier
+            .shared
+            .dict_macros
+            .read()
+            .expect("dict macro lock");
+        match map.get(&(id, self.state.pc)) {
+            Some(variants) => {
+                let hit = variants.iter().find(|m| self.macro_applies(m)).cloned();
+                let room = variants.len() < MACRO_VARIANT_CAP;
+                (hit, room)
+            }
+            None => (None, true),
+        }
+    }
+
+    /// Whether a macro's recorded context matches the live state: the
+    /// shadow frames it may pop, the loop records it consumes, and no
+    /// queued loop inits that would alter in-span decisions.
+    fn macro_applies(&self, m: &DictMacro) -> bool {
+        let shadow = &self.state.shadow;
+        self.state.pending_inits.is_empty()
+            && shadow.len() >= m.required_suffix.len()
+            && shadow[shadow.len() - m.required_suffix.len()..] == m.required_suffix[..]
+            && self.loops[self.state.loop_idx..].starts_with(&m.loops_used)
+    }
+
+    /// Bulk-applies a recorded macro: splices the span's events, shadow
+    /// / loop / pending deltas and in-span checkpoints exactly as the
+    /// live replay that recorded it would have produced them.
+    fn apply_macro(&mut self, m: &DictMacro, span: HitSpan) {
+        let keep = self.state.shadow.len() - m.required_suffix.len();
+        let base_mtb = self.state.mtb_idx;
+        let base_loop = self.state.loop_idx;
+        let base_events = self.state.events.len();
+        let base_steps = self.state.steps;
+        for mc in &m.checkpoints {
+            let mut shadow = Vec::with_capacity(keep + mc.shadow_tail.len());
+            shadow.extend_from_slice(&self.state.shadow[..keep]);
+            shadow.extend_from_slice(&mc.shadow_tail);
+            self.checkpoints.push(Checkpoint {
+                alt_pc: mc.alt_pc,
+                alt_event: mc.alt_event,
+                shadow,
+                mtb_idx: base_mtb + mc.mtb_off,
+                loop_idx: base_loop + mc.loop_off,
+                pending_inits: mc.pending.clone(),
+                events_len: base_events + mc.events_off,
+                steps: base_steps + mc.steps_off,
+            });
+        }
+        self.state.events.extend_from_slice(&m.events);
+        self.state.shadow.truncate(keep);
+        self.state.shadow.extend_from_slice(&m.end_tail);
+        self.state.steps += m.steps;
+        self.state.mtb_idx = span.end;
+        self.state.loop_idx += m.loops_used.len();
+        self.state.pending_inits = m.end_pending.clone();
+        self.state.pc = m.end_pc;
+        self.global_steps += m.steps;
+        let tally = self.tally.as_mut().expect("session tally present");
+        tally.cached_steps += m.steps;
+        tally.checkpoints += m.checkpoints.len() as u64;
+        tally.dict_bulk_applies += 1;
+        rap_obs::event("dict_bulk_apply", span.id as u64, m.steps);
+    }
+
+    /// Converts the just-finished live replay of a span into a
+    /// [`DictMacro`] and publishes it, unless an identical variant is
+    /// already cached or the variant slot is full.
+    fn finish_recording(&mut self) {
+        let Some(rec) = self.recording.take() else {
+            return;
+        };
+        let span = self.spans[rec.span];
+        let min_depth = rec.min_depth;
+        let mut checkpoints = Vec::with_capacity(self.checkpoints.len() - rec.start_checkpoints);
+        for cp in &self.checkpoints[rec.start_checkpoints..] {
+            checkpoints.push(MacroCheckpoint {
+                alt_pc: cp.alt_pc,
+                alt_event: cp.alt_event,
+                shadow_tail: cp.shadow[min_depth..].to_vec(),
+                mtb_off: cp.mtb_idx - span.start,
+                loop_off: cp.loop_idx - rec.start_loop_idx,
+                pending: cp.pending_inits.clone(),
+                events_off: cp.events_len - rec.start_events,
+                steps_off: cp.steps - rec.start_steps,
+            });
+        }
+        let built = DictMacro {
+            steps: self.state.steps - rec.start_steps,
+            events: self.state.events[rec.start_events..].to_vec(),
+            required_suffix: rec.start_shadow[min_depth..].to_vec(),
+            end_tail: self.state.shadow[min_depth..].to_vec(),
+            loops_used: self.loops[rec.start_loop_idx..self.state.loop_idx].to_vec(),
+            end_pending: self.state.pending_inits.clone(),
+            end_pc: self.state.pc,
+            checkpoints,
+        };
+        let mut map = self
+            .verifier
+            .shared
+            .dict_macros
+            .write()
+            .expect("dict macro lock");
+        let variants = map.entry((span.id, rec.start_pc)).or_default();
+        if variants.len() < MACRO_VARIANT_CAP && !variants.iter().any(|m| **m == built) {
+            variants.push(Arc::new(built));
         }
     }
 
@@ -1496,6 +1802,87 @@ impl Checkpoint {
         state.events.push(self.alt_event);
         state.steps = self.steps;
     }
+}
+
+/// Cap on cached macro variants per `(entry id, entry PC)` key:
+/// distinct surrounding contexts (shadow suffix / loop records) each
+/// earn a variant, but an adversarial stream must not grow the cache
+/// without bound.
+const MACRO_VARIANT_CAP: usize = 4;
+
+/// One dictionary-hit expansion in the spliced `mtb`: indices
+/// `start..end` came from dictionary entry `id`.
+#[derive(Debug, Clone, Copy)]
+struct HitSpan {
+    start: usize,
+    end: usize,
+    id: u32,
+}
+
+/// Replay deltas of one dictionary sub-path, recorded from its first
+/// live replay and bulk-applied on later encounters.
+///
+/// Soundness: inside a span every replay decision is a function of
+/// (a) the expanded transfers — fixed by the entry id, (b) the shadow
+/// frames the span pops — pinned by `required_suffix`, and (c) the loop
+/// records it consumes — pinned by `loops_used`. With those
+/// preconditions matched and no pending inits, a live replay from the
+/// same entry PC is deterministic, so splicing the recorded deltas
+/// (including the checkpoints a later backtrack could restore) is
+/// indistinguishable from re-walking the span instruction by
+/// instruction.
+#[derive(Debug, PartialEq)]
+struct DictMacro {
+    steps: u64,
+    events: Vec<PathEvent>,
+    /// Shadow frames (deepest first) the span observes: the entry
+    /// shadow must end with exactly these.
+    required_suffix: Vec<u32>,
+    /// What replaces `required_suffix` at span exit.
+    end_tail: Vec<u32>,
+    /// Loop records consumed by the span, in order.
+    loops_used: Vec<u32>,
+    end_pending: VecDeque<u32>,
+    end_pc: u32,
+    /// Checkpoints pushed inside the span, span-relative (forward-exit
+    /// loop continues push one per iteration, so loop-heavy spans
+    /// always carry some — aborting on them would forfeit the speedup
+    /// exactly where it matters).
+    checkpoints: Vec<MacroCheckpoint>,
+}
+
+/// A [`Checkpoint`] in span-relative form: offsets are added to the
+/// span-entry position, and the shadow below the span's minimum depth
+/// (untouched by the span, so identical at apply time) is dropped.
+#[derive(Debug, PartialEq)]
+struct MacroCheckpoint {
+    alt_pc: u32,
+    alt_event: PathEvent,
+    /// Shadow frames above the preserved prefix at checkpoint time.
+    shadow_tail: Vec<u32>,
+    mtb_off: usize,
+    loop_off: usize,
+    pending: VecDeque<u32>,
+    events_off: usize,
+    steps_off: u64,
+}
+
+/// Bookkeeping for a span being replayed live for the first time.
+#[derive(Debug)]
+struct Recording {
+    /// Index into [`ReplaySession::spans`].
+    span: usize,
+    /// PC at span entry — half the macro cache key.
+    start_pc: u32,
+    start_events: usize,
+    start_steps: u64,
+    start_shadow: Vec<u32>,
+    /// Minimum shadow depth observed inside the span; frames below it
+    /// are never touched, frames at or above it form the macro's
+    /// precondition.
+    min_depth: usize,
+    start_loop_idx: usize,
+    start_checkpoints: usize,
 }
 
 fn resolve(target: &Target) -> u32 {

@@ -5,25 +5,37 @@
 //!
 //! ```text
 //! magic  "RAPR"            4 bytes
-//! ver    u8 = 1            1
+//! ver    u8 = 1 | 2        1
 //! flags  u8  bit0 = final, bit1 = overflow
 //! seq    u32
 //! chal   [u8; 32]
 //! h_mem  [u8; 32]
 //! nmtb   u32, then nmtb × (source u32, dest u32)
 //! nloop  u32, then nloop × u32
+//! v2+:   nrec u32, then nrec × (kind u8, ...)
+//!          kind 1 = dictionary hit: at u32, id u32
 //! tag    [u8; 32]
 //! ```
+//!
+//! Version 2 frames append a typed-record section for
+//! speculation-dictionary hits. Reports without dictionary hits are
+//! still emitted as version 1, so v1 streams decode (and re-encode)
+//! byte-identically; a record with an unknown kind is a typed
+//! [`WireError::BadRecordKind`], never a panic.
 //!
 //! Frames concatenate to form a stream; [`decode_stream`] reads until
 //! the buffer is exhausted.
 
-use trace_units::TraceEntry;
+use trace_units::{SubPathHit, TraceEntry};
 
 use crate::report::{CfLog, Challenge, Report};
 
 const MAGIC: &[u8; 4] = b"RAPR";
 const VERSION: u8 = 1;
+const VERSION_DICT: u8 = 2;
+const RECORD_DICT_HIT: u8 = 1;
+/// Bytes of one encoded dictionary-hit record (kind + at + id).
+const DICT_RECORD_BYTES: usize = 9;
 
 /// A failure while decoding a wire stream.
 ///
@@ -52,6 +64,11 @@ pub enum WireError {
         /// The offending count.
         count: u32,
     },
+    /// A v2 typed record carried an unknown kind byte.
+    BadRecordKind {
+        /// The kind byte found.
+        kind: u8,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -61,6 +78,7 @@ impl std::fmt::Display for WireError {
             WireError::BadMagic { offset } => write!(f, "bad frame magic at byte {offset}"),
             WireError::BadVersion { found } => write!(f, "unsupported wire version {found}"),
             WireError::BadCount { count } => write!(f, "implausible element count {count}"),
+            WireError::BadRecordKind { kind } => write!(f, "unknown record kind {kind}"),
         }
     }
 }
@@ -71,7 +89,13 @@ impl std::error::Error for WireError {}
 pub fn encode_report(report: &Report) -> Vec<u8> {
     let mut out = Vec::with_capacity(128 + report.log.size_bytes());
     out.extend_from_slice(MAGIC);
-    out.push(VERSION);
+    // Dictionary-free reports stay on v1 so their frames remain
+    // byte-identical to what pre-dictionary verifiers pinned.
+    if report.log.dict_hits.is_empty() {
+        out.push(VERSION);
+    } else {
+        out.push(VERSION_DICT);
+    }
     out.push(u8::from(report.is_final) | u8::from(report.overflow) << 1);
     out.extend_from_slice(&report.seq.to_le_bytes());
     out.extend_from_slice(&report.chal.0);
@@ -84,6 +108,14 @@ pub fn encode_report(report: &Report) -> Vec<u8> {
     out.extend_from_slice(&(report.log.loop_records.len() as u32).to_le_bytes());
     for r in &report.log.loop_records {
         out.extend_from_slice(&r.to_le_bytes());
+    }
+    if !report.log.dict_hits.is_empty() {
+        out.extend_from_slice(&(report.log.dict_hits.len() as u32).to_le_bytes());
+        for h in &report.log.dict_hits {
+            out.push(RECORD_DICT_HIT);
+            out.extend_from_slice(&h.at.to_le_bytes());
+            out.extend_from_slice(&h.id.to_le_bytes());
+        }
     }
     out.extend_from_slice(&report.tag);
     out
@@ -146,7 +178,7 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Report>, WireError> {
             });
         }
         let version = cur.u8()?;
-        if version != VERSION {
+        if version != VERSION && version != VERSION_DICT {
             return Err(WireError::BadVersion { found: version });
         }
         let flags = cur.u8()?;
@@ -171,11 +203,32 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Report>, WireError> {
         for _ in 0..nloop {
             loop_records.push(cur.u32()?);
         }
+        let mut dict_hits = Vec::new();
+        if version == VERSION_DICT {
+            let nrec = cur.u32()?;
+            if nrec as usize > bytes.len() / DICT_RECORD_BYTES + 1 {
+                return Err(WireError::BadCount { count: nrec });
+            }
+            dict_hits.reserve(nrec as usize);
+            for _ in 0..nrec {
+                let kind = cur.u8()?;
+                if kind != RECORD_DICT_HIT {
+                    return Err(WireError::BadRecordKind { kind });
+                }
+                let at = cur.u32()?;
+                let id = cur.u32()?;
+                dict_hits.push(SubPathHit { at, id });
+            }
+        }
         let tag = cur.arr32()?;
         reports.push(Report {
             chal,
             h_mem,
-            log: CfLog { mtb, loop_records },
+            log: CfLog {
+                mtb,
+                loop_records,
+                dict_hits,
+            },
             seq,
             is_final: flags & 1 != 0,
             overflow: flags & 2 != 0,
@@ -211,6 +264,7 @@ mod tests {
                         },
                     ],
                     loop_records: vec![5],
+                    dict_hits: vec![],
                 },
                 0,
                 false,
@@ -270,6 +324,85 @@ mod tests {
         let mut bytes = encode_report(&sample_reports()[1]);
         // Overwrite nmtb (offset 4+1+1+4+32+32 = 74) with u32::MAX.
         bytes[74..78].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(WireError::BadCount { .. })
+        ));
+    }
+
+    fn dict_report() -> Report {
+        let key = device_key("wire");
+        Report::new(
+            &key,
+            Challenge::from_seed(4),
+            rap_crypto::sha256(b"bin"),
+            CfLog {
+                mtb: vec![TraceEntry {
+                    source: 0x50,
+                    dest: 0x60,
+                }],
+                loop_records: vec![2],
+                dict_hits: vec![SubPathHit { at: 0, id: 7 }, SubPathHit { at: 1, id: 0 }],
+            },
+            0,
+            true,
+            false,
+        )
+    }
+
+    #[test]
+    fn v1_frames_stay_byte_identical() {
+        // Pin the exact v1 layout for a dictionary-free report: the
+        // version byte is 1 and no record section is emitted.
+        let r = &sample_reports()[1];
+        let bytes = encode_report(r);
+        assert_eq!(bytes[4], 1, "dictionary-free reports stay v1");
+        // magic+ver+flags+seq+chal+h_mem+nmtb+nloop+tag
+        assert_eq!(bytes.len(), 4 + 1 + 1 + 4 + 32 + 32 + 4 + 4 + 32);
+    }
+
+    #[test]
+    fn v2_roundtrip_with_dict_hits() {
+        let r = dict_report();
+        let bytes = encode_report(&r);
+        assert_eq!(bytes[4], 2, "dictionary hits force v2");
+        let back = decode_stream(&bytes).expect("decodes");
+        assert_eq!(back, vec![r]);
+        assert!(back[0].authenticate(&device_key("wire")));
+    }
+
+    #[test]
+    fn v2_truncation_detected_at_every_boundary() {
+        let bytes = encode_report(&dict_report());
+        for cut in 1..bytes.len() {
+            match decode_stream(&bytes[..cut]) {
+                Err(WireError::Truncated { .. }) => {}
+                other => panic!("cut {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_record_kind_is_typed() {
+        let bytes = encode_report(&dict_report());
+        // The first record's kind byte sits right after nrec, which
+        // follows magic(4)+ver+flags+seq(4)+chal+h_mem+nmtb(4)+
+        // 1 entry(8)+nloop(4)+1 loop(4).
+        let kind_at = 4 + 1 + 1 + 4 + 32 + 32 + 4 + 8 + 4 + 4 + 4;
+        assert_eq!(bytes[kind_at], 1);
+        let mut bad = bytes.clone();
+        bad[kind_at] = 9;
+        assert!(matches!(
+            decode_stream(&bad),
+            Err(WireError::BadRecordKind { kind: 9 })
+        ));
+    }
+
+    #[test]
+    fn adversarial_record_count_rejected() {
+        let mut bytes = encode_report(&dict_report());
+        let nrec_at = 4 + 1 + 1 + 4 + 32 + 32 + 4 + 8 + 4 + 4;
+        bytes[nrec_at..nrec_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             decode_stream(&bytes),
             Err(WireError::BadCount { .. })

@@ -124,6 +124,8 @@ pub struct Totals {
     pub path_events: u64,
     /// Instructions retired by attested runs.
     pub attested_instrs: u64,
+    /// Dictionary-hit records across compressed (v2) attestations.
+    pub dict_hits: u64,
 }
 
 /// The campaign result. Contains no wall-clock data by design: equal
@@ -178,8 +180,8 @@ impl FuzzSummary {
         let t = &self.totals;
         let _ = writeln!(
             out,
-            "totals: stmts={} reports={} mtb-packets={} loop-records={} path-events={} attested-instrs={}",
-            t.stmts, t.reports, t.mtb_packets, t.loop_records, t.path_events, t.attested_instrs
+            "totals: stmts={} reports={} mtb-packets={} loop-records={} path-events={} attested-instrs={} dict-hits={}",
+            t.stmts, t.reports, t.mtb_packets, t.loop_records, t.path_events, t.attested_instrs, t.dict_hits
         );
         if !self.verdicts.is_empty() {
             let _ = writeln!(out, "mutation verdicts:");
@@ -242,6 +244,7 @@ impl FuzzSummary {
                     ("loop_records", Json::Uint(self.totals.loop_records)),
                     ("path_events", Json::Uint(self.totals.path_events)),
                     ("attested_instrs", Json::Uint(self.totals.attested_instrs)),
+                    ("dict_hits", Json::Uint(self.totals.dict_hits)),
                 ]),
             ),
             (
@@ -372,6 +375,7 @@ pub fn run(cfg: &FuzzConfig) -> FuzzSummary {
                 summary.totals.loop_records += result.loop_records;
                 summary.totals.path_events += result.path_events;
                 summary.totals.attested_instrs += result.attested_instrs;
+                summary.totals.dict_hits += result.dict_hits;
                 for (key, count) in result.verdicts {
                     *summary.verdicts.entry(key).or_default() += count;
                 }

@@ -14,7 +14,7 @@
 
 use crate::rng::Rng;
 use rap_track::{Challenge, Report};
-use trace_units::TraceEntry;
+use trace_units::{SubPathHit, TraceEntry};
 
 /// Applies one random byte-level mutation, returning the mutated
 /// stream and the mutation's name (for the campaign histogram).
@@ -151,6 +151,94 @@ pub fn mutate_reports(
                 overflow = !overflow;
             }
             Report::new(key, chal, h_mem, log, i as u32, is_final, overflow)
+        })
+        .collect();
+    (forged, name)
+}
+
+/// Applies one random mutation targeting the dictionary-hit records of
+/// a v2 stream and re-signs every report, returning the forged stream
+/// and the mutation's name. The adversary model is the same worst case
+/// as [`mutate_reports`]: key in hand, framing and MACs valid, so the
+/// verdict must come from dictionary resolution or path replay.
+pub fn mutate_dict_reports(
+    rng: &mut Rng,
+    key: &[u8],
+    chal: Challenge,
+    reports: &[Report],
+) -> (Vec<Report>, &'static str) {
+    let mut logs: Vec<_> = reports.iter().map(|r| r.log.clone()).collect();
+    let h_mem = reports[0].h_mem;
+    let which = rng.usize_below(logs.len());
+    let name = match rng.range(0, 6) {
+        0 => {
+            // Forge the dictionary id: claim a (likely unknown or
+            // wrong) entry was matched.
+            if let Some(i) = pick(rng, logs[which].dict_hits.len()) {
+                logs[which].dict_hits[i].id = logs[which].dict_hits[i]
+                    .id
+                    .wrapping_add(rng.range(1, 1 + u64::from(u32::MAX)) as u32);
+            }
+            "dict_id"
+        }
+        1 => {
+            // Shift a hit's splice position within the residual MTB
+            // stream (expansion lands at the wrong place).
+            if let Some(i) = pick(rng, logs[which].dict_hits.len()) {
+                logs[which].dict_hits[i].at = rng.next_u32() % 1024;
+            }
+            "dict_at"
+        }
+        2 => {
+            // Drop a hit: the compressed transfers silently vanish.
+            if let Some(i) = pick(rng, logs[which].dict_hits.len()) {
+                logs[which].dict_hits.remove(i);
+            }
+            "dict_drop"
+        }
+        3 => {
+            // Duplicate a hit: the sub-path is replayed twice.
+            if let Some(i) = pick(rng, logs[which].dict_hits.len()) {
+                let h = logs[which].dict_hits[i];
+                logs[which].dict_hits.insert(i, h);
+            }
+            "dict_dup"
+        }
+        4 => {
+            // Inject a fresh hit at a random position.
+            let at = rng.next_u32() % 1024;
+            let id = rng.next_u32() % 64;
+            let n = logs[which].dict_hits.len();
+            let i = rng.usize_below(n + 1);
+            logs[which].dict_hits.insert(i, SubPathHit { at, id });
+            "dict_inject"
+        }
+        _ => {
+            // Swap two hits (ordering violation: `at` must be
+            // non-decreasing for the splice walk).
+            let n = logs[which].dict_hits.len();
+            if n >= 2 {
+                let i = rng.usize_below(n);
+                let j = rng.usize_below(n);
+                logs[which].dict_hits.swap(i, j);
+            }
+            "dict_swap"
+        }
+    };
+    let last = logs.len() - 1;
+    let forged = logs
+        .into_iter()
+        .enumerate()
+        .map(|(i, log)| {
+            Report::new(
+                key,
+                chal,
+                h_mem,
+                log,
+                i as u32,
+                i == last,
+                reports[i].overflow,
+            )
         })
         .collect();
     (forged, name)

@@ -28,13 +28,13 @@ use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::gen::Program;
-use crate::mutate::{mutate_bytes, mutate_reports};
+use crate::mutate::{mutate_bytes, mutate_dict_reports, mutate_reports};
 use crate::rng::{mix, Rng};
 use mcu_sim::{ArchState, Machine, RunOutcome};
 use rap_link::{link, LinkOptions, LinkedProgram, SiteKind};
 use rap_track::{
-    decode_stream, device_key, encode_stream, BatchOptions, CfaEngine, Challenge, EngineConfig,
-    FleetJob, Key, PathEvent, Report, Verifier, WireError,
+    decode_stream, device_key, encode_stream, BatchOptions, CfaEngine, Challenge, DictParams,
+    EngineConfig, FleetJob, Key, PathEvent, Report, SubPathDict, Verifier, Violation, WireError,
 };
 
 /// Per-case oracle configuration, fully determined by the campaign
@@ -66,6 +66,8 @@ pub struct CaseResult {
     pub reports: u64,
     /// Instructions retired by the attested run.
     pub attested_instrs: u64,
+    /// Dictionary-hit records in the compressed (v2) attestation.
+    pub dict_hits: u64,
 }
 
 /// A failed oracle: which one, and a human-readable reason.
@@ -101,9 +103,25 @@ struct Pipeline {
     reports: Vec<Report>,
     transfers: Vec<(u32, u32)>,
     verifier: Verifier,
+    /// The same execution attested through a dictionary mined from the
+    /// plain run — the v2 stream the dict oracles mutate.
+    dict_reports: Vec<Report>,
+    /// Verifier with that dictionary loaded.
+    verifier_dict: Verifier,
+    /// Dictionary-hit records across all dict reports.
+    dict_hits: u64,
 }
 
 const MAX_INSTRS: u64 = 4_000_000;
+
+/// Mining parameters for the per-case dictionary: small generated
+/// programs need low support and short sub-paths to produce hits at
+/// all, and a small table keeps the device matcher cheap.
+const DICT_PARAMS: DictParams = DictParams {
+    top_k: 8,
+    min_support: 2,
+    max_len: 8,
+};
 
 fn build(program: &Program, case_seed: u64, cfg: &OracleConfig) -> Result<Pipeline, CaseFailure> {
     let module = program.lower();
@@ -142,6 +160,33 @@ fn build(program: &Program, case_seed: u64, cfg: &OracleConfig) -> Result<Pipeli
         .build()
         .expect("key/image/map are all set");
 
+    // Dictionary leg: mine sub-paths from the plain run, attest the
+    // same execution again with the device matcher armed, and load the
+    // dictionary into a second verifier.
+    let h_mem = att
+        .reports
+        .first()
+        .ok_or_else(|| CaseFailure::new("pipeline", "attestation produced no reports"))?
+        .h_mem;
+    let dict = SubPathDict::mine(&att.combined_log(), h_mem, "fuzz", DICT_PARAMS);
+    let dict_engine = CfaEngine::new(key.clone()).with_dict(dict.entries().to_vec());
+    let mut dict_machine = Machine::new(linked.image.clone());
+    let dict_att = dict_engine
+        .attest(&mut dict_machine, &linked.map, chal, config)
+        .map_err(|e| CaseFailure::new("pipeline", format!("dict attest: {e}")))?;
+    let dict_hits = dict_att
+        .reports
+        .iter()
+        .map(|r| r.log.dict_hits.len() as u64)
+        .sum();
+    let verifier_dict = Verifier::builder()
+        .key(key.clone())
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .dict(dict)
+        .build()
+        .expect("key/image/map are all set");
+
     Ok(Pipeline {
         linked,
         key,
@@ -154,6 +199,9 @@ fn build(program: &Program, case_seed: u64, cfg: &OracleConfig) -> Result<Pipeli
         reports: att.reports,
         transfers,
         verifier,
+        dict_reports: dict_att.reports,
+        verifier_dict,
+        dict_hits,
     })
 }
 
@@ -303,6 +351,44 @@ fn replay_fidelity(p: &Pipeline) -> Result<Vec<PathEvent>, CaseFailure> {
         ));
     }
 
+    // Dictionary equivalence: the compressed v2 stream must replay to
+    // the identical path through the dictionary-loaded verifier — and
+    // again warm, once the macro cache is populated by the cold pass.
+    for pass in ["cold", "warm"] {
+        let via_dict = p
+            .verifier_dict
+            .verify(p.chal, &p.dict_reports)
+            .map_err(|e| CaseFailure::new(O, format!("dict evidence rejected ({pass}): {e}")))?;
+        if via_dict.events != path.events || via_dict.steps != path.steps {
+            return Err(CaseFailure::new(
+                O,
+                format!("dictionary-bearing replay ({pass}) reconstructed a different path"),
+            ));
+        }
+    }
+    // A dictionary-less verifier must reject the same stream with the
+    // dedicated typed verdict whenever it actually carries hits.
+    if p.dict_hits > 0 {
+        match p.verifier.verify(p.chal, &p.dict_reports) {
+            Err(Violation::DictUnavailable) => {}
+            Ok(_) => {
+                return Err(CaseFailure::new(
+                    O,
+                    "dictionary-less verifier accepted a dictionary-bearing stream",
+                ));
+            }
+            Err(v) => {
+                return Err(CaseFailure::new(
+                    O,
+                    format!(
+                        "dictionary-less verifier rejected with {} instead of DictUnavailable",
+                        v.kind()
+                    ),
+                ));
+            }
+        }
+    }
+
     // Fleet path: the parallel dispatcher with its shared replay cache
     // must agree with the direct call on every clone.
     let jobs: Vec<FleetJob> = (0..2)
@@ -346,6 +432,7 @@ fn wire_error_name(e: &WireError) -> &'static str {
         WireError::BadMagic { .. } => "bad_magic",
         WireError::BadVersion { .. } => "bad_version",
         WireError::BadCount { .. } => "bad_count",
+        WireError::BadRecordKind { .. } => "bad_record_kind",
         // `WireError` is `#[non_exhaustive]` upstream.
         _ => "other",
     }
@@ -400,6 +487,49 @@ fn stream_safety(
         })?;
         *verdicts
             .entry(format!("record:{mname}:{verdict}"))
+            .or_default() += 1;
+    }
+
+    // Dictionary-bearing (v2) stream, same two adversary models. The
+    // dictionary-loaded verifier is the target: resolution of forged
+    // ids, shifted splice points and reordered hits must all end in a
+    // typed verdict.
+    let dict_encoded = encode_stream(&p.dict_reports);
+    for _ in 0..rounds {
+        let (mutated, mname) = mutate_bytes(rng, &dict_encoded);
+        let verdict = catch_unwind(AssertUnwindSafe(|| match decode_stream(&mutated) {
+            Err(e) => wire_error_name(&e).to_string(),
+            Ok(reports) => match p.verifier_dict.verify(p.chal, &reports) {
+                Ok(_) => "accept".to_string(),
+                Err(v) => v.kind().to_string(),
+            },
+        }))
+        .map_err(|_| {
+            CaseFailure::new(
+                O,
+                format!("panic while processing dict byte-level mutation `{mname}`"),
+            )
+        })?;
+        *verdicts
+            .entry(format!("dictbyte:{mname}:{verdict}"))
+            .or_default() += 1;
+    }
+    for _ in 0..rounds {
+        let (forged, mname) = mutate_dict_reports(rng, &p.key, p.chal, &p.dict_reports);
+        let verdict = catch_unwind(AssertUnwindSafe(|| {
+            match p.verifier_dict.verify(p.chal, &forged) {
+                Ok(_) => "accept".to_string(),
+                Err(v) => v.kind().to_string(),
+            }
+        }))
+        .map_err(|_| {
+            CaseFailure::new(
+                O,
+                format!("panic while verifying dict record-level mutation `{mname}`"),
+            )
+        })?;
+        *verdicts
+            .entry(format!("dictrec:{mname}:{verdict}"))
             .or_default() += 1;
     }
     Ok(())
@@ -477,6 +607,7 @@ pub fn run_case(
         path_events: events.len() as u64,
         reports: p.reports.len() as u64,
         attested_instrs: p.attested_outcome.instrs,
+        dict_hits: p.dict_hits,
         ..CaseResult::default()
     };
     let mut mrng = Rng::new(mix(case_seed ^ 0x5AFE_57E4_A11E_D0C5));

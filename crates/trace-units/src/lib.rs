@@ -18,10 +18,12 @@
 #![warn(missing_docs)]
 
 mod dwt;
+mod matcher;
 mod mtb;
 pub mod regs;
 
 pub use dwt::{Dwt, DwtError, DwtSignals, PcRange, RangeAction, NUM_COMPARATORS};
+pub use matcher::{SubPathHit, SubPathMatcher};
 pub use mtb::{Mtb, MtbConfig, TraceEntry};
 pub use regs::{ProgramError, TraceRegFile};
 

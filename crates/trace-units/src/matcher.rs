@@ -1,0 +1,210 @@
+//! Streaming sub-path matcher — the device-side half of the
+//! speculation dictionary (SpecCFA-style, §"sub-path speculation").
+//!
+//! The Secure World feeds every outgoing MTB transfer through a
+//! [`SubPathMatcher`] before a report is signed. The matcher runs one
+//! implicit DFA per dictionary entry: a bounded buffer holds the
+//! transfers that still prefix-match at least one entry, and the
+//! moment no entry can be extended the longest *completed* entry is
+//! emitted as a compact `(at, id)` hit record while unmatched
+//! transfers fall through verbatim. Matching is greedy-longest and
+//! anchored: a new candidate set only opens when the buffer is empty,
+//! which keeps the device-side cost `O(K · max_len)` per transfer with
+//! no backtracking over emitted output.
+//!
+//! The matcher is deliberately ignorant of report formats and keys —
+//! it maps a transfer sequence to (residual transfers, hit records)
+//! and nothing else, so it lives here next to the MTB model it
+//! filters.
+
+use crate::mtb::TraceEntry;
+
+/// One emitted dictionary hit: the entry `id` matched immediately
+/// before residual-output index `at`.
+///
+/// `at` indexes the *compressed* transfer vector: all transfers of the
+/// matched sub-path expand in place of the hit, before the residual
+/// entry at `at` (several hits may share one `at` when matches are
+/// back-to-back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubPathHit {
+    /// Residual-output index the hit expands before.
+    pub at: u32,
+    /// Dictionary entry id.
+    pub id: u32,
+}
+
+/// Greedy streaming matcher over a fixed set of dictionary entries.
+#[derive(Debug, Clone)]
+pub struct SubPathMatcher {
+    entries: Vec<Vec<TraceEntry>>,
+    buf: Vec<TraceEntry>,
+    out: Vec<TraceEntry>,
+    hits: Vec<SubPathHit>,
+}
+
+impl SubPathMatcher {
+    /// Creates a matcher for the given dictionary entries. Entries of
+    /// length < 2 can never compress (a hit record is 9 wire bytes, a
+    /// transfer 8) and are ignored.
+    pub fn new(entries: Vec<Vec<TraceEntry>>) -> SubPathMatcher {
+        SubPathMatcher {
+            entries,
+            buf: Vec::new(),
+            out: Vec::new(),
+            hits: Vec::new(),
+        }
+    }
+
+    /// Feeds one outgoing transfer.
+    pub fn feed(&mut self, t: TraceEntry) {
+        self.buf.push(t);
+        self.settle(false);
+    }
+
+    /// Flushes the pending buffer and returns the residual transfers
+    /// plus the hit records, in stream order.
+    pub fn finish(mut self) -> (Vec<TraceEntry>, Vec<SubPathHit>) {
+        self.settle(true);
+        (self.out, self.hits)
+    }
+
+    /// Resolves the buffer as far as the greedy policy allows. While
+    /// any entry strictly extends the buffered prefix we wait for more
+    /// input (`flush` forgoes that wait); otherwise the longest
+    /// completed entry (ties → lowest id) is emitted and the match
+    /// re-anchors, or the front transfer falls through to the residual
+    /// output.
+    fn settle(&mut self, flush: bool) {
+        while !self.buf.is_empty() {
+            if !flush
+                && self
+                    .entries
+                    .iter()
+                    .any(|e| e.len() > self.buf.len() && e[..self.buf.len()] == self.buf[..])
+            {
+                return;
+            }
+            let complete = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.len() >= 2 && self.buf.starts_with(e))
+                .max_by(|(ia, ea), (ib, eb)| ea.len().cmp(&eb.len()).then(ib.cmp(ia)));
+            if let Some((id, entry)) = complete {
+                self.hits.push(SubPathHit {
+                    at: self.out.len() as u32,
+                    id: id as u32,
+                });
+                self.buf.drain(..entry.len());
+            } else {
+                let front = self.buf.remove(0);
+                self.out.push(front);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(source: u32, dest: u32) -> TraceEntry {
+        TraceEntry { source, dest }
+    }
+
+    fn run(
+        entries: Vec<Vec<TraceEntry>>,
+        input: &[TraceEntry],
+    ) -> (Vec<TraceEntry>, Vec<SubPathHit>) {
+        let mut m = SubPathMatcher::new(entries);
+        for &e in input {
+            m.feed(e);
+        }
+        m.finish()
+    }
+
+    #[test]
+    fn no_entries_passes_through() {
+        let input = [t(1, 2), t(3, 4)];
+        let (out, hits) = run(vec![], &input);
+        assert_eq!(out, input);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn exact_repeated_match_compresses() {
+        let body = vec![t(1, 2), t(3, 4)];
+        let mut input = Vec::new();
+        for _ in 0..3 {
+            input.extend_from_slice(&body);
+        }
+        let (out, hits) = run(vec![body], &input);
+        assert!(out.is_empty());
+        assert_eq!(
+            hits,
+            vec![
+                SubPathHit { at: 0, id: 0 },
+                SubPathHit { at: 0, id: 0 },
+                SubPathHit { at: 0, id: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn greedy_prefers_longest_entry() {
+        let short = vec![t(1, 2), t(3, 4)];
+        let long = vec![t(1, 2), t(3, 4), t(5, 6)];
+        let (out, hits) = run(vec![short, long], &[t(1, 2), t(3, 4), t(5, 6), t(9, 9)]);
+        assert_eq!(out, vec![t(9, 9)]);
+        assert_eq!(hits, vec![SubPathHit { at: 0, id: 1 }]);
+    }
+
+    #[test]
+    fn failed_extension_falls_back_to_completed_prefix() {
+        // The long entry's prefix matches but its tail never arrives;
+        // the short completed entry must still be emitted.
+        let short = vec![t(1, 2), t(3, 4)];
+        let long = vec![t(1, 2), t(3, 4), t(5, 6)];
+        let (out, hits) = run(vec![short, long], &[t(1, 2), t(3, 4), t(7, 8)]);
+        assert_eq!(out, vec![t(7, 8)]);
+        assert_eq!(hits, vec![SubPathHit { at: 0, id: 0 }]);
+    }
+
+    #[test]
+    fn partial_prefix_at_finish_falls_through() {
+        let entry = vec![t(1, 2), t(3, 4), t(5, 6)];
+        let (out, hits) = run(vec![entry], &[t(1, 2), t(3, 4)]);
+        assert_eq!(out, vec![t(1, 2), t(3, 4)]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn unmatched_front_reanchors_the_window() {
+        let entry = vec![t(1, 2), t(3, 4)];
+        let (out, hits) = run(
+            vec![entry],
+            &[t(9, 9), t(1, 2), t(3, 4), t(9, 9), t(1, 2), t(3, 4)],
+        );
+        assert_eq!(out, vec![t(9, 9), t(9, 9)]);
+        assert_eq!(
+            hits,
+            vec![SubPathHit { at: 1, id: 0 }, SubPathHit { at: 2, id: 0 }]
+        );
+    }
+
+    #[test]
+    fn single_transfer_entries_are_ignored() {
+        let (out, hits) = run(vec![vec![t(1, 2)]], &[t(1, 2), t(1, 2)]);
+        assert_eq!(out, vec![t(1, 2), t(1, 2)]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn tie_on_length_takes_lowest_id() {
+        let a = vec![t(1, 2), t(3, 4)];
+        let b = vec![t(1, 2), t(3, 4)];
+        let (_, hits) = run(vec![a, b], &[t(1, 2), t(3, 4)]);
+        assert_eq!(hits, vec![SubPathHit { at: 0, id: 0 }]);
+    }
+}

@@ -13,7 +13,9 @@ use std::fmt;
 use crate::DwtSignals;
 
 /// One MTB trace packet: an executed non-sequential transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Ordered (source, then dest) so transfer sequences can key ordered
+/// collections — the dictionary miner relies on that for determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TraceEntry {
     /// Address of the branching instruction.
     pub source: u32,

@@ -41,6 +41,11 @@ run cargo bench -p rap-bench --bench scaling -- --quick --json "$PWD/BENCH_scali
 # Saturation gate: pipelined throughput at 8 clients must stay >= 3x
 # the connection-per-round baseline on loopback.
 run cargo bench -p rap-bench --bench serve -- --quick --json "$PWD/BENCH_serve.json" --enforce
+# Dictionary gate: on the loop-heavy workloads the mined sub-path
+# dictionary must save >= 30% wire bytes and speed single-stream
+# verification up by >= 1.15x (with replay equivalence asserted
+# against the plain stream before anything is timed).
+run cargo bench -p rap-bench --bench dict -- --quick --json "$PWD/BENCH_dict.json" --enforce
 
 # Serve smoke: one real loopback deployment of the attestation service
 # with the telemetry plane bound (--admin). The server gets a
@@ -127,5 +132,41 @@ grep -q "served 3 connection" "$SMOKE_DIR/serve.log" || {
     cat "$SMOKE_DIR/serve.log" >&2
     exit 1
 }
+
+# Dictionary smoke: the full `rap profile` loop on a loop-heavy
+# program — profile once, attest with the dictionary loaded, assert
+# the compressed report stream actually shrank on disk, then verify it
+# with the same dictionary. The artifact lands in $PWD so CI uploads
+# it next to BENCH_dict.json.
+echo "==> dict smoke (profile, compressed attest, verify --dict)"
+cat > "$SMOKE_DIR/loopy.tasm" <<'EOF'
+.func main
+    movw r0, #40
+    movw r1, #0
+loop:
+    cmp r1, #100
+    beq skip
+    adds r1, r1, #1
+skip:
+    subs r0, r0, #1
+    cmp r0, #0
+    bne loop
+    halt
+EOF
+"$RAP" link "$SMOKE_DIR/loopy.tasm" -o "$SMOKE_DIR/loopy.img" -m "$SMOKE_DIR/loopy.map"
+run "$RAP" profile "$SMOKE_DIR/loopy.img" "$SMOKE_DIR/loopy.map" -o "$PWD/PROFILE_loopy.dict"
+"$RAP" attest "$SMOKE_DIR/loopy.img" "$SMOKE_DIR/loopy.map" --chal 7 \
+    -o "$SMOKE_DIR/plain.rpt"
+"$RAP" attest "$SMOKE_DIR/loopy.img" "$SMOKE_DIR/loopy.map" --chal 7 \
+    --dict "$PWD/PROFILE_loopy.dict" -o "$SMOKE_DIR/dict.rpt"
+PLAIN_BYTES=$(wc -c < "$SMOKE_DIR/plain.rpt")
+DICT_BYTES=$(wc -c < "$SMOKE_DIR/dict.rpt")
+if [ "$DICT_BYTES" -ge "$PLAIN_BYTES" ]; then
+    echo "dict smoke: compressed report did not shrink ($DICT_BYTES >= $PLAIN_BYTES bytes)" >&2
+    exit 1
+fi
+echo "dict smoke: report stream $PLAIN_BYTES -> $DICT_BYTES bytes"
+run "$RAP" verify "$SMOKE_DIR/loopy.img" "$SMOKE_DIR/loopy.map" "$SMOKE_DIR/dict.rpt" \
+    --chal 7 --dict "$PWD/PROFILE_loopy.dict"
 
 echo "==> all checks passed"

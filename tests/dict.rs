@@ -1,0 +1,274 @@
+//! Dictionary-compression equivalence: for every workload, replaying a
+//! dictionary-compressed (v2) report stream must be *observationally
+//! identical* to replaying the plain stream — same [`VerifiedPath`],
+//! same [`PathStats`], same policy findings — and every way the
+//! dictionary can be wrong must map to its own typed [`Violation`].
+
+use rap_track::{
+    decode_stream, device_key, encode_stream, CfaEngine, Challenge, DictParams, EngineConfig,
+    PathPolicy, PathStats, Report, SubPathDict, VerifiedPath, Verifier, Violation,
+};
+
+const PARAMS: DictParams = DictParams {
+    top_k: 32,
+    min_support: 3,
+    max_len: 16,
+};
+
+struct Legs {
+    plain_reports: Vec<Report>,
+    dict_reports: Vec<Report>,
+    dict_hits: usize,
+    plain_path: VerifiedPath,
+    dict_path: VerifiedPath,
+    verifier_plain: Verifier,
+    verifier_dict: Verifier,
+    dict: SubPathDict,
+    linked: rap_link::LinkedProgram,
+    chal: Challenge,
+    key: rap_track::Key,
+}
+
+fn attest(
+    w: &workloads::Workload,
+    linked: &rap_link::LinkedProgram,
+    engine: &CfaEngine,
+    chal: Challenge,
+) -> rap_track::Attestation {
+    let mut machine = mcu_sim::Machine::new(linked.image.clone());
+    (w.attach)(&mut machine);
+    engine
+        .attest(
+            &mut machine,
+            &linked.map,
+            chal,
+            EngineConfig {
+                watermark: Some(448),
+                max_instrs: w.max_instrs * 2,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: attest: {e}", w.name))
+}
+
+/// Runs one workload through both legs — plain and dictionary — and
+/// verifies both streams.
+fn both_legs(w: &workloads::Workload) -> Legs {
+    let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default()).unwrap();
+    let key = device_key("dict-test");
+    let chal = Challenge::from_seed(7);
+
+    let plain = attest(w, &linked, &CfaEngine::new(key.clone()), chal);
+    let h_mem = plain.reports.first().expect("reports").h_mem;
+    let dict = SubPathDict::mine(&plain.combined_log(), h_mem, w.name, PARAMS);
+    let compressed = attest(
+        w,
+        &linked,
+        &CfaEngine::new(key.clone()).with_dict(dict.entries().to_vec()),
+        chal,
+    );
+    let dict_hits = compressed
+        .reports
+        .iter()
+        .map(|r| r.log.dict_hits.len())
+        .sum();
+
+    let verifier_plain = Verifier::builder()
+        .key(key.clone())
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .unwrap();
+    let verifier_dict = Verifier::builder()
+        .key(key.clone())
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .dict(dict.clone())
+        .build()
+        .unwrap();
+
+    let plain_path = verifier_plain
+        .verify(chal, &plain.reports)
+        .unwrap_or_else(|e| panic!("{}: plain verify: {e}", w.name));
+    let dict_path = verifier_dict
+        .verify(chal, &compressed.reports)
+        .unwrap_or_else(|e| panic!("{}: dict verify: {e}", w.name));
+
+    Legs {
+        plain_reports: plain.reports,
+        dict_reports: compressed.reports,
+        dict_hits,
+        plain_path,
+        dict_path,
+        verifier_plain,
+        verifier_dict,
+        dict,
+        linked,
+        chal,
+        key,
+    }
+}
+
+/// The headline equivalence: identical [`VerifiedPath`], identical
+/// structural stats, identical policy findings, on every workload.
+#[test]
+fn dict_replay_is_observationally_identical() {
+    for w in workloads::all() {
+        let legs = both_legs(&w);
+        assert_eq!(
+            legs.plain_path, legs.dict_path,
+            "{}: VerifiedPath diverged",
+            w.name
+        );
+        assert_eq!(
+            PathStats::of(&legs.plain_path),
+            PathStats::of(&legs.dict_path),
+            "{}: PathStats diverged",
+            w.name
+        );
+        // A policy that generates findings on most paths: forbid any
+        // indirect jumps and bound every optimized loop tightly.
+        let mut policy = PathPolicy::new().bound_indirect_jumps(0);
+        for header in PathStats::of(&legs.plain_path)
+            .loop_iterations_by_header
+            .keys()
+        {
+            policy = policy.bound_loop(*header, 1);
+        }
+        assert_eq!(
+            policy.check(&legs.plain_path),
+            policy.check(&legs.dict_path),
+            "{}: policy findings diverged",
+            w.name
+        );
+    }
+}
+
+/// Dictionaries must actually fire and shrink the wire image on the
+/// loop-dominated workloads — otherwise the equivalence above is
+/// vacuous.
+#[test]
+fn dict_compresses_loop_heavy_workloads() {
+    for name in ["prime", "crc32", "bubblesort", "matmult", "fir"] {
+        let w = workloads::by_name(name).unwrap();
+        let legs = both_legs(&w);
+        assert!(legs.dict_hits > 0, "{name}: no dictionary hits");
+        let plain_bytes = encode_stream(&legs.plain_reports).len();
+        let dict_bytes = encode_stream(&legs.dict_reports).len();
+        assert!(
+            dict_bytes < plain_bytes,
+            "{name}: wire did not shrink ({dict_bytes} vs {plain_bytes})"
+        );
+    }
+}
+
+/// A dictionary mined for a different binary must be rejected with the
+/// dedicated typed verdict, not replayed.
+#[test]
+fn wrong_image_dict_rejects_typed() {
+    let w = workloads::by_name("prime").unwrap();
+    let legs = both_legs(&w);
+    if legs.dict_hits == 0 {
+        panic!("prime produced no dictionary hits");
+    }
+    let wrong = SubPathDict::mine(
+        &rap_track::CfLog {
+            mtb: legs.dict_reports[0].log.mtb.clone(),
+            loop_records: vec![],
+            dict_hits: vec![],
+        },
+        [0xAA; 32],
+        "other-binary",
+        PARAMS,
+    );
+    let verifier = Verifier::builder()
+        .key(legs.key.clone())
+        .image(legs.linked.image.clone())
+        .map(legs.linked.map.clone())
+        .dict(wrong)
+        .build()
+        .unwrap();
+    match verifier.verify(legs.chal, &legs.dict_reports) {
+        Err(Violation::DictImageMismatch) => {}
+        other => panic!("expected DictImageMismatch, got {other:?}"),
+    }
+}
+
+/// A hit record referencing an id the dictionary does not define must
+/// reject with `UnknownDictId`, carrying the offending id.
+#[test]
+fn unknown_dict_id_rejects_typed() {
+    let w = workloads::by_name("prime").unwrap();
+    let legs = both_legs(&w);
+    let bogus = legs.dict.len() as u32 + 17;
+    let last = legs.dict_reports.len() - 1;
+    let forged: Vec<Report> = legs
+        .dict_reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut log = r.log.clone();
+            for h in &mut log.dict_hits {
+                h.id = bogus;
+            }
+            Report::new(
+                &legs.key,
+                legs.chal,
+                r.h_mem,
+                log,
+                i as u32,
+                i == last,
+                r.overflow,
+            )
+        })
+        .collect();
+    match legs.verifier_dict.verify(legs.chal, &forged) {
+        Err(Violation::UnknownDictId { id }) => assert_eq!(id, bogus),
+        other => panic!("expected UnknownDictId, got {other:?}"),
+    }
+}
+
+/// A dictionary-bearing stream presented to a verifier with no
+/// dictionary loaded must reject with `DictUnavailable` — silently
+/// ignoring the hits would drop evidence.
+#[test]
+fn dict_stream_without_dict_rejects_typed() {
+    let w = workloads::by_name("prime").unwrap();
+    let legs = both_legs(&w);
+    assert!(legs.dict_hits > 0);
+    match legs.verifier_plain.verify(legs.chal, &legs.dict_reports) {
+        Err(Violation::DictUnavailable) => {}
+        other => panic!("expected DictUnavailable, got {other:?}"),
+    }
+}
+
+/// Wire round-trips pinned for both format versions: a v1 (plain)
+/// stream and a v2 (dictionary-bearing) stream must each survive
+/// encode → decode → encode byte-identically, and the version byte
+/// must only be bumped when hit records are present.
+#[test]
+fn wire_round_trips_pinned_v1_and_v2() {
+    let w = workloads::by_name("prime").unwrap();
+    let legs = both_legs(&w);
+
+    let v1 = encode_stream(&legs.plain_reports);
+    let decoded_v1 = decode_stream(&v1).expect("v1 decodes");
+    assert_eq!(encode_stream(&decoded_v1), v1, "v1 round-trip drifted");
+    assert_eq!(v1[4], 1, "plain stream must stay on wire version 1");
+
+    let v2 = encode_stream(&legs.dict_reports);
+    let decoded_v2 = decode_stream(&v2).expect("v2 decodes");
+    assert_eq!(encode_stream(&decoded_v2), v2, "v2 round-trip drifted");
+    assert!(
+        legs.dict_reports
+            .iter()
+            .any(|r| !r.log.dict_hits.is_empty()),
+        "prime stream carries hits"
+    );
+
+    // Decoded logs are structurally identical to what was encoded.
+    for (a, b) in decoded_v2.iter().zip(&legs.dict_reports) {
+        assert_eq!(a.log.dict_hits, b.log.dict_hits);
+        assert_eq!(a.log.mtb, b.log.mtb);
+        assert_eq!(a.log.loop_records, b.log.loop_records);
+    }
+}

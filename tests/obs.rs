@@ -232,14 +232,14 @@ fn metrics_json_matches_verifier_stats() {
     let _guard = lock();
     let (img, map_text, _) =
         rap_cli::cmd_link(rap_cli::DEMO_PROGRAM, rap_cli::LinkCmdOptions::default()).unwrap();
-    let (stream, _) = rap_cli::cmd_attest(&img, &map_text, 0, 7, "obs-test", None).unwrap();
+    let (stream, _) = rap_cli::cmd_attest(&img, &map_text, 0, 7, "obs-test", None, None).unwrap();
     let streams: Vec<(String, Vec<u8>)> = (0..6)
         .map(|i| (format!("dev-{i}.rpt"), stream.clone()))
         .collect();
 
     let baseline = rap_obs::global().snapshot();
     let (ok, _, stats) =
-        rap_cli::cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "obs-test", 4).unwrap();
+        rap_cli::cmd_verify_fleet(&img, &map_text, &streams, 0, 7, "obs-test", 4, None).unwrap();
     assert!(ok);
     let json = rap_cli::metrics_json(&baseline, &stats);
 
