@@ -1,0 +1,228 @@
+//! `rap fleet` — the fleet control plane commands (library form).
+//!
+//! - `run`: drive a deterministic simulated fleet (rap-fleet's
+//!   loopback sim) and print its transition log plus a summary table.
+//! - `status`: render a persisted registry JSON (or a live admin
+//!   STATS scrape — the `fleet` section) as a table.
+//! - `quarantine` / `heal`: apply an operator override to a persisted
+//!   registry and return the updated document.
+
+use std::fmt::Write as _;
+
+use rap_fleet::{Event, Registry, SimConfig};
+
+use crate::CliError;
+
+impl From<rap_fleet::SimError> for CliError {
+    fn from(e: rap_fleet::SimError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+impl From<rap_fleet::RegistryParseError> for CliError {
+    fn from(e: rap_fleet::RegistryParseError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+/// Options for [`cmd_fleet_run`].
+#[derive(Debug, Clone)]
+pub struct FleetRunOptions {
+    /// Total simulated devices.
+    pub devices: usize,
+    /// Devices that flip to forged reports mid-run.
+    pub compromised: usize,
+    /// Devices that skip roughly half their slots.
+    pub flaky: usize,
+    /// Scheduler slots to drive.
+    pub slots: u64,
+    /// Seed for every actor decision.
+    pub seed: u64,
+}
+
+impl Default for FleetRunOptions {
+    fn default() -> FleetRunOptions {
+        FleetRunOptions {
+            devices: 4,
+            compromised: 1,
+            flaky: 0,
+            slots: 24,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// Renders one registry document as the operator-facing status table.
+fn render_registry(registry: &Registry) -> String {
+    let counts = registry.state_counts();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet: {} device(s) — {} healthy, {} suspect, {} quarantined, {} reprovisioning",
+        registry.len(),
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3]
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:<15} {:>7} {:>8} {:>9} {:>6} {:>12} {:>10}",
+        "DEVICE", "STATE", "ROUNDS", "REJECTS", "TIMEOUTS", "GATED", "QUARANTINES", "SINCE_MS"
+    );
+    for (name, m) in registry.devices() {
+        let _ = writeln!(
+            out,
+            "{:<16} {:<15} {:>7} {:>8} {:>9} {:>6} {:>12} {:>10}",
+            name,
+            m.state().as_str(),
+            m.rounds,
+            m.rejects,
+            m.timeouts,
+            m.gated,
+            m.quarantine_count,
+            m.state_since_ms()
+        );
+    }
+    if !registry.transitions().is_empty() {
+        let _ = writeln!(out, "transitions:");
+        for r in registry.transitions() {
+            let _ = writeln!(out, "  {}", r.render());
+        }
+    }
+    out
+}
+
+/// Runs the simulated fleet. Returns `(ok, summary, registry_json)`:
+/// `ok` is false when a compromised device ended the run unhealed and
+/// unquarantined (detection failed), the summary is deterministic for
+/// a given option set, and the JSON is the final registry document
+/// (what `rap fleet status` consumes).
+pub fn cmd_fleet_run(options: &FleetRunOptions) -> Result<(bool, String, String), CliError> {
+    if options.compromised + options.flaky > options.devices {
+        return Err(CliError("--compromised + --flaky exceeds --devices".into()));
+    }
+    let config = SimConfig {
+        devices: options.devices,
+        compromised: options.compromised,
+        flaky: options.flaky,
+        slots: options.slots,
+        seed: options.seed,
+        // Flip a third of the way in, stay compromised to the end —
+        // the run must *contain* the device, not wait for remediation.
+        flip_at_slot: options.slots / 3,
+        restore_at_slot: u64::MAX,
+        policy: SimConfig::demo_policy(),
+        admin: false,
+    };
+    let report = rap_fleet::run_sim(&config)?;
+
+    let registry = Registry::from_json(&report.registry_json)?;
+    let mut summary = render_registry(&registry);
+    let _ = writeln!(
+        summary,
+        "rounds: {} driven, {} accepted, {} rejected, {} timeout(s); {} session(s) resumed",
+        report.rounds_driven,
+        report.accepted,
+        report.rejected,
+        report.timeouts,
+        report.server.resumed
+    );
+
+    // Containment check: every compromised device must have left
+    // Healthy (quarantined, or at least suspect/reprovisioning).
+    let contained = report
+        .states
+        .iter()
+        .take(options.compromised)
+        .all(|(_, &s)| s != rap_fleet::DeviceState::Healthy);
+    let _ = writeln!(
+        summary,
+        "verdict: {}",
+        if contained {
+            "OK (compromised devices contained)"
+        } else if options.compromised == 0 {
+            "OK"
+        } else {
+            "DETECTION FAILED"
+        }
+    );
+    Ok((
+        contained || options.compromised == 0,
+        summary,
+        report.registry_json.to_pretty(),
+    ))
+}
+
+/// Extracts the registry document from `text`: either a registry JSON
+/// written by `rap fleet run --json`, or a full admin STATS document
+/// (uses its top-level `fleet` section).
+fn registry_of(text: &str) -> Result<Registry, CliError> {
+    let doc = rap_obs::json::parse(text)?;
+    let registry_doc = doc.get("fleet").unwrap_or(&doc);
+    Ok(Registry::from_json(registry_doc)?)
+}
+
+/// Renders a registry document (file contents) as the status table,
+/// or re-serializes it compactly with `json_out`.
+pub fn cmd_fleet_status(text: &str, json_out: bool) -> Result<String, CliError> {
+    let registry = registry_of(text)?;
+    if json_out {
+        Ok(registry.to_json().to_compact())
+    } else {
+        Ok(render_registry(&registry))
+    }
+}
+
+/// Scrapes a live admin endpoint and renders its fleet section.
+pub fn cmd_fleet_status_remote(addr: &str, json_out: bool) -> Result<String, CliError> {
+    let body = rap_serve::AdminClient::new(addr.to_string())
+        .connect()?
+        .stats(rap_serve::StatsFormat::Json)?;
+    let doc = rap_obs::json::parse(&body)?;
+    let fleet = doc.get("fleet").ok_or_else(|| {
+        CliError("admin STATS has no fleet section (no fleet plane attached)".into())
+    })?;
+    if json_out {
+        Ok(fleet.to_compact())
+    } else {
+        Ok(render_registry(&Registry::from_json(fleet)?))
+    }
+}
+
+/// Applies an operator override (`quarantine` / `heal`) to a persisted
+/// registry document. Returns `(report_line, updated_json)` — the
+/// caller writes the JSON back where it came from.
+pub fn cmd_fleet_admin(
+    text: &str,
+    device: &str,
+    quarantine: bool,
+) -> Result<(String, String), CliError> {
+    let mut registry = registry_of(text)?;
+    if registry.device(device).is_none() {
+        return Err(CliError(format!("unknown device `{device}`")));
+    }
+    // Admin time: strictly after everything the log has seen, so the
+    // override sorts last.
+    let now_ms = registry
+        .devices()
+        .map(|(_, m)| m.state_since_ms())
+        .chain(registry.transitions().iter().map(|r| r.transition.at_ms))
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let event = if quarantine {
+        Event::AdminQuarantine
+    } else {
+        Event::AdminHeal
+    };
+    let fired = registry.observe(device, now_ms, event);
+    let line = match fired.last() {
+        Some(t) => format!("{device}: {} -> {} ({})", t.from, t.to, t.cause),
+        None => format!(
+            "{device}: already {}",
+            registry.device(device).expect("checked above").state()
+        ),
+    };
+    Ok((line, registry.to_json().to_pretty()))
+}

@@ -15,6 +15,12 @@
 
 #![warn(missing_docs)]
 
+mod fleet;
+
+pub use fleet::{
+    cmd_fleet_admin, cmd_fleet_run, cmd_fleet_status, cmd_fleet_status_remote, FleetRunOptions,
+};
+
 use std::fmt;
 
 use armv8m_isa::{parse_module, Image};

@@ -36,6 +36,12 @@ USAGE:
               [--window W] [--resume] [--dict DICT] [--base ADDR]
   rap top     <admin-addr> [--interval MS] [--iters N] [--k K]
               [--no-clear] [--smoke OUT.json]   # live dashboard
+  rap fleet   run [--devices N] [--compromised K] [--flaky K]
+              [--slots S] [--seed N] [--json OUT.json]
+              # deterministic simulated fleet: compromise -> quarantine
+  rap fleet   status <registry.json | admin-addr> [--json]
+  rap fleet   quarantine <registry.json> <device>
+  rap fleet   heal <registry.json> <device>
   rap stats   <metrics.json>          # render a --metrics artifact
   rap stats   --watch <admin-addr> [--interval MS] [--iters N]
   rap inspect <map>
@@ -88,6 +94,10 @@ impl Args {
                         | "min-support"
                         | "max-len"
                         | "max-instrs"
+                        | "devices"
+                        | "compromised"
+                        | "flaky"
+                        | "slots"
                 ) || name == "o"
                     || name == "m";
                 let value = if takes_value {
@@ -513,6 +523,62 @@ fn run() -> Result<(), CliError> {
                 padding: args.num("pad", 1)? as u32,
             };
             print!("{}", rap_cli::cmd_explain(&source, options)?);
+        }
+        "fleet" => {
+            need(1)?;
+            match args.positional[0].as_str() {
+                "run" => {
+                    let defaults = rap_cli::FleetRunOptions::default();
+                    let options = rap_cli::FleetRunOptions {
+                        devices: args.num("devices", defaults.devices as u64)?.max(1) as usize,
+                        compromised: args.num("compromised", defaults.compromised as u64)? as usize,
+                        flaky: args.num("flaky", defaults.flaky as u64)? as usize,
+                        slots: args.num("slots", defaults.slots)?.max(1),
+                        seed: args.num("seed", defaults.seed)?,
+                    };
+                    let (ok, summary, registry_json) = rap_cli::cmd_fleet_run(&options)?;
+                    if let Some(path) = args.flag("json") {
+                        fs::write(path, registry_json)?;
+                        // stderr, so stdout stays byte-identical
+                        // across runs with the same seed.
+                        eprintln!("registry -> {path}");
+                    }
+                    print!("{summary}");
+                    if !ok {
+                        std::process::exit(1);
+                    }
+                }
+                "status" => {
+                    need(2)?;
+                    let source = &args.positional[1];
+                    let json_out = args.has("json");
+                    let rendered = match fs::read_to_string(source) {
+                        Ok(text) => rap_cli::cmd_fleet_status(&text, json_out)?,
+                        // Not a readable file: treat it as a live
+                        // admin address and scrape the fleet section.
+                        Err(_) => rap_cli::cmd_fleet_status_remote(source, json_out)?,
+                    };
+                    print!("{rendered}");
+                    if json_out {
+                        println!();
+                    }
+                }
+                sub @ ("quarantine" | "heal") => {
+                    need(3)?;
+                    let path = &args.positional[1];
+                    let device = &args.positional[2];
+                    let text = fs::read_to_string(path)?;
+                    let (line, updated) =
+                        rap_cli::cmd_fleet_admin(&text, device, sub == "quarantine")?;
+                    fs::write(path, updated)?;
+                    println!("{line}");
+                }
+                other => {
+                    return Err(CliError(format!(
+                        "unknown fleet subcommand `{other}`\n\n{USAGE}"
+                    )));
+                }
+            }
         }
         "demo" => {
             print!("{}", rap_cli::DEMO_PROGRAM);

@@ -1,0 +1,115 @@
+//! The periodic challenge scheduler: decides *when* each registered
+//! device is next challenged, in logical time, with quarantined
+//! devices throttled to every Nth interval.
+//!
+//! The scheduler is deliberately dumb — a due-time map, no threads.
+//! The driver (a fleet simulation, or a deployment loop mapping
+//! logical to wall time) advances the clock, asks [`Scheduler::due`]
+//! who to challenge, runs the rounds, and calls
+//! [`Scheduler::reschedule`] with each device's post-round state.
+
+use std::collections::BTreeMap;
+
+use crate::state::{DeviceState, Policy};
+
+/// Per-device next-challenge times in logical milliseconds.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    next_due_ms: BTreeMap<String, u64>,
+}
+
+impl Scheduler {
+    /// An empty schedule.
+    pub fn new() -> Scheduler {
+        Scheduler::default()
+    }
+
+    /// Registers `device`, first due at `now_ms` (idempotent — an
+    /// already-scheduled device keeps its slot).
+    pub fn add(&mut self, device: &str, now_ms: u64) {
+        self.next_due_ms.entry(device.to_string()).or_insert(now_ms);
+    }
+
+    /// Removes `device` from the schedule.
+    pub fn remove(&mut self, device: &str) {
+        self.next_due_ms.remove(device);
+    }
+
+    /// Devices due at `now_ms`, name-ordered (BTreeMap iteration), so
+    /// a fixed seed drives rounds in a reproducible order.
+    pub fn due(&self, now_ms: u64) -> Vec<String> {
+        self.next_due_ms
+            .iter()
+            .filter(|(_, &due)| due <= now_ms)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Schedules `device`'s next challenge after a round (or skipped
+    /// round) at `now_ms`: one interval ahead normally,
+    /// [`Policy::quarantine_throttle`] intervals ahead while
+    /// quarantined. Returns the new due time.
+    pub fn reschedule(
+        &mut self,
+        device: &str,
+        now_ms: u64,
+        state: DeviceState,
+        policy: &Policy,
+    ) -> u64 {
+        let factor = if state == DeviceState::Quarantined {
+            u64::from(policy.quarantine_throttle.max(1))
+        } else {
+            1
+        };
+        let due = now_ms.saturating_add(policy.round_interval_ms.saturating_mul(factor));
+        self.next_due_ms.insert(device.to_string(), due);
+        due
+    }
+
+    /// The earliest due time across the fleet (None when empty) — a
+    /// wall-clock driver sleeps until this.
+    pub fn next_wake_ms(&self) -> Option<u64> {
+        self.next_due_ms.values().copied().min()
+    }
+
+    /// Number of scheduled devices.
+    pub fn len(&self) -> usize {
+        self.next_due_ms.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.next_due_ms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_throttles_by_policy_factor() {
+        let policy = Policy {
+            round_interval_ms: 10,
+            quarantine_throttle: 4,
+            ..Policy::default()
+        };
+        let mut s = Scheduler::new();
+        s.add("a", 0);
+        s.add("b", 0);
+        assert_eq!(s.due(0), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(s.reschedule("a", 0, DeviceState::Healthy, &policy), 10);
+        assert_eq!(s.reschedule("b", 0, DeviceState::Quarantined, &policy), 40);
+        assert_eq!(s.due(10), vec!["a".to_string()]);
+        assert_eq!(s.due(40), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(s.next_wake_ms(), Some(10));
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut s = Scheduler::new();
+        s.add("a", 5);
+        s.add("a", 99);
+        assert_eq!(s.next_wake_ms(), Some(5));
+    }
+}

@@ -1,0 +1,381 @@
+//! A deterministic simulated fleet over loopback TCP: SplitMix64-
+//! seeded device actors attesting against a real [`rap_serve::Server`]
+//! with the fleet plane attached via the verdict hook, driven on a
+//! logical clock so the same seed reproduces the same transitions
+//! byte-for-byte.
+//!
+//! Actors run one round per scheduled slot on a short-lived
+//! connection, parking their session with `close()` and reconnecting
+//! via the resumption token on the next slot — so the nonce chain (and
+//! the registry's view of the device) survives reconnects, which is
+//! exactly the property the quarantine tests lean on. A compromisable
+//! actor flips to forged reports mid-run (redirected MTB packet,
+//! re-signed — authentication passes, replay rejects), modelling a
+//! code-reuse attack on a device that still holds its key; restoring
+//! it models a re-flash.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use rap_serve::{AttestClient, ClientConfig, ResumeToken, Server, ServerConfig, ServerStats};
+use rap_track::{CfaEngine, Challenge, EngineConfig, Key, Report, Verifier};
+
+use crate::registry::FleetPlane;
+use crate::sched::Scheduler;
+use crate::state::{DeviceState, Event, Policy};
+
+/// SplitMix64 — the repo-standard deterministic generator, local so
+/// the crate stays dependency-free.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Configuration of one simulated fleet run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Total devices (`dev-000`, `dev-001`, …).
+    pub devices: usize,
+    /// How many (the lowest-numbered) flip to forged reports at
+    /// [`SimConfig::flip_at_slot`].
+    pub compromised: usize,
+    /// How many (after the compromised block) are flaky: they skip
+    /// roughly half their slots, which the scheduler records as
+    /// timeouts.
+    pub flaky: usize,
+    /// Scheduler slots to drive; slot `s` is logical time
+    /// `s · round_interval_ms`.
+    pub slots: u64,
+    /// Seed for every actor decision.
+    pub seed: u64,
+    /// Slot at which compromised actors start forging.
+    pub flip_at_slot: u64,
+    /// Slot at which compromised actors are "re-flashed" benign
+    /// (models remediation; lets the quarantine → heal loop complete).
+    pub restore_at_slot: u64,
+    /// The fleet policy, in logical time.
+    pub policy: Policy,
+    /// Bind the admin plane and include fleet state in STATS JSON.
+    pub admin: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            devices: 4,
+            compromised: 1,
+            flaky: 0,
+            slots: 24,
+            seed: 0xF1EE7,
+            flip_at_slot: 4,
+            restore_at_slot: 10,
+            policy: SimConfig::demo_policy(),
+            admin: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A policy scaled to the simulation's logical clock (100 ms
+    /// slots) so the full compromise → quarantine → heal loop fits in
+    /// a few dozen slots.
+    pub fn demo_policy() -> Policy {
+        Policy {
+            suspect_after: 1,
+            quarantine_after: 2,
+            heal_accepts: 2,
+            timeout_suspect_after: 2,
+            reject_decay_ms: 100_000,
+            quarantine_ttl_ms: 400,
+            reprovision_backoff_ms: 100,
+            backoff_cap_ms: 1_600,
+            round_interval_ms: 100,
+            quarantine_throttle: 2,
+        }
+    }
+}
+
+/// What one run produced: deterministic fields first (assert on
+/// these), then wall-clock server stats.
+#[derive(Debug)]
+pub struct SimReport {
+    /// The audit log rendered one line per transition —
+    /// byte-for-byte identical across runs with the same config.
+    pub transitions: String,
+    /// Final state per device, name-ordered.
+    pub states: BTreeMap<String, DeviceState>,
+    /// Registry JSON at the end of the run.
+    pub registry_json: rap_obs::Json,
+    /// Admin STATS JSON scraped mid-run (`Some` iff
+    /// [`SimConfig::admin`]).
+    pub admin_stats_json: Option<rap_obs::Json>,
+    /// Rounds driven over the wire (excludes skipped slots).
+    pub rounds_driven: u64,
+    /// Accepted / rejected verdicts as seen by the actors.
+    pub accepted: u64,
+    /// Rejected verdicts.
+    pub rejected: u64,
+    /// Slots skipped by flaky actors (fed to the plane as timeouts).
+    pub timeouts: u64,
+    /// Server-side counters (wall-clock plane, informational).
+    pub server: ServerStats,
+}
+
+/// A simulation failure (server start or client transport).
+#[derive(Debug)]
+pub struct SimError(pub String);
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fleet sim: {}", self.0)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+fn sim_key() -> Key {
+    rap_track::device_key("fleet-sim")
+}
+
+/// A device actor: a cached benign attestation it re-signs per
+/// challenge, its resumption token, and its misbehaviour switches.
+struct Actor {
+    name: String,
+    compromised: bool,
+    flaky: bool,
+    token: Option<ResumeToken>,
+    rng: SplitMix64,
+}
+
+/// The template reports all actors re-sign (the fleet shares one
+/// image, so one attestation run serves every actor).
+struct ReportTemplate {
+    reports: Vec<Report>,
+}
+
+impl ReportTemplate {
+    fn new(linked: &rap_link::LinkedProgram, w: &workloads::Workload) -> ReportTemplate {
+        let engine = CfaEngine::new(sim_key());
+        let mut machine = mcu_sim::Machine::new(linked.image.clone());
+        (w.attach)(&mut machine);
+        let reports = engine
+            .attest(
+                &mut machine,
+                &linked.map,
+                Challenge::from_seed(0),
+                EngineConfig {
+                    max_instrs: w.max_instrs * 2,
+                    watermark: Some(256),
+                },
+            )
+            .expect("benign attestation runs")
+            .reports;
+        ReportTemplate { reports }
+    }
+
+    /// Benign: re-sign the cached log under `chal`.
+    fn benign(&self, chal: Challenge) -> Vec<Report> {
+        self.reports
+            .iter()
+            .enumerate()
+            .map(|(seq, r)| {
+                Report::new(
+                    &sim_key(),
+                    chal,
+                    r.h_mem,
+                    r.log.clone(),
+                    seq as u32,
+                    r.is_final,
+                    r.overflow,
+                )
+            })
+            .collect()
+    }
+
+    /// Forged: the strongest adversary (holds the key) redirects one
+    /// MTB packet and re-signs — authentication passes, replay must
+    /// reject.
+    fn forged(&self, chal: Challenge) -> Vec<Report> {
+        let mut reports = self.benign(chal);
+        let seq = reports
+            .iter()
+            .position(|r| !r.log.mtb.is_empty())
+            .expect("some report has MTB packets");
+        let mut log = reports[seq].log.clone();
+        log.mtb[0].dest ^= 0x40;
+        reports[seq] = Report::new(
+            &sim_key(),
+            chal,
+            reports[seq].h_mem,
+            log,
+            seq as u32,
+            reports[seq].is_final,
+            reports[seq].overflow,
+        );
+        reports
+    }
+}
+
+/// Runs one deterministic fleet simulation. The returned
+/// [`SimReport::transitions`] depends only on `config` — never on
+/// wall-clock timing — so two runs with the same config compare equal.
+pub fn run(config: &SimConfig) -> Result<SimReport, SimError> {
+    let w = workloads::by_name("fibcall").expect("fibcall workload exists");
+    let linked = rap_link::link(&w.module, 0, rap_link::LinkOptions::default())
+        .map_err(|e| SimError(format!("link: {e:?}")))?;
+    let verifier = Verifier::builder()
+        .key(sim_key())
+        .image(linked.image.clone())
+        .map(linked.map.clone())
+        .build()
+        .expect("all builder fields set");
+    let template = ReportTemplate::new(&linked, &w);
+
+    let policy = config.policy.clone().sanitized();
+    let plane = FleetPlane::new(policy.clone());
+    let server_config = ServerConfig {
+        session_secret: b"fleet-sim-secret".to_vec(),
+        verdict_hook: Some(plane.verdict_hook()),
+        admin_addr: config.admin.then(|| "127.0.0.1:0".to_string()),
+        admin_extra: config.admin.then(|| plane.admin_extra()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(verifier, "127.0.0.1:0", server_config)
+        .map_err(|e| SimError(format!("server start: {e}")))?;
+    let client = AttestClient::new(
+        server.local_addr().to_string(),
+        ClientConfig {
+            retries: 2,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(50),
+            read_timeout: Duration::from_secs(10),
+            ..ClientConfig::default()
+        },
+    );
+
+    let mut actors: Vec<Actor> = (0..config.devices)
+        .map(|i| Actor {
+            name: format!("dev-{i:03}"),
+            compromised: i < config.compromised,
+            flaky: i >= config.compromised && i < config.compromised + config.flaky,
+            token: None,
+            rng: SplitMix64::new(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9)),
+        })
+        .collect();
+
+    let mut sched = Scheduler::new();
+    for actor in &actors {
+        plane.register(&actor.name);
+        sched.add(&actor.name, 0);
+    }
+
+    let mut rounds_driven = 0u64;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut timeouts = 0u64;
+    let mut admin_stats_json = None;
+
+    for slot in 0..config.slots {
+        let now_ms = slot * policy.round_interval_ms;
+        plane.set_now_ms(now_ms);
+        // TTLs expire even for devices the throttle is not
+        // challenging this slot.
+        plane.tick_all();
+
+        let due = sched.due(now_ms);
+        for name in due {
+            let actor = actors
+                .iter_mut()
+                .find(|a| a.name == name)
+                .expect("scheduled device exists");
+            if actor.flaky && actor.rng.next_u64() % 2 == 0 {
+                // Skipped slot: the scheduler's view is a timeout.
+                plane.observe(&actor.name, Event::Timeout);
+                timeouts += 1;
+            } else {
+                let forging = actor.compromised
+                    && slot >= config.flip_at_slot
+                    && slot < config.restore_at_slot;
+                // Reconnect via the resumption token when one is
+                // held; fall back to a fresh HELLO (e.g. token
+                // evicted or expired) so one lost session never
+                // wedges an actor.
+                let conn = match actor.token.take() {
+                    Some(token) => match client.resume(&actor.name, token) {
+                        Ok(conn) => Ok(conn),
+                        Err(_) => client.open(&actor.name),
+                    },
+                    None => client.open(&actor.name),
+                };
+                let mut conn = conn.map_err(|e| SimError(format!("{name}: connect: {e}")))?;
+                let verdict = conn
+                    .round(|chal| {
+                        if forging {
+                            template.forged(chal)
+                        } else {
+                            template.benign(chal)
+                        }
+                    })
+                    .map_err(|e| SimError(format!("{name}: round: {e}")))?;
+                actor.token = conn.close();
+                rounds_driven += 1;
+                if verdict.accepted {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                }
+            }
+            let state = plane.with_registry(|reg| {
+                reg.device(&name)
+                    .map(|m| m.state())
+                    .unwrap_or(DeviceState::Healthy)
+            });
+            sched.reschedule(&name, now_ms, state, &policy);
+        }
+
+        // One mid-run admin scrape, late enough that transitions have
+        // usually fired (informational — not part of the
+        // deterministic surface).
+        if config.admin && slot == config.slots.saturating_sub(2) {
+            if let Some(addr) = server.admin_addr() {
+                if let Ok(mut conn) = rap_serve::AdminClient::new(addr.to_string()).connect() {
+                    if let Ok(json) = conn.stats(rap_serve::StatsFormat::Json) {
+                        admin_stats_json = rap_obs::json::parse(&json).ok();
+                    }
+                }
+            }
+        }
+    }
+
+    let transitions = plane.with_registry(|reg| reg.render_transitions());
+    let states = plane.with_registry(|reg| {
+        reg.devices()
+            .map(|(name, m)| (name.clone(), m.state()))
+            .collect()
+    });
+    let registry_json = plane.to_json();
+    let server_stats = server.shutdown();
+
+    Ok(SimReport {
+        transitions,
+        states,
+        registry_json,
+        admin_stats_json,
+        rounds_driven,
+        accepted,
+        rejected,
+        timeouts,
+        server: server_stats,
+    })
+}

@@ -1,0 +1,578 @@
+//! The per-device quarantine state machine and the declarative
+//! [`Policy`] that drives it.
+//!
+//! Every registered device is always in exactly one of four states:
+//!
+//! ```text
+//!            rejects >= suspect_after          rejects >= quarantine_after
+//!  Healthy ────────────────────────▶ Suspect ────────────────────────▶ Quarantined
+//!     ▲                                │  ▲                                │
+//!     │ accepts >= heal_accepts        │  │ timeouts >=                    │ quarantine_ttl_ms
+//!     │ or reject-streak decay         │  │ timeout_suspect_after          ▼
+//!     └────────────────────────────────┘  └──(from Healthy)       Reprovisioning
+//!     ▲                                                                   │
+//!     └─────────────── accepted after re-provision backoff ───────────────┘
+//!                      (rejected during Reprovisioning → Quarantined)
+//! ```
+//!
+//! All time is logical milliseconds supplied by the caller — the
+//! machine never reads a wall clock, so a fleet simulation driven from
+//! a fixed seed replays byte-for-byte.
+
+/// Lifecycle state of one registered device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceState {
+    /// Verdicts flowing, nothing suspicious.
+    Healthy,
+    /// Recent rejects or timeouts; still challenged at full rate.
+    Suspect,
+    /// Reject threshold crossed (or admin order): challenges
+    /// throttled, verdicts gated until the quarantine TTL expires.
+    Quarantined,
+    /// Quarantine TTL expired; the device must produce an accepted
+    /// round after the re-provision backoff to return to service.
+    Reprovisioning,
+}
+
+impl DeviceState {
+    /// Stable lowercase name, used in JSON and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeviceState::Healthy => "healthy",
+            DeviceState::Suspect => "suspect",
+            DeviceState::Quarantined => "quarantined",
+            DeviceState::Reprovisioning => "reprovisioning",
+        }
+    }
+
+    /// Inverse of [`DeviceState::as_str`].
+    pub fn parse(s: &str) -> Option<DeviceState> {
+        Some(match s {
+            "healthy" => DeviceState::Healthy,
+            "suspect" => DeviceState::Suspect,
+            "quarantined" => DeviceState::Quarantined,
+            "reprovisioning" => DeviceState::Reprovisioning,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for DeviceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An observation fed into the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A round whose evidence verified.
+    Accepted,
+    /// A round whose evidence was rejected (wire, auth, or replay).
+    Rejected,
+    /// A scheduled round the device never answered.
+    Timeout,
+    /// Operator override: quarantine now.
+    AdminQuarantine,
+    /// Operator override: return to Healthy now.
+    AdminHeal,
+}
+
+impl Event {
+    /// Stable lowercase name, used in fuzz failure rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Event::Accepted => "accepted",
+            Event::Rejected => "rejected",
+            Event::Timeout => "timeout",
+            Event::AdminQuarantine => "admin-quarantine",
+            Event::AdminHeal => "admin-heal",
+        }
+    }
+}
+
+/// Why a transition fired — recorded so an operator (and the tests)
+/// can audit every state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cause {
+    /// Consecutive rejects reached [`Policy::suspect_after`].
+    RejectStreak,
+    /// Consecutive rejects reached [`Policy::quarantine_after`].
+    RejectThreshold,
+    /// Consecutive timeouts reached [`Policy::timeout_suspect_after`].
+    TimeoutStreak,
+    /// Consecutive accepts reached [`Policy::heal_accepts`].
+    Healed,
+    /// The reject/timeout streak aged past [`Policy::reject_decay_ms`].
+    Decay,
+    /// Time in quarantine reached [`Policy::quarantine_ttl_ms`].
+    QuarantineTtl,
+    /// An accepted round after the re-provision backoff gate.
+    Reprovisioned,
+    /// A rejected round while re-provisioning.
+    ReprovisionFailed,
+    /// Operator `quarantine` command.
+    AdminQuarantine,
+    /// Operator `heal` command.
+    AdminHeal,
+}
+
+impl Cause {
+    /// Stable kebab-case name, used in JSON and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Cause::RejectStreak => "reject-streak",
+            Cause::RejectThreshold => "reject-threshold",
+            Cause::TimeoutStreak => "timeout-streak",
+            Cause::Healed => "healed",
+            Cause::Decay => "decay",
+            Cause::QuarantineTtl => "quarantine-ttl",
+            Cause::Reprovisioned => "reprovisioned",
+            Cause::ReprovisionFailed => "reprovision-failed",
+            Cause::AdminQuarantine => "admin-quarantine",
+            Cause::AdminHeal => "admin-heal",
+        }
+    }
+
+    /// Inverse of [`Cause::as_str`].
+    pub fn parse(s: &str) -> Option<Cause> {
+        Some(match s {
+            "reject-streak" => Cause::RejectStreak,
+            "reject-threshold" => Cause::RejectThreshold,
+            "timeout-streak" => Cause::TimeoutStreak,
+            "healed" => Cause::Healed,
+            "decay" => Cause::Decay,
+            "quarantine-ttl" => Cause::QuarantineTtl,
+            "reprovisioned" => Cause::Reprovisioned,
+            "reprovision-failed" => Cause::ReprovisionFailed,
+            "admin-quarantine" => Cause::AdminQuarantine,
+            "admin-heal" => Cause::AdminHeal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Cause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Logical time the transition fired.
+    pub at_ms: u64,
+    /// State before.
+    pub from: DeviceState,
+    /// State after.
+    pub to: DeviceState,
+    /// Why.
+    pub cause: Cause,
+}
+
+/// The declarative fleet policy: every threshold the state machine
+/// consults, in one plain struct an operator can read top to bottom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Policy {
+    /// Consecutive rejects before `Healthy → Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive rejects before `→ Quarantined`.
+    pub quarantine_after: u32,
+    /// Consecutive accepts before `Suspect → Healthy`.
+    pub heal_accepts: u32,
+    /// Consecutive timeouts before `Healthy → Suspect`. Timeouts
+    /// alone never promote past Suspect — a flaky link is not
+    /// evidence of compromise.
+    pub timeout_suspect_after: u32,
+    /// A reject/timeout streak older than this decays: streak counters
+    /// reset and a Suspect device returns to Healthy.
+    pub reject_decay_ms: u64,
+    /// Time spent Quarantined before the device is offered
+    /// re-provisioning.
+    pub quarantine_ttl_ms: u64,
+    /// Base re-provision backoff; doubles per quarantine entered
+    /// (capped at [`Policy::backoff_cap_ms`]). An accepted round
+    /// before the gate does not heal.
+    pub reprovision_backoff_ms: u64,
+    /// Upper bound on the doubled backoff.
+    pub backoff_cap_ms: u64,
+    /// Scheduler period between challenges to one healthy device.
+    pub round_interval_ms: u64,
+    /// Quarantined devices are challenged every Nth interval.
+    pub quarantine_throttle: u32,
+}
+
+impl Default for Policy {
+    fn default() -> Policy {
+        Policy {
+            suspect_after: 1,
+            quarantine_after: 3,
+            heal_accepts: 2,
+            timeout_suspect_after: 3,
+            reject_decay_ms: 60_000,
+            quarantine_ttl_ms: 30_000,
+            reprovision_backoff_ms: 5_000,
+            backoff_cap_ms: 300_000,
+            round_interval_ms: 1_000,
+            quarantine_throttle: 8,
+        }
+    }
+}
+
+impl Policy {
+    /// The re-provision gate for the `n`th quarantine (1-based):
+    /// `reprovision_backoff_ms · 2^(n-1)`, capped.
+    pub fn backoff_ms(&self, quarantine_count: u32) -> u64 {
+        let doublings = quarantine_count.saturating_sub(1).min(32);
+        self.reprovision_backoff_ms
+            .saturating_mul(1u64 << doublings)
+            .min(self.backoff_cap_ms)
+    }
+
+    /// Clamps every field into a sane range — the fuzz oracle feeds
+    /// arbitrary values through this so a zero threshold can never
+    /// wedge the machine.
+    pub fn sanitized(mut self) -> Policy {
+        self.suspect_after = self.suspect_after.max(1);
+        self.quarantine_after = self.quarantine_after.max(self.suspect_after);
+        self.heal_accepts = self.heal_accepts.max(1);
+        self.timeout_suspect_after = self.timeout_suspect_after.max(1);
+        self.reject_decay_ms = self.reject_decay_ms.max(1);
+        self.quarantine_ttl_ms = self.quarantine_ttl_ms.max(1);
+        self.round_interval_ms = self.round_interval_ms.max(1);
+        self.quarantine_throttle = self.quarantine_throttle.max(1);
+        self.backoff_cap_ms = self.backoff_cap_ms.max(self.reprovision_backoff_ms);
+        self
+    }
+}
+
+/// The per-device machine: current state plus the streak counters the
+/// policy thresholds act on.
+#[derive(Debug, Clone)]
+pub struct DeviceMachine {
+    state: DeviceState,
+    /// Logical time the current state was entered.
+    state_since_ms: u64,
+    reject_streak: u32,
+    accept_streak: u32,
+    timeout_streak: u32,
+    /// Last reject or timeout — the decay anchor.
+    last_bad_ms: u64,
+    /// Re-provision gate: accepts before this instant do not heal.
+    gate_until_ms: u64,
+    /// Times this device has entered Quarantined (drives backoff).
+    pub quarantine_count: u32,
+    /// Total rounds observed (accepted + rejected).
+    pub rounds: u64,
+    /// Total rejected rounds.
+    pub rejects: u64,
+    /// Total timeouts.
+    pub timeouts: u64,
+    /// Verdicts observed while Quarantined (counted, never acted on).
+    pub gated: u64,
+}
+
+impl DeviceMachine {
+    /// A fresh device, Healthy at logical time `now_ms`.
+    pub fn new(now_ms: u64) -> DeviceMachine {
+        DeviceMachine {
+            state: DeviceState::Healthy,
+            state_since_ms: now_ms,
+            reject_streak: 0,
+            accept_streak: 0,
+            timeout_streak: 0,
+            last_bad_ms: 0,
+            gate_until_ms: 0,
+            quarantine_count: 0,
+            rounds: 0,
+            rejects: 0,
+            timeouts: 0,
+            gated: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    /// Logical time the current state was entered.
+    pub fn state_since_ms(&self) -> u64 {
+        self.state_since_ms
+    }
+
+    /// Restores a machine from persisted fields (registry JSON).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        state: DeviceState,
+        state_since_ms: u64,
+        quarantine_count: u32,
+        rounds: u64,
+        rejects: u64,
+        timeouts: u64,
+        gated: u64,
+        gate_until_ms: u64,
+    ) -> DeviceMachine {
+        DeviceMachine {
+            state,
+            state_since_ms,
+            reject_streak: 0,
+            accept_streak: 0,
+            timeout_streak: 0,
+            last_bad_ms: state_since_ms,
+            gate_until_ms,
+            quarantine_count,
+            rounds,
+            rejects,
+            timeouts,
+            gated,
+        }
+    }
+
+    /// The re-provision gate instant (0 when not re-provisioning).
+    pub fn gate_until_ms(&self) -> u64 {
+        self.gate_until_ms
+    }
+
+    fn go(&mut self, now_ms: u64, to: DeviceState, cause: Cause) -> Transition {
+        let from = self.state;
+        self.state = to;
+        self.state_since_ms = now_ms;
+        Transition {
+            at_ms: now_ms,
+            from,
+            to,
+            cause,
+        }
+    }
+
+    /// Applies time-driven rules at logical time `now_ms`: streak
+    /// decay and the quarantine TTL. Call before (or instead of) an
+    /// event at each scheduler tick.
+    pub fn tick(&mut self, policy: &Policy, now_ms: u64) -> Option<Transition> {
+        // Streak decay: an old streak no longer counts toward the
+        // quarantine threshold, whatever the state.
+        let streak_active = self.reject_streak > 0 || self.timeout_streak > 0;
+        if streak_active && now_ms.saturating_sub(self.last_bad_ms) >= policy.reject_decay_ms {
+            self.reject_streak = 0;
+            self.timeout_streak = 0;
+            if self.state == DeviceState::Suspect {
+                return Some(self.go(now_ms, DeviceState::Healthy, Cause::Decay));
+            }
+        }
+        if self.state == DeviceState::Quarantined
+            && now_ms.saturating_sub(self.state_since_ms) >= policy.quarantine_ttl_ms
+        {
+            self.gate_until_ms = now_ms.saturating_add(policy.backoff_ms(self.quarantine_count));
+            return Some(self.go(now_ms, DeviceState::Reprovisioning, Cause::QuarantineTtl));
+        }
+        None
+    }
+
+    /// Applies one observation at logical time `now_ms`.
+    pub fn apply(&mut self, policy: &Policy, now_ms: u64, event: Event) -> Option<Transition> {
+        match event {
+            Event::AdminQuarantine => {
+                if self.state == DeviceState::Quarantined {
+                    return None;
+                }
+                self.quarantine_count += 1;
+                self.accept_streak = 0;
+                Some(self.go(now_ms, DeviceState::Quarantined, Cause::AdminQuarantine))
+            }
+            Event::AdminHeal => {
+                if self.state == DeviceState::Healthy {
+                    return None;
+                }
+                self.reject_streak = 0;
+                self.accept_streak = 0;
+                self.timeout_streak = 0;
+                self.gate_until_ms = 0;
+                Some(self.go(now_ms, DeviceState::Healthy, Cause::AdminHeal))
+            }
+            Event::Accepted => {
+                self.rounds += 1;
+                if self.state == DeviceState::Quarantined {
+                    // Gated: a quarantined device saying "all good"
+                    // is exactly what a compromised device would say.
+                    self.gated += 1;
+                    return None;
+                }
+                self.reject_streak = 0;
+                self.timeout_streak = 0;
+                self.accept_streak += 1;
+                match self.state {
+                    DeviceState::Suspect if self.accept_streak >= policy.heal_accepts => {
+                        Some(self.go(now_ms, DeviceState::Healthy, Cause::Healed))
+                    }
+                    DeviceState::Reprovisioning if now_ms >= self.gate_until_ms => {
+                        self.gate_until_ms = 0;
+                        Some(self.go(now_ms, DeviceState::Healthy, Cause::Reprovisioned))
+                    }
+                    _ => None,
+                }
+            }
+            Event::Rejected => {
+                self.rounds += 1;
+                self.rejects += 1;
+                if self.state == DeviceState::Quarantined {
+                    self.gated += 1;
+                    return None;
+                }
+                self.accept_streak = 0;
+                self.reject_streak += 1;
+                self.last_bad_ms = now_ms;
+                match self.state {
+                    DeviceState::Reprovisioning => {
+                        self.quarantine_count += 1;
+                        Some(self.go(now_ms, DeviceState::Quarantined, Cause::ReprovisionFailed))
+                    }
+                    _ if self.reject_streak >= policy.quarantine_after => {
+                        self.quarantine_count += 1;
+                        Some(self.go(now_ms, DeviceState::Quarantined, Cause::RejectThreshold))
+                    }
+                    DeviceState::Healthy if self.reject_streak >= policy.suspect_after => {
+                        Some(self.go(now_ms, DeviceState::Suspect, Cause::RejectStreak))
+                    }
+                    _ => None,
+                }
+            }
+            Event::Timeout => {
+                self.timeouts += 1;
+                self.accept_streak = 0;
+                self.timeout_streak += 1;
+                self.last_bad_ms = now_ms;
+                match self.state {
+                    // Timeouts never escalate past Suspect: silence is
+                    // indistinguishable from a broken link.
+                    DeviceState::Healthy if self.timeout_streak >= policy.timeout_suspect_after => {
+                        Some(self.go(now_ms, DeviceState::Suspect, Cause::TimeoutStreak))
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_policy() -> Policy {
+        Policy {
+            suspect_after: 1,
+            quarantine_after: 3,
+            heal_accepts: 2,
+            timeout_suspect_after: 2,
+            reject_decay_ms: 100,
+            quarantine_ttl_ms: 50,
+            reprovision_backoff_ms: 10,
+            backoff_cap_ms: 80,
+            round_interval_ms: 10,
+            quarantine_throttle: 4,
+        }
+    }
+
+    #[test]
+    fn reject_streak_walks_to_quarantine() {
+        let p = quick_policy();
+        let mut m = DeviceMachine::new(0);
+        let t1 = m.apply(&p, 1, Event::Rejected).expect("suspect");
+        assert_eq!(
+            (t1.from, t1.to),
+            (DeviceState::Healthy, DeviceState::Suspect)
+        );
+        assert!(m.apply(&p, 2, Event::Rejected).is_none());
+        let t3 = m.apply(&p, 3, Event::Rejected).expect("quarantine");
+        assert_eq!(t3.to, DeviceState::Quarantined);
+        assert_eq!(t3.cause, Cause::RejectThreshold);
+        assert_eq!(m.quarantine_count, 1);
+    }
+
+    #[test]
+    fn accepts_interrupt_the_streak() {
+        let p = quick_policy();
+        let mut m = DeviceMachine::new(0);
+        m.apply(&p, 1, Event::Rejected);
+        m.apply(&p, 2, Event::Rejected);
+        m.apply(&p, 3, Event::Accepted);
+        // Streak reset: two more rejects only re-enter Suspect.
+        m.apply(&p, 4, Event::Rejected);
+        assert!(m.apply(&p, 5, Event::Rejected).is_none());
+        assert_eq!(m.state(), DeviceState::Suspect);
+    }
+
+    #[test]
+    fn timeouts_cap_at_suspect() {
+        let p = quick_policy();
+        let mut m = DeviceMachine::new(0);
+        for t in 0..20 {
+            m.apply(&p, t, Event::Timeout);
+        }
+        assert_eq!(m.state(), DeviceState::Suspect);
+    }
+
+    #[test]
+    fn ttl_then_gated_accept_then_heal() {
+        let p = quick_policy();
+        let mut m = DeviceMachine::new(0);
+        for t in 1..=3 {
+            m.apply(&p, t, Event::Rejected);
+        }
+        assert_eq!(m.state(), DeviceState::Quarantined);
+        // Verdicts while quarantined are gated.
+        assert!(m.apply(&p, 10, Event::Accepted).is_none());
+        assert_eq!(m.gated, 1);
+        // TTL expires at 3 + 50.
+        assert!(m.tick(&p, 52).is_none());
+        let t = m.tick(&p, 53).expect("ttl transition");
+        assert_eq!(t.to, DeviceState::Reprovisioning);
+        // Gate is 53 + 10 (first quarantine): accept at 62 is too
+        // early, accept at 63 heals.
+        assert!(m.apply(&p, 62, Event::Accepted).is_none());
+        let h = m.apply(&p, 63, Event::Accepted).expect("reprovisioned");
+        assert_eq!(
+            (h.to, h.cause),
+            (DeviceState::Healthy, Cause::Reprovisioned)
+        );
+    }
+
+    #[test]
+    fn reprovision_reject_requarantines_with_doubled_backoff() {
+        let p = quick_policy();
+        let mut m = DeviceMachine::new(0);
+        for t in 1..=3 {
+            m.apply(&p, t, Event::Rejected);
+        }
+        m.tick(&p, 100).expect("ttl");
+        let t = m.apply(&p, 101, Event::Rejected).expect("requarantine");
+        assert_eq!(t.cause, Cause::ReprovisionFailed);
+        assert_eq!(m.quarantine_count, 2);
+        assert_eq!(p.backoff_ms(2), 20);
+        assert_eq!(p.backoff_ms(5), 80, "capped");
+    }
+
+    #[test]
+    fn suspect_decays_back_to_healthy() {
+        let p = quick_policy();
+        let mut m = DeviceMachine::new(0);
+        m.apply(&p, 5, Event::Rejected);
+        assert_eq!(m.state(), DeviceState::Suspect);
+        assert!(m.tick(&p, 104).is_none());
+        let t = m.tick(&p, 105).expect("decay");
+        assert_eq!((t.to, t.cause), (DeviceState::Healthy, Cause::Decay));
+    }
+
+    #[test]
+    fn admin_overrides_any_state() {
+        let p = quick_policy();
+        let mut m = DeviceMachine::new(0);
+        let q = m.apply(&p, 1, Event::AdminQuarantine).expect("quarantined");
+        assert_eq!(q.to, DeviceState::Quarantined);
+        let h = m.apply(&p, 2, Event::AdminHeal).expect("healed");
+        assert_eq!(h.to, DeviceState::Healthy);
+        assert!(m.apply(&p, 3, Event::AdminHeal).is_none(), "idempotent");
+    }
+}

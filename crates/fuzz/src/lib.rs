@@ -14,6 +14,12 @@
 //! 3. stream safety — structure-aware mutation of wire streams and
 //!    re-signed logs always ends in a typed verdict.
 //!
+//! A fourth, program-free oracle fuzzes the fleet control plane's
+//! [registry state machine](registry): random verdict / timeout /
+//! admin-command sequences under `catch_unwind`, asserting every
+//! sequence ends in a typed state and quarantine is reachable only
+//! through a REJECTED verdict or an admin command.
+//!
 //! **Determinism is the contract.** A campaign is a pure function of
 //! its `(seed, iters, options)`; summaries contain no wall-clock data,
 //! so two runs with the same arguments are byte-identical. Every case
@@ -42,6 +48,7 @@ pub mod gen;
 pub mod minimize;
 pub mod mutate;
 pub mod oracle;
+pub mod registry;
 pub mod rng;
 
 use std::collections::BTreeMap;
@@ -126,6 +133,10 @@ pub struct Totals {
     pub attested_instrs: u64,
     /// Dictionary-hit records across compressed (v2) attestations.
     pub dict_hits: u64,
+    /// Events fed through the fleet-registry oracle.
+    pub registry_events: u64,
+    /// State transitions the fleet-registry oracle observed.
+    pub registry_transitions: u64,
 }
 
 /// The campaign result. Contains no wall-clock data by design: equal
@@ -182,6 +193,11 @@ impl FuzzSummary {
             out,
             "totals: stmts={} reports={} mtb-packets={} loop-records={} path-events={} attested-instrs={} dict-hits={}",
             t.stmts, t.reports, t.mtb_packets, t.loop_records, t.path_events, t.attested_instrs, t.dict_hits
+        );
+        let _ = writeln!(
+            out,
+            "registry oracle: events={} transitions={}",
+            t.registry_events, t.registry_transitions
         );
         if !self.verdicts.is_empty() {
             let _ = writeln!(out, "mutation verdicts:");
@@ -245,6 +261,11 @@ impl FuzzSummary {
                     ("path_events", Json::Uint(self.totals.path_events)),
                     ("attested_instrs", Json::Uint(self.totals.attested_instrs)),
                     ("dict_hits", Json::Uint(self.totals.dict_hits)),
+                    ("registry_events", Json::Uint(self.totals.registry_events)),
+                    (
+                        "registry_transitions",
+                        Json::Uint(self.totals.registry_transitions),
+                    ),
                 ]),
             ),
             (
@@ -368,6 +389,32 @@ pub fn run(cfg: &FuzzConfig) -> FuzzSummary {
         let (program, ocfg) = case_setup(cs, cfg);
         summary.cases_run += 1;
         summary.totals.stmts += program.stmt_count() as u64;
+        // The registry oracle is program-free (its whole case derives
+        // from the case seed), so a failure skips program
+        // minimization — the seed alone reproduces it.
+        match registry::run_registry_case(cs) {
+            Ok(result) => {
+                summary.totals.registry_events += result.events;
+                summary.totals.registry_transitions += result.transitions;
+            }
+            Err(failure) => {
+                let mut repro = format!("rap fuzz --replay {cs:#x}");
+                if cfg.sabotage {
+                    repro.push_str(" --sabotage");
+                }
+                summary.failures.push(FailureRecord {
+                    index,
+                    case_seed: cs,
+                    oracle: failure.oracle.to_string(),
+                    detail: failure.detail,
+                    stmt_count: 0,
+                    minimized_stmt_count: 0,
+                    minimize_evals: 0,
+                    repro,
+                });
+                continue;
+            }
+        }
         match oracle::run_case(&program, cs, &ocfg) {
             Ok(result) => {
                 summary.totals.reports += result.reports;

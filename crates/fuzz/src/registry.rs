@@ -1,0 +1,191 @@
+//! The fleet-registry transition oracle: random verdict / timeout /
+//! admin-command sequences against [`rap_fleet`]'s per-device state
+//! machine, under `catch_unwind`.
+//!
+//! The contract fuzzed here is the one the fleet control plane's
+//! security argument rests on:
+//!
+//! 1. **No panic, ever** — any event sequence under any (sanitized)
+//!    policy yields a typed state.
+//! 2. **Transition continuity** — every reported transition starts at
+//!    the state the machine was actually in.
+//! 3. **Quarantine provenance** — `Quarantined` is entered only
+//!    through a REJECTED verdict (reject threshold or re-provision
+//!    failure) or an explicit admin command. In particular timeouts
+//!    alone can never quarantine a device: a flaky uplink must not
+//!    look like a compromise.
+//! 4. **Bounded bookkeeping** — the audit log grows by at most two
+//!    entries per observation (one time-driven, one event-driven).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rap_fleet::{Cause, DeviceState, Event, Policy, Registry};
+
+use crate::oracle::CaseFailure;
+use crate::rng::Rng;
+
+/// Counters from one passing registry case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegistryCaseResult {
+    /// Events applied.
+    pub events: u64,
+    /// Transitions fired.
+    pub transitions: u64,
+    /// Times any device entered Quarantined.
+    pub quarantines: u64,
+}
+
+/// One step of a generated sequence: advance logical time, then apply
+/// an event to one of the case's devices.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    device: usize,
+    advance_ms: u64,
+    event: Event,
+}
+
+fn gen_policy(rng: &mut Rng) -> Policy {
+    // Raw draws cover degenerate values (zeros, huge numbers);
+    // `sanitized` is part of the contract under test — whatever the
+    // operator writes, the machine must stay sound.
+    Policy {
+        suspect_after: rng.next_u64() as u32 % 4,
+        quarantine_after: rng.next_u64() as u32 % 6,
+        heal_accepts: rng.next_u64() as u32 % 4,
+        timeout_suspect_after: rng.next_u64() as u32 % 4,
+        reject_decay_ms: rng.next_u64() % 500,
+        quarantine_ttl_ms: rng.next_u64() % 500,
+        reprovision_backoff_ms: rng.next_u64() % 200,
+        backoff_cap_ms: rng.next_u64() % 1_000,
+        round_interval_ms: rng.next_u64() % 50,
+        quarantine_throttle: rng.next_u64() as u32 % 8,
+    }
+    .sanitized()
+}
+
+fn gen_event(rng: &mut Rng) -> Event {
+    // Admin commands are rare, like in a real fleet; verdicts and
+    // timeouts dominate.
+    match rng.next_u64() % 16 {
+        0 => Event::AdminQuarantine,
+        1 => Event::AdminHeal,
+        2..=6 => Event::Timeout,
+        7..=10 => Event::Rejected,
+        _ => Event::Accepted,
+    }
+}
+
+/// Runs one registry case for `case_seed`. Deterministic: the same
+/// seed generates the same policy, devices, and step sequence.
+pub fn run_registry_case(case_seed: u64) -> Result<RegistryCaseResult, CaseFailure> {
+    let fail = |detail: String| CaseFailure {
+        oracle: "registry",
+        detail,
+    };
+    let mut rng = Rng::new(case_seed ^ 0xF1EE_7C47);
+    let policy = gen_policy(&mut rng);
+    let device_count = 1 + (rng.next_u64() as usize % 4);
+    let steps: Vec<Step> = (0..64 + rng.next_u64() % 192)
+        .map(|_| Step {
+            device: rng.next_u64() as usize % device_count,
+            advance_ms: rng.next_u64() % 200,
+            event: gen_event(&mut rng),
+        })
+        .collect();
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut registry = Registry::new(policy.clone());
+        let mut result = RegistryCaseResult::default();
+        let mut now_ms = 0u64;
+        for (i, step) in steps.iter().enumerate() {
+            now_ms = now_ms.saturating_add(step.advance_ms);
+            let device = format!("fuzz-dev-{}", step.device);
+            let before = registry
+                .device(&device)
+                .map(|m| m.state())
+                .unwrap_or(DeviceState::Healthy);
+            let log_before = registry.transitions().len();
+            let fired = registry.observe(&device, now_ms, step.event);
+            result.events += 1;
+
+            // Invariant 4: at most one tick + one event transition.
+            if fired.len() > 2 {
+                return Err(format!(
+                    "step {i}: {} transitions from one observation",
+                    fired.len()
+                ));
+            }
+            if registry.transitions().len() != log_before + fired.len() {
+                return Err(format!("step {i}: audit log out of sync with observe()"));
+            }
+
+            // Invariant 2: continuity through the fired chain.
+            let mut state = before;
+            for t in &fired {
+                if t.from != state {
+                    return Err(format!(
+                        "step {i}: transition from {} but machine was {}",
+                        t.from, state
+                    ));
+                }
+                if t.from == t.to {
+                    return Err(format!("step {i}: self-transition to {}", t.to));
+                }
+                state = t.to;
+                result.transitions += 1;
+
+                // Invariant 3: quarantine provenance.
+                if t.to == DeviceState::Quarantined {
+                    result.quarantines += 1;
+                    let cause_ok = matches!(
+                        t.cause,
+                        Cause::RejectThreshold | Cause::ReprovisionFailed | Cause::AdminQuarantine
+                    );
+                    let event_ok = matches!(step.event, Event::Rejected | Event::AdminQuarantine);
+                    if !cause_ok || !event_ok {
+                        return Err(format!(
+                            "step {i}: entered quarantine via {:?} (cause {})",
+                            step.event, t.cause
+                        ));
+                    }
+                }
+            }
+            let after = registry
+                .device(&device)
+                .map(|m| m.state())
+                .unwrap_or(DeviceState::Healthy);
+            if after != state {
+                return Err(format!(
+                    "step {i}: machine reports {} but transitions end at {}",
+                    after, state
+                ));
+            }
+
+            // Timeouts specifically must never leave the device worse
+            // than Suspect unless it already was.
+            if step.event == Event::Timeout
+                && before <= DeviceState::Suspect
+                && after > DeviceState::Suspect
+            {
+                return Err(format!(
+                    "step {i}: timeout promoted {} -> {}",
+                    before, after
+                ));
+            }
+        }
+        Ok(result)
+    }));
+
+    match outcome {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(detail)) => Err(fail(detail)),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            Err(fail(format!("panicked: {msg}")))
+        }
+    }
+}

@@ -271,15 +271,22 @@ mod tests {
     fn worker_thread_events_flush_on_exit() {
         let _guard = TEST_LOCK.lock().unwrap();
         enable(0);
-        std::thread::scope(|scope| {
-            for t in 0..4u64 {
-                scope.spawn(move || {
+        // Explicit join handles, not thread::scope: scope returns when
+        // the closures finish, which can be *before* a worker's TLS
+        // sink destructor (the flush under test) has run; join waits
+        // for full thread termination, TLS destructors included.
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
                     for i in 0..10 {
                         event("worker", t, i);
                     }
-                });
-            }
-        });
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
         disable();
         let events = drain();
         assert_eq!(events.iter().filter(|e| e.kind == "worker").count(), 40);

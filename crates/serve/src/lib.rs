@@ -69,4 +69,4 @@ pub use frame::{
     ErrorCode, Frame, FrameError, FrameType, ReadFrameError, ResumeToken, SessionGrant,
     StatsFormat, Verdict,
 };
-pub use server::{Server, ServerConfig, ServerStats, StartError};
+pub use server::{AdminExtra, Server, ServerConfig, ServerStats, StartError, VerdictHook};

@@ -57,6 +57,54 @@ use crate::frame::{
     ReadFrameError, ResumeToken, SessionGrant, StatsFormat, Verdict, DEFAULT_MAX_FRAME_LEN,
 };
 
+/// The callback type wrapped by [`VerdictHook`]: `(device, accepted)`.
+pub type VerdictFn = dyn Fn(&str, bool) + Send + Sync;
+
+/// The provider type wrapped by [`AdminExtra`]: extra top-level
+/// `(name, value)` fields for the telemetry JSON.
+pub type AdminExtraFn = dyn Fn() -> Vec<(String, Json)> + Send + Sync;
+
+/// A server-side observer invoked once per verified round with the
+/// device name and whether the evidence was accepted, synchronously on
+/// the shard worker *before* the verdict batch is flushed. Control
+/// planes (rap-fleet) hang their policy reactions off this; keep the
+/// callback cheap — it runs inside the drain tick.
+#[derive(Clone)]
+pub struct VerdictHook(pub Arc<VerdictFn>);
+
+impl VerdictHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&str, bool) + Send + Sync + 'static) -> VerdictHook {
+        VerdictHook(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for VerdictHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("VerdictHook(..)")
+    }
+}
+
+/// A provider of extra top-level fields for the admin plane's
+/// telemetry JSON (`STATS` in JSON format). The fleet control plane
+/// uses this to expose its registry as a `"fleet"` section without
+/// rap-serve depending on it.
+#[derive(Clone)]
+pub struct AdminExtra(pub Arc<AdminExtraFn>);
+
+impl AdminExtra {
+    /// Wraps a provider callback.
+    pub fn new(f: impl Fn() -> Vec<(String, Json)> + Send + Sync + 'static) -> AdminExtra {
+        AdminExtra(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for AdminExtra {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AdminExtra(..)")
+    }
+}
+
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -102,6 +150,16 @@ pub struct ServerConfig {
     pub slow_round_threshold: Duration,
     /// Cap on retained slow-round exemplars (oldest evicted first).
     pub exemplar_capacity: usize,
+    /// Cap on the admin plane's per-device telemetry table. Beyond it
+    /// the least-recently-touched device row is evicted (counted in
+    /// `admin_device_table_evictions_total`), so a churning fleet
+    /// cannot grow server memory without bound.
+    pub device_table_cap: usize,
+    /// Called once per verified round with `(device, accepted)`, on
+    /// the shard worker before the verdict batch flushes.
+    pub verdict_hook: Option<VerdictHook>,
+    /// Extra top-level sections merged into the admin `STATS` JSON.
+    pub admin_extra: Option<AdminExtra>,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +181,9 @@ impl Default for ServerConfig {
             admin_addr: None,
             slow_round_threshold: Duration::from_millis(5),
             exemplar_capacity: 64,
+            device_table_cap: 1024,
+            verdict_hook: None,
+            admin_extra: None,
         }
     }
 }
@@ -350,6 +411,57 @@ impl DeviceAgg {
     }
 }
 
+/// The per-device telemetry table, capped: every access stamps the row
+/// with a monotone sequence number, and inserting past `cap` evicts
+/// the least-recently-touched row (an O(n) scan — eviction only
+/// happens when a *new* device shows up on a full table, so a stable
+/// fleet never pays it). Evictions are counted in
+/// `admin_device_table_evictions_total`.
+struct DeviceTable {
+    map: HashMap<String, (u64, DeviceAgg)>,
+    cap: usize,
+    seq: u64,
+}
+
+impl DeviceTable {
+    fn new(cap: usize) -> DeviceTable {
+        DeviceTable {
+            map: HashMap::new(),
+            cap: cap.max(1),
+            seq: 0,
+        }
+    }
+
+    /// Returns the (possibly fresh) row for `device`, bumping its
+    /// recency and evicting the coldest row if the insert overflowed
+    /// the cap.
+    fn touch(&mut self, device: &str) -> &mut DeviceAgg {
+        self.seq += 1;
+        let seq = self.seq;
+        if !self.map.contains_key(device) && self.map.len() >= self.cap {
+            if let Some(coldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (touched, _))| *touched)
+                .map(|(name, _)| name.clone())
+            {
+                self.map.remove(&coldest);
+                rap_obs::counter!("admin_device_table_evictions_total").inc();
+            }
+        }
+        let entry = self
+            .map
+            .entry(device.to_string())
+            .or_insert_with(|| (seq, DeviceAgg::default()));
+        entry.0 = seq;
+        &mut entry.1
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&String, &DeviceAgg)> {
+        self.map.iter().map(|(name, (_, agg))| (name, agg))
+    }
+}
+
 /// The telemetry plane's shared state — exists only when
 /// [`ServerConfig::admin_addr`] is set, so the disabled cost of the
 /// whole plane is the `Option` check on [`Shared::telemetry`].
@@ -357,8 +469,9 @@ struct Telemetry {
     /// Trace-id mint + slow-round exemplar ring.
     rounds: RoundCollector,
     /// Per-device aggregates, updated once per drain tick (one lock
-    /// acquisition per verdict batch, not per round).
-    devices: Mutex<HashMap<String, DeviceAgg>>,
+    /// acquisition per verdict batch, not per round). LRU-capped at
+    /// [`ServerConfig::device_table_cap`].
+    devices: Mutex<DeviceTable>,
 }
 
 impl Telemetry {
@@ -370,7 +483,7 @@ impl Telemetry {
         rounds.set_enabled(true);
         Telemetry {
             rounds,
-            devices: Mutex::new(HashMap::new()),
+            devices: Mutex::new(DeviceTable::new(config.device_table_cap)),
         }
     }
 }
@@ -720,12 +833,7 @@ fn dispatch_loop(
                             counters.resumed.fetch_add(1, Ordering::Relaxed);
                             rap_obs::counter!("serve_sessions_resumed_total").inc();
                             if let Some(t) = &shared.telemetry {
-                                t.devices
-                                    .lock()
-                                    .unwrap()
-                                    .entry(device.clone())
-                                    .or_default()
-                                    .resumes += 1;
+                                t.devices.lock().unwrap().touch(&device).resumes += 1;
                             }
                             PendingConn {
                                 conn_id,
@@ -1096,6 +1204,9 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                     } else {
                         tick.rejected += 1;
                     }
+                    if let Some(hook) = &config.verdict_hook {
+                        (hook.0)(&device, verdict.accepted);
+                    }
                     outbuf.extend_from_slice(&encode_frame(FrameType::Verdict, &verdict.encode()));
                     let chal = session.issue_windowed_challenge();
                     outbuf.extend_from_slice(&encode_frame(FrameType::Challenge, &chal.0));
@@ -1278,7 +1389,7 @@ fn finalize_rounds(obs: &ConnObs<'_>, flush_start: Instant, rounds: &[PendingRou
     let hist = rap_obs::histogram!("serve_round_latency_ns", &rap_obs::ROUND_LATENCY_NS_BOUNDS);
     {
         let mut devices = obs.telemetry.devices.lock().unwrap();
-        let agg = devices.entry(obs.device.clone()).or_default();
+        let agg = devices.touch(&obs.device);
         for r in rounds {
             agg.rounds += 1;
             if !r.accepted {
@@ -1418,14 +1529,12 @@ fn telemetry_json(shared: &Shared) -> Json {
     let snap = rap_obs::global().snapshot();
     let devices = match &shared.telemetry {
         Some(t) => {
-            let map = t.devices.lock().unwrap();
-            let mut names: Vec<&String> = map.keys().collect();
-            names.sort();
+            let table = t.devices.lock().unwrap();
+            let mut rows: Vec<(&String, &DeviceAgg)> = table.iter().collect();
+            rows.sort_by_key(|(name, _)| *name);
             Json::Obj(
-                names
-                    .into_iter()
-                    .map(|name| {
-                        let agg = &map[name];
+                rows.into_iter()
+                    .map(|(name, agg)| {
                         (
                             name.clone(),
                             Json::obj([
@@ -1442,7 +1551,11 @@ fn telemetry_json(shared: &Shared) -> Json {
         }
         None => Json::Obj(Vec::new()),
     };
-    Json::obj([
+    let mut extra = match &shared.config.admin_extra {
+        Some(provider) => (provider.0)(),
+        None => Vec::new(),
+    };
+    let mut out = Json::obj([
         (
             "uptime_ns",
             Json::Uint(shared.epoch.elapsed().as_nanos() as u64),
@@ -1462,7 +1575,13 @@ fn telemetry_json(shared: &Shared) -> Json {
         ),
         ("metrics", snap.to_json()),
         ("devices", devices),
-    ])
+    ]);
+    if !extra.is_empty() {
+        if let Json::Obj(fields) = &mut out {
+            fields.append(&mut extra);
+        }
+    }
+    out
 }
 
 /// The `EXEMPLARS` response: the slow-round ring as JSON.

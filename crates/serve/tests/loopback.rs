@@ -1245,3 +1245,71 @@ fn exemplar_ring_retains_only_rounds_above_threshold() {
     });
     server.shutdown();
 }
+
+#[test]
+fn device_table_evicts_lru_beyond_cap_and_counts_evictions() {
+    const CAP: usize = 4;
+    const OVERFLOW: usize = 3;
+    let (linked, w) = deployed();
+    let server = Server::start(
+        test_verifier(&linked),
+        "127.0.0.1:0",
+        ServerConfig {
+            device_table_cap: CAP,
+            ..admin_config(Duration::from_secs(3600))
+        },
+    )
+    .expect("binds");
+    let admin = server.admin_addr().expect("admin listener bound");
+    let client = quick_client(server.local_addr());
+    let evictions_before = rap_obs::counter!("admin_device_table_evictions_total").get();
+
+    // cap + K distinct devices, one accepted round each, in order —
+    // the first K rows are the coldest and must be the ones evicted.
+    let names: Vec<String> = (0..CAP + OVERFLOW).map(|i| format!("lru-{i}")).collect();
+    for name in &names {
+        let verdict = client
+            .attest_once(name, respond_benign(&linked, &w))
+            .expect("round completes");
+        assert!(verdict.accepted);
+    }
+
+    wait_for(|| {
+        // Device rows land at verdict flush; wait until the *last*
+        // registered device is visible.
+        scrape_telemetry(admin)
+            .get("devices")
+            .and_then(Json::entries)
+            .is_some_and(|rows| rows.iter().any(|(n, _)| n == names.last().unwrap()))
+    });
+    let doc = scrape_telemetry(admin);
+    let rows = doc
+        .get("devices")
+        .and_then(Json::entries)
+        .expect("devices table present");
+    assert_eq!(
+        rows.len(),
+        CAP,
+        "table capped at {CAP}: {:?}",
+        rows.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+    );
+    for survivor in &names[OVERFLOW..] {
+        assert!(
+            rows.iter().any(|(n, _)| n == survivor),
+            "most-recently-touched device {survivor} must survive"
+        );
+    }
+    for evicted in &names[..OVERFLOW] {
+        assert!(
+            !rows.iter().any(|(n, _)| n == evicted),
+            "least-recently-touched device {evicted} must be evicted"
+        );
+    }
+    let evicted_total =
+        rap_obs::counter!("admin_device_table_evictions_total").get() - evictions_before;
+    assert!(
+        evicted_total >= OVERFLOW as u64,
+        "evictions counted: {evicted_total}"
+    );
+    server.shutdown();
+}

@@ -46,6 +46,9 @@ run cargo bench -p rap-bench --bench serve -- --quick --json "$PWD/BENCH_serve.j
 # verification up by >= 1.15x (with replay equivalence asserted
 # against the plain stream before anything is timed).
 run cargo bench -p rap-bench --bench dict -- --quick --json "$PWD/BENCH_dict.json" --enforce
+# Fleet control plane scaling: pure registry+scheduler cost (no
+# network) at 10/100/1000 devices, with p99 in-slot scheduling lag.
+run cargo bench -p rap-bench --bench fleet_plane -- --quick --json "$PWD/BENCH_fleet_plane.json"
 
 # Serve smoke: one real loopback deployment of the attestation service
 # with the telemetry plane bound (--admin). The server gets a
@@ -168,5 +171,24 @@ fi
 echo "dict smoke: report stream $PLAIN_BYTES -> $DICT_BYTES bytes"
 run "$RAP" verify "$SMOKE_DIR/loopy.img" "$SMOKE_DIR/loopy.map" "$SMOKE_DIR/dict.rpt" \
     --chal 7 --dict "$PWD/PROFILE_loopy.dict"
+
+# Fleet smoke: a deterministic 4-device loopback fleet with one
+# compromised actor — the run must quarantine it (exit 0 asserts
+# containment), the transition log must show the quarantine, and the
+# persisted registry must round-trip through `rap fleet status`.
+echo "==> fleet smoke (simulated fleet, compromise -> quarantine)"
+run "$RAP" fleet run --devices 4 --compromised 1 --slots 18 --seed 7 \
+    --json "$SMOKE_DIR/fleet.json" | tee "$SMOKE_DIR/fleet.log"
+grep -q "suspect -> quarantined (reject-threshold)" "$SMOKE_DIR/fleet.log" || {
+    echo "fleet smoke: compromised device was not quarantined" >&2
+    cat "$SMOKE_DIR/fleet.log" >&2
+    exit 1
+}
+"$RAP" fleet status "$SMOKE_DIR/fleet.json" --json \
+    | grep -q '"state": *"quarantined"\|"state":"quarantined"' || {
+    echo "fleet smoke: quarantine missing from status JSON" >&2
+    "$RAP" fleet status "$SMOKE_DIR/fleet.json" >&2
+    exit 1
+}
 
 echo "==> all checks passed"

@@ -1,0 +1,235 @@
+//! End-to-end fleet control plane scenarios (ISSUE 9): a deterministic
+//! simulated fleet of SplitMix64-seeded device actors attesting over
+//! loopback against a real rap-serve deployment with the fleet plane
+//! attached, exercising the full compromise → detection → quarantine →
+//! heal loop. Every scenario is a pure function of its [`SimConfig`] —
+//! the transition logs are asserted byte-for-byte across runs.
+
+use rap_fleet::{run_sim, Cause, DeviceState, Event, FleetPlane, Policy, Registry, SimConfig};
+
+fn base_config() -> SimConfig {
+    SimConfig {
+        devices: 4,
+        compromised: 0,
+        flaky: 0,
+        slots: 24,
+        seed: 0xF1EE7,
+        flip_at_slot: 4,
+        restore_at_slot: 10,
+        policy: SimConfig::demo_policy(),
+        admin: false,
+    }
+}
+
+#[test]
+fn benign_steady_state_has_no_spurious_transitions() {
+    let report = run_sim(&SimConfig {
+        devices: 3,
+        slots: 50,
+        ..base_config()
+    })
+    .expect("sim runs");
+    assert_eq!(
+        report.transitions, "",
+        "benign fleet must not transition:\n{}",
+        report.transitions
+    );
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.timeouts, 0);
+    assert_eq!(report.rounds_driven, 150, "3 devices x 50 slots");
+    assert!(report.states.values().all(|&s| s == DeviceState::Healthy));
+}
+
+#[test]
+fn compromise_detection_quarantine_heal_is_deterministic() {
+    let config = SimConfig {
+        compromised: 1,
+        ..base_config()
+    };
+    let report = run_sim(&config).expect("sim runs");
+
+    // Detection within the policy threshold: the actor starts forging
+    // at slot 4 (t=400ms) and quarantine_after=2, so the device must
+    // be quarantined by its second forged round at t=500ms.
+    let lines: Vec<&str> = report.transitions.lines().collect();
+    assert!(
+        lines.contains(&"t=400ms dev-000 healthy -> suspect (reject-streak)"),
+        "first forged round raises suspicion:\n{}",
+        report.transitions
+    );
+    assert!(
+        lines.contains(&"t=500ms dev-000 suspect -> quarantined (reject-threshold)"),
+        "second forged round quarantines:\n{}",
+        report.transitions
+    );
+    // Remediation: the quarantine TTL offers re-provisioning, and once
+    // the actor is restored (slot 10) an accepted round past the
+    // backoff gate returns it to Healthy.
+    assert!(
+        report
+            .transitions
+            .contains("quarantined -> reprovisioning (quarantine-ttl)"),
+        "TTL must expire into reprovisioning:\n{}",
+        report.transitions
+    );
+    assert!(
+        report
+            .transitions
+            .contains("reprovisioning -> healthy (reprovisioned)"),
+        "restored device must heal:\n{}",
+        report.transitions
+    );
+    assert_eq!(report.states["dev-000"], DeviceState::Healthy);
+    // The other three devices never transition.
+    for line in &lines {
+        assert!(
+            line.contains("dev-000"),
+            "only the compromised device transitions, got: {line}"
+        );
+    }
+
+    // Byte-for-byte determinism: a second run from the same config
+    // replays the identical audit log and registry.
+    let again = run_sim(&config).expect("sim runs twice");
+    assert_eq!(report.transitions, again.transitions);
+    assert_eq!(
+        report.registry_json.to_compact(),
+        again.registry_json.to_compact()
+    );
+}
+
+#[test]
+fn flaky_device_timeouts_never_promote_past_suspect() {
+    let report = run_sim(&SimConfig {
+        devices: 3,
+        flaky: 1,
+        slots: 40,
+        ..base_config()
+    })
+    .expect("sim runs");
+    assert!(report.timeouts > 0, "flaky actor must skip some slots");
+    let flaky_state = report.states["dev-000"];
+    assert!(
+        flaky_state == DeviceState::Healthy || flaky_state == DeviceState::Suspect,
+        "timeouts alone must never promote past Suspect, got {flaky_state}"
+    );
+    for line in report.transitions.lines() {
+        assert!(
+            !line.contains("quarantined"),
+            "no quarantine from timeouts: {line}"
+        );
+    }
+}
+
+#[test]
+fn quarantine_survives_reconnect_via_session_resumption() {
+    let report = run_sim(&SimConfig {
+        compromised: 1,
+        slots: 16,
+        // Keep the device compromised to the end: it must sit in
+        // quarantine across many reconnects.
+        restore_at_slot: 1_000,
+        ..base_config()
+    })
+    .expect("sim runs");
+    assert!(
+        report
+            .transitions
+            .contains("suspect -> quarantined (reject-threshold)"),
+        "device must be quarantined:\n{}",
+        report.transitions
+    );
+    // Actors reconnect via their resumption token every scheduled
+    // round; the server really resumed sessions rather than
+    // re-HELLOing.
+    assert!(
+        report.server.resumed > 0,
+        "expected resumed sessions, server stats: {:?}",
+        report.server
+    );
+    // Verdicts kept arriving over those resumed connections and were
+    // gated, not acted on: the device is still quarantined (its TTL
+    // re-offers reprovisioning, but every forged round fails it back).
+    let final_state = report.states["dev-000"];
+    assert!(
+        final_state == DeviceState::Quarantined || final_state == DeviceState::Reprovisioning,
+        "still-compromised device must stay contained, got {final_state}"
+    );
+    assert!(
+        !report.transitions.contains("(reprovisioned)"),
+        "a still-forging device must never heal:\n{}",
+        report.transitions
+    );
+}
+
+#[test]
+fn admin_quarantine_and_heal_override_policy() {
+    let plane = FleetPlane::new(Policy::default());
+    plane.register("dev-admin");
+    let fired = plane.observe("dev-admin", Event::AdminQuarantine);
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].to, DeviceState::Quarantined);
+    assert_eq!(fired[0].cause, Cause::AdminQuarantine);
+    // Gated while quarantined: accepted verdicts change nothing.
+    assert!(plane.observe("dev-admin", Event::Accepted).is_empty());
+    let healed = plane.observe("dev-admin", Event::AdminHeal);
+    assert_eq!(healed.len(), 1);
+    assert_eq!(healed[0].to, DeviceState::Healthy);
+
+    // The audit log round-trips through JSON (what `rap fleet
+    // quarantine`/`heal` persist).
+    let json = plane.to_json();
+    let back = Registry::from_json(&json).expect("registry JSON parses");
+    assert_eq!(back.transitions().len(), 2);
+    assert_eq!(
+        back.device("dev-admin").expect("device present").state(),
+        DeviceState::Healthy
+    );
+}
+
+#[test]
+fn admin_plane_exposes_fleet_state() {
+    let report = run_sim(&SimConfig {
+        compromised: 1,
+        admin: true,
+        slots: 12,
+        restore_at_slot: 1_000,
+        ..base_config()
+    })
+    .expect("sim runs");
+    let stats = report
+        .admin_stats_json
+        .expect("admin scrape succeeded with admin: true");
+    let fleet = stats.get("fleet").expect("STATS JSON has a fleet section");
+    let counts = fleet.get("counts").expect("fleet counts present");
+    assert_eq!(
+        counts.get("quarantined").and_then(|j| j.as_u64()),
+        Some(1),
+        "compromised device quarantined in admin JSON: {}",
+        fleet.to_pretty()
+    );
+    let devices = fleet.get("devices").expect("fleet devices present");
+    let dev = devices.get("dev-000").expect("dev-000 present");
+    assert_eq!(
+        dev.get("state").and_then(|j| j.as_str()),
+        Some("quarantined")
+    );
+}
+
+#[test]
+fn registry_fuzz_oracle_runs_500_iterations_clean() {
+    let mut events = 0u64;
+    let mut transitions = 0u64;
+    for i in 0..500u64 {
+        let cs = rap_fuzz::rng::case_seed(0xF1EE7, i);
+        let result = rap_fuzz::registry::run_registry_case(cs)
+            .unwrap_or_else(|f| panic!("case {i} (seed {cs:#x}) failed: {}", f.detail));
+        events += result.events;
+        transitions += result.transitions;
+    }
+    assert!(events > 0);
+    assert!(
+        transitions > 0,
+        "sequences must actually exercise transitions"
+    );
+}
