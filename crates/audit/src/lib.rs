@@ -1,0 +1,65 @@
+//! # rap-audit — hash-chained audit log for sealed verdicts
+//!
+//! Every verdict the verifier seals (a [`VerdictRecord`]) can be
+//! appended to an audit log whose entries form a hash chain: entry *i*
+//! commits to `sha256(prev_entry_hash ‖ record_bytes)`, anchored at a
+//! fixed genesis hash. An auditor replays the chain offline with
+//! [`ChainVerifier`] and gets either a clean report or the *first
+//! break* — a typed reason (broken link, bad seal, truncated tail,
+//! undecodable record) with the byte offset of the offending frame.
+//!
+//! The on-disk format is append-only and crash-tolerant:
+//!
+//! ```text
+//! header  magic "RAPA" + version u8 = 1          5 bytes
+//! entry   len u32 LE                             4
+//!         record_bytes                           len
+//!         entry_hash [u8; 32]                    sha256(prev ‖ record)
+//! ```
+//!
+//! Appends are buffered and land in one `write` per
+//! [`AuditLog::flush`] (the serve path flushes once per drain tick),
+//! so a crash can only ever leave a *partial tail frame* — which
+//! [`AuditLog::open`] detects via the per-entry checksum and truncates
+//! away. A complete frame whose hash does not match is *tamper*, never
+//! recovered silently.
+//!
+//! ```
+//! use rap_audit::{AuditLog, ChainVerifier};
+//! use rap_track::{verdict_seal_key, VerdictDraft, VerdictRecord};
+//!
+//! let dir = std::env::temp_dir().join(format!("rap-audit-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("verdicts.ralog");
+//! let key = verdict_seal_key(b"device-key");
+//!
+//! let mut log = AuditLog::create(&path)?;
+//! for seq in 0..4 {
+//!     let record = VerdictRecord::seal(
+//!         &key,
+//!         VerdictDraft { device: "dev-0".into(), accepted: true, seq, ..VerdictDraft::default() },
+//!     );
+//!     log.append_record(&record);
+//! }
+//! log.flush()?;
+//!
+//! let report = ChainVerifier::with_seal_key(key).verify_file(&path)?;
+//! assert!(report.ok());
+//! assert_eq!(report.entries, 4);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chain;
+mod log;
+
+pub use chain::{
+    entry_hash, genesis_hash, ChainBreak, ChainEntry, ChainReport, ChainVerifier, FILE_HEADER_LEN,
+    MAX_RECORD_LEN,
+};
+pub use log::{AuditLog, OpenError};
+
+pub use rap_track::{VerdictDraft, VerdictError, VerdictRecord};

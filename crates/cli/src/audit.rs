@@ -1,0 +1,203 @@
+//! `rap audit` — offline tooling over the hash-chained verdict log
+//! (library form).
+//!
+//! - `verify`: replay the chain, reporting either a clean summary or
+//!   the typed *first break* with its byte offset; with `--key` the
+//!   seal on every record is checked too (a re-signed splice with
+//!   recomputed chain hashes is only catchable this way).
+//! - `show`: render every record (oldest first), one line each.
+//! - `tail`: render only the newest records.
+
+use std::fmt::Write as _;
+
+use rap_audit::{ChainEntry, ChainReport, ChainVerifier};
+use rap_track::{device_key, short_hash_hex, verdict_seal_key};
+
+use crate::CliError;
+
+/// Derives the record seal key from a `--key` device seed (the same
+/// derivation the verifier uses, so an operator who can start `rap
+/// serve --key SEED` can audit its log).
+fn seal_key_from_seed(seed: &str) -> Vec<u8> {
+    verdict_seal_key(&device_key(seed))
+}
+
+fn scan(log_bytes: &[u8], key_seed: Option<&str>) -> (Vec<ChainEntry>, ChainReport) {
+    let verifier = match key_seed {
+        Some(seed) => ChainVerifier::with_seal_key(seal_key_from_seed(seed)),
+        None => ChainVerifier::new(),
+    };
+    verifier.scan(log_bytes)
+}
+
+/// `rap audit verify`: replays the whole chain. Returns `(clean,
+/// summary)` — `clean` is `false` on any break, and the summary names
+/// the typed break and its byte offset.
+pub fn cmd_audit_verify(log_bytes: &[u8], key_seed: Option<&str>) -> (bool, String) {
+    let (_, report) = scan(log_bytes, key_seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "entries={} verified_bytes={} head={}",
+        report.entries,
+        report.verified_bytes,
+        short_hash_hex(&report.head)
+    );
+    match &report.first_break {
+        None => {
+            let seals = if key_seed.is_some() {
+                "chain and seals verified"
+            } else {
+                "chain verified (no --key: seals not checked)"
+            };
+            let _ = writeln!(out, "OK: {seals}");
+            (true, out)
+        }
+        Some(b) => {
+            let _ = writeln!(out, "BROKEN: {b}");
+            (false, out)
+        }
+    }
+}
+
+/// `rap audit show`: renders every verified record, oldest first, one
+/// line per entry (`#index [entry-hash] record`). A broken chain still
+/// renders the clean prefix, then the break.
+pub fn cmd_audit_show(log_bytes: &[u8], key_seed: Option<&str>) -> (bool, String) {
+    render_entries(log_bytes, key_seed, None)
+}
+
+/// `rap audit tail`: like [`cmd_audit_show`] but only the newest
+/// `count` records.
+pub fn cmd_audit_tail(log_bytes: &[u8], key_seed: Option<&str>, count: usize) -> (bool, String) {
+    render_entries(log_bytes, key_seed, Some(count))
+}
+
+fn render_entries(
+    log_bytes: &[u8],
+    key_seed: Option<&str>,
+    newest: Option<usize>,
+) -> (bool, String) {
+    let (entries, report) = scan(log_bytes, key_seed);
+    let skip = match newest {
+        Some(n) => entries.len().saturating_sub(n),
+        None => 0,
+    };
+    let mut out = String::new();
+    for entry in &entries[skip..] {
+        let _ = writeln!(
+            out,
+            "#{:<4} [{}] {}",
+            entry.index,
+            short_hash_hex(&entry.entry_hash),
+            entry.record.render()
+        );
+    }
+    match &report.first_break {
+        None => (true, out),
+        Some(b) => {
+            let _ = writeln!(out, "BROKEN: {b}");
+            (false, out)
+        }
+    }
+}
+
+/// Parses a `rap audit` invocation (`sub` plus the already-read log
+/// bytes) — the argv adapter calls this.
+///
+/// # Errors
+///
+/// Unknown subcommands, formatted.
+pub fn cmd_audit(
+    sub: &str,
+    log_bytes: &[u8],
+    key_seed: Option<&str>,
+    tail: usize,
+) -> Result<(bool, String), CliError> {
+    match sub {
+        "verify" => Ok(cmd_audit_verify(log_bytes, key_seed)),
+        "show" => Ok(cmd_audit_show(log_bytes, key_seed)),
+        "tail" => Ok(cmd_audit_tail(log_bytes, key_seed, tail)),
+        other => Err(CliError(format!("unknown audit subcommand `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_track::{VerdictDraft, VerdictRecord};
+
+    fn log_bytes(records: usize) -> Vec<u8> {
+        let dir = std::env::temp_dir().join(format!("rap-cli-audit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{records}.ralog"));
+        let mut log = rap_audit::AuditLog::create(&path).unwrap();
+        let key = seal_key_from_seed("audit-cli");
+        for seq in 0..records as u64 {
+            log.append_record(&VerdictRecord::seal(
+                &key,
+                VerdictDraft {
+                    device: format!("dev-{seq}"),
+                    accepted: seq % 2 == 0,
+                    seq,
+                    kind: if seq % 2 == 0 {
+                        String::new()
+                    } else {
+                        "return-mismatch".to_string()
+                    },
+                    ..VerdictDraft::default()
+                },
+            ));
+        }
+        log.flush().unwrap();
+        std::fs::read(&path).unwrap()
+    }
+
+    #[test]
+    fn verify_reports_clean_and_broken() {
+        let bytes = log_bytes(3);
+        let (ok, out) = cmd_audit_verify(&bytes, Some("audit-cli"));
+        assert!(ok, "{out}");
+        assert!(out.contains("entries=3"));
+        assert!(out.contains("chain and seals verified"));
+
+        let (ok, out) = cmd_audit_verify(&bytes, None);
+        assert!(ok, "{out}");
+        assert!(out.contains("seals not checked"));
+
+        let mut tampered = bytes.clone();
+        let mid = tampered.len() / 2;
+        tampered[mid] ^= 1;
+        let (ok, out) = cmd_audit_verify(&tampered, None);
+        assert!(!ok);
+        assert!(out.contains("BROKEN:"), "{out}");
+    }
+
+    #[test]
+    fn wrong_key_is_a_bad_seal() {
+        let bytes = log_bytes(2);
+        let (ok, out) = cmd_audit_verify(&bytes, Some("not-the-seed"));
+        assert!(!ok);
+        assert!(out.contains("fails seal verification"), "{out}");
+    }
+
+    #[test]
+    fn show_and_tail_render_records() {
+        let bytes = log_bytes(5);
+        let (ok, out) = cmd_audit_show(&bytes, Some("audit-cli"));
+        assert!(ok, "{out}");
+        assert_eq!(out.lines().count(), 5);
+        assert!(out.contains("ACCEPT dev-0"), "{out}");
+        assert!(out.contains("REJECT dev-1"), "{out}");
+
+        let (ok, tail) = cmd_audit_tail(&bytes, None, 2);
+        assert!(ok);
+        assert_eq!(tail.lines().count(), 2);
+        assert!(tail.starts_with("#3"), "{tail}");
+    }
+
+    #[test]
+    fn unknown_subcommand_is_typed() {
+        assert!(cmd_audit("frobnicate", &[], None, 0).is_err());
+    }
+}

@@ -15,8 +15,10 @@
 
 #![warn(missing_docs)]
 
+mod audit;
 mod fleet;
 
+pub use audit::{cmd_audit, cmd_audit_show, cmd_audit_tail, cmd_audit_verify};
 pub use fleet::{
     cmd_fleet_admin, cmd_fleet_run, cmd_fleet_status, cmd_fleet_status_remote, FleetRunOptions,
 };
@@ -253,7 +255,12 @@ pub fn cmd_verify(
         builder = builder.dict(parse_dict(text)?);
     }
     let verifier = builder.build()?;
-    let (ok, verdict) = match verifier.verify(Challenge::from_seed(chal_seed), &reports) {
+    // Every verification seals a proof-carrying record; the OK/REJECTED
+    // line is a view of it, and the `sealed:` line is the identity an
+    // audit log or fleet transition would cite.
+    let (record, result) =
+        verifier.verify_record(key_seed, 0, Challenge::from_seed(chal_seed), &reports);
+    let (ok, verdict) = match result {
         Ok(path) => (
             true,
             format!(
@@ -264,6 +271,7 @@ pub fn cmd_verify(
         ),
         Err(v) => (false, format!("REJECTED: {v}")),
     };
+    let verdict = format!("{verdict}\nsealed: {}", record.render());
     Ok((ok, verdict, verifier.stats()))
 }
 
@@ -677,6 +685,10 @@ pub struct ServeCmdOptions {
     /// Contents of a `--dict` artifact for this deployed image; devices
     /// may then submit dictionary-compressed report streams.
     pub dict: Option<String>,
+    /// Path of the hash-chained audit log (`--audit-log`); every sealed
+    /// verdict is appended, batched once per drain tick. `None` keeps
+    /// auditing off.
+    pub audit_log: Option<String>,
 }
 
 impl Default for ServeCmdOptions {
@@ -692,6 +704,7 @@ impl Default for ServeCmdOptions {
             admin: None,
             slow_ms: None,
             dict: None,
+            audit_log: None,
         }
     }
 }
@@ -776,6 +789,7 @@ pub fn cmd_serve(
                 defaults.slow_round_threshold,
                 std::time::Duration::from_millis,
             ),
+            audit_log: options.audit_log.as_ref().map(std::path::PathBuf::from),
             ..defaults
         },
     )?;

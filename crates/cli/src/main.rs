@@ -30,7 +30,10 @@ USAGE:
   rap serve   <img> <map> [--addr HOST:PORT] [--threads T] [--key SEED]
               [--limit N] [--secret S] [--window W] [--admin HOST:PORT]
               [--slow-ms N] [--dict DICT] [--metrics OUT.json]
-              [--base ADDR]
+              [--audit-log LOG] [--base ADDR]
+  rap audit   verify <log> [--key SEED]   # replay the hash chain
+  rap audit   show <log> [--key SEED]     # render every sealed verdict
+  rap audit   tail <log> [--key SEED] [--last N]
   rap attest-remote <img> <map> --addr HOST:PORT [--device NAME]
               [--key SEED] [--rounds N] [--retries R] [--watermark N]
               [--window W] [--resume] [--dict DICT] [--base ADDR]
@@ -98,6 +101,8 @@ impl Args {
                         | "compromised"
                         | "flaky"
                         | "slots"
+                        | "audit-log"
+                        | "last"
                 ) || name == "o"
                     || name == "m";
                 let value = if takes_value {
@@ -396,6 +401,7 @@ fn run() -> Result<(), CliError> {
                     None
                 },
                 dict: args.flag("dict").map(fs::read_to_string).transpose()?,
+                audit_log: args.flag("audit-log").map(str::to_owned),
             };
             let obs = ObsOutputs::begin(&args);
             let (server, verifier, generated_secret) = rap_cli::cmd_serve(&img, &map, &options)?;
@@ -578,6 +584,18 @@ fn run() -> Result<(), CliError> {
                         "unknown fleet subcommand `{other}`\n\n{USAGE}"
                     )));
                 }
+            }
+        }
+        "audit" => {
+            need(2)?;
+            let sub = args.positional[0].as_str();
+            let log_bytes = fs::read(&args.positional[1])?;
+            let key_seed = args.flag("key");
+            let tail = args.num("last", 10)? as usize;
+            let (ok, out) = rap_cli::cmd_audit(sub, &log_bytes, key_seed, tail)?;
+            print!("{out}");
+            if !ok {
+                std::process::exit(1);
             }
         }
         "demo" => {

@@ -55,6 +55,7 @@ mod metrics;
 mod policy;
 mod protocol;
 mod report;
+mod verdict;
 mod verifier;
 mod wire;
 
@@ -66,6 +67,9 @@ pub use metrics::{Metrics, VerifierStats};
 pub use policy::{PathPolicy, PathStats, PolicyFinding};
 pub use protocol::{SessionError, VerifierSession};
 pub use report::{device_key, CfLog, Challenge, Key, Report};
+pub use verdict::{
+    short_hash_hex, stats_digest, verdict_seal_key, VerdictDraft, VerdictError, VerdictRecord,
+};
 pub use verifier::{
     BuildError, PathEvent, ReplaySession, VerifiedPath, Verifier, VerifierBuilder, Violation,
 };
@@ -83,6 +87,7 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::protocol::{SessionError, VerifierSession};
     pub use crate::report::{device_key, Challenge, Key, Report};
+    pub use crate::verdict::{verdict_seal_key, VerdictDraft, VerdictError, VerdictRecord};
     pub use crate::verifier::{PathEvent, VerifiedPath, Verifier, VerifierBuilder, Violation};
     pub use crate::wire::{decode_stream, encode_stream, WireError};
 }

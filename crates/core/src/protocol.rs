@@ -26,6 +26,7 @@ use rap_crypto::hmac_sha256;
 use rap_link::LinkMap;
 
 use crate::report::{Challenge, Key, Report};
+use crate::verdict::{stats_digest, VerdictDraft, VerdictRecord};
 use crate::verifier::{VerifiedPath, Verifier, Violation};
 
 /// The Verifier's per-device session state.
@@ -34,6 +35,7 @@ pub struct VerifierSession {
     verifier: Verifier,
     session_secret: Vec<u8>,
     counter: u64,
+    responses: u64,
     outstanding: VecDeque<Challenge>,
     used: HashSet<[u8; 32]>,
 }
@@ -87,6 +89,7 @@ impl VerifierSession {
             verifier,
             session_secret: session_secret.to_vec(),
             counter: 0,
+            responses: 0,
             outstanding: VecDeque::new(),
             used: HashSet::new(),
         }
@@ -147,6 +150,7 @@ impl VerifierSession {
     /// evidence failures (which also consume the challenge — a device
     /// does not get a second try against the same nonce).
     pub fn check_response(&mut self, reports: &[Report]) -> Result<VerifiedPath, SessionError> {
+        self.responses += 1;
         let chal = self
             .outstanding
             .pop_front()
@@ -157,6 +161,67 @@ impl VerifierSession {
         self.verifier
             .verify(chal, reports)
             .map_err(SessionError::Verification)
+    }
+
+    /// [`check_response`](VerifierSession::check_response), wrapped in
+    /// a sealed proof-carrying [`VerdictRecord`].
+    ///
+    /// The record binds `device`, the consumed challenge nonce (all
+    /// zero when the failure happened before a challenge was matched),
+    /// a hash of the judged report stream and this session's response
+    /// counter as the logical timestamp. Protocol failures seal as
+    /// rejections with kinds `no-outstanding-challenge` /
+    /// `challenge-reused`; verification failures carry the
+    /// [`Violation`] kind. The plain result is returned alongside so
+    /// callers keep the old enum as a view of the record.
+    pub fn check_response_record(
+        &mut self,
+        device: &str,
+        reports: &[Report],
+    ) -> (VerdictRecord, Result<VerifiedPath, SessionError>) {
+        let chal = self.outstanding.front().copied();
+        let result = self.check_response(reports);
+        let stats = self.verifier.stats();
+        let mut draft = VerdictDraft {
+            device: device.to_string(),
+            chal: chal.unwrap_or(Challenge([0u8; 32])),
+            report_hash: rap_crypto::sha256(&crate::wire::encode_stream(reports)),
+            stats_digest: stats_digest(&stats),
+            dict_hits: reports
+                .iter()
+                .map(|r| r.log.dict_hits.len() as u32)
+                .fold(0u32, u32::saturating_add),
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            seq: self.responses,
+            ..VerdictDraft::default()
+        };
+        match &result {
+            Ok(path) => {
+                draft.accepted = true;
+                draft.events = path.events.len() as u32;
+                draft.steps = path.steps;
+            }
+            Err(SessionError::NoOutstandingChallenge) => {
+                draft.kind = "no-outstanding-challenge".to_string();
+                draft.detail = SessionError::NoOutstandingChallenge.to_string();
+            }
+            Err(SessionError::ChallengeReused) => {
+                draft.kind = "challenge-reused".to_string();
+                draft.detail = SessionError::ChallengeReused.to_string();
+            }
+            Err(SessionError::Verification(v)) => {
+                draft.kind = v.kind().to_string();
+                draft.detail = v.to_string();
+            }
+        }
+        (self.verifier.seal_verdict(draft), result)
+    }
+
+    /// Number of responses checked so far — the logical timestamp
+    /// sealed into this session's records.
+    pub fn responses_checked(&self) -> u64 {
+        self.responses
     }
 
     /// Number of challenges issued so far.

@@ -779,6 +779,66 @@ impl Verifier {
         }
     }
 
+    /// The domain-separated key this verifier seals
+    /// [`VerdictRecord`](crate::VerdictRecord)s with — hand it to an
+    /// offline audit-chain verifier to re-check record provenance.
+    pub fn verdict_seal_key(&self) -> Key {
+        crate::verdict::verdict_seal_key(&self.key)
+    }
+
+    /// Seals an arbitrary [`VerdictDraft`](crate::VerdictDraft) under
+    /// this verifier's sealing key — the escape hatch for producers
+    /// that judge evidence before replay can run (wire decode
+    /// failures, session-protocol violations).
+    pub fn seal_verdict(&self, draft: crate::VerdictDraft) -> crate::VerdictRecord {
+        crate::VerdictRecord::seal(&self.verdict_seal_key(), draft)
+    }
+
+    /// [`verify`](Verifier::verify), wrapped in a sealed
+    /// proof-carrying [`VerdictRecord`](crate::VerdictRecord).
+    ///
+    /// `device` and `seq` (a producer-local logical timestamp) are
+    /// bound into the record together with the challenge nonce, a hash
+    /// of the judged report stream, the outcome and a snapshot of the
+    /// replay counters. The plain result is returned alongside so
+    /// callers keep the old enum as a view of the record.
+    pub fn verify_record(
+        &self,
+        device: &str,
+        seq: u64,
+        chal: Challenge,
+        reports: &[Report],
+    ) -> (crate::VerdictRecord, Result<VerifiedPath, Violation>) {
+        let result = self.verify(chal, reports);
+        let stats = self.stats();
+        let mut draft = crate::VerdictDraft {
+            device: device.to_string(),
+            chal,
+            report_hash: rap_crypto::sha256(&crate::wire::encode_stream(reports)),
+            stats_digest: crate::verdict::stats_digest(&stats),
+            dict_hits: reports
+                .iter()
+                .map(|r| r.log.dict_hits.len() as u32)
+                .fold(0u32, u32::saturating_add),
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            seq,
+            ..crate::VerdictDraft::default()
+        };
+        match &result {
+            Ok(path) => {
+                draft.accepted = true;
+                draft.events = path.events.len() as u32;
+                draft.steps = path.steps;
+            }
+            Err(v) => {
+                draft.kind = v.kind().to_string();
+                draft.detail = v.to_string();
+            }
+        }
+        (self.seal_verdict(draft), result)
+    }
+
     /// Authenticates a report stream and reconstructs the execution
     /// path it attests.
     ///

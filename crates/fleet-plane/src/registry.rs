@@ -12,7 +12,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rap_obs::Json;
-use rap_serve::{AdminExtra, VerdictHook};
+#[allow(deprecated)]
+use rap_serve::VerdictHook;
+use rap_serve::{AdminExtra, RoundEvent, RoundHook};
 
 use crate::state::{Cause, DeviceMachine, DeviceState, Event, Policy, Transition};
 
@@ -23,20 +25,31 @@ pub struct TransitionRecord {
     pub device: String,
     /// The transition itself (logical time, from, to, cause).
     pub transition: Transition,
+    /// Short hash of the sealed [`VerdictRecord`](rap_track::VerdictRecord)
+    /// whose verdict triggered the transition, when one did — the join
+    /// key into the audit log. Time-driven transitions (decay, TTL)
+    /// have none.
+    pub evidence: Option<String>,
 }
 
 impl TransitionRecord {
     /// One-line rendering, stable across runs from the same seed —
-    /// the fleet tests assert on this byte-for-byte.
+    /// the fleet tests assert on this byte-for-byte. Evidence-carrying
+    /// transitions append ` rec=<short-hash>` so the line can be
+    /// joined against `rap audit show`.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "t={}ms {} {} -> {} ({})",
             self.transition.at_ms,
             self.device,
             self.transition.from,
             self.transition.to,
             self.transition.cause
-        )
+        );
+        if let Some(rec) = &self.evidence {
+            line.push_str(&format!(" rec={rec}"));
+        }
+        line
     }
 }
 
@@ -124,22 +137,38 @@ impl Registry {
     /// per scheduled round. Returns the transitions that fired (0–2:
     /// a tick transition and/or an event transition).
     pub fn observe(&mut self, device: &str, now_ms: u64, event: Event) -> Vec<Transition> {
+        self.observe_with_evidence(device, now_ms, event, None)
+    }
+
+    /// [`observe`](Registry::observe), citing the sealed verdict record
+    /// (by short hash) that carried the event. The evidence lands on
+    /// the *event-driven* transition only — a time-driven (tick)
+    /// transition firing in the same call was not caused by this
+    /// verdict and stays unattributed.
+    pub fn observe_with_evidence(
+        &mut self,
+        device: &str,
+        now_ms: u64,
+        event: Event,
+        evidence: Option<&str>,
+    ) -> Vec<Transition> {
         let policy = self.policy.clone();
         let machine = self.register(device, now_ms);
         let mut fired = Vec::new();
         if let Some(t) = machine.tick(&policy, now_ms) {
-            fired.push(t);
+            fired.push((t, None));
         }
         if let Some(t) = machine.apply(&policy, now_ms, event) {
-            fired.push(t);
+            fired.push((t, evidence));
         }
-        for t in &fired {
+        for (t, rec) in &fired {
             self.transitions.push(TransitionRecord {
                 device: device.to_string(),
                 transition: *t,
+                evidence: rec.map(str::to_string),
             });
         }
-        fired
+        fired.into_iter().map(|(t, _)| t).collect()
     }
 
     /// Applies time-driven rules to every device at `now_ms` (the
@@ -153,6 +182,7 @@ impl Registry {
                 fired.push(TransitionRecord {
                     device: name.clone(),
                     transition: t,
+                    evidence: None,
                 });
             }
         }
@@ -249,13 +279,28 @@ impl Registry {
                     self.transitions
                         .iter()
                         .map(|r| {
-                            Json::obj([
-                                ("device", Json::Str(r.device.clone())),
-                                ("at_ms", Json::Uint(r.transition.at_ms)),
-                                ("from", Json::Str(r.transition.from.as_str().to_string())),
-                                ("to", Json::Str(r.transition.to.as_str().to_string())),
-                                ("cause", Json::Str(r.transition.cause.as_str().to_string())),
-                            ])
+                            let mut fields = vec![
+                                ("device".to_string(), Json::Str(r.device.clone())),
+                                ("at_ms".to_string(), Json::Uint(r.transition.at_ms)),
+                                (
+                                    "from".to_string(),
+                                    Json::Str(r.transition.from.as_str().to_string()),
+                                ),
+                                (
+                                    "to".to_string(),
+                                    Json::Str(r.transition.to.as_str().to_string()),
+                                ),
+                                (
+                                    "cause".to_string(),
+                                    Json::Str(r.transition.cause.as_str().to_string()),
+                                ),
+                            ];
+                            // Optional so registries persisted before
+                            // evidence existed round-trip byte-identically.
+                            if let Some(rec) = &r.evidence {
+                                fields.push(("rec".to_string(), Json::Str(rec.clone())));
+                            }
+                            Json::Obj(fields)
                         })
                         .collect(),
                 ),
@@ -344,6 +389,7 @@ impl Registry {
                         .and_then(Cause::parse)
                         .ok_or_else(|| missing("transition cause"))?,
                 },
+                evidence: t.get("rec").and_then(Json::as_str).map(str::to_string),
             });
         }
         Ok(registry)
@@ -408,11 +454,23 @@ impl FleetPlane {
     /// Feeds one observation at the current logical time, publishing
     /// metrics. Returns the transitions that fired.
     pub fn observe(&self, device: &str, event: Event) -> Vec<Transition> {
+        self.observe_with_evidence(device, event, None)
+    }
+
+    /// [`observe`](FleetPlane::observe), citing the sealed verdict
+    /// record (by short hash) that carried the event — see
+    /// [`Registry::observe_with_evidence`].
+    pub fn observe_with_evidence(
+        &self,
+        device: &str,
+        event: Event,
+        evidence: Option<&str>,
+    ) -> Vec<Transition> {
         let now = self.now_ms();
         let mut reg = self.inner.registry.lock().unwrap();
         let was_quarantined =
             reg.device(device).map(DeviceMachine::state) == Some(DeviceState::Quarantined);
-        let fired = reg.observe(device, now, event);
+        let fired = reg.observe_with_evidence(device, now, event, evidence);
         match event {
             Event::Accepted | Event::Rejected => {
                 rap_obs::counter!("fleet_verdicts_total").inc();
@@ -453,6 +511,15 @@ impl FleetPlane {
 
     /// A [`VerdictHook`] for [`rap_serve::ServerConfig::verdict_hook`]
     /// — every verified round flows into this plane.
+    ///
+    /// Deprecated bool-form shim: prefer
+    /// [`round_hook`](FleetPlane::round_hook), which also attributes
+    /// transitions to the sealed record that triggered them.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use round_hook, which cites the sealed VerdictRecord as transition evidence"
+    )]
+    #[allow(deprecated)]
     pub fn verdict_hook(&self) -> VerdictHook {
         let plane = self.clone();
         VerdictHook::new(move |device, accepted| {
@@ -462,6 +529,26 @@ impl FleetPlane {
                 Event::Rejected
             };
             plane.observe(device, event);
+        })
+    }
+
+    /// A [`RoundHook`] for [`rap_serve::ServerConfig::round_hook`] —
+    /// every verified round flows into this plane, and transitions it
+    /// fires cite the sealed record's short hash as evidence (the join
+    /// key into the audit log).
+    pub fn round_hook(&self) -> RoundHook {
+        let plane = self.clone();
+        RoundHook::new(move |round| {
+            // RoundEvent is non_exhaustive; future event kinds are not
+            // verdicts and do not feed the state machine.
+            if let RoundEvent::Verdict { device, record } = round {
+                let event = if record.accepted() {
+                    Event::Accepted
+                } else {
+                    Event::Rejected
+                };
+                plane.observe_with_evidence(device, event, Some(&record.short_hash()));
+            }
         })
     }
 

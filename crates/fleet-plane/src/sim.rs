@@ -1,8 +1,9 @@
 //! A deterministic simulated fleet over loopback TCP: SplitMix64-
 //! seeded device actors attesting against a real [`rap_serve::Server`]
-//! with the fleet plane attached via the verdict hook, driven on a
-//! logical clock so the same seed reproduces the same transitions
-//! byte-for-byte.
+//! with the fleet plane attached via the round hook (so every
+//! transition cites the sealed verdict record that triggered it),
+//! driven on a logical clock so the same seed reproduces the same
+//! transitions byte-for-byte.
 //!
 //! Actors run one round per scheduled slot on a short-lived
 //! connection, parking their session with `close()` and reconnecting
@@ -246,7 +247,7 @@ pub fn run(config: &SimConfig) -> Result<SimReport, SimError> {
     let plane = FleetPlane::new(policy.clone());
     let server_config = ServerConfig {
         session_secret: b"fleet-sim-secret".to_vec(),
-        verdict_hook: Some(plane.verdict_hook()),
+        round_hook: Some(plane.round_hook()),
         admin_addr: config.admin.then(|| "127.0.0.1:0".to_string()),
         admin_extra: config.admin.then(|| plane.admin_extra()),
         ..ServerConfig::default()

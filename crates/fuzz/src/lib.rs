@@ -14,11 +14,14 @@
 //! 3. stream safety — structure-aware mutation of wire streams and
 //!    re-signed logs always ends in a typed verdict.
 //!
-//! A fourth, program-free oracle fuzzes the fleet control plane's
-//! [registry state machine](registry): random verdict / timeout /
-//! admin-command sequences under `catch_unwind`, asserting every
-//! sequence ends in a typed state and quarantine is reachable only
-//! through a REJECTED verdict or an admin command.
+//! Two further program-free oracles run in every case: the fleet
+//! control plane's [registry state machine](registry) (random verdict
+//! / timeout / admin-command sequences under `catch_unwind`, asserting
+//! every sequence ends in a typed state and quarantine is reachable
+//! only through a REJECTED verdict or an admin command), and the
+//! [audit chain](audit) (bit flips, truncations, and re-signed splices
+//! against hash-chained verdict logs, asserting every mutation is a
+//! typed first break and bare truncation never masquerades as tamper).
 //!
 //! **Determinism is the contract.** A campaign is a pure function of
 //! its `(seed, iters, options)`; summaries contain no wall-clock data,
@@ -44,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod gen;
 pub mod minimize;
 pub mod mutate;
@@ -137,6 +141,11 @@ pub struct Totals {
     pub registry_events: u64,
     /// State transitions the fleet-registry oracle observed.
     pub registry_transitions: u64,
+    /// Sealed records chained by the audit oracle.
+    pub audit_records: u64,
+    /// Log mutations (flips, cuts, splices, garbage) the audit oracle
+    /// verified were caught.
+    pub audit_mutations: u64,
 }
 
 /// The campaign result. Contains no wall-clock data by design: equal
@@ -198,6 +207,11 @@ impl FuzzSummary {
             out,
             "registry oracle: events={} transitions={}",
             t.registry_events, t.registry_transitions
+        );
+        let _ = writeln!(
+            out,
+            "audit oracle: records={} mutations={}",
+            t.audit_records, t.audit_mutations
         );
         if !self.verdicts.is_empty() {
             let _ = writeln!(out, "mutation verdicts:");
@@ -266,6 +280,8 @@ impl FuzzSummary {
                         "registry_transitions",
                         Json::Uint(self.totals.registry_transitions),
                     ),
+                    ("audit_records", Json::Uint(self.totals.audit_records)),
+                    ("audit_mutations", Json::Uint(self.totals.audit_mutations)),
                 ]),
             ),
             (
@@ -389,31 +405,48 @@ pub fn run(cfg: &FuzzConfig) -> FuzzSummary {
         let (program, ocfg) = case_setup(cs, cfg);
         summary.cases_run += 1;
         summary.totals.stmts += program.stmt_count() as u64;
-        // The registry oracle is program-free (its whole case derives
-        // from the case seed), so a failure skips program
+        // The registry and audit oracles are program-free (their whole
+        // case derives from the case seed), so a failure skips program
         // minimization — the seed alone reproduces it.
+        let mut program_free_failed = false;
+        let record_program_free = |failure: CaseFailure, summary: &mut FuzzSummary| {
+            let mut repro = format!("rap fuzz --replay {cs:#x}");
+            if cfg.sabotage {
+                repro.push_str(" --sabotage");
+            }
+            summary.failures.push(FailureRecord {
+                index,
+                case_seed: cs,
+                oracle: failure.oracle.to_string(),
+                detail: failure.detail,
+                stmt_count: 0,
+                minimized_stmt_count: 0,
+                minimize_evals: 0,
+                repro,
+            });
+        };
         match registry::run_registry_case(cs) {
             Ok(result) => {
                 summary.totals.registry_events += result.events;
                 summary.totals.registry_transitions += result.transitions;
             }
             Err(failure) => {
-                let mut repro = format!("rap fuzz --replay {cs:#x}");
-                if cfg.sabotage {
-                    repro.push_str(" --sabotage");
-                }
-                summary.failures.push(FailureRecord {
-                    index,
-                    case_seed: cs,
-                    oracle: failure.oracle.to_string(),
-                    detail: failure.detail,
-                    stmt_count: 0,
-                    minimized_stmt_count: 0,
-                    minimize_evals: 0,
-                    repro,
-                });
-                continue;
+                record_program_free(failure, &mut summary);
+                program_free_failed = true;
             }
+        }
+        match audit::run_audit_case(cs, cfg.mutation_rounds) {
+            Ok(result) => {
+                summary.totals.audit_records += result.records;
+                summary.totals.audit_mutations += result.mutations;
+            }
+            Err(failure) => {
+                record_program_free(failure, &mut summary);
+                program_free_failed = true;
+            }
+        }
+        if program_free_failed {
+            continue;
         }
         match oracle::run_case(&program, cs, &ocfg) {
             Ok(result) => {

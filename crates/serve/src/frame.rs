@@ -421,6 +421,34 @@ pub struct Verdict {
 }
 
 impl Verdict {
+    /// Derives the wire verdict from a sealed
+    /// [`VerdictRecord`](rap_track::VerdictRecord) — the frame is a
+    /// lossy *view* of the record (no nonce, hashes, or seal), kept
+    /// wire-compatible with pre-record servers. The detail string
+    /// prefixes (`wire: ` for codec failures, `session: ` for protocol
+    /// failures, `violation: ` for evidence failures) are part of the
+    /// client-visible contract.
+    pub fn from_record(record: &rap_track::VerdictRecord) -> Verdict {
+        let f = &record.fields;
+        let detail = if f.accepted {
+            String::new()
+        } else {
+            match f.kind.as_str() {
+                "wire" => format!("wire: {}", f.detail),
+                "no-outstanding-challenge" | "challenge-reused" => {
+                    format!("session: {}", f.detail)
+                }
+                _ => format!("violation: {}", f.detail),
+            }
+        };
+        Verdict {
+            accepted: f.accepted,
+            events: f.events,
+            steps: f.steps,
+            detail,
+        }
+    }
+
     /// Encodes this verdict as a `Verdict` frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(13 + self.detail.len());

@@ -69,4 +69,22 @@ pub use frame::{
     ErrorCode, Frame, FrameError, FrameType, ReadFrameError, ResumeToken, SessionGrant,
     StatsFormat, Verdict,
 };
-pub use server::{AdminExtra, Server, ServerConfig, ServerStats, StartError, VerdictHook};
+pub use server::{
+    AdminExtra, RoundEvent, RoundEventFn, RoundHook, Server, ServerConfig, ServerStats, StartError,
+};
+#[allow(deprecated)]
+pub use server::{VerdictFn, VerdictHook};
+
+/// The commonly-imported surface in one glob: server + client types
+/// and the typed round-event hook with its sealed
+/// [`VerdictRecord`](rap_track::VerdictRecord) payload.
+///
+/// ```
+/// use rap_serve::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::client::{AttestClient, ClientConfig, Connection};
+    pub use crate::frame::Verdict;
+    pub use crate::server::{RoundEvent, RoundHook, Server, ServerConfig};
+    pub use rap_track::{VerdictDraft, VerdictRecord};
+}

@@ -47,9 +47,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use rap_crypto::hmac_sha256;
+use rap_audit::AuditLog;
+use rap_crypto::{hmac_sha256, sha256};
 use rap_obs::{Json, RoundCollector, RoundExemplar, StageSpan};
-use rap_track::{decode_stream, SessionError, Verifier, VerifierSession};
+use rap_track::{
+    decode_stream, stats_digest, Challenge, VerdictDraft, VerdictRecord, Verifier, VerifierSession,
+};
 
 use crate::frame::{
     decode_frame, decode_hello, decode_resume, decode_stats_request, encode_error, encode_frame,
@@ -58,7 +61,34 @@ use crate::frame::{
 };
 
 /// The callback type wrapped by [`VerdictHook`]: `(device, accepted)`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RoundEventFn / RoundHook, which carries the sealed VerdictRecord"
+)]
 pub type VerdictFn = dyn Fn(&str, bool) + Send + Sync;
+
+/// The callback type wrapped by [`RoundHook`].
+pub type RoundEventFn = dyn Fn(&RoundEvent) + Send + Sync;
+
+/// A typed event from the serving path, delivered to [`RoundHook`]
+/// observers synchronously on the shard worker.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm
+/// so new event kinds can be added without a breaking change.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum RoundEvent {
+    /// A round reached a verdict. The sealed [`VerdictRecord`] is the
+    /// proof-carrying form: consumers can cite
+    /// [`record_hash`](VerdictRecord::record_hash) and later audit it
+    /// against the chain instead of trusting process memory.
+    Verdict {
+        /// Device that answered the challenge.
+        device: String,
+        /// The sealed verdict.
+        record: VerdictRecord,
+    },
+}
 
 /// The provider type wrapped by [`AdminExtra`]: extra top-level
 /// `(name, value)` fields for the telemetry JSON.
@@ -66,12 +96,20 @@ pub type AdminExtraFn = dyn Fn() -> Vec<(String, Json)> + Send + Sync;
 
 /// A server-side observer invoked once per verified round with the
 /// device name and whether the evidence was accepted, synchronously on
-/// the shard worker *before* the verdict batch is flushed. Control
-/// planes (rap-fleet) hang their policy reactions off this; keep the
-/// callback cheap — it runs inside the drain tick.
+/// the shard worker *before* the verdict batch is flushed.
+///
+/// Deprecated bool-form shim, kept for one release: new code should
+/// use [`RoundHook`], whose [`RoundEvent`] carries the sealed
+/// [`VerdictRecord`] instead of a bare bool.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RoundHook, whose RoundEvent carries the sealed VerdictRecord"
+)]
 #[derive(Clone)]
+#[allow(deprecated)]
 pub struct VerdictHook(pub Arc<VerdictFn>);
 
+#[allow(deprecated)]
 impl VerdictHook {
     /// Wraps a callback.
     pub fn new(f: impl Fn(&str, bool) + Send + Sync + 'static) -> VerdictHook {
@@ -79,9 +117,31 @@ impl VerdictHook {
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for VerdictHook {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("VerdictHook(..)")
+    }
+}
+
+/// A server-side observer invoked once per round with a typed
+/// [`RoundEvent`], synchronously on the shard worker *before* the
+/// verdict batch is flushed. Control planes (rap-fleet) hang their
+/// policy reactions off this; keep the callback cheap — it runs inside
+/// the drain tick.
+#[derive(Clone)]
+pub struct RoundHook(pub Arc<RoundEventFn>);
+
+impl RoundHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&RoundEvent) + Send + Sync + 'static) -> RoundHook {
+        RoundHook(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for RoundHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RoundHook(..)")
     }
 }
 
@@ -156,13 +216,29 @@ pub struct ServerConfig {
     /// cannot grow server memory without bound.
     pub device_table_cap: usize,
     /// Called once per verified round with `(device, accepted)`, on
-    /// the shard worker before the verdict batch flushes.
+    /// the shard worker before the verdict batch flushes. Deprecated
+    /// bool-form shim — use [`ServerConfig::round_hook`]; when both
+    /// are set, both fire.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use round_hook, whose RoundEvent carries the sealed VerdictRecord"
+    )]
+    #[allow(deprecated)]
     pub verdict_hook: Option<VerdictHook>,
+    /// Called once per round with a typed [`RoundEvent`] carrying the
+    /// sealed [`VerdictRecord`], on the shard worker before the
+    /// verdict batch flushes.
+    pub round_hook: Option<RoundHook>,
+    /// When set, every sealed verdict is appended to the hash-chained
+    /// audit log at this path (created or recovered via
+    /// [`AuditLog::open`]), batched once per drain tick.
+    pub audit_log: Option<std::path::PathBuf>,
     /// Extra top-level sections merged into the admin `STATS` JSON.
     pub admin_extra: Option<AdminExtra>,
 }
 
 impl Default for ServerConfig {
+    #[allow(deprecated)]
     fn default() -> ServerConfig {
         ServerConfig {
             threads: 4,
@@ -183,6 +259,8 @@ impl Default for ServerConfig {
             exemplar_capacity: 64,
             device_table_cap: 1024,
             verdict_hook: None,
+            round_hook: None,
+            audit_log: None,
             admin_extra: None,
         }
     }
@@ -197,6 +275,10 @@ pub enum StartError {
     EmptySecret,
     /// Binding the listener failed.
     Io(std::io::Error),
+    /// Opening [`ServerConfig::audit_log`] failed — refusing to serve
+    /// rather than silently dropping the audit trail (the existing log
+    /// may be tampered, or the path unwritable).
+    Audit(rap_audit::OpenError),
 }
 
 impl std::fmt::Display for StartError {
@@ -209,6 +291,7 @@ impl std::fmt::Display for StartError {
                 )
             }
             StartError::Io(e) => write!(f, "bind failed: {e}"),
+            StartError::Audit(e) => write!(f, "audit log: {e}"),
         }
     }
 }
@@ -499,6 +582,11 @@ struct Shared {
     epoch: Instant,
     /// `Some` iff the admin endpoint is configured.
     telemetry: Option<Telemetry>,
+    /// `Some` iff [`ServerConfig::audit_log`] is set. Shard workers
+    /// append sealed records under this lock once per drain tick (one
+    /// batched `write` per tick), so contention is per-tick, not
+    /// per-round.
+    audit: Option<Mutex<AuditLog>>,
 }
 
 /// Derives the resumption token for `(id, device)` under the server
@@ -577,6 +665,10 @@ impl Server {
         let shards = config.threads.max(1);
         let max_pending = config.max_pending;
         let telemetry = admin_listener.as_ref().map(|_| Telemetry::new(&config));
+        let audit = match &config.audit_log {
+            Some(path) => Some(Mutex::new(AuditLog::open(path).map_err(StartError::Audit)?)),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             config,
             counters: Counters::default(),
@@ -585,6 +677,7 @@ impl Server {
             token_seq: AtomicU64::new(1),
             epoch: Instant::now(),
             telemetry,
+            audit,
         });
         let accept_queue = Arc::new(HandoffQueue::new(max_pending));
         let shard_queues: Vec<Arc<HandoffQueue<PendingConn>>> = (0..shards)
@@ -969,6 +1062,9 @@ struct TickTally {
     /// (`std::mem::take`) *before* [`TickTally::commit`] resets the
     /// tally — only populated when the telemetry plane is on.
     rounds: Vec<PendingRound>,
+    /// Sealed records awaiting their batched audit append — only
+    /// populated when [`ServerConfig::audit_log`] is set.
+    records: Vec<VerdictRecord>,
 }
 
 impl TickTally {
@@ -1186,7 +1282,14 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                     tick.frames_rx += 1;
                     if session.outstanding_count() == 0 {
                         // The client wrote past its granted window.
-                        flush_tick(&mut stream, &mut outbuf, &mut tick, counters, obs.as_ref());
+                        flush_tick(
+                            &mut stream,
+                            &mut outbuf,
+                            &mut tick,
+                            counters,
+                            obs.as_ref(),
+                            shared.audit.as_ref(),
+                        );
                         send_error(
                             &mut stream,
                             counters,
@@ -1196,16 +1299,28 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                         return;
                     }
                     let started = Instant::now();
-                    let verdict = verify_one(&mut session, &frame.payload);
+                    let record = verify_one(&mut session, &device, &frame.payload);
                     let replay_ns = started.elapsed().as_nanos() as u64;
                     tick.latencies_ns.push(replay_ns);
-                    if verdict.accepted {
+                    let accepted = record.accepted();
+                    if accepted {
                         tick.accepted += 1;
                     } else {
                         tick.rejected += 1;
                     }
+                    #[allow(deprecated)]
                     if let Some(hook) = &config.verdict_hook {
-                        (hook.0)(&device, verdict.accepted);
+                        (hook.0)(&device, accepted);
+                    }
+                    if let Some(hook) = &config.round_hook {
+                        (hook.0)(&RoundEvent::Verdict {
+                            device: device.clone(),
+                            record: record.clone(),
+                        });
+                    }
+                    let verdict = Verdict::from_record(&record);
+                    if shared.audit.is_some() {
+                        tick.records.push(record);
                     }
                     outbuf.extend_from_slice(&encode_frame(FrameType::Verdict, &verdict.encode()));
                     let chal = session.issue_windowed_challenge();
@@ -1220,13 +1335,20 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                             issued_at,
                             replay_start: started,
                             replay_ns,
-                            accepted: verdict.accepted,
+                            accepted,
                         });
                         issued.push_back((obs.telemetry.rounds.mint(), Instant::now()));
                     }
                 }
                 Ok(Some(_)) => {
-                    flush_tick(&mut stream, &mut outbuf, &mut tick, counters, obs.as_ref());
+                    flush_tick(
+                        &mut stream,
+                        &mut outbuf,
+                        &mut tick,
+                        counters,
+                        obs.as_ref(),
+                        shared.audit.as_ref(),
+                    );
                     send_error(
                         &mut stream,
                         counters,
@@ -1236,7 +1358,14 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                     return;
                 }
                 Err(e) => {
-                    flush_tick(&mut stream, &mut outbuf, &mut tick, counters, obs.as_ref());
+                    flush_tick(
+                        &mut stream,
+                        &mut outbuf,
+                        &mut tick,
+                        counters,
+                        obs.as_ref(),
+                        shared.audit.as_ref(),
+                    );
                     let code = match e {
                         FrameError::Oversized { .. } => ErrorCode::Oversized,
                         _ => ErrorCode::Protocol,
@@ -1246,7 +1375,14 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
                 }
             }
         }
-        if !flush_tick(&mut stream, &mut outbuf, &mut tick, counters, obs.as_ref()) {
+        if !flush_tick(
+            &mut stream,
+            &mut outbuf,
+            &mut tick,
+            counters,
+            obs.as_ref(),
+            shared.audit.as_ref(),
+        ) {
             return;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -1298,40 +1434,33 @@ fn serve_connection(shared: &Shared, verifier: &Verifier, pending: PendingConn) 
     }
 }
 
-fn verify_one(session: &mut VerifierSession, payload: &[u8]) -> Verdict {
+/// Verifies one ATTEST payload, sealing the outcome as a
+/// proof-carrying [`VerdictRecord`] (the wire `VERDICT` frame is
+/// derived from it via [`Verdict::from_record`]).
+fn verify_one(session: &mut VerifierSession, device: &str, payload: &[u8]) -> VerdictRecord {
     match decode_stream(payload) {
         Err(wire) => {
             // A malformed stream still consumes the front challenge —
             // a device does not get a second try against a nonce by
-            // sending garbage first.
+            // sending garbage first. The sealed record binds the nonce
+            // it burned and a hash of the raw payload.
+            let chal = session.outstanding();
             let _ = session.check_response(&[]);
-            Verdict {
-                accepted: false,
-                events: 0,
-                steps: 0,
-                detail: format!("wire: {wire}"),
-            }
+            let stats = session.verifier().stats();
+            session.verifier().seal_verdict(VerdictDraft {
+                device: device.to_string(),
+                chal: chal.unwrap_or(Challenge([0u8; 32])),
+                report_hash: sha256(payload),
+                stats_digest: stats_digest(&stats),
+                cache_hits: stats.cache_hits,
+                cache_misses: stats.cache_misses,
+                kind: "wire".to_string(),
+                detail: wire.to_string(),
+                seq: session.responses_checked(),
+                ..VerdictDraft::default()
+            })
         }
-        Ok(reports) => match session.check_response(&reports) {
-            Ok(path) => Verdict {
-                accepted: true,
-                events: path.events.len() as u32,
-                steps: path.steps,
-                detail: String::new(),
-            },
-            Err(SessionError::Verification(v)) => Verdict {
-                accepted: false,
-                events: 0,
-                steps: 0,
-                detail: format!("violation: {v}"),
-            },
-            Err(e) => Verdict {
-                accepted: false,
-                events: 0,
-                steps: 0,
-                detail: format!("session: {e}"),
-            },
-        },
+        Ok(reports) => session.check_response_record(device, &reports).0,
     }
 }
 
@@ -1349,7 +1478,26 @@ fn flush_tick(
     tick: &mut TickTally,
     counters: &Counters,
     obs: Option<&ConnObs<'_>>,
+    audit: Option<&Mutex<AuditLog>>,
 ) -> bool {
+    // Audit first: the batch lands in the chained log before the
+    // verdicts reach the wire, so the log is never *behind* what a
+    // client has seen. One lock + one write for the whole tick.
+    if let Some(audit) = audit {
+        let records = std::mem::take(&mut tick.records);
+        if !records.is_empty() {
+            let appended = records.len() as u64;
+            let mut log = audit.lock().unwrap();
+            for record in &records {
+                log.append_record(record);
+            }
+            if log.flush().is_ok() {
+                rap_obs::counter!("serve_audit_records_total").add(appended);
+            } else {
+                rap_obs::counter!("serve_audit_append_errors_total").add(appended);
+            }
+        }
+    }
     // Taken before commit — commit resets the whole tally.
     let rounds = std::mem::take(&mut tick.rounds);
     tick.commit(counters);

@@ -49,6 +49,10 @@ run cargo bench -p rap-bench --bench dict -- --quick --json "$PWD/BENCH_dict.jso
 # Fleet control plane scaling: pure registry+scheduler cost (no
 # network) at 10/100/1000 devices, with p99 in-slot scheduling lag.
 run cargo bench -p rap-bench --bench fleet_plane -- --quick --json "$PWD/BENCH_fleet_plane.json"
+# Audit gate: sealing every verdict and hash-chaining it to disk must
+# cost <= 5% pipelined throughput at 8 clients (gated on multi-core
+# hosts; seal/append/replay microbenches always run).
+run cargo bench -p rap-bench --bench audit -- --quick --json "$PWD/BENCH_audit.json" --enforce
 
 # Serve smoke: one real loopback deployment of the attestation service
 # with the telemetry plane bound (--admin). The server gets a
@@ -67,7 +71,7 @@ echo "==> serve smoke (loopback attest-remote, resumed pipelined session, admin 
 "$RAP" demo > "$SMOKE_DIR/demo.tasm"
 "$RAP" link "$SMOKE_DIR/demo.tasm" -o "$SMOKE_DIR/demo.img" -m "$SMOKE_DIR/demo.map"
 "$RAP" serve "$SMOKE_DIR/demo.img" "$SMOKE_DIR/demo.map" --limit 3 \
-    --admin 127.0.0.1:0 --slow-ms 0 \
+    --admin 127.0.0.1:0 --slow-ms 0 --audit-log "$SMOKE_DIR/audit.ralog" \
     > "$SMOKE_DIR/serve.log" &
 SERVE_PID=$!
 ADDR=""
@@ -133,6 +137,39 @@ wait "$SERVE_PID"
 grep -q "served 3 connection" "$SMOKE_DIR/serve.log" || {
     echo "serve smoke: server did not drain after --limit 3" >&2
     cat "$SMOKE_DIR/serve.log" >&2
+    exit 1
+}
+
+# Audit smoke: the serve run above chained every verdict (4 accepted +
+# 1 rejected) into audit.ralog. The chain must replay cleanly under
+# the operator's key, and flipping a single byte must break it with a
+# typed first break and a non-zero exit.
+echo "==> audit smoke (hash-chained verdict log, tamper detection)"
+run "$RAP" audit verify "$SMOKE_DIR/audit.ralog" --key default-device \
+    | tee "$SMOKE_DIR/audit.log"
+grep -q "entries=5" "$SMOKE_DIR/audit.log" || {
+    echo "audit smoke: expected 5 chained verdicts" >&2
+    cat "$SMOKE_DIR/audit.log" >&2
+    exit 1
+}
+grep -q "chain and seals verified" "$SMOKE_DIR/audit.log" || {
+    echo "audit smoke: seals were not verified" >&2
+    cat "$SMOKE_DIR/audit.log" >&2
+    exit 1
+}
+run "$RAP" audit tail "$SMOKE_DIR/audit.ralog" --key default-device --last 2
+cp "$SMOKE_DIR/audit.ralog" "$SMOKE_DIR/tampered.ralog"
+# Offset 9 is the first record's magic ('R' of RAPV) — overwrite it.
+printf 'X' | dd of="$SMOKE_DIR/tampered.ralog" bs=1 seek=9 count=1 conv=notrunc 2>/dev/null
+if "$RAP" audit verify "$SMOKE_DIR/tampered.ralog" --key default-device \
+    > "$SMOKE_DIR/tamper.log" 2>&1; then
+    echo "audit smoke: tampered log verified cleanly" >&2
+    cat "$SMOKE_DIR/tamper.log" >&2
+    exit 1
+fi
+grep -q "BROKEN:" "$SMOKE_DIR/tamper.log" || {
+    echo "audit smoke: tampered log did not report a typed break" >&2
+    cat "$SMOKE_DIR/tamper.log" >&2
     exit 1
 }
 

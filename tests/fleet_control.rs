@@ -52,14 +52,21 @@ fn compromise_detection_quarantine_heal_is_deterministic() {
     // at slot 4 (t=400ms) and quarantine_after=2, so the device must
     // be quarantined by its second forged round at t=500ms.
     let lines: Vec<&str> = report.transitions.lines().collect();
+    // Verdict-triggered transitions cite the sealed record (short
+    // hash) that caused them — the join key into the audit log.
+    let evidenced = |prefix: &str| {
+        lines
+            .iter()
+            .any(|l| l.starts_with(prefix) && l.contains(" rec="))
+    };
     assert!(
-        lines.contains(&"t=400ms dev-000 healthy -> suspect (reject-streak)"),
-        "first forged round raises suspicion:\n{}",
+        evidenced("t=400ms dev-000 healthy -> suspect (reject-streak)"),
+        "first forged round raises suspicion, citing its record:\n{}",
         report.transitions
     );
     assert!(
-        lines.contains(&"t=500ms dev-000 suspect -> quarantined (reject-threshold)"),
-        "second forged round quarantines:\n{}",
+        evidenced("t=500ms dev-000 suspect -> quarantined (reject-threshold)"),
+        "second forged round quarantines, citing its record:\n{}",
         report.transitions
     );
     // Remediation: the quarantine TTL offers re-provisioning, and once
